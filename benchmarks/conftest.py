@@ -1,0 +1,52 @@
+"""Benchmark-harness fixtures.
+
+Every ``test_bench_*`` module regenerates one figure or table of the paper:
+it runs the experiment driver once under ``pytest-benchmark`` timing, prints
+the resulting rows/series (visible in the bench log), saves the table as
+text + JSON under ``benchmarks/results/``, and asserts the qualitative
+shapes the paper reports.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_FULL=1`` for paper-scale sample counts (slow).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_quick() -> bool:
+    """Quick mode unless REPRO_BENCH_FULL is set."""
+    return os.environ.get("REPRO_BENCH_FULL", "") != "1"
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an ExperimentResult to the live terminal and archive it."""
+
+    def _report(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.to_text()
+        (RESULTS_DIR / f"{result.name}.txt").write_text(text + "\n")
+        from repro.io import save_experiment
+
+        save_experiment(result, RESULTS_DIR / f"{result.name}.json")
+        with capsys.disabled():
+            print()
+            print(text)
+        return result
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Execute an experiment driver exactly once under benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

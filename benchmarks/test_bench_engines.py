@@ -1,0 +1,74 @@
+"""Engine micro-benchmarks: simulator throughput.
+
+Unlike the figure benches (single-shot regenerations), these are true
+timing benchmarks: they measure the three engines on a fixed configuration
+so performance regressions in the simulator hot paths are visible.
+"""
+
+import pytest
+
+from repro.failures.generator import ExponentialFailureSource
+from repro.platform_model.costs import CheckpointCosts
+from repro.simulation.lockstep import LockstepConfig, simulate_lockstep
+from repro.simulation.policies import no_restart_policy, restart_policy
+from repro.simulation.sampled import simulate_restart_sampled
+from repro.simulation.trace_engine import TraceEngineConfig, simulate_trace_runs
+from repro.util.units import YEAR
+
+MTBF = 5 * YEAR
+PAIRS = 100_000
+COSTS = CheckpointCosts(checkpoint=60.0)
+PERIOD = 22_366.0  # T_opt^rs at this configuration
+N_PERIODS = 100
+
+
+def test_engine_sampled_restart(benchmark):
+    """Closed-form sampling: the fastest path (paper-scale platform)."""
+    rs = benchmark(
+        lambda: simulate_restart_sampled(
+            mtbf=MTBF, n_pairs=PAIRS, period=PERIOD, costs=COSTS,
+            n_periods=N_PERIODS, n_runs=200, seed=1,
+        )
+    )
+    assert rs.n_runs == 200
+
+
+def test_engine_lockstep_restart(benchmark):
+    """Vectorised event engine, restart policy, paper-scale platform."""
+    cfg = LockstepConfig(
+        mtbf=MTBF, n_pairs=PAIRS, policy=restart_policy(PERIOD, COSTS),
+        costs=COSTS, n_periods=N_PERIODS, n_runs=50,
+    )
+    rs = benchmark(lambda: simulate_lockstep(cfg, seed=2))
+    assert rs.n_runs == 50
+
+
+def test_engine_lockstep_no_restart(benchmark):
+    """Vectorised event engine, no-restart policy (persistent degradation)."""
+    cfg = LockstepConfig(
+        mtbf=MTBF, n_pairs=PAIRS, policy=no_restart_policy(7289.0, COSTS),
+        costs=COSTS, n_periods=N_PERIODS, n_runs=50,
+    )
+    rs = benchmark(lambda: simulate_lockstep(cfg, seed=3))
+    assert rs.n_runs == 50
+
+
+def test_engine_trace_exponential(benchmark):
+    """Per-processor event engine on an exponential source."""
+    cfg = TraceEngineConfig(
+        source=ExponentialFailureSource(MTBF, 2 * PAIRS),
+        n_pairs=PAIRS, policy=restart_policy(PERIOD, COSTS),
+        costs=COSTS, n_periods=N_PERIODS, n_runs=10,
+    )
+    rs = benchmark(lambda: simulate_trace_runs(cfg, seed=4))
+    assert rs.n_runs == 10
+
+
+def test_engine_fatal_time_sampling(benchmark):
+    """The core primitive: inverse-transform fatal-time sampling."""
+    from repro.core.mtti import sample_time_to_interruption
+
+    out = benchmark(
+        lambda: sample_time_to_interruption(MTBF, PAIRS, 1_000_000, seed=5)
+    )
+    assert out.shape == (1_000_000,)

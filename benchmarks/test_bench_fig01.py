@@ -1,0 +1,42 @@
+"""Figure 1: CDFs of time to application failure (reliability at scale)."""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import bench_quick, run_once
+from repro.experiments import fig1_cdf
+
+
+def test_fig1_quantile_table(benchmark, report):
+    result = run_once(benchmark, lambda: fig1_cdf.run(quick=bench_quick(), seed=2019))
+    report(result)
+
+    rows = {r["config"]: r for r in result.rows}
+    # Absolute agreement with the paper's reported values (evaluated at the
+    # mu the numbers correspond to; see the fig1 driver docstring).
+    for config in rows:
+        assert rows[config]["analytic_s"] == pytest.approx(
+            rows[config]["paper_s"], rel=0.015
+        )
+    # Monte-Carlo cross-check of the replicated CDFs.
+    for config in ("1 pair", "100k pairs"):
+        assert rows[config]["mc_s"] == pytest.approx(
+            rows[config]["analytic_s"], rel=0.05
+        )
+    # Shape: replication dominates.
+    assert rows["1 pair"]["analytic_s"] > rows["1 proc"]["analytic_s"]
+    assert rows["100k pairs"]["analytic_s"] > 100 * rows["100k procs"]["analytic_s"]
+    assert rows["200k procs"]["analytic_s"] == pytest.approx(
+        rows["100k procs"]["analytic_s"] / 2
+    )
+
+
+def test_fig1_cdf_series(benchmark, report):
+    result = run_once(benchmark, lambda: fig1_cdf.cdf_series(panel="b", n_points=31))
+    report(result)
+    # The replicated curve lies below (safer than) both parallel curves at
+    # every plotted time.
+    for row in result.rows[1:]:
+        assert row["100k pairs"] <= row["100k procs"] + 1e-12
+        assert row["100k procs"] <= row["200k procs"] + 1e-12

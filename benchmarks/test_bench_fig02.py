@@ -1,0 +1,28 @@
+"""Figure 2: non-periodic strategies vs restart vs no-restart (one pair)."""
+
+from benchmarks.conftest import bench_quick, run_once
+from repro.experiments import fig2_nonperiodic
+
+
+def test_fig2_one_pair_ratios(benchmark, report):
+    result = run_once(
+        benchmark, lambda: fig2_nonperiodic.run(quick=bench_quick(), seed=2019)
+    )
+    report(result)
+
+    # Paper shapes:
+    # (1) restart is "more than twice better" than no-restart: the overhead
+    #     ratio dips below 0.5 somewhere in the sweep;
+    assert min(result.column("ovh_ratio_restart")) < 0.5
+    # (2) both non-periodic variants do at least as well as periodic
+    #     no-restart (time-to-solution ratio <= 1 up to MC noise) —
+    #     the paper's evidence that periodic checkpointing is suboptimal
+    #     for no-restart;
+    for col in ("tts_ratio_nonperiodic_Tno", "tts_ratio_nonperiodic_Trs"):
+        assert all(r <= 1.01 for r in result.column(col))
+    # (3) the T1 = T_opt^rs variant is the better non-periodic strategy as
+    #     the MTBF increases (paper: ~95% vs ~98.3% of no-restart).
+    last = result.rows[-1]
+    assert last["ovh_ratio_nonperiodic_Trs"] <= last["ovh_ratio_nonperiodic_Tno"]
+    # (4) restart's time-to-solution never loses by more than noise.
+    assert all(r <= 1.02 for r in result.column("tts_ratio_restart"))

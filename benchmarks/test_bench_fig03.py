@@ -1,0 +1,31 @@
+"""Figure 3: model accuracy — overhead vs checkpoint cost, IID failures."""
+
+import pytest
+
+from benchmarks.conftest import bench_quick, run_once
+from repro.experiments import fig3_model_accuracy
+
+
+def test_fig3_model_accuracy(benchmark, report):
+    result = run_once(
+        benchmark, lambda: fig3_model_accuracy.run(quick=bench_quick(), seed=2019)
+    )
+    report(result)
+
+    for row in result.rows:
+        # Restart theory tracks simulation across the sweep (paper: "quite
+        # accurately"; slight drift only past C ~ 1500 s).
+        tol = 0.25 if row["C_s"] <= 1500 else 0.35
+        assert row["sim_restart_Trs"] == pytest.approx(
+            row["model_restart_Trs"], rel=tol
+        )
+        # Restart at the optimal period dominates both alternatives.
+        assert row["sim_restart_Trs"] <= row["sim_restart_Tno"] * 1.05
+        assert row["sim_restart_Trs"] <= row["sim_norestart_Tno"] * 1.05
+        # Running restart at the literature period already beats no-restart.
+        assert row["sim_restart_Tno"] <= row["sim_norestart_Tno"] * 1.05
+
+    # Overheads grow with the checkpoint cost for every strategy.
+    for col in ("sim_restart_Trs", "sim_norestart_Tno"):
+        vals = result.column(col)
+        assert vals[0] < vals[-1]

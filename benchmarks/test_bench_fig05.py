@@ -1,0 +1,54 @@
+"""Figure 5: overhead vs checkpointing period T (both panels)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_quick, run_once
+from repro.experiments import fig5_overhead_vs_period
+
+
+def _check_panel(result):
+    t = np.asarray(result.column("T_s"))
+    sim_rs = np.asarray(result.column("sim_restart_CR1C"))
+    sim_nr = np.asarray(result.column("sim_norestart"))
+    model = np.asarray(result.column("model_restart_CR1C"))
+
+    # Restart(T) <= NoRestart(T) across the whole period sweep.
+    assert np.all(sim_rs <= sim_nr * 1.05 + 1e-9)
+    # Theory matches simulation along the curve.
+    rel = np.abs(sim_rs - model) / model
+    assert np.median(rel) < 0.15
+    # The empirical restart optimum sits near T_opt^rs (within the grid).
+    t_star = t[int(np.argmin(sim_rs))]
+    assert 0.4 * result.meta["T_opt_rs"] <= t_star <= 2.5 * result.meta["T_opt_rs"]
+    # The empirical no-restart optimum sits near T_MTTI^no (paper:
+    # "surprisingly ... close to T_MTTI^no").
+    t_star_nr = t[int(np.argmin(sim_nr))]
+    assert 0.3 * result.meta["T_mtti_no"] <= t_star_nr <= 3.0 * result.meta["T_mtti_no"]
+    # C^R ordering: larger restart cost -> larger overhead at the optimum.
+    rs1 = np.min(result.column("sim_restart_CR1C"))
+    rs2 = np.min(result.column("sim_restart_CR2C"))
+    assert rs1 <= rs2 * 1.05
+    # The restart plateau: within +/-30% of the optimum period, overhead
+    # stays within ~20% of the minimum (robustness claim).
+    near = (t >= 0.7 * t_star) & (t <= 1.3 * t_star)
+    if near.sum() >= 2:
+        assert np.max(sim_rs[near]) <= 1.3 * np.min(sim_rs)
+
+
+def test_fig5_c60(benchmark, report):
+    result = run_once(
+        benchmark,
+        lambda: fig5_overhead_vs_period.run(quick=bench_quick(), seed=2019, checkpoint=60.0),
+    )
+    report(result)
+    _check_panel(result)
+
+
+def test_fig5_c600(benchmark, report):
+    result = run_once(
+        benchmark,
+        lambda: fig5_overhead_vs_period.run(quick=bench_quick(), seed=2020, checkpoint=600.0),
+    )
+    report(result)
+    _check_panel(result)

@@ -1,0 +1,24 @@
+"""Figure 6: restart vs restart-on-failure."""
+
+from benchmarks.conftest import bench_quick, run_once
+from repro.experiments import fig6_restart_on_failure
+
+
+def test_fig6_restart_on_failure(benchmark, report):
+    result = run_once(
+        benchmark, lambda: fig6_restart_on_failure.run(quick=bench_quick(), seed=2019)
+    )
+    report(result)
+
+    rows = result.rows
+    # Restart-on-failure never wins...
+    assert all(r["ovh_restart_on_failure"] >= r["ovh_restart_Trs"] for r in rows)
+    # ...and explodes as the MTBF shrinks (paper: "quickly grows to high
+    # values"): at the worst point it is at least 10x the restart overhead.
+    worst = rows[0]
+    assert worst["ovh_restart_on_failure"] >= 10 * worst["ovh_restart_Trs"]
+    # Its overhead decreases monotonically with the MTBF.
+    rof = result.column("ovh_restart_on_failure")
+    assert all(a >= b for a, b in zip(rof, rof[1:]))
+    # "No rollback was ever needed" (up to a handful over all simulations).
+    assert sum(r["rof_rollbacks"] for r in rows) <= 5

@@ -1,0 +1,44 @@
+"""Figure 8 / Section 7.5: period length vs MTBF and I/O pressure."""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import bench_quick, run_once
+from repro.experiments import fig8_io_pressure
+
+
+def _check_panel(result, mtbfs):
+    ratios = result.column("period_ratio")
+    # T_opt^rs is always the longer period.
+    assert all(r > 1.0 for r in ratios)
+    # The ratio grows with mu as mu^(1/6) (2/3 - 1/2 exponent gap).
+    assert ratios == sorted(ratios)
+    t_rs = result.column("T_opt_rs")
+    t_no = result.column("T_mtti_no")
+    span = math.log(mtbfs[-1] / mtbfs[0])
+    e_rs = math.log(t_rs[-1] / t_rs[0]) / span
+    e_no = math.log(t_no[-1] / t_no[0]) / span
+    assert e_rs == pytest.approx(2 / 3, abs=0.03)
+    assert e_no == pytest.approx(1 / 2, abs=0.03)
+    # Simulated checkpoint frequency: restart checkpoints less often.
+    for row in result.rows:
+        assert row["ckpt_per_day_rs"] < row["ckpt_per_day_no"]
+
+
+def test_fig8_c60(benchmark, report):
+    result = run_once(
+        benchmark,
+        lambda: fig8_io_pressure.run(quick=bench_quick(), seed=2019, checkpoint=60.0),
+    )
+    report(result)
+    _check_panel(result, fig8_io_pressure.DEFAULT_MTBFS)
+
+
+def test_fig8_c600(benchmark, report):
+    result = run_once(
+        benchmark,
+        lambda: fig8_io_pressure.run(quick=bench_quick(), seed=2020, checkpoint=600.0),
+    )
+    report(result)
+    _check_panel(result, fig8_io_pressure.DEFAULT_MTBFS)

@@ -1,0 +1,56 @@
+"""Figure 9: time-to-solution vs MTBF — full/partial/no replication."""
+
+import math
+
+from benchmarks.conftest import bench_quick, run_once
+from repro.experiments import fig9_tts_vs_mtbf
+
+
+def _check_panel(result):
+    rows = result.rows
+    # Restart always at or below no-restart.
+    assert all(r["restart_full"] <= r["norestart_full"] * 1.02 for r in rows)
+    # At the least reliable point, full replication beats (possibly DNF'd)
+    # no-replication; at the most reliable point the opposite holds.
+    assert rows[0]["restart_full"] < rows[0]["no_replication"]
+    assert rows[-1]["no_replication"] < rows[-1]["restart_full"]
+    # Partial replication is never the strict winner (homogeneous platform).
+    for r in rows:
+        best_main = min(r["no_replication"], r["restart_full"])
+        assert min(r["partial90_Trs"], r["partial50_Tno"]) >= best_main * 0.999
+    # The unreplicated/partial configurations fail to complete (inf) at the
+    # shortest MTBFs — the paper's "replication becomes mandatory".
+    assert math.isinf(rows[0]["partial50_Tno"]) or rows[0]["partial50_Tno"] > rows[0]["restart_full"]
+
+
+def _crossover(rows):
+    for prev, cur in zip(rows, rows[1:]):
+        if prev["restart_full"] < prev["no_replication"] and (
+            cur["no_replication"] <= cur["restart_full"]
+        ):
+            return cur["mtbf_years"]
+    return None
+
+
+def test_fig9_c60(benchmark, report):
+    result = run_once(
+        benchmark,
+        lambda: fig9_tts_vs_mtbf.run(quick=bench_quick(), seed=2019, checkpoint=60.0),
+    )
+    report(result)
+    _check_panel(result)
+    # Paper: replication wins below MTBF ~ 1.8e8 s (~5.7 y) for C = 60 s.
+    cross = _crossover(result.rows)
+    assert cross is not None and 2.0 <= cross <= 30.0
+
+
+def test_fig9_c600(benchmark, report):
+    result = run_once(
+        benchmark,
+        lambda: fig9_tts_vs_mtbf.run(quick=bench_quick(), seed=2020, checkpoint=600.0),
+    )
+    report(result)
+    _check_panel(result)
+    # Paper: with C = 600 s the crossover climbs ~10x (1.9e9 s ~ 60 y).
+    cross60 = _crossover(result.rows)
+    assert cross60 is None or cross60 >= 20.0

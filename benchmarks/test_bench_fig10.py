@@ -1,0 +1,46 @@
+"""Figure 10: time-to-solution vs platform size N."""
+
+from benchmarks.conftest import bench_quick, run_once
+from repro.experiments import fig10_tts_vs_n
+
+
+def _first_replication_win(rows):
+    for r in rows:
+        if r["restart_full"] < r["no_replication"]:
+            return r["n_procs"]
+    return None
+
+
+def test_fig10_c60(benchmark, report):
+    result = run_once(
+        benchmark,
+        lambda: fig10_tts_vs_n.run(quick=bench_quick(), seed=2019, checkpoint=60.0),
+    )
+    report(result)
+    rows = result.rows
+    assert all(r["restart_full"] <= r["norestart_full"] * 1.02 for r in rows)
+    # Small platforms: running plain is faster; large: replication wins.
+    assert rows[0]["no_replication"] < rows[0]["restart_full"]
+    assert rows[-1]["restart_full"] < rows[-1]["no_replication"]
+    # Paper: crossover at N ~ 2e5 for C = 60 s.
+    cross = _first_replication_win(rows)
+    assert cross is not None and 5e4 <= cross <= 4e5
+    # Partial replication never strictly best.
+    for r in rows:
+        best = min(r["no_replication"], r["restart_full"])
+        assert min(r["partial90_Trs"], r["partial50_Tno"]) >= best * 0.999
+
+
+def test_fig10_c600(benchmark, report):
+    result = run_once(
+        benchmark,
+        lambda: fig10_tts_vs_n.run(quick=bench_quick(), seed=2020, checkpoint=600.0),
+    )
+    report(result)
+    rows = result.rows
+    cross600 = _first_replication_win(rows)
+    # Paper: with C = 600 s replication pays off ~10x earlier (N ~ 2.5e4).
+    assert cross600 is not None and cross600 <= 1e5
+    # Without replication the largest platform is dramatically slower.
+    big = rows[-1]
+    assert big["no_replication"] > 3 * big["restart_full"]

@@ -1,0 +1,39 @@
+"""Analytic tables: n_fail estimates (Section 4.1) and asymptotics (Section 6)."""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import tables
+
+
+def test_nfail_table(benchmark, report):
+    result = run_once(benchmark, lambda: tables.nfail_table(seed=2019))
+    report(result)
+
+    for row in result.rows:
+        # Closed form == exact recursion wherever both are computed.
+        if not math.isnan(row["recursive"]):
+            assert row["closed_form"] == pytest.approx(row["recursive"], rel=1e-9)
+        if not math.isnan(row["integral"]):
+            assert row["closed_form"] == pytest.approx(row["integral"], rel=1e-5)
+        if not math.isnan(row["monte_carlo"]):
+            assert row["closed_form"] == pytest.approx(row["monte_carlo"], rel=0.05)
+        # The birthday analogy always underestimates.
+        assert row["birthday"] < row["closed_form"]
+    # Paper headline: n_fail(2b) = 561 for b = 100,000; birthday is ~40% low.
+    big = result.rows[-1]
+    assert round(big["closed_form"]) == 561
+    assert big["closed_form"] / big["birthday"] == pytest.approx(math.sqrt(2), rel=0.01)
+
+
+def test_asymptotic_table(benchmark, report):
+    result = run_once(benchmark, lambda: tables.asymptotic_table())
+    report(result)
+
+    # Paper: restart up to 8.4% faster; wins for x <= 0.64.
+    assert result.meta["gain"] == pytest.approx(0.084, abs=0.002)
+    assert result.meta["breakeven"] == pytest.approx(0.64, abs=0.005)
+    for row in result.rows:
+        assert row["restart_faster"] == (row["x"] < 0.6401)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Capacity planning: when should a machine turn on process replication?
+
+The scenario the paper's Figures 9–10 motivate: you operate a platform and
+run a week-long tightly-coupled application (Amdahl sequential fraction
+1e-5, active-replication slowdown 20 %).  As the machine grows — or its
+nodes age and their MTBF drops — plain checkpoint/restart stops making
+progress and full replication with the *restart* strategy becomes the
+fastest (sometimes the only) way to finish.
+
+This example sweeps the platform size at 5-year node MTBF and prints the
+time-to-solution of each configuration, flagging the replication crossover.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import YEAR, CheckpointCosts
+from repro.core import (
+    AmdahlApplication,
+    no_restart_period,
+    restart_period,
+    young_daly_period,
+)
+from repro.exceptions import SimulationError
+from repro.simulation import simulate_no_replication, simulate_no_restart, simulate_restart
+from repro.util.units import DAY, WEEK
+
+MU = 5 * YEAR
+COSTS = CheckpointCosts(checkpoint=600.0)  # remote-storage checkpoints
+GAMMA, ALPHA = 1e-5, 0.2
+SIZES = (25_000, 50_000, 100_000, 200_000, 400_000)
+
+
+def main() -> None:
+    app = AmdahlApplication(
+        sequential_fraction=GAMMA,
+        replication_slowdown=ALPHA,
+        sequential_work=WEEK / (GAMMA + (1 - GAMMA) / 100_000),
+    )
+    print("one-week app, C = 600 s (remote storage), node MTBF = 5 y")
+    print(f"{'N':>9}  {'no-repl (days)':>15}  {'restart (days)':>15}  best")
+    crossover = None
+    for n in SIZES:
+        b = n // 2
+        t_yd = young_daly_period(MU, COSTS.checkpoint, n)
+        try:
+            plain = simulate_no_replication(
+                mtbf=MU, n_procs=n, period=t_yd, costs=COSTS,
+                n_periods=60, n_runs=40, seed=n,
+            )
+            tts_plain = app.parallel_time(n, replicated=False) * (1 + plain.mean_overhead) / DAY
+        except SimulationError:
+            tts_plain = float("inf")
+
+        t_rs = restart_period(MU, COSTS.restart_checkpoint, b)
+        repl = simulate_restart(
+            mtbf=MU, n_pairs=b, period=t_rs, costs=COSTS,
+            n_periods=60, n_runs=40, seed=n + 1,
+        )
+        tts_repl = app.parallel_time(n, replicated=True) * (1 + repl.mean_overhead) / DAY
+
+        best = "replicate" if tts_repl < tts_plain else "run plain"
+        if best == "replicate" and crossover is None:
+            crossover = n
+        print(f"{n:>9,}  {tts_plain:>15.2f}  {tts_repl:>15.2f}  {best}")
+
+    if crossover:
+        print(f"\n=> turn on replication from N ~ {crossover:,} processors "
+              "(paper: ~2.5e4 for C = 600 s)")
+    else:
+        print("\n=> replication does not pay off in this sweep")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Heterogeneous platforms: when partial replication finally pays off.
+
+The paper shows partial replication never wins on a *homogeneous* platform
+and notes it "has potential benefit only for heterogeneous platforms".
+This example builds that heterogeneous platform: 20,000 processors where
+10 % of the nodes (say, an older rack, or nodes with failing DIMMs) are far
+less reliable than the rest, and compares three deployments for the same
+application:
+
+1. no replication — Young/Daly checkpointing sized to the aggregate rate;
+2. full replication with the restart strategy — safe but half the machine
+   does redundant work;
+3. partial replication of exactly the flaky tier — the survivors of each
+   flaky pair absorb that tier's failures while the healthy 90 % of the
+   machine runs at full throughput.
+
+Run:  python examples/heterogeneous_platform.py
+"""
+
+from repro.experiments import heterogeneous
+
+
+def main() -> None:
+    result = heterogeneous.run(
+        quick=True,
+        seed=7,
+        n_procs=20_000,
+        unreliable_fraction=0.1,
+        factors=(3.0, 10.0, 30.0, 100.0, 300.0, 1000.0),
+    )
+    print(result.to_text(float_fmt="{:.4g}"))
+    print()
+    winners = [(row["factor"], row["winner"]) for row in result.rows]
+    flip = next((f for f, w in winners if w == "partial_flaky"), None)
+    if flip is not None:
+        print(
+            f"=> once the flaky tier is ~{flip:.0f}x less reliable than the rest,\n"
+            "   replicating just that tier beats both plain checkpointing and\n"
+            "   full replication — partial replication needs heterogeneity,\n"
+            "   exactly as the paper conjectured."
+        )
+    else:
+        print("=> no partial-replication regime found in this sweep")
+
+
+if __name__ == "__main__":
+    main()

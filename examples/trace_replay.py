@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Replaying failure logs: does the restart strategy survive real-world
+failure correlation?
+
+The analysis assumes IID exponential failures; production logs show bursts
+and cascades.  This example synthesises the two LANL-like traces the paper
+evaluates (LANL#18: uncorrelated; LANL#2: correlated cascades), replays
+them on the 200,000-processor platform with the paper's group/rotation
+methodology, and compares the measured overheads with the IID model —
+including the trace round-trip through the CSV file format.
+
+Run:  python examples/trace_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import CheckpointCosts, make_lanl2_like, make_lanl18_like
+from repro.core import no_restart_period, restart_overhead, restart_period
+from repro.experiments.common import PAPER_MTBF
+from repro.failures import cascade_fraction, dispersion_index, is_correlated
+from repro.io import read_trace, write_trace
+from repro.simulation import no_restart_policy, restart_policy, simulate_with_trace
+
+N = 200_000
+B = N // 2
+COSTS = CheckpointCosts(checkpoint=60.0)
+GROUPS = {"LANL#18-like": 32, "LANL#2-like": 64}  # paper's group counts
+
+
+def main() -> None:
+    t_rs = restart_period(PAPER_MTBF, COSTS.restart_checkpoint, B)
+    t_no = no_restart_period(PAPER_MTBF, COSTS.checkpoint, B)
+    model = restart_overhead(t_rs, COSTS.restart_checkpoint, PAPER_MTBF, B)
+    print(f"IID model overhead for Restart(T_opt^rs): {model:.3%}\n")
+
+    for trace in (make_lanl18_like(seed=1), make_lanl2_like(seed=2)):
+        # Round-trip through the on-disk format, as an external user would.
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "trace.csv"
+            write_trace(trace, path)
+            trace = read_trace(path)
+
+        print(trace.describe())
+        print(f"  dispersion index : {dispersion_index(trace):.2f} (Poisson = 1)")
+        print(f"  cascade fraction : {cascade_fraction(trace):.2%}")
+        print(f"  correlated?      : {is_correlated(trace)}")
+
+        groups = GROUPS[trace.name]
+        rs = simulate_with_trace(
+            restart_policy(t_rs, COSTS), trace, n_procs=N, n_groups=groups,
+            costs=COSTS, n_periods=60, n_runs=25, seed=10,
+        )
+        nr = simulate_with_trace(
+            no_restart_policy(t_no, COSTS), trace, n_procs=N, n_groups=groups,
+            costs=COSTS, n_periods=60, n_runs=25, seed=11,
+        )
+        print(f"  Restart(T_opt^rs)     : {rs.mean_overhead:.3%}")
+        print(f"  NoRestart(T_MTTI^no)  : {nr.mean_overhead:.3%}")
+        print(f"  restart still best?   : {rs.mean_overhead < nr.mean_overhead}\n")
+
+    print("correlated failures raise everyone's overhead, but restart keeps winning.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+"""repro — reproduction of *Replication Is More Efficient Than You Think* (SC'19).
+
+The package provides:
+
+* :mod:`repro.core` — the paper's analytic results: closed-form MTTI with
+  replication (Theorem 4.1), the *restart* strategy's optimal checkpointing
+  period ``T_opt^rs = (3 C^R / (4 b lambda^2))^(1/3)``, overhead models,
+  Amdahl-law time-to-solution, and the Section 6 asymptotics;
+* :mod:`repro.failures` — failure-model substrate: distributions, failure
+  traces (with the paper's group/rotation rescaling), synthetic LANL-like
+  logs and correlation diagnostics;
+* :mod:`repro.platform_model` — platform layout and checkpoint cost model;
+* :mod:`repro.simulation` — vectorised Monte-Carlo engines for every
+  strategy the paper evaluates (restart, no-restart, restart-on-failure,
+  non-periodic, n-bound restart, partial/no replication);
+* :mod:`repro.experiments` — one driver per paper figure/table;
+* :mod:`repro.io` — trace file and result serialisation;
+* :mod:`repro.cli` — ``repro-sim`` command-line interface.
+
+Quickstart
+----------
+>>> import repro
+>>> mu = 5 * repro.YEAR          # individual processor MTBF
+>>> b = 100_000                  # replicated pairs (N = 200,000)
+>>> costs = repro.CheckpointCosts(checkpoint=60.0)
+>>> T_rs = repro.restart_period(mu, costs.restart_checkpoint, b)
+>>> T_no = repro.no_restart_period(mu, costs.checkpoint, b)
+>>> T_rs > 2 * T_no              # the headline: much longer periods
+True
+"""
+
+from repro.core import (
+    AmdahlApplication,
+    EnergyBreakdown,
+    PowerModel,
+    asymptotic_ratio,
+    best_gain,
+    breakeven_x,
+    energy_overhead,
+    interruption_cdf,
+    interruption_quantile,
+    interruption_survival,
+    mtti,
+    nfail,
+    no_replication_overhead,
+    no_restart_overhead,
+    no_restart_period,
+    restart_optimal_overhead,
+    restart_overhead,
+    restart_period,
+    sample_time_to_interruption,
+    time_to_solution,
+    young_daly_period,
+)
+from repro.exceptions import (
+    ConvergenceError,
+    ModelDomainError,
+    ParameterError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from repro.failures import (
+    Exponential,
+    FailureTrace,
+    Gamma,
+    LogNormal,
+    Weibull,
+    make_lanl2_like,
+    make_lanl18_like,
+)
+from repro.platform_model import BUDDY_60S, REMOTE_600S, CheckpointCosts, Platform, RackTopology
+from repro.simulation import (
+    RunSet,
+    io_pressure,
+    simulate_nbound,
+    simulate_no_replication,
+    simulate_no_restart,
+    simulate_non_periodic,
+    simulate_partial_replication,
+    simulate_restart,
+    simulate_restart_on_failure,
+    simulate_with_trace,
+)
+from repro.util import DAY, HOUR, MINUTE, WEEK, YEAR
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core formulas
+    "nfail",
+    "mtti",
+    "interruption_cdf",
+    "interruption_survival",
+    "interruption_quantile",
+    "sample_time_to_interruption",
+    "young_daly_period",
+    "no_restart_period",
+    "restart_period",
+    "restart_overhead",
+    "restart_optimal_overhead",
+    "no_restart_overhead",
+    "no_replication_overhead",
+    "AmdahlApplication",
+    "time_to_solution",
+    "asymptotic_ratio",
+    "best_gain",
+    "breakeven_x",
+    "PowerModel",
+    "EnergyBreakdown",
+    "energy_overhead",
+    # platform
+    "Platform",
+    "CheckpointCosts",
+    "BUDDY_60S",
+    "REMOTE_600S",
+    "RackTopology",
+    # failures
+    "FailureTrace",
+    "Exponential",
+    "Weibull",
+    "LogNormal",
+    "Gamma",
+    "make_lanl2_like",
+    "make_lanl18_like",
+    # simulation
+    "RunSet",
+    "simulate_restart",
+    "simulate_no_restart",
+    "simulate_nbound",
+    "simulate_non_periodic",
+    "simulate_no_replication",
+    "simulate_partial_replication",
+    "simulate_restart_on_failure",
+    "simulate_with_trace",
+    "io_pressure",
+    # units
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "YEAR",
+    # exceptions
+    "ReproError",
+    "ParameterError",
+    "ModelDomainError",
+    "SimulationError",
+    "TraceError",
+    "ConvergenceError",
+]

@@ -1,0 +1,236 @@
+"""Command-line interface: ``repro-sim`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``figure``      run one paper experiment and print its table
+``list``        list available experiments
+``periods``     print the optimal periods for a configuration
+``simulate``    run one strategy at one configuration point
+``trace``       synthesise a LANL-like trace to a CSV file
+
+Examples
+--------
+.. code-block:: shell
+
+    repro-sim list
+    repro-sim figure fig5-c60 --quick
+    repro-sim periods --mtbf-years 5 --pairs 100000 --checkpoint 60
+    repro-sim simulate restart --mtbf-years 5 --pairs 100000 --checkpoint 60
+    repro-sim trace lanl2 --out lanl2.csv --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.util.units import YEAR
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description=(
+            "Reproduction of 'Replication Is More Efficient Than You Think' "
+            "(SC'19): analytic formulas and Monte-Carlo simulation."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list available experiments")
+
+    p_fig = sub.add_parser("figure", help="run a paper experiment")
+    p_fig.add_argument("name", help="experiment name (see 'list')")
+    p_fig.add_argument("--full", action="store_true", help="paper-scale sample counts")
+    p_fig.add_argument("--seed", type=int, default=2019)
+    p_fig.add_argument("--json", metavar="PATH", help="also save the table as JSON")
+    p_fig.add_argument(
+        "--plot", action="store_true", help="render the series as an ASCII chart"
+    )
+
+    p_per = sub.add_parser("periods", help="print optimal checkpointing periods")
+    _add_platform_args(p_per)
+
+    p_sim = sub.add_parser("simulate", help="simulate one strategy")
+    p_sim.add_argument(
+        "strategy",
+        choices=["restart", "no-restart", "restart-on-failure", "no-replication"],
+    )
+    _add_platform_args(p_sim)
+    p_sim.add_argument("--period", type=float, help="period in seconds (default: optimal)")
+    p_sim.add_argument("--periods", type=int, default=100, help="periods per run")
+    p_sim.add_argument("--runs", type=int, default=200)
+    p_sim.add_argument("--restart-factor", type=float, default=1.0, help="C^R / C in [1,2]")
+    p_sim.add_argument("--seed", type=int, default=None)
+
+    p_tr = sub.add_parser("trace", help="synthesise a LANL-like failure trace")
+    p_tr.add_argument("kind", choices=["lanl2", "lanl18"])
+    p_tr.add_argument("--out", required=True, help="output CSV path")
+    p_tr.add_argument("--seed", type=int, default=None)
+
+    p_rep = sub.add_parser(
+        "report", help="run experiments and write a combined Markdown report"
+    )
+    p_rep.add_argument("--out", default="report", help="output directory")
+    p_rep.add_argument(
+        "--only", nargs="*", metavar="NAME",
+        help="experiment names (default: all; see 'list')",
+    )
+    p_rep.add_argument("--full", action="store_true", help="paper-scale sample counts")
+    p_rep.add_argument("--seed", type=int, default=2019)
+    return parser
+
+
+def _add_platform_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--mtbf-years", type=float, default=5.0, help="individual MTBF (years)")
+    p.add_argument("--pairs", type=int, default=100_000, help="replicated pairs b")
+    p.add_argument("--checkpoint", type=float, default=60.0, help="checkpoint cost C (s)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except BrokenPipeError:  # pragma: no cover
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "list":
+        from repro.experiments import ALL_EXPERIMENTS
+
+        for name in sorted(ALL_EXPERIMENTS):
+            print(name)
+        return 0
+
+    if args.command == "figure":
+        from repro.experiments import ALL_EXPERIMENTS
+
+        try:
+            driver = ALL_EXPERIMENTS[args.name]
+        except KeyError:
+            print(
+                f"unknown experiment {args.name!r}; run 'repro-sim list'",
+                file=sys.stderr,
+            )
+            return 2
+        result = driver(quick=not args.full, seed=args.seed)
+        print(result.to_text())
+        if args.plot:
+            from repro.exceptions import ParameterError
+            from repro.util.ascii_chart import chart_experiment
+
+            try:
+                print()
+                print(chart_experiment(result))
+            except ParameterError as exc:
+                print(f"(not plottable: {exc})", file=sys.stderr)
+        if args.json:
+            from repro.io import save_experiment
+
+            save_experiment(result, args.json)
+            print(f"saved: {args.json}")
+        return 0
+
+    if args.command == "periods":
+        from repro.core import mtti, no_restart_period, restart_period, young_daly_period
+
+        mu = args.mtbf_years * YEAR
+        b, c = args.pairs, args.checkpoint
+        print(f"platform: b={b:,} pairs (N={2 * b:,}), mu={args.mtbf_years}y, C={c:g}s")
+        print(f"MTTI M_2b            : {mtti(mu, b):,.0f} s")
+        print(f"T_opt (Young/Daly)   : {young_daly_period(mu, c, 2 * b):,.0f} s")
+        print(f"T_MTTI^no (Eq. 11)   : {no_restart_period(mu, c, b):,.0f} s")
+        print(f"T_opt^rs  (Eq. 20)   : {restart_period(mu, c, b):,.0f} s")
+        return 0
+
+    if args.command == "simulate":
+        return _run_simulate(args)
+
+    if args.command == "trace":
+        from repro.failures import make_lanl2_like, make_lanl18_like
+        from repro.io import write_trace
+
+        trace = make_lanl2_like(args.seed) if args.kind == "lanl2" else make_lanl18_like(args.seed)
+        write_trace(trace, args.out)
+        print(f"wrote {trace.describe()} to {args.out}")
+        return 0
+
+    if args.command == "report":
+        from repro.exceptions import ParameterError
+        from repro.experiments.report import generate_report
+
+        try:
+            path = generate_report(
+                args.out,
+                names=args.only,
+                quick=not args.full,
+                seed=args.seed,
+                progress=print,
+            )
+        except ParameterError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(f"report written to {path}")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    from repro.core import no_restart_period, restart_period, young_daly_period
+    from repro.platform_model import CheckpointCosts
+    from repro.simulation import (
+        io_pressure,
+        simulate_no_replication,
+        simulate_no_restart,
+        simulate_restart,
+        simulate_restart_on_failure,
+    )
+
+    mu = args.mtbf_years * YEAR
+    b, c = args.pairs, args.checkpoint
+    costs = CheckpointCosts(checkpoint=c, restart_factor=args.restart_factor)
+
+    if args.strategy == "restart":
+        period = args.period or restart_period(mu, costs.restart_checkpoint, b)
+        runs = simulate_restart(
+            mtbf=mu, n_pairs=b, period=period, costs=costs,
+            n_periods=args.periods, n_runs=args.runs, seed=args.seed,
+        )
+    elif args.strategy == "no-restart":
+        period = args.period or no_restart_period(mu, c, b)
+        runs = simulate_no_restart(
+            mtbf=mu, n_pairs=b, period=period, costs=costs,
+            n_periods=args.periods, n_runs=args.runs, seed=args.seed,
+        )
+    elif args.strategy == "restart-on-failure":
+        period = args.period or restart_period(mu, costs.restart_checkpoint, b)
+        runs = simulate_restart_on_failure(
+            mtbf=mu, n_pairs=b, work_target=args.periods * period, costs=costs,
+            n_runs=args.runs, seed=args.seed,
+        )
+    else:  # no-replication
+        n = 2 * b
+        period = args.period or young_daly_period(mu, c, n)
+        runs = simulate_no_replication(
+            mtbf=mu, n_procs=n, period=period, costs=costs,
+            n_periods=args.periods, n_runs=args.runs, seed=args.seed,
+        )
+
+    summary = runs.overhead_summary()
+    pressure = io_pressure(runs)
+    print(f"strategy          : {runs.label}")
+    print(f"period            : {period:,.0f} s")
+    print(f"overhead          : {summary.mean:.4%} +/- {summary.halfwidth:.4%} ({summary.n_runs} runs)")
+    print(f"crashes per run   : {runs.n_fatal.mean():.3f}")
+    print(f"failures per run  : {runs.n_failures.mean():.1f}")
+    print(f"checkpoints / day : {pressure.checkpoints_per_day:.2f}")
+    print(f"I/O time fraction : {pressure.io_time_fraction:.4%}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,152 @@
+"""Analytic core: the paper's formulas.
+
+Submodules
+----------
+``nfail``
+    Expected failures to interruption — Theorem 4.1 closed form plus every
+    alternative estimate the paper discusses.
+``mtti``
+    MTTI (Eq. 8) and time-to-application-failure distributions (Figure 1).
+``periods``
+    Optimal checkpointing periods: Young/Daly, ``T_MTTI^no``, ``T_opt^rs``.
+``overhead``
+    First-order and exact expected-time overhead models (Eqs. 7–21).
+``amdahl``
+    Time-to-solution under Amdahl's law (Eqs. 22–23).
+``asymptotic``
+    Scale-free restart/no-restart ratio (Section 6).
+``energy``
+    Energy-overhead accounting (companion-report extension).
+"""
+
+from repro.core.amdahl import (
+    AmdahlApplication,
+    parallel_time_factor,
+    time_to_solution,
+    work_between_checkpoints,
+)
+from repro.core.asymptotic import asymptotic_ratio, best_gain, breakeven_x
+from repro.core.daly import (
+    daly_higher_order_period,
+    exact_optimal_period,
+    exact_overhead,
+)
+from repro.core.energy import EnergyBreakdown, PowerModel, energy_overhead
+from repro.core.mtti import (
+    interruption_cdf,
+    interruption_quantile,
+    interruption_survival,
+    mtti,
+    mtti_numerical,
+    no_replication_cdf,
+    no_replication_quantile,
+    platform_mtbf,
+    sample_time_to_interruption,
+)
+from repro.core.norestart_numeric import (
+    norestart_finite_horizon_overhead,
+    norestart_optimal_period,
+    norestart_stationary_overhead,
+    norestart_transition,
+)
+from repro.core.nfail import (
+    nfail,
+    nfail_birthday_approx,
+    nfail_integral,
+    nfail_monte_carlo,
+    nfail_recursive,
+    nfail_stirling_approx,
+)
+from repro.core.overhead import (
+    expected_period_time_exact,
+    expected_period_time_one_pair,
+    no_replication_optimal_overhead,
+    no_replication_overhead,
+    no_restart_overhead,
+    pair_probability_of_failure,
+    restart_optimal_overhead,
+    restart_overhead,
+    restart_overhead_exact,
+    restart_overhead_one_pair_exact,
+    tlost_one_pair_exact,
+)
+from repro.core.quantized import quantization_penalty, quantize_period
+from repro.core.weibull_analysis import (
+    expected_loss_given_fatal,
+    fatal_probability,
+    optimal_period_renewal,
+    renewal_overhead,
+)
+from repro.core.periods import (
+    no_restart_period,
+    period_order_exponent,
+    restart_period,
+    young_daly_period,
+)
+
+__all__ = [
+    # nfail
+    "nfail",
+    "nfail_recursive",
+    "nfail_integral",
+    "nfail_birthday_approx",
+    "nfail_stirling_approx",
+    "nfail_monte_carlo",
+    # mtti
+    "platform_mtbf",
+    "mtti",
+    "mtti_numerical",
+    "interruption_cdf",
+    "interruption_survival",
+    "interruption_quantile",
+    "no_replication_cdf",
+    "no_replication_quantile",
+    "sample_time_to_interruption",
+    # periods
+    "young_daly_period",
+    "no_restart_period",
+    "restart_period",
+    "period_order_exponent",
+    # overhead
+    "no_replication_overhead",
+    "no_replication_optimal_overhead",
+    "no_restart_overhead",
+    "restart_overhead",
+    "restart_optimal_overhead",
+    "pair_probability_of_failure",
+    "tlost_one_pair_exact",
+    "expected_period_time_one_pair",
+    "restart_overhead_one_pair_exact",
+    "expected_period_time_exact",
+    "restart_overhead_exact",
+    # no-restart numerical oracle
+    "norestart_transition",
+    "norestart_stationary_overhead",
+    "norestart_finite_horizon_overhead",
+    "norestart_optimal_period",
+    # daly (exact single-level checkpointing)
+    "exact_overhead",
+    "exact_optimal_period",
+    "daly_higher_order_period",
+    # non-exponential renewal analysis
+    "fatal_probability",
+    "expected_loss_given_fatal",
+    "renewal_overhead",
+    "optimal_period_renewal",
+    # iteration quantization
+    "quantize_period",
+    "quantization_penalty",
+    # amdahl
+    "AmdahlApplication",
+    "parallel_time_factor",
+    "work_between_checkpoints",
+    "time_to_solution",
+    # asymptotic
+    "asymptotic_ratio",
+    "best_gain",
+    "breakeven_x",
+    # energy
+    "PowerModel",
+    "EnergyBreakdown",
+    "energy_overhead",
+]

@@ -1,0 +1,134 @@
+"""Time-to-solution under Amdahl's law (paper Section 5).
+
+Applications are not perfectly parallel: a fraction ``gamma`` of the work is
+inherently sequential, so ``W`` units of work on ``N`` processors take
+``T_Amdahl = (gamma + (1-gamma)/N) W``.  Active replication halves the
+processor count seen by the application (``b = N/2`` pairs) and additionally
+slows communication by a factor ``(1 + alpha)``.
+
+This module computes:
+
+* parallel efficiency factors with and without replication,
+* the optimal work-between-checkpoints ``W_opt`` (paper Section 5),
+* the final time-to-solution (paper Eqs. 22–23) given an overhead model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_fraction, check_positive, check_positive_int
+
+__all__ = [
+    "AmdahlApplication",
+    "parallel_time_factor",
+    "work_between_checkpoints",
+    "time_to_solution",
+]
+
+
+@dataclass(frozen=True)
+class AmdahlApplication:
+    """An application following Amdahl's law.
+
+    Parameters
+    ----------
+    sequential_fraction:
+        ``gamma``, the fraction of inherently sequential work (the paper
+        uses ``1e-5`` following Hussain et al. [25]).
+    replication_slowdown:
+        ``alpha``, the active-replication communication slowdown; the
+        replicated failure-free time is multiplied by ``1 + alpha``
+        (the paper uses 0 or 0.2).
+    sequential_work:
+        ``W_seq``: total work in seconds of single-processor execution
+        (unit speed).
+    """
+
+    sequential_fraction: float = 1e-5
+    replication_slowdown: float = 0.2
+    sequential_work: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_fraction("sequential_fraction", self.sequential_fraction)
+        check_positive("replication_slowdown", self.replication_slowdown, allow_zero=True)
+        check_positive("sequential_work", self.sequential_work)
+
+    def parallel_time(self, n_procs: int, *, replicated: bool) -> float:
+        """Failure-free execution time on *n_procs* processors.
+
+        With replication the application computes on ``n_procs / 2`` logical
+        processors and pays the ``(1 + alpha)`` communication slowdown.
+        """
+        return self.sequential_work * parallel_time_factor(
+            self.sequential_fraction,
+            n_procs,
+            replicated=replicated,
+            replication_slowdown=self.replication_slowdown,
+        )
+
+
+def parallel_time_factor(
+    gamma: float,
+    n_procs: int,
+    *,
+    replicated: bool,
+    replication_slowdown: float = 0.0,
+) -> float:
+    """Failure-free time per unit of sequential work.
+
+    ``gamma + (1-gamma)/N`` without replication;
+    ``(1+alpha) (gamma + 2(1-gamma)/N)`` with replication on ``N = 2b``
+    processors (paper Section 5).
+    """
+    gamma = check_fraction("gamma", gamma)
+    n_procs = check_positive_int("n_procs", n_procs)
+    alpha = check_positive("replication_slowdown", replication_slowdown, allow_zero=True)
+    if replicated:
+        if n_procs % 2 != 0:
+            from repro.exceptions import ParameterError
+
+            raise ParameterError(
+                f"replication requires an even number of processors, got {n_procs}"
+            )
+        return (1.0 + alpha) * (gamma + 2.0 * (1.0 - gamma) / n_procs)
+    return gamma + (1.0 - gamma) / n_procs
+
+
+def work_between_checkpoints(
+    period: float,
+    gamma: float,
+    n_procs: int,
+    *,
+    replicated: bool,
+    replication_slowdown: float = 0.0,
+) -> float:
+    """Optimal work units between checkpoints (paper Section 5).
+
+    ``W_opt = T / (gamma + (1-gamma)/N)`` without replication and
+    ``W_opt = T / ((1+alpha)(gamma + 2(1-gamma)/N))`` with replication:
+    the period is a wall-clock budget, so the work fitting in it shrinks by
+    the parallel-efficiency factor.
+    """
+    period = check_positive("period", period)
+    factor = parallel_time_factor(
+        gamma, n_procs, replicated=replicated, replication_slowdown=replication_slowdown
+    )
+    return period / factor
+
+
+def time_to_solution(
+    app: AmdahlApplication,
+    n_procs: int,
+    overhead: float,
+    *,
+    replicated: bool,
+) -> float:
+    """Time-to-solution given a fault-tolerance overhead (paper Eqs. 22–23).
+
+    ``T_final = T_par * (H(T) + 1)`` where ``T_par`` is the failure-free
+    parallel time; *overhead* is ``H(T)`` from the analytic model or from
+    simulation.
+    """
+    check_positive("overhead", overhead, allow_zero=True)
+    return app.parallel_time(n_procs, replicated=replicated) * (overhead + 1.0)

@@ -1,0 +1,85 @@
+"""Asymptotic comparison of *restart* vs *no-restart* (paper Section 6).
+
+Assume checkpoint technology keeps pace with machine growth so that
+``C = x * M_N`` for a small constant ``x < 1`` (checkpoint time stays a
+fixed fraction of the MTTI).  Then the time-to-solution ratio of the two
+strategies is scale-free::
+
+    R(x) = (H^rs(T_opt^rs) + 1) / (H^no(T_MTTI^no) + 1)
+         = (cbrt(9/8 * pi * x^2) + 1) / (sqrt(2 x) + 1)
+
+The paper reports that restart is up to ~8.4 % faster and wins whenever the
+checkpoint takes less than about 2/3 of the MTTI (x <= 0.64).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConvergenceError
+from repro.util.validation import check_positive
+
+__all__ = [
+    "asymptotic_ratio",
+    "best_gain",
+    "breakeven_x",
+]
+
+
+def asymptotic_ratio(x: float) -> float:
+    """Restart/no-restart time-to-solution ratio ``R(x)`` under ``C = x M_N``.
+
+    Values below 1 mean the *restart* strategy is faster.  Derivation: with
+    ``C = x M_N`` and ``M_N = sqrt(pi b) * mu/(2b)`` (Stirling), both ``b``
+    and ``mu`` cancel out of ``H^rs(T_opt^rs) = (3 C sqrt(b) / (sqrt(2) mu))^{2/3}``
+    and ``H^no(T_MTTI^no) = sqrt(2 C / M_N)``, leaving the closed form above.
+
+    >>> asymptotic_ratio(1e-9) == 1.0  # both overheads vanish
+    False
+    >>> 0.9 < asymptotic_ratio(0.1) < 1.0
+    True
+    """
+    x = check_positive("x", x)
+    numerator = (9.0 / 8.0 * math.pi * x * x) ** (1.0 / 3.0) + 1.0
+    denominator = math.sqrt(2.0 * x) + 1.0
+    return numerator / denominator
+
+
+def best_gain(*, n_grid: int = 200_001, x_max: float = 1.0) -> tuple[float, float]:
+    """Largest relative gain of restart over no-restart and its argmin.
+
+    Returns ``(x_star, gain)`` where ``gain = 1 - R(x_star)`` maximised over
+    ``x in (0, x_max]``.  The paper reports a gain of up to 8.4 %.
+    """
+    check_positive("x_max", x_max)
+    best_x, best_ratio = 0.0, 1.0
+    for i in range(1, n_grid + 1):
+        x = x_max * i / n_grid
+        r = asymptotic_ratio(x)
+        if r < best_ratio:
+            best_ratio, best_x = r, x
+    return best_x, 1.0 - best_ratio
+
+
+def breakeven_x(*, tolerance: float = 1e-12, max_iter: int = 200) -> float:
+    """The crossover ``x`` beyond which no-restart becomes faster.
+
+    Solves ``R(x) = 1`` for ``x > 0`` by bisection.  The paper reports
+    ``x ~ 0.64`` ("as long as the checkpoint time takes less than 2/3 of
+    the MTTI").
+    """
+    lo, hi = 1e-6, 10.0
+    f = lambda x: asymptotic_ratio(x) - 1.0
+    if f(lo) >= 0 or f(hi) <= 0:  # pragma: no cover - structural guarantee
+        raise ConvergenceError("breakeven bracket invalid; R(x) shape unexpected")
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        if f(mid) < 0:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tolerance:
+            break
+    else:  # pragma: no cover
+        raise ConvergenceError("bisection for breakeven x did not converge")
+    return 0.5 * (lo + hi)

@@ -1,0 +1,144 @@
+"""Exact and higher-order optimal periods without replication.
+
+Section 3.1 of the paper notes that the exact optimiser of the
+single-processor overhead "involves the Lambert function [14, 24]" before
+falling back to the first-order Young/Daly formula.  This module provides
+that exact machinery, both as an independent correctness oracle for the
+first-order results and because downstream users running on small/medium
+platforms (where ``lambda T`` is not tiny) benefit from the tighter
+optimum:
+
+* :func:`exact_overhead` — the *exact* expected overhead
+  ``H(T) = C/T + (e^{lambda T} - 1)(D + R + mu)/T - 1`` from the renewal
+  equation (paper Eq. 2 instantiated for the exponential);
+* :func:`exact_optimal_period` — its exact minimiser via the Lambert W
+  function: ``T* = mu (1 + W0(K/e))`` with ``K = C/(D + R + mu) - 1``;
+* :func:`daly_higher_order_period` — Daly's 2006 higher-order estimate
+  ``sqrt(2 mu C) [1 + (1/3) sqrt(C/(2 mu)) + (1/9)(C/(2 mu))]`` (valid for
+  ``C < 2 mu``, saturating at ``T = mu`` beyond).
+
+All of these collapse to Young/Daly as ``lambda -> 0``; the test suite
+checks the collapse and the exact optimality.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy.special import lambertw
+
+from repro.exceptions import ModelDomainError
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = [
+    "exact_overhead",
+    "exact_optimal_period",
+    "daly_higher_order_period",
+]
+
+
+def exact_overhead(
+    period: float,
+    checkpoint_cost: float,
+    mu: float,
+    *,
+    n_procs: int = 1,
+    downtime: float = 0.0,
+    recovery: float = 0.0,
+) -> float:
+    """Exact expected overhead of periodic checkpointing, no replication.
+
+    From the renewal equation (paper Eq. 2) with exponential failures of
+    platform rate ``N / mu``::
+
+        E(T) = T + C + (e^{Lambda T} - 1) (D + R + 1/Lambda)  - T ... ;
+        H(T) = E(T)/T - 1
+             = C/T + (e^{Lambda T} - 1)(D + R + 1/Lambda)/T - 1
+
+    where ``Lambda = N / mu``.  Exact under the paper's assumption that
+    failures strike during work only (relaxing it shifts ``T`` to ``T + C``
+    in the exponent without changing the optimum to first order, as the
+    paper discusses).
+    """
+    period = check_positive("period", period)
+    checkpoint_cost = check_positive("checkpoint_cost", checkpoint_cost)
+    mu = check_positive("mu", mu)
+    n_procs = check_positive_int("n_procs", n_procs)
+    downtime = check_positive("downtime", downtime, allow_zero=True)
+    recovery = check_positive("recovery", recovery, allow_zero=True)
+    lam = n_procs / mu
+    growth = math.expm1(lam * period)  # e^{Lambda T} - 1
+    return (
+        checkpoint_cost / period
+        + growth * (downtime + recovery + 1.0 / lam) / period
+        - 1.0
+    )
+
+
+def exact_optimal_period(
+    checkpoint_cost: float,
+    mu: float,
+    *,
+    n_procs: int = 1,
+    downtime: float = 0.0,
+    recovery: float = 0.0,
+) -> float:
+    """Exact minimiser of :func:`exact_overhead` via the Lambert W function.
+
+    Setting the derivative to zero gives
+    ``e^{Lambda T}(Lambda T - 1) = C/(D + R + 1/Lambda) - 1``; substituting
+    ``u = Lambda T - 1`` turns it into ``u e^u = K / e`` with
+    ``K = C/(D + R + 1/Lambda) - 1``, hence ``T = (1 + W0(K/e)) / Lambda``.
+
+    Raises :class:`~repro.exceptions.ModelDomainError` when no positive
+    stationary point exists (checkpoint cost so large relative to the MTBF
+    that ``K/e < -1/e``, i.e. never — or the argument falls on the branch
+    cut; in practice this triggers only for degenerate inputs).
+    """
+    checkpoint_cost = check_positive("checkpoint_cost", checkpoint_cost)
+    mu = check_positive("mu", mu)
+    n_procs = check_positive_int("n_procs", n_procs)
+    downtime = check_positive("downtime", downtime, allow_zero=True)
+    recovery = check_positive("recovery", recovery, allow_zero=True)
+    lam = n_procs / mu
+    k = checkpoint_cost / (downtime + recovery + 1.0 / lam) - 1.0
+    arg = k / math.e
+    if arg < -1.0 / math.e:
+        raise ModelDomainError(
+            "no stationary point: checkpoint cost too small relative to "
+            "downtime+recovery for the exact model"
+        )
+    w = lambertw(arg, 0)
+    if abs(w.imag) > 1e-12:  # pragma: no cover - defensive
+        raise ModelDomainError("Lambert W returned a complex branch value")
+    period = (1.0 + w.real) / lam
+    if period <= 0:
+        raise ModelDomainError(
+            "exact optimum is non-positive: the platform fails faster than "
+            "it can checkpoint"
+        )
+    return float(period)
+
+
+def daly_higher_order_period(
+    checkpoint_cost: float,
+    mu: float,
+    *,
+    n_procs: int = 1,
+) -> float:
+    """Daly's higher-order optimum estimate [Daly 2006].
+
+    ``T = sqrt(2 mu_N C) [1 + (1/3) sqrt(C / (2 mu_N)) + (1/9) (C/(2 mu_N))]
+    - C`` for ``C < 2 mu_N``, and ``T = mu_N`` otherwise (checkpointing as
+    often as the platform fails).  More accurate than Young/Daly when the
+    checkpoint cost is a non-negligible fraction of the platform MTBF.
+    """
+    checkpoint_cost = check_positive("checkpoint_cost", checkpoint_cost)
+    mu = check_positive("mu", mu)
+    n_procs = check_positive_int("n_procs", n_procs)
+    mu_n = mu / n_procs
+    if checkpoint_cost >= 2.0 * mu_n:
+        return mu_n
+    ratio = checkpoint_cost / (2.0 * mu_n)
+    base = math.sqrt(2.0 * mu_n * checkpoint_cost)
+    return base * (1.0 + math.sqrt(ratio) / 3.0 + ratio / 9.0) - checkpoint_cost

@@ -1,0 +1,262 @@
+"""Analytic execution-time overheads ``H(T) = E(T)/T - 1``.
+
+First-order models from the paper:
+
+* no replication (Eq. 7):    ``H(T)    = C/T + N T / (2 mu)``
+* no-restart     (Eq. 12):   ``H^no(T) = C/T + T / (2 M_2b)``
+* restart        (Eq. 19):   ``H^rs(T) = C^R/T + (2/3) b lambda^2 T^2``
+
+plus the *exact* expected-period-time expressions:
+
+* the one-pair closed forms of Section 4.2 (Eqs. 13–15, including the
+  exact ``T_lost``), and
+* a numerically-integrated exact model for ``b`` pairs under the paper's
+  assumptions (failures only during work, renewal at each checkpoint),
+  used to quantify the quality of the first-order approximation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.mtti import interruption_survival, mtti
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = [
+    "no_replication_overhead",
+    "no_replication_optimal_overhead",
+    "no_restart_overhead",
+    "restart_overhead",
+    "restart_optimal_overhead",
+    "pair_probability_of_failure",
+    "tlost_one_pair_exact",
+    "expected_period_time_one_pair",
+    "restart_overhead_one_pair_exact",
+    "expected_period_time_exact",
+    "restart_overhead_exact",
+]
+
+
+def no_replication_overhead(period: float, checkpoint_cost: float, mu: float, n_procs: int) -> float:
+    """First-order overhead without replication (paper Eq. 7).
+
+    ``H(T) = C/T + N T / (2 mu)`` — failure-free checkpoint overhead plus
+    expected re-execution loss (half a period per platform failure).
+    """
+    period = check_positive("period", period)
+    checkpoint_cost = check_positive("checkpoint_cost", checkpoint_cost)
+    mu = check_positive("mu", mu)
+    n_procs = check_positive_int("n_procs", n_procs)
+    return checkpoint_cost / period + n_procs * period / (2.0 * mu)
+
+
+def no_replication_optimal_overhead(checkpoint_cost: float, mu: float, n_procs: int) -> float:
+    """Optimal first-order overhead ``sqrt(2 C N / mu)`` (paper Eq. 6)."""
+    checkpoint_cost = check_positive("checkpoint_cost", checkpoint_cost)
+    mu = check_positive("mu", mu)
+    n_procs = check_positive_int("n_procs", n_procs)
+    return math.sqrt(2.0 * checkpoint_cost * n_procs / mu)
+
+
+def no_restart_overhead(period: float, checkpoint_cost: float, mu: float, b: int) -> float:
+    """Literature first-order overhead for *no-restart* (paper Eq. 12).
+
+    ``H^no(T) = C/T + T/(2 M_2b)``.  The paper stresses this is a heuristic:
+    its accuracy is unknown because ``T_lost ~ T/2`` is unproven under
+    replication, and Figure 3 shows it drifts from simulation for large C.
+    """
+    period = check_positive("period", period)
+    checkpoint_cost = check_positive("checkpoint_cost", checkpoint_cost)
+    return checkpoint_cost / period + period / (2.0 * mtti(mu, b))
+
+
+def restart_overhead(period: float, restart_checkpoint_cost: float, mu: float, b: int) -> float:
+    """First-order overhead of the *restart* strategy (paper Eq. 19).
+
+    ``H^rs(T) = C^R / T + (2/3) b lambda^2 T^2``.
+
+    The failure-induced term is cubic in T per period (two failures must
+    hit the same pair; the expected loss is 2T/3), which is what pushes the
+    optimal period to ``Theta(mu^{2/3})``.
+    """
+    period = check_positive("period", period)
+    cr = check_positive("restart_checkpoint_cost", restart_checkpoint_cost)
+    mu = check_positive("mu", mu)
+    b = check_positive_int("b", b)
+    lam = 1.0 / mu
+    return cr / period + 2.0 / 3.0 * b * lam * lam * period * period
+
+
+def restart_optimal_overhead(restart_checkpoint_cost: float, mu: float, b: int) -> float:
+    """Optimal first-order restart overhead (paper Eq. 21).
+
+    ``H^rs(T_opt^rs) = (3 C^R sqrt(b) lambda / sqrt(2))^{2/3}``.
+    """
+    cr = check_positive("restart_checkpoint_cost", restart_checkpoint_cost)
+    mu = check_positive("mu", mu)
+    b = check_positive_int("b", b)
+    lam = 1.0 / mu
+    return (3.0 * cr * math.sqrt(b) * lam / math.sqrt(2.0)) ** (2.0 / 3.0)
+
+
+def pair_probability_of_failure(period: float, mu: float, b: int) -> float:
+    """``p_b(T) = 1 - (1 - (1 - e^{-lambda T})^2)^b`` — probability that some
+    pair suffers a fatal (double) failure within a work segment of length T,
+    starting from the all-alive state (Section 4.3)."""
+    period = check_positive("period", period, allow_zero=True)
+    return float(1.0 - interruption_survival(period, mu, b))
+
+
+def tlost_one_pair_exact(period: float, mu: float) -> float:
+    """Exact expected time lost for one pair (Section 4.2).
+
+    ``T_lost(T) = [(2e^{-2y} - 4e^{-y}) y + e^{-2y} - 4e^{-y} + 3] /
+    (2 lambda (1 - e^{-y})^2)`` with ``y = lambda T``.  The paper's Taylor
+    expansion gives ``T_lost -> 2T/3`` (not T/2!) as ``lambda T -> 0``: the
+    first error strikes on average at one third of the period and the
+    fatal second error at two thirds.
+    """
+    period = check_positive("period", period)
+    mu = check_positive("mu", mu)
+    lam = 1.0 / mu
+    y = lam * period
+    if y < 0.01:
+        # The closed form cancels catastrophically for small y (the O(1)
+        # terms of u(y) annihilate down to O(y^3)); switch to the Taylor
+        # series u(y) = (4/3)y^3 - (3/2)y^4 + (14/15)y^5 + O(y^6) over
+        # v(y) = (1 - e^{-y})^2 computed with expm1.
+        u = y**3 * (4.0 / 3.0 - 1.5 * y + 14.0 / 15.0 * y * y)
+        v = math.expm1(-y) ** 2
+        return u / (2.0 * lam * v)
+    ey = math.exp(-y)
+    e2y = math.exp(-2.0 * y)
+    numerator = (2.0 * e2y - 4.0 * ey) * y + e2y - 4.0 * ey + 3.0
+    denominator = 2.0 * lam * (1.0 - ey) ** 2
+    return numerator / denominator
+
+
+def expected_period_time_one_pair(
+    period: float,
+    restart_checkpoint_cost: float,
+    mu: float,
+    *,
+    downtime: float = 0.0,
+    recovery: float = 0.0,
+) -> float:
+    """Exact expected time to complete one period, one pair (paper Eq. 14).
+
+    ``E(T) = T + C^R + (D + R + T_lost(T)) (e^{lambda T}-1)^2 /
+    (2 e^{lambda T} - 1)`` under the model assumptions (failures strike
+    during work only; the period restarts from scratch after a fatal
+    double failure).
+    """
+    period = check_positive("period", period)
+    cr = check_positive("restart_checkpoint_cost", restart_checkpoint_cost, allow_zero=True)
+    mu = check_positive("mu", mu)
+    downtime = check_positive("downtime", downtime, allow_zero=True)
+    recovery = check_positive("recovery", recovery, allow_zero=True)
+    lam = 1.0 / mu
+    y = lam * period
+    # p1/(1-p1) with p1 = (1 - e^{-y})^2, written with expm1 for stability.
+    em = math.expm1(y)  # e^y - 1
+    ratio = em * em / (2.0 * math.exp(y) - 1.0)
+    tlost = tlost_one_pair_exact(period, mu)
+    return period + cr + (downtime + recovery + tlost) * ratio
+
+
+def restart_overhead_one_pair_exact(
+    period: float,
+    restart_checkpoint_cost: float,
+    mu: float,
+    *,
+    downtime: float = 0.0,
+    recovery: float = 0.0,
+) -> float:
+    """Exact one-pair restart overhead ``E(T)/T - 1`` (Eqs. 14–15)."""
+    e = expected_period_time_one_pair(
+        period, restart_checkpoint_cost, mu, downtime=downtime, recovery=recovery
+    )
+    return e / period - 1.0
+
+
+def _expected_loss_given_failure(period: float, mu: float, b: int, n_points: int) -> float:
+    """``E[tau ; tau <= T] / p_b(T)`` where tau is the fatal-failure time.
+
+    Uses ``E[tau; tau <= T] = int_0^T S(t) dt - T S(T)`` (integration by
+    parts of the defective density), with Simpson quadrature.
+    """
+    from scipy.integrate import simpson
+
+    t = np.linspace(0.0, period, n_points)
+    s = interruption_survival(t, mu, b)
+    integral = float(simpson(s, x=t))
+    s_end = float(s[-1])
+    p_fail = 1.0 - s_end
+    if p_fail <= 0.0:
+        return period / 2.0  # degenerate: failures essentially impossible
+    return (integral - period * s_end) / p_fail
+
+
+def expected_period_time_exact(
+    period: float,
+    restart_checkpoint_cost: float,
+    mu: float,
+    b: int,
+    *,
+    downtime: float = 0.0,
+    recovery: float = 0.0,
+    n_points: int = 2001,
+) -> float:
+    """Exact expected period completion time for *b* pairs (restart strategy).
+
+    Generalises Eq. 14: with ``p = p_b(T)`` and exact ``T_lost``,
+    ``E = (1-p)(T + C^R) + p (T_lost + D + R + E)`` solves to
+    ``E = T + C^R + (T_lost + D + R) p / (1 - p)``.
+    Exact under the paper's assumptions (failure-free checkpoints,
+    renewal at every checkpoint); evaluated by numerical quadrature.
+    """
+    period = check_positive("period", period)
+    cr = check_positive("restart_checkpoint_cost", restart_checkpoint_cost, allow_zero=True)
+    mu = check_positive("mu", mu)
+    b = check_positive_int("b", b)
+    downtime = check_positive("downtime", downtime, allow_zero=True)
+    recovery = check_positive("recovery", recovery, allow_zero=True)
+    n_points = check_positive_int("n_points", n_points, minimum=3)
+    if n_points % 2 == 0:
+        n_points += 1
+    survival_end = float(interruption_survival(period, mu, b))
+    p_fail = 1.0 - survival_end
+    if p_fail >= 1.0:
+        from repro.exceptions import ModelDomainError
+
+        raise ModelDomainError(
+            "period is so long that success probability underflows to zero; "
+            "no finite expected completion time"
+        )
+    tlost = _expected_loss_given_failure(period, mu, b, n_points)
+    return period + cr + (tlost + downtime + recovery) * p_fail / (1.0 - p_fail)
+
+
+def restart_overhead_exact(
+    period: float,
+    restart_checkpoint_cost: float,
+    mu: float,
+    b: int,
+    *,
+    downtime: float = 0.0,
+    recovery: float = 0.0,
+    n_points: int = 2001,
+) -> float:
+    """Exact restart overhead ``E(T)/T - 1`` for *b* pairs (quadrature)."""
+    e = expected_period_time_exact(
+        period,
+        restart_checkpoint_cost,
+        mu,
+        b,
+        downtime=downtime,
+        recovery=recovery,
+        n_points=n_points,
+    )
+    return e / period - 1.0

@@ -1,0 +1,119 @@
+"""Optimal checkpointing periods.
+
+Three families of periods appear in the paper:
+
+* **Young/Daly** (no replication, Section 3):
+  ``T_opt = sqrt(2 mu_N C) = sqrt(2 mu C / N)``, overhead ``Theta(lambda^1/2)``.
+* **MTTI extension for no-restart** (Section 4.1, Eq. 11, all prior work):
+  ``T_MTTI^no = sqrt(2 M_2b C)`` with ``M_2b`` from Eq. 8.
+* **Restart strategy** (Sections 4.2–4.3, Eqs. 16/20 — the paper's main
+  analytical contribution):
+  ``T_opt^rs = (3 C^R / (4 b lambda^2))^(1/3) = Theta(mu^{2/3})``.
+
+All functions take times in seconds.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.mtti import mtti
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = [
+    "young_daly_period",
+    "no_restart_period",
+    "restart_period",
+    "period_order_exponent",
+]
+
+
+def young_daly_period(mu: float, checkpoint_cost: float, n_procs: int = 1) -> float:
+    """Young/Daly optimal period ``sqrt(2 (mu/N) C)`` (paper Eq. 4/6).
+
+    Parameters
+    ----------
+    mu:
+        Individual processor MTBF (seconds).
+    checkpoint_cost:
+        Checkpoint duration ``C`` (seconds).
+    n_procs:
+        Number of processors ``N``; the platform MTBF is ``mu / N``.
+
+    Examples
+    --------
+    >>> young_daly_period(1e6, 50.0)  # sqrt(2 * 1e6 * 50)
+    10000.0
+    """
+    mu = check_positive("mu", mu)
+    checkpoint_cost = check_positive("checkpoint_cost", checkpoint_cost)
+    n_procs = check_positive_int("n_procs", n_procs)
+    return math.sqrt(2.0 * (mu / n_procs) * checkpoint_cost)
+
+
+def no_restart_period(mu: float, checkpoint_cost: float, b: int) -> float:
+    """``T_MTTI^no = sqrt(2 M_2b C)`` (paper Eq. 11) — prior-work period.
+
+    This is the Young/Daly formula with the platform MTBF replaced by the
+    replicated application's MTTI.  The paper shows it is a heuristic (the
+    underlying ``T_lost ~ T/2`` assumption is unproven under replication)
+    but that it happens to sit near the empirical optimum for *no-restart*.
+
+    Examples
+    --------
+    One pair: ``M_2 = 3 mu / 2`` so the period is ``sqrt(3 mu C)``:
+
+    >>> no_restart_period(6.0, 2.0, 1) == math.sqrt(3 * 6.0 * 2.0)
+    True
+    """
+    checkpoint_cost = check_positive("checkpoint_cost", checkpoint_cost)
+    return math.sqrt(2.0 * mtti(mu, b) * checkpoint_cost)
+
+
+def restart_period(mu: float, restart_checkpoint_cost: float, b: int) -> float:
+    """Optimal *restart*-strategy period (paper Eq. 20).
+
+    ``T_opt^rs = (3 C^R / (4 b lambda^2))^{1/3}``, with
+    ``lambda = 1 / mu``.  The ``mu^{2/3}`` scaling (instead of the
+    Young/Daly ``mu^{1/2}``) is the paper's key result: as platforms become
+    less reliable the restart period becomes *much* longer than
+    ``T_MTTI^no``, slashing checkpoint I/O pressure.
+
+    Parameters
+    ----------
+    mu:
+        Individual processor MTBF (seconds).
+    restart_checkpoint_cost:
+        Combined checkpoint-plus-restart cost ``C^R`` (seconds), with
+        ``C <= C^R <= 2C`` depending on checkpoint/restart overlap
+        (``C^R = C`` for in-memory buddy checkpointing).
+    b:
+        Number of replicated processor pairs.
+    """
+    mu = check_positive("mu", mu)
+    cr = check_positive("restart_checkpoint_cost", restart_checkpoint_cost)
+    b = check_positive_int("b", b)
+    lam = 1.0 / mu
+    return (3.0 * cr / (4.0 * b * lam * lam)) ** (1.0 / 3.0)
+
+
+def period_order_exponent(strategy: str) -> float:
+    """Order of the optimal period as a power of the MTBF ``mu``.
+
+    ``restart`` scales as ``mu^(2/3)``; ``no-restart`` (and Young/Daly)
+    as ``mu^(1/2)``.  Exposed so experiment code can assert the asymptotic
+    claim of Section 6 directly.
+    """
+    table = {
+        "young-daly": 0.5,
+        "no-restart": 0.5,
+        "restart": 2.0 / 3.0,
+    }
+    try:
+        return table[strategy]
+    except KeyError:
+        from repro.exceptions import ParameterError
+
+        raise ParameterError(
+            f"unknown strategy {strategy!r}; expected one of {sorted(table)}"
+        ) from None

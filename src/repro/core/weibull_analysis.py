@@ -1,0 +1,162 @@
+"""The restart strategy under non-exponential (e.g. Weibull) failures.
+
+The paper's analysis is exponential-only and its evaluation lifts the
+assumption with trace replay.  This module fills the analytic middle
+ground: because the *restart* strategy rejuvenates failed processors at
+every checkpoint, each period starts with (approximately) fresh pairs, so
+the per-period fatality probability under *any* lifetime distribution
+``F`` is
+
+    p_b(T) = 1 - (1 - F(T)^2)^b
+
+and the first-order overhead and its numerically-optimal period follow
+exactly as in Section 4.3 with ``F(T)`` in place of ``1 - e^{-lambda T}``.
+
+Caveat (quantified by the renewal-approximation ablation in the tests):
+the model rejuvenates *both* processors of a pair at each checkpoint,
+while the strategy restarts only the failed ones — survivors carry their
+age.  For decreasing-hazard distributions (Weibull shape < 1, the regime
+seen in failure logs) aged survivors fail *less* often, so the model is
+conservative; for exponential lifetimes it is exact.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.failures.distributions import InterArrivalDistribution
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = [
+    "fatal_probability",
+    "expected_loss_given_fatal",
+    "renewal_overhead",
+    "optimal_period_renewal",
+]
+
+
+def fatal_probability(
+    period: float, distribution: InterArrivalDistribution, b: int
+) -> float:
+    """P(some pair loses both processors within *period*), fresh start.
+
+    ``1 - (1 - F(T)^2)^b`` with ``F`` the lifetime CDF.  Log-space for
+    large ``b``.
+    """
+    period = check_positive("period", period)
+    b = check_positive_int("b", b)
+    f = float(distribution.cdf(period))
+    if not 0.0 <= f <= 1.0:
+        raise ParameterError(f"distribution CDF returned {f} outside [0, 1]")
+    if f >= 1.0:
+        return 1.0
+    return -math.expm1(b * math.log1p(-(f * f)))
+
+
+def expected_loss_given_fatal(
+    period: float,
+    distribution: InterArrivalDistribution,
+    b: int,
+    *,
+    n_points: int = 801,
+) -> float:
+    """E[fatal time | fatal <= T] from a fresh start, by quadrature.
+
+    Uses ``E[tau; tau <= T] = int_0^T S(t) dt - T S(T)`` with
+    ``S(t) = (1 - F(t)^2)^b``.
+    """
+    from scipy.integrate import simpson
+
+    period = check_positive("period", period)
+    b = check_positive_int("b", b)
+    n_points = check_positive_int("n_points", n_points, minimum=3)
+    if n_points % 2 == 0:
+        n_points += 1
+    t = np.linspace(0.0, period, n_points)
+    f = np.clip(np.asarray(distribution.cdf(t), dtype=float), 0.0, 1.0)
+    with np.errstate(divide="ignore"):
+        s = np.exp(b * np.log1p(-np.square(f)))
+    integral = float(simpson(s, x=t))
+    s_end = float(s[-1])
+    p_fatal = 1.0 - s_end
+    if p_fatal <= 0.0:
+        return period / 2.0
+    return (integral - period * s_end) / p_fatal
+
+
+def renewal_overhead(
+    period: float,
+    restart_checkpoint_cost: float,
+    distribution: InterArrivalDistribution,
+    b: int,
+    *,
+    downtime: float = 0.0,
+    recovery: float = 0.0,
+) -> float:
+    """Expected overhead of the restart strategy under the renewal model.
+
+    Exact for any lifetime distribution *given* full per-period
+    rejuvenation: ``E = T + C^R + (loss + D + R) p/(1-p)`` with the exact
+    conditional loss; overhead is ``E/T - 1``.
+    """
+    cr = check_positive("restart_checkpoint_cost", restart_checkpoint_cost, allow_zero=True)
+    downtime = check_positive("downtime", downtime, allow_zero=True)
+    recovery = check_positive("recovery", recovery, allow_zero=True)
+    p = fatal_probability(period, distribution, b)
+    if p >= 1.0:
+        raise ParameterError("period cannot complete under this distribution")
+    loss = expected_loss_given_fatal(period, distribution, b)
+    expected = period + cr + (loss + downtime + recovery) * p / (1.0 - p)
+    return expected / period - 1.0
+
+
+def optimal_period_renewal(
+    restart_checkpoint_cost: float,
+    distribution: InterArrivalDistribution,
+    b: int,
+    *,
+    bracket: tuple[float, float] | None = None,
+    tol: float = 1e-4,
+    **overhead_kwargs,
+) -> tuple[float, float]:
+    """Numerically optimal restart period for an arbitrary distribution.
+
+    Golden-section search on :func:`renewal_overhead`; the default bracket
+    is built from the *exponential* optimum at the distribution's mean
+    (Eq. 20), widened by 20x in both directions.
+    """
+    from repro.core.periods import restart_period
+
+    cr = check_positive("restart_checkpoint_cost", restart_checkpoint_cost)
+    b = check_positive_int("b", b)
+    if bracket is None:
+        t_ref = restart_period(distribution.mean, cr, b)
+        bracket = (t_ref / 20.0, t_ref * 20.0)
+    lo, hi = bracket
+    if not 0 < lo < hi:
+        raise ParameterError(f"invalid bracket {bracket}")
+
+    def f(t: float) -> float:
+        return renewal_overhead(t, cr, distribution, b, **overhead_kwargs)
+
+    invphi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, d = lo, hi
+    b_pt = d - invphi * (d - a)
+    c_pt = a + invphi * (d - a)
+    fb, fc = f(b_pt), f(c_pt)
+    for _ in range(300):
+        if (d - a) < tol * (abs(a) + abs(d)):
+            break
+        if fb < fc:
+            d, c_pt, fc = c_pt, b_pt, fb
+            b_pt = d - invphi * (d - a)
+            fb = f(b_pt)
+        else:
+            a, b_pt, fb = b_pt, c_pt, fc
+            c_pt = a + invphi * (d - a)
+            fc = f(c_pt)
+    t_star = (a + d) / 2.0
+    return t_star, f(t_star)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch library-specific failures with one ``except`` clause while
+still letting programming errors (e.g. :class:`TypeError`) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "ModelDomainError",
+    "SimulationError",
+    "TraceError",
+    "ConvergenceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An input parameter is outside its valid domain.
+
+    Raised eagerly by public entry points so that invalid configurations
+    fail before any expensive computation starts.
+    """
+
+
+class ModelDomainError(ReproError, ValueError):
+    """An analytic formula was evaluated outside its regime of validity.
+
+    The first-order approximations of the paper require, e.g., ``λT ≪ 1``;
+    this error signals that a request violates such a structural assumption
+    (as opposed to a merely invalid scalar, which raises
+    :class:`ParameterError`).
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The Monte-Carlo simulator reached an inconsistent internal state."""
+
+
+class TraceError(ReproError, ValueError):
+    """A failure trace is malformed (unsorted, negative times, bad ids...)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative numerical routine failed to converge."""

@@ -1,0 +1,80 @@
+"""Per-figure experiment drivers reproducing the paper's evaluation.
+
+Each module exposes ``run(quick=True, seed=...) -> ExperimentResult``;
+see DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+results.  ``ALL_EXPERIMENTS`` maps CLI names to driver callables.
+"""
+
+from repro.experiments import (
+    ablations,
+    extensions,
+    fig1_cdf,
+    fig2_nonperiodic,
+    fig3_model_accuracy,
+    fig4_traces,
+    fig5_overhead_vs_period,
+    fig6_restart_on_failure,
+    fig7_overhead_vs_mtbf,
+    fig8_io_pressure,
+    fig9_tts_vs_mtbf,
+    fig10_tts_vs_n,
+    fig11_when_to_restart,
+    heterogeneous,
+    tables,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = [
+    "ExperimentResult",
+    "ALL_EXPERIMENTS",
+    "fig1_cdf",
+    "fig2_nonperiodic",
+    "fig3_model_accuracy",
+    "fig4_traces",
+    "fig5_overhead_vs_period",
+    "fig6_restart_on_failure",
+    "fig7_overhead_vs_mtbf",
+    "fig8_io_pressure",
+    "fig9_tts_vs_mtbf",
+    "fig10_tts_vs_n",
+    "fig11_when_to_restart",
+    "tables",
+    "ablations",
+    "heterogeneous",
+    "extensions",
+]
+
+#: CLI name -> zero-config driver. Multi-panel figures expose one entry per
+#: panel, mirroring the paper's left/right plots.
+ALL_EXPERIMENTS = {
+    "fig1": lambda **kw: fig1_cdf.run(**kw),
+    "fig2": lambda **kw: fig2_nonperiodic.run(**kw),
+    "fig3": lambda **kw: fig3_model_accuracy.run(**kw),
+    "fig4-lanl18": lambda **kw: fig4_traces.run(trace_kind="lanl18", **kw),
+    "fig4-lanl2": lambda **kw: fig4_traces.run(trace_kind="lanl2", **kw),
+    "fig5-c60": lambda **kw: fig5_overhead_vs_period.run(checkpoint=60.0, **kw),
+    "fig5-c600": lambda **kw: fig5_overhead_vs_period.run(checkpoint=600.0, **kw),
+    "fig6": lambda **kw: fig6_restart_on_failure.run(**kw),
+    "fig7-c60": lambda **kw: fig7_overhead_vs_mtbf.run(checkpoint=60.0, **kw),
+    "fig7-c600": lambda **kw: fig7_overhead_vs_mtbf.run(checkpoint=600.0, **kw),
+    "fig8-c60": lambda **kw: fig8_io_pressure.run(checkpoint=60.0, **kw),
+    "fig8-c600": lambda **kw: fig8_io_pressure.run(checkpoint=600.0, **kw),
+    "fig9-c60": lambda **kw: fig9_tts_vs_mtbf.run(checkpoint=60.0, **kw),
+    "fig9-c600": lambda **kw: fig9_tts_vs_mtbf.run(checkpoint=600.0, **kw),
+    "fig10-c60": lambda **kw: fig10_tts_vs_n.run(checkpoint=60.0, **kw),
+    "fig10-c600": lambda **kw: fig10_tts_vs_n.run(checkpoint=600.0, **kw),
+    "fig11-trs": lambda **kw: fig11_when_to_restart.run(period_kind="T_opt_rs", **kw),
+    "fig11-tno": lambda **kw: fig11_when_to_restart.run(period_kind="T_mtti_no", **kw),
+    "table-nfail": lambda **kw: tables.nfail_table(
+        seed=kw.get("seed", 2019)
+    ),
+    "table-asymptotic": lambda **kw: tables.asymptotic_table(),
+    # Extensions beyond the paper's evaluation section
+    "heterogeneous": lambda **kw: heterogeneous.run(**kw),
+    "ablation-ckpt-failures": lambda **kw: ablations.failures_during_checkpoint_ablation(**kw),
+    "ablation-engines": lambda **kw: ablations.engine_agreement(**kw),
+    "ablation-every-k": lambda **kw: ablations.every_k_ablation(**kw),
+    "ablation-healthy-charge": lambda **kw: ablations.healthy_charge_ablation(**kw),
+    "norestart-oracle": lambda **kw: extensions.norestart_oracle(**kw),
+    "multilevel": lambda **kw: extensions.multilevel_study(**kw),
+}

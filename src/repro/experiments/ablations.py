@@ -1,0 +1,232 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Four ablations, each quantifying an assumption or implementation choice:
+
+* :func:`failures_during_checkpoint_ablation` — the analysis assumes
+  failures strike during work only (paper Sections 2–3 argue the
+  assumption is free at first order); measure the actual effect.
+* :func:`engine_agreement` — the three simulation engines (closed-form
+  sampled, lockstep events, per-processor trace replay) on one
+  configuration, with confidence intervals: the implementation-equivalence
+  ablation.
+* :func:`every_k_ablation` — the conclusion's future-work variant
+  (rejuvenate every k-th checkpoint): is k = 1 (the restart strategy)
+  really the right frequency?
+* :func:`healthy_charge_ablation` — the paper's model charges ``C^R`` for
+  *every* checkpoint of the restart strategy even when nobody died;
+  measure what charging plain ``C`` on healthy waves would change.
+"""
+
+from __future__ import annotations
+
+from repro.core.periods import restart_period
+from repro.experiments.common import ExperimentResult, PAPER_MTBF, mc_samples, paper_costs
+from repro.failures.generator import ExponentialFailureSource
+from repro.simulation.policies import restart_policy
+from repro.simulation.runner import (
+    simulate_every_k,
+    simulate_policy,
+    simulate_restart,
+    simulate_with_source,
+)
+from repro.util.rng import SeedLike, spawn_seeds
+from repro.util.stats import mean_confidence_halfwidth
+from repro.util.units import YEAR
+
+__all__ = [
+    "failures_during_checkpoint_ablation",
+    "engine_agreement",
+    "every_k_ablation",
+    "healthy_charge_ablation",
+]
+
+
+def failures_during_checkpoint_ablation(
+    quick: bool = True,
+    seed: SeedLike = 2019,
+    *,
+    n_pairs: int = 20_000,
+    checkpoints: tuple[float, ...] = (60.0, 600.0, 2400.0),
+    mtbf: float = PAPER_MTBF,
+) -> ExperimentResult:
+    """Effect of allowing failures during checkpoint waves (restart strategy).
+
+    First-order prediction: relative effect ~ C^R / T (the extra exposure),
+    i.e. negligible for C = 60 s and a few percent at C = 2400 s.
+    """
+    n_runs = mc_samples(quick, quick_runs=300, full_runs=2000)
+    result = ExperimentResult(
+        name="ablation-ckpt-failures",
+        title="Restart overhead with vs without failures during checkpoints",
+        columns=["C_s", "ovh_with", "ovh_without", "relative_gap", "exposure_ratio"],
+        meta={"n_pairs": n_pairs, "n_runs": n_runs},
+    )
+    seeds = spawn_seeds(seed, len(checkpoints))
+    for c, s in zip(checkpoints, seeds):
+        costs = paper_costs(c)
+        t = restart_period(mtbf, costs.restart_checkpoint, n_pairs)
+        kw = dict(mtbf=mtbf, n_pairs=n_pairs, period=t, costs=costs,
+                  n_periods=100, n_runs=n_runs)
+        with_f = simulate_restart(failures_during_checkpoint=True, seed=s, **kw)
+        without = simulate_restart(failures_during_checkpoint=False, seed=s, **kw)
+        gap = (with_f.mean_overhead - without.mean_overhead) / without.mean_overhead
+        result.add_row(
+            C_s=c,
+            ovh_with=with_f.mean_overhead,
+            ovh_without=without.mean_overhead,
+            relative_gap=gap,
+            exposure_ratio=costs.restart_checkpoint / t,
+        )
+    gaps = result.column("relative_gap")
+    result.note(
+        f"relative overhead gaps {[f'{g:+.2%}' for g in gaps]} track the "
+        "extra exposure C^R/T — the paper's 'no impact at first order' "
+        "claim holds"
+    )
+    return result
+
+
+def engine_agreement(
+    quick: bool = True,
+    seed: SeedLike = 2019,
+    *,
+    n_pairs: int = 2000,
+    mtbf: float = PAPER_MTBF,
+    checkpoint: float = 60.0,
+) -> ExperimentResult:
+    """The three engines on one configuration, with 95% CIs."""
+    costs = paper_costs(checkpoint)
+    t = restart_period(mtbf, costs.restart_checkpoint, n_pairs)
+    policy = restart_policy(t, costs)
+    seeds = spawn_seeds(seed, 3)
+    runs_scale = 1 if quick else 5
+
+    sampled = simulate_restart(
+        mtbf=mtbf, n_pairs=n_pairs, period=t, costs=costs,
+        n_periods=100, n_runs=600 * runs_scale, seed=seeds[0],
+    )
+    lockstep = simulate_restart(
+        mtbf=mtbf, n_pairs=n_pairs, period=t, costs=costs, engine="lockstep",
+        n_periods=100, n_runs=200 * runs_scale, seed=seeds[1],
+    )
+    trace = simulate_with_source(
+        policy, ExponentialFailureSource(mtbf, 2 * n_pairs),
+        n_pairs=n_pairs, costs=costs, n_periods=100, n_runs=50 * runs_scale,
+        seed=seeds[2],
+    )
+
+    result = ExperimentResult(
+        name="ablation-engines",
+        title=f"Engine agreement (restart, b={n_pairs}, T=T_opt^rs)",
+        columns=["engine", "overhead", "ci95", "n_runs"],
+        meta={"period": t},
+    )
+    for name, rs in (("sampled", sampled), ("lockstep", lockstep), ("trace", trace)):
+        result.add_row(
+            engine=name,
+            overhead=rs.mean_overhead,
+            ci95=mean_confidence_halfwidth(rs.overheads),
+            n_runs=rs.n_runs,
+        )
+    spread = max(result.column("overhead")) - min(result.column("overhead"))
+    max_ci = max(result.column("ci95"))
+    result.note(
+        f"overhead spread across engines {spread:.2e} vs max CI {max_ci:.2e}: "
+        "statistically indistinguishable implementations"
+    )
+    return result
+
+
+def every_k_ablation(
+    quick: bool = True,
+    seed: SeedLike = 2019,
+    *,
+    n_pairs: int = 100_000,
+    mtbf: float = PAPER_MTBF,
+    checkpoint: float = 60.0,
+    ks: tuple[int, ...] = (1, 2, 4, 8, 16),
+) -> ExperimentResult:
+    """Rejuvenate every k-th checkpoint: is k = 1 optimal?
+
+    Restart waves cost ``C^R = 2C`` (worst case, as in Section 7.7), plain
+    checkpoints ``C``; the period is ``T_opt^rs`` computed with ``C^R = C``
+    exactly as the paper does for its n_bound study.
+    """
+    n_runs = mc_samples(quick, quick_runs=80, full_runs=500)
+    costs = paper_costs(checkpoint, restart_factor=2.0)
+    t = restart_period(mtbf, checkpoint, n_pairs)
+    result = ExperimentResult(
+        name="ablation-every-k",
+        title=f"Restart every k-th checkpoint (T_opt^rs, restart waves 2C, b={n_pairs:,})",
+        columns=["k", "overhead", "ci95"],
+        meta={"period": t, "n_runs": n_runs},
+    )
+    seeds = spawn_seeds(seed, len(ks))
+    for k, s in zip(ks, seeds):
+        rs = simulate_every_k(
+            mtbf=mtbf, n_pairs=n_pairs, period=t, costs=costs, k=k,
+            n_periods=100, n_runs=n_runs, seed=s,
+        )
+        result.add_row(
+            k=k, overhead=rs.mean_overhead, ci95=mean_confidence_halfwidth(rs.overheads)
+        )
+    ovh = result.column("overhead")
+    result.note(
+        f"overhead grows with the rejuvenation interval beyond small k "
+        f"(k=1: {ovh[0]:.3%}, k={ks[-1]}: {ovh[-1]:.3%}); frequent "
+        "rejuvenation wins, consistent with the paper's n_bound conjecture"
+    )
+    return result
+
+
+def healthy_charge_ablation(
+    quick: bool = True,
+    seed: SeedLike = 2019,
+    *,
+    pair_counts: tuple[int, ...] = (100, 2000, 100_000),
+    mtbf: float = PAPER_MTBF,
+    checkpoint: float = 600.0,
+) -> ExperimentResult:
+    """Charging C^R on every checkpoint vs only when someone died.
+
+    At the paper's scale (b = 1e5) essentially every optimal-length period
+    loses a processor, so the model's always-charge-C^R simplification is
+    free; at small b most checkpoints are healthy and the gap approaches
+    ``(C^R - C)/T``.
+    """
+    n_runs = mc_samples(quick, quick_runs=200, full_runs=1000)
+    costs = paper_costs(checkpoint, restart_factor=2.0)
+    result = ExperimentResult(
+        name="ablation-healthy-charge",
+        title="Always charging C^R vs only on waves with dead processors",
+        columns=["b", "ovh_always", "ovh_when_needed", "mean_restarted_per_wave"],
+        meta={"n_runs": n_runs},
+    )
+    seeds = spawn_seeds(seed, len(pair_counts))
+    for b, s in zip(pair_counts, seeds):
+        t = restart_period(mtbf, costs.restart_checkpoint, b)
+        always = simulate_policy(
+            restart_policy(t, costs, charge_restart_cost_when_healthy=True),
+            mtbf=mtbf, n_pairs=b, costs=costs, n_periods=100, n_runs=n_runs, seed=s,
+        )
+        needed = simulate_policy(
+            restart_policy(t, costs, charge_restart_cost_when_healthy=False),
+            mtbf=mtbf, n_pairs=b, costs=costs, n_periods=100, n_runs=n_runs, seed=s,
+        )
+        result.add_row(
+            b=b,
+            ovh_always=always.mean_overhead,
+            ovh_when_needed=needed.mean_overhead,
+            mean_restarted_per_wave=float(
+                always.n_proc_restarts.mean() / always.n_checkpoints.mean()
+            ),
+        )
+    first, last = result.rows[0], result.rows[-1]
+    result.note(
+        f"gap at b={first['b']}: "
+        f"{(first['ovh_always'] - first['ovh_when_needed']) / first['ovh_always']:.1%}; "
+        f"at b={last['b']}: "
+        f"{(last['ovh_always'] - last['ovh_when_needed']) / max(last['ovh_always'], 1e-12):.1%} "
+        "— the model's always-C^R simplification is free at the paper's scale"
+    )
+    return result

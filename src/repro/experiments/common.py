@@ -1,0 +1,120 @@
+"""Shared infrastructure for the per-figure experiment drivers.
+
+Every figure/table of the paper has a module exposing
+``run(quick=True, seed=...) -> ExperimentResult``.  *quick* mode shrinks
+Monte-Carlo sample counts to laptop-bench scale while preserving every
+qualitative shape the paper reports; full mode approaches the paper's
+sample sizes.
+
+The paper's default setup (Section 7.1): individual MTBF ``mu = 5`` years,
+``N = 200,000`` processors (``b = 100,000`` pairs), checkpoint costs
+``C = 60 s`` (buddy) and ``C = 600 s`` (remote storage), ``R = C``,
+``D = 0``, runs of 100 periods averaged over 1000 runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.platform_model.costs import CheckpointCosts
+from repro.util.units import YEAR
+
+__all__ = [
+    "PAPER_MTBF",
+    "PAPER_N_PROCS",
+    "PAPER_N_PAIRS",
+    "PAPER_N_PERIODS",
+    "PAPER_CHECKPOINTS",
+    "PAPER_GAMMA",
+    "PAPER_ALPHA",
+    "mc_samples",
+    "ExperimentResult",
+]
+
+#: paper defaults (Section 7.1)
+PAPER_MTBF: float = 5 * YEAR
+PAPER_N_PROCS: int = 200_000
+PAPER_N_PAIRS: int = 100_000
+PAPER_N_PERIODS: int = 100
+PAPER_CHECKPOINTS: tuple[float, float] = (60.0, 600.0)
+#: Amdahl parameters used in Section 7.6, following Hussain et al. [25]
+PAPER_GAMMA: float = 1e-5
+PAPER_ALPHA: float = 0.2
+
+
+def mc_samples(quick: bool, *, quick_runs: int = 80, full_runs: int = 1000) -> int:
+    """Monte-Carlo replication count for the requested fidelity."""
+    return quick_runs if quick else full_runs
+
+
+def paper_costs(checkpoint: float, restart_factor: float = 1.0) -> CheckpointCosts:
+    """Paper cost preset: ``R = C``, ``D = 0``, configurable ``C^R/C``."""
+    return CheckpointCosts(checkpoint=checkpoint, restart_factor=restart_factor)
+
+
+@dataclass
+class ExperimentResult:
+    """Tabular output of one experiment (one paper figure or table).
+
+    ``rows`` is a list of dicts sharing the keys in ``columns``;
+    ``notes`` carries the qualitative checks performed (who wins, where
+    crossovers fall) so benchmark logs double as EXPERIMENTS.md inputs.
+    """
+
+    name: str
+    title: str
+    columns: Sequence[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, **values: Any) -> None:
+        missing = set(self.columns) - set(values)
+        if missing:
+            raise ValueError(f"row missing columns: {sorted(missing)}")
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column as a list (row order preserved)."""
+        return [row[name] for row in self.rows]
+
+    # ------------------------------------------------------------------
+    def to_text(self, *, float_fmt: str = "{:.6g}") -> str:
+        """Render as a fixed-width text table (the bench harness prints this)."""
+        headers = list(self.columns)
+        body: list[list[str]] = []
+        for row in self.rows:
+            rendered = []
+            for col in headers:
+                v = row[col]
+                if isinstance(v, float):
+                    rendered.append(float_fmt.format(v))
+                else:
+                    rendered.append(str(v))
+            body.append(rendered)
+        widths = [
+            max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+            for i, h in enumerate(headers)
+        ]
+        lines = [f"== {self.name}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+        for n in self.notes:
+            lines.append(f"note: {n}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": self.rows,
+            "notes": self.notes,
+            "meta": self.meta,
+        }

@@ -1,0 +1,173 @@
+"""Extension experiments: the no-restart oracle and two-level checkpointing.
+
+* :func:`norestart_oracle` — the paper proves no closed-form optimal period
+  exists for *no-restart* and relies on the heuristic ``T_MTTI^no``
+  (Eq. 11).  Our Markov-chain oracle
+  (:mod:`repro.core.norestart_numeric`) computes the true optimum
+  numerically; this experiment quantifies how close the heuristic gets —
+  and how much larger the gap to the restart strategy remains even at the
+  no-restart *true* optimum.
+* :func:`multilevel_study` — the paper's cost model builds on hierarchical
+  checkpointing (buddy level + parallel file system).  This experiment
+  optimises the two-level (period, flush-interval) scheme across platform
+  interruption rates and shows why replication's near-free local level
+  (``C^R ~ C``) is such a good fit: with a replica-backed level 1, flushes
+  become rare and the hierarchy's overhead approaches the buddy-only ideal.
+"""
+
+from __future__ import annotations
+
+from repro.core.mtti import mtti
+from repro.core.norestart_numeric import (
+    norestart_finite_horizon_overhead,
+    norestart_optimal_period,
+)
+from repro.core.overhead import restart_optimal_overhead
+from repro.core.periods import no_restart_period
+from repro.experiments.common import ExperimentResult, mc_samples, paper_costs
+from repro.platform_model.multilevel import TwoLevelCosts, optimal_two_level
+from repro.util.rng import SeedLike
+from repro.util.units import YEAR
+
+__all__ = ["norestart_oracle", "multilevel_study"]
+
+
+def norestart_oracle(
+    quick: bool = True,
+    seed: SeedLike = 2019,
+    *,
+    n_pairs: int | None = None,
+    checkpoint: float = 60.0,
+    mtbfs: tuple[float, ...] | None = None,
+    horizon: int = 100,
+) -> ExperimentResult:
+    """How good is the T_MTTI^no heuristic, really?
+
+    For each MTBF: the heuristic period and its numerically-exact overhead,
+    the oracle's true optimal period and overhead, and the restart
+    strategy's optimal overhead for scale.  Quick mode uses a smaller
+    platform (the oracle's state space scales with the degraded-count
+    range, ~sqrt(b)).
+    """
+    if n_pairs is None:
+        n_pairs = 5_000 if quick else 20_000
+    if mtbfs is None:
+        mtbfs = (
+            (1 * YEAR, 5 * YEAR, 25 * YEAR)
+            if quick
+            else (1 * YEAR, 2 * YEAR, 5 * YEAR, 10 * YEAR, 25 * YEAR)
+        )
+    result = ExperimentResult(
+        name="norestart-oracle",
+        title=(
+            f"No-restart numerical oracle vs the T_MTTI^no heuristic "
+            f"(b={n_pairs:,}, C={checkpoint:g}s, {horizon}-period runs)"
+        ),
+        columns=[
+            "mtbf_years",
+            "T_heuristic",
+            "H_heuristic",
+            "T_oracle",
+            "H_oracle",
+            "heuristic_excess",
+            "H_restart_opt",
+        ],
+        meta={"n_pairs": n_pairs, "horizon": horizon},
+    )
+    for mu in mtbfs:
+        t_ref = no_restart_period(mu, checkpoint, n_pairs)
+        h_ref = norestart_finite_horizon_overhead(
+            t_ref, checkpoint, mu, n_pairs, n_periods=horizon
+        )
+        t_star, h_star = norestart_optimal_period(
+            checkpoint, mu, n_pairs, horizon=horizon, tol=5e-3
+        )
+        result.add_row(
+            mtbf_years=mu / YEAR,
+            T_heuristic=t_ref,
+            H_heuristic=h_ref,
+            T_oracle=t_star,
+            H_oracle=h_star,
+            heuristic_excess=h_ref / h_star - 1.0,
+            H_restart_opt=restart_optimal_overhead(checkpoint, mu, n_pairs),
+        )
+    excess = result.column("heuristic_excess")
+    result.note(
+        f"T_MTTI^no is within {max(excess):.1%} of the true no-restart optimum "
+        "across the sweep — the paper's 'the approximation worked out pretty "
+        "well' observation, now quantified without Monte-Carlo noise"
+    )
+    beats = all(r["H_restart_opt"] < r["H_oracle"] for r in result.rows)
+    result.note(
+        f"restart at its optimum still beats even the oracle-optimal "
+        f"no-restart everywhere: {beats}"
+    )
+    return result
+
+
+def multilevel_study(
+    quick: bool = True,
+    seed: SeedLike = 2019,
+    *,
+    local_cost: float = 60.0,
+    flush_cost: float = 540.0,
+    n_pairs: int = 100_000,
+    mtbfs: tuple[float, ...] = (0.5 * YEAR, 1 * YEAR, 5 * YEAR, 25 * YEAR),
+) -> ExperimentResult:
+    """Two-level checkpointing with and without a replica-backed level 1.
+
+    With replication, an application interruption almost never destroys the
+    local checkpoint (the replica holds it): ``p_catastrophic ~ 1e-3``.
+    Without replication, losing a node loses its local state:
+    ``p_catastrophic = 1``.  The study reports the jointly optimal
+    (T, flush interval, overhead) for both regimes.
+    """
+    result = ExperimentResult(
+        name="multilevel",
+        title=(
+            f"Two-level checkpointing (c1={local_cost:g}s local, "
+            f"c2={flush_cost:g}s flush), replicated vs not"
+        ),
+        columns=[
+            "mtbf_years",
+            "repl_T",
+            "repl_flush_every",
+            "repl_overhead",
+            "plain_T",
+            "plain_flush_every",
+            "plain_overhead",
+        ],
+        meta={"n_pairs": n_pairs},
+    )
+    repl_costs = TwoLevelCosts(local=local_cost, flush=flush_cost, p_catastrophic=1e-3)
+    plain_costs = TwoLevelCosts(
+        local=local_cost, flush=flush_cost, p_catastrophic=1.0,
+        recover_flush=local_cost + flush_cost,
+    )
+    for mu in mtbfs:
+        rate_repl = 1.0 / mtti(mu, n_pairs)
+        rate_plain = 2.0 * n_pairs / mu  # every failure interrupts
+        t_r, k_r, h_r = optimal_two_level(rate_repl, repl_costs)
+        t_p, k_p, h_p = optimal_two_level(rate_plain, plain_costs)
+        result.add_row(
+            mtbf_years=mu / YEAR,
+            repl_T=t_r,
+            repl_flush_every=k_r,
+            repl_overhead=h_r,
+            plain_T=t_p,
+            plain_flush_every=k_p,
+            plain_overhead=h_p,
+        )
+    rows = result.rows
+    result.note(
+        f"replication lets the hierarchy flush {rows[-2]['repl_flush_every']}x "
+        "less often than it checkpoints locally; without it every loss is "
+        "catastrophic and the flush interval collapses "
+        f"(k={rows[-2]['plain_flush_every']})"
+    )
+    better = all(r["repl_overhead"] < r["plain_overhead"] for r in rows)
+    result.note(
+        f"replica-backed level 1 yields lower hierarchical overhead at every "
+        f"MTBF: {better} (quantifying the paper's buddy-checkpointing argument)"
+    )
+    return result

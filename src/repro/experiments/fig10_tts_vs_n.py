@@ -1,0 +1,139 @@
+"""Figure 10: time-to-solution vs platform size N (MTBF fixed at 5 years).
+
+Same strategies and application model as Figure 9, sweeping the processor
+count instead of the MTBF.  Expected shapes: for small N running without
+replication is faster (half the throughput is a bad deal); beyond a
+crossover (``N ~ 2e5`` for C = 60 s, roughly 10x earlier for C = 600 s)
+full replication wins, and without it the time-to-solution blows up to
+many times the failure-free time; restart always edges out no-restart;
+partial replication never wins.
+"""
+
+from __future__ import annotations
+
+from repro.core.amdahl import AmdahlApplication
+from repro.core.periods import no_restart_period, restart_period, young_daly_period
+from repro.experiments.common import (
+    ExperimentResult,
+    PAPER_ALPHA,
+    PAPER_GAMMA,
+    PAPER_MTBF,
+    PAPER_N_PERIODS,
+    mc_samples,
+    paper_costs,
+)
+from repro.experiments.fig9_tts_vs_mtbf import (
+    _amdahl_days,
+    _attempt_viable,
+    _tts_or_inf,
+    sequential_work_for_one_week,
+)
+from repro.platform_model.machine import Platform
+from repro.simulation.runner import (
+    simulate_no_replication,
+    simulate_no_restart,
+    simulate_partial_replication,
+    simulate_restart,
+)
+from repro.util.rng import SeedLike, spawn_seeds
+from repro.util.units import YEAR
+
+__all__ = ["run", "DEFAULT_N_PROCS"]
+
+DEFAULT_N_PROCS: tuple[int, ...] = (10_000, 25_000, 50_000, 100_000, 200_000, 400_000, 1_000_000)
+
+
+def run(
+    quick: bool = True,
+    seed: SeedLike = 2019,
+    *,
+    checkpoint: float = 60.0,
+    mtbf: float = PAPER_MTBF,
+    n_procs_values: tuple[int, ...] = DEFAULT_N_PROCS,
+    gamma: float = PAPER_GAMMA,
+    alpha: float = PAPER_ALPHA,
+) -> ExperimentResult:
+    """Reproduce one panel of Figure 10 (``checkpoint`` = 60 or 600)."""
+    n_runs = mc_samples(quick, quick_runs=40, full_runs=500)
+    costs = paper_costs(checkpoint)
+    app = AmdahlApplication(
+        sequential_fraction=gamma,
+        replication_slowdown=alpha,
+        sequential_work=sequential_work_for_one_week(gamma),
+    )
+
+    result = ExperimentResult(
+        name=f"fig10-C{int(checkpoint)}",
+        title=(
+            f"Time-to-solution (days) vs N: mu={mtbf / YEAR:g}y, "
+            f"C^R=C={checkpoint:g}s, gamma={gamma:g}, alpha={alpha:g}"
+        ),
+        columns=[
+            "n_procs",
+            "no_replication",
+            "restart_full",
+            "norestart_full",
+            "partial90_Trs",
+            "partial50_Tno",
+        ],
+        meta={"checkpoint": checkpoint, "n_runs": n_runs},
+    )
+
+    seeds = spawn_seeds(seed, len(n_procs_values))
+    for n, s in zip(n_procs_values, seeds):
+        children = spawn_seeds(s, 5)
+        b = n // 2
+        row = {"n_procs": n}
+
+        t_yd = young_daly_period(mtbf, checkpoint, n)
+        row["no_replication"] = _tts_or_inf(
+            lambda: simulate_no_replication(
+                mtbf=mtbf, n_procs=n, period=t_yd, costs=costs,
+                n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=children[0],
+            ),
+            app, n, replicated=False,
+            viable=_attempt_viable(t_yd, checkpoint, n / mtbf),
+        )
+
+        t_rs = restart_period(mtbf, costs.restart_checkpoint, b)
+        t_no = no_restart_period(mtbf, checkpoint, b)
+        rs = simulate_restart(
+            mtbf=mtbf, n_pairs=b, period=t_rs, costs=costs,
+            n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=children[1],
+        )
+        nr = simulate_no_restart(
+            mtbf=mtbf, n_pairs=b, period=t_no, costs=costs,
+            n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=children[2],
+        )
+        row["restart_full"] = _amdahl_days(app, n, rs.mean_overhead, replicated=True)
+        row["norestart_full"] = _amdahl_days(app, n, nr.mean_overhead, replicated=True)
+
+        for tag, frac, period, restart_flag, child in (
+            ("partial90_Trs", 0.9, t_rs, True, children[3]),
+            ("partial50_Tno", 0.5, t_no, False, children[4]),
+        ):
+            platform = Platform.partially_replicated(n, mtbf, frac)
+            viable = _attempt_viable(period, checkpoint, platform.n_standalone / mtbf)
+            row[tag] = _tts_or_inf(
+                lambda p=platform, t=period, rf=restart_flag, c=child: simulate_partial_replication(
+                    mtbf=mtbf, platform=p, period=t, costs=costs, restart_at_checkpoint=rf,
+                    n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=c,
+                ),
+                app, platform.n_logical, replicated="partial", viable=viable,
+                alpha=alpha, gamma=gamma,
+            )
+        result.add_row(**row)
+
+    rows = result.rows
+    rs_wins = all(r["restart_full"] <= r["norestart_full"] * 1.01 for r in rows)
+    result.note(f"restart <= no-restart time-to-solution for every N: {rs_wins}")
+    crossover = None
+    for r in rows:
+        if r["restart_full"] < r["no_replication"]:
+            crossover = r["n_procs"]
+            break
+    result.note(
+        f"full replication overtakes no replication from N={crossover} "
+        f"(paper: N >= 2e5 for C=60s, roughly 10x fewer processors for C=600s)"
+    )
+    return result

@@ -1,0 +1,142 @@
+"""Figure 1: CDFs of time to application failure, with and without replication.
+
+The paper's headline reliability comparison (individual MTBF ``mu``):
+
+(a) one processor vs two parallel processors vs one replicated pair
+    (``mu = 5`` years): time to 90 % failure probability is 1688 days,
+    844 days and 2178 days respectively;
+(b) 100,000 parallel processors vs 200,000 parallel processors vs 100,000
+    replicated pairs: 24 minutes, 12 minutes and 5081 minutes (~85 hours).
+
+Everything here is closed form (:mod:`repro.core.mtti`); a Monte-Carlo
+column cross-checks the replicated CDF via
+:func:`~repro.core.mtti.sample_time_to_interruption`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mtti import (
+    interruption_cdf,
+    interruption_quantile,
+    no_replication_cdf,
+    no_replication_quantile,
+    sample_time_to_interruption,
+)
+from repro.experiments.common import ExperimentResult, PAPER_MTBF
+from repro.util.rng import SeedLike
+from repro.util.units import DAY, MINUTE
+
+__all__ = ["run", "quantile_table", "cdf_series"]
+
+#: paper-reported 90 % quantiles for the six configurations
+PAPER_REPORTED = {
+    "1 proc": 1688 * DAY,
+    "2 procs": 844 * DAY,
+    "1 pair": 2178 * DAY,
+    "100k procs": 24 * MINUTE,
+    "200k procs": 12 * MINUTE,
+    "100k pairs": 5081 * MINUTE,
+}
+
+
+def quantile_table(
+    mu: float = PAPER_MTBF, *, q: float = 0.9, mc_samples: int = 0, seed: SeedLike = None
+) -> ExperimentResult:
+    """90 %-failure-time table behind Figure 1 (analytic, optional MC check)."""
+    result = ExperimentResult(
+        name="fig1-quantiles",
+        title=f"Time to reach {q:.0%} probability of application failure",
+        columns=["config", "analytic_s", "analytic_human", "paper_s", "mc_s"],
+        meta={"mu": mu, "q": q},
+    )
+    configs: list[tuple[str, float, int | None, int | None]] = [
+        # (label, quantile seconds, n_procs (no repl) or None, b (repl) or None)
+        ("1 proc", no_replication_quantile(q, mu, 1), 1, None),
+        ("2 procs", no_replication_quantile(q, mu, 2), 2, None),
+        ("1 pair", interruption_quantile(q, mu, 1), None, 1),
+        ("100k procs", no_replication_quantile(q, mu, 100_000), 100_000, None),
+        ("200k procs", no_replication_quantile(q, mu, 200_000), 200_000, None),
+        ("100k pairs", interruption_quantile(q, mu, 100_000), None, 100_000),
+    ]
+    from repro.util.units import format_duration
+
+    rng = np.random.default_rng(seed)
+    for label, t_q, n_procs, b in configs:
+        mc = float("nan")
+        if mc_samples and b is not None:
+            samples = sample_time_to_interruption(mu, b, mc_samples, rng=rng)
+            mc = float(np.quantile(samples, q))
+        result.add_row(
+            config=label,
+            analytic_s=t_q,
+            analytic_human=format_duration(t_q),
+            paper_s=PAPER_REPORTED[label],
+            mc_s=mc,
+        )
+    result.note(
+        "replication shape check: pair outlives both 1-proc and 2-proc configs; "
+        "100k pairs outlive 100k and 200k parallel procs by orders of magnitude"
+    )
+    return result
+
+
+def cdf_series(
+    mu: float = PAPER_MTBF, *, panel: str = "b", n_points: int = 61
+) -> ExperimentResult:
+    """CDF curves of Figure 1, panel ``"a"`` (small) or ``"b"`` (at scale)."""
+    if panel == "a":
+        horizon = interruption_quantile(0.999, mu, 1)
+        configs = [("1 proc", 1, None), ("2 procs", 2, None), ("1 pair", None, 1)]
+    elif panel == "b":
+        horizon = interruption_quantile(0.999, mu, 100_000)
+        configs = [
+            ("100k procs", 100_000, None),
+            ("200k procs", 200_000, None),
+            ("100k pairs", None, 100_000),
+        ]
+    else:
+        from repro.exceptions import ParameterError
+
+        raise ParameterError(f"panel must be 'a' or 'b', got {panel!r}")
+
+    t = np.linspace(0.0, horizon, n_points)
+    result = ExperimentResult(
+        name=f"fig1{panel}-cdf",
+        title=f"Figure 1({panel}): CDF of time to application failure",
+        columns=["t_s"] + [c[0] for c in configs],
+        meta={"mu": mu, "panel": panel},
+    )
+    series = {}
+    for label, n_procs, b in configs:
+        if b is None:
+            series[label] = no_replication_cdf(t, mu, n_procs)
+        else:
+            series[label] = interruption_cdf(t, mu, b)
+    for i, ti in enumerate(t):
+        result.add_row(t_s=float(ti), **{lbl: float(series[lbl][i]) for lbl in series})
+    return result
+
+
+def run(quick: bool = True, seed: SeedLike = 2019) -> ExperimentResult:
+    """Figure 1 driver: quantile table with an MC cross-check column.
+
+    Reproduction note: the paper's caption says ``mu = 5`` years, but all
+    six reported 90 %-quantiles (1688/844/2178 days, 24/12/5081 min) match
+    the closed-form CDFs at ``mu = 2`` years to within 0.5 % — and *none*
+    of them at 5 years.  We therefore evaluate at ``mu = 2`` years so the
+    absolute numbers are comparable, and record the discrepancy; every
+    *ratio* between configurations is mu-independent and matches at any mu.
+    """
+    from repro.util.units import YEAR
+
+    mc = 20_000 if quick else 200_000
+    result = quantile_table(mu=2 * YEAR, mc_samples=mc, seed=seed)
+    result.note(
+        "paper caption says mu=5y, but its reported quantiles correspond to "
+        "mu=2y (all six match within 0.5% at 2y; all are 2.5x off at 5y); "
+        "ratios (2x between 1/2 procs, 1.29x pair/proc, ~212x pairs/procs "
+        "at scale) hold for any mu"
+    )
+    return result

@@ -1,0 +1,92 @@
+"""Figure 6: *restart* vs *restart-on-failure*.
+
+Restart-on-failure checkpoints after **every** failure instead of
+periodically.  The paper shows it "works as designed" (no rollback ever
+needed) but its checkpoint-time overhead explodes as the MTBF shrinks,
+while ``Restart(T_opt^rs)`` stays low: absorbing most failures with the
+replicas — and rejuvenating only periodically — is essential for
+performance.
+
+Both strategies execute the same total work (100 optimal restart periods).
+"""
+
+from __future__ import annotations
+
+from repro.core.periods import restart_period
+from repro.experiments.common import (
+    ExperimentResult,
+    PAPER_N_PAIRS,
+    PAPER_N_PERIODS,
+    mc_samples,
+    paper_costs,
+)
+from repro.simulation.restart_on_failure import simulate_restart_on_failure
+from repro.simulation.runner import simulate_restart
+from repro.util.rng import SeedLike, spawn_seeds
+from repro.util.units import YEAR
+
+__all__ = ["run", "DEFAULT_MTBFS"]
+
+DEFAULT_MTBFS: tuple[float, ...] = (
+    0.5 * YEAR,
+    1 * YEAR,
+    2 * YEAR,
+    5 * YEAR,
+    10 * YEAR,
+    25 * YEAR,
+)
+
+
+def run(
+    quick: bool = True,
+    seed: SeedLike = 2019,
+    *,
+    checkpoint: float = 60.0,
+    n_pairs: int = PAPER_N_PAIRS,
+    mtbfs: tuple[float, ...] = DEFAULT_MTBFS,
+) -> ExperimentResult:
+    """Reproduce Figure 6: overhead vs MTBF for the two reactive strategies."""
+    n_runs = mc_samples(quick, quick_runs=40, full_runs=500)
+    costs = paper_costs(checkpoint)
+
+    result = ExperimentResult(
+        name="fig6",
+        title=f"Restart vs restart-on-failure (C={checkpoint:g}s, b={n_pairs:,})",
+        columns=["mtbf_years", "ovh_restart_Trs", "ovh_restart_on_failure", "rof_rollbacks"],
+        meta={"checkpoint": checkpoint, "n_runs": n_runs},
+    )
+
+    seeds = spawn_seeds(seed, len(mtbfs))
+    for mu, s in zip(mtbfs, seeds):
+        t_rs = restart_period(mu, costs.restart_checkpoint, n_pairs)
+        work = PAPER_N_PERIODS * t_rs
+        children = spawn_seeds(s, 2)
+        rs = simulate_restart(
+            mtbf=mu, n_pairs=n_pairs, period=t_rs, costs=costs,
+            n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=children[0],
+        )
+        rof = simulate_restart_on_failure(
+            mtbf=mu, n_pairs=n_pairs, work_target=work, costs=costs,
+            n_runs=n_runs, seed=children[1],
+        )
+        result.add_row(
+            mtbf_years=mu / YEAR,
+            ovh_restart_Trs=rs.mean_overhead,
+            ovh_restart_on_failure=rof.mean_overhead,
+            rof_rollbacks=int(rof.n_fatal.sum()),
+        )
+
+    rows = result.rows
+    rof_wins_nowhere = all(r["ovh_restart_on_failure"] >= r["ovh_restart_Trs"] for r in rows)
+    result.note(f"restart-on-failure never beats Restart(T_opt^rs): {rof_wins_nowhere}")
+    growth = rows[0]["ovh_restart_on_failure"] / max(rows[-1]["ovh_restart_on_failure"], 1e-12)
+    result.note(
+        f"restart-on-failure overhead grows ~{growth:.0f}x from the most to the "
+        "least failure-prone point (paper: quickly grows to high values as MTBF decreases)"
+    )
+    total_rollbacks = sum(r["rof_rollbacks"] for r in rows)
+    result.note(
+        f"restart-on-failure rollbacks across all simulations: {total_rollbacks} "
+        "(paper: no rollback was ever needed)"
+    )
+    return result

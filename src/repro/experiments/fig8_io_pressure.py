@@ -1,0 +1,118 @@
+"""Figure 8 / Section 7.5: period length vs MTBF — I/O pressure.
+
+Plots ``T_opt^rs`` against ``T_MTTI^no`` as the node MTBF varies
+(``C in {60, 600}``, ``b = 100,000``).  Because
+``T_opt^rs = Theta(mu^{2/3})`` while ``T_MTTI^no = Theta(mu^{1/2})``, the
+ratio ``T_opt^rs / T_MTTI^no`` *increases as the MTBF decreases*: on
+unreliable platforms the restart strategy checkpoints ever less frequently
+relative to prior work, directly relieving file-system pressure.
+
+The driver also converts the periods into checkpoint-frequency and
+I/O-time-fraction estimates via a short simulation at each point.
+"""
+
+from __future__ import annotations
+
+from repro.core.periods import no_restart_period, restart_period
+from repro.experiments.common import (
+    ExperimentResult,
+    PAPER_N_PAIRS,
+    PAPER_N_PERIODS,
+    mc_samples,
+    paper_costs,
+)
+from repro.simulation.metrics import io_pressure
+from repro.simulation.runner import simulate_no_restart, simulate_restart
+from repro.util.rng import SeedLike, spawn_seeds
+from repro.util.units import YEAR
+
+__all__ = ["run", "DEFAULT_MTBFS"]
+
+DEFAULT_MTBFS: tuple[float, ...] = (
+    0.25 * YEAR,
+    0.5 * YEAR,
+    1 * YEAR,
+    2 * YEAR,
+    5 * YEAR,
+    10 * YEAR,
+    20 * YEAR,
+    50 * YEAR,
+    100 * YEAR,
+)
+
+
+def run(
+    quick: bool = True,
+    seed: SeedLike = 2019,
+    *,
+    checkpoint: float = 60.0,
+    n_pairs: int = PAPER_N_PAIRS,
+    mtbfs: tuple[float, ...] = DEFAULT_MTBFS,
+    simulate_io: bool = True,
+) -> ExperimentResult:
+    """Reproduce one panel of Figure 8 plus the Section 7.5 I/O metrics."""
+    costs = paper_costs(checkpoint)
+    n_runs = mc_samples(quick, quick_runs=30, full_runs=300)
+
+    result = ExperimentResult(
+        name=f"fig8-C{int(checkpoint)}",
+        title=f"Period length vs MTBF (C={checkpoint:g}s, b={n_pairs:,})",
+        columns=[
+            "mtbf_years",
+            "T_opt_rs",
+            "T_mtti_no",
+            "period_ratio",
+            "ckpt_per_day_rs",
+            "ckpt_per_day_no",
+        ],
+        meta={"checkpoint": checkpoint},
+    )
+
+    seeds = spawn_seeds(seed, len(mtbfs))
+    for mu, s in zip(mtbfs, seeds):
+        t_rs = restart_period(mu, costs.restart_checkpoint, n_pairs)
+        t_no = no_restart_period(mu, costs.checkpoint, n_pairs)
+        ck_rs = ck_no = float("nan")
+        if simulate_io:
+            children = spawn_seeds(s, 2)
+            rs = simulate_restart(
+                mtbf=mu, n_pairs=n_pairs, period=t_rs, costs=costs,
+                n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=children[0],
+            )
+            nr = simulate_no_restart(
+                mtbf=mu, n_pairs=n_pairs, period=t_no, costs=costs,
+                n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=children[1],
+            )
+            ck_rs = io_pressure(rs).checkpoints_per_day
+            ck_no = io_pressure(nr).checkpoints_per_day
+        result.add_row(
+            mtbf_years=mu / YEAR,
+            T_opt_rs=t_rs,
+            T_mtti_no=t_no,
+            period_ratio=t_rs / t_no,
+            ckpt_per_day_rs=ck_rs,
+            ckpt_per_day_no=ck_no,
+        )
+
+    ratios = result.column("period_ratio")
+    always_longer = all(r > 1.0 for r in ratios)
+    result.note(
+        f"T_opt^rs > T_MTTI^no across the whole sweep: {always_longer} "
+        f"(ratio {min(ratios):.2f}x .. {max(ratios):.2f}x); restart checkpoints "
+        "less often, relieving I/O pressure"
+    )
+    # Verify the scaling exponents from the sweep itself: T ~ mu^e with
+    # e = 2/3 for restart and 1/2 for no-restart.
+    import math
+
+    mu_lo, mu_hi = mtbfs[0], mtbfs[-1]
+    t_rs_col = result.column("T_opt_rs")
+    t_no_col = result.column("T_mtti_no")
+    e_rs = math.log(t_rs_col[-1] / t_rs_col[0]) / math.log(mu_hi / mu_lo)
+    e_no = math.log(t_no_col[-1] / t_no_col[0]) / math.log(mu_hi / mu_lo)
+    result.note(
+        f"fitted period exponents: restart mu^{e_rs:.3f} (theory 2/3), "
+        f"no-restart mu^{e_no:.3f} (theory 1/2) — T_opt^rs grows faster with "
+        "reliability, i.e. shrinks more slowly as platforms degrade"
+    )
+    return result

@@ -1,0 +1,219 @@
+"""Figure 9: time-to-solution vs MTBF — full, partial and no replication.
+
+For ``N = 200,000`` processors, ``gamma = 1e-5``, ``alpha = 0.2``,
+``C^R = C in {60, 600}``, and an application sized to last one week on
+100,000 failure-free processors, sweeps the node MTBF and reports the
+time-to-solution of:
+
+* no replication, period ``T_opt`` (Young/Daly, Eq. 6);
+* ``Restart(T_opt^rs)`` and ``NoRestart(T_MTTI^no)`` with full replication;
+* ``Partial90(T_opt^rs)`` (90 % of processors paired) and
+  ``Partial50(T_MTTI^no)``.
+
+Expected shapes: below an MTBF crossover full replication wins (and the
+unreplicated/partial configurations may fail to complete at all — reported
+as ``inf``); restart always edges out no-restart; partial replication never
+wins on a homogeneous platform.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.amdahl import AmdahlApplication, parallel_time_factor
+from repro.core.periods import no_restart_period, restart_period, young_daly_period
+from repro.exceptions import SimulationError
+from repro.experiments.common import (
+    ExperimentResult,
+    PAPER_ALPHA,
+    PAPER_GAMMA,
+    PAPER_N_PERIODS,
+    PAPER_N_PROCS,
+    mc_samples,
+    paper_costs,
+)
+from repro.platform_model.machine import Platform
+from repro.simulation.runner import (
+    simulate_no_replication,
+    simulate_no_restart,
+    simulate_partial_replication,
+    simulate_restart,
+)
+from repro.util.rng import SeedLike, spawn_seeds
+from repro.util.units import DAY, WEEK, YEAR
+
+__all__ = ["run", "DEFAULT_MTBFS", "sequential_work_for_one_week"]
+
+DEFAULT_MTBFS: tuple[float, ...] = (
+    0.2 * YEAR,
+    0.5 * YEAR,
+    1 * YEAR,
+    2 * YEAR,
+    5 * YEAR,
+    10 * YEAR,
+    30 * YEAR,
+    100 * YEAR,
+)
+
+#: abort the simulation of a configuration whose per-attempt success
+#: probability is below this (the paper: "simulations ... would not
+#: complete, because one fault was (almost) always striking before a
+#: checkpoint")
+_MIN_SUCCESS_PROBABILITY = 1e-3
+
+
+def sequential_work_for_one_week(gamma: float = PAPER_GAMMA) -> float:
+    """``T_seq`` so the app lasts one week on 100,000 procs (paper setup)."""
+    return WEEK / parallel_time_factor(gamma, 100_000, replicated=False)
+
+
+def _attempt_viable(period: float, checkpoint: float, platform_rate: float) -> bool:
+    """Can a period ever complete? (success prob of one attempt, crude bound)."""
+    return math.exp(-(period + checkpoint) * platform_rate) >= _MIN_SUCCESS_PROBABILITY
+
+
+def run(
+    quick: bool = True,
+    seed: SeedLike = 2019,
+    *,
+    checkpoint: float = 60.0,
+    n_procs: int = PAPER_N_PROCS,
+    mtbfs: tuple[float, ...] = DEFAULT_MTBFS,
+    gamma: float = PAPER_GAMMA,
+    alpha: float = PAPER_ALPHA,
+) -> ExperimentResult:
+    """Reproduce one panel of Figure 9 (``checkpoint`` = 60 or 600)."""
+    n_runs = mc_samples(quick, quick_runs=40, full_runs=500)
+    costs = paper_costs(checkpoint)
+    app = AmdahlApplication(
+        sequential_fraction=gamma,
+        replication_slowdown=alpha,
+        sequential_work=sequential_work_for_one_week(gamma),
+    )
+    b = n_procs // 2
+
+    result = ExperimentResult(
+        name=f"fig9-C{int(checkpoint)}",
+        title=(
+            f"Time-to-solution (days) vs MTBF: N={n_procs:,}, C^R=C={checkpoint:g}s, "
+            f"gamma={gamma:g}, alpha={alpha:g}"
+        ),
+        columns=[
+            "mtbf_years",
+            "no_replication",
+            "restart_full",
+            "norestart_full",
+            "partial90_Trs",
+            "partial50_Tno",
+        ],
+        meta={"checkpoint": checkpoint, "n_runs": n_runs, "failure_free_days": float("nan")},
+    )
+    failure_free = app.parallel_time(n_procs, replicated=False) / DAY
+    result.meta["failure_free_days"] = failure_free
+
+    seeds = spawn_seeds(seed, len(mtbfs))
+    for mu, s in zip(mtbfs, seeds):
+        children = spawn_seeds(s, 5)
+        row = {"mtbf_years": mu / YEAR}
+
+        # --- no replication -------------------------------------------
+        t_yd = young_daly_period(mu, checkpoint, n_procs)
+        row["no_replication"] = _tts_or_inf(
+            lambda: simulate_no_replication(
+                mtbf=mu, n_procs=n_procs, period=t_yd, costs=costs,
+                n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=children[0],
+            ),
+            app, n_procs, replicated=False,
+            viable=_attempt_viable(t_yd, checkpoint, n_procs / mu),
+        )
+
+        # --- full replication ------------------------------------------
+        t_rs = restart_period(mu, costs.restart_checkpoint, b)
+        t_no = no_restart_period(mu, checkpoint, b)
+        rs = simulate_restart(
+            mtbf=mu, n_pairs=b, period=t_rs, costs=costs,
+            n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=children[1],
+        )
+        nr = simulate_no_restart(
+            mtbf=mu, n_pairs=b, period=t_no, costs=costs,
+            n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=children[2],
+        )
+        row["restart_full"] = _amdahl_days(app, n_procs, rs.mean_overhead, replicated=True)
+        row["norestart_full"] = _amdahl_days(app, n_procs, nr.mean_overhead, replicated=True)
+
+        # --- partial replication ----------------------------------------
+        for tag, frac, period, restart_flag, child in (
+            ("partial90_Trs", 0.9, t_rs, True, children[3]),
+            ("partial50_Tno", 0.5, t_no, False, children[4]),
+        ):
+            platform = Platform.partially_replicated(n_procs, mu, frac)
+            standalone_rate = platform.n_standalone / mu
+            viable = _attempt_viable(period, checkpoint, standalone_rate)
+            row[tag] = _tts_or_inf(
+                lambda p=platform, t=period, rf=restart_flag, c=child: simulate_partial_replication(
+                    mtbf=mu, platform=p, period=t, costs=costs, restart_at_checkpoint=rf,
+                    n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=c,
+                ),
+                app, platform.n_logical * 1, n_procs_physical=n_procs,
+                replicated="partial", viable=viable, alpha=alpha, gamma=gamma,
+            )
+        result.add_row(**row)
+
+    rows = result.rows
+    rs_wins = all(r["restart_full"] <= r["norestart_full"] * 1.01 for r in rows)
+    result.note(f"restart <= no-restart time-to-solution everywhere: {rs_wins}")
+    short = rows[0]
+    repl_needed = short["restart_full"] < short["no_replication"]
+    result.note(
+        f"at the shortest MTBF, full replication beats no replication: {repl_needed} "
+        "(paper: replication becomes mandatory when the MTBF is too short)"
+    )
+    partial_never_best = all(
+        min(r["partial90_Trs"], r["partial50_Tno"])
+        >= min(r["no_replication"], r["restart_full"]) * 0.999
+        for r in rows
+    )
+    result.note(
+        f"partial replication never strictly best: {partial_never_best} "
+        "(paper: partial replication has no benefit on homogeneous platforms)"
+    )
+    return result
+
+
+def _amdahl_days(app: AmdahlApplication, n_procs: int, overhead: float, *, replicated: bool) -> float:
+    return app.parallel_time(n_procs, replicated=replicated) * (1.0 + overhead) / DAY
+
+
+def _partial_parallel_time(app: AmdahlApplication, n_logical: int, alpha: float, gamma: float) -> float:
+    """Failure-free time for a partially replicated platform.
+
+    Natural extension of paper Section 5: the application computes on the
+    ``n_logical`` logical processors (pairs + standalone) and pays the
+    active-replication slowdown ``1 + alpha`` (messages to/from any
+    replicated process are duplicated).
+    """
+    return app.sequential_work * (1.0 + alpha) * (gamma + (1.0 - gamma) / n_logical)
+
+
+def _tts_or_inf(
+    sim_fn,
+    app: AmdahlApplication,
+    n_logical: int,
+    *,
+    replicated,
+    viable: bool,
+    n_procs_physical: int | None = None,
+    alpha: float | None = None,
+    gamma: float | None = None,
+) -> float:
+    """Run a simulation and convert to time-to-solution; inf if not viable."""
+    if not viable:
+        return float("inf")
+    try:
+        runs = sim_fn()
+    except SimulationError:
+        return float("inf")
+    if replicated == "partial":
+        base = _partial_parallel_time(app, n_logical, alpha, gamma)
+        return base * (1.0 + runs.mean_overhead) / DAY
+    return _amdahl_days(app, n_logical, runs.mean_overhead, replicated=replicated)

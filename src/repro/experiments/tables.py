@@ -1,0 +1,88 @@
+"""Analytic tables: n_fail estimates (Section 4.1) and asymptotics (Section 6).
+
+Two tables without a figure number in the paper but with explicit claims:
+
+* **n_fail table** — Theorem 4.1's closed form against the exact recursion,
+  the integral form (Eq. 9), the birthday approximation ``sqrt(pi b / 2)``
+  (shown to be ~40 % low) and the Stirling asymptotic ``sqrt(pi b)``;
+* **asymptotic ratio table** — ``R(x)`` for ``C = x M_N``: restart is up to
+  ~8.4 % faster and wins for ``x <= 0.64``.
+"""
+
+from __future__ import annotations
+
+from repro.core.asymptotic import asymptotic_ratio, best_gain, breakeven_x
+from repro.core.nfail import (
+    nfail,
+    nfail_birthday_approx,
+    nfail_integral,
+    nfail_monte_carlo,
+    nfail_recursive,
+    nfail_stirling_approx,
+)
+from repro.experiments.common import ExperimentResult
+from repro.util.rng import SeedLike
+
+__all__ = ["nfail_table", "asymptotic_table"]
+
+
+def nfail_table(
+    *,
+    pair_counts: tuple[int, ...] = (1, 2, 5, 10, 100, 1000, 10_000, 100_000),
+    mc_pairs: tuple[int, ...] = (1, 10, 100),
+    mc_trials: int = 20_000,
+    seed: SeedLike = 2019,
+) -> ExperimentResult:
+    """Compare every n_fail estimate the paper discusses."""
+    result = ExperimentResult(
+        name="table-nfail",
+        title="Expected failures to interruption: closed form vs alternatives",
+        columns=["b", "closed_form", "recursive", "integral", "birthday", "stirling", "monte_carlo"],
+    )
+    for b in pair_counts:
+        mc = float("nan")
+        if b in mc_pairs:
+            mc, _ = nfail_monte_carlo(b, n_trials=mc_trials, seed=seed)
+        result.add_row(
+            b=b,
+            closed_form=nfail(b),
+            recursive=nfail_recursive(b) if b <= 200_000 else float("nan"),
+            integral=nfail_integral(b) if b <= 2000 else float("nan"),
+            birthday=nfail_birthday_approx(b),
+            stirling=nfail_stirling_approx(b),
+            monte_carlo=mc,
+        )
+    big = result.rows[-1]
+    ratio = big["closed_form"] / big["birthday"]
+    result.note(
+        f"closed form / birthday approximation at b={big['b']}: {ratio:.3f} "
+        "(paper: the birthday analogy underestimates by ~40%, i.e. ratio ~ sqrt(2))"
+    )
+    result.note(
+        f"n_fail(2b) for b=100,000: {nfail(100_000):.1f} (paper Section 7.7: 561)"
+    )
+    return result
+
+
+def asymptotic_table(
+    *,
+    x_values: tuple[float, ...] = (0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.64, 0.8, 1.0),
+) -> ExperimentResult:
+    """Section 6: the scale-free restart/no-restart ratio R(x)."""
+    result = ExperimentResult(
+        name="table-asymptotic",
+        title="Asymptotic time-to-solution ratio R(x) under C = x * MTTI",
+        columns=["x", "ratio", "restart_faster"],
+    )
+    for x in x_values:
+        r = asymptotic_ratio(x)
+        result.add_row(x=x, ratio=r, restart_faster=bool(r < 1.0))
+    x_star, gain = best_gain()
+    x_even = breakeven_x()
+    result.note(f"max gain of restart: {gain:.1%} at x={x_star:.3f} (paper: up to 8.4%)")
+    result.note(
+        f"restart wins for x <= {x_even:.3f} (paper: as long as the checkpoint "
+        "takes less than ~2/3 of the MTTI, x in [0, 0.64])"
+    )
+    result.meta.update({"x_star": x_star, "gain": gain, "breakeven": x_even})
+    return result

@@ -1,0 +1,72 @@
+"""Failure-model substrate: distributions, traces, generators, diagnostics."""
+
+from repro.failures.correlation import (
+    cascade_fraction,
+    dispersion_index,
+    exponential_ks_statistic,
+    is_correlated,
+)
+from repro.failures.distributions import (
+    Exponential,
+    Gamma,
+    InterArrivalDistribution,
+    LogNormal,
+    Weibull,
+    distribution_from_name,
+)
+from repro.failures.fitting import FitResult, best_fit, fit_exponential, fit_weibull
+from repro.failures.generator import (
+    ExponentialFailureSource,
+    FailureSource,
+    FailureStream,
+    RenewalFailureSource,
+    TraceFailureSource,
+)
+from repro.failures.heterogeneous import (
+    HeterogeneousExponentialSource,
+    arrange_rates_for_partial_replication,
+    two_tier_rates,
+)
+from repro.failures.lanl import (
+    LANL2_SPEC,
+    LANL18_SPEC,
+    LanlTraceSpec,
+    make_lanl2_like,
+    make_lanl18_like,
+    synthesize_trace,
+)
+from repro.failures.traces import FailureTrace, groups_for_target, platform_failure_stream
+
+__all__ = [
+    "InterArrivalDistribution",
+    "Exponential",
+    "Weibull",
+    "LogNormal",
+    "Gamma",
+    "distribution_from_name",
+    "FailureTrace",
+    "platform_failure_stream",
+    "groups_for_target",
+    "LanlTraceSpec",
+    "LANL2_SPEC",
+    "LANL18_SPEC",
+    "synthesize_trace",
+    "make_lanl2_like",
+    "make_lanl18_like",
+    "FailureSource",
+    "ExponentialFailureSource",
+    "RenewalFailureSource",
+    "TraceFailureSource",
+    "FailureStream",
+    "HeterogeneousExponentialSource",
+    "two_tier_rates",
+    "arrange_rates_for_partial_replication",
+    "FitResult",
+    "fit_exponential",
+    "fit_weibull",
+    "best_fit",
+    "dispersion_index",
+    "cascade_fraction",
+    "exponential_ks_statistic",
+    "is_correlated",
+]

@@ -1,0 +1,125 @@
+"""Failure-correlation diagnostics.
+
+The paper distinguishes LANL#2 (correlated failures, cascades) from LANL#18
+(independent) following Aupy, Robert & Vivien's study.  These diagnostics
+let the test suite and the Figure 4 experiment verify that our synthetic
+traces land on the right side of that divide:
+
+* :func:`dispersion_index` — variance-to-mean ratio of failure counts in
+  fixed windows (1 for a Poisson process; > 1 means clustering);
+* :func:`cascade_fraction` — fraction of failures arriving within a short
+  window of a failure on a *different* node (the cascade signature);
+* :func:`exponential_ks_statistic` — Kolmogorov–Smirnov distance between
+  the merged inter-arrival distribution and the fitted exponential.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.failures.traces import FailureTrace
+from repro.util.validation import check_positive
+
+__all__ = [
+    "dispersion_index",
+    "cascade_fraction",
+    "exponential_ks_statistic",
+    "is_correlated",
+]
+
+
+def dispersion_index(trace: FailureTrace, window: float | None = None) -> float:
+    """Variance-to-mean ratio of failure counts in fixed windows.
+
+    For a homogeneous Poisson process the index is 1; burstiness and
+    cross-node correlation push it above 1.  The default window is ten
+    times the trace MTBF, large enough to average per-window counts ~10.
+    """
+    if window is None:
+        window = 10.0 * trace.mtbf
+    window = check_positive("window", window)
+    n_windows = int(trace.duration // window)
+    if n_windows < 2:
+        from repro.exceptions import ParameterError
+
+        raise ParameterError("window too large: fewer than two windows fit in the trace")
+    edges = np.arange(n_windows + 1) * window
+    counts, _ = np.histogram(trace.times, bins=edges)
+    mean = counts.mean()
+    if mean == 0:
+        return 0.0
+    return float(counts.var(ddof=1) / mean)
+
+
+def cascade_fraction(trace: FailureTrace, window: float = 600.0) -> float:
+    """Fraction of failures following a different-node failure within *window*.
+
+    A failure at time ``t`` on node ``v`` counts as cascaded if some earlier
+    failure happened at ``t' in (t - window, t]`` on a node ``!= v``.
+    Computed in O(n) with a sliding left pointer.
+    """
+    window = check_positive("window", window)
+    times, nodes = trace.times, trace.node_ids
+    n = times.size
+    cascaded = 0
+    left = 0
+    # Track how many events are inside the look-back window and how many of
+    # them are on the same node as the current event (via a counting dict).
+    from collections import defaultdict
+
+    in_window: dict[int, int] = defaultdict(int)
+    total_in_window = 0
+    for i in range(n):
+        t = times[i]
+        while left < i and times[left] <= t - window:
+            in_window[int(nodes[left])] -= 1
+            total_in_window -= 1
+            left += 1
+        same = in_window[int(nodes[i])]
+        if total_in_window - same > 0:
+            cascaded += 1
+        in_window[int(nodes[i])] += 1
+        total_in_window += 1
+    return cascaded / n
+
+
+def exponential_ks_statistic(trace: FailureTrace) -> float:
+    """KS distance between merged inter-arrival gaps and fitted exponential.
+
+    The exponential is fitted by its mean, so a value near 0 supports the
+    Poisson (independent, memoryless) hypothesis for the merged stream.
+    """
+    gaps = trace.inter_arrival_times()
+    gaps = gaps[gaps > 0]
+    if gaps.size < 2:
+        from repro.exceptions import ParameterError
+
+        raise ParameterError("not enough positive gaps for a KS statistic")
+    mean = gaps.mean()
+    sorted_gaps = np.sort(gaps)
+    cdf = -np.expm1(-sorted_gaps / mean)
+    n = sorted_gaps.size
+    ecdf_hi = np.arange(1, n + 1) / n
+    ecdf_lo = np.arange(0, n) / n
+    return float(np.max(np.maximum(np.abs(cdf - ecdf_hi), np.abs(cdf - ecdf_lo))))
+
+
+def is_correlated(
+    trace: FailureTrace,
+    *,
+    dispersion_threshold: float = 2.5,
+    cascade_threshold: float = 0.10,
+    cascade_window: float = 600.0,
+) -> bool:
+    """Heuristic classifier: does the trace show LANL#2-style correlation?
+
+    A trace is flagged correlated when its count dispersion *and* its
+    cascade fraction both exceed their thresholds.  The defaults sit in the
+    factor-10 gap our synthetic LANL#2/LANL#18 analogues exhibit (dispersion
+    ~5 vs ~1.4; cascade fraction ~0.24 vs ~0.02), mirroring the paper's
+    empirical divide (50 % vs 20 % multi-failure rollbacks).
+    """
+    return (
+        dispersion_index(trace) > dispersion_threshold
+        and cascade_fraction(trace, cascade_window) > cascade_threshold
+    )

@@ -1,0 +1,105 @@
+"""Fitting failure distributions to observed inter-arrival times.
+
+Practitioners feeding this library with their own failure logs need the
+node MTBF and a distribution family; these maximum-likelihood fitters
+cover the two families the failure literature uses most, plus a simple
+model selector.  The test suite uses them to verify that the synthetic
+LANL generators are recoverable (fitting a synthesised trace returns the
+shape it was built with).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError, ParameterError
+from repro.failures.distributions import Exponential, InterArrivalDistribution, Weibull
+
+__all__ = ["FitResult", "fit_exponential", "fit_weibull", "best_fit"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of a maximum-likelihood fit."""
+
+    distribution: InterArrivalDistribution
+    log_likelihood: float
+    n_samples: int
+
+    @property
+    def aic(self) -> float:
+        """Akaike information criterion (lower is better)."""
+        k = 1 if isinstance(self.distribution, Exponential) else 2
+        return 2.0 * k - 2.0 * self.log_likelihood
+
+
+def _validate_gaps(gaps) -> np.ndarray:
+    arr = np.asarray(gaps, dtype=float)
+    arr = arr[arr > 0]
+    if arr.size < 2:
+        raise ParameterError("need at least two positive inter-arrival times")
+    return arr
+
+
+def fit_exponential(gaps) -> FitResult:
+    """MLE exponential fit: the rate is the reciprocal sample mean."""
+    arr = _validate_gaps(gaps)
+    mean = float(arr.mean())
+    loglik = float(-arr.size * math.log(mean) - arr.sum() / mean)
+    return FitResult(Exponential(mean=mean), loglik, arr.size)
+
+
+def fit_weibull(gaps, *, tol: float = 1e-10, max_iter: int = 200) -> FitResult:
+    """MLE Weibull fit via Newton iteration on the shape equation.
+
+    The profile-likelihood shape equation is
+    ``1/k = sum(x^k ln x)/sum(x^k) - mean(ln x)``; Newton's method on
+    ``f(k) = 1/k + mean(ln x) - sum(x^k ln x)/sum(x^k)`` converges in a
+    handful of iterations from the common ``k0 = 1`` start.
+    """
+    arr = _validate_gaps(gaps)
+    # Normalise for numerical stability (scale-invariance of the shape).
+    scaled = arr / arr.mean()
+    log_x = np.log(scaled)
+    mean_log = float(log_x.mean())
+
+    k = 1.0
+    for _ in range(max_iter):
+        xk = np.power(scaled, k)
+        sum_xk = float(xk.sum())
+        sum_xk_log = float((xk * log_x).sum())
+        sum_xk_log2 = float((xk * log_x * log_x).sum())
+        f = 1.0 / k + mean_log - sum_xk_log / sum_xk
+        fprime = -1.0 / (k * k) - (sum_xk_log2 * sum_xk - sum_xk_log**2) / sum_xk**2
+        step = f / fprime
+        k_new = k - step
+        if k_new <= 0:
+            k_new = k / 2.0
+        if abs(k_new - k) < tol * max(k, 1.0):
+            k = k_new
+            break
+        k = k_new
+    else:
+        raise ConvergenceError("Weibull shape iteration did not converge")
+
+    scale_scaled = float(np.power(np.power(scaled, k).mean(), 1.0 / k))
+    scale = scale_scaled * float(arr.mean())
+    mean = scale * math.gamma(1.0 + 1.0 / k)
+    dist = Weibull(mean=mean, shape=k)
+    # Log-likelihood with the fitted parameters (original scale).
+    n = arr.size
+    loglik = float(
+        n * (math.log(k) - k * math.log(scale))
+        + (k - 1.0) * np.log(arr).sum()
+        - np.power(arr / scale, k).sum()
+    )
+    return FitResult(dist, loglik, n)
+
+
+def best_fit(gaps) -> FitResult:
+    """Fit both families and return the AIC-preferred one."""
+    candidates = [fit_exponential(gaps), fit_weibull(gaps)]
+    return min(candidates, key=lambda r: r.aic)

@@ -1,0 +1,253 @@
+"""Platform failure streams for the event-driven simulator.
+
+A *failure stream* is a time-ordered sequence of ``(time, processor)``
+events.  The general simulation engine consumes streams through the
+:class:`FailureStream` cursor, which supports lazy extension because the
+total execution time of a run (with re-executions) is not known in advance.
+
+Semantics note: streams are generated **as if every processor kept failing
+at its own rate even while dead**; the engine simply ignores events that
+strike an already-dead processor.  For exponential (memoryless) failures
+this is *exactly* equivalent to the real dynamics where only live
+processors fail, and it matches how log traces are replayed (a recorded
+failure of a node that our simulated application already lost is a no-op).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.failures.distributions import InterArrivalDistribution
+from repro.failures.traces import FailureTrace, platform_failure_stream
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = [
+    "FailureSource",
+    "ExponentialFailureSource",
+    "RenewalFailureSource",
+    "TraceFailureSource",
+    "FailureStream",
+]
+
+
+class FailureSource(ABC):
+    """Factory of platform failure events over a requested horizon."""
+
+    #: number of processors addressed by the events
+    n_procs: int
+
+    @abstractmethod
+    def generate(self, t0: float, t1: float, rng: np.random.Generator):
+        """Return ``(times, procs)`` for all events in ``[t0, t1)``.
+
+        Successive calls with adjacent intervals must form one consistent
+        sample path (implementations carry whatever state they need).
+        """
+
+    def _fresh(self) -> "FailureSource":
+        """Return a source instance with pristine per-path state.
+
+        Stateless sources may return ``self``; stateful ones (renewal,
+        trace) must return an independent copy so that concurrently open
+        cursors never share a sample path.
+        """
+        return self
+
+    def open(self, seed: SeedLike = None, *, horizon_hint: float | None = None) -> "FailureStream":
+        """Open a lazily-extended cursor over one independent sample path.
+
+        *horizon_hint* pre-generates the path up to an expected run length,
+        which trace-backed sources require (a rotated trace cannot be
+        extended in place once materialised).
+        """
+        return FailureStream(self._fresh(), seed, horizon_hint=horizon_hint)
+
+
+class ExponentialFailureSource(FailureSource):
+    """IID exponential failures: platform-level Poisson process.
+
+    The superposition of ``N`` per-processor Poisson processes of rate
+    ``lambda`` is a Poisson process of rate ``N lambda`` whose events hit a
+    uniformly random processor — which is how events are drawn here, in
+    O(#events) regardless of N.
+    """
+
+    def __init__(self, mtbf: float, n_procs: int) -> None:
+        self.mtbf = check_positive("mtbf", mtbf)
+        self.n_procs = check_positive_int("n_procs", n_procs)
+
+    def generate(self, t0: float, t1: float, rng: np.random.Generator):
+        if t1 <= t0:
+            return np.empty(0), np.empty(0, dtype=np.int64)
+        rate = self.n_procs / self.mtbf
+        expected = (t1 - t0) * rate
+        n = rng.poisson(expected)
+        times = np.sort(rng.uniform(t0, t1, n))
+        procs = rng.integers(0, self.n_procs, n)
+        return times, procs
+
+
+class RenewalFailureSource(FailureSource):
+    """Per-processor renewal processes with an arbitrary gap distribution.
+
+    Exact per-node renewal sampling; cost scales with ``n_procs``, so this
+    source targets small platforms (tests, one-pair studies) and
+    non-exponential what-if experiments.  State (the next pending arrival of
+    each node) persists across ``generate`` calls to keep the sample path
+    consistent.
+    """
+
+    def __init__(self, distribution: InterArrivalDistribution, n_procs: int) -> None:
+        self.distribution = distribution
+        self.n_procs = check_positive_int("n_procs", n_procs)
+        self._next_arrival: np.ndarray | None = None
+        self._generated_until = 0.0
+
+    def _fresh(self) -> "RenewalFailureSource":
+        return RenewalFailureSource(self.distribution, self.n_procs)
+
+    def generate(self, t0: float, t1: float, rng: np.random.Generator):
+        if t1 <= t0:
+            return np.empty(0), np.empty(0, dtype=np.int64)
+        if self._next_arrival is None:
+            self._next_arrival = self.distribution.sample(self.n_procs, rng)
+        if t0 < self._generated_until:
+            raise SimulationError(
+                "RenewalFailureSource cannot rewind; open a fresh stream instead"
+            )
+        times_out: list[float] = []
+        procs_out: list[int] = []
+        nxt = self._next_arrival
+        for p in range(self.n_procs):
+            t = nxt[p]
+            while t < t1:
+                if t >= t0:
+                    times_out.append(t)
+                    procs_out.append(p)
+                t += float(self.distribution.sample(1, rng)[0])
+            nxt[p] = t
+        self._generated_until = t1
+        times = np.asarray(times_out)
+        procs = np.asarray(procs_out, dtype=np.int64)
+        order = np.argsort(times, kind="stable")
+        return times[order], procs[order]
+
+
+class TraceFailureSource(FailureSource):
+    """Replay of a failure log using the paper's group methodology.
+
+    The full platform stream is materialised once per opened cursor (trace
+    rotation + group mapping are randomised per cursor seed, as the paper
+    randomises rotations per simulation set); the trace is tiled cyclically
+    if the requested horizon outlives the log.
+    """
+
+    def __init__(
+        self,
+        trace: FailureTrace,
+        n_procs: int,
+        n_groups: int,
+        *,
+        node_mapping: str = "random",
+        n_pairs: int | None = None,
+    ) -> None:
+        self.trace = trace
+        self.n_procs = check_positive_int("n_procs", n_procs)
+        self.n_groups = check_positive_int("n_groups", n_groups)
+        self.node_mapping = node_mapping
+        self.n_pairs = n_pairs
+        self._times: np.ndarray | None = None
+        self._procs: np.ndarray | None = None
+        self._horizon = 0.0
+
+    def _fresh(self) -> "TraceFailureSource":
+        return TraceFailureSource(
+            self.trace, self.n_procs, self.n_groups,
+            node_mapping=self.node_mapping, n_pairs=self.n_pairs,
+        )
+
+    def _materialise(self, horizon: float, rng: np.random.Generator) -> None:
+        self._times, self._procs = platform_failure_stream(
+            self.trace, self.n_procs, self.n_groups, horizon, seed=rng,
+            node_mapping=self.node_mapping, n_pairs=self.n_pairs,
+        )
+        self._horizon = horizon
+
+    def generate(self, t0: float, t1: float, rng: np.random.Generator):
+        if t1 <= t0:
+            return np.empty(0), np.empty(0, dtype=np.int64)
+        if self._times is None:
+            # Materialise with generous head-room: a rotated trace cannot be
+            # extended in place, so over-provision (events are cheap).
+            self._materialise(max(t1 * 16.0, 1.0), rng)
+        if t1 > self._horizon:
+            raise SimulationError(
+                "trace stream exhausted: re-open the cursor with a larger "
+                "initial horizon (trace rotation cannot be extended in place)"
+            )
+        lo = np.searchsorted(self._times, t0, side="left")
+        hi = np.searchsorted(self._times, t1, side="left")
+        return self._times[lo:hi], self._procs[lo:hi]
+
+
+class FailureStream:
+    """Lazily-extended cursor over one failure sample path.
+
+    The engine repeatedly calls :meth:`failures_between`; the stream buffers
+    generated events and extends the generated horizon geometrically, so
+    the amortised cost is linear in the number of events regardless of how
+    long the run turns out to be.
+    """
+
+    #: initial generation horizon (seconds) when no hint is given
+    INITIAL_HORIZON = 1.0e4
+
+    def __init__(self, source: FailureSource, seed: SeedLike = None, *, horizon_hint: float | None = None):
+        self._source = source
+        self._rng = as_generator(seed)
+        self._times = np.empty(0)
+        self._procs = np.empty(0, dtype=np.int64)
+        self._generated_until = 0.0
+        if horizon_hint is not None:
+            self._extend_to(check_positive("horizon_hint", horizon_hint))
+
+    @property
+    def n_procs(self) -> int:
+        return self._source.n_procs
+
+    def _extend_to(self, t: float) -> None:
+        if t <= self._generated_until:
+            return
+        target = max(
+            t * 1.5,
+            self._generated_until * 2.0,
+            self.INITIAL_HORIZON,
+        )
+        new_times, new_procs = self._source.generate(self._generated_until, target, self._rng)
+        self._times = np.concatenate([self._times, new_times])
+        self._procs = np.concatenate([self._procs, new_procs])
+        self._generated_until = target
+
+    def failures_between(self, t0: float, t1: float) -> tuple[np.ndarray, np.ndarray]:
+        """All events with ``t0 <= time < t1`` (sorted)."""
+        if t1 < t0:
+            raise SimulationError(f"invalid window [{t0}, {t1})")
+        self._extend_to(t1)
+        lo = np.searchsorted(self._times, t0, side="left")
+        hi = np.searchsorted(self._times, t1, side="left")
+        return self._times[lo:hi], self._procs[lo:hi]
+
+    def next_failure_after(self, t: float) -> tuple[float, int] | None:
+        """First event strictly after *t*, extending the path as needed."""
+        probe = max(t, 1.0)
+        for _ in range(64):
+            self._extend_to(probe * 2.0)
+            idx = np.searchsorted(self._times, t, side="right")
+            if idx < self._times.size:
+                return float(self._times[idx]), int(self._procs[idx])
+            probe = self._generated_until
+        raise SimulationError("no failure found after extensive horizon extension")

@@ -1,0 +1,125 @@
+"""Heterogeneous platforms: non-uniform node reliabilities.
+
+The paper concludes that partial replication "has potential benefit only
+for heterogeneous platforms" (following Hussain et al. [25], who study
+platforms whose node failure distributions are not identical).  This module
+provides the substrate to test that boundary:
+
+* :class:`HeterogeneousExponentialSource` — per-processor exponential
+  failure rates, sampled by thinning a dominating Poisson process (exact,
+  vectorised, cost independent of the number of *distinct* rates);
+* :func:`two_tier_rates` — the canonical study layout: a fraction of the
+  platform is ``factor`` times less reliable than the rest;
+* :func:`arrange_rates_for_partial_replication` — permute per-processor
+  rates so that the unreliable processors occupy the *paired* slots of the
+  engine's layout (pair ``i`` = processors ``i`` and ``n_pairs + i``,
+  standalone processors at the end), i.e. "replicate the flaky nodes".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.failures.generator import FailureSource
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = [
+    "HeterogeneousExponentialSource",
+    "two_tier_rates",
+    "arrange_rates_for_partial_replication",
+]
+
+
+class HeterogeneousExponentialSource(FailureSource):
+    """Exponential failures with a per-processor rate vector.
+
+    Sampling uses thinning: events are drawn from a Poisson process at the
+    *total* rate ``sum(rates)`` and each event strikes processor ``p`` with
+    probability ``rates[p] / sum(rates)`` — exactly the superposition of
+    the per-processor processes, with the same dead-slot-absorption
+    convention as the homogeneous source.
+    """
+
+    def __init__(self, rates) -> None:
+        rates_arr = np.asarray(rates, dtype=float)
+        if rates_arr.ndim != 1 or rates_arr.size == 0:
+            raise ParameterError("rates must be a non-empty 1-D array")
+        if np.any(~np.isfinite(rates_arr)) or np.any(rates_arr < 0):
+            raise ParameterError("rates must be finite and non-negative")
+        if rates_arr.sum() <= 0:
+            raise ParameterError("at least one processor must have a positive rate")
+        self.rates = rates_arr
+        self.n_procs = int(rates_arr.size)
+        self._total_rate = float(rates_arr.sum())
+        self._probabilities = rates_arr / rates_arr.sum()
+
+    @property
+    def total_rate(self) -> float:
+        """Platform failure rate (failures per second)."""
+        return self._total_rate
+
+    @property
+    def platform_mtbf(self) -> float:
+        return 1.0 / self._total_rate
+
+    def generate(self, t0: float, t1: float, rng: np.random.Generator):
+        if t1 <= t0:
+            return np.empty(0), np.empty(0, dtype=np.int64)
+        n = rng.poisson((t1 - t0) * self._total_rate)
+        times = np.sort(rng.uniform(t0, t1, n))
+        procs = rng.choice(self.n_procs, size=n, p=self._probabilities)
+        return times, procs.astype(np.int64)
+
+
+def two_tier_rates(
+    n_procs: int,
+    mtbf_reliable: float,
+    *,
+    unreliable_fraction: float,
+    unreliable_factor: float,
+) -> np.ndarray:
+    """Per-processor failure rates for a two-tier platform.
+
+    The first ``round(n_procs * unreliable_fraction)`` processors fail
+    ``unreliable_factor`` times faster than the rest (whose MTBF is
+    *mtbf_reliable*).  Use
+    :func:`arrange_rates_for_partial_replication` to align the tiers with
+    a replication layout.
+    """
+    if n_procs < 1:
+        raise ParameterError(f"n_procs must be >= 1, got {n_procs}")
+    check_positive("mtbf_reliable", mtbf_reliable)
+    check_fraction("unreliable_fraction", unreliable_fraction)
+    check_positive("unreliable_factor", unreliable_factor)
+    n_bad = int(round(n_procs * unreliable_fraction))
+    rates = np.full(n_procs, 1.0 / mtbf_reliable)
+    rates[:n_bad] *= unreliable_factor
+    return rates
+
+
+def arrange_rates_for_partial_replication(rates, n_pairs: int) -> np.ndarray:
+    """Order *rates* so the least reliable processors fill the paired slots.
+
+    The engines lay out a platform with ``b`` pairs as: pair ``i`` =
+    processors ``i`` and ``b + i``; standalone processors occupy ids
+    ``2b ..``.  Sorting descending by rate and dealing the worst ``2b``
+    processors alternately into the two replica banks yields a platform
+    where partial replication protects exactly the flaky nodes — the
+    configuration Hussain et al. argue for.
+    """
+    rates_arr = np.asarray(rates, dtype=float)
+    n_procs = rates_arr.size
+    if n_pairs < 0 or 2 * n_pairs > n_procs:
+        raise ParameterError(
+            f"{n_pairs} pairs need {2 * n_pairs} processors, got {n_procs}"
+        )
+    order = np.argsort(-rates_arr, kind="stable")
+    sorted_rates = rates_arr[order]
+    out = np.empty_like(sorted_rates)
+    # Worst 2b processors become the replica pairs (banks [0, b) and [b, 2b)).
+    out[:n_pairs] = sorted_rates[0 : 2 * n_pairs : 2]
+    out[n_pairs : 2 * n_pairs] = sorted_rates[1 : 2 * n_pairs : 2]
+    # Remaining (most reliable) processors run standalone.
+    out[2 * n_pairs :] = sorted_rates[2 * n_pairs :]
+    return out

@@ -1,0 +1,195 @@
+"""Synthetic LANL-like failure traces.
+
+The paper uses the two largest logs of the LANL Computer Failure Data
+Repository: **LANL#2** (MTBF 14.1 h, 5350 failures, failures *correlated* —
+cascades) and **LANL#18** (MTBF 7.5 h, 3899 failures, no measurable
+correlation), citing Aupy/Robert/Vivien's correlation study.
+
+The raw CFDR data cannot be bundled here, so this module synthesises traces
+that reproduce the three properties the paper's methodology actually uses:
+
+1. the whole-log MTBF (hence the group counts 64 / 32 in Figure 4),
+2. the number of failures / trace duration,
+3. the correlation structure: LANL#18-like traces use independent per-node
+   Weibull renewal processes (shape < 1, matching the heavy-tailed
+   inter-arrival fits reported for LANL data); LANL#2-like traces
+   additionally convert a fraction of failures into short cascades striking
+   several distinct nodes within minutes, which produces the
+   failure-cascade intervals the paper blames for its higher multi-failure
+   rollback rate (50 % vs 15 % for IID).
+
+The substitution is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.failures.distributions import InterArrivalDistribution, Weibull
+from repro.failures.traces import FailureTrace
+from repro.util.rng import SeedLike, as_generator
+from repro.util.units import HOUR
+from repro.util.validation import check_fraction, check_positive, check_positive_int
+
+__all__ = [
+    "LanlTraceSpec",
+    "LANL2_SPEC",
+    "LANL18_SPEC",
+    "synthesize_trace",
+    "make_lanl2_like",
+    "make_lanl18_like",
+]
+
+
+@dataclass(frozen=True)
+class LanlTraceSpec:
+    """Target statistics for a synthetic LANL-like trace."""
+
+    name: str
+    n_nodes: int
+    mtbf: float  #: whole-log MTBF in seconds
+    n_failures: int
+    #: fraction of failures that belong to a correlated cascade (0 = IID-like)
+    cascade_fraction: float = 0.0
+    #: mean number of extra failures per cascade (geometric)
+    cascade_mean_extra: float = 2.0
+    #: cascade spread: extra failures land within this window (seconds)
+    cascade_window: float = 10.0 * 60.0
+    #: Weibull shape of per-node inter-arrivals (< 1 -> bursty nodes)
+    weibull_shape: float = 0.75
+
+    def __post_init__(self) -> None:
+        check_positive_int("n_nodes", self.n_nodes)
+        check_positive("mtbf", self.mtbf)
+        check_positive_int("n_failures", self.n_failures)
+        check_fraction("cascade_fraction", self.cascade_fraction)
+        check_positive("cascade_mean_extra", self.cascade_mean_extra)
+        check_positive("cascade_window", self.cascade_window)
+        check_positive("weibull_shape", self.weibull_shape)
+
+    @property
+    def duration(self) -> float:
+        """Implied observation window: ``n_failures * mtbf``."""
+        return self.n_failures * self.mtbf
+
+
+#: LANL#2-like: MTBF 14.1 h, 5350 failures, correlated (cascades).
+#: Node count follows the CFDR system-2 scale (a few dozen SMP nodes).
+LANL2_SPEC = LanlTraceSpec(
+    name="LANL#2-like",
+    n_nodes=49,
+    mtbf=14.1 * HOUR,
+    n_failures=5350,
+    cascade_fraction=0.5,
+    cascade_mean_extra=2.0,
+    cascade_window=15.0 * 60.0,
+    weibull_shape=0.75,
+)
+
+#: LANL#18-like: MTBF 7.5 h, 3899 failures, uncorrelated across nodes.
+LANL18_SPEC = LanlTraceSpec(
+    name="LANL#18-like",
+    n_nodes=1024,
+    mtbf=7.5 * HOUR,
+    n_failures=3899,
+    cascade_fraction=0.0,
+    weibull_shape=0.8,
+)
+
+
+def synthesize_trace(
+    spec: LanlTraceSpec,
+    *,
+    seed: SeedLike = None,
+    distribution: InterArrivalDistribution | None = None,
+) -> FailureTrace:
+    """Generate a synthetic failure trace matching *spec*.
+
+    Construction: each node is an independent renewal process with Weibull
+    inter-arrivals whose mean equals ``n_nodes * mtbf`` (so the merged
+    stream has the target MTBF); the merged log is then truncated/padded to
+    exactly ``spec.n_failures`` failures; finally, if
+    ``spec.cascade_fraction > 0``, that fraction of the (non-cascade)
+    failures each spawns a geometric number of follow-up failures on other
+    uniformly-chosen nodes within ``spec.cascade_window`` — keeping the
+    total count, so the MTBF target is preserved.
+    """
+    rng = as_generator(seed)
+    node_mtbf = spec.n_nodes * spec.mtbf
+    dist = distribution or Weibull(mean=node_mtbf, shape=spec.weibull_shape)
+
+    n_primary = spec.n_failures
+    n_cascaded = 0
+    if spec.cascade_fraction > 0.0:
+        # Reserve a share of the failure budget for cascade followers:
+        # each trigger produces Geometric(mean extra) followers, so
+        # E[total] = n_triggers * (1 + mean_extra). Solve for counts.
+        frac, extra = spec.cascade_fraction, spec.cascade_mean_extra
+        n_triggers = int(round(spec.n_failures * frac / (1.0 + extra)))
+        n_cascaded = int(round(n_triggers * extra))
+        n_primary = spec.n_failures - n_cascaded
+        if n_primary <= 0:
+            raise ParameterError("cascade parameters leave no budget for primary failures")
+
+    # Oversample the observation window to guarantee enough primaries, then
+    # cut at the n_primary-th failure.
+    horizon = spec.duration * 1.5 + node_mtbf
+    times_list: list[np.ndarray] = []
+    nodes_list: list[np.ndarray] = []
+    for node in range(spec.n_nodes):
+        arr = dist.sample_arrivals(horizon, rng)
+        times_list.append(arr)
+        nodes_list.append(np.full(arr.size, node, dtype=np.int64))
+    times = np.concatenate(times_list)
+    nodes = np.concatenate(nodes_list)
+    order = np.argsort(times, kind="stable")
+    times, nodes = times[order], nodes[order]
+    if times.size < n_primary:
+        raise ParameterError(
+            "synthesis produced too few failures; increase horizon oversampling"
+        )
+    times, nodes = times[:n_primary], nodes[:n_primary]
+
+    # Rescale time so the primary stream occupies exactly the spec duration
+    # share of the budget; this pins the final MTBF to spec.mtbf.
+    target_span = spec.duration * (n_primary / spec.n_failures)
+    scale = target_span / times[-1]
+    times = times * scale
+
+    if n_cascaded > 0:
+        trig_idx = rng.choice(n_primary, size=min(n_primary, max(n_cascaded // 2, 1)), replace=False)
+        extra_times = []
+        extra_nodes = []
+        remaining = n_cascaded
+        i = 0
+        while remaining > 0:
+            t0 = times[trig_idx[i % trig_idx.size]]
+            burst = min(1 + rng.geometric(1.0 / spec.cascade_mean_extra), remaining)
+            offs = rng.uniform(0.0, spec.cascade_window, burst)
+            victims = rng.integers(0, spec.n_nodes, burst)
+            extra_times.append(t0 + offs)
+            extra_nodes.append(victims)
+            remaining -= burst
+            i += 1
+        times = np.concatenate([times, *extra_times])
+        nodes = np.concatenate([nodes, *extra_nodes])
+        order = np.argsort(times, kind="stable")
+        times, nodes = times[order], nodes[order]
+
+    duration = spec.duration
+    if times[-1] >= duration:
+        duration = float(times[-1]) * (1.0 + 1e-9) + 1.0
+    return FailureTrace(times, nodes, spec.n_nodes, duration=duration, name=spec.name)
+
+
+def make_lanl2_like(seed: SeedLike = None) -> FailureTrace:
+    """Synthetic correlated trace matching LANL#2's headline statistics."""
+    return synthesize_trace(LANL2_SPEC, seed=seed)
+
+
+def make_lanl18_like(seed: SeedLike = None) -> FailureTrace:
+    """Synthetic uncorrelated trace matching LANL#18's headline statistics."""
+    return synthesize_trace(LANL18_SPEC, seed=seed)

@@ -1,0 +1,15 @@
+"""On-disk formats: failure-trace CSV and result JSON."""
+
+from repro.io.results_io import load_experiment, load_runset, save_experiment, save_runset
+from repro.io.tracefile import read_trace, trace_from_csv, trace_to_csv, write_trace
+
+__all__ = [
+    "write_trace",
+    "read_trace",
+    "trace_to_csv",
+    "trace_from_csv",
+    "save_runset",
+    "load_runset",
+    "save_experiment",
+    "load_experiment",
+]

@@ -1,0 +1,60 @@
+"""JSON serialisation of simulation results and experiment tables.
+
+Keeps the on-disk schema explicit and versioned so benchmark outputs can be
+archived and diffed across code revisions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import ParameterError
+from repro.experiments.common import ExperimentResult
+from repro.simulation.results import RunSet
+
+__all__ = [
+    "save_runset",
+    "load_runset",
+    "save_experiment",
+    "load_experiment",
+]
+
+_SCHEMA_RUNSET = "repro/runset-v1"
+_SCHEMA_EXPERIMENT = "repro/experiment-v1"
+
+
+def save_runset(runs: RunSet, path: str | Path) -> None:
+    """Write a :class:`RunSet` to *path* as JSON."""
+    payload = {"schema": _SCHEMA_RUNSET, **runs.to_dict()}
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_runset(path: str | Path) -> RunSet:
+    """Read a :class:`RunSet` written by :func:`save_runset`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != _SCHEMA_RUNSET:
+        raise ParameterError(f"{path} is not a {_SCHEMA_RUNSET} file")
+    payload.pop("schema")
+    return RunSet.from_dict(payload)
+
+
+def save_experiment(result: ExperimentResult, path: str | Path) -> None:
+    """Write an :class:`ExperimentResult` to *path* as JSON."""
+    payload = {"schema": _SCHEMA_EXPERIMENT, **result.to_dict()}
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_experiment(path: str | Path) -> ExperimentResult:
+    """Read an :class:`ExperimentResult` written by :func:`save_experiment`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != _SCHEMA_EXPERIMENT:
+        raise ParameterError(f"{path} is not a {_SCHEMA_EXPERIMENT} file")
+    return ExperimentResult(
+        name=payload["name"],
+        title=payload["title"],
+        columns=payload["columns"],
+        rows=payload["rows"],
+        notes=payload.get("notes", []),
+        meta=payload.get("meta", {}),
+    )

@@ -1,0 +1,104 @@
+"""Failure-trace file format (CSV).
+
+A minimal, self-describing on-disk format so traces can be exchanged with
+the CLI and with external tools (and so real CFDR logs can be imported by
+anyone who has access to them):
+
+.. code-block:: text
+
+    # repro failure trace v1
+    # name: LANL#2-like
+    # n_nodes: 49
+    # duration: 271566000.0
+    time_s,node_id
+    12.5,3
+    890.0,17
+    ...
+
+Times are seconds from the start of the observation window, strictly
+increasing is not required (ties allowed), node ids are 0-based.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import TraceError
+from repro.failures.traces import FailureTrace
+
+__all__ = ["write_trace", "read_trace", "trace_to_csv", "trace_from_csv"]
+
+_HEADER = "# repro failure trace v1"
+
+
+def trace_to_csv(trace: FailureTrace) -> str:
+    """Serialise a trace to the CSV text format."""
+    buf = io.StringIO()
+    buf.write(f"{_HEADER}\n")
+    buf.write(f"# name: {trace.name}\n")
+    buf.write(f"# n_nodes: {trace.n_nodes}\n")
+    buf.write(f"# duration: {float(trace.duration)!r}\n")
+    buf.write("time_s,node_id\n")
+    for t, n in zip(trace.times, trace.node_ids):
+        buf.write(f"{float(t)!r},{int(n)}\n")
+    return buf.getvalue()
+
+
+def trace_from_csv(text: str) -> FailureTrace:
+    """Parse the CSV text format back into a :class:`FailureTrace`."""
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != _HEADER:
+        raise TraceError(f"not a repro trace file (missing {_HEADER!r} header)")
+    meta: dict[str, str] = {}
+    body_start = None
+    for i, line in enumerate(lines[1:], start=1):
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            if ":" in stripped:
+                key, _, value = stripped.lstrip("# ").partition(":")
+                meta[key.strip()] = value.strip()
+            continue
+        if stripped == "time_s,node_id":
+            body_start = i + 1
+            break
+        raise TraceError(f"unexpected line before column header: {line!r}")
+    if body_start is None:
+        raise TraceError("missing 'time_s,node_id' column header")
+    try:
+        n_nodes = int(meta["n_nodes"])
+        duration = float(meta["duration"])
+    except (KeyError, ValueError) as exc:
+        raise TraceError(f"bad or missing trace metadata: {exc}") from exc
+
+    times: list[float] = []
+    nodes: list[int] = []
+    for line in lines[body_start:]:
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            t_str, n_str = stripped.split(",")
+            times.append(float(t_str))
+            nodes.append(int(n_str))
+        except ValueError as exc:
+            raise TraceError(f"malformed trace row {line!r}") from exc
+    return FailureTrace(
+        np.asarray(times),
+        np.asarray(nodes, dtype=np.int64),
+        n_nodes,
+        duration=duration,
+        name=meta.get("name", ""),
+    )
+
+
+def write_trace(trace: FailureTrace, path: str | Path) -> None:
+    """Write a trace to *path* in the CSV format."""
+    Path(path).write_text(trace_to_csv(trace))
+
+
+def read_trace(path: str | Path) -> FailureTrace:
+    """Read a trace from *path*."""
+    return trace_from_csv(Path(path).read_text())

@@ -1,0 +1,17 @@
+"""Platform substrate: machine layout, resilience costs, topology."""
+
+from repro.platform_model.costs import BUDDY_60S, REMOTE_600S, CheckpointCosts
+from repro.platform_model.machine import Platform
+from repro.platform_model.multilevel import TwoLevelCosts, optimal_two_level, two_level_overhead
+from repro.platform_model.topology import RackTopology
+
+__all__ = [
+    "Platform",
+    "CheckpointCosts",
+    "BUDDY_60S",
+    "REMOTE_600S",
+    "RackTopology",
+    "TwoLevelCosts",
+    "two_level_overhead",
+    "optimal_two_level",
+]

@@ -1,0 +1,79 @@
+"""Checkpoint / restart / recovery cost model (paper Section 2).
+
+The paper's resilience parameters:
+
+* ``C``  — checkpoint duration;
+* ``R``  — recovery (checkpoint load) duration, with ``R = C`` assumed in
+  all the paper's simulations ("read and write operations take
+  approximately the same time");
+* ``D``  — downtime to migrate to a spare processor (taken 0 in the
+  simulations, kept as a parameter in the analysis);
+* ``C^R`` — combined checkpoint-and-restart wave used by the *restart*
+  strategy, with ``C <= C^R <= 2C``: ``C^R = C`` for in-memory *buddy*
+  checkpointing (surviving replicas push state straight into the spawned
+  replicas' memory), ``C^R = 2C`` for a fully sequential
+  checkpoint-then-restore.
+
+Two presets match the paper's defaults: buddy checkpointing (C = 60 s) and
+remote-storage checkpointing (C = 600 s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ParameterError
+from repro.util.validation import check_positive
+
+__all__ = ["CheckpointCosts", "BUDDY_60S", "REMOTE_600S"]
+
+
+@dataclass(frozen=True)
+class CheckpointCosts:
+    """Resilience cost parameters (all in seconds)."""
+
+    checkpoint: float
+    recovery: float | None = None
+    downtime: float = 0.0
+    #: Ratio ``C^R / C`` in [1, 2]; 1 = buddy (full overlap), 2 = sequential.
+    restart_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("checkpoint", self.checkpoint)
+        if self.recovery is None:
+            object.__setattr__(self, "recovery", self.checkpoint)
+        check_positive("recovery", self.recovery, allow_zero=True)
+        check_positive("downtime", self.downtime, allow_zero=True)
+        if not 1.0 <= self.restart_factor <= 2.0:
+            raise ParameterError(
+                f"restart_factor must be within [1, 2] (C <= C^R <= 2C), "
+                f"got {self.restart_factor}"
+            )
+
+    @property
+    def restart_checkpoint(self) -> float:
+        """Combined checkpoint-and-restart cost ``C^R``."""
+        return self.restart_factor * self.checkpoint
+
+    def with_restart_factor(self, factor: float) -> "CheckpointCosts":
+        """Copy with a different ``C^R / C`` ratio."""
+        return replace(self, restart_factor=factor)
+
+    def with_checkpoint(self, checkpoint: float) -> "CheckpointCosts":
+        """Copy with a different checkpoint cost (recovery follows C if it
+        was tied to it, i.e. R == old C)."""
+        recovery = checkpoint if self.recovery == self.checkpoint else self.recovery
+        return replace(self, checkpoint=checkpoint, recovery=recovery)
+
+    def describe(self) -> str:
+        return (
+            f"C={self.checkpoint:g}s, R={self.recovery:g}s, D={self.downtime:g}s, "
+            f"C^R={self.restart_checkpoint:g}s"
+        )
+
+
+#: In-memory buddy checkpointing preset (paper default #1): C = 60 s, C^R = C.
+BUDDY_60S = CheckpointCosts(checkpoint=60.0)
+
+#: Remote/shared-filesystem checkpointing preset (paper default #2): C = 600 s.
+REMOTE_600S = CheckpointCosts(checkpoint=600.0)

@@ -1,0 +1,151 @@
+"""Platform description: processors, replica pairs and standalone nodes.
+
+The paper's platforms have ``N`` identical processors with individual MTBF
+``mu``.  Under *full replication* they are arranged as ``b = N/2`` pairs;
+under *partial replication* (Section 7.6, Partial90/Partial50) a fraction of
+the platform is paired and the rest computes standalone.  :class:`Platform`
+captures this layout and derives the aggregate quantities (platform MTBF,
+MTTI of the replicated part, logical throughput).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mtti import mtti as _mtti
+from repro.core.mtti import platform_mtbf as _platform_mtbf
+from repro.exceptions import ParameterError
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["Platform"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A platform of ``N`` identical processors, possibly (partly) paired.
+
+    Parameters
+    ----------
+    n_procs:
+        Total number of physical processors ``N``.
+    mtbf:
+        Individual processor MTBF ``mu`` in seconds.
+    n_pairs:
+        Number of replicated pairs ``b`` (``2 * n_pairs <= n_procs``).
+        Processors not in a pair run standalone (partial replication).
+
+    Notes
+    -----
+    The *logical* processor count seen by the application is
+    ``n_pairs + n_standalone``: each pair contributes one logical processor.
+    """
+
+    n_procs: int
+    mtbf: float
+    n_pairs: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.n_procs, int) or self.n_procs < 1:
+            raise ParameterError(f"n_procs must be a positive integer, got {self.n_procs!r}")
+        check_positive("mtbf", self.mtbf)
+        if not isinstance(self.n_pairs, int) or self.n_pairs < 0:
+            raise ParameterError(f"n_pairs must be a non-negative integer, got {self.n_pairs!r}")
+        if 2 * self.n_pairs > self.n_procs:
+            raise ParameterError(
+                f"{self.n_pairs} pairs need {2 * self.n_pairs} processors, "
+                f"but the platform only has {self.n_procs}"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def fully_replicated(cls, n_procs: int, mtbf: float) -> "Platform":
+        """All processors paired (``b = N / 2``); N must be even."""
+        if n_procs % 2 != 0:
+            raise ParameterError(f"full replication needs an even N, got {n_procs}")
+        return cls(n_procs=n_procs, mtbf=mtbf, n_pairs=n_procs // 2)
+
+    @classmethod
+    def without_replication(cls, n_procs: int, mtbf: float) -> "Platform":
+        """No pairs: plain parallel platform."""
+        return cls(n_procs=n_procs, mtbf=mtbf, n_pairs=0)
+
+    @classmethod
+    def partially_replicated(cls, n_procs: int, mtbf: float, fraction: float) -> "Platform":
+        """Replicate *fraction* of the platform (paper Section 7.6).
+
+        ``Partial90`` on 200,000 processors gives 90,000 pairs + 20,000
+        standalone processors: the fraction refers to the share of
+        *physical processors* belonging to a pair.
+        """
+        check_fraction("fraction", fraction)
+        n_paired_procs = int(round(n_procs * fraction))
+        if n_paired_procs % 2 != 0:
+            n_paired_procs -= 1
+        return cls(n_procs=n_procs, mtbf=mtbf, n_pairs=n_paired_procs // 2)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def n_standalone(self) -> int:
+        """Processors running without a replica."""
+        return self.n_procs - 2 * self.n_pairs
+
+    @property
+    def n_logical(self) -> int:
+        """Logical processors the application computes on."""
+        return self.n_pairs + self.n_standalone
+
+    @property
+    def replicated_fraction(self) -> float:
+        """Fraction of physical processors that belong to a pair."""
+        return 2.0 * self.n_pairs / self.n_procs
+
+    @property
+    def is_fully_replicated(self) -> bool:
+        return self.n_standalone == 0 and self.n_pairs > 0
+
+    @property
+    def failure_rate(self) -> float:
+        """Individual failure rate ``lambda = 1 / mu`` (per second)."""
+        return 1.0 / self.mtbf
+
+    @property
+    def platform_mtbf(self) -> float:
+        """``mu / N``: mean time between *any* two platform failures."""
+        return _platform_mtbf(self.mtbf, self.n_procs)
+
+    def mtti(self) -> float:
+        """Application MTTI.
+
+        * fully replicated: Eq. 8 with ``b`` pairs;
+        * no replication: the platform MTBF (first failure is fatal);
+        * partial replication: first fatal event is the minimum of the
+          standalone part's first failure (rate ``n_standalone / mu``) and
+          the paired part's interruption time.  There is no simple closed
+          form for the minimum's mean; we return the standard
+          harmonic-style lower bound via rate addition
+          ``1 / (1/M_pairs + n_standalone/mu)``, which is exact when both
+          parts are exponential and a good approximation otherwise
+          (documented behaviour, used only for period heuristics).
+        """
+        if self.n_pairs == 0:
+            return self.platform_mtbf
+        m_pairs = _mtti(self.mtbf, self.n_pairs)
+        if self.n_standalone == 0:
+            return m_pairs
+        rate = 1.0 / m_pairs + self.n_standalone / self.mtbf
+        return 1.0 / rate
+
+    def with_pairs(self, n_pairs: int) -> "Platform":
+        """Return a copy with a different pairing layout."""
+        return Platform(n_procs=self.n_procs, mtbf=self.mtbf, n_pairs=n_pairs)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"Platform(N={self.n_procs:,}, pairs={self.n_pairs:,}, "
+            f"standalone={self.n_standalone:,}, mu={self.mtbf:.4g}s)"
+        )

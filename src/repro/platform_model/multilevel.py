@@ -1,0 +1,124 @@
+"""Two-level hierarchical checkpointing (paper Section 2 substrate).
+
+The paper's cost model leans on state-of-the-art hierarchical protocols
+(FTI, SCR, VeloC [3, 11, 29]): checkpoints land first in a cheap local
+level (buddy memory / node-local SSD) and are flushed to the reliable
+shared file system less often.  With replication, the buddy *is* the
+replica, which is why the combined checkpoint-and-restart wave can cost as
+little as ``C^R = C`` — this module makes that reasoning quantitative and
+provides the two-level period/flush-interval optimisation used by the
+multi-level ablation.
+
+Model: local checkpoints of cost ``c1`` every period ``T``; every ``k``-th
+checkpoint also flushes to the file system at additional cost ``c2``.
+Failures are *level-1 recoverable* (a processor loss whose state survives
+in the local level — with replication, in its replica) with probability
+``1 - p2``, or *level-2 catastrophic* (local copy lost too; e.g. both
+buddies gone) with probability ``p2``, in which case the application must
+roll back to the last flushed checkpoint, losing up to ``k`` periods.
+
+First-order expected overhead per unit of work (failure rate ``lam_app``
+for application interruptions)::
+
+    H(T, k) = c1/T + c2/(kT) + lam_app [ (1-p2) (T/2 + r1)
+                                         + p2 (k T/2 + r2) ] / 1
+
+:func:`optimal_two_level` minimises this jointly in ``T`` (closed form
+given k) and ``k`` (integer scan).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+from repro.util.validation import check_fraction, check_positive, check_positive_int
+
+__all__ = ["TwoLevelCosts", "two_level_overhead", "optimal_two_level"]
+
+
+@dataclass(frozen=True)
+class TwoLevelCosts:
+    """Cost parameters of a two-level checkpointing hierarchy (seconds).
+
+    ``local``/``flush`` are the level-1 checkpoint and additional level-2
+    flush costs; ``recover_local``/``recover_flush`` the respective restore
+    costs; ``p_catastrophic`` the probability that an application
+    interruption also destroys the level-1 copy (for replicated buddies:
+    both replicas of the pair lost within the same wave — small).
+    """
+
+    local: float = 60.0
+    flush: float = 540.0
+    recover_local: float | None = None
+    recover_flush: float | None = None
+    p_catastrophic: float = 0.01
+
+    def __post_init__(self) -> None:
+        check_positive("local", self.local)
+        check_positive("flush", self.flush, allow_zero=True)
+        if self.recover_local is None:
+            object.__setattr__(self, "recover_local", self.local)
+        if self.recover_flush is None:
+            object.__setattr__(self, "recover_flush", self.local + self.flush)
+        check_positive("recover_local", self.recover_local, allow_zero=True)
+        check_positive("recover_flush", self.recover_flush, allow_zero=True)
+        check_fraction("p_catastrophic", self.p_catastrophic)
+
+
+def two_level_overhead(
+    period: float,
+    flush_every: int,
+    interruption_rate: float,
+    costs: TwoLevelCosts,
+) -> float:
+    """First-order overhead of the (T, k) two-level scheme.
+
+    *interruption_rate* is the application's fatal-failure rate — e.g.
+    ``1 / MTTI`` for a replicated platform, ``N / mu`` without replication.
+    """
+    period = check_positive("period", period)
+    flush_every = check_positive_int("flush_every", flush_every)
+    check_positive("interruption_rate", interruption_rate)
+
+    c1, c2 = costs.local, costs.flush
+    p2 = costs.p_catastrophic
+    failure_free = c1 / period + c2 / (flush_every * period)
+    loss_local = period / 2.0 + costs.recover_local
+    loss_flush = flush_every * period / 2.0 + costs.recover_flush
+    failure_induced = interruption_rate * ((1.0 - p2) * loss_local + p2 * loss_flush)
+    return failure_free + failure_induced
+
+
+def _optimal_period_given_k(k: int, interruption_rate: float, costs: TwoLevelCosts) -> float:
+    """Closed-form T* for fixed k: balance (c1 + c2/k)/T against the
+    failure-induced T terms."""
+    numerator = costs.local + costs.flush / k
+    slope = interruption_rate * ((1.0 - costs.p_catastrophic) / 2.0 + costs.p_catastrophic * k / 2.0)
+    return math.sqrt(numerator / slope)
+
+
+def optimal_two_level(
+    interruption_rate: float,
+    costs: TwoLevelCosts,
+    *,
+    max_k: int = 512,
+) -> tuple[float, int, float]:
+    """Jointly optimal ``(T*, k*, H*)`` for the two-level scheme.
+
+    Scans the integer flush interval (the objective is unimodal in ``k``
+    but cheap enough to scan exhaustively) with the per-``k`` closed-form
+    period.
+    """
+    check_positive("interruption_rate", interruption_rate)
+    max_k = check_positive_int("max_k", max_k)
+    best: tuple[float, int, float] | None = None
+    for k in range(1, max_k + 1):
+        t = _optimal_period_given_k(k, interruption_rate, costs)
+        h = two_level_overhead(t, k, interruption_rate, costs)
+        if best is None or h < best[2]:
+            best = (t, k, h)
+    if best is None:  # pragma: no cover - max_k >= 1 guarantees a value
+        raise ParameterError("empty k scan")
+    return best

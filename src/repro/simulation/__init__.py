@@ -1,0 +1,77 @@
+"""Monte-Carlo simulation of checkpoint/replication strategies.
+
+Three engines with identical semantics:
+
+* :mod:`~repro.simulation.sampled` — exact closed-form sampling for the
+  *restart* strategy under exponential failures (fastest);
+* :mod:`~repro.simulation.lockstep` — vectorised event-driven engine for
+  every periodic policy under exponential failures;
+* :mod:`~repro.simulation.trace_engine` — general engine replaying
+  explicit failure events (log traces, non-exponential renewal processes).
+
+Use the wrappers in :mod:`~repro.simulation.runner` unless you need
+engine-level control.
+"""
+
+from repro.simulation.lockstep import LockstepConfig, simulate_lockstep
+from repro.simulation.metrics import (
+    IOPressure,
+    energy_from_runs,
+    io_pressure,
+    time_to_solution_from_runs,
+)
+from repro.simulation.policies import (
+    PeriodicPolicy,
+    every_k_policy,
+    nbound_policy,
+    no_restart_policy,
+    non_periodic_policy,
+    restart_policy,
+)
+from repro.simulation.restart_on_failure import simulate_restart_on_failure
+from repro.simulation.results import OverheadSummary, RunSet
+from repro.simulation.runner import (
+    simulate_every_k,
+    simulate_nbound,
+    simulate_no_replication,
+    simulate_no_restart,
+    simulate_non_periodic,
+    simulate_partial_replication,
+    simulate_policy,
+    simulate_restart,
+    simulate_with_source,
+    simulate_with_trace,
+)
+from repro.simulation.sampled import simulate_restart_sampled
+from repro.simulation.trace_engine import TraceEngineConfig, simulate_trace_runs
+
+__all__ = [
+    "RunSet",
+    "OverheadSummary",
+    "PeriodicPolicy",
+    "restart_policy",
+    "no_restart_policy",
+    "nbound_policy",
+    "non_periodic_policy",
+    "every_k_policy",
+    "LockstepConfig",
+    "simulate_lockstep",
+    "simulate_restart_sampled",
+    "TraceEngineConfig",
+    "simulate_trace_runs",
+    "simulate_restart",
+    "simulate_no_restart",
+    "simulate_nbound",
+    "simulate_every_k",
+    "simulate_non_periodic",
+    "simulate_no_replication",
+    "simulate_partial_replication",
+    "simulate_policy",
+    "simulate_with_source",
+    "simulate_with_trace",
+    "simulate_restart_on_failure",
+    "IOPressure",
+    "io_pressure",
+    "time_to_solution_from_runs",
+    "energy_from_runs",
+]

@@ -1,0 +1,87 @@
+"""Derived metrics: time-to-solution, I/O pressure and energy.
+
+Glue between the simulator's :class:`~repro.simulation.results.RunSet`
+and the analytic application model (:mod:`repro.core.amdahl`,
+:mod:`repro.core.energy`), so experiments can go from simulated overheads
+to the quantities the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.amdahl import AmdahlApplication, time_to_solution
+from repro.core.energy import EnergyBreakdown, PowerModel, energy_overhead
+from repro.simulation.results import RunSet
+from repro.util.validation import check_positive
+
+__all__ = [
+    "time_to_solution_from_runs",
+    "IOPressure",
+    "io_pressure",
+    "energy_from_runs",
+]
+
+
+def time_to_solution_from_runs(
+    runs: RunSet,
+    app: AmdahlApplication,
+    n_procs: int,
+    *,
+    replicated: bool,
+) -> float:
+    """Expected time-to-solution for *app* given simulated overheads.
+
+    Applies paper Eq. 22 (no replication) or Eq. 23 (replication) with the
+    Monte-Carlo mean overhead in place of the analytic ``H(T)``.
+    """
+    return time_to_solution(app, n_procs, runs.mean_overhead, replicated=replicated)
+
+
+@dataclass(frozen=True)
+class IOPressure:
+    """I/O pressure indicators of a strategy (paper Section 7.5)."""
+
+    #: mean checkpoint waves per day of wall-clock time
+    checkpoints_per_day: float
+    #: mean fraction of wall-clock time spent on checkpoint/recovery I/O
+    io_time_fraction: float
+    #: mean seconds between checkpoint waves
+    mean_checkpoint_interval: float
+
+
+def io_pressure(runs: RunSet) -> IOPressure:
+    """Summarise the I/O pressure a strategy puts on the file system.
+
+    The paper argues (Section 7.5) that the restart strategy's much longer
+    period directly lowers checkpoint frequency, hence I/O congestion; this
+    helper quantifies that from simulation output.
+    """
+    freq = runs.mean_checkpoint_frequency  # waves per second
+    return IOPressure(
+        checkpoints_per_day=freq * 86_400.0,
+        io_time_fraction=runs.mean_io_time_fraction,
+        mean_checkpoint_interval=(1.0 / freq) if freq > 0 else float("inf"),
+    )
+
+
+def energy_from_runs(
+    runs: RunSet,
+    n_procs: int,
+    *,
+    power: PowerModel = PowerModel(),
+) -> tuple[EnergyBreakdown, float]:
+    """Mean energy breakdown and relative energy overhead of the runs.
+
+    Feeds the run set's mean time decomposition into the extension's
+    first-order energy model (:func:`repro.core.energy.energy_overhead`).
+    """
+    check_positive("n_procs", n_procs)
+    return energy_overhead(
+        useful_time=float(runs.useful_time.mean()),
+        checkpoint_time=float(runs.checkpoint_time.mean()),
+        recovery_time=float(runs.recovery_time.mean()),
+        wasted_time=float(runs.wasted_time.mean()),
+        n_procs=n_procs,
+        power=power,
+    )

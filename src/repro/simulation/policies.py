@@ -1,0 +1,237 @@
+"""Checkpoint-and-restart policies.
+
+A :class:`PeriodicPolicy` tells the engines (a) how long the next work
+segment is, given the current platform degradation, and (b) what happens at
+each checkpoint: its duration and whether failed processors are restarted.
+All of the paper's periodic strategies are expressible as instances:
+
+* :func:`restart_policy` — the paper's contribution: restart failed
+  processors at *every* checkpoint, paying ``C^R`` per wave (Section 4.2);
+* :func:`no_restart_policy` — prior work: plain checkpoints of cost ``C``,
+  failed processors stay dead until the application crashes;
+* :func:`nbound_policy` — Section 7.7 extension: restart once at least
+  ``n_bound`` processors are dead at a checkpoint, that wave costing
+  ``2C`` (the paper's worst case), plain ``C`` otherwise;
+* :func:`non_periodic_policy` — Figure 2 variant: period ``T1`` while the
+  platform is healthy, shorter ``T2`` once a processor has died (the next
+  checkpoint is re-planned ``T2`` after the first failure), no restart
+  before a crash.
+
+The *restart-on-failure* strategy is not periodic and lives in
+:mod:`repro.simulation.restart_on_failure`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.platform_model.costs import CheckpointCosts
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = [
+    "PeriodicPolicy",
+    "restart_policy",
+    "no_restart_policy",
+    "nbound_policy",
+    "non_periodic_policy",
+    "every_k_policy",
+]
+
+
+@dataclass(frozen=True)
+class PeriodicPolicy:
+    """Declarative description of a periodic checkpoint/restart strategy.
+
+    Engines read these fields; see the module docstring for the named
+    constructors that build the paper's strategies.
+
+    Attributes
+    ----------
+    name:
+        Label used in result sets and reports.
+    period:
+        Planned work-segment length when no pair is degraded (seconds).
+    degraded_period:
+        If set, work-segment length used while at least one pair is
+        degraded; ``replan_on_degrade`` controls whether an in-flight
+        segment is cut short when the first failure lands.
+    replan_on_degrade:
+        When True, the first failure in a healthy segment moves the next
+        checkpoint to ``failure_time + degraded_period``.
+    restart_threshold:
+        Restart dead processors at a checkpoint iff at least this many are
+        dead (1 = every checkpoint with any dead processor; ``None`` =
+        never restart at checkpoints).
+    restart_every_k:
+        Time-driven rejuvenation (the conclusion's future-work variant):
+        restart dead processors at every k-th checkpoint, regardless of how
+        many died.  Mutually exclusive with ``restart_threshold``.
+    checkpoint_cost:
+        Duration of a plain (non-restarting) checkpoint.
+    restart_wave_cost:
+        Duration of a checkpoint wave that also restarts processors.
+    charge_restart_cost_when_healthy:
+        For the *restart* strategy the analysis charges ``C^R`` for every
+        checkpoint, even the (rare) ones where nobody died; set False to
+        charge only ``C`` in that case.
+    """
+
+    name: str
+    period: float
+    checkpoint_cost: float
+    restart_wave_cost: float
+    restart_threshold: int | None = None
+    restart_every_k: int | None = None
+    degraded_period: float | None = None
+    replan_on_degrade: bool = False
+    charge_restart_cost_when_healthy: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("period", self.period)
+        check_positive("checkpoint_cost", self.checkpoint_cost)
+        check_positive("restart_wave_cost", self.restart_wave_cost)
+        if self.restart_threshold is not None:
+            check_positive_int("restart_threshold", self.restart_threshold)
+        if self.restart_every_k is not None:
+            check_positive_int("restart_every_k", self.restart_every_k)
+            if self.restart_threshold is not None:
+                raise ParameterError(
+                    "restart_threshold and restart_every_k are mutually exclusive"
+                )
+        if self.degraded_period is not None:
+            check_positive("degraded_period", self.degraded_period)
+        if self.replan_on_degrade and self.degraded_period is None:
+            raise ParameterError("replan_on_degrade requires degraded_period")
+
+    # ------------------------------------------------------------------
+    # Vectorised hooks used by the lockstep engine
+    # ------------------------------------------------------------------
+    def work_length(self, degraded: np.ndarray) -> np.ndarray:
+        """Planned work length for the next segment, per run."""
+        if self.degraded_period is None:
+            return np.full(degraded.shape, self.period)
+        return np.where(degraded > 0, self.degraded_period, self.period)
+
+    def checkpoint_decision(
+        self, dead: np.ndarray, ckpts_since_restart: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(cost, restarts) of the checkpoint wave.
+
+        *dead* is the dead-processor count per run; *ckpts_since_restart*
+        counts completed checkpoints since the last rejuvenation (used by
+        ``restart_every_k`` policies; engines must supply it then).
+        """
+        if self.restart_every_k is not None:
+            if ckpts_since_restart is None:
+                raise ParameterError(
+                    "restart_every_k policies need the engine to pass "
+                    "ckpts_since_restart to checkpoint_decision"
+                )
+            restarts = ckpts_since_restart + 1 >= self.restart_every_k
+            cost = np.where(restarts, self.restart_wave_cost, self.checkpoint_cost)
+            return cost, restarts
+        if self.restart_threshold is None:
+            return np.full(dead.shape, self.checkpoint_cost), np.zeros(dead.shape, dtype=bool)
+        restarts = dead >= self.restart_threshold
+        if self.restart_threshold == 1 and self.charge_restart_cost_when_healthy:
+            # The paper's restart strategy: every checkpoint is a C^R wave.
+            cost = np.full(dead.shape, self.restart_wave_cost)
+            return cost, np.ones(dead.shape, dtype=bool)
+        cost = np.where(restarts, self.restart_wave_cost, self.checkpoint_cost)
+        return cost, restarts
+
+
+def restart_policy(
+    period: float,
+    costs: CheckpointCosts,
+    *,
+    charge_restart_cost_when_healthy: bool = True,
+) -> PeriodicPolicy:
+    """The paper's *restart* strategy: every checkpoint is a ``C^R`` wave."""
+    return PeriodicPolicy(
+        name=f"Restart(T={period:g})",
+        period=period,
+        checkpoint_cost=costs.checkpoint,
+        restart_wave_cost=costs.restart_checkpoint,
+        restart_threshold=1,
+        charge_restart_cost_when_healthy=charge_restart_cost_when_healthy,
+    )
+
+
+def no_restart_policy(period: float, costs: CheckpointCosts) -> PeriodicPolicy:
+    """Prior work's *no-restart*: plain checkpoints, rejuvenate on crash only."""
+    return PeriodicPolicy(
+        name=f"NoRestart(T={period:g})",
+        period=period,
+        checkpoint_cost=costs.checkpoint,
+        restart_wave_cost=costs.checkpoint,
+        restart_threshold=None,
+    )
+
+
+def nbound_policy(
+    period: float,
+    costs: CheckpointCosts,
+    n_bound: int,
+    *,
+    restart_wave_factor: float = 2.0,
+) -> PeriodicPolicy:
+    """Section 7.7: restart at a checkpoint only once >= *n_bound* procs died.
+
+    Restarting waves cost ``restart_wave_factor * C`` (2C by default — the
+    paper's pessimistic assumption for this experiment); plain checkpoints
+    cost ``C``.
+    """
+    n_bound = check_positive_int("n_bound", n_bound)
+    return PeriodicPolicy(
+        name=f"NBound(n={n_bound}, T={period:g})",
+        period=period,
+        checkpoint_cost=costs.checkpoint,
+        restart_wave_cost=restart_wave_factor * costs.checkpoint,
+        restart_threshold=n_bound,
+    )
+
+
+def every_k_policy(
+    period: float,
+    costs: CheckpointCosts,
+    k: int,
+) -> PeriodicPolicy:
+    """Future-work variant: rejuvenate at every k-th checkpoint.
+
+    The paper's conclusion proposes evaluating strategies that "rejuvenate
+    failed processors ... after a given time interval is exceeded"; with a
+    fixed period this is a restart every ``k`` checkpoints (``k = 1``
+    recovers the restart strategy).  Restarting waves cost ``C^R``, plain
+    checkpoints ``C``.
+    """
+    k = check_positive_int("k", k)
+    return PeriodicPolicy(
+        name=f"EveryK(k={k}, T={period:g})",
+        period=period,
+        checkpoint_cost=costs.checkpoint,
+        restart_wave_cost=costs.restart_checkpoint,
+        restart_every_k=k,
+    )
+
+
+def non_periodic_policy(
+    healthy_period: float,
+    degraded_period: float,
+    costs: CheckpointCosts,
+    *,
+    replan_on_degrade: bool = True,
+) -> PeriodicPolicy:
+    """Figure 2's non-periodic *no-restart* variant (T1 healthy, T2 degraded)."""
+    return PeriodicPolicy(
+        name=f"NonPeriodic(T1={healthy_period:g}, T2={degraded_period:g})",
+        period=healthy_period,
+        degraded_period=degraded_period,
+        replan_on_degrade=replan_on_degrade,
+        checkpoint_cost=costs.checkpoint,
+        restart_wave_cost=costs.checkpoint,
+        restart_threshold=None,
+    )

@@ -1,0 +1,129 @@
+"""The *restart-on-failure* strategy (paper Sections 1 and 7.3).
+
+Instead of periodic checkpoints, the platform reacts to every failure: the
+surviving replica checkpoints immediately (cost ``C``) and the spare
+replacing the dead processor loads that checkpoint; tightly-coupled
+applications block for the wave, so every failure extends the execution by
+``C``.  There is no rollback unless a second failure strikes the *same
+pair's survivor* while the wave is in flight — a narrow window, which is
+why the paper observes zero rollbacks but a rapidly growing checkpoint-time
+overhead as the MTBF shrinks (Figure 6).
+
+Implementation: under exponential failures the inter-failure gaps of the
+platform are IID ``Exp(mu / N)`` (dead-slot absorption as in the lockstep
+engine; waves are short and rare enough that the platform is all-alive
+between failures).  Each run is simulated with vectorised per-event arrays:
+work progresses by the gap, each live hit adds ``C``, and the fatal check
+draws whether the next failure lands within the wave *and* on the specific
+partner slot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.platform_model.costs import CheckpointCosts
+from repro.simulation.results import RunSet
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = ["simulate_restart_on_failure"]
+
+
+def simulate_restart_on_failure(
+    *,
+    mtbf: float,
+    n_pairs: int,
+    work_target: float,
+    costs: CheckpointCosts,
+    n_runs: int,
+    seed: SeedLike = None,
+) -> RunSet:
+    """Simulate *restart-on-failure* until *work_target* seconds of work.
+
+    Parameters
+    ----------
+    mtbf:
+        Individual processor MTBF (seconds).
+    n_pairs:
+        Replicated pairs (full replication; ``N = 2 n_pairs``).
+    work_target:
+        Useful work each run must complete (e.g. ``100 * T_opt^rs`` to
+        match a periodic baseline's workload, as in Figure 6).
+    costs:
+        ``costs.checkpoint`` is the per-failure wave cost; downtime and
+        recovery are paid on the (rare) fatal cascade.
+    """
+    mtbf = check_positive("mtbf", mtbf)
+    n_pairs = check_positive_int("n_pairs", n_pairs)
+    work_target = check_positive("work_target", work_target)
+    n_runs = check_positive_int("n_runs", n_runs)
+    rng = as_generator(seed)
+
+    n_slots = 2 * n_pairs
+    mean_gap = mtbf / n_slots
+    c = costs.checkpoint
+    dr = costs.downtime + costs.recovery
+    # P(a given failure lands on a live slot): degraded intervals are the
+    # in-flight waves only; outside a wave every slot is alive.
+    expected_events = int(np.ceil(work_target / mean_gap * 1.3 + 64))
+
+    total = np.zeros(n_runs)
+    ckpt_time = np.zeros(n_runs)
+    rec_time = np.zeros(n_runs)
+    wasted = np.zeros(n_runs)
+    n_failures = np.zeros(n_runs, dtype=np.int64)
+    n_fatal = np.zeros(n_runs, dtype=np.int64)
+    n_restarts = np.zeros(n_runs, dtype=np.int64)
+
+    for r in range(n_runs):
+        work_done = 0.0
+        chunk = max(expected_events, 1024)
+        while work_done < work_target:
+            gaps = rng.exponential(mean_gap, chunk)
+            cum = work_done + np.cumsum(gaps)
+            inside = cum < work_target
+            k = int(np.count_nonzero(inside))
+            if k == 0:
+                work_done = work_target
+                break
+            # Every failure inside the remaining work triggers a wave.
+            n_failures[r] += k
+            n_restarts[r] += k
+            ckpt_time[r] += k * c
+            # Fatal cascade: the next failure arrives within the wave AND
+            # hits the one partner slot (probability 1/n_slots each event).
+            next_gaps = gaps[1 : k + 1]
+            in_wave = next_gaps < c
+            partner_hit = rng.random(in_wave.size) < 1.0 / n_slots
+            fatal = in_wave & partner_hit
+            nf = int(np.count_nonzero(fatal))
+            if nf:
+                n_fatal[r] += nf
+                rec_time[r] += nf * dr
+                # Rollback loses the in-flight wave only (the previous
+                # checkpoint was taken at the triggering failure).
+                wasted[r] += float(np.sum(next_gaps[fatal]))
+            work_done = float(cum[k - 1]) if k else work_done
+            if k < chunk:
+                work_done = work_target
+        total[r] = work_target + ckpt_time[r] + rec_time[r] + wasted[r]
+
+    if np.any(total <= 0):  # pragma: no cover - defensive
+        raise SimulationError("restart-on-failure produced a non-positive run time")
+
+    return RunSet(
+        total_time=total,
+        useful_time=np.full(n_runs, work_target),
+        checkpoint_time=ckpt_time,
+        recovery_time=rec_time,
+        wasted_time=wasted,
+        n_failures=n_failures,
+        n_fatal=n_fatal,
+        n_checkpoints=n_failures.copy(),
+        n_proc_restarts=n_restarts,
+        max_degraded=np.minimum(n_failures, 1),
+        label="RestartOnFailure",
+        meta={"mtbf": mtbf, "n_pairs": n_pairs, "engine": "restart-on-failure"},
+    )

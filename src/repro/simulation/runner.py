@@ -1,0 +1,376 @@
+"""High-level simulation entry points.
+
+These wrappers assemble a policy + engine for each of the paper's
+strategies, so experiment code reads like the paper:
+
+>>> from repro.platform_model import CheckpointCosts
+>>> from repro.core import restart_period
+>>> costs = CheckpointCosts(checkpoint=60.0)
+>>> T = restart_period(5 * 365 * 86400, costs.restart_checkpoint, 1000)
+>>> rs = simulate_restart(mtbf=5 * 365 * 86400, n_pairs=1000, period=T,
+...                       costs=costs, n_periods=10, n_runs=4, seed=1)
+>>> rs.n_runs
+4
+
+Engine selection: the *restart* strategy defaults to the exact sampled fast
+path; every other exponential strategy uses the lockstep engine; trace and
+non-exponential inputs go through :func:`simulate_with_source`.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ParameterError
+from repro.failures.generator import FailureSource, TraceFailureSource
+from repro.failures.traces import FailureTrace
+from repro.platform_model.costs import CheckpointCosts
+from repro.platform_model.machine import Platform
+from repro.simulation.lockstep import LockstepConfig, simulate_lockstep
+from repro.simulation.policies import (
+    PeriodicPolicy,
+    every_k_policy,
+    nbound_policy,
+    no_restart_policy,
+    non_periodic_policy,
+    restart_policy,
+)
+from repro.simulation.restart_on_failure import simulate_restart_on_failure
+from repro.simulation.results import RunSet
+from repro.simulation.sampled import simulate_restart_sampled
+from repro.simulation.trace_engine import TraceEngineConfig, simulate_trace_runs
+from repro.util.rng import SeedLike
+
+__all__ = [
+    "simulate_restart",
+    "simulate_no_restart",
+    "simulate_nbound",
+    "simulate_every_k",
+    "simulate_non_periodic",
+    "simulate_no_replication",
+    "simulate_partial_replication",
+    "simulate_policy",
+    "simulate_with_source",
+    "simulate_with_trace",
+    "simulate_restart_on_failure",
+]
+
+
+def simulate_restart(
+    *,
+    mtbf: float,
+    n_pairs: int,
+    period: float,
+    costs: CheckpointCosts,
+    n_periods: int | None = None,
+    work_target: float | None = None,
+    n_runs: int = 100,
+    engine: str = "sampled",
+    failures_during_checkpoint: bool = True,
+    seed: SeedLike = None,
+) -> RunSet:
+    """Simulate the paper's *restart* strategy (restart at every checkpoint).
+
+    ``engine`` is ``"sampled"`` (exact closed-form sampling, fastest) or
+    ``"lockstep"`` (event-driven, used for cross-validation).  The sampled
+    engine requires ``n_periods`` termination.
+    """
+    if engine == "sampled":
+        if n_periods is None:
+            raise ParameterError("the sampled engine requires n_periods termination")
+        return simulate_restart_sampled(
+            mtbf=mtbf,
+            n_pairs=n_pairs,
+            period=period,
+            costs=costs,
+            n_periods=n_periods,
+            n_runs=n_runs,
+            failures_during_checkpoint=failures_during_checkpoint,
+            seed=seed,
+        )
+    if engine != "lockstep":
+        raise ParameterError(f"unknown engine {engine!r}; expected 'sampled' or 'lockstep'")
+    policy = restart_policy(period, costs)
+    return simulate_policy(
+        policy,
+        mtbf=mtbf,
+        n_pairs=n_pairs,
+        costs=costs,
+        n_periods=n_periods,
+        work_target=work_target,
+        n_runs=n_runs,
+        failures_during_checkpoint=failures_during_checkpoint,
+        seed=seed,
+    )
+
+
+def simulate_no_restart(
+    *,
+    mtbf: float,
+    n_pairs: int,
+    period: float,
+    costs: CheckpointCosts,
+    n_periods: int | None = None,
+    work_target: float | None = None,
+    n_runs: int = 100,
+    failures_during_checkpoint: bool = True,
+    seed: SeedLike = None,
+) -> RunSet:
+    """Simulate prior work's *no-restart* strategy."""
+    policy = no_restart_policy(period, costs)
+    return simulate_policy(
+        policy,
+        mtbf=mtbf,
+        n_pairs=n_pairs,
+        costs=costs,
+        n_periods=n_periods,
+        work_target=work_target,
+        n_runs=n_runs,
+        failures_during_checkpoint=failures_during_checkpoint,
+        seed=seed,
+    )
+
+
+def simulate_nbound(
+    *,
+    mtbf: float,
+    n_pairs: int,
+    period: float,
+    costs: CheckpointCosts,
+    n_bound: int,
+    n_periods: int | None = None,
+    n_runs: int = 100,
+    restart_wave_factor: float = 2.0,
+    failures_during_checkpoint: bool = True,
+    seed: SeedLike = None,
+) -> RunSet:
+    """Simulate the Section 7.7 extension: restart after >= n_bound deaths."""
+    policy = nbound_policy(period, costs, n_bound, restart_wave_factor=restart_wave_factor)
+    return simulate_policy(
+        policy,
+        mtbf=mtbf,
+        n_pairs=n_pairs,
+        costs=costs,
+        n_periods=n_periods,
+        n_runs=n_runs,
+        failures_during_checkpoint=failures_during_checkpoint,
+        seed=seed,
+    )
+
+
+def simulate_every_k(
+    *,
+    mtbf: float,
+    n_pairs: int,
+    period: float,
+    costs: CheckpointCosts,
+    k: int,
+    n_periods: int | None = None,
+    n_runs: int = 100,
+    failures_during_checkpoint: bool = True,
+    seed: SeedLike = None,
+) -> RunSet:
+    """Simulate the future-work variant: rejuvenate at every k-th checkpoint."""
+    policy = every_k_policy(period, costs, k)
+    return simulate_policy(
+        policy,
+        mtbf=mtbf,
+        n_pairs=n_pairs,
+        costs=costs,
+        n_periods=n_periods,
+        n_runs=n_runs,
+        failures_during_checkpoint=failures_during_checkpoint,
+        seed=seed,
+    )
+
+
+def simulate_non_periodic(
+    *,
+    mtbf: float,
+    n_pairs: int,
+    healthy_period: float,
+    degraded_period: float,
+    costs: CheckpointCosts,
+    n_periods: int | None = None,
+    work_target: float | None = None,
+    n_runs: int = 100,
+    failures_during_checkpoint: bool = True,
+    seed: SeedLike = None,
+) -> RunSet:
+    """Simulate Figure 2's non-periodic no-restart variant (T1 / T2)."""
+    policy = non_periodic_policy(healthy_period, degraded_period, costs)
+    return simulate_policy(
+        policy,
+        mtbf=mtbf,
+        n_pairs=n_pairs,
+        costs=costs,
+        n_periods=n_periods,
+        work_target=work_target,
+        n_runs=n_runs,
+        failures_during_checkpoint=failures_during_checkpoint,
+        seed=seed,
+    )
+
+
+def simulate_no_replication(
+    *,
+    mtbf: float,
+    n_procs: int,
+    period: float,
+    costs: CheckpointCosts,
+    n_periods: int | None = None,
+    work_target: float | None = None,
+    n_runs: int = 100,
+    failures_during_checkpoint: bool = True,
+    seed: SeedLike = None,
+) -> RunSet:
+    """Simulate plain checkpoint/restart without replication."""
+    policy = no_restart_policy(period, costs)
+    config = LockstepConfig(
+        mtbf=mtbf,
+        n_pairs=0,
+        n_standalone=n_procs,
+        policy=policy,
+        costs=costs,
+        n_periods=n_periods,
+        work_target=work_target,
+        n_runs=n_runs,
+        failures_during_checkpoint=failures_during_checkpoint,
+    )
+    rs = simulate_lockstep(config, seed=seed)
+    rs.label = f"NoReplication(T={period:g})"
+    return rs
+
+
+def simulate_partial_replication(
+    *,
+    mtbf: float,
+    platform: Platform,
+    period: float,
+    costs: CheckpointCosts,
+    restart_at_checkpoint: bool,
+    n_periods: int | None = None,
+    work_target: float | None = None,
+    n_runs: int = 100,
+    failures_during_checkpoint: bool = True,
+    seed: SeedLike = None,
+) -> RunSet:
+    """Simulate a partially replicated platform (paper Section 7.6).
+
+    ``platform`` supplies the pairs/standalone split (e.g.
+    ``Platform.partially_replicated(200_000, mu, 0.9)`` for Partial90).
+    A failure on any standalone processor is immediately fatal; pairs behave
+    as under full replication.  ``restart_at_checkpoint`` selects the
+    restart or no-restart flavour for the replicated part.
+    """
+    policy = (
+        restart_policy(period, costs)
+        if restart_at_checkpoint
+        else no_restart_policy(period, costs)
+    )
+    config = LockstepConfig(
+        mtbf=mtbf,
+        n_pairs=platform.n_pairs,
+        n_standalone=platform.n_standalone,
+        policy=policy,
+        costs=costs,
+        n_periods=n_periods,
+        work_target=work_target,
+        n_runs=n_runs,
+        failures_during_checkpoint=failures_during_checkpoint,
+    )
+    rs = simulate_lockstep(config, seed=seed)
+    frac = int(round(platform.replicated_fraction * 100))
+    rs.label = f"Partial{frac}(T={period:g})"
+    return rs
+
+
+def simulate_policy(
+    policy: PeriodicPolicy,
+    *,
+    mtbf: float,
+    n_pairs: int,
+    costs: CheckpointCosts,
+    n_periods: int | None = None,
+    work_target: float | None = None,
+    n_runs: int = 100,
+    n_standalone: int = 0,
+    failures_during_checkpoint: bool = True,
+    seed: SeedLike = None,
+) -> RunSet:
+    """Simulate an arbitrary :class:`PeriodicPolicy` with the lockstep engine."""
+    config = LockstepConfig(
+        mtbf=mtbf,
+        n_pairs=n_pairs,
+        n_standalone=n_standalone,
+        policy=policy,
+        costs=costs,
+        n_periods=n_periods,
+        work_target=work_target,
+        n_runs=n_runs,
+        failures_during_checkpoint=failures_during_checkpoint,
+    )
+    return simulate_lockstep(config, seed=seed)
+
+
+def simulate_with_source(
+    policy: PeriodicPolicy,
+    source: FailureSource,
+    *,
+    n_pairs: int,
+    costs: CheckpointCosts,
+    n_periods: int | None = None,
+    work_target: float | None = None,
+    n_runs: int = 100,
+    n_standalone: int = 0,
+    failures_during_checkpoint: bool = True,
+    seed: SeedLike = None,
+) -> RunSet:
+    """Simulate a policy against an arbitrary failure source (general engine)."""
+    config = TraceEngineConfig(
+        source=source,
+        n_pairs=n_pairs,
+        n_standalone=n_standalone,
+        policy=policy,
+        costs=costs,
+        n_periods=n_periods,
+        work_target=work_target,
+        n_runs=n_runs,
+        failures_during_checkpoint=failures_during_checkpoint,
+    )
+    return simulate_trace_runs(config, seed=seed)
+
+
+def simulate_with_trace(
+    policy: PeriodicPolicy,
+    trace: FailureTrace,
+    *,
+    n_procs: int,
+    n_groups: int,
+    costs: CheckpointCosts,
+    n_periods: int | None = None,
+    work_target: float | None = None,
+    n_runs: int = 100,
+    failures_during_checkpoint: bool = True,
+    seed: SeedLike = None,
+) -> RunSet:
+    """Replay a failure trace with the paper's group methodology.
+
+    The platform is fully replicated (``n_procs`` must be even); the trace
+    is split into ``n_groups`` independently-rotated, *pair-aligned* group
+    streams (see :func:`repro.failures.traces.platform_failure_stream` —
+    a process and its replica share a trace replay, so the trace's failure
+    cascades can actually interrupt the application).
+    """
+    if n_procs % 2 != 0:
+        raise ParameterError(f"full replication requires an even n_procs, got {n_procs}")
+    source = TraceFailureSource(trace, n_procs, n_groups, n_pairs=n_procs // 2)
+    return simulate_with_source(
+        policy,
+        source,
+        n_pairs=n_procs // 2,
+        costs=costs,
+        n_periods=n_periods,
+        work_target=work_target,
+        n_runs=n_runs,
+        failures_during_checkpoint=failures_during_checkpoint,
+        seed=seed,
+    )

@@ -1,0 +1,153 @@
+"""Closed-form sampling fast path for the *restart* strategy.
+
+Under IID exponential failures, the *restart* strategy renews the platform
+at every checkpoint: each period attempt starts from the all-alive state.
+The attempt therefore fails iff the first *fatal* (pair-double) failure
+time ``tau`` — whose exact distribution is
+``P(tau > t) = (1 - (1 - e^{-lambda t})^2)^b`` — lands inside the attempt's
+exposure window.  We sample ``tau`` directly by inverse transform
+(:func:`repro.core.mtti.sample_time_to_interruption`): **one uniform draw
+per attempt**, independent of the number of processors, instead of
+simulating thousands of individual failures.
+
+Failure *counts* are recovered exactly as well: conditioned on the attempt
+outcome, each pair is independently degraded with a closed-form
+probability, so per-attempt failure/restart counts are Binomial draws.
+
+This path is ~100x faster than the event-driven engines for large
+platforms and is statistically identical to them (a property the
+integration tests check).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.mtti import sample_time_to_interruption
+from repro.exceptions import ParameterError, SimulationError
+from repro.platform_model.costs import CheckpointCosts
+from repro.simulation.results import RunSet
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = ["simulate_restart_sampled"]
+
+#: give up if an attempt round leaves cells unfinished this many times
+_MAX_ROUNDS = 10_000
+
+
+def _degraded_probability_given_not_dead(lam: float, t) -> np.ndarray:
+    """P(pair has exactly one dead at *t* | pair not dead at *t*).
+
+    With per-processor death probability ``f = 1 - e^{-lam t}``:
+    one-dead has probability ``2 f (1-f)``, both-alive ``(1-f)^2``; the
+    conditional drops the ``f^2`` (dead) outcome.
+    """
+    f = -np.expm1(-lam * np.asarray(t, dtype=float))
+    one = 2.0 * f * (1.0 - f)
+    alive = (1.0 - f) ** 2
+    denom = one + alive
+    return np.divide(one, denom, out=np.zeros_like(one), where=denom > 0)
+
+
+def simulate_restart_sampled(
+    *,
+    mtbf: float,
+    n_pairs: int,
+    period: float,
+    costs: CheckpointCosts,
+    n_periods: int,
+    n_runs: int,
+    failures_during_checkpoint: bool = True,
+    seed: SeedLike = None,
+) -> RunSet:
+    """Simulate the *restart* strategy via exact fatal-time sampling.
+
+    Parameters mirror :class:`~repro.simulation.lockstep.LockstepConfig`
+    for the restart policy with full replication.  Every checkpoint is a
+    combined checkpoint-and-restart wave of cost ``costs.restart_checkpoint``
+    (the paper's model).
+
+    Returns a :class:`~repro.simulation.results.RunSet`.
+    """
+    mtbf = check_positive("mtbf", mtbf)
+    n_pairs = check_positive_int("n_pairs", n_pairs)
+    period = check_positive("period", period)
+    n_periods = check_positive_int("n_periods", n_periods)
+    n_runs = check_positive_int("n_runs", n_runs)
+    rng = as_generator(seed)
+
+    lam = 1.0 / mtbf
+    cr = costs.restart_checkpoint
+    exposure = period + cr if failures_during_checkpoint else period
+    dr = costs.downtime + costs.recovery
+
+    n_cells = n_runs * n_periods
+    total = np.full(n_cells, period + cr)
+    wasted = np.zeros(n_cells)
+    fatal = np.zeros(n_cells, dtype=np.int64)
+    fails = np.zeros(n_cells, dtype=np.int64)
+    restarts = np.zeros(n_cells, dtype=np.int64)
+    max_deg = np.zeros(n_cells, dtype=np.int64)
+
+    pending = np.arange(n_cells)
+    for _ in range(_MAX_ROUNDS):
+        if pending.size == 0:
+            break
+        tau = sample_time_to_interruption(mtbf, n_pairs, pending.size, rng=rng)
+        failed = tau <= exposure
+        ok = pending[~failed]
+        if ok.size:
+            # Attempt succeeded: draw the end-of-attempt degraded count.
+            q = float(_degraded_probability_given_not_dead(lam, exposure))
+            deg = rng.binomial(n_pairs, q, ok.size)
+            fails[ok] += deg
+            restarts[ok] += deg
+            max_deg[ok] = np.maximum(max_deg[ok], deg)
+        bad = pending[failed]
+        if bad.size:
+            t_bad = tau[failed]
+            total[bad] += t_bad + dr
+            wasted[bad] += t_bad
+            fatal[bad] += 1
+            # Failures seen in the doomed attempt: 2 on the fatal pair plus
+            # the degraded pairs among the other b-1 (conditioned on
+            # surviving until tau).
+            q_bad = _degraded_probability_given_not_dead(lam, t_bad)
+            deg_bad = (
+                rng.binomial(n_pairs - 1, q_bad) if n_pairs > 1 else np.zeros(bad.size, dtype=np.int64)
+            )
+            fails[bad] += 2 + deg_bad
+            restarts[bad] += 2 + deg_bad  # crash rejuvenation restarts them
+            max_deg[bad] = np.maximum(max_deg[bad], deg_bad + 1)
+        pending = bad
+    else:
+        raise SimulationError(
+            f"restart-sampled attempts did not converge: success probability "
+            f"per attempt is too small (period {period:g}s, exposure {exposure:g}s)"
+        )
+
+    def per_run(v: np.ndarray) -> np.ndarray:
+        return v.reshape(n_runs, n_periods).sum(axis=1)
+
+    return RunSet(
+        total_time=per_run(total),
+        useful_time=np.full(n_runs, float(n_periods) * period),
+        checkpoint_time=np.full(n_runs, float(n_periods) * cr),
+        recovery_time=per_run(fatal).astype(float) * dr,
+        wasted_time=per_run(wasted),
+        n_failures=per_run(fails),
+        n_fatal=per_run(fatal),
+        n_checkpoints=np.full(n_runs, n_periods, dtype=np.int64),
+        n_proc_restarts=per_run(restarts),
+        max_degraded=max_deg.reshape(n_runs, n_periods).max(axis=1),
+        label=f"Restart(T={period:g}) [sampled]",
+        meta={
+            "mtbf": mtbf,
+            "n_pairs": n_pairs,
+            "n_standalone": 0,
+            "engine": "sampled",
+        },
+    )

@@ -1,0 +1,304 @@
+"""General event-driven engine: explicit failure events with processor ids.
+
+Unlike the lockstep engine (exponential-only), this engine consumes an
+arbitrary :class:`~repro.failures.generator.FailureStream` — replayed LANL
+traces, Weibull renewal processes, anything that yields time-ordered
+``(time, processor)`` events.  It tracks per-processor liveness, so the
+*same pair being struck twice* is determined by actual processor identities
+rather than by aggregate probabilities.
+
+Processor layout (matching :class:`~repro.platform_model.RackTopology`):
+pair ``i`` consists of processors ``i`` and ``b + i``; standalone
+processors occupy ids ``2b .. n_procs-1``.
+
+Semantics are identical to the lockstep engine (same phases, same
+accounting); the integration tests verify that both engines agree within
+Monte-Carlo error on exponential inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ParameterError, SimulationError
+from repro.failures.generator import FailureSource
+from repro.platform_model.costs import CheckpointCosts
+from repro.simulation.policies import PeriodicPolicy
+from repro.simulation.results import RunSet
+from repro.util.rng import SeedLike, spawn_seeds
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = ["TraceEngineConfig", "simulate_trace_runs"]
+
+
+@dataclass(frozen=True)
+class TraceEngineConfig:
+    """Configuration for trace-driven simulation batches.
+
+    ``source`` provides the failure sample paths; each run opens one stream
+    with an independent seed.  Platform layout must be consistent with the
+    source's ``n_procs`` (``2*n_pairs + n_standalone == source.n_procs``).
+    """
+
+    source: FailureSource
+    n_pairs: int
+    policy: PeriodicPolicy
+    costs: CheckpointCosts
+    n_runs: int
+    n_periods: int | None = None
+    work_target: float | None = None
+    n_standalone: int = 0
+    failures_during_checkpoint: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_pairs < 0 or self.n_standalone < 0:
+            raise ParameterError("n_pairs and n_standalone must be non-negative")
+        if 2 * self.n_pairs + self.n_standalone != self.source.n_procs:
+            raise ParameterError(
+                f"platform layout ({2 * self.n_pairs}+{self.n_standalone}) does not "
+                f"match the failure source ({self.source.n_procs} processors)"
+            )
+        check_positive_int("n_runs", self.n_runs)
+        if (self.n_periods is None) == (self.work_target is None):
+            raise ParameterError("set exactly one of n_periods / work_target")
+        if self.n_periods is not None:
+            check_positive_int("n_periods", self.n_periods)
+        if self.work_target is not None:
+            check_positive("work_target", self.work_target)
+
+
+class _PlatformState:
+    """Per-processor liveness with O(dead) reset."""
+
+    def __init__(self, n_pairs: int, n_standalone: int) -> None:
+        self.n_pairs = n_pairs
+        self.n_standalone = n_standalone
+        self.n_procs = 2 * n_pairs + n_standalone
+        self.dead = np.zeros(self.n_procs, dtype=bool)
+        self.dead_list: list[int] = []
+
+    @property
+    def n_dead(self) -> int:
+        return len(self.dead_list)
+
+    def partner(self, proc: int) -> int | None:
+        if proc < self.n_pairs:
+            return proc + self.n_pairs
+        if proc < 2 * self.n_pairs:
+            return proc - self.n_pairs
+        return None  # standalone
+
+    def strike(self, proc: int) -> str:
+        """Apply a failure event; returns 'ignored', 'degraded' or 'fatal'."""
+        if self.dead[proc]:
+            return "ignored"
+        partner = self.partner(proc)
+        if partner is None:
+            # Standalone processor: its failure interrupts the application.
+            self.dead[proc] = True
+            self.dead_list.append(proc)
+            return "fatal"
+        self.dead[proc] = True
+        self.dead_list.append(proc)
+        return "fatal" if self.dead[partner] else "degraded"
+
+    def restart_all(self) -> int:
+        """Revive every dead processor; returns how many were restarted."""
+        n = len(self.dead_list)
+        if n:
+            self.dead[np.asarray(self.dead_list)] = False
+            self.dead_list.clear()
+        return n
+
+
+def simulate_trace_runs(config: TraceEngineConfig, *, seed: SeedLike = None) -> RunSet:
+    """Simulate ``config.n_runs`` independent runs against the failure source.
+
+    Each run opens a fresh stream (independent rotation/permutation seeds
+    for trace sources; independent sample paths for renewal sources).
+    """
+    seeds = spawn_seeds(seed, config.n_runs)
+    metrics = {
+        name: np.zeros(config.n_runs)
+        for name in (
+            "total_time",
+            "useful_time",
+            "checkpoint_time",
+            "recovery_time",
+            "wasted_time",
+        )
+    }
+    counts = {
+        name: np.zeros(config.n_runs, dtype=np.int64)
+        for name in ("n_failures", "n_fatal", "n_checkpoints", "n_proc_restarts", "max_degraded")
+    }
+    for r in range(config.n_runs):
+        out = _simulate_one(config, seeds[r])
+        for name, arr in metrics.items():
+            arr[r] = out[name]
+        for name, arr in counts.items():
+            arr[r] = out[name]
+    return RunSet(
+        label=config.policy.name,
+        meta={
+            "n_pairs": config.n_pairs,
+            "n_standalone": config.n_standalone,
+            "engine": "trace",
+        },
+        **metrics,
+        **counts,
+    )
+
+
+def _simulate_one(config: TraceEngineConfig, seed) -> dict:
+    policy = config.policy
+    state = _PlatformState(config.n_pairs, config.n_standalone)
+    stream = config.source.open(seed, horizon_hint=_horizon_hint(config))
+
+    total = useful = ckpt_time = rec_time = wasted = 0.0
+    n_failures = n_fatal = n_ckpt = n_restarts = 0
+    max_degraded = 0
+    periods_done = 0
+    ckpts_since_restart = 0
+    dr = config.costs.downtime + config.costs.recovery
+
+    deg0 = np.zeros(1, dtype=np.int64)
+    cnt0 = np.zeros(1, dtype=np.int64)
+
+    def work_len_now() -> float:
+        deg0[0] = state.n_dead
+        return float(policy.work_length(deg0)[0])
+
+    # Budget guards against zero-progress configurations.
+    budget = _attempt_budget(config)
+    attempts = 0
+
+    while True:
+        if config.n_periods is not None:
+            if periods_done >= config.n_periods:
+                break
+        elif useful >= config.work_target:
+            break
+        attempts += 1
+        if attempts > budget:
+            raise SimulationError(
+                "trace engine exceeded its attempt budget; the period is "
+                "likely too short to ever complete between failures"
+            )
+
+        # ---------------- work segment --------------------------------
+        seg = work_len_now()
+        seg_start = total
+        crashed = False
+        replanned = state.n_dead > 0  # degraded segments are already short
+        events_t, events_p = stream.failures_between(seg_start, seg_start + seg)
+        i = 0
+        while i < events_t.size:
+            et, ep = float(events_t[i]), int(events_p[i])
+            outcome = state.strike(ep)
+            i += 1
+            if outcome == "ignored":
+                continue
+            n_failures += 1
+            if outcome == "fatal":
+                lost = et - seg_start
+                wasted += lost
+                total = et + dr
+                rec_time += dr
+                n_fatal += 1
+                n_restarts += state.restart_all()
+                ckpts_since_restart = 0
+                crashed = True
+                break
+            # degraded
+            max_degraded = max(max_degraded, state.n_dead)
+            if policy.replan_on_degrade and not replanned:
+                # First failure re-plans: next checkpoint lands T2 after it.
+                replanned = True
+                seg = et + policy.degraded_period - seg_start
+                events_t, events_p = stream.failures_between(
+                    np.nextafter(et, np.inf), seg_start + seg
+                )
+                i = 0
+        if crashed:
+            continue  # retry the period from the last checkpoint
+        total = seg_start + seg
+
+        # ---------------- checkpoint wave ------------------------------
+        deg0[0] = state.n_dead
+        cnt0[0] = ckpts_since_restart
+        cost_arr, restart_arr = policy.checkpoint_decision(deg0, cnt0)
+        cost = float(cost_arr[0])
+        do_restart = bool(restart_arr[0])
+        if config.failures_during_checkpoint:
+            events_t, events_p = stream.failures_between(total, total + cost)
+            crashed = False
+            for et, ep in zip(events_t, events_p):
+                outcome = state.strike(int(ep))
+                if outcome == "ignored":
+                    continue
+                n_failures += 1
+                if outcome == "fatal":
+                    lost = float(et) - seg_start
+                    wasted += lost
+                    total = float(et) + dr
+                    rec_time += dr
+                    n_fatal += 1
+                    n_restarts += state.restart_all()
+                    ckpts_since_restart = 0
+                    crashed = True
+                    break
+                max_degraded = max(max_degraded, state.n_dead)
+            if crashed:
+                continue
+        total += cost
+        ckpt_time += cost
+        n_ckpt += 1
+        useful += seg
+        periods_done += 1
+        if do_restart:
+            n_restarts += state.restart_all()
+            ckpts_since_restart = 0
+        else:
+            ckpts_since_restart += 1
+
+    return {
+        "total_time": total,
+        "useful_time": useful,
+        "checkpoint_time": ckpt_time,
+        "recovery_time": rec_time,
+        "wasted_time": wasted,
+        "n_failures": n_failures,
+        "n_fatal": n_fatal,
+        "n_checkpoints": n_ckpt,
+        "n_proc_restarts": n_restarts,
+        "max_degraded": max_degraded,
+    }
+
+
+def _horizon_hint(config: TraceEngineConfig) -> float:
+    """Generous estimate of a run's wall-clock length for stream pre-sizing."""
+    policy = config.policy
+    n_periods = (
+        config.n_periods
+        if config.n_periods is not None
+        else int(np.ceil(config.work_target / min(policy.period, policy.degraded_period or policy.period))) + 1
+    )
+    per_period = (
+        policy.period
+        + max(policy.checkpoint_cost, policy.restart_wave_cost)
+        + config.costs.downtime
+        + config.costs.recovery
+    )
+    return 8.0 * n_periods * per_period
+
+
+def _attempt_budget(config: TraceEngineConfig) -> int:
+    n_periods = (
+        config.n_periods
+        if config.n_periods is not None
+        else int(np.ceil(config.work_target / config.policy.period)) + 1
+    )
+    return 1000 * n_periods + 100_000

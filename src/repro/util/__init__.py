@@ -1,0 +1,45 @@
+"""Shared utilities: RNG stream management, statistics and validation."""
+
+from repro.util.rng import as_generator, spawn_generators, spawn_seeds
+from repro.util.stats import (
+    StreamingMoments,
+    confidence_interval,
+    mean_confidence_halfwidth,
+    weighted_mean,
+)
+from repro.util.units import (
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    YEAR,
+    format_duration,
+    years_to_seconds,
+)
+from repro.util.validation import (
+    check_fraction,
+    check_in_range,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "spawn_seeds",
+    "StreamingMoments",
+    "confidence_interval",
+    "mean_confidence_halfwidth",
+    "weighted_mean",
+    "check_fraction",
+    "check_in_range",
+    "check_positive",
+    "check_positive_int",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "YEAR",
+    "years_to_seconds",
+    "format_duration",
+]

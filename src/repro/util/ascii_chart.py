@@ -1,0 +1,145 @@
+"""Terminal line charts for experiment series.
+
+The evaluation environment has no plotting stack, so ``repro-sim figure
+... --plot`` renders figures as ASCII charts: one mark per series, points
+placed on a character grid with linear or log axes.  Good enough to *see*
+the paper's shapes (plateaus, crossovers, explosions) straight from a
+terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.exceptions import ParameterError
+
+__all__ = ["ascii_chart", "chart_experiment"]
+
+_MARKS = "ox+*#@%&"
+
+
+def _transform(values: Sequence[float], log: bool) -> list[float]:
+    out = []
+    for v in values:
+        if v is None or (isinstance(v, float) and (math.isnan(v) or math.isinf(v))):
+            out.append(math.nan)
+        elif log:
+            if v <= 0:
+                out.append(math.nan)
+            else:
+                out.append(math.log10(v))
+        else:
+            out.append(float(v))
+    return out
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "x",
+) -> str:
+    """Render named series over a shared x-axis as an ASCII grid.
+
+    Non-finite points (and non-positive values on log axes) are skipped.
+    Each series gets one of the marks ``o x + * # @ % &``; the legend maps
+    marks back to names.
+    """
+    if not series:
+        raise ParameterError("need at least one series")
+    if len(x) < 2:
+        raise ParameterError("need at least two x points")
+    xs = _transform(x, log_x)
+    transformed = {name: _transform(vals, log_y) for name, vals in series.items()}
+    for name, vals in transformed.items():
+        if len(vals) != len(xs):
+            raise ParameterError(f"series {name!r} length differs from x")
+
+    finite_x = [v for v in xs if not math.isnan(v)]
+    finite_y = [
+        v for vals in transformed.values() for v in vals if not math.isnan(v)
+    ]
+    if not finite_y or len(finite_x) < 2:
+        raise ParameterError("no finite data to plot")
+    x_lo, x_hi = min(finite_x), max(finite_x)
+    y_lo, y_hi = min(finite_y), max(finite_y)
+    if x_hi == x_lo:
+        raise ParameterError("degenerate x range")
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, vals), mark in zip(transformed.items(), _MARKS):
+        for xv, yv in zip(xs, vals):
+            if math.isnan(xv) or math.isnan(yv):
+                continue
+            col = round((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    def fmt(v: float, log: bool) -> str:
+        return f"{10 ** v:.3g}" if log else f"{v:.3g}"
+
+    lines = []
+    top_label, bottom_label = fmt(y_hi, log_y), fmt(y_lo, log_y)
+    margin = max(len(top_label), len(bottom_label)) + 1
+    for i, row_chars in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(margin)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(prefix + "|" + "".join(row_chars))
+    lines.append(" " * margin + "+" + "-" * width)
+    left, right = fmt(x_lo, log_x), fmt(x_hi, log_x)
+    axis = left + x_label.center(width - len(left) - len(right)) + right
+    lines.append(" " * (margin + 1) + axis)
+    legend = "   ".join(
+        f"{mark} {name}" for (name, _), mark in zip(transformed.items(), _MARKS)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)
+
+
+def chart_experiment(
+    result,
+    *,
+    x_column: str | None = None,
+    y_columns: Sequence[str] | None = None,
+    log_x: bool | None = None,
+    log_y: bool = True,
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """Chart an :class:`~repro.experiments.common.ExperimentResult`.
+
+    Defaults: first column as x, every *numeric* remaining column as a
+    series, log-y (overheads and times span decades), log-x when the
+    x-range itself spans more than two decades.
+    """
+    if x_column is None:
+        x_column = result.columns[0]
+    x = [row[x_column] for row in result.rows]
+    if y_columns is None:
+        y_columns = [
+            c
+            for c in result.columns
+            if c != x_column
+            and all(isinstance(row[c], (int, float)) and not isinstance(row[c], bool) for row in result.rows)
+        ]
+    if not y_columns:
+        raise ParameterError("no numeric series to plot")
+    series = {c: [float(row[c]) for row in result.rows] for c in y_columns}
+    if log_x is None:
+        positive = [v for v in x if isinstance(v, (int, float)) and v > 0]
+        log_x = bool(positive) and max(positive) / min(positive) > 100.0
+    return ascii_chart(
+        x, series, width=width, height=height, log_x=log_x, log_y=log_y,
+        x_label=x_column,
+    )

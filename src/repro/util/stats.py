@@ -1,0 +1,129 @@
+"""Statistical helpers for Monte-Carlo aggregation.
+
+The simulator averages overheads across hundreds of independent runs; these
+helpers provide numerically stable streaming moments (Welford) and normal
+confidence intervals used in result summaries and in the integration tests
+that compare simulation against the analytic model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "StreamingMoments",
+    "confidence_interval",
+    "mean_confidence_halfwidth",
+    "weighted_mean",
+]
+
+# Two-sided standard-normal quantiles for the confidence levels we expose.
+_Z_TABLE = {
+    0.68: 0.9944578832097532,
+    0.90: 1.6448536269514722,
+    0.95: 1.959963984540054,
+    0.99: 2.5758293035489004,
+}
+
+
+def _z_value(level: float) -> float:
+    try:
+        return _Z_TABLE[round(level, 2)]
+    except KeyError:
+        # Fall back to scipy for unusual levels; imported lazily because the
+        # common path should not pay the import cost.
+        from scipy.stats import norm
+
+        if not 0.0 < level < 1.0:
+            raise ParameterError(f"confidence level must be in (0, 1), got {level}") from None
+        return float(norm.ppf(0.5 + level / 2.0))
+
+
+@dataclass
+class StreamingMoments:
+    """Welford streaming mean/variance accumulator.
+
+    Supports scalar and vector updates; ``push`` accepts either a float or an
+    array of independent observations.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = field(default=0.0, repr=False)
+
+    def push(self, value) -> None:
+        """Add one observation or an array of observations."""
+        arr = np.atleast_1d(np.asarray(value, dtype=float))
+        for x in arr:
+            self.count += 1
+            delta = x - self.mean
+            self.mean += delta / self.count
+            self._m2 += delta * (x - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self.count < 2:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Return the accumulator for the union of two disjoint samples."""
+        if other.count == 0:
+            return StreamingMoments(self.count, self.mean, self._m2)
+        if self.count == 0:
+            return StreamingMoments(other.count, other.mean, other._m2)
+        n = self.count + other.count
+        delta = other.mean - self.mean
+        mean = self.mean + delta * other.count / n
+        m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / n
+        return StreamingMoments(n, mean, m2)
+
+
+def confidence_interval(samples, level: float = 0.95) -> tuple[float, float]:
+    """Normal-approximation confidence interval for the mean of *samples*."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ParameterError("cannot build a confidence interval from an empty sample")
+    mean = float(arr.mean())
+    half = mean_confidence_halfwidth(arr, level=level)
+    return (mean - half, mean + half)
+
+
+def mean_confidence_halfwidth(samples, level: float = 0.95) -> float:
+    """Half-width of the normal confidence interval for the sample mean."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size < 2:
+        return 0.0
+    sem = float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    return _z_value(level) * sem
+
+
+def weighted_mean(values, weights) -> float:
+    """Weighted mean with validation (weights must be non-negative, not all 0)."""
+    v = np.asarray(values, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    if v.shape != w.shape:
+        raise ParameterError(f"values shape {v.shape} != weights shape {w.shape}")
+    if np.any(w < 0):
+        raise ParameterError("weights must be non-negative")
+    total = w.sum()
+    if total == 0:
+        raise ParameterError("weights sum to zero")
+    return float((v * w).sum() / total)

@@ -1,0 +1,47 @@
+"""Time-unit constants and formatting.
+
+The paper mixes units freely (seconds for checkpoints, years for MTBF,
+minutes/days for the Figure 1 quantiles); all internal computation is in
+seconds and these constants make conversions explicit at call sites.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "YEAR",
+    "years_to_seconds",
+    "format_duration",
+]
+
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+DAY: float = 86_400.0
+WEEK: float = 7 * DAY
+#: Julian year, the convention used in the paper's companion simulator
+#: (365 days; the difference with 365.25 is far below Monte-Carlo noise).
+YEAR: float = 365 * DAY
+
+
+def years_to_seconds(years: float) -> float:
+    """Convert a duration in years to seconds."""
+    return years * YEAR
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable rendering of a duration in seconds.
+
+    Picks the largest unit that keeps the magnitude >= 1, mirroring how the
+    paper reports quantities (e.g. ``5081 min``, ``85 h``, ``1688 days``).
+    """
+    if seconds != seconds:  # NaN
+        return "nan"
+    sign = "-" if seconds < 0 else ""
+    s = abs(seconds)
+    for unit, name in ((YEAR, "y"), (WEEK, "w"), (DAY, "d"), (HOUR, "h"), (MINUTE, "min")):
+        if s >= unit:
+            return f"{sign}{s / unit:.3g} {name}"
+    return f"{sign}{s:.3g} s"

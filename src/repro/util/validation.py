@@ -1,0 +1,67 @@
+"""Eager parameter validation helpers.
+
+Public entry points validate their scalar inputs through these helpers so
+that misconfigurations fail immediately with a uniform, descriptive
+:class:`~repro.exceptions.ParameterError` instead of surfacing later as a
+NaN deep inside a Monte-Carlo loop.
+"""
+
+from __future__ import annotations
+
+import math
+from numbers import Integral, Real
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "check_positive",
+    "check_positive_int",
+    "check_fraction",
+    "check_in_range",
+]
+
+
+def check_positive(name: str, value, *, allow_zero: bool = False) -> float:
+    """Validate that *value* is a finite positive real; return it as float."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ParameterError(f"{name} must be a real number, got {value!r}")
+    v = float(value)
+    if not math.isfinite(v):
+        raise ParameterError(f"{name} must be finite, got {value!r}")
+    if v < 0 or (v == 0 and not allow_zero):
+        kind = "non-negative" if allow_zero else "positive"
+        raise ParameterError(f"{name} must be {kind}, got {value!r}")
+    return v
+
+
+def check_positive_int(name: str, value, *, minimum: int = 1) -> int:
+    """Validate that *value* is an integer >= *minimum*; return it as int."""
+    if isinstance(value, bool) or not isinstance(value, Integral):
+        raise ParameterError(f"{name} must be an integer, got {value!r}")
+    v = int(value)
+    if v < minimum:
+        raise ParameterError(f"{name} must be >= {minimum}, got {value!r}")
+    return v
+
+
+def check_fraction(name: str, value, *, inclusive: bool = True) -> float:
+    """Validate that *value* lies in [0, 1] (or (0, 1) if not inclusive)."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ParameterError(f"{name} must be a real number, got {value!r}")
+    v = float(value)
+    lo_ok = v >= 0.0 if inclusive else v > 0.0
+    hi_ok = v <= 1.0 if inclusive else v < 1.0
+    if not (math.isfinite(v) and lo_ok and hi_ok):
+        bounds = "[0, 1]" if inclusive else "(0, 1)"
+        raise ParameterError(f"{name} must be in {bounds}, got {value!r}")
+    return v
+
+
+def check_in_range(name: str, value, lo: float, hi: float) -> float:
+    """Validate that *value* lies in the closed interval [lo, hi]."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ParameterError(f"{name} must be a real number, got {value!r}")
+    v = float(value)
+    if not (math.isfinite(v) and lo <= v <= hi):
+        raise ParameterError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return v

@@ -1,0 +1,38 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.platform_model.costs import CheckpointCosts
+from repro.util.units import YEAR
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def costs60():
+    """The paper's buddy-checkpointing preset."""
+    return CheckpointCosts(checkpoint=60.0)
+
+
+@pytest.fixture
+def costs600():
+    """The paper's remote-storage preset."""
+    return CheckpointCosts(checkpoint=600.0)
+
+
+@pytest.fixture
+def small_platform():
+    """A platform small enough for fast Monte-Carlo in unit tests."""
+    return {"mtbf": 5 * YEAR, "n_pairs": 500}
+
+
+@pytest.fixture
+def paper_platform():
+    """The paper's 200,000-processor default (analytic-only tests)."""
+    return {"mtbf": 5 * YEAR, "n_pairs": 100_000}

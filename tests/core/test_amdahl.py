@@ -1,0 +1,107 @@
+"""Tests for repro.core.amdahl — Section 5 time-to-solution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.amdahl import (
+    AmdahlApplication,
+    parallel_time_factor,
+    time_to_solution,
+    work_between_checkpoints,
+)
+from repro.exceptions import ParameterError
+
+
+class TestParallelTimeFactor:
+    def test_no_replication_formula(self):
+        assert parallel_time_factor(0.1, 10, replicated=False) == pytest.approx(
+            0.1 + 0.9 / 10
+        )
+
+    def test_replication_halves_processors(self):
+        gamma, n = 1e-5, 1000
+        f = parallel_time_factor(gamma, n, replicated=True)
+        assert f == pytest.approx(gamma + 2 * (1 - gamma) / n)
+
+    def test_alpha_slowdown(self):
+        f0 = parallel_time_factor(0.0, 100, replicated=True, replication_slowdown=0.0)
+        f2 = parallel_time_factor(0.0, 100, replicated=True, replication_slowdown=0.2)
+        assert f2 == pytest.approx(1.2 * f0)
+
+    def test_perfectly_sequential(self):
+        assert parallel_time_factor(1.0, 1000, replicated=False) == pytest.approx(1.0)
+
+    def test_replication_needs_even_procs(self):
+        with pytest.raises(ParameterError):
+            parallel_time_factor(0.1, 7, replicated=True)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=1, max_value=500_000).map(lambda k: 2 * k),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_replication_never_faster_failure_free(self, gamma, n):
+        """Failure-free, replication can only slow you down (half the procs)."""
+        plain = parallel_time_factor(gamma, n, replicated=False)
+        repl = parallel_time_factor(gamma, n, replicated=True)
+        assert repl >= plain - 1e-15
+
+    def test_amdahl_limit(self):
+        # As N grows, time approaches gamma * W.
+        gamma = 0.01
+        f = parallel_time_factor(gamma, 10_000_000, replicated=False)
+        assert f == pytest.approx(gamma, rel=1e-2)
+
+
+class TestApplication:
+    def test_parallel_time(self):
+        app = AmdahlApplication(sequential_fraction=0.0, replication_slowdown=0.0,
+                                sequential_work=1000.0)
+        assert app.parallel_time(10, replicated=False) == pytest.approx(100.0)
+        assert app.parallel_time(10, replicated=True) == pytest.approx(200.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            AmdahlApplication(sequential_fraction=1.5)
+        with pytest.raises(ParameterError):
+            AmdahlApplication(sequential_work=-1.0)
+        with pytest.raises(ParameterError):
+            AmdahlApplication(replication_slowdown=-0.1)
+
+    def test_paper_one_week_setup(self):
+        # gamma = 1e-5 on 100k procs: factor ~2e-5.
+        app = AmdahlApplication(sequential_fraction=1e-5, sequential_work=1.0)
+        f = app.parallel_time(100_000, replicated=False)
+        assert f == pytest.approx(1e-5 + (1 - 1e-5) / 1e5, rel=1e-9)
+
+
+class TestWorkBetweenCheckpoints:
+    def test_inverse_of_factor(self):
+        w = work_between_checkpoints(100.0, 0.1, 10, replicated=False)
+        assert w == pytest.approx(100.0 / (0.1 + 0.9 / 10))
+
+    def test_replication_reduces_work_per_period(self):
+        w_plain = work_between_checkpoints(100.0, 1e-5, 1000, replicated=False)
+        w_repl = work_between_checkpoints(
+            100.0, 1e-5, 1000, replicated=True, replication_slowdown=0.2
+        )
+        assert w_repl < w_plain
+
+
+class TestTimeToSolution:
+    def test_eq22(self):
+        app = AmdahlApplication(sequential_fraction=0.0, sequential_work=100.0)
+        # H = 0.5 -> time = T_par * 1.5
+        assert time_to_solution(app, 10, 0.5, replicated=False) == pytest.approx(15.0)
+
+    def test_zero_overhead(self):
+        app = AmdahlApplication(sequential_work=50.0)
+        assert time_to_solution(app, 2, 0.0, replicated=False) == pytest.approx(
+            app.parallel_time(2, replicated=False)
+        )
+
+    def test_negative_overhead_rejected(self):
+        app = AmdahlApplication()
+        with pytest.raises(ParameterError):
+            time_to_solution(app, 2, -0.1, replicated=False)

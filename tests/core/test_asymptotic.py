@@ -1,0 +1,59 @@
+"""Tests for repro.core.asymptotic — Section 6 scale-free ratio."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.asymptotic import asymptotic_ratio, best_gain, breakeven_x
+from repro.exceptions import ParameterError
+
+
+class TestRatio:
+    def test_closed_form(self):
+        x = 0.25
+        expected = ((9 / 8 * math.pi * x * x) ** (1 / 3) + 1) / (math.sqrt(2 * x) + 1)
+        assert asymptotic_ratio(x) == pytest.approx(expected)
+
+    def test_restart_wins_moderate_x(self):
+        for x in (0.05, 0.1, 0.3, 0.5):
+            assert asymptotic_ratio(x) < 1.0
+
+    def test_no_restart_wins_large_x(self):
+        for x in (0.7, 0.9, 1.5):
+            assert asymptotic_ratio(x) > 1.0
+
+    def test_tends_to_one_as_x_vanishes(self):
+        assert asymptotic_ratio(1e-12) == pytest.approx(1.0, abs=1e-3)
+
+    @given(st.floats(min_value=1e-6, max_value=10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_ratio_positive(self, x):
+        assert asymptotic_ratio(x) > 0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ParameterError):
+            asymptotic_ratio(0.0)
+        with pytest.raises(ParameterError):
+            asymptotic_ratio(-1.0)
+
+
+class TestPaperClaims:
+    def test_max_gain_is_8_4_percent(self):
+        _, gain = best_gain()
+        assert gain == pytest.approx(0.084, abs=0.002)
+
+    def test_breakeven_at_0_64(self):
+        assert breakeven_x() == pytest.approx(0.64, abs=0.005)
+
+    def test_gain_location_consistent(self):
+        x_star, gain = best_gain()
+        assert asymptotic_ratio(x_star) == pytest.approx(1 - gain)
+        # Local optimality of the argmin.
+        assert asymptotic_ratio(x_star * 0.8) >= 1 - gain
+        assert asymptotic_ratio(x_star * 1.2) >= 1 - gain
+
+    def test_breakeven_is_a_root(self):
+        x = breakeven_x()
+        assert asymptotic_ratio(x) == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,117 @@
+"""Tests for repro.core.daly — exact/Lambert-W optimal periods."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.daly import daly_higher_order_period, exact_optimal_period, exact_overhead
+from repro.core.periods import young_daly_period
+from repro.exceptions import ParameterError
+
+
+class TestExactOverhead:
+    def test_failure_free_limit(self):
+        # mu huge: H -> C/T.
+        h = exact_overhead(1000.0, 50.0, 1e15)
+        assert h == pytest.approx(0.05, rel=1e-3)
+
+    def test_matches_first_order_small_lambda(self):
+        mu, c = 1e9, 60.0
+        t = young_daly_period(mu, c)
+        first_order = c / t + t / (2 * mu)
+        assert exact_overhead(t, c, mu) == pytest.approx(first_order, rel=1e-3)
+
+    def test_platform_scaling(self):
+        # N processors == single processor with mu/N.
+        assert exact_overhead(100.0, 10.0, 1e6, n_procs=100) == pytest.approx(
+            exact_overhead(100.0, 10.0, 1e4)
+        )
+
+    def test_downtime_recovery_increase_overhead(self):
+        base = exact_overhead(100.0, 10.0, 1e4)
+        more = exact_overhead(100.0, 10.0, 1e4, downtime=20.0, recovery=50.0)
+        assert more > base
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            exact_overhead(0.0, 10.0, 1e6)
+
+
+class TestExactOptimum:
+    def test_is_stationary_point(self):
+        mu, c = 1e5, 300.0
+        t_star = exact_optimal_period(c, mu)
+        h_star = exact_overhead(t_star, c, mu)
+        eps = 1e-4 * t_star
+        assert exact_overhead(t_star - eps, c, mu) >= h_star
+        assert exact_overhead(t_star + eps, c, mu) >= h_star
+
+    def test_beats_young_daly_on_exact_overhead(self):
+        """On unreliable platforms the exact optimum strictly beats the
+        first-order Young/Daly period."""
+        mu, c = 5000.0, 600.0
+        t_yd = young_daly_period(mu, c)
+        t_ex = exact_optimal_period(c, mu)
+        assert exact_overhead(t_ex, c, mu) <= exact_overhead(t_yd, c, mu)
+
+    def test_collapses_to_young_daly(self):
+        # lambda -> 0: T* -> sqrt(2 mu C).
+        mu, c = 1e12, 60.0
+        assert exact_optimal_period(c, mu) == pytest.approx(
+            young_daly_period(mu, c), rel=1e-4
+        )
+
+    @given(
+        st.floats(min_value=1e4, max_value=1e10),
+        st.floats(min_value=1.0, max_value=1000.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_global_minimum_property(self, mu, c):
+        t_star = exact_optimal_period(c, mu)
+        h_star = exact_overhead(t_star, c, mu)
+        for f in (0.3, 0.7, 1.5, 3.0):
+            assert exact_overhead(f * t_star, c, mu) >= h_star - 1e-12
+
+    def test_grid_search_agrees(self):
+        mu, c = 2e4, 120.0
+        t_star = exact_optimal_period(c, mu)
+        grid = np.linspace(0.2 * t_star, 5 * t_star, 4001)
+        h = [exact_overhead(float(t), c, mu) for t in grid]
+        t_grid = float(grid[int(np.argmin(h))])
+        assert t_grid == pytest.approx(t_star, rel=0.01)
+
+    def test_with_downtime_recovery(self):
+        mu, c = 1e5, 300.0
+        t_star = exact_optimal_period(c, mu, downtime=10.0, recovery=300.0)
+        h_star = exact_overhead(t_star, c, mu, downtime=10.0, recovery=300.0)
+        eps = 1e-4 * t_star
+        assert exact_overhead(t_star + eps, c, mu, downtime=10.0, recovery=300.0) >= h_star
+
+
+class TestDalyHigherOrder:
+    def test_between_young_daly_and_exact(self):
+        """Daly's estimate should be closer to the exact optimum than the
+        plain Young/Daly formula in the heavy regime."""
+        mu, c = 5000.0, 600.0
+        t_yd = young_daly_period(mu, c)
+        t_ex = exact_optimal_period(c, mu)
+        t_da = daly_higher_order_period(c, mu)
+        assert abs(t_da - t_ex) < abs(t_yd - t_ex)
+
+    def test_collapse(self):
+        mu, c = 1e12, 60.0
+        assert daly_higher_order_period(c, mu) == pytest.approx(
+            young_daly_period(mu, c), rel=1e-4
+        )
+
+    def test_saturation(self):
+        # C >= 2 mu_N: checkpoint as often as the platform fails.
+        assert daly_higher_order_period(100.0, 50.0) == 50.0
+
+    def test_platform_argument(self):
+        assert daly_higher_order_period(60.0, 1e8, n_procs=100) == pytest.approx(
+            daly_higher_order_period(60.0, 1e6)
+        )

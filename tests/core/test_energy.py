@@ -1,0 +1,73 @@
+"""Tests for repro.core.energy — the extension's energy model."""
+
+import pytest
+
+from repro.core.energy import EnergyBreakdown, PowerModel, energy_overhead
+from repro.exceptions import ParameterError
+
+
+class TestPowerModel:
+    def test_defaults_valid(self):
+        p = PowerModel()
+        assert p.p_static > 0 and p.p_compute > 0 and p.p_io > 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            PowerModel(p_static=-1.0)
+
+
+class TestEnergyOverhead:
+    def test_failure_free_execution_has_zero_overhead(self):
+        _, ovh = energy_overhead(
+            useful_time=1000.0, checkpoint_time=0.0, recovery_time=0.0,
+            wasted_time=0.0, n_procs=10,
+        )
+        assert ovh == pytest.approx(0.0)
+
+    def test_breakdown_total(self):
+        bd, _ = energy_overhead(
+            useful_time=100.0, checkpoint_time=10.0, recovery_time=5.0,
+            wasted_time=20.0, n_procs=2,
+        )
+        assert bd.total == pytest.approx(
+            bd.compute + bd.checkpoint_io + bd.recovery_io + bd.wasted_compute + bd.static
+        )
+
+    def test_waste_increases_energy(self):
+        _, base = energy_overhead(
+            useful_time=100.0, checkpoint_time=10.0, recovery_time=0.0,
+            wasted_time=0.0, n_procs=4,
+        )
+        _, more = energy_overhead(
+            useful_time=100.0, checkpoint_time=10.0, recovery_time=0.0,
+            wasted_time=50.0, n_procs=4,
+        )
+        assert more > base
+
+    def test_scales_with_procs_in_breakdown_not_overhead(self):
+        kw = dict(useful_time=100.0, checkpoint_time=10.0, recovery_time=5.0, wasted_time=2.0)
+        bd1, ovh1 = energy_overhead(n_procs=1, **kw)
+        bd8, ovh8 = energy_overhead(n_procs=8, **kw)
+        assert bd8.total == pytest.approx(8 * bd1.total)
+        assert ovh8 == pytest.approx(ovh1)
+
+    def test_io_power_matters(self):
+        kw = dict(useful_time=100.0, checkpoint_time=50.0, recovery_time=0.0,
+                  wasted_time=0.0, n_procs=1)
+        _, low = energy_overhead(power=PowerModel(p_io=1.0), **kw)
+        _, high = energy_overhead(power=PowerModel(p_io=500.0), **kw)
+        assert high > low
+
+    def test_rejects_zero_useful_time(self):
+        with pytest.raises(ParameterError):
+            energy_overhead(
+                useful_time=0.0, checkpoint_time=1.0, recovery_time=0.0,
+                wasted_time=0.0, n_procs=1,
+            )
+
+    def test_rejects_bad_procs(self):
+        with pytest.raises(ParameterError):
+            energy_overhead(
+                useful_time=1.0, checkpoint_time=0.0, recovery_time=0.0,
+                wasted_time=0.0, n_procs=0,
+            )

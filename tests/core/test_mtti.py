@@ -1,0 +1,163 @@
+"""Tests for repro.core.mtti — Eq. 8, Figure 1 distributions, sampling."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mtti import (
+    interruption_cdf,
+    interruption_quantile,
+    interruption_survival,
+    mtti,
+    mtti_numerical,
+    no_replication_cdf,
+    no_replication_quantile,
+    platform_mtbf,
+    sample_time_to_interruption,
+)
+from repro.exceptions import ParameterError
+from repro.util.units import DAY, MINUTE, YEAR
+
+
+class TestMtti:
+    def test_one_pair_closed_form(self):
+        # M_2 = 3 mu / 2 (Section 4.2).
+        assert mtti(10.0, 1) == pytest.approx(15.0)
+
+    def test_matches_numerical_integration(self):
+        for b in (1, 3, 10, 50):
+            assert mtti(1000.0, b) == pytest.approx(
+                mtti_numerical(1000.0, b), rel=1e-6
+            )
+
+    def test_paper_scale(self):
+        # b = 1e5, mu = 5y: M ~ 561.5 * mu / 2e5 ~ 4.43e5 s.
+        m = mtti(5 * YEAR, 100_000)
+        assert m == pytest.approx(442_686, rel=1e-3)
+
+    def test_mtti_scales_linearly_with_mu(self):
+        assert mtti(2000.0, 7) == pytest.approx(2 * mtti(1000.0, 7))
+
+    def test_mtti_decreases_with_more_pairs(self):
+        assert mtti(1000.0, 100) < mtti(1000.0, 10) < mtti(1000.0, 1)
+
+    def test_platform_mtbf(self):
+        assert platform_mtbf(1e6, 1000) == pytest.approx(1000.0)
+
+
+class TestDistributions:
+    def test_survival_at_zero_is_one(self):
+        assert interruption_survival(0.0, 100.0, 5) == pytest.approx(1.0)
+
+    def test_survival_decreasing(self):
+        t = np.linspace(0, 1000, 50)
+        s = interruption_survival(t, 100.0, 3)
+        assert np.all(np.diff(s) <= 0)
+
+    def test_cdf_complements_survival(self):
+        t = np.array([1.0, 10.0, 100.0])
+        total = interruption_cdf(t, 50.0, 4) + interruption_survival(t, 50.0, 4)
+        assert np.allclose(total, 1.0)
+
+    def test_one_pair_formula(self):
+        # S(t) = 1 - (1 - e^{-t/mu})^2 for b = 1.
+        mu, t = 100.0, 42.0
+        expected = 1.0 - (1.0 - math.exp(-t / mu)) ** 2
+        assert interruption_survival(t, mu, 1) == pytest.approx(expected)
+
+    def test_large_b_no_underflow(self):
+        s = interruption_survival(60.0, 5 * YEAR, 100_000)
+        assert 0.0 < s < 1.0
+
+    def test_no_replication_cdf_is_pooled_exponential(self):
+        mu, n, t = 1000.0, 10, 33.0
+        assert no_replication_cdf(t, mu, n) == pytest.approx(1 - math.exp(-t * n / mu))
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.99),
+        st.floats(min_value=1.0, max_value=1e9),
+        st.integers(min_value=1, max_value=1_000_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_inverts_cdf(self, q, mu, b):
+        t = interruption_quantile(q, mu, b)
+        assert float(interruption_cdf(t, mu, b)) == pytest.approx(q, rel=1e-6, abs=1e-9)
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.99),
+        st.floats(min_value=1.0, max_value=1e9),
+        st.integers(min_value=1, max_value=1_000_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_no_replication_quantile_inverts(self, q, mu, n):
+        t = no_replication_quantile(q, mu, n)
+        assert float(no_replication_cdf(t, mu, n)) == pytest.approx(q, rel=1e-6, abs=1e-9)
+
+    def test_quantile_rejects_bad_level(self):
+        for q in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ParameterError):
+                interruption_quantile(q, 100.0, 1)
+            with pytest.raises(ParameterError):
+                no_replication_quantile(q, 100.0, 1)
+
+
+class TestFigure1Numbers:
+    """The paper's reported quantiles correspond to mu = 2 years (see
+    EXPERIMENTS.md); the ratios hold for any mu."""
+
+    def test_absolute_values_at_two_years(self):
+        mu = 2 * YEAR
+        assert no_replication_quantile(0.9, mu, 1) / DAY == pytest.approx(1688, rel=0.01)
+        assert no_replication_quantile(0.9, mu, 2) / DAY == pytest.approx(844, rel=0.01)
+        assert interruption_quantile(0.9, mu, 1) / DAY == pytest.approx(2178, rel=0.01)
+        assert no_replication_quantile(0.9, mu, 100_000) / MINUTE == pytest.approx(24, rel=0.02)
+        assert no_replication_quantile(0.9, mu, 200_000) / MINUTE == pytest.approx(12, rel=0.02)
+        assert interruption_quantile(0.9, mu, 100_000) / MINUTE == pytest.approx(5081, rel=0.01)
+
+    def test_ratios_are_mu_independent(self):
+        for mu in (1 * YEAR, 5 * YEAR, 20 * YEAR):
+            r1 = no_replication_quantile(0.9, mu, 2) / no_replication_quantile(0.9, mu, 1)
+            assert r1 == pytest.approx(0.5)
+            r2 = interruption_quantile(0.9, mu, 1) / no_replication_quantile(0.9, mu, 1)
+            assert r2 == pytest.approx(2178 / 1688, rel=0.01)
+
+    def test_replication_dominates(self):
+        mu = 5 * YEAR
+        # a pair outlives two parallel processors at every quantile
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert interruption_quantile(q, mu, 1) > no_replication_quantile(q, mu, 2)
+
+
+class TestSampling:
+    def test_matches_analytic_cdf(self):
+        mu, b = 1000.0, 50
+        samples = sample_time_to_interruption(mu, b, 20_000, seed=1)
+        for q in (0.1, 0.5, 0.9):
+            emp = float(np.quantile(samples, q))
+            assert emp == pytest.approx(interruption_quantile(q, mu, b), rel=0.05)
+
+    def test_mean_matches_mtti(self):
+        mu, b = 500.0, 10
+        samples = sample_time_to_interruption(mu, b, 50_000, seed=2)
+        assert float(samples.mean()) == pytest.approx(mtti(mu, b), rel=0.03)
+
+    def test_shape_and_scalar(self):
+        assert np.shape(sample_time_to_interruption(10.0, 2, None, seed=3)) == ()
+        assert sample_time_to_interruption(10.0, 2, (3, 4), seed=3).shape == (3, 4)
+
+    def test_all_positive(self):
+        s = sample_time_to_interruption(10.0, 1000, 1000, seed=4)
+        assert np.all(s > 0)
+
+    def test_reproducible(self):
+        a = sample_time_to_interruption(10.0, 5, 10, seed=9)
+        b = sample_time_to_interruption(10.0, 5, 10, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_rng_argument_wins(self, rng):
+        a = sample_time_to_interruption(10.0, 5, 10, seed=1, rng=rng)
+        b = sample_time_to_interruption(10.0, 5, 10, seed=1)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,115 @@
+"""Tests for repro.core.nfail — Theorem 4.1 and its alternatives."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nfail import (
+    nfail,
+    nfail_birthday_approx,
+    nfail_integral,
+    nfail_monte_carlo,
+    nfail_recursive,
+    nfail_stirling_approx,
+)
+from repro.exceptions import ParameterError
+
+
+class TestClosedForm:
+    def test_one_pair_is_three(self):
+        # The paper: n_fail(2) = 3, hence MTTI = 3 mu / 2.
+        assert nfail(1) == pytest.approx(3.0)
+
+    def test_two_pairs(self):
+        # 1 + 4^2 / C(4,2) = 1 + 16/6
+        assert nfail(2) == pytest.approx(1.0 + 16.0 / 6.0)
+
+    def test_paper_value_100k_pairs(self):
+        # Section 7.7: "we expect n_fail(2b) = 561 failures" for b = 100,000.
+        assert round(nfail(100_000)) == 561
+
+    def test_monotone_in_b(self):
+        values = [nfail(b) for b in (1, 2, 5, 10, 100, 10_000)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_large_b_no_overflow(self):
+        # Log-space evaluation must survive b in the millions.
+        v = nfail(5_000_000)
+        assert math.isfinite(v)
+        assert v == pytest.approx(1.0 + math.sqrt(math.pi * 5_000_000), rel=1e-6)
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ParameterError):
+            nfail(0)
+        with pytest.raises(ParameterError):
+            nfail(-3)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ParameterError):
+            nfail(2.5)
+
+
+class TestAgreementBetweenFormulations:
+    @pytest.mark.parametrize("b", [1, 2, 3, 7, 50, 333, 1000])
+    def test_recursion_matches_closed_form(self, b):
+        assert nfail_recursive(b) == pytest.approx(nfail(b), rel=1e-10)
+
+    @pytest.mark.parametrize("b", [1, 2, 5, 10, 64, 200])
+    def test_integral_matches_closed_form(self, b):
+        assert nfail_integral(b) == pytest.approx(nfail(b), rel=1e-6)
+
+    @given(st.integers(min_value=1, max_value=400))
+    @settings(max_examples=40, deadline=None)
+    def test_recursion_matches_closed_form_property(self, b):
+        assert nfail_recursive(b) == pytest.approx(nfail(b), rel=1e-9)
+
+    def test_monte_carlo_agrees(self):
+        mean, sem = nfail_monte_carlo(20, n_trials=40_000, seed=7)
+        assert mean == pytest.approx(nfail(20), abs=5 * max(sem, 1e-9))
+
+
+class TestApproximations:
+    def test_birthday_underestimates_by_40_percent(self):
+        # The paper: sqrt(pi b) is "40% more than sqrt(pi b / 2)".
+        b = 100_000
+        ratio = nfail(b) / nfail_birthday_approx(b)
+        assert ratio == pytest.approx(math.sqrt(2.0), rel=1e-2)
+
+    @pytest.mark.parametrize("b", [100, 10_000, 1_000_000])
+    def test_stirling_accuracy(self, b):
+        assert nfail_stirling_approx(b) == pytest.approx(nfail(b), rel=1e-3)
+
+    def test_stirling_beats_bare_sqrt_pib(self):
+        b = 50
+        bare = math.sqrt(math.pi * b)
+        exact = nfail(b)
+        assert abs(nfail_stirling_approx(b) - exact) < abs(bare - exact)
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    @settings(max_examples=50, deadline=None)
+    def test_birthday_always_below_closed_form(self, b):
+        assert nfail_birthday_approx(b) < nfail(b)
+
+
+class TestMonteCarlo:
+    def test_reproducible_with_seed(self):
+        a = nfail_monte_carlo(5, n_trials=2000, seed=42)
+        b = nfail_monte_carlo(5, n_trials=2000, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = nfail_monte_carlo(5, n_trials=2000, seed=1)
+        b = nfail_monte_carlo(5, n_trials=2000, seed=2)
+        assert a[0] != b[0]
+
+    def test_sem_positive(self):
+        _, sem = nfail_monte_carlo(3, n_trials=1000, seed=3)
+        assert sem > 0
+
+    def test_single_pair_never_below_two(self):
+        # With one pair at least 2 failures are always needed.
+        mean, _ = nfail_monte_carlo(1, n_trials=500, seed=4)
+        assert mean >= 2.0

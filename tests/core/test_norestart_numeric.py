@@ -1,0 +1,141 @@
+"""Tests for the numerical no-restart model (the paper's open problem)."""
+
+import numpy as np
+import pytest
+
+from repro.core.norestart_numeric import (
+    norestart_finite_horizon_overhead,
+    norestart_optimal_period,
+    norestart_stationary_overhead,
+    norestart_transition,
+)
+from repro.core.overhead import no_restart_overhead
+from repro.core.periods import no_restart_period
+from repro.exceptions import ParameterError
+from repro.util.units import YEAR
+
+MU = 5 * YEAR
+B = 2000
+C = 60.0
+
+
+class TestTransition:
+    def test_rows_plus_fatal_normalise(self):
+        p, q = norestart_transition(5000.0, C, MU, B)
+        totals = p.sum(axis=1) + q
+        assert np.allclose(totals, 1.0, atol=1e-9)
+
+    def test_probabilities_valid(self):
+        p, q = norestart_transition(5000.0, C, MU, B)
+        assert np.all(p >= 0) and np.all((q >= 0) & (q <= 1))
+
+    def test_fatal_grows_with_degradation(self):
+        _, q = norestart_transition(5000.0, C, MU, B)
+        assert q[0] < q[10] < q[100]
+
+    def test_fresh_platform_fatal_matches_pair_probability(self):
+        """From d = 0 the crash probability must equal the closed-form
+        p_b(T + C) of the restart analysis (same all-alive start)."""
+        from repro.core.overhead import pair_probability_of_failure
+
+        t = 20_000.0
+        _, q = norestart_transition(t, C, MU, B)
+        assert q[0] == pytest.approx(pair_probability_of_failure(t + C, MU, B), rel=1e-3)
+
+    def test_longer_exposure_more_crashes(self):
+        _, q1 = norestart_transition(5000.0, C, MU, B)
+        _, q2 = norestart_transition(20_000.0, C, MU, B)
+        assert q2[0] > q1[0]
+
+
+class TestSparseMatrixEquivalence:
+    def test_propagation_matches_dense_transition(self):
+        """The sparse vector propagation and the dense uniformised matrix
+        must describe the same one-period operator."""
+        import numpy as np
+
+        from repro.core.norestart_numeric import _propagate_period
+
+        t = 5000.0
+        p, q = norestart_transition(t, C, MU, B, d_max=120)
+        rate = 2.0 * B / MU * (t + C)
+        for d0 in (0, 5, 60):
+            v = np.zeros(121)
+            v[d0] = 1.0
+            end = _propagate_period(v, rate, B)
+            assert np.allclose(end, p[d0], atol=1e-12)
+            assert 1.0 - end.sum() == pytest.approx(q[d0], abs=1e-12)
+
+
+class TestFiniteHorizon:
+    def test_matches_simulation(self):
+        t = no_restart_period(MU, C, B)
+        numeric = norestart_finite_horizon_overhead(t, C, MU, B, n_periods=100)
+        from repro.platform_model.costs import CheckpointCosts
+        from repro.simulation.runner import simulate_no_restart
+
+        sim = simulate_no_restart(
+            mtbf=MU, n_pairs=B, period=t, costs=CheckpointCosts(checkpoint=C),
+            n_periods=100, n_runs=500, seed=1,
+        )
+        half = sim.overhead_summary().halfwidth
+        assert abs(numeric - sim.mean_overhead) <= 3 * half + 5e-4
+
+    def test_transient_below_stationary(self):
+        """Short runs from the all-alive state carry less degradation."""
+        t = no_restart_period(MU, C, B)
+        short = norestart_finite_horizon_overhead(t, C, MU, B, n_periods=20)
+        long = norestart_finite_horizon_overhead(t, C, MU, B, n_periods=2000)
+        stationary = norestart_stationary_overhead(t, C, MU, B)
+        assert short < long <= stationary * 1.02
+
+    def test_converges_to_stationary(self):
+        t = no_restart_period(MU, C, B)
+        long = norestart_finite_horizon_overhead(t, C, MU, B, n_periods=5000)
+        stationary = norestart_stationary_overhead(t, C, MU, B)
+        assert long == pytest.approx(stationary, rel=0.03)
+
+    def test_impossible_period(self):
+        with pytest.raises(ParameterError):
+            norestart_finite_horizon_overhead(1e9, C, 100.0, 10_000, n_periods=2)
+
+
+class TestStationary:
+    def test_higher_than_eq12_heuristic(self):
+        """Eq. 12 ignores accumulated degradation, so it underestimates the
+        stationary overhead (one facet of the paper's accuracy caveat)."""
+        t = no_restart_period(MU, C, B)
+        numeric = norestart_stationary_overhead(t, C, MU, B)
+        heuristic = no_restart_overhead(t, C, MU, B)
+        assert numeric > 0
+        assert numeric == pytest.approx(heuristic, rel=0.5)
+
+    def test_downtime_recovery_increase(self):
+        t = no_restart_period(MU, C, B)
+        base = norestart_stationary_overhead(t, C, MU, B)
+        more = norestart_stationary_overhead(t, C, MU, B, downtime=60.0, recovery=600.0)
+        assert more > base
+
+
+class TestOptimalPeriod:
+    def test_optimum_near_literature_period(self):
+        """The paper observes the empirical no-restart optimum lands close
+        to T_MTTI^no; the numeric oracle confirms it."""
+        t_star, h_star = norestart_optimal_period(C, MU, B, tol=5e-3)
+        t_ref = no_restart_period(MU, C, B)
+        assert 0.5 * t_ref <= t_star <= 2.0 * t_ref
+
+    def test_optimum_is_a_minimum(self):
+        t_star, h_star = norestart_optimal_period(C, MU, B, tol=5e-3)
+        for f in (0.5, 2.0):
+            assert norestart_stationary_overhead(f * t_star, C, MU, B) >= h_star
+
+    def test_finite_horizon_objective(self):
+        t_star, h_star = norestart_optimal_period(C, MU, B, tol=1e-2, horizon=100)
+        assert h_star < norestart_finite_horizon_overhead(
+            3.0 * t_star, C, MU, B, n_periods=100
+        )
+
+    def test_bad_bracket(self):
+        with pytest.raises(ParameterError):
+            norestart_optimal_period(C, MU, B, bracket=(100.0, 50.0))

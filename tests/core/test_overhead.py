@@ -1,0 +1,166 @@
+"""Tests for repro.core.overhead — H models, exact E(T), T_lost."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mtti import mtti
+from repro.core.overhead import (
+    expected_period_time_exact,
+    expected_period_time_one_pair,
+    no_replication_optimal_overhead,
+    no_replication_overhead,
+    no_restart_overhead,
+    pair_probability_of_failure,
+    restart_optimal_overhead,
+    restart_overhead,
+    restart_overhead_exact,
+    restart_overhead_one_pair_exact,
+    tlost_one_pair_exact,
+)
+from repro.core.periods import no_restart_period, restart_period
+from repro.exceptions import ModelDomainError, ParameterError
+from repro.util.units import YEAR
+
+
+class TestFirstOrderModels:
+    def test_no_replication_eq7(self):
+        # H = C/T + N T / (2 mu)
+        assert no_replication_overhead(100.0, 10.0, 1e6, 50) == pytest.approx(
+            10.0 / 100.0 + 50 * 100.0 / (2 * 1e6)
+        )
+
+    def test_no_replication_optimal_is_minimum(self):
+        mu, c, n = 1e7, 60.0, 100
+        t_opt = math.sqrt(2 * (mu / n) * c)
+        h_opt = no_replication_overhead(t_opt, c, mu, n)
+        assert h_opt == pytest.approx(no_replication_optimal_overhead(c, mu, n))
+        for f in (0.5, 0.9, 1.1, 2.0):
+            assert no_replication_overhead(f * t_opt, c, mu, n) >= h_opt
+
+    def test_no_restart_eq12(self):
+        mu, c, b, t = 5 * YEAR, 60.0, 1000, 5000.0
+        assert no_restart_overhead(t, c, mu, b) == pytest.approx(
+            c / t + t / (2 * mtti(mu, b))
+        )
+
+    def test_restart_eq19(self):
+        mu, cr, b, t = 1e8, 60.0, 1000, 5000.0
+        lam = 1 / mu
+        assert restart_overhead(t, cr, mu, b) == pytest.approx(
+            cr / t + 2 / 3 * b * lam * lam * t * t
+        )
+
+    def test_restart_optimal_is_minimum_of_model(self):
+        mu, cr, b = 5 * YEAR, 60.0, 100_000
+        t_opt = restart_period(mu, cr, b)
+        h_opt = restart_overhead(t_opt, cr, mu, b)
+        assert h_opt == pytest.approx(restart_optimal_overhead(cr, mu, b), rel=1e-9)
+        for f in (0.5, 0.8, 1.25, 2.0):
+            assert restart_overhead(f * t_opt, cr, mu, b) > h_opt
+
+    def test_paper_optimal_overhead(self):
+        # Figure 5 (C = C^R = 60): optimal overhead ~0.39-0.40%.
+        h = restart_optimal_overhead(60.0, 5 * YEAR, 100_000)
+        assert h == pytest.approx(0.0040, abs=2e-4)
+
+    @given(
+        st.floats(min_value=1e6, max_value=1e10),
+        st.floats(min_value=10.0, max_value=600.0),
+        st.integers(min_value=1, max_value=100_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_restart_beats_no_restart_at_respective_optima(self, mu, c, b):
+        """Core claim: H^rs(T_opt^rs) <= H^no(T_MTTI^no) in the model's
+        regime of validity (periods well below the MTTI)."""
+        t_no = no_restart_period(mu, c, b)
+        if t_no > 0.1 * mtti(mu, b):
+            return  # outside first-order regime
+        h_rs = restart_optimal_overhead(c, mu, b)
+        h_no = no_restart_overhead(t_no, c, mu, b)
+        assert h_rs <= h_no * 1.0000001
+
+
+class TestTlost:
+    def test_asymptotic_two_thirds(self):
+        # T_lost -> 2T/3 as lambda T -> 0 (not T/2!).
+        mu = 1e9
+        for t in (10.0, 100.0, 1000.0):
+            assert tlost_one_pair_exact(t, mu) == pytest.approx(2 * t / 3, rel=1e-3)
+
+    def test_bounded_by_period(self):
+        for lam_t in (0.01, 0.1, 1.0, 5.0):
+            mu = 1.0 / lam_t
+            assert 0 < tlost_one_pair_exact(1.0, mu) < 1.0
+
+    def test_monotone_in_period(self):
+        mu = 1000.0
+        values = [tlost_one_pair_exact(t, mu) for t in (10, 50, 200, 800)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+
+class TestExactOnePair:
+    def test_reduces_to_period_plus_checkpoint_when_reliable(self):
+        e = expected_period_time_one_pair(100.0, 7.0, 1e12)
+        assert e == pytest.approx(107.0, rel=1e-6)
+
+    def test_overhead_matches_first_order_in_regime(self):
+        mu = 1e8
+        t = restart_period(mu, 60.0, 1)
+        exact = restart_overhead_one_pair_exact(t, 60.0, mu)
+        model = restart_overhead(t, 60.0, mu, 1)
+        assert exact == pytest.approx(model, rel=0.02)
+
+    def test_downtime_recovery_increase_expectation(self):
+        base = expected_period_time_one_pair(100.0, 7.0, 500.0)
+        more = expected_period_time_one_pair(100.0, 7.0, 500.0, downtime=5.0, recovery=9.0)
+        assert more > base
+
+    def test_matches_general_exact_for_b1(self):
+        mu, t, cr = 1e6, 5000.0, 60.0
+        one = expected_period_time_one_pair(t, cr, mu)
+        gen = expected_period_time_exact(t, cr, mu, 1)
+        assert gen == pytest.approx(one, rel=1e-6)
+
+
+class TestExactBPairs:
+    def test_matches_first_order_in_regime(self):
+        mu, b = 5 * YEAR, 1000
+        t = restart_period(mu, 60.0, b)
+        exact = restart_overhead_exact(t, 60.0, mu, b)
+        model = restart_overhead(t, 60.0, mu, b)
+        assert exact == pytest.approx(model, rel=0.02)
+
+    def test_exact_above_failure_free(self):
+        mu, b, t, cr = 1e7, 100, 2000.0, 60.0
+        assert restart_overhead_exact(t, cr, mu, b) > cr / t
+
+    def test_impossible_period_raises(self):
+        # A period vastly longer than the MTTI cannot complete.
+        with pytest.raises((ModelDomainError, ParameterError)):
+            expected_period_time_exact(1e9, 60.0, 100.0, 100_000)
+
+    def test_probability_of_failure_bounds(self):
+        p = pair_probability_of_failure(1000.0, 1e6, 100)
+        assert 0.0 < p < 1.0
+        assert pair_probability_of_failure(0.0, 1e6, 100) == 0.0
+
+    @given(st.floats(min_value=100.0, max_value=1e5), st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_probability_monotone_in_period(self, t, b):
+        mu = 1e7
+        assert pair_probability_of_failure(t, mu, b) <= pair_probability_of_failure(
+            2 * t, mu, b
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_period(self):
+        with pytest.raises(ParameterError):
+            restart_overhead(0.0, 60.0, 1e6, 1)
+
+    def test_rejects_bad_mu(self):
+        with pytest.raises(ParameterError):
+            no_restart_overhead(100.0, 60.0, -1.0, 1)

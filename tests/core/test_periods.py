@@ -1,0 +1,114 @@
+"""Tests for repro.core.periods — Young/Daly, T_MTTI^no, T_opt^rs."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mtti import mtti
+from repro.core.periods import (
+    no_restart_period,
+    period_order_exponent,
+    restart_period,
+    young_daly_period,
+)
+from repro.exceptions import ParameterError
+from repro.util.units import YEAR
+
+
+class TestYoungDaly:
+    def test_formula(self):
+        assert young_daly_period(1e6, 50.0) == pytest.approx(math.sqrt(2 * 1e6 * 50))
+
+    def test_platform_scaling(self):
+        # T ~ 1/sqrt(N)
+        t1 = young_daly_period(1e6, 50.0, 1)
+        t100 = young_daly_period(1e6, 50.0, 100)
+        assert t100 == pytest.approx(t1 / 10.0)
+
+    def test_mu_exponent_half(self):
+        t1 = young_daly_period(1e6, 50.0)
+        t4 = young_daly_period(4e6, 50.0)
+        assert t4 == pytest.approx(2 * t1)
+
+
+class TestNoRestartPeriod:
+    def test_one_pair_is_sqrt_3_mu_c(self):
+        # M_2 = 3mu/2 so T = sqrt(2 * 3mu/2 * C) = sqrt(3 mu C) (Figure 2).
+        mu, c = 1e5, 60.0
+        assert no_restart_period(mu, c, 1) == pytest.approx(math.sqrt(3 * mu * c))
+
+    def test_uses_mtti(self):
+        mu, c, b = 5 * YEAR, 60.0, 1000
+        assert no_restart_period(mu, c, b) == pytest.approx(math.sqrt(2 * mtti(mu, b) * c))
+
+    def test_paper_value(self):
+        assert no_restart_period(5 * YEAR, 60.0, 100_000) == pytest.approx(7289, rel=1e-3)
+
+
+class TestRestartPeriod:
+    def test_formula(self):
+        mu, cr, b = 1000.0, 10.0, 4
+        lam = 1 / mu
+        assert restart_period(mu, cr, b) == pytest.approx(
+            (3 * cr / (4 * b * lam * lam)) ** (1 / 3)
+        )
+
+    def test_paper_value(self):
+        # Figure 5 (C = 60, mu = 5y, b = 1e5): optimum ~22,400 s.
+        assert restart_period(5 * YEAR, 60.0, 100_000) == pytest.approx(22_366, rel=1e-3)
+
+    def test_mu_exponent_two_thirds(self):
+        t1 = restart_period(1e6, 60.0, 10)
+        t8 = restart_period(8e6, 60.0, 10)
+        assert t8 == pytest.approx(4 * t1)  # 8^(2/3) = 4
+
+    def test_cr_exponent_one_third(self):
+        t1 = restart_period(1e6, 60.0, 10)
+        t8 = restart_period(1e6, 480.0, 10)
+        assert t8 == pytest.approx(2 * t1)  # 8^(1/3) = 2
+
+    @given(
+        st.floats(min_value=1e4, max_value=1e10),
+        st.floats(min_value=1.0, max_value=3600.0),
+        st.integers(min_value=1, max_value=1_000_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_restart_period_longer_than_no_restart(self, mu, c, b):
+        """The headline: T_opt^rs > T_MTTI^no whenever failures are rare
+        relative to the period scale (the regime of validity)."""
+        t_rs = restart_period(mu, c, b)
+        t_no = no_restart_period(mu, c, b)
+        # Only meaningful in the first-order regime T << MTTI.
+        if t_no < 0.1 * mtti(mu, b):
+            assert t_rs > t_no
+
+
+class TestOrderExponent:
+    def test_values(self):
+        assert period_order_exponent("young-daly") == 0.5
+        assert period_order_exponent("no-restart") == 0.5
+        assert period_order_exponent("restart") == pytest.approx(2 / 3)
+
+    def test_unknown(self):
+        with pytest.raises(ParameterError):
+            period_order_exponent("bogus")
+
+    def test_empirical_exponents_match(self):
+        """Fit T ~ mu^e on a wide mu range; compare with declared orders."""
+        mus = [1 * YEAR, 100 * YEAR]
+        for fn, strategy in ((restart_period, "restart"), (no_restart_period, "no-restart")):
+            e = math.log(fn(mus[1], 60.0, 1000) / fn(mus[0], 60.0, 1000)) / math.log(100)
+            assert e == pytest.approx(period_order_exponent(strategy), abs=0.02)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("fn", [young_daly_period, no_restart_period, restart_period])
+    def test_rejects_non_positive(self, fn):
+        with pytest.raises(ParameterError):
+            fn(0.0, 60.0, 1)
+        with pytest.raises(ParameterError):
+            fn(1e6, -1.0, 1)
+        with pytest.raises(ParameterError):
+            fn(1e6, 60.0, 0)

@@ -1,0 +1,87 @@
+"""Tests for checkpoint-period quantization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.overhead import restart_overhead
+from repro.core.periods import restart_period
+from repro.core.quantized import quantization_penalty, quantize_period
+from repro.exceptions import ParameterError
+from repro.util.units import MINUTE, YEAR
+
+MU = 5 * YEAR
+B = 100_000
+CR = 60.0
+
+
+def h_restart(t: float) -> float:
+    return restart_overhead(t, CR, MU, B)
+
+
+class TestQuantizePeriod:
+    def test_multiple_of_iteration(self):
+        t_opt = restart_period(MU, CR, B)
+        t_q = quantize_period(t_opt, 300.0, h_restart)
+        assert t_q % 300.0 == pytest.approx(0.0, abs=1e-9)
+
+    def test_exact_multiple_unchanged(self):
+        t_opt = restart_period(MU, CR, B)
+        l = t_opt / 7.0
+        assert quantize_period(t_opt, l, h_restart) == pytest.approx(t_opt)
+
+    def test_picks_better_bracket(self):
+        t_opt = restart_period(MU, CR, B)
+        l = 0.7 * t_opt  # brackets are 0.7 T and 1.4 T
+        t_q = quantize_period(t_opt, l, h_restart)
+        assert h_restart(t_q) == min(h_restart(l), h_restart(2 * l))
+
+    def test_iteration_longer_than_optimum(self):
+        t_opt = restart_period(MU, CR, B)
+        l = 3.0 * t_opt
+        assert quantize_period(t_opt, l, h_restart) == pytest.approx(l)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            quantize_period(0.0, 1.0, h_restart)
+        with pytest.raises(ParameterError):
+            quantize_period(1.0, -1.0, h_restart)
+
+
+class TestPenalty:
+    def test_small_iterations_negligible(self):
+        """10-minute iterations at the paper's scale: essentially free."""
+        t_opt = restart_period(MU, CR, B)
+        _, penalty = quantization_penalty(t_opt, 10 * MINUTE, h_restart)
+        assert penalty < 1e-3
+
+    def test_penalty_grows_with_iteration_length(self):
+        t_opt = restart_period(MU, CR, B)
+        _, small = quantization_penalty(t_opt, 0.05 * t_opt, h_restart)
+        _, large = quantization_penalty(t_opt, 0.65 * t_opt, h_restart)
+        assert large >= small
+
+    def test_second_order_scaling(self):
+        """Penalty ~ O((L/T)^2): halving L cuts the worst-case penalty ~4x.
+
+        Use the worst-case offset (optimum mid-way between multiples)."""
+        t_opt = restart_period(MU, CR, B)
+        penalties = []
+        # Half-integer multiples put the optimum exactly mid-grid (the
+        # worst case) at two different grid resolutions.
+        for divisor in (2.5, 9.5):
+            l = t_opt / divisor
+            _, p = quantization_penalty(t_opt, l, h_restart)
+            penalties.append(max(p, 1e-12))
+        assert penalties[1] < penalties[0] / 4.0
+
+    @given(st.floats(min_value=60.0, max_value=20_000.0))
+    @settings(max_examples=40, deadline=None)
+    def test_penalty_nonnegative(self, l):
+        t_opt = restart_period(MU, CR, B)
+        _, penalty = quantization_penalty(t_opt, l, h_restart)
+        assert penalty >= 0.0
+
+    def test_zero_overhead_rejected(self):
+        with pytest.raises(ParameterError):
+            quantization_penalty(100.0, 10.0, lambda t: 0.0)

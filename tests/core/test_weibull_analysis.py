@@ -1,0 +1,123 @@
+"""Tests for the non-exponential (renewal-model) restart analysis."""
+
+import math
+
+import pytest
+
+from repro.core.mtti import interruption_cdf
+from repro.core.overhead import restart_overhead_exact
+from repro.core.periods import restart_period
+from repro.core.weibull_analysis import (
+    expected_loss_given_fatal,
+    fatal_probability,
+    optimal_period_renewal,
+    renewal_overhead,
+)
+from repro.exceptions import ParameterError
+from repro.failures.distributions import Exponential, Weibull
+from repro.util.units import YEAR
+
+
+class TestFatalProbability:
+    def test_exponential_matches_closed_form(self):
+        mu, b, t = 5 * YEAR, 1000, 20_000.0
+        p = fatal_probability(t, Exponential(mean=mu), b)
+        assert p == pytest.approx(float(interruption_cdf(t, mu, b)), rel=1e-9)
+
+    def test_monotone_in_period(self):
+        d = Weibull(mean=1e6, shape=0.7)
+        assert fatal_probability(100.0, d, 50) < fatal_probability(1000.0, d, 50)
+
+    def test_monotone_in_pairs(self):
+        d = Weibull(mean=1e6, shape=0.7)
+        assert fatal_probability(500.0, d, 10) < fatal_probability(500.0, d, 1000)
+
+    def test_bounds(self):
+        d = Exponential(mean=100.0)
+        assert 0.0 < fatal_probability(1.0, d, 1) < 1.0
+        assert fatal_probability(1e9, d, 1000) == pytest.approx(1.0)
+
+    def test_weibull_clustering_raises_fatality(self):
+        """Decreasing hazard (shape < 1) front-loads failures: for short
+        periods the double-failure probability exceeds the exponential's
+        at equal mean."""
+        mean, b, t = 1e7, 1000, 1e4
+        p_w = fatal_probability(t, Weibull(mean=mean, shape=0.6), b)
+        p_e = fatal_probability(t, Exponential(mean=mean), b)
+        assert p_w > p_e
+
+
+class TestExpectedLoss:
+    def test_exponential_matches_quadrature_oracle(self):
+        mu, b, t = 1e7, 200, 30_000.0
+        loss = expected_loss_given_fatal(t, Exponential(mean=mu), b)
+        # two-thirds law in the first-order regime
+        assert loss == pytest.approx(2 * t / 3, rel=0.05)
+
+    def test_bounded_by_period(self):
+        d = Weibull(mean=1e5, shape=0.8)
+        loss = expected_loss_given_fatal(2000.0, d, 100)
+        assert 0 < loss < 2000.0
+
+
+class TestRenewalOverhead:
+    def test_exponential_matches_exact_model(self):
+        mu, b = 5 * YEAR, 1000
+        t = restart_period(mu, 60.0, b)
+        ours = renewal_overhead(t, 60.0, Exponential(mean=mu), b)
+        oracle = restart_overhead_exact(t, 60.0, mu, b)
+        assert ours == pytest.approx(oracle, rel=1e-3)
+
+    def test_downtime_recovery(self):
+        d = Exponential(mean=1e7)
+        base = renewal_overhead(5000.0, 60.0, d, 500)
+        more = renewal_overhead(5000.0, 60.0, d, 500, downtime=10.0, recovery=600.0)
+        assert more > base
+
+    def test_impossible_period(self):
+        with pytest.raises(ParameterError):
+            renewal_overhead(1e12, 60.0, Exponential(mean=10.0), 10_000)
+
+
+class TestOptimalPeriod:
+    def test_exponential_recovers_eq20(self):
+        mu, b, cr = 5 * YEAR, 1000, 60.0
+        t_star, _ = optimal_period_renewal(cr, Exponential(mean=mu), b, tol=1e-5)
+        assert t_star == pytest.approx(restart_period(mu, cr, b), rel=0.02)
+
+    def test_weibull_optimum_is_minimum(self):
+        d = Weibull(mean=5 * YEAR, shape=0.7)
+        t_star, h_star = optimal_period_renewal(60.0, d, 1000, tol=1e-4)
+        for f in (0.5, 2.0):
+            assert renewal_overhead(f * t_star, 60.0, d, 1000) >= h_star
+
+    def test_clustered_failures_shorten_the_period(self):
+        """Shape < 1 front-loads risk, pushing the optimal period down
+        relative to the exponential formula at equal mean."""
+        mean, b, cr = 5 * YEAR, 1000, 60.0
+        t_w, _ = optimal_period_renewal(cr, Weibull(mean=mean, shape=0.6), b, tol=1e-4)
+        t_e = restart_period(mean, cr, b)
+        assert t_w < t_e
+
+    def test_renewal_model_vs_simulation(self):
+        """The renewal approximation tracks a Weibull-failure simulation.
+
+        The simulator ages surviving processors (only failed ones restart),
+        so with decreasing hazard the model overestimates slightly — it
+        must stay within a loose band and on the conservative side overall.
+        """
+        from repro.failures.generator import RenewalFailureSource
+        from repro.platform_model.costs import CheckpointCosts
+        from repro.simulation.policies import restart_policy
+        from repro.simulation.runner import simulate_with_source
+
+        b = 100
+        dist = Weibull(mean=2e6, shape=0.7)
+        costs = CheckpointCosts(checkpoint=60.0)
+        t_star, h_model = optimal_period_renewal(60.0, dist, b, tol=1e-3)
+        src = RenewalFailureSource(dist, 2 * b)
+        sim = simulate_with_source(
+            restart_policy(t_star, costs), src, n_pairs=b, costs=costs,
+            n_periods=60, n_runs=40, seed=3,
+        )
+        assert sim.mean_overhead == pytest.approx(h_model, rel=0.6)

@@ -1,0 +1,75 @@
+"""Tests for the shared experiment infrastructure."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, PAPER_MTBF, PAPER_N_PAIRS, paper_costs
+from repro.util.units import YEAR
+
+
+class TestPaperDefaults:
+    def test_values(self):
+        assert PAPER_MTBF == 5 * YEAR
+        assert PAPER_N_PAIRS == 100_000
+
+    def test_paper_costs(self):
+        c = paper_costs(60.0)
+        assert c.recovery == 60.0  # R = C
+        assert c.downtime == 0.0  # D = 0
+        assert c.restart_checkpoint == 60.0  # C^R = C by default
+        assert paper_costs(60.0, restart_factor=2.0).restart_checkpoint == 120.0
+
+
+class TestExperimentResult:
+    def test_empty_table_renders(self):
+        r = ExperimentResult(name="e", title="t", columns=["a", "b"])
+        text = r.to_text()
+        assert "e: t" in text
+        assert "a" in text and "b" in text
+
+    def test_float_formatting(self):
+        r = ExperimentResult(name="e", title="t", columns=["v"])
+        r.add_row(v=0.123456789)
+        assert "0.1235" in r.to_text(float_fmt="{:.4g}")
+
+    def test_mixed_types(self):
+        r = ExperimentResult(name="e", title="t", columns=["n", "x", "s", "f"])
+        r.add_row(n=3, x=1.5, s="hi", f=True)
+        text = r.to_text()
+        assert "hi" in text and "True" in text
+
+    def test_extra_columns_rejected(self):
+        r = ExperimentResult(name="e", title="t", columns=["a"])
+        # extra keys are fine to ignore? No: they must match exactly via add_row
+        with pytest.raises(ValueError):
+            r.add_row(b=1)
+
+    def test_notes_in_text(self):
+        r = ExperimentResult(name="e", title="t", columns=["a"])
+        r.add_row(a=1)
+        r.note("remember this")
+        assert "note: remember this" in r.to_text()
+
+    def test_to_dict_roundtrip_fields(self):
+        r = ExperimentResult(name="e", title="t", columns=["a"], meta={"k": 1})
+        r.add_row(a=2)
+        d = r.to_dict()
+        assert d["name"] == "e" and d["meta"] == {"k": 1}
+        assert d["rows"] == [{"a": 2}]
+
+    def test_column_missing(self):
+        r = ExperimentResult(name="e", title="t", columns=["a"])
+        r.add_row(a=1)
+        with pytest.raises(KeyError):
+            r.column("zzz")
+
+
+class TestPeriodGrid:
+    def test_brackets_both_optima(self):
+        from repro.core.periods import no_restart_period, restart_period
+        from repro.experiments.fig5_overhead_vs_period import period_grid
+
+        grid = period_grid(PAPER_MTBF, 60.0, PAPER_N_PAIRS, 12)
+        assert len(grid) == 12
+        t_no = no_restart_period(PAPER_MTBF, 60.0, PAPER_N_PAIRS)
+        t_rs = restart_period(PAPER_MTBF, 60.0, PAPER_N_PAIRS)
+        assert grid[0] < t_no < t_rs < grid[-1]

@@ -1,0 +1,223 @@
+"""Smoke tests for every experiment driver at miniature scale.
+
+Full-fidelity shapes are validated by the benchmark harness; these tests
+check that each driver runs, produces a well-formed table and carries its
+qualitative notes — using parameters small enough for the unit suite.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    fig1_cdf,
+    fig2_nonperiodic,
+    fig3_model_accuracy,
+    fig4_traces,
+    fig5_overhead_vs_period,
+    fig6_restart_on_failure,
+    fig7_overhead_vs_mtbf,
+    fig8_io_pressure,
+    fig11_when_to_restart,
+    tables,
+)
+from repro.experiments.common import ExperimentResult, mc_samples
+from repro.util.units import DAY, YEAR
+
+
+def assert_well_formed(result: ExperimentResult):
+    assert result.rows, f"{result.name}: empty table"
+    for row in result.rows:
+        assert set(row) == set(result.columns)
+    assert result.to_text()  # renders without error
+
+
+class TestCommon:
+    def test_mc_samples(self):
+        assert mc_samples(True) < mc_samples(False)
+
+    def test_experiment_result_validation(self):
+        r = ExperimentResult(name="x", title="t", columns=["a"])
+        with pytest.raises(ValueError):
+            r.add_row(b=1)
+
+    def test_column_extraction(self):
+        r = ExperimentResult(name="x", title="t", columns=["a"])
+        r.add_row(a=1)
+        r.add_row(a=2)
+        assert r.column("a") == [1, 2]
+
+    def test_registry_complete(self):
+        # One entry per paper figure panel and table, plus the extensions.
+        assert len(ALL_EXPERIMENTS) == 27
+        for name in ("heterogeneous", "ablation-every-k", "norestart-oracle", "multilevel"):
+            assert name in ALL_EXPERIMENTS
+
+
+class TestFig1:
+    def test_quantiles(self):
+        r = fig1_cdf.quantile_table(mu=2 * YEAR, mc_samples=2000, seed=1)
+        assert_well_formed(r)
+        rows = {row["config"]: row for row in r.rows}
+        # paper-vs-analytic agreement at mu = 2y
+        assert rows["1 proc"]["analytic_s"] == pytest.approx(1688 * DAY, rel=0.01)
+
+    def test_cdf_series_panels(self):
+        for panel in ("a", "b"):
+            r = fig1_cdf.cdf_series(panel=panel, n_points=11)
+            assert_well_formed(r)
+            # CDFs increase along the time grid
+            for col in r.columns[1:]:
+                vals = r.column(col)
+                assert vals == sorted(vals)
+
+    def test_bad_panel(self):
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError):
+            fig1_cdf.cdf_series(panel="z")
+
+
+class TestSimulationDrivers:
+    def test_fig2_tiny(self):
+        r = fig2_nonperiodic.run(quick=True, seed=1, mtbfs=(2 * DAY, 20 * DAY))
+        assert_well_formed(r)
+        assert all(row["ovh_ratio_restart"] < 1.0 for row in r.rows)
+
+    def test_fig3_tiny(self):
+        r = fig3_model_accuracy.run(
+            quick=True, seed=2, n_pairs=2000, checkpoint_costs=(60, 600)
+        )
+        assert_well_formed(r)
+        for row in r.rows:
+            assert row["sim_restart_Trs"] <= row["sim_norestart_Tno"]
+
+    def test_fig4_tiny(self):
+        r = fig4_traces.run(quick=True, seed=3, trace_kind="lanl18",
+                            checkpoint_costs=(60,))
+        assert_well_formed(r)
+
+    def test_fig5_tiny(self):
+        r = fig5_overhead_vs_period.run(quick=True, seed=4, n_pairs=2000, n_points=4)
+        assert_well_formed(r)
+
+    def test_fig6_tiny(self):
+        r = fig6_restart_on_failure.run(
+            quick=True, seed=5, n_pairs=2000, mtbfs=(1 * YEAR, 10 * YEAR)
+        )
+        assert_well_formed(r)
+        assert all(
+            row["ovh_restart_on_failure"] >= row["ovh_restart_Trs"] for row in r.rows
+        )
+
+    def test_fig7_tiny(self):
+        r = fig7_overhead_vs_mtbf.run(
+            quick=True, seed=6, n_pairs=2000, mtbfs=(1 * YEAR, 10 * YEAR)
+        )
+        assert_well_formed(r)
+
+    def test_fig8_tiny(self):
+        r = fig8_io_pressure.run(
+            quick=True, seed=7, n_pairs=2000, mtbfs=(1 * YEAR, 10 * YEAR),
+            simulate_io=False,
+        )
+        assert_well_formed(r)
+        assert all(row["period_ratio"] > 1 for row in r.rows)
+
+    def test_fig11_tiny(self):
+        r = fig11_when_to_restart.run(
+            quick=True, seed=8, n_pairs=2000, bounds=(2, 6, 12, 56, 112, 281),
+            mtbfs=(2 * YEAR,),
+        )
+        assert_well_formed(r)
+
+
+class TestExtensions:
+    def test_heterogeneous_tiny(self):
+        from repro.experiments import heterogeneous
+
+        r = heterogeneous.run(
+            quick=True, seed=9, n_procs=2000, factors=(10.0, 200.0)
+        )
+        assert_well_formed(r)
+        # At high flakiness the partial strategy must at least beat full
+        # replication (it protects the same risk with more throughput).
+        last = r.rows[-1]
+        assert last["partial_flaky"] <= last["full_replication"] * 1.1
+
+    def test_ablation_engines_tiny(self):
+        from repro.experiments import ablations
+
+        r = ablations.engine_agreement(quick=True, seed=10, n_pairs=500)
+        assert_well_formed(r)
+        spread = max(r.column("overhead")) - min(r.column("overhead"))
+        assert spread < 5 * max(r.column("ci95"))
+
+    def test_ablation_every_k_tiny(self):
+        from repro.experiments import ablations
+
+        r = ablations.every_k_ablation(
+            quick=True, seed=11, n_pairs=5000, ks=(1, 16)
+        )
+        assert_well_formed(r)
+        assert r.rows[-1]["overhead"] > r.rows[0]["overhead"] * 0.8
+
+    def test_ablation_ckpt_failures_tiny(self):
+        from repro.experiments import ablations
+
+        r = ablations.failures_during_checkpoint_ablation(
+            quick=True, seed=12, n_pairs=5000, checkpoints=(600.0,)
+        )
+        assert_well_formed(r)
+        # with >= without, and the gap is first-order small
+        row = r.rows[0]
+        assert row["ovh_with"] >= row["ovh_without"] * 0.98
+        assert abs(row["relative_gap"]) < 0.2
+
+    def test_ablation_healthy_charge_tiny(self):
+        from repro.experiments import ablations
+
+        r = ablations.healthy_charge_ablation(
+            quick=True, seed=13, pair_counts=(100, 5000)
+        )
+        assert_well_formed(r)
+        # always-charge is an upper bound on when-needed
+        for row in r.rows:
+            assert row["ovh_always"] >= row["ovh_when_needed"] * 0.999
+
+
+class TestNumericExtensions:
+    def test_norestart_oracle_tiny(self):
+        from repro.experiments import extensions
+        from repro.util.units import YEAR
+
+        r = extensions.norestart_oracle(
+            quick=True, n_pairs=1000, mtbfs=(5 * YEAR,), horizon=50
+        )
+        assert_well_formed(r)
+        row = r.rows[0]
+        assert row["H_oracle"] <= row["H_heuristic"] + 1e-12
+        assert row["H_restart_opt"] < row["H_oracle"]
+
+    def test_multilevel_tiny(self):
+        from repro.experiments import extensions
+        from repro.util.units import YEAR
+
+        r = extensions.multilevel_study(quick=True, mtbfs=(1 * YEAR, 25 * YEAR))
+        assert_well_formed(r)
+        for row in r.rows:
+            assert row["repl_overhead"] < row["plain_overhead"]
+            assert row["repl_flush_every"] >= row["plain_flush_every"]
+
+
+class TestTables:
+    def test_nfail_table(self):
+        r = tables.nfail_table(pair_counts=(1, 10, 100), mc_pairs=(1,), mc_trials=2000)
+        assert_well_formed(r)
+        for row in r.rows:
+            assert row["closed_form"] == pytest.approx(row["recursive"], rel=1e-9)
+
+    def test_asymptotic_table(self):
+        r = tables.asymptotic_table()
+        assert_well_formed(r)
+        assert r.meta["gain"] == pytest.approx(0.084, abs=0.002)
+        assert r.meta["breakeven"] == pytest.approx(0.64, abs=0.01)

@@ -1,0 +1,63 @@
+"""Tests for the combined report generator."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments.common import ExperimentResult
+from repro.experiments.report import generate_report, render_markdown
+
+
+class TestRenderMarkdown:
+    def _result(self):
+        r = ExperimentResult(name="demo", title="Demo", columns=["a", "b"])
+        r.add_row(a=1, b=2.5)
+        r.note("a note")
+        return r
+
+    def test_contains_table_and_notes(self):
+        md = render_markdown([(self._result(), 1.25)])
+        assert "## demo — Demo" in md
+        assert "| a | b |" in md
+        assert "| 1 | 2.5 |" in md
+        assert "- a note" in md
+        assert "(1.2s)" in md
+
+    def test_multiple_sections(self):
+        md = render_markdown([(self._result(), 0.1), (self._result(), 0.2)])
+        assert md.count("## demo") == 2
+
+
+class TestGenerateReport:
+    def test_writes_report_and_artifacts(self, tmp_path):
+        path = generate_report(
+            tmp_path, names=["table-asymptotic"], quick=True
+        )
+        assert path.exists()
+        assert (tmp_path / "table-asymptotic.json").exists()
+        content = path.read_text()
+        assert "table-asymptotic" in content
+
+    def test_progress_callback(self, tmp_path):
+        messages = []
+        generate_report(
+            tmp_path, names=["table-asymptotic"], quick=True,
+            progress=messages.append,
+        )
+        assert any("running" in m for m in messages)
+
+    def test_unknown_experiment(self, tmp_path):
+        with pytest.raises(ParameterError):
+            generate_report(tmp_path, names=["fig99"])
+
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["report", "--out", str(tmp_path), "--only", "table-asymptotic"])
+        assert rc == 0
+        assert (tmp_path / "report.md").exists()
+
+    def test_cli_report_unknown(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["report", "--out", str(tmp_path), "--only", "nope"])
+        assert rc == 2

@@ -1,0 +1,124 @@
+"""Tests for repro.failures.distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.failures.distributions import (
+    Exponential,
+    Gamma,
+    LogNormal,
+    Weibull,
+    distribution_from_name,
+)
+
+ALL_DISTS = [
+    Exponential(mean=100.0),
+    Weibull(mean=100.0, shape=0.7),
+    Weibull(mean=100.0, shape=1.3),
+    LogNormal(mean=100.0, sigma=1.2),
+    Gamma(mean=100.0, shape=0.65),
+]
+
+
+class TestMeanPreservation:
+    @pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: type(d).__name__ + str(id(d) % 97))
+    def test_sample_mean_matches(self, dist, rng):
+        samples = dist.sample(200_000, rng)
+        assert samples.mean() == pytest.approx(100.0, rel=0.05)
+
+    @pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: type(d).__name__ + str(id(d) % 97))
+    def test_samples_positive(self, dist, rng):
+        assert np.all(dist.sample(10_000, rng) > 0)
+
+    @given(st.floats(min_value=0.1, max_value=1e6))
+    @settings(max_examples=30, deadline=None)
+    def test_weibull_scale_formula(self, mean):
+        w = Weibull(mean=mean, shape=0.8)
+        import math
+
+        assert w.scale * math.gamma(1 + 1 / 0.8) == pytest.approx(mean, rel=1e-9)
+
+    def test_lognormal_mu_log(self):
+        ln = LogNormal(mean=50.0, sigma=0.5)
+        import math
+
+        assert math.exp(ln.mu_log + 0.25 / 2) == pytest.approx(50.0)
+
+
+class TestCdf:
+    @pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: type(d).__name__ + str(id(d) % 97))
+    def test_cdf_monotone_and_bounded(self, dist):
+        t = np.linspace(0.0, 1000.0, 200)
+        c = np.asarray(dist.cdf(t))
+        assert np.all((c >= 0) & (c <= 1))
+        assert np.all(np.diff(c) >= -1e-12)
+
+    @pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: type(d).__name__ + str(id(d) % 97))
+    def test_cdf_matches_empirical(self, dist, rng):
+        samples = dist.sample(100_000, rng)
+        for t in (20.0, 100.0, 300.0):
+            emp = float((samples <= t).mean())
+            assert float(dist.cdf(t)) == pytest.approx(emp, abs=0.01)
+
+    def test_exponential_cdf_closed_form(self):
+        e = Exponential(mean=10.0)
+        assert float(e.cdf(10.0)) == pytest.approx(1 - np.exp(-1.0))
+
+    def test_rate(self):
+        assert Exponential(mean=4.0).rate == pytest.approx(0.25)
+
+
+class TestSampleArrivals:
+    def test_within_horizon_sorted(self, rng):
+        e = Exponential(mean=10.0)
+        arr = e.sample_arrivals(1000.0, rng)
+        assert np.all(arr < 1000.0)
+        assert np.all(np.diff(arr) >= 0)
+
+    def test_count_matches_rate(self, rng):
+        e = Exponential(mean=10.0)
+        arr = e.sample_arrivals(100_000.0, rng)
+        assert arr.size == pytest.approx(10_000, rel=0.05)
+
+    def test_deterministic_with_seed(self):
+        e = Weibull(mean=5.0, shape=0.9)
+        a = e.sample_arrivals(200.0, 1)
+        b = e.sample_arrivals(200.0, 1)
+        assert np.array_equal(a, b)
+
+    def test_bad_horizon(self):
+        with pytest.raises(ParameterError):
+            Exponential(mean=1.0).sample_arrivals(0.0, 1)
+
+
+class TestFactory:
+    def test_known_names(self):
+        for name, cls in [
+            ("exponential", Exponential),
+            ("weibull", Weibull),
+            ("lognormal", LogNormal),
+            ("gamma", Gamma),
+        ]:
+            d = distribution_from_name(name, 42.0)
+            assert isinstance(d, cls)
+            assert d.mean == 42.0
+
+    def test_case_insensitive(self):
+        assert isinstance(distribution_from_name("WEIBULL", 1.0), Weibull)
+
+    def test_kwargs_forwarded(self):
+        d = distribution_from_name("weibull", 10.0, shape=0.5)
+        assert d.shape == 0.5
+
+    def test_unknown(self):
+        with pytest.raises(ParameterError):
+            distribution_from_name("cauchy", 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Exponential(mean=0.0)
+        with pytest.raises(ParameterError):
+            Weibull(mean=1.0, shape=-1.0)

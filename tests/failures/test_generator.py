@@ -1,0 +1,139 @@
+"""Tests for repro.failures.generator — failure sources and streams."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.failures.distributions import Exponential, Weibull
+from repro.failures.generator import (
+    ExponentialFailureSource,
+    FailureStream,
+    RenewalFailureSource,
+    TraceFailureSource,
+)
+from repro.failures.traces import FailureTrace
+
+
+class TestExponentialSource:
+    def test_rate(self, rng):
+        src = ExponentialFailureSource(mtbf=1000.0, n_procs=100)
+        times, procs = src.generate(0.0, 10_000.0, rng)
+        # expected events = horizon * N / mu = 1000
+        assert times.size == pytest.approx(1000, rel=0.15)
+        assert np.all(np.diff(times) >= 0)
+        assert procs.min() >= 0 and procs.max() < 100
+
+    def test_uniform_over_procs(self, rng):
+        src = ExponentialFailureSource(mtbf=10.0, n_procs=4)
+        _, procs = src.generate(0.0, 1000.0, rng)
+        counts = np.bincount(procs, minlength=4)
+        assert counts.min() > 0.7 * counts.mean()
+
+    def test_empty_window(self, rng):
+        src = ExponentialFailureSource(mtbf=10.0, n_procs=2)
+        times, procs = src.generate(5.0, 5.0, rng)
+        assert times.size == 0 and procs.size == 0
+
+    def test_window_bounds(self, rng):
+        src = ExponentialFailureSource(mtbf=1.0, n_procs=10)
+        times, _ = src.generate(100.0, 200.0, rng)
+        assert np.all((times >= 100.0) & (times < 200.0))
+
+
+class TestRenewalSource:
+    def test_rate_matches_distribution(self, rng):
+        src = RenewalFailureSource(Exponential(mean=100.0), n_procs=50)
+        times, _ = src.generate(0.0, 2000.0, rng)
+        assert times.size == pytest.approx(1000, rel=0.15)
+
+    def test_consecutive_windows_consistent(self, rng):
+        src = RenewalFailureSource(Weibull(mean=50.0, shape=0.8), n_procs=5)
+        t1, _ = src.generate(0.0, 500.0, rng)
+        t2, _ = src.generate(500.0, 1000.0, rng)
+        assert np.all(t1 < 500.0)
+        assert np.all((t2 >= 500.0) & (t2 < 1000.0))
+
+    def test_rewind_rejected(self, rng):
+        src = RenewalFailureSource(Exponential(mean=10.0), n_procs=2)
+        src.generate(0.0, 100.0, rng)
+        with pytest.raises(SimulationError):
+            src.generate(0.0, 50.0, rng)
+
+    def test_fresh_resets_state(self, rng):
+        src = RenewalFailureSource(Exponential(mean=10.0), n_procs=2)
+        src.generate(0.0, 100.0, rng)
+        fresh = src._fresh()
+        # A fresh copy can start from zero again.
+        fresh.generate(0.0, 50.0, rng)
+
+
+class TestTraceSource:
+    def _trace(self):
+        times = np.linspace(1, 999, 500)
+        return FailureTrace(times, np.arange(500) % 10, 10, duration=1000.0)
+
+    def test_generates_from_trace(self, rng):
+        src = TraceFailureSource(self._trace(), n_procs=40, n_groups=2)
+        times, procs = src.generate(0.0, 100.0, rng)
+        assert np.all(times < 100.0)
+        assert procs.max() < 40
+
+    def test_independent_cursors_differ(self):
+        src = TraceFailureSource(self._trace(), n_procs=40, n_groups=2)
+        s1 = src.open(seed=1)
+        s2 = src.open(seed=2)
+        t1, _ = s1.failures_between(0.0, 500.0)
+        t2, _ = s2.failures_between(0.0, 500.0)
+        assert not np.array_equal(t1, t2)
+
+    def test_same_seed_same_path(self):
+        src = TraceFailureSource(self._trace(), n_procs=40, n_groups=2)
+        t1, _ = src.open(seed=3).failures_between(0.0, 500.0)
+        t2, _ = src.open(seed=3).failures_between(0.0, 500.0)
+        assert np.array_equal(t1, t2)
+
+    def test_exhaustion_raises(self, rng):
+        src = TraceFailureSource(self._trace(), n_procs=40, n_groups=2)
+        src.generate(0.0, 10.0, rng)  # materialises ~160s of head-room
+        with pytest.raises(SimulationError):
+            src.generate(10.0, 1e9, rng)
+
+
+class TestFailureStream:
+    def test_lazy_extension(self):
+        src = ExponentialFailureSource(mtbf=100.0, n_procs=10)
+        stream = src.open(seed=1)
+        a, _ = stream.failures_between(0.0, 50.0)
+        b, _ = stream.failures_between(50.0, 5000.0)
+        assert np.all(a < 50.0)
+        assert np.all((b >= 50.0) & (b < 5000.0))
+
+    def test_same_window_twice_identical(self):
+        src = ExponentialFailureSource(mtbf=100.0, n_procs=10)
+        stream = src.open(seed=2)
+        a, pa = stream.failures_between(0.0, 500.0)
+        b, pb = stream.failures_between(0.0, 500.0)
+        assert np.array_equal(a, b) and np.array_equal(pa, pb)
+
+    def test_invalid_window(self):
+        stream = ExponentialFailureSource(mtbf=1.0, n_procs=1).open(seed=3)
+        with pytest.raises(SimulationError):
+            stream.failures_between(10.0, 5.0)
+
+    def test_next_failure_after(self):
+        stream = ExponentialFailureSource(mtbf=10.0, n_procs=5).open(seed=4)
+        t, p = stream.next_failure_after(0.0)
+        assert t > 0.0 and 0 <= p < 5
+        t2, _ = stream.next_failure_after(t)
+        assert t2 > t
+
+    def test_horizon_hint_pregenerates(self):
+        stream = ExponentialFailureSource(mtbf=10.0, n_procs=5).open(
+            seed=5, horizon_hint=1000.0
+        )
+        times, _ = stream.failures_between(0.0, 1000.0)
+        assert times.size > 0
+
+    def test_n_procs_property(self):
+        stream = ExponentialFailureSource(mtbf=10.0, n_procs=7).open(seed=6)
+        assert stream.n_procs == 7

@@ -1,0 +1,108 @@
+"""Tests for repro.failures.heterogeneous."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.failures.heterogeneous import (
+    HeterogeneousExponentialSource,
+    arrange_rates_for_partial_replication,
+    two_tier_rates,
+)
+
+
+class TestSource:
+    def test_total_rate(self):
+        src = HeterogeneousExponentialSource([0.1, 0.2, 0.7])
+        assert src.total_rate == pytest.approx(1.0)
+        assert src.platform_mtbf == pytest.approx(1.0)
+        assert src.n_procs == 3
+
+    def test_event_rate(self, rng):
+        src = HeterogeneousExponentialSource(np.full(10, 1e-3))
+        times, _ = src.generate(0.0, 1e5, rng)
+        assert times.size == pytest.approx(1e5 * 0.01, rel=0.1)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_strikes_proportional_to_rates(self, rng):
+        src = HeterogeneousExponentialSource([1e-3, 9e-3])
+        _, procs = src.generate(0.0, 1e6, rng)
+        frac1 = float((procs == 1).mean())
+        assert frac1 == pytest.approx(0.9, abs=0.02)
+
+    def test_zero_rate_proc_never_fails(self, rng):
+        src = HeterogeneousExponentialSource([0.0, 1e-2])
+        _, procs = src.generate(0.0, 1e5, rng)
+        assert not (procs == 0).any()
+
+    def test_empty_window(self, rng):
+        src = HeterogeneousExponentialSource([1e-3])
+        times, procs = src.generate(5.0, 5.0, rng)
+        assert times.size == 0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            HeterogeneousExponentialSource([])
+        with pytest.raises(ParameterError):
+            HeterogeneousExponentialSource([-1.0, 1.0])
+        with pytest.raises(ParameterError):
+            HeterogeneousExponentialSource([0.0, 0.0])
+
+    def test_works_with_trace_engine(self):
+        from repro.platform_model.costs import CheckpointCosts
+        from repro.simulation.policies import restart_policy
+        from repro.simulation.runner import simulate_with_source
+
+        costs = CheckpointCosts(checkpoint=10.0)
+        src = HeterogeneousExponentialSource(np.full(40, 1e-6))
+        rs = simulate_with_source(
+            restart_policy(1000.0, costs), src, n_pairs=20, costs=costs,
+            n_periods=5, n_runs=3, seed=1,
+        )
+        assert rs.n_runs == 3
+
+
+class TestTwoTierRates:
+    def test_layout(self):
+        rates = two_tier_rates(10, 100.0, unreliable_fraction=0.3, unreliable_factor=5.0)
+        assert rates.shape == (10,)
+        assert np.allclose(rates[:3], 5.0 / 100.0)
+        assert np.allclose(rates[3:], 1.0 / 100.0)
+
+    def test_zero_fraction(self):
+        rates = two_tier_rates(4, 100.0, unreliable_fraction=0.0, unreliable_factor=9.0)
+        assert np.allclose(rates, 0.01)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            two_tier_rates(0, 100.0, unreliable_fraction=0.1, unreliable_factor=2.0)
+        with pytest.raises(ParameterError):
+            two_tier_rates(10, 100.0, unreliable_fraction=1.5, unreliable_factor=2.0)
+
+
+class TestArrangement:
+    def test_flaky_processors_fill_pairs(self):
+        rates = two_tier_rates(10, 100.0, unreliable_fraction=0.4, unreliable_factor=10.0)
+        arranged = arrange_rates_for_partial_replication(rates, 2)
+        # pairs = (0, 2) and (1, 3); standalone = 4..9
+        paired = np.concatenate([arranged[:2], arranged[2:4]])
+        assert np.allclose(paired, 0.1)
+        assert np.all(arranged[4:] <= 0.1)
+
+    def test_multiset_preserved(self):
+        rng = np.random.default_rng(1)
+        rates = rng.uniform(0.1, 5.0, 21)
+        arranged = arrange_rates_for_partial_replication(rates, 7)
+        assert np.allclose(np.sort(arranged), np.sort(rates))
+
+    def test_pair_balance(self):
+        """The two banks receive alternating ranks, so partner rates are
+        adjacent in the sorted order (worst with second-worst, etc.)."""
+        rates = np.array([8.0, 7.0, 6.0, 5.0, 1.0, 1.0])
+        arranged = arrange_rates_for_partial_replication(rates, 2)
+        assert arranged[0] == 8.0 and arranged[2] == 7.0  # pair 0
+        assert arranged[1] == 6.0 and arranged[3] == 5.0  # pair 1
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            arrange_rates_for_partial_replication([1.0, 2.0], 2)

@@ -1,0 +1,123 @@
+"""Tests for repro.failures.lanl and repro.failures.correlation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.failures.correlation import (
+    cascade_fraction,
+    dispersion_index,
+    exponential_ks_statistic,
+    is_correlated,
+)
+from repro.failures.lanl import (
+    LANL2_SPEC,
+    LANL18_SPEC,
+    LanlTraceSpec,
+    make_lanl2_like,
+    make_lanl18_like,
+    synthesize_trace,
+)
+from repro.failures.traces import FailureTrace
+from repro.util.units import HOUR
+
+
+class TestSpecs:
+    def test_paper_statistics(self):
+        # Section 7.2 headline numbers.
+        assert LANL2_SPEC.mtbf == pytest.approx(14.1 * HOUR)
+        assert LANL2_SPEC.n_failures == 5350
+        assert LANL18_SPEC.mtbf == pytest.approx(7.5 * HOUR)
+        assert LANL18_SPEC.n_failures == 3899
+
+    def test_duration(self):
+        assert LANL2_SPEC.duration == pytest.approx(5350 * 14.1 * HOUR)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            LanlTraceSpec(name="x", n_nodes=0, mtbf=1.0, n_failures=10)
+        with pytest.raises(ParameterError):
+            LanlTraceSpec(name="x", n_nodes=1, mtbf=1.0, n_failures=10, cascade_fraction=1.5)
+
+
+class TestSynthesis:
+    def test_lanl18_matches_spec(self):
+        tr = make_lanl18_like(seed=1)
+        assert tr.n_failures == LANL18_SPEC.n_failures
+        assert tr.n_nodes == LANL18_SPEC.n_nodes
+        assert tr.mtbf == pytest.approx(LANL18_SPEC.mtbf, rel=0.02)
+
+    def test_lanl2_matches_spec(self):
+        tr = make_lanl2_like(seed=2)
+        assert tr.n_failures == LANL2_SPEC.n_failures
+        assert tr.mtbf == pytest.approx(LANL2_SPEC.mtbf, rel=0.02)
+
+    def test_reproducible(self):
+        a = make_lanl18_like(seed=3)
+        b = make_lanl18_like(seed=3)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.node_ids, b.node_ids)
+
+    def test_different_seeds_differ(self):
+        a = make_lanl18_like(seed=4)
+        b = make_lanl18_like(seed=5)
+        assert not np.array_equal(a.times, b.times)
+
+    def test_times_sorted_nodes_valid(self):
+        tr = make_lanl2_like(seed=6)
+        assert np.all(np.diff(tr.times) >= 0)
+        assert tr.node_ids.min() >= 0
+        assert tr.node_ids.max() < tr.n_nodes
+
+    def test_small_custom_spec(self):
+        spec = LanlTraceSpec(name="tiny", n_nodes=4, mtbf=100.0, n_failures=200)
+        tr = synthesize_trace(spec, seed=7)
+        assert tr.n_failures == 200
+        assert tr.mtbf == pytest.approx(100.0, rel=0.05)
+
+
+class TestCorrelationDiagnostics:
+    def test_poisson_dispersion_near_one(self, rng):
+        times = np.sort(rng.uniform(0, 1e5, 2000))
+        tr = FailureTrace(times, rng.integers(0, 50, 2000), 50, duration=1e5)
+        assert dispersion_index(tr) == pytest.approx(1.0, abs=0.25)
+
+    def test_bursty_dispersion_high(self, rng):
+        # clusters of 10 failures at random instants
+        centers = np.sort(rng.uniform(0, 1e5, 100))
+        times = np.sort((centers[:, None] + rng.uniform(0, 10.0, (100, 10))).ravel())
+        tr = FailureTrace(times, rng.integers(0, 50, 1000), 50, duration=1.1e5)
+        assert dispersion_index(tr) > 3.0
+
+    def test_dispersion_window_too_large(self):
+        tr = FailureTrace([1.0, 2.0], [0, 1], 2, duration=10.0)
+        with pytest.raises(ParameterError):
+            dispersion_index(tr, window=9.0)
+
+    def test_cascade_fraction_zero_for_sparse(self):
+        times = np.arange(1, 101) * 1e4
+        tr = FailureTrace(times, np.arange(100) % 10, 10, duration=1.02e6)
+        assert cascade_fraction(tr, window=600.0) == 0.0
+
+    def test_cascade_fraction_counts_cross_node_only(self):
+        # Two failures close in time on the SAME node: not a cascade.
+        tr = FailureTrace([100.0, 150.0], [3, 3], 5, duration=1000.0)
+        assert cascade_fraction(tr, window=600.0) == 0.0
+        # On different nodes: the second one is cascaded.
+        tr2 = FailureTrace([100.0, 150.0], [3, 4], 5, duration=1000.0)
+        assert cascade_fraction(tr2, window=600.0) == pytest.approx(0.5)
+
+    def test_ks_statistic_small_for_exponential(self, rng):
+        gaps = rng.exponential(50.0, 5000)
+        times = np.cumsum(gaps)
+        tr = FailureTrace(times, rng.integers(0, 10, 5000), 10, duration=times[-1] + 50)
+        assert exponential_ks_statistic(tr) < 0.03
+
+    def test_classifier_separates_lanl_analogues(self):
+        assert not is_correlated(make_lanl18_like(seed=8))
+        assert is_correlated(make_lanl2_like(seed=9))
+
+    def test_lanl2_has_more_cascades_than_lanl18(self):
+        c2 = cascade_fraction(make_lanl2_like(seed=10))
+        c18 = cascade_fraction(make_lanl18_like(seed=11))
+        assert c2 > 5 * c18

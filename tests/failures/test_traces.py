@@ -1,0 +1,188 @@
+"""Tests for repro.failures.traces — trace container and rescaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TraceError
+from repro.failures.traces import FailureTrace, groups_for_target, platform_failure_stream
+from repro.util.units import HOUR, YEAR
+
+
+def simple_trace(n=20, n_nodes=5, gap=10.0, name="t"):
+    times = np.arange(1, n + 1) * gap
+    nodes = np.arange(n) % n_nodes
+    return FailureTrace(times, nodes, n_nodes, duration=(n + 1) * gap, name=name)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        tr = simple_trace()
+        assert tr.n_failures == 20
+        assert tr.mtbf == pytest.approx(210.0 / 20)
+        assert tr.node_mtbf == pytest.approx(5 * 210.0 / 20)
+
+    def test_default_duration(self):
+        tr = FailureTrace([1.0, 2.0, 4.0], [0, 0, 0], 1)
+        assert tr.duration > 4.0
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(TraceError):
+            FailureTrace([2.0, 1.0], [0, 0], 1)
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(TraceError):
+            FailureTrace([-1.0, 1.0], [0, 0], 1)
+
+    def test_rejects_bad_nodes(self):
+        with pytest.raises(TraceError):
+            FailureTrace([1.0], [5], 3)
+        with pytest.raises(TraceError):
+            FailureTrace([1.0], [-1], 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceError):
+            FailureTrace([], [], 1)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(TraceError):
+            FailureTrace([1.0, 2.0], [0], 1)
+
+    def test_rejects_duration_before_last_failure(self):
+        with pytest.raises(TraceError):
+            FailureTrace([1.0, 5.0], [0, 0], 1, duration=4.0)
+
+    def test_inter_arrival_times(self):
+        tr = simple_trace(gap=7.0)
+        assert np.allclose(tr.inter_arrival_times(), 7.0)
+
+
+class TestRotate:
+    def test_preserves_counts_and_domain(self):
+        tr = simple_trace()
+        rot = tr.rotate(55.0)
+        assert rot.n_failures == tr.n_failures
+        assert rot.duration == tr.duration
+        assert np.all(rot.times >= 0) and np.all(rot.times < rot.duration)
+        assert np.all(np.diff(rot.times) >= 0)
+
+    def test_zero_pivot_identity(self):
+        tr = simple_trace()
+        rot = tr.rotate(0.0)
+        assert np.allclose(rot.times, tr.times)
+
+    def test_multiset_of_nodes_preserved(self):
+        tr = simple_trace()
+        rot = tr.rotate(101.0)
+        assert sorted(rot.node_ids.tolist()) == sorted(tr.node_ids.tolist())
+
+    @given(st.floats(min_value=0.0, max_value=209.99))
+    @settings(max_examples=40, deadline=None)
+    def test_double_rotation_identity(self, pivot):
+        """Rotating by p then by duration - p restores the original times."""
+        tr = simple_trace()
+        back = tr.rotate(pivot).rotate((tr.duration - pivot) % tr.duration)
+        assert np.allclose(np.sort(back.times), tr.times, atol=1e-9)
+
+    def test_bad_pivot(self):
+        tr = simple_trace()
+        with pytest.raises(TraceError):
+            tr.rotate(-1.0)
+        with pytest.raises(TraceError):
+            tr.rotate(tr.duration)
+
+
+class TestTileRestrict:
+    def test_tile_extends(self):
+        tr = simple_trace()
+        tiled = tr.tile(500.0)
+        assert tiled.duration >= 500.0
+        assert tiled.n_failures == 3 * tr.n_failures  # ceil(500/210) = 3 copies
+
+    def test_tile_noop_when_covered(self):
+        tr = simple_trace()
+        assert tr.tile(100.0) is tr
+
+    def test_tile_preserves_mtbf(self):
+        tr = simple_trace()
+        tiled = tr.tile(1000.0)
+        assert tiled.mtbf == pytest.approx(tr.mtbf)
+
+    def test_restrict(self):
+        tr = simple_trace()
+        cut = tr.restrict(55.0)
+        assert cut.n_failures == 5
+        assert np.all(cut.times < 55.0)
+
+    def test_restrict_empty_raises(self):
+        tr = simple_trace()
+        with pytest.raises(TraceError):
+            tr.restrict(0.5)
+
+
+class TestGroupsForTarget:
+    def test_paper_values(self):
+        # LANL#2: 14.1 h trace MTBF vs 788.4 s target -> 64 groups.
+        target = 5 * YEAR / 200_000
+        assert groups_for_target(14.1 * HOUR, target) == 64
+        # LANL#18: 7.5 h -> 34 (paper rounds to 32).
+        assert groups_for_target(7.5 * HOUR, target) in (32, 33, 34)
+
+    def test_at_least_one(self):
+        assert groups_for_target(1.0, 100.0) == 1
+
+
+class TestPlatformStream:
+    def test_sorted_and_in_range(self):
+        tr = simple_trace(n=50, n_nodes=10)
+        times, procs = platform_failure_stream(tr, 100, 4, 200.0, seed=1)
+        assert np.all(np.diff(times) >= 0)
+        assert np.all((procs >= 0) & (procs < 100))
+        assert np.all(times < 200.0)
+
+    def test_rate_scales_with_groups(self):
+        tr = simple_trace(n=2000, n_nodes=10, gap=1.0)
+        t1, _ = platform_failure_stream(tr, 100, 1, 1000.0, seed=2)
+        t4, _ = platform_failure_stream(tr, 100, 4, 1000.0, seed=2)
+        assert t4.size == pytest.approx(4 * t1.size, rel=0.2)
+
+    def test_pair_aligned_mapping(self):
+        tr = simple_trace(n=500, n_nodes=10, gap=1.0)
+        n_procs, n_pairs, n_groups = 80, 40, 4
+        times, procs = platform_failure_stream(
+            tr, n_procs, n_groups, 400.0, seed=3, n_pairs=n_pairs
+        )
+        pairs_per_group = n_pairs // n_groups
+        # every struck proc's PAIR must belong to the group owning it
+        pair = np.where(procs < n_pairs, procs, procs - n_pairs)
+        group_of_pair = pair // pairs_per_group
+        assert np.all(group_of_pair < n_groups)
+
+    def test_pair_aligned_requires_consistent_layout(self):
+        tr = simple_trace()
+        with pytest.raises(TraceError):
+            platform_failure_stream(tr, 100, 4, 10.0, n_pairs=49)
+
+    def test_fixed_mapping_deterministic_node_binding(self):
+        tr = simple_trace(n=200, n_nodes=3, gap=1.0)
+        times, procs = platform_failure_stream(
+            tr, 30, 1, 100.0, seed=4, node_mapping="fixed"
+        )
+        # With 3 nodes bound to fixed procs, at most 3 distinct procs fail.
+        assert np.unique(procs).size <= 3
+
+    def test_bad_mapping_name(self):
+        tr = simple_trace()
+        with pytest.raises(TraceError):
+            platform_failure_stream(tr, 10, 1, 10.0, node_mapping="bogus")
+
+    def test_too_many_groups(self):
+        tr = simple_trace()
+        with pytest.raises(TraceError):
+            platform_failure_stream(tr, 4, 8, 10.0)
+
+    def test_tiling_beyond_duration(self):
+        tr = simple_trace()
+        times, _ = platform_failure_stream(tr, 10, 2, 5000.0, seed=5)
+        assert times.size > 2 * tr.n_failures  # needed several tiled copies

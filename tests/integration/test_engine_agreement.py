@@ -1,0 +1,105 @@
+"""Integration: the three engines must agree statistically.
+
+The sampled engine (exact fatal-time inverse transform), the lockstep
+engine (vectorised events) and the trace engine (explicit per-processor
+events) implement the same semantics; on exponential inputs their mean
+overheads and crash rates must coincide within Monte-Carlo error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.failures.generator import ExponentialFailureSource
+from repro.platform_model.costs import CheckpointCosts
+from repro.simulation.lockstep import LockstepConfig, simulate_lockstep
+from repro.simulation.policies import no_restart_policy, restart_policy
+from repro.simulation.sampled import simulate_restart_sampled
+from repro.simulation.trace_engine import TraceEngineConfig, simulate_trace_runs
+from repro.util.stats import mean_confidence_halfwidth
+
+MTBF = 3e6
+PAIRS = 200
+PERIOD = 8000.0
+COSTS = CheckpointCosts(checkpoint=60.0, downtime=5.0, recovery=60.0)
+N_PERIODS = 40
+
+
+def _sampled(n_runs, seed):
+    return simulate_restart_sampled(
+        mtbf=MTBF, n_pairs=PAIRS, period=PERIOD, costs=COSTS,
+        n_periods=N_PERIODS, n_runs=n_runs, seed=seed,
+    )
+
+
+def _lockstep(policy, n_runs, seed):
+    return simulate_lockstep(
+        LockstepConfig(
+            mtbf=MTBF, n_pairs=PAIRS, policy=policy, costs=COSTS,
+            n_periods=N_PERIODS, n_runs=n_runs,
+        ),
+        seed=seed,
+    )
+
+
+def _trace(policy, n_runs, seed):
+    return simulate_trace_runs(
+        TraceEngineConfig(
+            source=ExponentialFailureSource(MTBF, 2 * PAIRS),
+            n_pairs=PAIRS, policy=policy, costs=COSTS,
+            n_periods=N_PERIODS, n_runs=n_runs,
+        ),
+        seed=seed,
+    )
+
+
+def _assert_close(a, b, label):
+    """Means equal within the union of the two 99% confidence intervals."""
+    ha = mean_confidence_halfwidth(a, level=0.99)
+    hb = mean_confidence_halfwidth(b, level=0.99)
+    assert abs(float(np.mean(a)) - float(np.mean(b))) <= (ha + hb) * 1.5 + 1e-12, label
+
+
+class TestRestartStrategyAgreement:
+    def test_sampled_vs_lockstep_overhead(self):
+        policy = restart_policy(PERIOD, COSTS)
+        s = _sampled(600, seed=1)
+        l = _lockstep(policy, 200, seed=2)
+        _assert_close(s.overheads, l.overheads, "sampled vs lockstep overhead")
+
+    def test_sampled_vs_trace_overhead(self):
+        policy = restart_policy(PERIOD, COSTS)
+        s = _sampled(600, seed=3)
+        t = _trace(policy, 60, seed=4)
+        _assert_close(s.overheads, t.overheads, "sampled vs trace overhead")
+
+    def test_crash_rates_agree(self):
+        policy = restart_policy(PERIOD, COSTS)
+        s = _sampled(600, seed=5)
+        l = _lockstep(policy, 200, seed=6)
+        _assert_close(
+            s.n_fatal.astype(float), l.n_fatal.astype(float), "crash counts"
+        )
+
+    def test_failure_counts_agree(self):
+        policy = restart_policy(PERIOD, COSTS)
+        s = _sampled(400, seed=7)
+        l = _lockstep(policy, 150, seed=8)
+        _assert_close(
+            s.n_failures.astype(float), l.n_failures.astype(float), "failure counts"
+        )
+
+
+class TestNoRestartAgreement:
+    def test_lockstep_vs_trace_overhead(self):
+        policy = no_restart_policy(PERIOD, COSTS)
+        l = _lockstep(policy, 200, seed=9)
+        t = _trace(policy, 60, seed=10)
+        _assert_close(l.overheads, t.overheads, "no-restart lockstep vs trace")
+
+    def test_lockstep_vs_trace_crashes(self):
+        policy = no_restart_policy(PERIOD, COSTS)
+        l = _lockstep(policy, 200, seed=11)
+        t = _trace(policy, 60, seed=12)
+        _assert_close(
+            l.n_fatal.astype(float), t.n_fatal.astype(float), "no-restart crash counts"
+        )

@@ -1,0 +1,210 @@
+"""Integration: the paper's headline claims, verified end-to-end.
+
+Each test exercises the full stack (periods -> simulation -> metrics) at a
+scale small enough for CI, asserting the *shape* the paper reports: who
+wins, by roughly what factor, where crossovers fall.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.amdahl import AmdahlApplication
+from repro.core.periods import no_restart_period, restart_period, young_daly_period
+from repro.platform_model.costs import CheckpointCosts
+from repro.platform_model.machine import Platform
+from repro.simulation.metrics import io_pressure
+from repro.simulation.runner import (
+    simulate_nbound,
+    simulate_no_replication,
+    simulate_no_restart,
+    simulate_partial_replication,
+    simulate_restart,
+    simulate_restart_on_failure,
+)
+from repro.util.units import YEAR
+
+MTBF = 5 * YEAR
+PAIRS = 5000
+COSTS = CheckpointCosts(checkpoint=60.0)
+
+
+@pytest.fixture(scope="module")
+def baseline_runs():
+    t_rs = restart_period(MTBF, COSTS.restart_checkpoint, PAIRS)
+    t_no = no_restart_period(MTBF, COSTS.checkpoint, PAIRS)
+    rs = simulate_restart(
+        mtbf=MTBF, n_pairs=PAIRS, period=t_rs, costs=COSTS,
+        n_periods=100, n_runs=500, seed=1,
+    )
+    nr = simulate_no_restart(
+        mtbf=MTBF, n_pairs=PAIRS, period=t_no, costs=COSTS,
+        n_periods=100, n_runs=300, seed=2,
+    )
+    return rs, nr
+
+
+class TestHeadline:
+    def test_restart_period_much_longer(self):
+        t_rs = restart_period(MTBF, COSTS.restart_checkpoint, PAIRS)
+        t_no = no_restart_period(MTBF, COSTS.checkpoint, PAIRS)
+        assert t_rs > 2.0 * t_no
+
+    def test_restart_overhead_lower(self, baseline_runs):
+        rs, nr = baseline_runs
+        assert rs.mean_overhead < nr.mean_overhead
+
+    def test_io_pressure_lower(self, baseline_runs):
+        rs, nr = baseline_runs
+        assert io_pressure(rs).checkpoints_per_day < io_pressure(nr).checkpoints_per_day
+        assert io_pressure(rs).io_time_fraction < io_pressure(nr).io_time_fraction
+
+    def test_restart_beats_no_restart_at_same_period(self):
+        """Figure 5: Restart(T) <= NoRestart(T) pointwise."""
+        t_no = no_restart_period(MTBF, COSTS.checkpoint, PAIRS)
+        for i, t in enumerate((0.7 * t_no, t_no, 3 * t_no)):
+            rs = simulate_restart(
+                mtbf=MTBF, n_pairs=PAIRS, period=t, costs=COSTS,
+                n_periods=100, n_runs=300, seed=20 + i,
+            )
+            nr = simulate_no_restart(
+                mtbf=MTBF, n_pairs=PAIRS, period=t, costs=COSTS,
+                n_periods=100, n_runs=300, seed=50 + i,
+            )
+            assert rs.mean_overhead <= nr.mean_overhead * 1.1
+
+
+class TestRestartOnFailure:
+    def test_restart_on_failure_worse_and_explodes(self):
+        t_rs = restart_period(MTBF, COSTS.restart_checkpoint, PAIRS)
+        work = 100 * t_rs
+        rs = simulate_restart(
+            mtbf=MTBF, n_pairs=PAIRS, period=t_rs, costs=COSTS,
+            n_periods=100, n_runs=100, seed=3,
+        )
+        rof = simulate_restart_on_failure(
+            mtbf=MTBF, n_pairs=PAIRS, work_target=work, costs=COSTS,
+            n_runs=100, seed=4,
+        )
+        assert rof.mean_overhead > rs.mean_overhead
+        # And it grows as the MTBF shrinks (Figure 6).
+        rof_bad = simulate_restart_on_failure(
+            mtbf=MTBF / 10, n_pairs=PAIRS,
+            work_target=100 * restart_period(MTBF / 10, 60.0, PAIRS),
+            costs=COSTS, n_runs=100, seed=5,
+        )
+        assert rof_bad.mean_overhead > 5 * rof.mean_overhead
+
+
+class TestCrShapes:
+    def test_cr_2c_still_beats_no_restart(self):
+        """Figure 7: even at C^R = 2C restart wins at its optimal period."""
+        costs2 = CheckpointCosts(checkpoint=60.0, restart_factor=2.0)
+        t_rs = restart_period(MTBF, costs2.restart_checkpoint, PAIRS)
+        t_no = no_restart_period(MTBF, costs2.checkpoint, PAIRS)
+        rs = simulate_restart(
+            mtbf=MTBF, n_pairs=PAIRS, period=t_rs, costs=costs2,
+            n_periods=100, n_runs=300, seed=6,
+        )
+        nr = simulate_no_restart(
+            mtbf=MTBF, n_pairs=PAIRS, period=t_no, costs=costs2,
+            n_periods=100, n_runs=300, seed=7,
+        )
+        assert rs.mean_overhead < nr.mean_overhead
+
+    def test_overhead_increases_with_cr(self):
+        ovh = []
+        for i, f in enumerate((1.0, 1.5, 2.0)):
+            costs = CheckpointCosts(checkpoint=60.0, restart_factor=f)
+            t = restart_period(MTBF, costs.restart_checkpoint, PAIRS)
+            rs = simulate_restart(
+                mtbf=MTBF, n_pairs=PAIRS, period=t, costs=costs,
+                n_periods=100, n_runs=400, seed=30 + i,
+            )
+            ovh.append(rs.mean_overhead)
+        assert ovh[0] < ovh[2]
+
+
+class TestNBound:
+    def test_small_bounds_match_restart(self):
+        """Figure 11: n_bound in {2, 6} behaves like restart-every-checkpoint."""
+        t = restart_period(MTBF, COSTS.checkpoint, PAIRS)
+        kw = dict(mtbf=MTBF, n_pairs=PAIRS, period=t, costs=COSTS,
+                  n_periods=100, n_runs=200)
+        base = simulate_nbound(n_bound=1, seed=8, **kw)
+        near = simulate_nbound(n_bound=2, seed=9, **kw)
+        assert near.mean_overhead == pytest.approx(base.mean_overhead, rel=0.3)
+
+    def test_huge_bound_approaches_no_restart(self):
+        """n_bound ~ n_fail degenerates to never restarting at checkpoints."""
+        t = restart_period(MTBF, COSTS.checkpoint, PAIRS)
+        kw = dict(mtbf=MTBF, n_pairs=PAIRS, period=t, costs=COSTS,
+                  n_periods=100, n_runs=200)
+        huge = simulate_nbound(n_bound=10_000, seed=10, **kw)
+        base = simulate_nbound(n_bound=1, seed=11, **kw)
+        assert huge.mean_overhead > base.mean_overhead
+
+
+class TestReplicationTradeoff:
+    def test_replication_wins_on_unreliable_platform(self):
+        """Figure 9: short MTBF -> full replication has lower time-to-solution."""
+        mu = 0.02 * YEAR  # very unreliable nodes (scaled-down platform)
+        n = 2 * PAIRS
+        app = AmdahlApplication(sequential_fraction=1e-5, replication_slowdown=0.2,
+                                sequential_work=1e9)
+        t_yd = young_daly_period(mu, COSTS.checkpoint, n)
+        from repro.exceptions import SimulationError
+
+        try:
+            plain = simulate_no_replication(
+                mtbf=mu, n_procs=n, period=t_yd, costs=COSTS,
+                n_periods=30, n_runs=30, seed=12,
+            )
+            tts_plain = app.parallel_time(n, replicated=False) * (1 + plain.mean_overhead)
+        except SimulationError:
+            tts_plain = float("inf")
+        t_rs = restart_period(mu, COSTS.restart_checkpoint, PAIRS)
+        repl = simulate_restart(
+            mtbf=mu, n_pairs=PAIRS, period=t_rs, costs=COSTS,
+            n_periods=30, n_runs=30, seed=13,
+        )
+        tts_repl = app.parallel_time(n, replicated=True) * (1 + repl.mean_overhead)
+        assert tts_repl < tts_plain
+
+    def test_no_replication_wins_on_reliable_platform(self):
+        mu = 100 * YEAR
+        n = 2 * PAIRS
+        app = AmdahlApplication(sequential_fraction=1e-5, replication_slowdown=0.2,
+                                sequential_work=1e9)
+        t_yd = young_daly_period(mu, COSTS.checkpoint, n)
+        plain = simulate_no_replication(
+            mtbf=mu, n_procs=n, period=t_yd, costs=COSTS,
+            n_periods=30, n_runs=30, seed=14,
+        )
+        t_rs = restart_period(mu, COSTS.restart_checkpoint, PAIRS)
+        repl = simulate_restart(
+            mtbf=mu, n_pairs=PAIRS, period=t_rs, costs=COSTS,
+            n_periods=30, n_runs=30, seed=15,
+        )
+        tts_plain = app.parallel_time(n, replicated=False) * (1 + plain.mean_overhead)
+        tts_repl = app.parallel_time(n, replicated=True) * (1 + repl.mean_overhead)
+        assert tts_plain < tts_repl
+
+    def test_partial_replication_worse_than_full_when_unreliable(self):
+        mu = 0.02 * YEAR
+        platform = Platform.partially_replicated(2 * PAIRS, mu, 0.5)
+        t_rs = restart_period(mu, COSTS.restart_checkpoint, PAIRS)
+        from repro.exceptions import SimulationError
+
+        try:
+            part = simulate_partial_replication(
+                mtbf=mu, platform=platform, period=t_rs, costs=COSTS,
+                restart_at_checkpoint=True, n_periods=30, n_runs=20, seed=16,
+            )
+            part_ovh = part.mean_overhead
+        except SimulationError:
+            part_ovh = float("inf")
+        full = simulate_restart(
+            mtbf=mu, n_pairs=PAIRS, period=t_rs, costs=COSTS,
+            n_periods=30, n_runs=20, seed=17,
+        )
+        assert full.mean_overhead < part_ovh

@@ -1,0 +1,131 @@
+"""Property-based invariants across the simulation stack.
+
+Hypothesis drives random (small) configurations through the engines and
+checks the structural invariants that must hold for *every* run of *every*
+strategy, plus the directional monotonicities the analysis predicts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.platform_model.costs import CheckpointCosts
+from repro.simulation.lockstep import LockstepConfig, simulate_lockstep
+from repro.simulation.policies import (
+    every_k_policy,
+    nbound_policy,
+    no_restart_policy,
+    non_periodic_policy,
+    restart_policy,
+)
+from repro.simulation.sampled import simulate_restart_sampled
+from repro.util.units import YEAR
+
+_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+policy_kinds = st.sampled_from(["restart", "no-restart", "nbound", "non-periodic", "every-k"])
+
+
+def _build_policy(kind: str, period: float, costs: CheckpointCosts):
+    if kind == "restart":
+        return restart_policy(period, costs)
+    if kind == "no-restart":
+        return no_restart_policy(period, costs)
+    if kind == "nbound":
+        return nbound_policy(period, costs, n_bound=3)
+    if kind == "every-k":
+        return every_k_policy(period, costs, k=3)
+    return non_periodic_policy(period, period / 3.0, costs)
+
+
+class TestUniversalInvariants:
+    @given(
+        kind=policy_kinds,
+        n_pairs=st.integers(min_value=1, max_value=300),
+        mtbf=st.floats(min_value=3e5, max_value=1e9),
+        period=st.floats(min_value=200.0, max_value=20_000.0),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @_settings
+    def test_conservation_and_counts(self, kind, n_pairs, mtbf, period, seed):
+        costs = CheckpointCosts(checkpoint=20.0, downtime=2.0, recovery=20.0,
+                                restart_factor=1.5)
+        config = LockstepConfig(
+            mtbf=mtbf, n_pairs=n_pairs, policy=_build_policy(kind, period, costs),
+            costs=costs, n_periods=8, n_runs=4,
+        )
+        rs = simulate_lockstep(config, seed=seed)
+        # exact time conservation
+        recon = rs.useful_time + rs.checkpoint_time + rs.recovery_time + rs.wasted_time
+        assert np.allclose(recon, rs.total_time, rtol=1e-9)
+        # counts consistent
+        assert np.all(rs.n_checkpoints == 8)
+        assert np.all(rs.n_failures >= rs.n_fatal)
+        assert np.all(rs.max_degraded <= n_pairs)
+        assert np.all(rs.recovery_time == rs.n_fatal * 22.0)
+        # overhead strictly positive (checkpoints always cost something)
+        assert np.all(rs.overheads > 0)
+
+    @given(
+        n_pairs=st.integers(min_value=1, max_value=500),
+        period=st.floats(min_value=500.0, max_value=50_000.0),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @_settings
+    def test_sampled_engine_invariants(self, n_pairs, period, seed):
+        costs = CheckpointCosts(checkpoint=30.0)
+        rs = simulate_restart_sampled(
+            mtbf=5 * YEAR, n_pairs=n_pairs, period=period, costs=costs,
+            n_periods=10, n_runs=5, seed=seed,
+        )
+        recon = rs.useful_time + rs.checkpoint_time + rs.recovery_time + rs.wasted_time
+        assert np.allclose(recon, rs.total_time, rtol=1e-9)
+        assert np.all(rs.useful_time == 10 * period)
+
+
+class TestMonotonicities:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_overhead_decreases_with_mtbf(self, seed):
+        # The unreliable point is failure-dominated (~4 crashes/run) so the
+        # ordering is strict for any seed; at 50y crashes are negligible.
+        costs = CheckpointCosts(checkpoint=60.0)
+        ovh = []
+        for mu in (0.05 * YEAR, 50 * YEAR):
+            rs = simulate_restart_sampled(
+                mtbf=mu, n_pairs=2000,
+                period=10_000.0, costs=costs, n_periods=50, n_runs=60, seed=seed,
+            )
+            ovh.append(rs.mean_overhead)
+        assert ovh[0] > ovh[1]
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_overhead_increases_with_checkpoint_cost(self, seed):
+        ovh = []
+        for c in (30.0, 600.0):
+            rs = simulate_restart_sampled(
+                mtbf=5 * YEAR, n_pairs=2000, period=20_000.0,
+                costs=CheckpointCosts(checkpoint=c), n_periods=50, n_runs=40,
+                seed=seed,
+            )
+            ovh.append(rs.mean_overhead)
+        assert ovh[1] > ovh[0]
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_more_pairs_more_crashes(self, seed):
+        costs = CheckpointCosts(checkpoint=60.0)
+        crashes = []
+        for b in (500, 50_000):
+            rs = simulate_restart_sampled(
+                mtbf=1 * YEAR, n_pairs=b, period=8000.0, costs=costs,
+                n_periods=50, n_runs=60, seed=seed,
+            )
+            crashes.append(rs.n_fatal.sum())
+        assert crashes[1] > crashes[0]

@@ -1,0 +1,108 @@
+"""Integration: analytic models vs Monte-Carlo simulation.
+
+The paper's Section 7.2 validates the first-order formulas against its
+simulator; these tests do the same for our implementation, at platform
+sizes small enough for CI but firmly inside the model's regime.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mtti import mtti, sample_time_to_interruption
+from repro.core.overhead import (
+    restart_optimal_overhead,
+    restart_overhead,
+    restart_overhead_exact,
+    no_restart_overhead,
+)
+from repro.core.periods import no_restart_period, restart_period
+from repro.platform_model.costs import CheckpointCosts
+from repro.simulation.runner import simulate_no_restart, simulate_restart
+from repro.util.units import YEAR
+
+MTBF = 5 * YEAR
+PAIRS = 2000
+COSTS = CheckpointCosts(checkpoint=60.0)
+
+
+class TestRestartModelAccuracy:
+    def test_overhead_at_optimum(self):
+        t = restart_period(MTBF, COSTS.restart_checkpoint, PAIRS)
+        sim = simulate_restart(
+            mtbf=MTBF, n_pairs=PAIRS, period=t, costs=COSTS,
+            n_periods=100, n_runs=600, seed=1,
+        )
+        model = restart_overhead(t, COSTS.restart_checkpoint, MTBF, PAIRS)
+        assert sim.mean_overhead == pytest.approx(model, rel=0.15)
+
+    def test_overhead_off_optimum(self):
+        t = 2.5 * restart_period(MTBF, COSTS.restart_checkpoint, PAIRS)
+        sim = simulate_restart(
+            mtbf=MTBF, n_pairs=PAIRS, period=t, costs=COSTS,
+            n_periods=100, n_runs=600, seed=2,
+        )
+        model = restart_overhead(t, COSTS.restart_checkpoint, MTBF, PAIRS)
+        assert sim.mean_overhead == pytest.approx(model, rel=0.2)
+
+    def test_exact_model_tighter_than_first_order(self):
+        """The quadrature-exact E(T) should sit closer to simulation than
+        the first-order model when T is large."""
+        t = 3.0 * restart_period(MTBF, COSTS.restart_checkpoint, PAIRS)
+        sim = simulate_restart(
+            mtbf=MTBF, n_pairs=PAIRS, period=t, costs=COSTS,
+            n_periods=100, n_runs=800, seed=3,
+            failures_during_checkpoint=False,  # the model's assumption
+        )
+        first = restart_overhead(t, COSTS.restart_checkpoint, MTBF, PAIRS)
+        exact = restart_overhead_exact(
+            t, COSTS.restart_checkpoint, MTBF, PAIRS,
+            downtime=COSTS.downtime, recovery=COSTS.recovery,
+        )
+        err_first = abs(sim.mean_overhead - first)
+        err_exact = abs(sim.mean_overhead - exact)
+        assert err_exact <= err_first * 1.05
+
+    def test_empirical_optimum_near_formula(self):
+        """Simulated overhead at T_opt^rs beats 0.5x and 2x perturbations."""
+        t_opt = restart_period(MTBF, COSTS.restart_checkpoint, PAIRS)
+        ovh = {}
+        for i, f in enumerate((0.5, 1.0, 2.0)):
+            sim = simulate_restart(
+                mtbf=MTBF, n_pairs=PAIRS, period=f * t_opt, costs=COSTS,
+                n_periods=100, n_runs=400, seed=10 + i,
+            )
+            ovh[f] = sim.mean_overhead
+        assert ovh[1.0] < ovh[0.5]
+        assert ovh[1.0] < ovh[2.0]
+
+
+class TestNoRestartModelAccuracy:
+    def test_eq12_reasonable_at_small_c(self):
+        """The paper: H^no is a good estimate for small C."""
+        t = no_restart_period(MTBF, COSTS.checkpoint, PAIRS)
+        sim = simulate_no_restart(
+            mtbf=MTBF, n_pairs=PAIRS, period=t, costs=COSTS,
+            n_periods=100, n_runs=400, seed=4,
+        )
+        model = no_restart_overhead(t, COSTS.checkpoint, MTBF, PAIRS)
+        assert sim.mean_overhead == pytest.approx(model, rel=0.35)
+
+
+class TestMttiAgainstSimulation:
+    def test_mtti_formula_vs_sampling(self):
+        for b in (1, 10, 300):
+            samples = sample_time_to_interruption(MTBF, b, 30_000, seed=b)
+            assert float(np.mean(samples)) == pytest.approx(mtti(MTBF, b), rel=0.05)
+
+    def test_crash_spacing_in_no_restart_simulation(self):
+        """In a no-restart run, application failures arrive roughly every
+        MTTI seconds (the premise of Eq. 11)."""
+        t = no_restart_period(MTBF, COSTS.checkpoint, PAIRS)
+        sim = simulate_no_restart(
+            mtbf=MTBF, n_pairs=PAIRS, period=t, costs=COSTS,
+            n_periods=400, n_runs=100, seed=5,
+        )
+        total = sim.total_time.sum()
+        crashes = sim.n_fatal.sum()
+        assert crashes > 30
+        assert total / crashes == pytest.approx(mtti(MTBF, PAIRS), rel=0.3)

@@ -1,0 +1,120 @@
+"""Tests for repro.io — trace files and result JSON."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError, TraceError
+from repro.experiments.common import ExperimentResult
+from repro.failures.traces import FailureTrace
+from repro.io.results_io import load_experiment, load_runset, save_experiment, save_runset
+from repro.io.tracefile import read_trace, trace_from_csv, trace_to_csv, write_trace
+from repro.simulation.results import RunSet
+
+
+def make_trace():
+    rng = np.random.default_rng(0)
+    times = np.sort(rng.uniform(0, 1000.0, 50))
+    return FailureTrace(times, rng.integers(0, 7, 50), 7, duration=1001.0, name="t/1")
+
+
+class TestTraceFile:
+    def test_roundtrip_exact(self):
+        tr = make_trace()
+        again = trace_from_csv(trace_to_csv(tr))
+        assert np.array_equal(again.times, tr.times)
+        assert np.array_equal(again.node_ids, tr.node_ids)
+        assert again.n_nodes == tr.n_nodes
+        assert again.duration == tr.duration
+        assert again.name == tr.name
+
+    def test_file_roundtrip(self, tmp_path):
+        tr = make_trace()
+        path = tmp_path / "trace.csv"
+        write_trace(tr, path)
+        again = read_trace(path)
+        assert np.array_equal(again.times, tr.times)
+
+    def test_rejects_wrong_header(self):
+        with pytest.raises(TraceError):
+            trace_from_csv("time_s,node_id\n1.0,0\n")
+
+    def test_rejects_missing_metadata(self):
+        text = "# repro failure trace v1\ntime_s,node_id\n1.0,0\n"
+        with pytest.raises(TraceError):
+            trace_from_csv(text)
+
+    def test_rejects_malformed_row(self):
+        tr = make_trace()
+        text = trace_to_csv(tr) + "oops\n"
+        # appended junk without a comma
+        with pytest.raises(TraceError):
+            trace_from_csv(text)
+
+    def test_rejects_missing_column_header(self):
+        text = "# repro failure trace v1\n# n_nodes: 2\n# duration: 10.0\n1.0,0\n"
+        with pytest.raises(TraceError):
+            trace_from_csv(text)
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e6), min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, raw_times):
+        times = np.sort(np.asarray(raw_times))
+        nodes = np.zeros(times.size, dtype=np.int64)
+        tr = FailureTrace(times, nodes, 1, duration=float(times[-1]) + 1.0)
+        again = trace_from_csv(trace_to_csv(tr))
+        assert np.array_equal(again.times, tr.times)
+
+
+class TestRunSetJson:
+    def _runset(self):
+        n = 3
+        return RunSet(
+            total_time=np.array([10.0, 11.0, 12.0]),
+            useful_time=np.full(n, 9.0),
+            checkpoint_time=np.full(n, 1.0),
+            recovery_time=np.zeros(n),
+            wasted_time=np.array([0.0, 1.0, 2.0]),
+            n_failures=np.array([1, 2, 3]),
+            n_fatal=np.array([0, 0, 1]),
+            n_checkpoints=np.full(n, 9),
+            n_proc_restarts=np.array([1, 2, 4]),
+            max_degraded=np.array([1, 1, 2]),
+            label="x",
+            meta={"engine": "test"},
+        )
+
+    def test_roundtrip(self, tmp_path):
+        rs = self._runset()
+        path = tmp_path / "runs.json"
+        save_runset(rs, path)
+        again = load_runset(path)
+        assert again.label == "x"
+        assert np.allclose(again.total_time, rs.total_time)
+        assert again.meta["engine"] == "test"
+
+    def test_schema_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "other"}')
+        with pytest.raises(ParameterError):
+            load_runset(path)
+
+
+class TestExperimentJson:
+    def test_roundtrip(self, tmp_path):
+        result = ExperimentResult(name="e", title="T", columns=["a", "b"])
+        result.add_row(a=1, b=2.5)
+        result.note("hello")
+        path = tmp_path / "exp.json"
+        save_experiment(result, path)
+        again = load_experiment(path)
+        assert again.name == "e"
+        assert again.rows == [{"a": 1, "b": 2.5}]
+        assert again.notes == ["hello"]
+
+    def test_schema_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "other"}')
+        with pytest.raises(ParameterError):
+            load_experiment(path)

@@ -1,0 +1,104 @@
+"""Tests for repro.platform_model.costs and .topology."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.platform_model.costs import BUDDY_60S, REMOTE_600S, CheckpointCosts
+from repro.platform_model.topology import RackTopology
+
+
+class TestCheckpointCosts:
+    def test_recovery_defaults_to_checkpoint(self):
+        # Paper Section 7.1: "we always assume that R = C".
+        c = CheckpointCosts(checkpoint=60.0)
+        assert c.recovery == 60.0
+
+    def test_explicit_recovery(self):
+        c = CheckpointCosts(checkpoint=60.0, recovery=30.0)
+        assert c.recovery == 30.0
+
+    def test_restart_checkpoint_spectrum(self):
+        # C <= C^R <= 2C (Section 2).
+        c = CheckpointCosts(checkpoint=100.0, restart_factor=1.5)
+        assert c.restart_checkpoint == pytest.approx(150.0)
+        with pytest.raises(ParameterError):
+            CheckpointCosts(checkpoint=100.0, restart_factor=0.9)
+        with pytest.raises(ParameterError):
+            CheckpointCosts(checkpoint=100.0, restart_factor=2.1)
+
+    def test_with_restart_factor(self):
+        c = BUDDY_60S.with_restart_factor(2.0)
+        assert c.restart_checkpoint == pytest.approx(120.0)
+        assert BUDDY_60S.restart_factor == 1.0  # original untouched
+
+    def test_with_checkpoint_keeps_tied_recovery(self):
+        c = CheckpointCosts(checkpoint=60.0).with_checkpoint(600.0)
+        assert c.recovery == 600.0
+
+    def test_with_checkpoint_keeps_untied_recovery(self):
+        c = CheckpointCosts(checkpoint=60.0, recovery=15.0).with_checkpoint(600.0)
+        assert c.recovery == 15.0
+
+    def test_presets(self):
+        assert BUDDY_60S.checkpoint == 60.0
+        assert REMOTE_600S.checkpoint == 600.0
+
+    def test_describe(self):
+        assert "C^R=90" in CheckpointCosts(checkpoint=60.0, restart_factor=1.5).describe()
+
+    def test_rejects_bad(self):
+        with pytest.raises(ParameterError):
+            CheckpointCosts(checkpoint=0.0)
+        with pytest.raises(ParameterError):
+            CheckpointCosts(checkpoint=60.0, downtime=-1.0)
+
+
+class TestRackTopology:
+    def test_rack_of(self):
+        topo = RackTopology(n_procs=100, rack_size=10)
+        assert topo.n_racks == 10
+        assert topo.rack_of(0) == 0
+        assert topo.rack_of(99) == 9
+        assert list(topo.rack_of([5, 15, 95])) == [0, 1, 9]
+
+    def test_divisibility_required(self):
+        with pytest.raises(ParameterError):
+            RackTopology(n_procs=100, rack_size=7)
+
+    def test_pair_placement_rack_remote(self):
+        # The paper's placement invariant: a process and its replica never
+        # share a rack.
+        topo = RackTopology(n_procs=200, rack_size=10, n_pairs=100)
+        assert topo.partners_are_rack_remote()
+
+    def test_replicas_of_pair(self):
+        topo = RackTopology(n_procs=20, rack_size=2, n_pairs=10)
+        r0, r1 = topo.replicas_of_pair(3)
+        assert (r0, r1) == (3, 13)
+
+    def test_pair_of_proc_roundtrip(self):
+        topo = RackTopology(n_procs=20, rack_size=2, n_pairs=8)
+        assert topo.pair_of_proc(3) == 3
+        assert topo.pair_of_proc(11) == 3
+        assert topo.pair_of_proc(17) == -1  # standalone
+
+    def test_rack_too_large_for_pairs(self):
+        with pytest.raises(ParameterError):
+            RackTopology(n_procs=20, rack_size=20, n_pairs=10)
+
+    def test_rack_members(self):
+        topo = RackTopology(n_procs=12, rack_size=4)
+        assert list(topo.rack_members(1)) == [4, 5, 6, 7]
+        with pytest.raises(ParameterError):
+            topo.rack_members(3)
+
+    def test_same_rack(self):
+        topo = RackTopology(n_procs=12, rack_size=4)
+        assert bool(topo.same_rack(0, 3))
+        assert not bool(topo.same_rack(0, 4))
+
+    def test_pair_index_bounds(self):
+        topo = RackTopology(n_procs=20, rack_size=2, n_pairs=10)
+        with pytest.raises(ParameterError):
+            topo.replicas_of_pair(10)

@@ -1,0 +1,86 @@
+"""Tests for repro.platform_model.machine."""
+
+import pytest
+
+from repro.core.mtti import mtti
+from repro.exceptions import ParameterError
+from repro.platform_model.machine import Platform
+from repro.util.units import YEAR
+
+
+class TestConstruction:
+    def test_fully_replicated(self):
+        p = Platform.fully_replicated(200_000, 5 * YEAR)
+        assert p.n_pairs == 100_000
+        assert p.n_standalone == 0
+        assert p.is_fully_replicated
+        assert p.n_logical == 100_000
+
+    def test_without_replication(self):
+        p = Platform.without_replication(1000, 1e6)
+        assert p.n_pairs == 0
+        assert p.n_standalone == 1000
+        assert p.n_logical == 1000
+        assert not p.is_fully_replicated
+
+    def test_partial_90(self):
+        # Paper Section 7.6: 90,000 pairs + 20,000 standalone on 200k procs.
+        p = Platform.partially_replicated(200_000, 5 * YEAR, 0.9)
+        assert p.n_pairs == 90_000
+        assert p.n_standalone == 20_000
+        assert p.n_logical == 110_000
+        assert p.replicated_fraction == pytest.approx(0.9)
+
+    def test_partial_50(self):
+        p = Platform.partially_replicated(200_000, 5 * YEAR, 0.5)
+        assert p.n_pairs == 50_000
+        assert p.n_standalone == 100_000
+
+    def test_partial_rounds_to_even(self):
+        p = Platform.partially_replicated(1001, 1e6, 0.5)
+        assert 2 * p.n_pairs <= 1001
+
+    def test_full_requires_even(self):
+        with pytest.raises(ParameterError):
+            Platform.fully_replicated(999, 1e6)
+
+    def test_too_many_pairs(self):
+        with pytest.raises(ParameterError):
+            Platform(n_procs=10, mtbf=1e6, n_pairs=6)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            Platform(n_procs=0, mtbf=1e6)
+        with pytest.raises(ParameterError):
+            Platform(n_procs=10, mtbf=-1.0)
+        with pytest.raises(ParameterError):
+            Platform(n_procs=10, mtbf=1e6, n_pairs=-1)
+
+
+class TestDerived:
+    def test_platform_mtbf(self):
+        p = Platform.without_replication(1000, 1e6)
+        assert p.platform_mtbf == pytest.approx(1000.0)
+        assert p.failure_rate == pytest.approx(1e-6)
+
+    def test_mtti_no_replication_is_platform_mtbf(self):
+        p = Platform.without_replication(100, 1e6)
+        assert p.mtti() == pytest.approx(p.platform_mtbf)
+
+    def test_mtti_full_replication_matches_core(self):
+        p = Platform.fully_replicated(2000, 1e7)
+        assert p.mtti() == pytest.approx(mtti(1e7, 1000))
+
+    def test_mtti_partial_between_extremes(self):
+        full = Platform.fully_replicated(1000, 1e7)
+        none = Platform.without_replication(1000, 1e7)
+        part = Platform.partially_replicated(1000, 1e7, 0.5)
+        assert none.mtti() < part.mtti() < full.mtti()
+
+    def test_with_pairs(self):
+        p = Platform.without_replication(100, 1e6).with_pairs(20)
+        assert p.n_pairs == 20 and p.n_standalone == 60
+
+    def test_describe(self):
+        text = Platform.fully_replicated(2000, 1e6).describe()
+        assert "pairs=1,000" in text

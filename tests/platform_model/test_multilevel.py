@@ -1,0 +1,106 @@
+"""Tests for the two-level hierarchical checkpointing model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.platform_model.multilevel import (
+    TwoLevelCosts,
+    optimal_two_level,
+    two_level_overhead,
+)
+
+
+class TestCosts:
+    def test_defaults(self):
+        c = TwoLevelCosts()
+        assert c.recover_local == c.local
+        assert c.recover_flush == c.local + c.flush
+
+    def test_explicit_recoveries(self):
+        c = TwoLevelCosts(local=10.0, flush=90.0, recover_local=5.0, recover_flush=50.0)
+        assert c.recover_local == 5.0 and c.recover_flush == 50.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            TwoLevelCosts(local=0.0)
+        with pytest.raises(ParameterError):
+            TwoLevelCosts(p_catastrophic=1.5)
+
+
+class TestOverhead:
+    def test_reduces_to_single_level(self):
+        """k = 1 and p2 = 1 is ordinary checkpointing with cost c1 + c2."""
+        costs = TwoLevelCosts(local=40.0, flush=20.0, p_catastrophic=1.0,
+                              recover_flush=0.0)
+        rate = 1e-6
+        t = 5000.0
+        h = two_level_overhead(t, 1, rate, costs)
+        expected = 60.0 / t + rate * (t / 2.0)
+        assert h == pytest.approx(expected, rel=1e-9)
+
+    def test_flushing_less_often_cuts_failure_free_cost(self):
+        costs = TwoLevelCosts(local=60.0, flush=540.0, p_catastrophic=0.0)
+        h1 = two_level_overhead(5000.0, 1, 1e-9, costs)
+        h10 = two_level_overhead(5000.0, 10, 1e-9, costs)
+        assert h10 < h1
+
+    def test_catastrophic_failures_penalise_large_k(self):
+        costs = TwoLevelCosts(local=60.0, flush=540.0, p_catastrophic=0.5)
+        rate = 1e-4
+        h2 = two_level_overhead(3000.0, 2, rate, costs)
+        h64 = two_level_overhead(3000.0, 64, rate, costs)
+        assert h64 > h2
+
+    def test_validation(self):
+        costs = TwoLevelCosts()
+        with pytest.raises(ParameterError):
+            two_level_overhead(0.0, 1, 1e-6, costs)
+        with pytest.raises(ParameterError):
+            two_level_overhead(100.0, 0, 1e-6, costs)
+
+
+class TestOptimum:
+    def test_optimum_beats_neighbours(self):
+        costs = TwoLevelCosts(local=60.0, flush=540.0, p_catastrophic=0.01)
+        rate = 1e-5
+        t, k, h = optimal_two_level(rate, costs)
+        assert h <= two_level_overhead(t * 1.2, k, rate, costs)
+        assert h <= two_level_overhead(t * 0.8, k, rate, costs)
+        if k > 1:
+            assert h <= two_level_overhead(t, k - 1, rate, costs)
+        assert h <= two_level_overhead(t, k + 1, rate, costs)
+
+    def test_reliable_platform_prefers_rare_flushes(self):
+        costs = TwoLevelCosts(local=60.0, flush=540.0, p_catastrophic=0.01)
+        _, k_reliable, _ = optimal_two_level(1e-7, costs)
+        _, k_flaky, _ = optimal_two_level(1e-3, costs)
+        assert k_reliable >= k_flaky
+
+    def test_free_flush_prefers_k1(self):
+        costs = TwoLevelCosts(local=60.0, flush=1e-9, p_catastrophic=0.5)
+        _, k, _ = optimal_two_level(1e-4, costs)
+        assert k == 1
+
+    @given(st.floats(min_value=1e-8, max_value=1e-3))
+    @settings(max_examples=25, deadline=None)
+    def test_two_level_never_worse_than_flush_always(self, rate):
+        """The hierarchy with optimal k dominates single-level (k=1)."""
+        costs = TwoLevelCosts(local=60.0, flush=540.0, p_catastrophic=0.02)
+        t1 = optimal_two_level(rate, costs, max_k=1)
+        tk = optimal_two_level(rate, costs)
+        assert tk[2] <= t1[2] + 1e-12
+
+    def test_buddy_advantage_story(self):
+        """With replication (tiny catastrophic probability), the optimal
+        hierarchy flushes rarely — quantifying the paper's claim that buddy
+        checkpointing plus restart has near-zero extra cost."""
+        costs = TwoLevelCosts(local=60.0, flush=540.0, p_catastrophic=0.001)
+        rate = 2.3e-6  # ~1/MTTI of the paper's platform
+        t, k, h = optimal_two_level(rate, costs)
+        assert k >= 10
+        # overhead within 2x of the flush-free ideal
+        ideal = two_level_overhead(t, 10_000, rate, TwoLevelCosts(
+            local=60.0, flush=540.0, p_catastrophic=0.0))
+        assert h <= 2.5 * ideal

@@ -1,0 +1,112 @@
+"""Edge cases and failure-injection tests across the simulation stack."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError, SimulationError
+from repro.platform_model.costs import CheckpointCosts
+from repro.simulation.lockstep import LockstepConfig, simulate_lockstep
+from repro.simulation.policies import no_restart_policy, restart_policy
+from repro.simulation.results import RunSet
+from repro.util.units import YEAR
+
+COSTS = CheckpointCosts(checkpoint=10.0)
+
+
+class TestDegenerateScales:
+    def test_single_pair_single_period(self):
+        cfg = LockstepConfig(
+            mtbf=1e6, n_pairs=1, policy=restart_policy(100.0, COSTS),
+            costs=COSTS, n_periods=1, n_runs=1,
+        )
+        rs = simulate_lockstep(cfg, seed=1)
+        assert rs.n_runs == 1
+        assert rs.useful_time[0] == 100.0
+
+    def test_single_standalone_processor(self):
+        cfg = LockstepConfig(
+            mtbf=1e9, n_pairs=0, n_standalone=1,
+            policy=no_restart_policy(100.0, COSTS),
+            costs=COSTS, n_periods=3, n_runs=2,
+        )
+        rs = simulate_lockstep(cfg, seed=2)
+        assert np.all(rs.n_checkpoints == 3)
+
+    def test_very_long_period_with_reliable_platform(self):
+        cfg = LockstepConfig(
+            mtbf=1e15, n_pairs=10, policy=restart_policy(1e7, COSTS),
+            costs=COSTS, n_periods=2, n_runs=2,
+        )
+        rs = simulate_lockstep(cfg, seed=3)
+        assert np.allclose(rs.total_time, 2 * (1e7 + 10.0))
+
+    def test_period_shorter_than_checkpoint(self):
+        """Legal (if silly): a 1s work segment with 10s checkpoints."""
+        cfg = LockstepConfig(
+            mtbf=1e9, n_pairs=5, policy=restart_policy(1.0, COSTS),
+            costs=COSTS, n_periods=5, n_runs=2,
+        )
+        rs = simulate_lockstep(cfg, seed=4)
+        assert rs.mean_overhead == pytest.approx(10.0, rel=0.01)  # C/T = 10
+
+    def test_downtime_only_costs(self):
+        costs = CheckpointCosts(checkpoint=10.0, recovery=0.0, downtime=7.0)
+        cfg = LockstepConfig(
+            mtbf=3e4, n_pairs=0, n_standalone=50,
+            policy=no_restart_policy(200.0, costs),
+            costs=costs, n_periods=10, n_runs=10,
+        )
+        rs = simulate_lockstep(cfg, seed=5)
+        if rs.n_fatal.sum():
+            assert np.allclose(rs.recovery_time, rs.n_fatal * 7.0)
+
+
+class TestFailureInjection:
+    def test_hopeless_pairs_configuration_raises(self):
+        """Even with pairs, a period far beyond the MTTI cannot complete."""
+        cfg = LockstepConfig(
+            mtbf=1e4, n_pairs=5000, policy=restart_policy(1e7, COSTS),
+            costs=COSTS, n_periods=2, n_runs=2,
+        )
+        with pytest.raises(SimulationError):
+            simulate_lockstep(cfg, seed=6)
+
+    def test_runset_rejects_non_finite_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            RunSet(
+                total_time=np.array([1.0]),
+                useful_time=np.array([1.0, 2.0]),
+                checkpoint_time=np.array([0.0]),
+                recovery_time=np.array([0.0]),
+                wasted_time=np.array([0.0]),
+                n_failures=np.array([0]),
+                n_fatal=np.array([0]),
+                n_checkpoints=np.array([1]),
+                n_proc_restarts=np.array([0]),
+                max_degraded=np.array([0]),
+            )
+
+
+class TestSeedSemantics:
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(9)
+        cfg = LockstepConfig(
+            mtbf=1e6, n_pairs=20, policy=restart_policy(500.0, COSTS),
+            costs=COSTS, n_periods=5, n_runs=3,
+        )
+        a = simulate_lockstep(cfg, seed=ss)
+        b = simulate_lockstep(cfg, seed=np.random.SeedSequence(9))
+        assert np.array_equal(a.total_time, b.total_time)
+
+    def test_generator_stream_consumed(self):
+        rng = np.random.default_rng(1)
+        # failure-rich configuration so the two batches cannot coincide
+        cfg = LockstepConfig(
+            mtbf=1e4, n_pairs=20, policy=restart_policy(500.0, COSTS),
+            costs=COSTS, n_periods=5, n_runs=3,
+        )
+        a = simulate_lockstep(cfg, seed=rng)
+        b = simulate_lockstep(cfg, seed=rng)  # same generator, advanced state
+        assert not np.array_equal(a.n_failures, b.n_failures) or not np.array_equal(
+            a.total_time, b.total_time
+        )

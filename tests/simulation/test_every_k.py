@@ -1,0 +1,129 @@
+"""Tests for the restart-every-k-checkpoints policy (future-work variant)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.platform_model.costs import CheckpointCosts
+from repro.simulation.policies import PeriodicPolicy, every_k_policy, restart_policy
+from repro.simulation.runner import simulate_every_k, simulate_restart
+from repro.util.units import YEAR
+
+COSTS = CheckpointCosts(checkpoint=10.0, restart_factor=2.0)
+
+
+class TestPolicy:
+    def test_decision_by_counter(self):
+        p = every_k_policy(100.0, COSTS, k=3)
+        dead = np.array([5, 5, 5])
+        counter = np.array([0, 1, 2])
+        cost, restarts = p.checkpoint_decision(dead, counter)
+        assert list(restarts) == [False, False, True]
+        assert cost[0] == 10.0 and cost[2] == 20.0
+
+    def test_k1_restarts_every_checkpoint(self):
+        p = every_k_policy(100.0, COSTS, k=1)
+        cost, restarts = p.checkpoint_decision(np.array([0]), np.array([0]))
+        assert restarts.all()
+        assert cost[0] == 20.0
+
+    def test_requires_counter(self):
+        p = every_k_policy(100.0, COSTS, k=2)
+        with pytest.raises(ParameterError):
+            p.checkpoint_decision(np.array([1]))
+
+    def test_exclusive_with_threshold(self):
+        with pytest.raises(ParameterError):
+            PeriodicPolicy(
+                name="x", period=1.0, checkpoint_cost=1.0, restart_wave_cost=1.0,
+                restart_threshold=1, restart_every_k=2,
+            )
+
+    def test_bad_k(self):
+        with pytest.raises(ParameterError):
+            every_k_policy(100.0, COSTS, k=0)
+
+
+class TestLockstepSemantics:
+    def test_restart_wave_frequency(self):
+        """Over n periods, exactly n/k checkpoints restart (reliable case)."""
+        rs = simulate_every_k(
+            mtbf=1e15, n_pairs=10, period=100.0, costs=COSTS, k=4,
+            n_periods=20, n_runs=3, seed=1,
+        )
+        # 20 checkpoints: 5 restart waves at 2C, 15 plain at C.
+        assert np.allclose(rs.checkpoint_time, 5 * 20.0 + 15 * 10.0)
+
+    def test_k1_equals_restart_policy(self):
+        """k = 1 is statistically the restart strategy (same cost C^R)."""
+        from repro.util.stats import mean_confidence_halfwidth
+
+        mu, b, t = 5 * YEAR, 2000, 50_000.0
+        a = simulate_every_k(
+            mtbf=mu, n_pairs=b, period=t, costs=COSTS, k=1,
+            n_periods=50, n_runs=400, seed=2,
+        )
+        bset = simulate_restart(
+            mtbf=mu, n_pairs=b, period=t, costs=COSTS, engine="lockstep",
+            n_periods=50, n_runs=400, seed=3,
+        )
+        ci = mean_confidence_halfwidth(a.overheads, 0.99) + mean_confidence_halfwidth(
+            bset.overheads, 0.99
+        )
+        assert abs(a.mean_overhead - bset.mean_overhead) <= 1.5 * ci
+        # The deterministic (failure-free) component matches exactly.
+        assert np.allclose(a.checkpoint_time, bset.checkpoint_time)
+
+    def test_degradation_persists_between_restarts(self):
+        """With k large, dead processors accumulate across checkpoints."""
+        rs_k = simulate_every_k(
+            mtbf=0.2 * YEAR, n_pairs=2000, period=5000.0, costs=COSTS, k=50,
+            n_periods=50, n_runs=30, seed=4,
+        )
+        rs_1 = simulate_every_k(
+            mtbf=0.2 * YEAR, n_pairs=2000, period=5000.0, costs=COSTS, k=1,
+            n_periods=50, n_runs=30, seed=5,
+        )
+        assert rs_k.max_degraded.mean() > rs_1.max_degraded.mean()
+
+    def test_crash_resets_counter(self):
+        """After a crash the next k-1 checkpoints are plain again; just
+        verify the run completes and accounting holds."""
+        rs = simulate_every_k(
+            mtbf=0.05 * YEAR, n_pairs=500, period=5000.0, costs=COSTS, k=8,
+            n_periods=30, n_runs=20, seed=6,
+        )
+        recon = rs.useful_time + rs.checkpoint_time + rs.recovery_time + rs.wasted_time
+        assert np.allclose(recon, rs.total_time, rtol=1e-9)
+        assert rs.n_fatal.sum() > 0
+
+
+class TestTraceEngineSemantics:
+    def test_wave_frequency_matches_lockstep(self):
+        from repro.failures.generator import ExponentialFailureSource
+        from repro.simulation.policies import every_k_policy
+        from repro.simulation.runner import simulate_with_source
+
+        policy = every_k_policy(100.0, COSTS, k=4)
+        src = ExponentialFailureSource(1e15, 20)
+        rs = simulate_with_source(
+            policy, src, n_pairs=10, costs=COSTS, n_periods=20, n_runs=2, seed=7,
+        )
+        assert np.allclose(rs.checkpoint_time, 5 * 20.0 + 15 * 10.0)
+
+    def test_overhead_grows_with_k_under_failures(self):
+        """At the restart-optimal period, infrequent rejuvenation hurts
+        (consistent with Figure 11 / the every-k ablation)."""
+        from repro.core.periods import restart_period
+
+        mu, b = 1 * YEAR, 5000
+        t = restart_period(mu, COSTS.checkpoint, b)
+        small = simulate_every_k(
+            mtbf=mu, n_pairs=b, period=t, costs=COSTS, k=1,
+            n_periods=100, n_runs=150, seed=8,
+        )
+        large = simulate_every_k(
+            mtbf=mu, n_pairs=b, period=t, costs=COSTS, k=32,
+            n_periods=100, n_runs=150, seed=9,
+        )
+        assert large.mean_overhead > small.mean_overhead

@@ -1,0 +1,187 @@
+"""Tests for the vectorised lockstep engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError, SimulationError
+from repro.platform_model.costs import CheckpointCosts
+from repro.simulation.lockstep import LockstepConfig, simulate_lockstep
+from repro.simulation.policies import no_restart_policy, non_periodic_policy, restart_policy
+from repro.util.units import YEAR
+
+
+def config(policy=None, **overrides):
+    costs = overrides.pop("costs", CheckpointCosts(checkpoint=10.0))
+    kw = dict(
+        mtbf=1e6,
+        n_pairs=50,
+        policy=policy or restart_policy(1000.0, costs),
+        costs=costs,
+        n_periods=20,
+        n_runs=10,
+    )
+    kw.update(overrides)
+    return LockstepConfig(**kw)
+
+
+class TestConfigValidation:
+    def test_needs_exactly_one_termination(self):
+        with pytest.raises(ParameterError):
+            config(n_periods=None)
+        with pytest.raises(ParameterError):
+            config(work_target=100.0)  # both set
+
+    def test_needs_processors(self):
+        with pytest.raises(ParameterError):
+            config(n_pairs=0)
+
+    def test_standalone_only_is_fine(self):
+        c = config(n_pairs=0, n_standalone=100)
+        assert c.n_slots == 100
+
+    def test_slots(self):
+        assert config(n_standalone=3).n_slots == 103
+
+
+class TestInvariants:
+    """Structural invariants that must hold for every run of every policy."""
+
+    @pytest.mark.parametrize("policy_name", ["restart", "no-restart", "non-periodic"])
+    def test_time_conservation(self, policy_name):
+        costs = CheckpointCosts(checkpoint=10.0, downtime=1.0, recovery=5.0)
+        period = 1000.0
+        if policy_name == "restart":
+            policy = restart_policy(period, costs)
+        elif policy_name == "no-restart":
+            policy = no_restart_policy(period, costs)
+        else:
+            policy = non_periodic_policy(period, 300.0, costs)
+        rs = simulate_lockstep(config(policy, costs=costs, mtbf=2e5, n_runs=20), seed=1)
+        # total = useful + checkpoints + recoveries + waste (exactly).
+        recon = rs.useful_time + rs.checkpoint_time + rs.recovery_time + rs.wasted_time
+        assert np.allclose(recon, rs.total_time, rtol=1e-9)
+
+    def test_counts_non_negative(self):
+        rs = simulate_lockstep(config(mtbf=1e5, n_runs=30), seed=2)
+        for arr in (rs.n_failures, rs.n_fatal, rs.n_checkpoints, rs.n_proc_restarts):
+            assert np.all(arr >= 0)
+
+    def test_periods_completed(self):
+        rs = simulate_lockstep(config(n_periods=25), seed=3)
+        assert np.allclose(rs.useful_time, 25 * 1000.0)
+        assert np.all(rs.n_checkpoints == 25)
+
+    def test_work_target_termination(self):
+        rs = simulate_lockstep(config(n_periods=None, work_target=5500.0), seed=4)
+        assert np.all(rs.useful_time >= 5500.0)
+
+    def test_fatal_implies_waste(self):
+        rs = simulate_lockstep(config(mtbf=5e4, n_runs=50), seed=5)
+        crashed = rs.n_fatal > 0
+        if crashed.any():
+            assert np.all(rs.wasted_time[crashed] > 0)
+
+    def test_no_failures_during_checkpoint_option(self):
+        # With failures confined to work segments, a reliable platform's
+        # run time is exactly n_periods * (T + C^R).
+        rs = simulate_lockstep(
+            config(mtbf=1e15, failures_during_checkpoint=False), seed=6
+        )
+        assert np.allclose(rs.total_time, 20 * 1010.0)
+
+    def test_reproducible(self):
+        a = simulate_lockstep(config(), seed=7)
+        b = simulate_lockstep(config(), seed=7)
+        assert np.array_equal(a.total_time, b.total_time)
+        assert np.array_equal(a.n_failures, b.n_failures)
+
+    def test_label_and_meta(self):
+        rs = simulate_lockstep(config(), seed=8)
+        assert rs.meta["engine"] == "lockstep"
+        assert "Restart" in rs.label
+
+
+class TestFailureRateAccounting:
+    def test_failure_count_matches_rate(self):
+        # Live-processor failures should arrive at ~N/mu per second.
+        mtbf, n_pairs, period, n_periods = 1e6, 100, 1000.0, 50
+        costs = CheckpointCosts(checkpoint=10.0)
+        rs = simulate_lockstep(
+            config(restart_policy(period, costs), costs=costs, mtbf=mtbf,
+                   n_pairs=n_pairs, n_periods=n_periods, n_runs=100),
+            seed=9,
+        )
+        expected = rs.total_time.mean() * (2 * n_pairs) / mtbf
+        assert rs.n_failures.mean() == pytest.approx(expected, rel=0.1)
+
+    def test_restart_policy_resets_degradation(self):
+        rs = simulate_lockstep(config(mtbf=3e5, n_runs=30), seed=10)
+        # with restarts every checkpoint, degraded counts stay small
+        assert rs.max_degraded.max() <= 10
+
+    def test_no_restart_accumulates_degradation(self):
+        costs = CheckpointCosts(checkpoint=10.0)
+        pol = no_restart_policy(1000.0, costs)
+        rs = simulate_lockstep(
+            config(pol, costs=costs, mtbf=3e5, n_periods=100, n_runs=20), seed=11
+        )
+        assert rs.max_degraded.max() > 3
+
+
+class TestNoReplication:
+    def test_every_failure_is_fatal(self):
+        costs = CheckpointCosts(checkpoint=5.0)
+        pol = no_restart_policy(200.0, costs)
+        rs = simulate_lockstep(
+            config(pol, costs=costs, n_pairs=0, n_standalone=100, mtbf=1e6,
+                   n_periods=50, n_runs=30),
+            seed=12,
+        )
+        assert np.array_equal(rs.n_failures, rs.n_fatal)
+        assert rs.max_degraded.max() == 0
+
+    def test_hopeless_configuration_raises(self):
+        # Period far beyond the platform MTBF: no attempt can ever succeed.
+        costs = CheckpointCosts(checkpoint=5.0)
+        pol = no_restart_policy(5e4, costs)
+        with pytest.raises(SimulationError):
+            simulate_lockstep(
+                config(pol, costs=costs, n_pairs=0, n_standalone=1000, mtbf=1e6,
+                       n_periods=5, n_runs=3),
+                seed=13,
+            )
+
+
+class TestPartialReplication:
+    def test_standalone_failures_fatal_paired_absorbed(self):
+        costs = CheckpointCosts(checkpoint=10.0)
+        # Pure pairs: crashes need double failures, rare at this rate.
+        rs_pairs = simulate_lockstep(
+            config(restart_policy(1000.0, costs), costs=costs, mtbf=2e6,
+                   n_pairs=50, n_standalone=0, n_runs=50),
+            seed=14,
+        )
+        # Same platform size but half standalone: crashes much more common.
+        rs_mixed = simulate_lockstep(
+            config(restart_policy(1000.0, costs), costs=costs, mtbf=2e6,
+                   n_pairs=25, n_standalone=50, n_runs=50),
+            seed=15,
+        )
+        assert rs_mixed.n_fatal.sum() > rs_pairs.n_fatal.sum()
+
+
+@given(st.integers(min_value=1, max_value=200), st.floats(min_value=1e5, max_value=1e8))
+@settings(max_examples=15, deadline=None)
+def test_overhead_positive_property(n_pairs, mtbf):
+    costs = CheckpointCosts(checkpoint=10.0)
+    rs = simulate_lockstep(
+        LockstepConfig(
+            mtbf=mtbf, n_pairs=n_pairs, policy=restart_policy(1000.0, costs),
+            costs=costs, n_periods=5, n_runs=3,
+        ),
+        seed=0,
+    )
+    assert np.all(rs.overheads > 0)  # checkpoints alone guarantee overhead
+    assert np.all(rs.total_time >= rs.useful_time)

@@ -1,0 +1,98 @@
+"""Tests for repro.simulation.policies."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.platform_model.costs import CheckpointCosts
+from repro.simulation.policies import (
+    PeriodicPolicy,
+    nbound_policy,
+    no_restart_policy,
+    non_periodic_policy,
+    restart_policy,
+)
+
+
+@pytest.fixture
+def costs():
+    return CheckpointCosts(checkpoint=60.0, restart_factor=1.5)
+
+
+class TestRestartPolicy:
+    def test_every_checkpoint_is_a_restart_wave(self, costs):
+        p = restart_policy(1000.0, costs)
+        cost, restarts = p.checkpoint_decision(np.array([0, 1, 5]))
+        assert np.allclose(cost, 90.0)  # C^R = 1.5 C
+        assert restarts.all()
+
+    def test_optional_healthy_discount(self, costs):
+        p = restart_policy(1000.0, costs, charge_restart_cost_when_healthy=False)
+        cost, restarts = p.checkpoint_decision(np.array([0, 2]))
+        assert cost[0] == 60.0 and cost[1] == 90.0
+        assert not restarts[0] and restarts[1]
+
+    def test_work_length_constant(self, costs):
+        p = restart_policy(1000.0, costs)
+        assert np.allclose(p.work_length(np.array([0, 3])), 1000.0)
+
+    def test_name(self, costs):
+        assert "Restart" in restart_policy(1000.0, costs).name
+
+
+class TestNoRestartPolicy:
+    def test_plain_checkpoints(self, costs):
+        p = no_restart_policy(500.0, costs)
+        cost, restarts = p.checkpoint_decision(np.array([0, 7]))
+        assert np.allclose(cost, 60.0)
+        assert not restarts.any()
+
+
+class TestNBoundPolicy:
+    def test_threshold(self, costs):
+        p = nbound_policy(500.0, costs, n_bound=3)
+        cost, restarts = p.checkpoint_decision(np.array([0, 2, 3, 10]))
+        assert list(restarts) == [False, False, True, True]
+        assert cost[0] == 60.0 and cost[2] == 120.0  # 2C default wave factor
+
+    def test_custom_wave_factor(self, costs):
+        p = nbound_policy(500.0, costs, n_bound=1, restart_wave_factor=1.0)
+        cost, _ = p.checkpoint_decision(np.array([5]))
+        assert cost[0] == 60.0
+
+    def test_bad_bound(self, costs):
+        with pytest.raises(ParameterError):
+            nbound_policy(500.0, costs, n_bound=0)
+
+
+class TestNonPeriodicPolicy:
+    def test_degraded_period(self, costs):
+        p = non_periodic_policy(1000.0, 200.0, costs)
+        lens = p.work_length(np.array([0, 1, 4]))
+        assert list(lens) == [1000.0, 200.0, 200.0]
+
+    def test_replan_flag(self, costs):
+        assert non_periodic_policy(1000.0, 200.0, costs).replan_on_degrade
+        assert not non_periodic_policy(
+            1000.0, 200.0, costs, replan_on_degrade=False
+        ).replan_on_degrade
+
+    def test_never_restarts(self, costs):
+        p = non_periodic_policy(1000.0, 200.0, costs)
+        _, restarts = p.checkpoint_decision(np.array([9]))
+        assert not restarts.any()
+
+
+class TestValidation:
+    def test_replan_needs_degraded_period(self):
+        with pytest.raises(ParameterError):
+            PeriodicPolicy(
+                name="x", period=10.0, checkpoint_cost=1.0,
+                restart_wave_cost=1.0, replan_on_degrade=True,
+            )
+
+    def test_positive_fields(self):
+        with pytest.raises(ParameterError):
+            PeriodicPolicy(name="x", period=0.0, checkpoint_cost=1.0, restart_wave_cost=1.0)
+        with pytest.raises(ParameterError):
+            PeriodicPolicy(name="x", period=1.0, checkpoint_cost=-1.0, restart_wave_cost=1.0)

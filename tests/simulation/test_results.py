@@ -1,0 +1,93 @@
+"""Tests for repro.simulation.results."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.simulation.results import OverheadSummary, RunSet
+
+
+def make_runset(n=4, total=110.0, useful=100.0, **overrides):
+    kw = dict(
+        total_time=np.full(n, total),
+        useful_time=np.full(n, useful),
+        checkpoint_time=np.full(n, 5.0),
+        recovery_time=np.full(n, 2.0),
+        wasted_time=np.full(n, 3.0),
+        n_failures=np.full(n, 10, dtype=np.int64),
+        n_fatal=np.zeros(n, dtype=np.int64),
+        n_checkpoints=np.full(n, 10, dtype=np.int64),
+        n_proc_restarts=np.full(n, 4, dtype=np.int64),
+        max_degraded=np.full(n, 2, dtype=np.int64),
+        label="test",
+    )
+    kw.update(overrides)
+    return RunSet(**kw)
+
+
+class TestRunSet:
+    def test_overheads(self):
+        rs = make_runset()
+        assert np.allclose(rs.overheads, 0.1)
+        assert rs.mean_overhead == pytest.approx(0.1)
+
+    def test_summary(self):
+        s = make_runset().overhead_summary()
+        assert isinstance(s, OverheadSummary)
+        assert s.mean == pytest.approx(0.1)
+        assert s.n_runs == 4
+        assert "test" in str(s)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            make_runset(total_time=np.full(3, 1.0))
+
+    def test_zero_useful_rejected(self):
+        with pytest.raises(ParameterError):
+            make_runset(useful_time=np.zeros(4))
+
+    def test_checkpoint_frequency(self):
+        rs = make_runset()
+        assert rs.mean_checkpoint_frequency == pytest.approx(10 / 110.0)
+
+    def test_io_time_fraction(self):
+        rs = make_runset()
+        assert rs.mean_io_time_fraction == pytest.approx(7.0 / 110.0)
+
+    def test_multi_failure_rollback_fraction(self):
+        rs = make_runset(n_fatal=np.array([0, 1, 2, 3]))
+        # among the 3 crashed runs, 2 crashed twice or more
+        assert rs.multi_failure_rollback_fraction == pytest.approx(2 / 3)
+
+    def test_multi_failure_no_crashes(self):
+        assert make_runset().multi_failure_rollback_fraction == 0.0
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        rs = make_runset()
+        again = RunSet.from_dict(rs.to_dict())
+        assert again.label == rs.label
+        assert np.array_equal(again.total_time, rs.total_time)
+        assert np.array_equal(again.n_fatal, rs.n_fatal)
+
+    def test_meta_preserved(self):
+        rs = make_runset()
+        rs.meta["engine"] = "x"
+        assert RunSet.from_dict(rs.to_dict()).meta["engine"] == "x"
+
+
+class TestConcatenate:
+    def test_merges(self):
+        a, b = make_runset(n=2), make_runset(n=3, total=120.0)
+        merged = RunSet.concatenate([a, b])
+        assert merged.n_runs == 5
+        assert merged.total_time[-1] == 120.0
+
+    def test_label_override(self):
+        merged = RunSet.concatenate([make_runset(n=1)], label="renamed")
+        assert merged.label == "renamed"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            RunSet.concatenate([])

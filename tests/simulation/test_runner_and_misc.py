@@ -1,0 +1,147 @@
+"""Tests for runner wrappers, restart-on-failure and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.amdahl import AmdahlApplication
+from repro.core.energy import PowerModel
+from repro.exceptions import ParameterError
+from repro.platform_model.costs import CheckpointCosts
+from repro.platform_model.machine import Platform
+from repro.simulation.metrics import energy_from_runs, io_pressure, time_to_solution_from_runs
+from repro.simulation.restart_on_failure import simulate_restart_on_failure
+from repro.simulation.runner import (
+    simulate_nbound,
+    simulate_no_replication,
+    simulate_no_restart,
+    simulate_non_periodic,
+    simulate_partial_replication,
+    simulate_restart,
+    simulate_with_trace,
+)
+from repro.util.units import YEAR
+
+COSTS = CheckpointCosts(checkpoint=10.0)
+BASE = dict(mtbf=1e6, n_pairs=100, costs=COSTS, n_periods=10, n_runs=6, seed=1)
+
+
+class TestRestartWrapper:
+    def test_sampled_default(self):
+        rs = simulate_restart(period=1000.0, **BASE)
+        assert rs.meta["engine"] == "sampled"
+
+    def test_lockstep_option(self):
+        rs = simulate_restart(period=1000.0, engine="lockstep", **BASE)
+        assert rs.meta["engine"] == "lockstep"
+
+    def test_sampled_requires_n_periods(self):
+        kw = {k: v for k, v in BASE.items() if k != "n_periods"}
+        with pytest.raises(ParameterError):
+            simulate_restart(period=1000.0, n_periods=None, work_target=100.0, **kw)
+
+    def test_unknown_engine(self):
+        with pytest.raises(ParameterError):
+            simulate_restart(period=1000.0, engine="warp", **BASE)
+
+
+class TestOtherWrappers:
+    def test_no_restart(self):
+        rs = simulate_no_restart(period=1000.0, **BASE)
+        assert "NoRestart" in rs.label
+
+    def test_nbound(self):
+        rs = simulate_nbound(period=1000.0, n_bound=3, **BASE)
+        assert "NBound" in rs.label
+
+    def test_non_periodic(self):
+        rs = simulate_non_periodic(healthy_period=1000.0, degraded_period=300.0, **BASE)
+        assert "NonPeriodic" in rs.label
+
+    def test_no_replication(self):
+        rs = simulate_no_replication(
+            mtbf=1e7, n_procs=100, period=500.0, costs=COSTS,
+            n_periods=10, n_runs=5, seed=2,
+        )
+        assert "NoReplication" in rs.label
+
+    def test_partial_replication(self):
+        platform = Platform.partially_replicated(200, 1e6, 0.9)
+        rs = simulate_partial_replication(
+            mtbf=1e6, platform=platform, period=500.0, costs=COSTS,
+            restart_at_checkpoint=True, n_periods=10, n_runs=5, seed=3,
+        )
+        assert rs.label.startswith("Partial90")
+
+    def test_trace_wrapper_rejects_odd_procs(self):
+        from repro.failures.lanl import make_lanl18_like
+
+        trace = make_lanl18_like(seed=1)
+        from repro.simulation.policies import restart_policy
+
+        with pytest.raises(ParameterError):
+            simulate_with_trace(
+                restart_policy(100.0, COSTS), trace, n_procs=99, n_groups=2,
+                costs=COSTS, n_periods=1, n_runs=1,
+            )
+
+
+class TestRestartOnFailure:
+    def test_every_failure_checkpoints(self):
+        rs = simulate_restart_on_failure(
+            mtbf=1e5, n_pairs=100, work_target=1e5, costs=COSTS, n_runs=20, seed=4
+        )
+        assert np.array_equal(rs.n_checkpoints, rs.n_failures)
+        assert np.allclose(rs.checkpoint_time, rs.n_failures * COSTS.checkpoint)
+
+    def test_failure_rate(self):
+        mtbf, n_pairs, work = 1e6, 200, 5e5
+        rs = simulate_restart_on_failure(
+            mtbf=mtbf, n_pairs=n_pairs, work_target=work, costs=COSTS,
+            n_runs=50, seed=5,
+        )
+        expected = work * 2 * n_pairs / mtbf
+        assert rs.n_failures.mean() == pytest.approx(expected, rel=0.1)
+
+    def test_rollbacks_rare(self):
+        # The paper: "no rollback was ever needed" — the double-failure
+        # window is C/mu * 1/N small.
+        rs = simulate_restart_on_failure(
+            mtbf=1e6, n_pairs=500, work_target=1e5, costs=COSTS, n_runs=30, seed=6
+        )
+        assert rs.n_fatal.sum() <= 1
+
+    def test_overhead_grows_as_mtbf_shrinks(self):
+        kw = dict(n_pairs=100, work_target=2e5, costs=COSTS, n_runs=20)
+        bad = simulate_restart_on_failure(mtbf=1e5, seed=7, **kw)
+        good = simulate_restart_on_failure(mtbf=1e7, seed=8, **kw)
+        assert bad.mean_overhead > 10 * good.mean_overhead
+
+    def test_reproducible(self):
+        kw = dict(mtbf=1e6, n_pairs=50, work_target=1e5, costs=COSTS, n_runs=5)
+        a = simulate_restart_on_failure(seed=9, **kw)
+        b = simulate_restart_on_failure(seed=9, **kw)
+        assert np.array_equal(a.total_time, b.total_time)
+
+
+class TestMetrics:
+    def _runs(self):
+        return simulate_restart(period=1000.0, **BASE)
+
+    def test_io_pressure(self):
+        p = io_pressure(self._runs())
+        assert p.checkpoints_per_day > 0
+        assert 0 <= p.io_time_fraction < 1
+        assert p.mean_checkpoint_interval == pytest.approx(
+            86_400.0 / p.checkpoints_per_day
+        )
+
+    def test_time_to_solution(self):
+        runs = self._runs()
+        app = AmdahlApplication(sequential_fraction=1e-5, sequential_work=1e6)
+        tts = time_to_solution_from_runs(runs, app, 200, replicated=True)
+        assert tts > app.parallel_time(200, replicated=True)
+
+    def test_energy(self):
+        bd, ovh = energy_from_runs(self._runs(), 200, power=PowerModel())
+        assert ovh > 0
+        assert bd.total > 0

@@ -1,0 +1,107 @@
+"""Tests for the closed-form sampled restart engine."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError, SimulationError
+from repro.platform_model.costs import CheckpointCosts
+from repro.simulation.sampled import simulate_restart_sampled
+from repro.util.units import YEAR
+
+
+def run(**overrides):
+    kw = dict(
+        mtbf=5 * YEAR,
+        n_pairs=1000,
+        period=50_000.0,
+        costs=CheckpointCosts(checkpoint=60.0),
+        n_periods=20,
+        n_runs=50,
+        seed=1,
+    )
+    kw.update(overrides)
+    return simulate_restart_sampled(**kw)
+
+
+class TestBasics:
+    def test_time_conservation(self):
+        rs = run()
+        recon = rs.useful_time + rs.checkpoint_time + rs.recovery_time + rs.wasted_time
+        assert np.allclose(recon, rs.total_time, rtol=1e-9)
+
+    def test_useful_time_exact(self):
+        rs = run(period=1234.0, n_periods=7)
+        assert np.allclose(rs.useful_time, 7 * 1234.0)
+
+    def test_checkpoint_accounting_uses_cr(self):
+        costs = CheckpointCosts(checkpoint=60.0, restart_factor=2.0)
+        rs = run(costs=costs, n_periods=10)
+        assert np.allclose(rs.checkpoint_time, 10 * 120.0)
+
+    def test_reproducible(self):
+        a, b = run(seed=42), run(seed=42)
+        assert np.array_equal(a.total_time, b.total_time)
+        assert np.array_equal(a.n_failures, b.n_failures)
+
+    def test_failure_free_limit(self):
+        rs = run(mtbf=1e15, n_periods=5, period=100.0)
+        assert np.allclose(rs.total_time, 5 * 160.0)
+        assert rs.n_failures.sum() == 0
+        assert rs.n_fatal.sum() == 0
+
+    def test_meta(self):
+        rs = run()
+        assert rs.meta["engine"] == "sampled"
+
+
+class TestStatistics:
+    def test_failure_count_matches_rate(self):
+        # Each period's failures = degraded pairs at wave end; overall the
+        # live-failure rate must match 2b*lambda like the event engines.
+        mtbf, b = 1e7, 500
+        rs = run(mtbf=mtbf, n_pairs=b, period=5000.0, n_periods=50, n_runs=200)
+        expected = rs.total_time.mean() * (2 * b) / mtbf
+        assert rs.n_failures.mean() == pytest.approx(expected, rel=0.1)
+
+    def test_crash_rate_matches_theory(self):
+        from repro.core.overhead import pair_probability_of_failure
+
+        mtbf, b, period = 2e6, 200, 5000.0
+        costs = CheckpointCosts(checkpoint=50.0)
+        rs = run(mtbf=mtbf, n_pairs=b, period=period, costs=costs,
+                 n_periods=40, n_runs=400)
+        # Expected crashes per period = p/(1-p) with exposure T + C^R.
+        p = pair_probability_of_failure(period + 50.0, mtbf, b)
+        expected = 40 * p / (1 - p)
+        assert rs.n_fatal.mean() == pytest.approx(expected, rel=0.2)
+
+    def test_downtime_recovery_charged(self):
+        costs = CheckpointCosts(checkpoint=60.0, downtime=30.0, recovery=90.0)
+        rs = run(mtbf=2e6, n_pairs=2000, costs=costs, period=20_000.0, n_runs=100)
+        crashed = rs.n_fatal > 0
+        assert np.allclose(rs.recovery_time, rs.n_fatal * 120.0)
+        assert crashed.any()
+
+
+class TestFailuresDuringCheckpointToggle:
+    def test_exposure_difference(self):
+        # Excluding checkpoint exposure strictly reduces crash counts.
+        kw = dict(mtbf=1e5, n_pairs=500, period=3000.0,
+                  costs=CheckpointCosts(checkpoint=600.0), n_periods=50, n_runs=300)
+        with_ckpt = run(failures_during_checkpoint=True, seed=5, **kw)
+        without = run(failures_during_checkpoint=False, seed=5, **kw)
+        assert without.n_fatal.sum() < with_ckpt.n_fatal.sum()
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ParameterError):
+            run(mtbf=-1.0)
+        with pytest.raises(ParameterError):
+            run(n_pairs=0)
+        with pytest.raises(ParameterError):
+            run(period=0.0)
+
+    def test_hopeless_period_raises(self):
+        with pytest.raises(SimulationError):
+            run(mtbf=100.0, n_pairs=100_000, period=1e7, n_runs=2, n_periods=2)

@@ -1,0 +1,155 @@
+"""Tests for the general event-driven trace engine."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.failures.distributions import Weibull
+from repro.failures.generator import (
+    ExponentialFailureSource,
+    RenewalFailureSource,
+    TraceFailureSource,
+)
+from repro.failures.traces import FailureTrace
+from repro.platform_model.costs import CheckpointCosts
+from repro.simulation.policies import no_restart_policy, non_periodic_policy, restart_policy
+from repro.simulation.trace_engine import TraceEngineConfig, simulate_trace_runs
+
+
+def exp_config(policy=None, **overrides):
+    costs = overrides.pop("costs", CheckpointCosts(checkpoint=10.0))
+    n_pairs = overrides.pop("n_pairs", 50)
+    n_standalone = overrides.pop("n_standalone", 0)
+    mtbf = overrides.pop("mtbf", 1e6)
+    kw = dict(
+        source=ExponentialFailureSource(mtbf, 2 * n_pairs + n_standalone),
+        n_pairs=n_pairs,
+        n_standalone=n_standalone,
+        policy=policy or restart_policy(1000.0, costs),
+        costs=costs,
+        n_periods=20,
+        n_runs=8,
+    )
+    kw.update(overrides)
+    return TraceEngineConfig(**kw)
+
+
+class TestConfigValidation:
+    def test_layout_must_match_source(self):
+        with pytest.raises(ParameterError):
+            TraceEngineConfig(
+                source=ExponentialFailureSource(1e6, 100),
+                n_pairs=10,  # needs 20 procs, source has 100
+                policy=restart_policy(100.0, CheckpointCosts(checkpoint=1.0)),
+                costs=CheckpointCosts(checkpoint=1.0),
+                n_runs=1,
+                n_periods=1,
+            )
+
+    def test_termination_exclusive(self):
+        with pytest.raises(ParameterError):
+            exp_config(n_periods=None)
+
+
+class TestInvariants:
+    def test_time_conservation(self):
+        costs = CheckpointCosts(checkpoint=10.0, downtime=2.0, recovery=8.0)
+        rs = simulate_trace_runs(exp_config(costs=costs, mtbf=2e5), seed=1)
+        recon = rs.useful_time + rs.checkpoint_time + rs.recovery_time + rs.wasted_time
+        assert np.allclose(recon, rs.total_time, rtol=1e-9)
+
+    def test_periods_completed(self):
+        rs = simulate_trace_runs(exp_config(n_periods=15), seed=2)
+        assert np.allclose(rs.useful_time, 15 * 1000.0)
+        assert np.all(rs.n_checkpoints == 15)
+
+    def test_work_target(self):
+        rs = simulate_trace_runs(exp_config(n_periods=None, work_target=4500.0), seed=3)
+        assert np.all(rs.useful_time >= 4500.0)
+
+    def test_reproducible(self):
+        a = simulate_trace_runs(exp_config(), seed=4)
+        b = simulate_trace_runs(exp_config(), seed=4)
+        assert np.array_equal(a.total_time, b.total_time)
+
+    def test_failures_during_checkpoint_toggle(self):
+        kw = dict(mtbf=5e4, n_runs=30, n_periods=30)
+        on = simulate_trace_runs(exp_config(failures_during_checkpoint=True, **kw), seed=5)
+        off = simulate_trace_runs(exp_config(failures_during_checkpoint=False, **kw), seed=5)
+        assert off.n_failures.sum() < on.n_failures.sum()
+
+    def test_meta_engine(self):
+        rs = simulate_trace_runs(exp_config(), seed=6)
+        assert rs.meta["engine"] == "trace"
+
+
+class TestPairSemantics:
+    def test_fatal_needs_both_halves(self):
+        """With restart policy and a quiet platform, single failures never
+        crash the app."""
+        rs = simulate_trace_runs(exp_config(mtbf=5e6, n_runs=30), seed=7)
+        assert rs.n_failures.sum() > 0
+        assert rs.n_fatal.sum() == 0 or rs.n_failures.sum() >= 2 * rs.n_fatal.sum()
+
+    def test_standalone_failure_fatal(self):
+        costs = CheckpointCosts(checkpoint=5.0)
+        pol = no_restart_policy(500.0, costs)
+        cfg = exp_config(pol, costs=costs, n_pairs=0, n_standalone=60,
+                         mtbf=2e5, n_periods=30, n_runs=20)
+        rs = simulate_trace_runs(cfg, seed=8)
+        assert np.array_equal(rs.n_failures, rs.n_fatal)
+
+    def test_restart_policy_restarts_processors(self):
+        rs = simulate_trace_runs(exp_config(mtbf=1e5, n_runs=20), seed=9)
+        # every live failure leads to a restart eventually (wave or crash)
+        assert rs.n_proc_restarts.sum() == pytest.approx(rs.n_failures.sum(), abs=5)
+
+    def test_no_restart_only_restarts_on_crash(self):
+        costs = CheckpointCosts(checkpoint=10.0)
+        pol = no_restart_policy(1000.0, costs)
+        rs = simulate_trace_runs(
+            exp_config(pol, costs=costs, mtbf=1e5, n_periods=50, n_runs=10), seed=10
+        )
+        no_crash = rs.n_fatal == 0
+        if no_crash.any():
+            assert np.all(rs.n_proc_restarts[no_crash] == 0)
+
+
+class TestNonPeriodicReplan:
+    def test_replan_shortens_segment(self):
+        costs = CheckpointCosts(checkpoint=10.0)
+        pol = non_periodic_policy(5000.0, 500.0, costs)
+        rs = simulate_trace_runs(
+            exp_config(pol, costs=costs, mtbf=5e4, n_pairs=20,
+                       n_periods=None, work_target=50_000.0, n_runs=15),
+            seed=11,
+        )
+        # useful time per checkpoint is below the healthy period on average
+        per_ckpt = rs.useful_time / rs.n_checkpoints
+        assert per_ckpt.mean() < 5000.0
+
+
+class TestOtherSources:
+    def test_weibull_renewal_source(self):
+        costs = CheckpointCosts(checkpoint=10.0)
+        src = RenewalFailureSource(Weibull(mean=2e4, shape=0.8), n_procs=40)
+        cfg = TraceEngineConfig(
+            source=src, n_pairs=20, policy=restart_policy(1000.0, costs),
+            costs=costs, n_periods=10, n_runs=5,
+        )
+        rs = simulate_trace_runs(cfg, seed=12)
+        assert np.all(rs.useful_time == 10 * 1000.0)
+
+    def test_trace_source(self):
+        rng = np.random.default_rng(0)
+        times = np.sort(rng.uniform(0, 1e6, 2000))
+        trace = FailureTrace(times, rng.integers(0, 20, 2000), 20, duration=1e6 + 1)
+        costs = CheckpointCosts(checkpoint=10.0)
+        src = TraceFailureSource(trace, n_procs=40, n_groups=2, n_pairs=20)
+        cfg = TraceEngineConfig(
+            source=src, n_pairs=20, policy=restart_policy(1000.0, costs),
+            costs=costs, n_periods=10, n_runs=5,
+        )
+        rs = simulate_trace_runs(cfg, seed=13)
+        assert rs.n_runs == 5
+        assert np.all(rs.total_time > 0)

@@ -1,0 +1,97 @@
+"""Tests for the repro-sim command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_figure_defaults(self):
+        args = build_parser().parse_args(["figure", "fig3"])
+        assert args.name == "fig3" and not args.full
+
+    def test_simulate_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "warp-drive"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5-c60" in out and "table-nfail" in out
+
+    def test_periods(self, capsys):
+        rc = main(["periods", "--mtbf-years", "5", "--pairs", "100000", "--checkpoint", "60"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "22,366" in out  # T_opt^rs
+        assert "7,289" in out  # T_MTTI^no
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_figure_table_asymptotic(self, capsys):
+        assert main(["figure", "table-asymptotic"]) == 0
+        out = capsys.readouterr().out
+        assert "8.4%" in out
+
+    def test_figure_json_output(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        assert main(["figure", "table-asymptotic", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro/experiment-v1"
+
+    def test_simulate_restart_small(self, capsys):
+        rc = main([
+            "simulate", "restart", "--mtbf-years", "5", "--pairs", "1000",
+            "--checkpoint", "60", "--runs", "20", "--periods", "10", "--seed", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out and "checkpoints / day" in out
+
+    def test_simulate_no_restart_small(self, capsys):
+        rc = main([
+            "simulate", "no-restart", "--pairs", "500", "--runs", "10",
+            "--periods", "10", "--seed", "2",
+        ])
+        assert rc == 0
+
+    def test_simulate_restart_on_failure_small(self, capsys):
+        rc = main([
+            "simulate", "restart-on-failure", "--pairs", "500", "--runs", "5",
+            "--periods", "5", "--seed", "3",
+        ])
+        assert rc == 0
+
+    def test_simulate_no_replication_small(self, capsys):
+        rc = main([
+            "simulate", "no-replication", "--pairs", "100", "--mtbf-years", "50",
+            "--runs", "5", "--periods", "5", "--seed", "4",
+        ])
+        assert rc == 0
+
+    def test_figure_plot_flag(self, capsys):
+        assert main(["figure", "table-asymptotic", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "o ratio" in out  # ASCII chart legend
+
+    def test_trace_command(self, tmp_path, capsys):
+        path = tmp_path / "t.csv"
+        rc = main(["trace", "lanl18", "--out", str(path), "--seed", "1"])
+        assert rc == 0
+        from repro.io import read_trace
+
+        assert read_trace(path).n_failures == 3899

@@ -1,0 +1,47 @@
+"""Smoke tests: the shipped examples run end-to-end.
+
+Only the faster examples run in the unit suite; the remaining ones are
+exercised manually / by the bench harness's underlying drivers.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "T_opt^rs" in out
+        assert "better" in out
+
+    def test_heterogeneous_platform(self, capsys):
+        out = _run("heterogeneous_platform.py", capsys)
+        assert "partial" in out.lower()
+
+    def test_period_robustness(self, capsys):
+        out = _run("period_robustness.py", capsys)
+        assert "misestimat" in out
+        assert "restart beats no-restart at every misestimation factor: True" in out
+
+    @pytest.mark.parametrize(
+        "name",
+        ["quickstart.py", "capacity_planning.py", "trace_replay.py",
+         "period_robustness.py", "io_and_energy.py", "heterogeneous_platform.py"],
+    )
+    def test_examples_importable(self, name):
+        """Every example at least parses and has a main()."""
+        import ast
+
+        tree = ast.parse((EXAMPLES / name).read_text())
+        funcs = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+        assert "main" in funcs

@@ -1,0 +1,97 @@
+"""Public-API surface tests: exports, exceptions, version."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.failures",
+            "repro.platform_model",
+            "repro.simulation",
+            "repro.experiments",
+            "repro.io",
+            "repro.util",
+        ],
+    )
+    def test_subpackage_all_resolvable(self, module):
+        mod = importlib.import_module(module)
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_headline_quickstart(self):
+        """The README quickstart snippet works as written."""
+        mu = 5 * repro.YEAR
+        b = 100_000
+        costs = repro.CheckpointCosts(checkpoint=60.0)
+        t_rs = repro.restart_period(mu, costs.restart_checkpoint, b)
+        t_no = repro.no_restart_period(mu, costs.checkpoint, b)
+        assert t_rs > 2 * t_no
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        from repro.exceptions import (
+            ConvergenceError,
+            ModelDomainError,
+            ParameterError,
+            ReproError,
+            SimulationError,
+            TraceError,
+        )
+
+        for exc in (ParameterError, ModelDomainError, SimulationError,
+                    TraceError, ConvergenceError):
+            assert issubclass(exc, ReproError)
+        # value-style errors are also ValueErrors for duck-typed callers
+        assert issubclass(ParameterError, ValueError)
+        assert issubclass(TraceError, ValueError)
+        assert issubclass(SimulationError, RuntimeError)
+
+    def test_catchable_as_repro_error(self):
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            repro.restart_period(-1.0, 60.0, 1)
+
+    def test_library_never_raises_bare_valueerror_for_params(self):
+        """Public entry points raise ParameterError, not bare ValueError."""
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError):
+            repro.mtti(0.0, 1)
+        with pytest.raises(ParameterError):
+            repro.CheckpointCosts(checkpoint=-5.0)
+        with pytest.raises(ParameterError):
+            repro.Platform(n_procs=-1, mtbf=1.0)
+
+
+class TestDocExamples:
+    def test_module_doctests(self):
+        """Run the doctest-style examples embedded in key docstrings."""
+        import doctest
+
+        # importlib, because ``repro.core.nfail`` the *attribute* is the
+        # re-exported function, shadowing the submodule.
+        for name in (
+            "repro.core.nfail",
+            "repro.core.mtti",
+            "repro.core.periods",
+            "repro.failures.distributions",
+        ):
+            mod = importlib.import_module(name)
+            result = doctest.testmod(mod)
+            assert result.failed == 0, f"doctest failures in {name}"

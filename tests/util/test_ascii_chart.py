@@ -1,0 +1,101 @@
+"""Tests for the ASCII chart renderer."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments.common import ExperimentResult
+from repro.util.ascii_chart import ascii_chart, chart_experiment
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart([1, 2, 3], {"s": [1.0, 4.0, 9.0]}, width=30, height=8)
+        lines = out.splitlines()
+        assert any("o" in l for l in lines)
+        assert "o s" in lines[-1]
+        assert "9" in lines[0]  # top y label
+
+    def test_multiple_series_get_distinct_marks(self):
+        out = ascii_chart(
+            [1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]}, width=30, height=8
+        )
+        assert "o a" in out and "x b" in out
+
+    def test_log_y_labels(self):
+        out = ascii_chart(
+            [1, 2, 3], {"s": [0.001, 0.01, 0.1]}, width=30, height=8, log_y=True
+        )
+        assert "0.1" in out and "0.001" in out
+
+    def test_log_x(self):
+        out = ascii_chart(
+            [1, 100, 10_000], {"s": [1, 2, 3]}, width=30, height=8, log_x=True
+        )
+        # middle point sits near the middle column, not squashed left
+        mark_line = next(l for l in out.splitlines() if l.strip("| ").startswith("o") or "o" in l)
+        assert "o" in out
+
+    def test_skips_nonfinite(self):
+        out = ascii_chart(
+            [1, 2, 3, 4],
+            {"s": [1.0, math.inf, math.nan, 4.0]},
+            width=30, height=8,
+        )
+        assert out.count("o") >= 2  # at least the finite points (+legend)
+
+    def test_errors(self):
+        with pytest.raises(ParameterError):
+            ascii_chart([1, 2], {})
+        with pytest.raises(ParameterError):
+            ascii_chart([1], {"s": [1.0]})
+        with pytest.raises(ParameterError):
+            ascii_chart([1, 2], {"s": [1.0]})  # length mismatch
+        with pytest.raises(ParameterError):
+            ascii_chart([1, 1], {"s": [1.0, 2.0]})  # degenerate x
+
+    def test_log_axis_rejects_all_nonpositive(self):
+        with pytest.raises(ParameterError):
+            ascii_chart([1, 2], {"s": [-1.0, -2.0]}, log_y=True)
+
+
+class TestChartExperiment:
+    def _result(self):
+        r = ExperimentResult(name="e", title="t", columns=["T", "a", "b", "label"])
+        for t in (1.0, 10.0, 100.0, 1000.0):
+            r.add_row(T=t, a=t**0.5, b=2 * t**0.5, label="x")
+        return r
+
+    def test_defaults(self):
+        out = chart_experiment(self._result())
+        assert "o a" in out and "x b" in out
+        assert "T" in out  # x label
+
+    def test_skips_non_numeric_columns(self):
+        out = chart_experiment(self._result())
+        assert "label" not in out.splitlines()[-1]
+
+    def test_explicit_columns(self):
+        out = chart_experiment(self._result(), y_columns=["a"])
+        assert "o a" in out and "x b" not in out
+
+    def test_auto_log_x(self):
+        # x spans 3 decades -> log_x chosen automatically; no error.
+        assert chart_experiment(self._result())
+
+    def test_no_numeric_series(self):
+        r = ExperimentResult(name="e", title="t", columns=["T", "label"])
+        r.add_row(T=1.0, label="x")
+        r.add_row(T=2.0, label="y")
+        with pytest.raises(ParameterError):
+            chart_experiment(r)
+
+    def test_handles_inf_rows(self):
+        """DNF entries (inf) in fig9-style tables are skipped gracefully."""
+        r = ExperimentResult(name="e", title="t", columns=["T", "tts"])
+        r.add_row(T=1.0, tts=float("inf"))
+        r.add_row(T=10.0, tts=5.0)
+        r.add_row(T=100.0, tts=2.0)
+        out = chart_experiment(r)
+        assert "o tts" in out

@@ -1,0 +1,60 @@
+"""Tests for repro.util.rng — seed normalisation and stream spawning."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_generator, spawn_generators, spawn_seeds
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert as_generator(g) is g
+
+    def test_seed_sequence(self):
+        ss = np.random.SeedSequence(5)
+        a = as_generator(ss).random(3)
+        b = as_generator(np.random.SeedSequence(5)).random(3)
+        assert np.array_equal(a, b)
+
+
+class TestSpawn:
+    def test_count(self):
+        assert len(spawn_seeds(0, 7)) == 7
+        assert len(spawn_generators(0, 3)) == 3
+
+    def test_zero(self):
+        assert spawn_seeds(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_children_independent(self):
+        gens = spawn_generators(42, 2)
+        a, b = gens[0].random(100), gens[1].random(100)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_spawn(self):
+        a = [g.random() for g in spawn_generators(9, 4)]
+        b = [g.random() for g in spawn_generators(9, 4)]
+        assert a == b
+
+    def test_spawn_from_generator_parent(self):
+        g = np.random.default_rng(3)
+        seeds = spawn_seeds(g, 2)
+        assert len(seeds) == 2
+
+    def test_spawn_from_seed_sequence(self):
+        ss = np.random.SeedSequence(11)
+        a = [np.random.default_rng(s).random() for s in spawn_seeds(ss, 3)]
+        b = [np.random.default_rng(s).random() for s in spawn_seeds(np.random.SeedSequence(11), 3)]
+        assert a == b

@@ -1,0 +1,122 @@
+"""Tests for repro.util.stats."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.util.stats import (
+    StreamingMoments,
+    confidence_interval,
+    mean_confidence_halfwidth,
+    weighted_mean,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestStreamingMoments:
+    def test_matches_numpy(self):
+        data = np.random.default_rng(0).normal(3.0, 2.0, 500)
+        sm = StreamingMoments()
+        sm.push(data)
+        assert sm.count == 500
+        assert sm.mean == pytest.approx(data.mean())
+        assert sm.variance == pytest.approx(data.var(ddof=1))
+        assert sm.std == pytest.approx(data.std(ddof=1))
+
+    def test_empty(self):
+        sm = StreamingMoments()
+        assert sm.count == 0
+        assert sm.variance == 0.0
+        assert sm.sem == 0.0
+
+    def test_single_observation(self):
+        sm = StreamingMoments()
+        sm.push(4.2)
+        assert sm.mean == pytest.approx(4.2)
+        assert sm.variance == 0.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50),
+           st.lists(finite_floats, min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_equals_combined(self, xs, ys):
+        a, b, c = StreamingMoments(), StreamingMoments(), StreamingMoments()
+        a.push(xs)
+        b.push(ys)
+        c.push(xs + ys)
+        merged = a.merge(b)
+        assert merged.count == c.count
+        assert merged.mean == pytest.approx(c.mean, rel=1e-9, abs=1e-9)
+        assert merged.variance == pytest.approx(c.variance, rel=1e-6, abs=1e-6)
+
+    def test_merge_with_empty(self):
+        a = StreamingMoments()
+        a.push([1.0, 2.0])
+        m = a.merge(StreamingMoments())
+        assert m.count == 2 and m.mean == pytest.approx(1.5)
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        lo, hi = confidence_interval(data)
+        assert lo < 2.5 < hi
+
+    def test_wider_at_higher_level(self):
+        data = np.random.default_rng(1).normal(size=100)
+        h90 = mean_confidence_halfwidth(data, level=0.90)
+        h99 = mean_confidence_halfwidth(data, level=0.99)
+        assert h99 > h90
+
+    def test_halfwidth_shrinks_with_n(self):
+        rng = np.random.default_rng(2)
+        small = mean_confidence_halfwidth(rng.normal(size=50))
+        large = mean_confidence_halfwidth(rng.normal(size=5000))
+        assert large < small
+
+    def test_single_sample_zero_width(self):
+        assert mean_confidence_halfwidth([3.0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            confidence_interval([])
+
+    def test_unusual_level_via_scipy(self):
+        h = mean_confidence_halfwidth([1.0, 2.0, 3.0], level=0.80)
+        assert h > 0
+
+    def test_bad_level(self):
+        with pytest.raises(ParameterError):
+            mean_confidence_halfwidth([1.0, 2.0], level=1.5)
+
+    def test_coverage_simulation(self):
+        """~95% of intervals should contain the true mean."""
+        rng = np.random.default_rng(3)
+        hits = 0
+        for _ in range(300):
+            data = rng.normal(10.0, 2.0, 40)
+            lo, hi = confidence_interval(data, level=0.95)
+            hits += lo <= 10.0 <= hi
+        assert 0.90 <= hits / 300 <= 0.99
+
+
+class TestWeightedMean:
+    def test_basic(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 1.0]) == pytest.approx(2.0)
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            weighted_mean([1.0], [1.0, 2.0])
+
+    def test_negative_weight(self):
+        with pytest.raises(ParameterError):
+            weighted_mean([1.0, 2.0], [1.0, -1.0])
+
+    def test_zero_weights(self):
+        with pytest.raises(ParameterError):
+            weighted_mean([1.0, 2.0], [0.0, 0.0])

@@ -1,0 +1,117 @@
+"""Tests for repro.util.units and repro.util.validation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.util.units import DAY, HOUR, MINUTE, WEEK, YEAR, format_duration, years_to_seconds
+from repro.util.validation import (
+    check_fraction,
+    check_in_range,
+    check_positive,
+    check_positive_int,
+)
+
+
+class TestUnits:
+    def test_constants_consistent(self):
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+        assert WEEK == 7 * DAY
+        assert YEAR == 365 * DAY
+
+    def test_years_to_seconds(self):
+        assert years_to_seconds(2.0) == 2 * YEAR
+
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (30.0, "30 s"),
+            (90.0, "1.5 min"),
+            (7200.0, "2 h"),
+            (3 * DAY, "3 d"),
+            (2 * WEEK, "2 w"),
+            (YEAR * 1.5, "1.5 y"),
+        ],
+    )
+    def test_format_duration(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_format_negative(self):
+        assert format_duration(-90.0) == "-1.5 min"
+
+    def test_format_nan(self):
+        assert format_duration(float("nan")) == "nan"
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3) == 3.0
+
+    def test_rejects_zero_unless_allowed(self):
+        with pytest.raises(ParameterError):
+            check_positive("x", 0)
+        assert check_positive("x", 0, allow_zero=True) == 0.0
+
+    def test_rejects_negative_nan_inf_bool_str(self):
+        for bad in (-1, float("nan"), float("inf"), True, "5"):
+            with pytest.raises(ParameterError):
+                check_positive("x", bad)
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(ParameterError, match="mtbf"):
+            check_positive("mtbf", -2)
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int("n", 5) == 5
+
+    def test_minimum(self):
+        assert check_positive_int("n", 0, minimum=0) == 0
+        with pytest.raises(ParameterError):
+            check_positive_int("n", 0)
+
+    def test_rejects_float_bool_str(self):
+        for bad in (2.5, True, "3"):
+            with pytest.raises(ParameterError):
+                check_positive_int("n", bad)
+
+    def test_numpy_integers_accepted(self):
+        import numpy as np
+
+        assert check_positive_int("n", np.int64(4)) == 4
+
+
+class TestCheckFraction:
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_accepts_unit_interval(self, v):
+        assert check_fraction("f", v) == v
+
+    def test_exclusive(self):
+        with pytest.raises(ParameterError):
+            check_fraction("f", 0.0, inclusive=False)
+        with pytest.raises(ParameterError):
+            check_fraction("f", 1.0, inclusive=False)
+        assert check_fraction("f", 0.5, inclusive=False) == 0.5
+
+    def test_rejects_outside(self):
+        for bad in (-0.1, 1.1, float("nan")):
+            with pytest.raises(ParameterError):
+                check_fraction("f", bad)
+
+
+class TestCheckInRange:
+    def test_accepts(self):
+        assert check_in_range("x", 1.5, 1.0, 2.0) == 1.5
+        assert check_in_range("x", 1.0, 1.0, 2.0) == 1.0
+
+    def test_rejects(self):
+        with pytest.raises(ParameterError):
+            check_in_range("x", 2.5, 1.0, 2.0)
+        with pytest.raises(ParameterError):
+            check_in_range("x", float("nan"), 1.0, 2.0)
