@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Benchmark regression gate.
+
+Re-runs the quick-mode benchmark suite (a fast subset by default) and
+compares the regenerated ``benchmarks/results/*.json`` tables against the
+*committed* baselines, metric by metric, with a relative tolerance.
+
+The committed baselines are snapshotted into memory **before** the bench
+run (the run overwrites the files in place), so the comparison is always
+"new code vs last committed state".  With unchanged seeds and engines the
+regeneration is bit-identical; the tolerance only absorbs cross-platform
+floating-point and RNG-stream noise, not behavioural drift.
+
+Usage::
+
+    python benchmarks/check_regression.py                 # default subset
+    python benchmarks/check_regression.py --modules fig01 fig05 tables
+    python benchmarks/check_regression.py --rtol 0.05
+    python benchmarks/check_regression.py --skip-run      # compare only
+    python benchmarks/check_regression.py --skip-run --inject-deviation
+                                                          # self-test: must fail
+
+Exit status: 0 = all metrics within tolerance, 1 = regression detected,
+2 = infrastructure error (bench run failed, missing baselines...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+RESULTS_DIR = BENCH_DIR / "results"
+
+#: default quick-mode subset: sampled engine (fig1), full period sweep with
+#: both engines (fig5) and the analytic tables — broad coverage in ~15 s.
+DEFAULT_MODULES = ("fig01", "fig05", "tables")
+
+
+def load_baselines() -> dict[str, dict]:
+    """Snapshot every committed results JSON into memory."""
+    baselines = {}
+    for path in sorted(RESULTS_DIR.glob("*.json")):
+        with path.open() as fh:
+            baselines[path.stem] = json.load(fh)
+    return baselines
+
+
+def run_benchmarks(modules: list[str]) -> int:
+    """Execute the selected ``test_bench_<module>.py`` files with pytest."""
+    files = []
+    for module in modules:
+        path = BENCH_DIR / f"test_bench_{module}.py"
+        if not path.exists():
+            print(f"error: no such benchmark module: {path.name}", file=sys.stderr)
+            return 2
+        files.append(str(path))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    cmd = [sys.executable, "-m", "pytest", *files, "--benchmark-disable", "-q"]
+    print(f"$ {' '.join(cmd)}")
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+    return proc.returncode
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _close(old: float, new: float, rtol: float, atol: float) -> bool:
+    if math.isnan(old) or math.isnan(new):
+        return math.isnan(old) and math.isnan(new)
+    return math.isclose(old, new, rel_tol=rtol, abs_tol=atol)
+
+
+def compare_experiment(
+    name: str, old: dict, new: dict, *, rtol: float, atol: float = 1e-12
+) -> list[str]:
+    """Compare the numeric row metrics of two experiment tables.
+
+    Returns a list of human-readable deviation descriptions (empty = pass).
+    Only ``rows`` values are gated: notes and meta are informational, and
+    rendered strings (e.g. human-readable durations) legitimately wobble in
+    their last digit across platforms.
+    """
+    deviations = []
+    old_rows, new_rows = old.get("rows", []), new.get("rows", [])
+    if list(old.get("columns", [])) != list(new.get("columns", [])):
+        deviations.append(
+            f"{name}: columns changed {old.get('columns')} -> {new.get('columns')}"
+        )
+        return deviations
+    if len(old_rows) != len(new_rows):
+        deviations.append(f"{name}: row count {len(old_rows)} -> {len(new_rows)}")
+        return deviations
+    for i, (old_row, new_row) in enumerate(zip(old_rows, new_rows)):
+        for key, old_val in old_row.items():
+            new_val = new_row.get(key)
+            if not (_is_number(old_val) and _is_number(new_val)):
+                continue
+            if not _close(float(old_val), float(new_val), rtol, atol):
+                rel = (
+                    abs(new_val - old_val) / abs(old_val)
+                    if old_val not in (0, 0.0) and not math.isnan(old_val)
+                    else float("inf")
+                )
+                deviations.append(
+                    f"{name}: row {i} [{key}] {old_val:.6g} -> {new_val:.6g} "
+                    f"(rel dev {rel:.2%}, rtol {rtol:.2%})"
+                )
+    return deviations
+
+
+def compare_all(
+    baselines: dict[str, dict], *, rtol: float, inject_deviation: bool = False
+) -> list[str]:
+    """Compare every baseline against the file currently on disk."""
+    deviations = []
+    injected = False
+    for name, old in sorted(baselines.items()):
+        path = RESULTS_DIR / f"{name}.json"
+        if not path.exists():
+            deviations.append(f"{name}: results file disappeared")
+            continue
+        with path.open() as fh:
+            new = json.load(fh)
+        if inject_deviation and not injected:
+            injected = _inject_first_metric(new)
+        deviations.extend(compare_experiment(name, old, new, rtol=rtol))
+    return deviations
+
+
+def _inject_first_metric(data: dict) -> bool:
+    """Perturb the first finite numeric metric in *data* (self-test hook)."""
+    for row in data.get("rows", []):
+        for key, value in row.items():
+            if _is_number(value) and math.isfinite(value):
+                row[key] = value * 10 + 1.0
+                return True
+    return False
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--modules", nargs="*", default=list(DEFAULT_MODULES), metavar="NAME",
+        help="benchmark modules to re-run (test_bench_<NAME>.py); "
+             f"default: {' '.join(DEFAULT_MODULES)}",
+    )
+    parser.add_argument(
+        "--rtol", type=float, default=0.1,
+        help="relative tolerance per metric (default 0.1)",
+    )
+    parser.add_argument(
+        "--skip-run", action="store_true",
+        help="compare the results currently on disk without re-running",
+    )
+    parser.add_argument(
+        "--inject-deviation", action="store_true",
+        help="self-test: corrupt one metric in memory; the gate must fail",
+    )
+    args = parser.parse_args(argv)
+
+    baselines = load_baselines()
+    if not baselines:
+        print(f"error: no baselines found in {RESULTS_DIR}", file=sys.stderr)
+        return 2
+
+    if not args.skip_run:
+        status = run_benchmarks(args.modules)
+        if status != 0:
+            print("error: benchmark run failed", file=sys.stderr)
+            return 2
+
+    deviations = compare_all(
+        baselines, rtol=args.rtol, inject_deviation=args.inject_deviation
+    )
+    if deviations:
+        print(f"\nREGRESSION: {len(deviations)} metric(s) outside tolerance:")
+        for line in deviations:
+            print(f"  - {line}")
+        return 1
+    print(f"\nOK: {len(baselines)} result tables within rtol={args.rtol:g} of baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

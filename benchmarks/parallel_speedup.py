@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Measure the wall-clock speedup of the parallel execution layer.
+
+Runs a lockstep-engine workload (the no-restart strategy at paper scale,
+quick sample counts) serially and with ``--jobs`` worker processes, prints
+both timings, and verifies the two runs return identical metrics.  With
+``--assert-speedup X`` the script exits non-zero when the measured speedup
+falls below X (used by CI on multi-core runners; leave it off on laptops
+with busy or few cores).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/parallel_speedup.py --jobs 4
+    PYTHONPATH=src python benchmarks/parallel_speedup.py --jobs 4 --assert-speedup 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.core import restart_period
+from repro.platform_model import CheckpointCosts
+from repro.simulation import simulate_no_restart
+from repro.util.units import YEAR
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1)
+    parser.add_argument("--runs", type=int, default=192, help="Monte-Carlo replications")
+    parser.add_argument("--pairs", type=int, default=100_000, help="replicated pairs b")
+    parser.add_argument("--periods", type=int, default=100, help="periods per run")
+    parser.add_argument(
+        "--assert-speedup", type=float, default=None, metavar="X",
+        help="exit 1 unless speedup >= X",
+    )
+    args = parser.parse_args(argv)
+
+    mtbf = 5 * YEAR
+    costs = CheckpointCosts(checkpoint=60.0)
+    period = restart_period(mtbf, costs.restart_checkpoint, args.pairs)
+    kw = dict(
+        mtbf=mtbf, n_pairs=args.pairs, period=period, costs=costs,
+        n_periods=args.periods, n_runs=args.runs, seed=2019,
+    )
+
+    print(f"workload: NoRestart, b={args.pairs:,} pairs, "
+          f"{args.runs} runs x {args.periods} periods, T={period:,.0f}s")
+
+    t0 = time.perf_counter()
+    serial = simulate_no_restart(**kw, n_jobs=1)
+    t_serial = time.perf_counter() - t0
+    print(f"n_jobs=1          : {t_serial:7.2f} s")
+
+    t0 = time.perf_counter()
+    parallel = simulate_no_restart(**kw, n_jobs=args.jobs)
+    t_parallel = time.perf_counter() - t0
+    speedup = t_serial / t_parallel if t_parallel > 0 else float("inf")
+    backend = parallel.meta["execution"]["backend"]
+    print(f"n_jobs={args.jobs:<4d}      : {t_parallel:7.2f} s   "
+          f"(speedup {speedup:.2f}x, backend={backend}, "
+          f"{os.cpu_count()} cores)")
+
+    if not np.array_equal(serial.total_time, parallel.total_time):
+        print("FAIL: parallel run is not bit-identical to serial run", file=sys.stderr)
+        return 1
+    print("determinism       : parallel metrics bit-identical to serial")
+
+    if args.assert_speedup is not None and speedup < args.assert_speedup:
+        print(
+            f"FAIL: speedup {speedup:.2f}x < required {args.assert_speedup:g}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,7 +5,6 @@ timing benchmarks: they measure the three engines on a fixed configuration
 so performance regressions in the simulator hot paths are visible.
 """
 
-import pytest
 
 from repro.failures.generator import ExponentialFailureSource
 from repro.platform_model.costs import CheckpointCosts

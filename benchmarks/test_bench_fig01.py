@@ -1,6 +1,5 @@
 """Figure 1: CDFs of time to application failure (reliability at scale)."""
 
-import math
 
 import pytest
 

@@ -1,7 +1,6 @@
 """Figure 5: overhead vs checkpointing period T (both panels)."""
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import bench_quick, run_once
 from repro.experiments import fig5_overhead_vs_period

@@ -17,12 +17,11 @@ Run:  python examples/capacity_planning.py
 from repro import YEAR, CheckpointCosts
 from repro.core import (
     AmdahlApplication,
-    no_restart_period,
     restart_period,
     young_daly_period,
 )
 from repro.exceptions import SimulationError
-from repro.simulation import simulate_no_replication, simulate_no_restart, simulate_restart
+from repro.simulation import simulate_no_replication, simulate_restart
 from repro.util.units import DAY, WEEK
 
 MU = 5 * YEAR

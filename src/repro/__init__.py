@@ -14,6 +14,9 @@ The package provides:
   strategy the paper evaluates (restart, no-restart, restart-on-failure,
   non-periodic, n-bound restart, partial/no replication);
 * :mod:`repro.experiments` — one driver per paper figure/table;
+* :mod:`repro.parallel` — deterministic process-pool execution layer for
+  fanning Monte-Carlo replications across cores (``n_jobs=1`` and
+  ``n_jobs=8`` give bit-identical results for the same seed);
 * :mod:`repro.io` — trace file and result serialisation;
 * :mod:`repro.cli` — ``repro-sim`` command-line interface.
 
@@ -68,6 +71,11 @@ from repro.failures import (
     Weibull,
     make_lanl2_like,
     make_lanl18_like,
+)
+from repro.parallel import (
+    ExecutionContext,
+    parallel_execution,
+    set_default_execution,
 )
 from repro.platform_model import BUDDY_60S, REMOTE_600S, CheckpointCosts, Platform, RackTopology
 from repro.simulation import (
@@ -135,6 +143,10 @@ __all__ = [
     "simulate_restart_on_failure",
     "simulate_with_trace",
     "io_pressure",
+    # parallel execution
+    "ExecutionContext",
+    "parallel_execution",
+    "set_default_execution",
     # units
     "MINUTE",
     "HOUR",

@@ -14,9 +14,14 @@ Examples
 
     repro-sim list
     repro-sim figure fig5-c60 --quick
+    repro-sim figure fig5-c60 --full --jobs -1
     repro-sim periods --mtbf-years 5 --pairs 100000 --checkpoint 60
     repro-sim simulate restart --mtbf-years 5 --pairs 100000 --checkpoint 60
     repro-sim trace lanl2 --out lanl2.csv --seed 7
+
+``--jobs N`` (or the ``REPRO_JOBS`` environment variable) fans the
+Monte-Carlo replications out over N worker processes; results are
+bit-identical for every N (see :mod:`repro.parallel`).
 """
 
 from __future__ import annotations
@@ -45,6 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("name", help="experiment name (see 'list')")
     p_fig.add_argument("--full", action="store_true", help="paper-scale sample counts")
     p_fig.add_argument("--seed", type=int, default=2019)
+    _add_jobs_arg(p_fig)
     p_fig.add_argument("--json", metavar="PATH", help="also save the table as JSON")
     p_fig.add_argument(
         "--plot", action="store_true", help="render the series as an ASCII chart"
@@ -64,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--runs", type=int, default=200)
     p_sim.add_argument("--restart-factor", type=float, default=1.0, help="C^R / C in [1,2]")
     p_sim.add_argument("--seed", type=int, default=None)
+    _add_jobs_arg(p_sim)
 
     p_tr = sub.add_parser("trace", help="synthesise a LANL-like failure trace")
     p_tr.add_argument("kind", choices=["lanl2", "lanl18"])
@@ -80,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rep.add_argument("--full", action="store_true", help="paper-scale sample counts")
     p_rep.add_argument("--seed", type=int, default=2019)
+    _add_jobs_arg(p_rep)
     return parser
 
 
@@ -87,6 +95,29 @@ def _add_platform_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--mtbf-years", type=float, default=5.0, help="individual MTBF (years)")
     p.add_argument("--pairs", type=int, default=100_000, help="replicated pairs b")
     p.add_argument("--checkpoint", type=float, default=60.0, help="checkpoint cost C (s)")
+
+
+def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fan Monte-Carlo replications out over N worker processes "
+            "(-1 = all cores; default: serial, or the REPRO_JOBS env var); "
+            "results are identical for every N"
+        ),
+    )
+
+
+def _apply_jobs(args: argparse.Namespace) -> None:
+    """Install ``--jobs`` as the default execution context for this run."""
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None:
+        from repro.parallel import ExecutionContext, set_default_execution
+
+        set_default_execution(ExecutionContext(n_jobs=jobs))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -98,6 +129,7 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+    _apply_jobs(args)
     if args.command == "list":
         from repro.experiments import ALL_EXPERIMENTS
 

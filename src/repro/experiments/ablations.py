@@ -31,7 +31,6 @@ from repro.simulation.runner import (
 )
 from repro.util.rng import SeedLike, spawn_seeds
 from repro.util.stats import mean_confidence_halfwidth
-from repro.util.units import YEAR
 
 __all__ = [
     "failures_during_checkpoint_ablation",

@@ -10,6 +10,13 @@ The paper's default setup (Section 7.1): individual MTBF ``mu = 5`` years,
 ``N = 200,000`` processors (``b = 100,000`` pairs), checkpoint costs
 ``C = 60 s`` (buddy) and ``C = 600 s`` (remote storage), ``R = C``,
 ``D = 0``, runs of 100 periods averaged over 1000 runs.
+
+Parallelism: drivers do not take an ``n_jobs`` argument — the simulation
+entry points resolve the ambient :class:`~repro.parallel.ExecutionContext`
+(installed by the CLI's ``--jobs`` flag, by
+:func:`repro.parallel.parallel_execution`, or via ``REPRO_JOBS``), so every
+figure script fans out automatically;  :func:`active_jobs` reports the
+worker count a driver is about to use.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.parallel import resolve_execution
 from repro.platform_model.costs import CheckpointCosts
 from repro.util.units import YEAR
 
@@ -28,6 +36,7 @@ __all__ = [
     "PAPER_CHECKPOINTS",
     "PAPER_GAMMA",
     "PAPER_ALPHA",
+    "active_jobs",
     "mc_samples",
     "ExperimentResult",
 ]
@@ -46,6 +55,12 @@ PAPER_ALPHA: float = 0.2
 def mc_samples(quick: bool, *, quick_runs: int = 80, full_runs: int = 1000) -> int:
     """Monte-Carlo replication count for the requested fidelity."""
     return quick_runs if quick else full_runs
+
+
+def active_jobs() -> int:
+    """Worker count ambient simulations will use (1 = serial / legacy path)."""
+    context = resolve_execution()
+    return 1 if context is None else context.n_jobs
 
 
 def paper_costs(checkpoint: float, restart_factor: float = 1.0) -> CheckpointCosts:

@@ -24,7 +24,7 @@ from repro.core.norestart_numeric import (
 )
 from repro.core.overhead import restart_optimal_overhead
 from repro.core.periods import no_restart_period
-from repro.experiments.common import ExperimentResult, mc_samples, paper_costs
+from repro.experiments.common import ExperimentResult
 from repro.platform_model.multilevel import TwoLevelCosts, optimal_two_level
 from repro.util.rng import SeedLike
 from repro.util.units import YEAR

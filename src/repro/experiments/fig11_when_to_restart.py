@@ -21,13 +21,12 @@ from repro.core.nfail import nfail
 from repro.core.periods import no_restart_period, restart_period
 from repro.experiments.common import (
     ExperimentResult,
-    PAPER_MTBF,
     PAPER_N_PAIRS,
     PAPER_N_PERIODS,
     mc_samples,
     paper_costs,
 )
-from repro.simulation.runner import simulate_nbound, simulate_no_restart, simulate_restart
+from repro.simulation.runner import simulate_nbound, simulate_no_restart
 from repro.util.rng import SeedLike, spawn_seeds
 from repro.util.units import YEAR
 

@@ -18,9 +18,7 @@ times-to-solution.
 
 from __future__ import annotations
 
-import math
 
-import numpy as np
 
 from repro.core.periods import no_restart_period, restart_period, young_daly_period
 from repro.experiments.common import ExperimentResult, mc_samples, paper_costs

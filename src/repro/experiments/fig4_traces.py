@@ -23,7 +23,6 @@ from repro.core.periods import no_restart_period, restart_period
 from repro.experiments.common import (
     ExperimentResult,
     PAPER_MTBF,
-    PAPER_N_PAIRS,
     PAPER_N_PERIODS,
     PAPER_N_PROCS,
     mc_samples,

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 
 from repro.core.amdahl import AmdahlApplication
 from repro.core.periods import restart_period, young_daly_period

@@ -1,0 +1,316 @@
+"""Parallel Monte-Carlo execution layer.
+
+Every experiment in the reproduction fans out hundreds to thousands of
+*independent* replications through the :mod:`repro.simulation.runner` entry
+points.  This module turns that embarrassing parallelism into wall-clock
+speedup without sacrificing reproducibility:
+
+* an :class:`ExecutionContext` describes *how* a batch of ``n_runs``
+  replications is executed: ``backend`` (``"serial"`` or ``"process"``),
+  worker count ``n_jobs`` and the per-task ``chunk_size``;
+* :func:`run_chunked` splits a batch into chunks whose layout depends only
+  on ``(n_runs, chunk_size)`` — never on ``n_jobs`` — derives one
+  :class:`numpy.random.SeedSequence` child per chunk
+  (:func:`repro.util.rng.spawn_seeds`), executes the chunks serially or on a
+  :class:`concurrent.futures.ProcessPoolExecutor`, and merges the parts back
+  into a single :class:`~repro.simulation.results.RunSet` in chunk order.
+
+Because the chunk layout and the per-chunk seeds are independent of the
+worker count, ``n_jobs=1`` and ``n_jobs=8`` produce **bit-identical**
+results for the same seed; the scheduler only changes *when* a chunk runs,
+never *what* it computes.
+
+Entry points resolve their effective context with :func:`resolve_execution`:
+an explicit ``n_jobs=`` argument wins, then the process-wide default
+(:func:`set_default_execution` / :func:`parallel_execution`), then the
+``REPRO_JOBS`` environment variable.  When none of these is set the legacy
+single-batch path is used, which keeps historical seeds (and the committed
+benchmark baselines) bit-for-bit stable.
+
+>>> from repro.parallel import ExecutionContext
+>>> ExecutionContext(n_jobs=4).n_jobs
+4
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pickle import PicklingError
+from typing import TYPE_CHECKING, Callable, Iterator
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.util.rng import SeedLike, spawn_seeds
+from repro.util.validation import check_positive_int
+
+if TYPE_CHECKING:  # import at call time only: runner.py imports this module
+    from repro.simulation.results import RunSet
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "ExecutionContext",
+    "chunk_sizes",
+    "get_default_execution",
+    "parallel_execution",
+    "resolve_execution",
+    "run_chunked",
+    "set_default_execution",
+]
+
+#: runs per dispatched task when :attr:`ExecutionContext.chunk_size` is None.
+#: Fixed (never derived from ``n_jobs``) so that the chunk layout — and
+#: therefore the per-chunk seed fan-out — is identical for every worker
+#: count.
+DEFAULT_CHUNK_SIZE = 16
+
+#: environment variable consulted by :func:`resolve_execution`.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+_BACKENDS = ("serial", "process")
+
+#: a per-chunk simulation task: ``(n_runs, seed) -> RunSet``.  Must be
+#: picklable (module-level function or :func:`functools.partial` thereof)
+#: for the process backend.
+ChunkTask = Callable[[int, np.random.SeedSequence], "RunSet"]
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """How a batch of independent Monte-Carlo replications is executed.
+
+    Attributes
+    ----------
+    n_jobs:
+        Worker processes to fan chunks out to.  ``1`` keeps execution in
+        the calling process (but still uses the chunked deterministic seed
+        path); ``-1`` resolves to ``os.cpu_count()``.
+    backend:
+        ``"process"`` uses a :class:`~concurrent.futures.ProcessPoolExecutor`
+        when ``n_jobs > 1``; ``"serial"`` forces in-process execution while
+        keeping the chunked layout (useful for debugging and tests).
+    chunk_size:
+        Replications per dispatched task; ``None`` uses
+        :data:`DEFAULT_CHUNK_SIZE`.  The chunk layout is a pure function of
+        ``(n_runs, chunk_size)``, so changing ``n_jobs`` never changes
+        results — but changing ``chunk_size`` does reshuffle the per-chunk
+        seed fan-out.
+    """
+
+    n_jobs: int = 1
+    backend: str = "process"
+    chunk_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in _BACKENDS:
+            raise ParameterError(
+                f"backend must be one of {_BACKENDS}, got {self.backend!r}"
+            )
+        if self.n_jobs == -1:
+            object.__setattr__(self, "n_jobs", os.cpu_count() or 1)
+        else:
+            check_positive_int("n_jobs", self.n_jobs)
+        if self.chunk_size is not None:
+            check_positive_int("chunk_size", self.chunk_size)
+
+    @property
+    def effective_chunk_size(self) -> int:
+        return self.chunk_size if self.chunk_size is not None else DEFAULT_CHUNK_SIZE
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default context
+# ---------------------------------------------------------------------------
+
+_default_context: ExecutionContext | None = None
+
+
+def set_default_execution(context: ExecutionContext | None) -> ExecutionContext | None:
+    """Install *context* as the process-wide default; return the previous one.
+
+    ``None`` restores the legacy behaviour (single-batch serial execution,
+    unless ``REPRO_JOBS`` is set).
+    """
+    global _default_context
+    if context is not None and not isinstance(context, ExecutionContext):
+        raise ParameterError(
+            f"expected an ExecutionContext or None, got {type(context).__name__}"
+        )
+    previous = _default_context
+    _default_context = context
+    return previous
+
+
+def get_default_execution() -> ExecutionContext | None:
+    """The context installed via :func:`set_default_execution`, if any."""
+    return _default_context
+
+
+@contextmanager
+def parallel_execution(
+    n_jobs: int,
+    *,
+    backend: str = "process",
+    chunk_size: int | None = None,
+) -> Iterator[ExecutionContext]:
+    """Scoped default context: every simulation inside the block uses it.
+
+    >>> from repro.parallel import parallel_execution
+    >>> with parallel_execution(2, backend="serial") as ctx:
+    ...     ctx.n_jobs
+    2
+    """
+    context = ExecutionContext(n_jobs=n_jobs, backend=backend, chunk_size=chunk_size)
+    previous = set_default_execution(context)
+    try:
+        yield context
+    finally:
+        set_default_execution(previous)
+
+
+def _env_jobs() -> int | None:
+    raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ParameterError(
+            f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
+        ) from None
+    if jobs != -1:
+        check_positive_int(JOBS_ENV_VAR, jobs)
+    return jobs
+
+
+def resolve_execution(n_jobs: int | None = None) -> ExecutionContext | None:
+    """Resolve the effective context for a simulation entry point.
+
+    Precedence: explicit ``n_jobs`` argument, then the process-wide default
+    (:func:`set_default_execution`), then the ``REPRO_JOBS`` environment
+    variable.  Returns ``None`` when nothing requests chunked execution —
+    callers then take their legacy single-batch path, which preserves
+    historical seed streams.
+    """
+    if n_jobs is not None:
+        if isinstance(n_jobs, ExecutionContext):
+            return n_jobs
+        if n_jobs != -1:
+            check_positive_int("n_jobs", n_jobs)
+        return ExecutionContext(n_jobs=n_jobs)
+    if _default_context is not None:
+        return _default_context
+    env = _env_jobs()
+    if env is not None:
+        return ExecutionContext(n_jobs=env)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Chunked dispatch
+# ---------------------------------------------------------------------------
+
+
+def chunk_sizes(n_runs: int, chunk_size: int) -> list[int]:
+    """Split *n_runs* replications into near-equal chunks of <= *chunk_size*.
+
+    The layout is a pure function of its arguments: ``ceil(n/c)`` chunks,
+    sizes differing by at most one, larger chunks first.
+
+    >>> chunk_sizes(10, 4)
+    [4, 3, 3]
+    >>> chunk_sizes(3, 16)
+    [3]
+    """
+    n_runs = check_positive_int("n_runs", n_runs)
+    chunk_size = check_positive_int("chunk_size", chunk_size)
+    n_chunks = -(-n_runs // chunk_size)
+    base, extra = divmod(n_runs, n_chunks)
+    return [base + (1 if i < extra else 0) for i in range(n_chunks)]
+
+
+def run_chunked(
+    task: ChunkTask,
+    *,
+    n_runs: int,
+    seed: SeedLike = None,
+    context: ExecutionContext | None = None,
+) -> "RunSet":
+    """Execute ``task`` over deterministic chunks and merge the results.
+
+    ``task(chunk_runs, chunk_seed)`` must return a
+    :class:`~repro.simulation.results.RunSet` of ``chunk_runs`` runs; it is
+    called once per chunk with an independent
+    :class:`~numpy.random.SeedSequence` child of *seed*.  Results are merged
+    in chunk order, so the returned ``RunSet`` is identical for every
+    ``n_jobs`` / backend combination.
+    """
+    from repro.simulation.results import RunSet
+
+    if context is None:
+        context = ExecutionContext()
+    sizes = chunk_sizes(n_runs, context.effective_chunk_size)
+    seeds = spawn_seeds(seed, len(sizes))
+
+    use_pool = (
+        context.backend == "process" and context.n_jobs > 1 and len(sizes) > 1
+    )
+    parts = _run_in_pool(task, sizes, seeds, context.n_jobs) if use_pool else None
+    used_process = parts is not None
+    if parts is None:
+        parts = [task(size, chunk_seed) for size, chunk_seed in zip(sizes, seeds)]
+
+    merged = RunSet.concatenate(parts)
+    merged.meta.update(
+        execution={
+            "backend": "process" if used_process else "serial",
+            "n_jobs": context.n_jobs,
+            "n_chunks": len(sizes),
+            "chunk_size": context.effective_chunk_size,
+        }
+    )
+    return merged
+
+
+def _run_in_pool(
+    task: ChunkTask,
+    sizes: list[int],
+    seeds: list[np.random.SeedSequence],
+    n_jobs: int,
+) -> "list[RunSet] | None":
+    """Fan chunks out to a process pool; ``None`` means "fall back to serial".
+
+    Only pool-infrastructure failures (no fork support, unpicklable task,
+    broken worker) trigger the fallback — genuine simulation errors
+    propagate unchanged, exactly as they would serially.
+    """
+    try:
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(sizes))) as pool:
+            futures = [
+                pool.submit(task, size, chunk_seed)
+                for size, chunk_seed in zip(sizes, seeds)
+            ]
+            return [f.result() for f in futures]
+    # AttributeError/TypeError: how pickle reports an unpicklable task
+    # (e.g. a closure); a genuine simulation error of those types would be
+    # re-raised by the serial retry anyway.
+    except (
+        BrokenProcessPool,
+        PicklingError,
+        OSError,
+        ImportError,
+        AttributeError,
+        TypeError,
+    ) as exc:
+        warnings.warn(
+            f"process pool unavailable ({type(exc).__name__}: {exc}); "
+            "falling back to serial chunked execution",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None

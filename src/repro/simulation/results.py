@@ -8,7 +8,7 @@ reports (mean time overhead, time-to-solution, I/O pressure).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -162,14 +162,22 @@ class RunSet:
 
     @classmethod
     def concatenate(cls, parts: list["RunSet"], label: str | None = None) -> "RunSet":
-        """Merge several run batches into one (e.g. chunked execution)."""
+        """Merge several run batches into one (e.g. chunked execution).
+
+        Run order follows the order of *parts*; the label and meta of the
+        first part are inherited (pass *label* to override the former).
+        """
         if not parts:
             raise ParameterError("cannot concatenate an empty list of RunSets")
         kwargs = {
             name: np.concatenate([np.asarray(getattr(p, name)) for p in parts])
             for name in _VECTOR_FIELDS
         }
-        return cls(label=label if label is not None else parts[0].label, **kwargs)
+        return cls(
+            label=label if label is not None else parts[0].label,
+            meta=dict(parts[0].meta),
+            **kwargs,
+        )
 
 
 @dataclass(frozen=True)

@@ -15,13 +15,25 @@ strategies, so experiment code reads like the paper:
 Engine selection: the *restart* strategy defaults to the exact sampled fast
 path; every other exponential strategy uses the lockstep engine; trace and
 non-exponential inputs go through :func:`simulate_with_source`.
+
+Parallel execution: every entry point accepts ``n_jobs``.  When set (or when
+a default :class:`~repro.parallel.ExecutionContext` is installed, or
+``REPRO_JOBS`` is exported), the batch is split into deterministic chunks
+and fanned out across worker processes by :func:`repro.parallel.run_chunked`;
+``n_jobs=1`` and ``n_jobs=8`` return bit-identical :class:`RunSet`\\ s for
+the same seed.  Leaving ``n_jobs`` unset everywhere preserves the legacy
+single-batch seed stream.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+from functools import partial
+
 from repro.exceptions import ParameterError
 from repro.failures.generator import FailureSource, TraceFailureSource
 from repro.failures.traces import FailureTrace
+from repro.parallel import resolve_execution, run_chunked
 from repro.platform_model.costs import CheckpointCosts
 from repro.platform_model.machine import Platform
 from repro.simulation.lockstep import LockstepConfig, simulate_lockstep
@@ -38,6 +50,7 @@ from repro.simulation.results import RunSet
 from repro.simulation.sampled import simulate_restart_sampled
 from repro.simulation.trace_engine import TraceEngineConfig, simulate_trace_runs
 from repro.util.rng import SeedLike
+from repro.util.validation import check_positive_int
 
 __all__ = [
     "simulate_restart",
@@ -54,6 +67,48 @@ __all__ = [
 ]
 
 
+# ---------------------------------------------------------------------------
+# Chunk task adapters (module-level so ``functools.partial`` of them pickles
+# for the process backend of :mod:`repro.parallel`).
+# ---------------------------------------------------------------------------
+
+
+def _sampled_chunk(params: dict, n_runs: int, seed: SeedLike) -> RunSet:
+    return simulate_restart_sampled(n_runs=n_runs, seed=seed, **params)
+
+
+def _lockstep_chunk(config: LockstepConfig, n_runs: int, seed: SeedLike) -> RunSet:
+    return simulate_lockstep(replace(config, n_runs=n_runs), seed=seed)
+
+
+def _trace_chunk(config: TraceEngineConfig, n_runs: int, seed: SeedLike) -> RunSet:
+    return simulate_trace_runs(replace(config, n_runs=n_runs), seed=seed)
+
+
+def _run_lockstep(config: LockstepConfig, seed: SeedLike, n_jobs) -> RunSet:
+    context = resolve_execution(n_jobs)
+    if context is None:
+        return simulate_lockstep(config, seed=seed)
+    return run_chunked(
+        partial(_lockstep_chunk, config),
+        n_runs=config.n_runs,
+        seed=seed,
+        context=context,
+    )
+
+
+def _run_trace(config: TraceEngineConfig, seed: SeedLike, n_jobs) -> RunSet:
+    context = resolve_execution(n_jobs)
+    if context is None:
+        return simulate_trace_runs(config, seed=seed)
+    return run_chunked(
+        partial(_trace_chunk, config),
+        n_runs=config.n_runs,
+        seed=seed,
+        context=context,
+    )
+
+
 def simulate_restart(
     *,
     mtbf: float,
@@ -66,25 +121,32 @@ def simulate_restart(
     engine: str = "sampled",
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
+    n_jobs: int | None = None,
 ) -> RunSet:
     """Simulate the paper's *restart* strategy (restart at every checkpoint).
 
     ``engine`` is ``"sampled"`` (exact closed-form sampling, fastest) or
     ``"lockstep"`` (event-driven, used for cross-validation).  The sampled
-    engine requires ``n_periods`` termination.
+    engine requires ``n_periods`` termination.  ``n_jobs`` fans the
+    replications out across worker processes (see :mod:`repro.parallel`).
     """
+    n_runs = check_positive_int("n_runs", n_runs)
     if engine == "sampled":
         if n_periods is None:
             raise ParameterError("the sampled engine requires n_periods termination")
-        return simulate_restart_sampled(
+        params = dict(
             mtbf=mtbf,
             n_pairs=n_pairs,
             period=period,
             costs=costs,
             n_periods=n_periods,
-            n_runs=n_runs,
             failures_during_checkpoint=failures_during_checkpoint,
-            seed=seed,
+        )
+        context = resolve_execution(n_jobs)
+        if context is None:
+            return simulate_restart_sampled(n_runs=n_runs, seed=seed, **params)
+        return run_chunked(
+            partial(_sampled_chunk, params), n_runs=n_runs, seed=seed, context=context
         )
     if engine != "lockstep":
         raise ParameterError(f"unknown engine {engine!r}; expected 'sampled' or 'lockstep'")
@@ -99,6 +161,7 @@ def simulate_restart(
         n_runs=n_runs,
         failures_during_checkpoint=failures_during_checkpoint,
         seed=seed,
+        n_jobs=n_jobs,
     )
 
 
@@ -113,6 +176,7 @@ def simulate_no_restart(
     n_runs: int = 100,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
+    n_jobs: int | None = None,
 ) -> RunSet:
     """Simulate prior work's *no-restart* strategy."""
     policy = no_restart_policy(period, costs)
@@ -126,6 +190,7 @@ def simulate_no_restart(
         n_runs=n_runs,
         failures_during_checkpoint=failures_during_checkpoint,
         seed=seed,
+        n_jobs=n_jobs,
     )
 
 
@@ -141,6 +206,7 @@ def simulate_nbound(
     restart_wave_factor: float = 2.0,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
+    n_jobs: int | None = None,
 ) -> RunSet:
     """Simulate the Section 7.7 extension: restart after >= n_bound deaths."""
     policy = nbound_policy(period, costs, n_bound, restart_wave_factor=restart_wave_factor)
@@ -153,6 +219,7 @@ def simulate_nbound(
         n_runs=n_runs,
         failures_during_checkpoint=failures_during_checkpoint,
         seed=seed,
+        n_jobs=n_jobs,
     )
 
 
@@ -167,6 +234,7 @@ def simulate_every_k(
     n_runs: int = 100,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
+    n_jobs: int | None = None,
 ) -> RunSet:
     """Simulate the future-work variant: rejuvenate at every k-th checkpoint."""
     policy = every_k_policy(period, costs, k)
@@ -179,6 +247,7 @@ def simulate_every_k(
         n_runs=n_runs,
         failures_during_checkpoint=failures_during_checkpoint,
         seed=seed,
+        n_jobs=n_jobs,
     )
 
 
@@ -194,6 +263,7 @@ def simulate_non_periodic(
     n_runs: int = 100,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
+    n_jobs: int | None = None,
 ) -> RunSet:
     """Simulate Figure 2's non-periodic no-restart variant (T1 / T2)."""
     policy = non_periodic_policy(healthy_period, degraded_period, costs)
@@ -207,6 +277,7 @@ def simulate_non_periodic(
         n_runs=n_runs,
         failures_during_checkpoint=failures_during_checkpoint,
         seed=seed,
+        n_jobs=n_jobs,
     )
 
 
@@ -221,8 +292,10 @@ def simulate_no_replication(
     n_runs: int = 100,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
+    n_jobs: int | None = None,
 ) -> RunSet:
     """Simulate plain checkpoint/restart without replication."""
+    n_runs = check_positive_int("n_runs", n_runs)
     policy = no_restart_policy(period, costs)
     config = LockstepConfig(
         mtbf=mtbf,
@@ -235,7 +308,7 @@ def simulate_no_replication(
         n_runs=n_runs,
         failures_during_checkpoint=failures_during_checkpoint,
     )
-    rs = simulate_lockstep(config, seed=seed)
+    rs = _run_lockstep(config, seed, n_jobs)
     rs.label = f"NoReplication(T={period:g})"
     return rs
 
@@ -252,6 +325,7 @@ def simulate_partial_replication(
     n_runs: int = 100,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
+    n_jobs: int | None = None,
 ) -> RunSet:
     """Simulate a partially replicated platform (paper Section 7.6).
 
@@ -261,6 +335,7 @@ def simulate_partial_replication(
     as under full replication.  ``restart_at_checkpoint`` selects the
     restart or no-restart flavour for the replicated part.
     """
+    n_runs = check_positive_int("n_runs", n_runs)
     policy = (
         restart_policy(period, costs)
         if restart_at_checkpoint
@@ -277,7 +352,7 @@ def simulate_partial_replication(
         n_runs=n_runs,
         failures_during_checkpoint=failures_during_checkpoint,
     )
-    rs = simulate_lockstep(config, seed=seed)
+    rs = _run_lockstep(config, seed, n_jobs)
     frac = int(round(platform.replicated_fraction * 100))
     rs.label = f"Partial{frac}(T={period:g})"
     return rs
@@ -295,8 +370,10 @@ def simulate_policy(
     n_standalone: int = 0,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
+    n_jobs: int | None = None,
 ) -> RunSet:
     """Simulate an arbitrary :class:`PeriodicPolicy` with the lockstep engine."""
+    n_runs = check_positive_int("n_runs", n_runs)
     config = LockstepConfig(
         mtbf=mtbf,
         n_pairs=n_pairs,
@@ -308,7 +385,7 @@ def simulate_policy(
         n_runs=n_runs,
         failures_during_checkpoint=failures_during_checkpoint,
     )
-    return simulate_lockstep(config, seed=seed)
+    return _run_lockstep(config, seed, n_jobs)
 
 
 def simulate_with_source(
@@ -323,8 +400,10 @@ def simulate_with_source(
     n_standalone: int = 0,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
+    n_jobs: int | None = None,
 ) -> RunSet:
     """Simulate a policy against an arbitrary failure source (general engine)."""
+    n_runs = check_positive_int("n_runs", n_runs)
     config = TraceEngineConfig(
         source=source,
         n_pairs=n_pairs,
@@ -336,7 +415,7 @@ def simulate_with_source(
         n_runs=n_runs,
         failures_during_checkpoint=failures_during_checkpoint,
     )
-    return simulate_trace_runs(config, seed=seed)
+    return _run_trace(config, seed, n_jobs)
 
 
 def simulate_with_trace(
@@ -351,6 +430,7 @@ def simulate_with_trace(
     n_runs: int = 100,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
+    n_jobs: int | None = None,
 ) -> RunSet:
     """Replay a failure trace with the paper's group methodology.
 
@@ -373,4 +453,5 @@ def simulate_with_trace(
         n_runs=n_runs,
         failures_during_checkpoint=failures_during_checkpoint,
         seed=seed,
+        n_jobs=n_jobs,
     )

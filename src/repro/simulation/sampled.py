@@ -21,12 +21,11 @@ integration tests check).
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 
 from repro.core.mtti import sample_time_to_interruption
-from repro.exceptions import ParameterError, SimulationError
+from repro.exceptions import SimulationError
 from repro.platform_model.costs import CheckpointCosts
 from repro.simulation.results import RunSet
 from repro.util.rng import SeedLike, as_generator

@@ -19,7 +19,13 @@ from typing import Sequence, Union
 
 import numpy as np
 
-__all__ = ["SeedLike", "as_generator", "spawn_generators", "spawn_seeds"]
+__all__ = [
+    "SeedLike",
+    "as_generator",
+    "as_seed_sequence",
+    "spawn_generators",
+    "spawn_seeds",
+]
 
 SeedLike = Union[None, int, Sequence[int], np.random.SeedSequence, np.random.Generator]
 
@@ -35,24 +41,33 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_seeds(seed: SeedLike, n: int) -> list[np.random.SeedSequence]:
-    """Derive *n* independent :class:`~numpy.random.SeedSequence` children.
+def as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """Normalise *seed* into a :class:`~numpy.random.SeedSequence`.
 
     If *seed* is already a :class:`~numpy.random.Generator`, its internal
-    bit-generator seed sequence is used as the parent, so spawning remains
+    bit-generator seed sequence is returned, so downstream spawning remains
     deterministic given the generator's construction seed.
     """
-    if n < 0:
-        raise ValueError(f"cannot spawn a negative number of seeds: {n}")
     if isinstance(seed, np.random.SeedSequence):
-        parent = seed
-    elif isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.Generator):
         parent = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
         if not isinstance(parent, np.random.SeedSequence):  # pragma: no cover
             parent = np.random.SeedSequence()
-    else:
-        parent = np.random.SeedSequence(seed)
-    return parent.spawn(n)
+        return parent
+    return np.random.SeedSequence(seed)
+
+
+def spawn_seeds(seed: SeedLike, n: int) -> list[np.random.SeedSequence]:
+    """Derive *n* independent :class:`~numpy.random.SeedSequence` children.
+
+    The chunked execution layer (:mod:`repro.parallel`) relies on this being
+    a pure function of ``(seed, n)``: the i-th child stream is the same no
+    matter how many workers later consume the chunks.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of seeds: {n}")
+    return as_seed_sequence(seed).spawn(n)
 
 
 def spawn_generators(seed: SeedLike, n: int) -> list[np.random.Generator]:

@@ -1,6 +1,5 @@
 """Tests for repro.core.daly — exact/Lambert-W optimal periods."""
 
-import math
 
 import numpy as np
 import pytest

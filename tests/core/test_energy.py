@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.energy import EnergyBreakdown, PowerModel, energy_overhead
+from repro.core.energy import PowerModel, energy_overhead
 from repro.exceptions import ParameterError
 
 

@@ -1,6 +1,5 @@
 """Tests for the non-exponential (renewal-model) restart analysis."""
 
-import math
 
 import pytest
 

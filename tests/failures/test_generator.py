@@ -7,7 +7,6 @@ from repro.exceptions import SimulationError
 from repro.failures.distributions import Exponential, Weibull
 from repro.failures.generator import (
     ExponentialFailureSource,
-    FailureStream,
     RenewalFailureSource,
     TraceFailureSource,
 )

@@ -7,7 +7,6 @@ overheads and crash rates must coincide within Monte-Carlo error.
 """
 
 import numpy as np
-import pytest
 
 from repro.failures.generator import ExponentialFailureSource
 from repro.platform_model.costs import CheckpointCosts

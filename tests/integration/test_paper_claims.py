@@ -5,7 +5,6 @@ scale small enough for CI, asserting the *shape* the paper reports: who
 wins, by roughly what factor, where crossovers fall.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.amdahl import AmdahlApplication

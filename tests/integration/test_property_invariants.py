@@ -6,7 +6,6 @@ strategy, plus the directional monotonicities the analysis predicts.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

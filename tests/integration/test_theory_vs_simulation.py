@@ -10,7 +10,6 @@ import pytest
 
 from repro.core.mtti import mtti, sample_time_to_interruption
 from repro.core.overhead import (
-    restart_optimal_overhead,
     restart_overhead,
     restart_overhead_exact,
     no_restart_overhead,

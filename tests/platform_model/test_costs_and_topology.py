@@ -1,6 +1,5 @@
 """Tests for repro.platform_model.costs and .topology."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ParameterError

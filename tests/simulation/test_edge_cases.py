@@ -8,7 +8,6 @@ from repro.platform_model.costs import CheckpointCosts
 from repro.simulation.lockstep import LockstepConfig, simulate_lockstep
 from repro.simulation.policies import no_restart_policy, restart_policy
 from repro.simulation.results import RunSet
-from repro.util.units import YEAR
 
 COSTS = CheckpointCosts(checkpoint=10.0)
 

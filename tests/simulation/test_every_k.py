@@ -5,7 +5,7 @@ import pytest
 
 from repro.exceptions import ParameterError
 from repro.platform_model.costs import CheckpointCosts
-from repro.simulation.policies import PeriodicPolicy, every_k_policy, restart_policy
+from repro.simulation.policies import PeriodicPolicy, every_k_policy
 from repro.simulation.runner import simulate_every_k, simulate_restart
 from repro.util.units import YEAR
 

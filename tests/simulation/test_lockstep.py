@@ -9,7 +9,6 @@ from repro.exceptions import ParameterError, SimulationError
 from repro.platform_model.costs import CheckpointCosts
 from repro.simulation.lockstep import LockstepConfig, simulate_lockstep
 from repro.simulation.policies import no_restart_policy, non_periodic_policy, restart_policy
-from repro.util.units import YEAR
 
 
 def config(policy=None, **overrides):

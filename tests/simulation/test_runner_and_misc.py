@@ -19,7 +19,6 @@ from repro.simulation.runner import (
     simulate_restart,
     simulate_with_trace,
 )
-from repro.util.units import YEAR
 
 COSTS = CheckpointCosts(checkpoint=10.0)
 BASE = dict(mtbf=1e6, n_pairs=100, costs=COSTS, n_periods=10, n_runs=6, seed=1)

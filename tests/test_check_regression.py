@@ -1,0 +1,103 @@
+"""Unit tests for the benchmark regression gate (benchmarks/check_regression.py)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.check_regression import (
+    _inject_first_metric,
+    compare_all,
+    compare_experiment,
+    load_baselines,
+    main,
+)
+
+
+def _table(**overrides):
+    data = {
+        "name": "fig-x",
+        "columns": ["T_s", "overhead"],
+        "rows": [
+            {"T_s": 1000.0, "overhead": 0.02},
+            {"T_s": 2000.0, "overhead": 0.04, "note": "text ignored"},
+        ],
+    }
+    data.update(overrides)
+    return data
+
+
+class TestCompareExperiment:
+    def test_identical_passes(self):
+        assert compare_experiment("x", _table(), _table(), rtol=0.01) == []
+
+    def test_within_tolerance_passes(self):
+        new = _table()
+        new["rows"][0]["overhead"] = 0.02 * 1.05
+        assert compare_experiment("x", _table(), new, rtol=0.1) == []
+
+    def test_deviation_fails(self):
+        new = _table()
+        new["rows"][0]["overhead"] = 0.02 * 1.5
+        deviations = compare_experiment("x", _table(), new, rtol=0.1)
+        assert len(deviations) == 1
+        assert "overhead" in deviations[0]
+
+    def test_nan_equals_nan(self):
+        old, new = _table(), _table()
+        old["rows"][0]["overhead"] = float("nan")
+        new["rows"][0]["overhead"] = float("nan")
+        assert compare_experiment("x", old, new, rtol=0.01) == []
+        new["rows"][0]["overhead"] = 0.5
+        assert len(compare_experiment("x", old, new, rtol=0.01)) == 1
+
+    def test_structure_changes_fail(self):
+        assert compare_experiment(
+            "x", _table(), _table(columns=["T_s"]), rtol=0.1
+        )
+        assert compare_experiment(
+            "x", _table(), _table(rows=[{"T_s": 1.0, "overhead": 0.02}]), rtol=0.1
+        )
+
+    def test_strings_not_gated(self):
+        new = _table()
+        new["rows"][1]["note"] = "different text"
+        assert compare_experiment("x", _table(), new, rtol=0.01) == []
+
+
+class TestInjection:
+    def test_inject_perturbs_first_finite_metric(self):
+        data = _table()
+        assert _inject_first_metric(data)
+        assert data["rows"][0]["T_s"] != 1000.0
+        assert math.isfinite(data["rows"][0]["T_s"])
+
+    def test_committed_baselines_self_compare_clean(self):
+        baselines = load_baselines()
+        assert baselines, "committed baselines must exist"
+        assert compare_all(baselines, rtol=0.01) == []
+
+    def test_injected_deviation_detected(self):
+        baselines = load_baselines()
+        deviations = compare_all(baselines, rtol=0.01, inject_deviation=True)
+        assert deviations
+
+    def test_main_exits_nonzero_on_injected_deviation(self, capsys):
+        assert main(["--skip-run", "--inject-deviation"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_main_clean_skip_run(self, capsys):
+        assert main(["--skip-run"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_main_unknown_module_is_infrastructure_error(self):
+        assert main(["--modules", "does-not-exist"]) == 2
+
+
+def test_script_importable_without_pytest_running():
+    import benchmarks.check_regression as mod
+
+    assert mod.DEFAULT_MODULES
+    with pytest.raises(SystemExit):
+        mod.main(["--help"])

@@ -5,7 +5,6 @@ exercised manually / by the bench harness's underlying drivers.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -1,6 +1,5 @@
 """Tests for repro.util.stats."""
 
-import math
 
 import numpy as np
 import pytest

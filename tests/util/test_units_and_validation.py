@@ -1,6 +1,5 @@
 """Tests for repro.util.units and repro.util.validation."""
 
-import math
 
 import pytest
 from hypothesis import given, settings
