@@ -20,6 +20,13 @@ Usage::
     python benchmarks/check_regression.py --skip-run --inject-deviation
                                                           # self-test: must fail
 
+Observability: unless ``--artifacts ''`` is passed, each run writes timing
+artifacts into ``benchmarks/artifacts/`` (NOT ``results/``, which holds the
+gated baselines): a ``repro/manifest-v1`` run manifest with per-module wall
+times and the gate outcome, plus the JSONL trace the benchmark processes
+emit via ``REPRO_TRACE``.  CI uploads the directory and smoke-tests it with
+``repro-sim obs``.
+
 Exit status: 0 = all metrics within tolerance, 1 = regression detected,
 2 = infrastructure error (bench run failed, missing baselines...).
 """
@@ -32,11 +39,13 @@ import math
 import os
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 RESULTS_DIR = BENCH_DIR / "results"
+ARTIFACTS_DIR = BENCH_DIR / "artifacts"
 
 #: default quick-mode subset: sampled engine (fig1), full period sweep with
 #: both engines (fig5) and the analytic tables — broad coverage in ~15 s.
@@ -52,23 +61,70 @@ def load_baselines() -> dict[str, dict]:
     return baselines
 
 
-def run_benchmarks(modules: list[str]) -> int:
-    """Execute the selected ``test_bench_<module>.py`` files with pytest."""
-    files = []
+def run_benchmarks(
+    modules: list[str], artifacts_dir: Path | None = None
+) -> tuple[int, dict[str, float]]:
+    """Execute the selected ``test_bench_<module>.py`` files with pytest.
+
+    Runs one pytest invocation per module so each module's wall time lands
+    in the returned timings dict (and, via the run manifest, in CI's
+    uploaded artifacts).  When *artifacts_dir* is set, the benchmark
+    processes inherit ``REPRO_TRACE`` pointing into it, so engine/chunk
+    events stream to ``bench_trace.jsonl``.
+    """
+    paths = []
     for module in modules:
         path = BENCH_DIR / f"test_bench_{module}.py"
         if not path.exists():
             print(f"error: no such benchmark module: {path.name}", file=sys.stderr)
-            return 2
-        files.append(str(path))
+            return 2, {}
+        paths.append(path)
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         [str(REPO_ROOT / "src")] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
     )
-    cmd = [sys.executable, "-m", "pytest", *files, "--benchmark-disable", "-q"]
-    print(f"$ {' '.join(cmd)}")
-    proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
-    return proc.returncode
+    if artifacts_dir is not None:
+        env["REPRO_TRACE"] = str(artifacts_dir / "bench_trace.jsonl")
+    timings: dict[str, float] = {}
+    for module, path in zip(modules, paths):
+        cmd = [sys.executable, "-m", "pytest", str(path), "--benchmark-disable", "-q"]
+        print(f"$ {' '.join(cmd)}")
+        t0 = time.perf_counter()
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        timings[module] = time.perf_counter() - t0
+        if proc.returncode != 0:
+            return proc.returncode, timings
+    return 0, timings
+
+
+def write_run_manifest(
+    artifacts_dir: Path,
+    *,
+    modules: list[str],
+    rtol: float,
+    timings: dict[str, float],
+    n_deviations: int,
+) -> Path:
+    """Record the gate run as a ``repro/manifest-v1`` file in *artifacts_dir*."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.io import save_manifest
+    from repro.obs import RunManifest
+
+    manifest = RunManifest(
+        label="benchmarks/check_regression",
+        config={"modules": " ".join(modules), "rtol": rtol},
+        execution={
+            "driver": "check_regression",
+            "gate": "pass" if n_deviations == 0 else f"fail({n_deviations})",
+        },
+        timings={
+            **{f"{module}_s": round(wall, 4) for module, wall in timings.items()},
+            "total_s": round(sum(timings.values()), 4),
+        },
+    )
+    path = artifacts_dir / "check_regression_manifest.json"
+    save_manifest(manifest, path)
+    return path
 
 
 def _is_number(value) -> bool:
@@ -167,15 +223,24 @@ def main(argv: list[str] | None = None) -> int:
         "--inject-deviation", action="store_true",
         help="self-test: corrupt one metric in memory; the gate must fail",
     )
+    parser.add_argument(
+        "--artifacts", default=str(ARTIFACTS_DIR), metavar="DIR",
+        help="directory for timing artifacts (manifest + JSONL trace); "
+             "pass '' to disable (default: benchmarks/artifacts)",
+    )
     args = parser.parse_args(argv)
+    artifacts_dir = Path(args.artifacts) if args.artifacts else None
+    if artifacts_dir is not None:
+        artifacts_dir.mkdir(parents=True, exist_ok=True)
 
     baselines = load_baselines()
     if not baselines:
         print(f"error: no baselines found in {RESULTS_DIR}", file=sys.stderr)
         return 2
 
+    timings: dict[str, float] = {}
     if not args.skip_run:
-        status = run_benchmarks(args.modules)
+        status, timings = run_benchmarks(args.modules, artifacts_dir)
         if status != 0:
             print("error: benchmark run failed", file=sys.stderr)
             return 2
@@ -183,6 +248,15 @@ def main(argv: list[str] | None = None) -> int:
     deviations = compare_all(
         baselines, rtol=args.rtol, inject_deviation=args.inject_deviation
     )
+    if artifacts_dir is not None and not args.skip_run:
+        manifest_path = write_run_manifest(
+            artifacts_dir,
+            modules=args.modules,
+            rtol=args.rtol,
+            timings=timings,
+            n_deviations=len(deviations),
+        )
+        print(f"timing manifest: {manifest_path}")
     if deviations:
         print(f"\nREGRESSION: {len(deviations)} metric(s) outside tolerance:")
         for line in deviations:

@@ -17,6 +17,10 @@ The package provides:
 * :mod:`repro.parallel` — deterministic process-pool execution layer for
   fanning Monte-Carlo replications across cores (``n_jobs=1`` and
   ``n_jobs=8`` give bit-identical results for the same seed);
+* :mod:`repro.obs` — structured observability: JSONL tracing (spans,
+  events, counters) gated by ``REPRO_TRACE`` / ``--log-json``, plus
+  deterministic :class:`~repro.obs.RunManifest` provenance records
+  attached to every simulation result;
 * :mod:`repro.io` — trace file and result serialisation;
 * :mod:`repro.cli` — ``repro-sim`` command-line interface.
 
@@ -72,6 +76,7 @@ from repro.failures import (
     make_lanl2_like,
     make_lanl18_like,
 )
+from repro.obs import RunManifest, enable_trace, trace_to
 from repro.parallel import (
     ExecutionContext,
     parallel_execution,
@@ -147,6 +152,10 @@ __all__ = [
     "ExecutionContext",
     "parallel_execution",
     "set_default_execution",
+    # observability
+    "RunManifest",
+    "enable_trace",
+    "trace_to",
     # units
     "MINUTE",
     "HOUR",

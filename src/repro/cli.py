@@ -7,6 +7,7 @@ Subcommands
 ``periods``     print the optimal periods for a configuration
 ``simulate``    run one strategy at one configuration point
 ``trace``       synthesise a LANL-like trace to a CSV file
+``obs``         inspect observability artifacts (manifests, JSONL traces)
 
 Examples
 --------
@@ -18,10 +19,14 @@ Examples
     repro-sim periods --mtbf-years 5 --pairs 100000 --checkpoint 60
     repro-sim simulate restart --mtbf-years 5 --pairs 100000 --checkpoint 60
     repro-sim trace lanl2 --out lanl2.csv --seed 7
+    repro-sim figure fig5-c60 --jobs 4 --log-json run.jsonl
+    repro-sim obs tail run.jsonl --lines 20
 
 ``--jobs N`` (or the ``REPRO_JOBS`` environment variable) fans the
 Monte-Carlo replications out over N worker processes; results are
-bit-identical for every N (see :mod:`repro.parallel`).
+bit-identical for every N (see :mod:`repro.parallel`).  ``--log-json PATH``
+(or ``REPRO_TRACE``) streams structured trace events to a JSONL file
+(see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -51,6 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--full", action="store_true", help="paper-scale sample counts")
     p_fig.add_argument("--seed", type=int, default=2019)
     _add_jobs_arg(p_fig)
+    _add_obs_arg(p_fig)
     p_fig.add_argument("--json", metavar="PATH", help="also save the table as JSON")
     p_fig.add_argument(
         "--plot", action="store_true", help="render the series as an ASCII chart"
@@ -71,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--restart-factor", type=float, default=1.0, help="C^R / C in [1,2]")
     p_sim.add_argument("--seed", type=int, default=None)
     _add_jobs_arg(p_sim)
+    _add_obs_arg(p_sim)
 
     p_tr = sub.add_parser("trace", help="synthesise a LANL-like failure trace")
     p_tr.add_argument("kind", choices=["lanl2", "lanl18"])
@@ -88,6 +95,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--full", action="store_true", help="paper-scale sample counts")
     p_rep.add_argument("--seed", type=int, default=2019)
     _add_jobs_arg(p_rep)
+    _add_obs_arg(p_rep)
+
+    p_obs = sub.add_parser(
+        "obs", help="inspect observability artifacts (manifests, JSONL traces)"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_man = obs_sub.add_parser(
+        "manifest", help="pretty-print a run manifest (or a RunSet carrying one)"
+    )
+    p_obs_man.add_argument("path", help="manifest JSON or runset JSON file")
+    p_obs_tail = obs_sub.add_parser("tail", help="print the last events of a JSONL trace")
+    p_obs_tail.add_argument("path", help="JSONL trace file")
+    p_obs_tail.add_argument(
+        "--lines", "-n", type=int, default=10, metavar="N", help="events to show"
+    )
     return parser
 
 
@@ -111,6 +133,18 @@ def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--log-json",
+        metavar="PATH",
+        default=None,
+        help=(
+            "append structured trace events (chunk spans, engine stats, sweep "
+            "progress) to PATH as JSONL; equivalent to exporting REPRO_TRACE"
+        ),
+    )
+
+
 def _apply_jobs(args: argparse.Namespace) -> None:
     """Install ``--jobs`` as the default execution context for this run."""
     jobs = getattr(args, "jobs", None)
@@ -118,6 +152,15 @@ def _apply_jobs(args: argparse.Namespace) -> None:
         from repro.parallel import ExecutionContext, set_default_execution
 
         set_default_execution(ExecutionContext(n_jobs=jobs))
+
+
+def _apply_obs(args: argparse.Namespace) -> None:
+    """Activate ``--log-json`` tracing (exported so workers inherit it)."""
+    log_json = getattr(args, "log_json", None)
+    if log_json is not None:
+        from repro.obs import enable_trace
+
+        enable_trace(log_json)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -130,6 +173,7 @@ def main(argv: list[str] | None = None) -> int:
 
 def _dispatch(args: argparse.Namespace) -> int:
     _apply_jobs(args)
+    _apply_obs(args)
     if args.command == "list":
         from repro.experiments import ALL_EXPERIMENTS
 
@@ -190,6 +234,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"wrote {trace.describe()} to {args.out}")
         return 0
 
+    if args.command == "obs":
+        return _run_obs(args)
+
     if args.command == "report":
         from repro.exceptions import ParameterError
         from repro.experiments.report import generate_report
@@ -209,6 +256,47 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def _run_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.exceptions import ParameterError
+    from repro.obs import RunManifest, format_event, read_events
+
+    if args.obs_command == "manifest":
+        try:
+            payload = json.loads(open(args.path).read())
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(payload, dict):
+            print(f"{args.path} is not a JSON object", file=sys.stderr)
+            return 2
+        # Accept a bare manifest, a manifest file written by save_manifest,
+        # or a runset file whose meta carries a manifest.
+        if "manifest" in payload.get("meta", {}):
+            payload = payload["meta"]["manifest"]
+        payload = {k: v for k, v in payload.items() if k != "schema"}
+        try:
+            manifest = RunManifest.from_dict(payload)
+        except ParameterError as exc:
+            print(f"{args.path}: {exc}", file=sys.stderr)
+            return 2
+        print(manifest.describe())
+        return 0
+
+    if args.obs_command == "tail":
+        try:
+            events = read_events(args.path)
+        except OSError as exc:
+            print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+            return 2
+        for record in events[-max(args.lines, 0):]:
+            print(format_event(record))
+        return 0
+
+    raise AssertionError(f"unhandled obs command {args.obs_command}")  # pragma: no cover
 
 
 def _run_simulate(args: argparse.Namespace) -> int:

@@ -195,7 +195,12 @@ def _expected_loss_given_failure(period: float, mu: float, b: int, n_points: int
     s_end = float(s[-1])
     p_fail = 1.0 - s_end
     if p_fail <= 0.0:
-        return period / 2.0  # degenerate: failures essentially impossible
+        # Degenerate: failures essentially impossible.  The lambda*T -> 0
+        # limit of the conditional loss is 2T/3 (Section 4.2 Taylor
+        # expansion): a fatal double hit needs two failures in [0, T], whose
+        # expected positions are T/3 and 2T/3 — the attempt dies at the
+        # second one.
+        return 2.0 * period / 3.0
     return (integral - period * s_end) / p_fail
 
 

@@ -21,9 +21,11 @@ worker count a driver is about to use.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Iterable, Iterator, Sequence, TypeVar
 
+from repro.obs import trace as obs
 from repro.parallel import resolve_execution
 from repro.platform_model.costs import CheckpointCosts
 from repro.util.units import YEAR
@@ -38,8 +40,11 @@ __all__ = [
     "PAPER_ALPHA",
     "active_jobs",
     "mc_samples",
+    "sweep_progress",
     "ExperimentResult",
 ]
+
+_T = TypeVar("_T")
 
 #: paper defaults (Section 7.1)
 PAPER_MTBF: float = 5 * YEAR
@@ -61,6 +66,39 @@ def active_jobs() -> int:
     """Worker count ambient simulations will use (1 = serial / legacy path)."""
     context = resolve_execution()
     return 1 if context is None else context.n_jobs
+
+
+def sweep_progress(name: str, points: Iterable[_T]) -> Iterator[_T]:
+    """Yield sweep *points* while emitting per-point progress events.
+
+    When tracing is off this is a transparent pass-through (zero overhead
+    beyond the generator frame).  When on, each figure driver's parameter
+    sweep emits ``sweep.start`` / per-point ``sweep.point`` (with wall time
+    and a linear-extrapolation ETA) / ``sweep.end`` events, so a long full-
+    fidelity run can be followed live with ``repro-sim obs tail``.
+    """
+    if not obs.enabled():
+        yield from points
+        return
+    points = list(points)
+    total = len(points)
+    obs.event("sweep.start", sweep=name, points=total)
+    t0 = time.monotonic()
+    for i, point in enumerate(points):
+        t_point = time.monotonic()
+        yield point
+        now = time.monotonic()
+        done = i + 1
+        eta = (now - t0) / done * (total - done)
+        obs.event(
+            "sweep.point",
+            sweep=name,
+            index=i,
+            total=total,
+            wall_s=round(now - t_point, 6),
+            eta_s=round(eta, 3),
+        )
+    obs.event("sweep.end", sweep=name, points=total, wall_s=round(time.monotonic() - t0, 6))
 
 
 def paper_costs(checkpoint: float, restart_factor: float = 1.0) -> CheckpointCosts:

@@ -25,6 +25,7 @@ from repro.experiments.common import (
     PAPER_N_PERIODS,
     mc_samples,
     paper_costs,
+    sweep_progress,
 )
 from repro.simulation.runner import simulate_no_restart, simulate_restart
 from repro.util.rng import SeedLike, spawn_seeds
@@ -72,7 +73,7 @@ def run(
     )
 
     seeds = spawn_seeds(seed, len(periods))
-    for t, s in zip(periods, seeds):
+    for t, s in sweep_progress(result.name, list(zip(periods, seeds))):
         children = spawn_seeds(s, len(restart_factors) + 1)
         row = {"T_s": float(t)}
         for f, cs in zip(restart_factors, children):

@@ -22,6 +22,7 @@ from repro.experiments.common import (
     PAPER_N_PERIODS,
     mc_samples,
     paper_costs,
+    sweep_progress,
 )
 from repro.simulation.runner import simulate_no_restart, simulate_restart
 from repro.util.rng import SeedLike, spawn_seeds
@@ -68,7 +69,7 @@ def run(
     costs1 = paper_costs(checkpoint, restart_factor=1.0)
     costs2 = paper_costs(checkpoint, restart_factor=2.0)
     seeds = spawn_seeds(seed, len(mtbfs))
-    for mu, s in zip(mtbfs, seeds):
+    for mu, s in sweep_progress(result.name, list(zip(mtbfs, seeds))):
         t_no = no_restart_period(mu, checkpoint, n_pairs)
         children = spawn_seeds(s, 5)
         kw = dict(mtbf=mu, n_pairs=n_pairs, n_periods=PAPER_N_PERIODS, n_runs=n_runs)

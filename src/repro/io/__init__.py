@@ -1,6 +1,13 @@
 """On-disk formats: failure-trace CSV and result JSON."""
 
-from repro.io.results_io import load_experiment, load_runset, save_experiment, save_runset
+from repro.io.results_io import (
+    load_experiment,
+    load_manifest,
+    load_runset,
+    save_experiment,
+    save_manifest,
+    save_runset,
+)
 from repro.io.tracefile import read_trace, trace_from_csv, trace_to_csv, write_trace
 
 __all__ = [
@@ -12,4 +19,6 @@ __all__ = [
     "load_runset",
     "save_experiment",
     "load_experiment",
+    "save_manifest",
+    "load_manifest",
 ]

@@ -11,6 +11,7 @@ from pathlib import Path
 
 from repro.exceptions import ParameterError
 from repro.experiments.common import ExperimentResult
+from repro.obs.manifest import MANIFEST_SCHEMA, RunManifest
 from repro.simulation.results import RunSet
 
 __all__ = [
@@ -18,10 +19,13 @@ __all__ = [
     "load_runset",
     "save_experiment",
     "load_experiment",
+    "save_manifest",
+    "load_manifest",
 ]
 
 _SCHEMA_RUNSET = "repro/runset-v1"
 _SCHEMA_EXPERIMENT = "repro/experiment-v1"
+_SCHEMA_MANIFEST = MANIFEST_SCHEMA
 
 
 def save_runset(runs: RunSet, path: str | Path) -> None:
@@ -43,6 +47,21 @@ def save_experiment(result: ExperimentResult, path: str | Path) -> None:
     """Write an :class:`ExperimentResult` to *path* as JSON."""
     payload = {"schema": _SCHEMA_EXPERIMENT, **result.to_dict()}
     Path(path).write_text(json.dumps(payload))
+
+
+def save_manifest(manifest: RunManifest, path: str | Path) -> None:
+    """Write a :class:`~repro.obs.RunManifest` to *path* as JSON."""
+    payload = {"schema": _SCHEMA_MANIFEST, **manifest.to_dict()}
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_manifest(path: str | Path) -> RunManifest:
+    """Read a :class:`~repro.obs.RunManifest` written by :func:`save_manifest`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != _SCHEMA_MANIFEST:
+        raise ParameterError(f"{path} is not a {_SCHEMA_MANIFEST} file")
+    payload.pop("schema")
+    return RunManifest.from_dict(payload)
 
 
 def load_experiment(path: str | Path) -> ExperimentResult:

@@ -1,0 +1,66 @@
+"""repro.obs — structured observability for engines and parallel dispatch.
+
+Three pieces, all dependency-free and zero-cost when disabled:
+
+* :mod:`repro.obs.trace` — spans, point events and counters emitted as
+  JSONL, gated by ``REPRO_TRACE`` / ``repro-sim --log-json PATH``;
+* :mod:`repro.obs.schema` — the checked-in event schema
+  (``event_schema.json``) and its validator;
+* :mod:`repro.obs.manifest` — deterministic :class:`RunManifest`
+  provenance records attached to every simulation ``RunSet`` and
+  serialised via :mod:`repro.io`.
+
+Quickstart::
+
+    import repro, repro.obs as obs
+
+    with obs.trace_to("run.jsonl"):
+        rs = repro.simulate_restart(..., n_jobs=4)
+    print(repro.obs.RunManifest.from_dict(rs.meta["manifest"]).describe())
+"""
+
+from repro.obs.manifest import MANIFEST_SCHEMA, RunManifest, host_info, seed_provenance
+from repro.obs.schema import EVENT_SCHEMA_PATH, load_event_schema, validate_event
+from repro.obs.trace import (
+    EVENT_SCHEMA_ID,
+    TRACE_ENV_VAR,
+    count,
+    counters,
+    disable_trace,
+    enable_trace,
+    enabled,
+    event,
+    format_event,
+    read_events,
+    reset_counters,
+    span,
+    trace_path,
+    trace_to,
+)
+
+__all__ = [
+    # tracing
+    "TRACE_ENV_VAR",
+    "EVENT_SCHEMA_ID",
+    "enabled",
+    "enable_trace",
+    "disable_trace",
+    "trace_path",
+    "trace_to",
+    "event",
+    "span",
+    "count",
+    "counters",
+    "reset_counters",
+    "format_event",
+    "read_events",
+    # schema
+    "EVENT_SCHEMA_PATH",
+    "load_event_schema",
+    "validate_event",
+    # manifests
+    "MANIFEST_SCHEMA",
+    "RunManifest",
+    "host_info",
+    "seed_provenance",
+]

@@ -1,0 +1,167 @@
+"""Deterministic run manifests: provenance records for simulation results.
+
+A :class:`RunManifest` captures everything needed to re-run and to audit a
+batch of Monte-Carlo replications: the seed entropy actually consumed (even
+when the caller passed ``seed=None``), a JSON-safe configuration summary,
+the execution layout (engine / backend / chunking), per-stage wall-clock
+timings, the package version and the host.
+
+Manifests are attached to every :class:`~repro.simulation.results.RunSet`
+under ``meta["manifest"]`` — by the engines on the legacy single-batch
+path, and (re)written by :func:`repro.parallel.run_chunked` with the chunk
+layout and dispatch/merge timings on the chunked path.  They serialise via
+:func:`repro.io.save_manifest` and pretty-print via ``repro-sim obs
+manifest``.
+
+Everything recorded is either deterministic given the inputs (seed, config,
+layout) or explicitly volatile and labelled as such (timings, timestamps,
+host) — consumers diffing manifests across runs should compare the former
+and read the latter.
+"""
+
+from __future__ import annotations
+
+import platform as _platform
+import os
+import sys
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "RunManifest",
+    "host_info",
+    "seed_provenance",
+]
+
+MANIFEST_SCHEMA = "repro/manifest-v1"
+
+_host_cache: dict | None = None
+
+
+def host_info() -> dict:
+    """Static facts about the executing host (cached after the first call)."""
+    global _host_cache
+    if _host_cache is None:
+        _host_cache = {
+            "platform": _platform.platform(),
+            "python": f"{_platform.python_implementation()} {_platform.python_version()}",
+            "machine": _platform.machine(),
+            "cpu_count": os.cpu_count() or 1,
+            "node": _platform.node(),
+        }
+    return dict(_host_cache)
+
+
+def _package_version() -> str:
+    # Imported lazily: repro/__init__ imports the simulation stack, which
+    # imports this module — a top-level import would be circular.
+    repro = sys.modules.get("repro")
+    return getattr(repro, "__version__", "unknown")
+
+
+def seed_provenance(seed: Any) -> dict:
+    """JSON-safe record of the entropy a ``SeedLike`` actually resolves to.
+
+    For a :class:`numpy.random.Generator` this digs out the underlying
+    :class:`~numpy.random.SeedSequence`, so even ``seed=None`` runs (fresh
+    OS entropy) are reproducible from their manifest.
+    """
+    from repro.util.rng import as_seed_sequence
+
+    try:
+        ss = as_seed_sequence(seed)
+    except Exception:
+        return {"entropy": None, "spawn_key": []}
+    entropy = ss.entropy
+    if isinstance(entropy, (list, tuple)):
+        entropy = [int(e) for e in entropy]
+    elif entropy is not None:
+        entropy = int(entropy)
+    return {"entropy": entropy, "spawn_key": [int(k) for k in ss.spawn_key]}
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+@dataclass
+class RunManifest:
+    """Provenance record of one simulation batch (see module docstring).
+
+    Attributes
+    ----------
+    label:
+        The result's strategy/configuration tag.
+    seed:
+        Output of :func:`seed_provenance` — entropy + spawn key.
+    config:
+        JSON-safe summary of the simulated configuration (engine parameters
+        or chunk-task descriptor).
+    execution:
+        Layout: engine name, backend, worker count, chunk layout.
+    timings:
+        Per-stage wall-clock seconds (``total_s`` at minimum).
+    """
+
+    label: str = ""
+    seed: dict[str, Any] = field(default_factory=dict)
+    config: dict[str, Any] = field(default_factory=dict)
+    execution: dict[str, Any] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+    created_at: str = field(default_factory=_utc_now)
+    package_version: str = field(default_factory=_package_version)
+    host: dict[str, Any] = field(default_factory=host_info)
+
+    _FIELDS = (
+        "label", "seed", "config", "execution", "timings",
+        "created_at", "package_version", "host",
+    )
+
+    def to_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        missing = [name for name in cls._FIELDS if name not in data]
+        if missing:
+            raise ParameterError(
+                f"run manifest payload is missing field(s): {', '.join(missing)}"
+            )
+        return cls(**{name: data[name] for name in cls._FIELDS})
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Multi-line human rendering (``repro-sim obs manifest``)."""
+        host = self.host or {}
+        seed = self.seed or {}
+        spawn_key = tuple(seed.get("spawn_key", ()))
+        lines = [
+            f"run manifest (repro {self.package_version})",
+            f"  label      : {self.label or '-'}",
+            f"  created    : {self.created_at}",
+            f"  host       : {host.get('platform', '?')} · {host.get('python', '?')} · "
+            f"{host.get('cpu_count', '?')} CPUs",
+            f"  seed       : entropy={seed.get('entropy')}"
+            + (f" spawn_key={spawn_key}" if spawn_key else ""),
+            "  execution  : " + _kv_line(self.execution),
+            "  config     : " + _kv_line(self.config),
+            "  timings    : " + " | ".join(
+                f"{name} {value:.4f}s" for name, value in sorted(self.timings.items())
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def _kv_line(mapping: dict[str, Any]) -> str:
+    if not mapping:
+        return "-"
+    return " ".join(f"{key}={_short(value)}" for key, value in sorted(mapping.items()))
+
+
+def _short(value: Any) -> str:
+    text = f"{value:g}" if isinstance(value, float) else str(value)
+    return text if len(text) <= 48 else text[:45] + "..."

@@ -1,0 +1,83 @@
+"""Validation of emitted trace records against the checked-in event schema.
+
+The schema lives next to this module as ``event_schema.json`` so that the
+contract is reviewable (and diffable) as data rather than buried in code.
+The validator implements exactly the JSON-Schema subset the file uses —
+``type`` / ``enum`` / ``const`` / ``required`` / ``additionalProperties`` —
+plus the two kind-conditional requirements (``span_end`` carries ``wall_s``,
+``counter`` carries ``value``), so no third-party dependency is needed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ParameterError
+
+__all__ = ["EVENT_SCHEMA_PATH", "load_event_schema", "validate_event"]
+
+EVENT_SCHEMA_PATH = Path(__file__).with_name("event_schema.json")
+
+_schema_cache: dict | None = None
+
+#: JSON-Schema scalar type name -> accepted Python types.  ``bool`` is a
+#: subclass of ``int`` in Python, so numeric checks must exclude it.
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+}
+
+
+def load_event_schema() -> dict:
+    """The checked-in event schema (``event_schema.json``), cached."""
+    global _schema_cache
+    if _schema_cache is None:
+        _schema_cache = json.loads(EVENT_SCHEMA_PATH.read_text(encoding="utf-8"))
+    return _schema_cache
+
+
+def _check_value(key: str, value: Any, spec: dict) -> None:
+    if "const" in spec and value != spec["const"]:
+        raise ParameterError(f"trace event field {key!r}: expected {spec['const']!r}, got {value!r}")
+    if "enum" in spec and value not in spec["enum"]:
+        raise ParameterError(
+            f"trace event field {key!r}: {value!r} not in {spec['enum']}"
+        )
+    expected = spec.get("type")
+    if expected is not None and not _TYPE_CHECKS[expected](value):
+        raise ParameterError(
+            f"trace event field {key!r}: expected JSON type {expected!r}, "
+            f"got {type(value).__name__}"
+        )
+
+
+def validate_event(record: Any) -> dict:
+    """Validate one parsed JSONL record; return it unchanged.
+
+    Raises :class:`~repro.exceptions.ParameterError` describing the first
+    violation found (missing field, unknown field, wrong type, bad enum
+    value, or a kind-specific field missing).
+    """
+    schema = load_event_schema()
+    if not isinstance(record, dict):
+        raise ParameterError(f"trace event must be a JSON object, got {type(record).__name__}")
+    missing = [key for key in schema["required"] if key not in record]
+    if missing:
+        raise ParameterError(f"trace event is missing required field(s): {', '.join(missing)}")
+    properties = schema["properties"]
+    if schema.get("additionalProperties") is False:
+        unknown = [key for key in record if key not in properties]
+        if unknown:
+            raise ParameterError(f"trace event has unknown field(s): {', '.join(unknown)}")
+    for key, value in record.items():
+        _check_value(key, value, properties[key])
+    kind = record["kind"]
+    if kind == "span_end" and "wall_s" not in record:
+        raise ParameterError("span_end trace event is missing 'wall_s'")
+    if kind == "counter" and "value" not in record:
+        raise ParameterError("counter trace event is missing 'value'")
+    return record

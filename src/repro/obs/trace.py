@@ -1,0 +1,298 @@
+"""Structured tracing core: spans, events, counters, JSONL emission.
+
+The design goal is **zero cost when off**: every entry point first reads a
+single module-level reference (``_emitter``) and returns immediately when
+tracing is disabled, so instrumentation can stay permanently wired into hot
+paths (engines, chunk dispatch) without measurable overhead.
+
+Activation
+----------
+* programmatic: :func:`enable_trace` / :func:`disable_trace` /
+  :func:`trace_to` (scoped);
+* environment: exporting ``REPRO_TRACE=/path/to/trace.jsonl`` enables
+  tracing at import time — this is also how worker processes spawned by
+  :mod:`repro.parallel` pick up the parent's trace destination
+  (:func:`enable_trace` exports the variable by default);
+* CLI: every simulation subcommand of ``repro-sim`` accepts
+  ``--log-json PATH``.
+
+Emission
+--------
+Each record is one JSON object per line (JSONL), validating against the
+checked-in schema (:mod:`repro.obs.schema`).  Records carry a wall-clock
+timestamp ``ts``, a monotonic timestamp ``mono`` (comparable across
+processes of the same boot on Linux), the emitting ``pid``, a ``kind``
+(``event`` / ``span_start`` / ``span_end`` / ``counter``), a ``name`` and
+optional ``labels``.  ``span_end`` adds the span's ``wall_s``; ``counter``
+adds the increment ``value``.
+
+Files are opened in append mode; one-line writes are atomic enough under
+``O_APPEND`` for the multi-process fan-out of :func:`repro.parallel.run_chunked`.
+
+>>> import repro.obs as obs
+>>> obs.enabled()
+False
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, TextIO
+
+__all__ = [
+    "TRACE_ENV_VAR",
+    "EVENT_SCHEMA_ID",
+    "enabled",
+    "enable_trace",
+    "disable_trace",
+    "trace_path",
+    "trace_to",
+    "event",
+    "span",
+    "count",
+    "counters",
+    "reset_counters",
+    "format_event",
+    "read_events",
+]
+
+#: environment variable naming the JSONL destination; when set, tracing is
+#: enabled at import time (which is how pool workers inherit it).
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+#: schema identifier stamped on every emitted line (see ``event_schema.json``).
+EVENT_SCHEMA_ID = "repro/obs-event-v1"
+
+_KINDS = ("event", "span_start", "span_end", "counter")
+
+
+class _JsonlEmitter:
+    """Thread-safe append-mode JSONL writer."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._file: TextIO = open(self.path, "a", encoding="utf-8")
+
+    def write(self, record: dict) -> None:
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True, default=str)
+        with self._lock:
+            if self._file.closed:  # raced with disable_trace: drop silently
+                return
+            self._file.write(line + "\n")
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+
+_emitter: _JsonlEmitter | None = None
+_counters: dict[str, float] = {}
+_counter_lock = threading.Lock()
+
+
+# ---------------------------------------------------------------------------
+# Activation
+# ---------------------------------------------------------------------------
+
+
+def enabled() -> bool:
+    """Whether a JSONL trace destination is currently installed."""
+    return _emitter is not None
+
+
+def trace_path() -> str | None:
+    """The active trace file path, or ``None`` when tracing is off."""
+    return _emitter.path if _emitter is not None else None
+
+
+def enable_trace(path: str | Path, *, export_env: bool = True) -> None:
+    """Start emitting JSONL trace records to *path* (append mode).
+
+    With ``export_env=True`` (the default) the path is also exported as
+    ``REPRO_TRACE`` so that worker processes spawned afterwards (e.g. by
+    the process backend of :mod:`repro.parallel`) emit to the same file.
+    """
+    global _emitter
+    disable_trace(clear_env=False)
+    _emitter = _JsonlEmitter(path)
+    if export_env:
+        os.environ[TRACE_ENV_VAR] = str(path)
+
+
+def disable_trace(*, clear_env: bool = True) -> None:
+    """Stop tracing and close the output file (no-op when already off)."""
+    global _emitter
+    if _emitter is not None:
+        _emitter.close()
+        _emitter = None
+    if clear_env:
+        os.environ.pop(TRACE_ENV_VAR, None)
+
+
+@contextmanager
+def trace_to(path: str | Path, *, export_env: bool = True) -> Iterator[None]:
+    """Scoped tracing: enable on entry, restore the previous state on exit.
+
+    >>> import repro.obs as obs
+    >>> with obs.trace_to("/tmp/doctest-trace.jsonl", export_env=False):
+    ...     obs.enabled()
+    True
+    """
+    previous = trace_path()
+    enable_trace(path, export_env=export_env)
+    try:
+        yield
+    finally:
+        if previous is not None:
+            enable_trace(previous, export_env=export_env)
+        else:
+            disable_trace(clear_env=export_env)
+
+
+def _activate_from_env() -> None:
+    """Enable tracing if ``REPRO_TRACE`` names a writable destination.
+
+    Called at import time; a broken path must never take a worker process
+    down, so failures are swallowed (tracing simply stays off).
+    """
+    raw = os.environ.get(TRACE_ENV_VAR, "").strip()
+    if not raw or enabled():
+        return
+    try:
+        enable_trace(raw, export_env=False)
+    except OSError:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Emission
+# ---------------------------------------------------------------------------
+
+
+def _record(kind: str, name: str, labels: dict[str, Any]) -> dict:
+    rec: dict[str, Any] = {
+        "schema": EVENT_SCHEMA_ID,
+        "kind": kind,
+        "name": name,
+        "ts": time.time(),
+        "mono": time.monotonic(),
+        "pid": os.getpid(),
+    }
+    if labels:
+        rec["labels"] = labels
+    return rec
+
+
+def event(name: str, **labels: Any) -> None:
+    """Emit a point event (no-op when tracing is off)."""
+    em = _emitter
+    if em is None:
+        return
+    em.write(_record("event", name, labels))
+
+
+@contextmanager
+def span(name: str, **labels: Any) -> Iterator[None]:
+    """Emit a ``span_start`` / ``span_end`` pair around the block.
+
+    The ``span_end`` record carries the measured wall time (``wall_s``,
+    monotonic clock) and repeats the labels, so either end of the pair is
+    self-describing.  When tracing is off the block runs untouched — no
+    timer reads, no allocations.
+    """
+    em = _emitter
+    if em is None:
+        yield
+        return
+    start = time.monotonic()
+    em.write(_record("span_start", name, labels))
+    try:
+        yield
+    finally:
+        rec = _record("span_end", name, labels)
+        rec["wall_s"] = time.monotonic() - start
+        # late-bound: the emitter may have been swapped inside the block
+        (_emitter or em).write(rec)
+
+
+def count(name: str, value: float = 1.0, **labels: Any) -> None:
+    """Add *value* to counter *name* and emit a ``counter`` record.
+
+    Counters live in a thread-safe in-process registry
+    (:func:`counters`); like every other entry point this is a no-op when
+    tracing is off, so hot paths may call it unconditionally.
+    """
+    em = _emitter
+    if em is None:
+        return
+    v = float(value)
+    with _counter_lock:
+        _counters[name] = _counters.get(name, 0.0) + v
+    rec = _record("counter", name, labels)
+    rec["value"] = v
+    em.write(rec)
+
+
+def counters() -> dict[str, float]:
+    """Snapshot of the in-process counter registry."""
+    with _counter_lock:
+        return dict(_counters)
+
+
+def reset_counters() -> None:
+    """Clear the in-process counter registry."""
+    with _counter_lock:
+        _counters.clear()
+
+
+# ---------------------------------------------------------------------------
+# Reading traces back
+# ---------------------------------------------------------------------------
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Parse a JSONL trace file into a list of event records.
+
+    Blank lines are skipped; a torn final line (trace still being written)
+    is tolerated and dropped.
+    """
+    records: list[dict] = []
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                continue  # torn tail write
+            raise
+    return records
+
+
+def format_event(record: dict) -> str:
+    """One-line human rendering of a trace record (``repro-sim obs tail``)."""
+    kind = str(record.get("kind", "?"))
+    name = str(record.get("name", "?"))
+    parts = [f"[{kind:<10}]", name]
+    if "wall_s" in record:
+        parts.append(f"wall={float(record['wall_s']):.4f}s")
+    if "value" in record:
+        parts.append(f"value={record['value']:g}")
+    labels = record.get("labels") or {}
+    parts.extend(f"{k}={v}" for k, v in sorted(labels.items()))
+    if "pid" in record:
+        parts.append(f"pid={record['pid']}")
+    return " ".join(parts)
+
+
+_activate_from_env()

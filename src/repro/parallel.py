@@ -35,18 +35,22 @@ benchmark baselines) bit-for-bit stable.
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
+from functools import partial
 from pickle import PicklingError
 from typing import TYPE_CHECKING, Callable, Iterator
 
 import numpy as np
 
 from repro.exceptions import ParameterError
-from repro.util.rng import SeedLike, spawn_seeds
+from repro.obs import manifest as _obs_manifest
+from repro.obs import trace as obs
+from repro.util.rng import SeedLike, as_seed_sequence
 from repro.util.validation import check_positive_int
 
 if TYPE_CHECKING:  # import at call time only: runner.py imports this module
@@ -188,8 +192,15 @@ def _env_jobs() -> int | None:
     return jobs
 
 
-def resolve_execution(n_jobs: int | None = None) -> ExecutionContext | None:
+def resolve_execution(
+    n_jobs: int | ExecutionContext | None = None,
+) -> ExecutionContext | None:
     """Resolve the effective context for a simulation entry point.
+
+    ``n_jobs`` may be a worker count *or* a full :class:`ExecutionContext`
+    (every ``simulate_*`` entry point forwards its ``n_jobs`` keyword here,
+    so callers can pass e.g. ``ExecutionContext(n_jobs=2, backend="serial")``
+    to pin the backend and chunk size as well).
 
     Precedence: explicit ``n_jobs`` argument, then the process-wide default
     (:func:`set_default_execution`), then the ``REPRO_JOBS`` environment
@@ -249,32 +260,100 @@ def run_chunked(
     :class:`~numpy.random.SeedSequence` child of *seed*.  Results are merged
     in chunk order, so the returned ``RunSet`` is identical for every
     ``n_jobs`` / backend combination.
+
+    Observability: when tracing is on (:mod:`repro.obs`) every chunk emits a
+    ``parallel.chunk`` span pair — from inside the worker for the process
+    backend — labelled with backend, chunk index, chunk size and
+    queue-to-start latency; the merged ``RunSet`` always carries a
+    :class:`~repro.obs.RunManifest` under ``meta["manifest"]`` recording
+    seed entropy, chunk layout and per-stage timings.
     """
     from repro.simulation.results import RunSet
 
+    t_start = time.monotonic()
     if context is None:
         context = ExecutionContext()
     sizes = chunk_sizes(n_runs, context.effective_chunk_size)
-    seeds = spawn_seeds(seed, len(sizes))
+    root_seed = as_seed_sequence(seed)
+    seeds = root_seed.spawn(len(sizes))
+    t_setup = time.monotonic() - t_start
 
     use_pool = (
         context.backend == "process" and context.n_jobs > 1 and len(sizes) > 1
     )
+    t_dispatch_start = time.monotonic()
     parts = _run_in_pool(task, sizes, seeds, context.n_jobs) if use_pool else None
     used_process = parts is not None
     if parts is None:
-        parts = [task(size, chunk_seed) for size, chunk_seed in zip(sizes, seeds)]
+        submitted = time.monotonic()
+        parts = [
+            _traced_chunk(task, i, len(sizes), size, "serial", submitted, chunk_seed)
+            for i, (size, chunk_seed) in enumerate(zip(sizes, seeds))
+        ]
+    t_dispatch = time.monotonic() - t_dispatch_start
 
+    t_merge_start = time.monotonic()
     merged = RunSet.concatenate(parts)
-    merged.meta.update(
-        execution={
-            "backend": "process" if used_process else "serial",
-            "n_jobs": context.n_jobs,
-            "n_chunks": len(sizes),
-            "chunk_size": context.effective_chunk_size,
-        }
-    )
+    t_merge = time.monotonic() - t_merge_start
+    execution = {
+        "backend": "process" if used_process else "serial",
+        "n_jobs": context.n_jobs,
+        "n_chunks": len(sizes),
+        "chunk_size": context.effective_chunk_size,
+    }
+    merged.meta.update(execution=dict(execution))
+    merged.meta["manifest"] = _obs_manifest.RunManifest(
+        label=merged.label,
+        seed=_obs_manifest.seed_provenance(root_seed),
+        config={"task": _describe_task(task), "n_runs": n_runs},
+        execution=execution,
+        timings={
+            "setup_s": t_setup,
+            "dispatch_s": t_dispatch,
+            "merge_s": t_merge,
+            "total_s": time.monotonic() - t_start,
+        },
+    ).to_dict()
     return merged
+
+
+def _describe_task(task: ChunkTask) -> str:
+    """Qualified name of a chunk task (unwrapping ``functools.partial``)."""
+    fn = task.func if isinstance(task, partial) else task
+    module = getattr(fn, "__module__", "")
+    name = getattr(fn, "__qualname__", repr(fn))
+    return f"{module}.{name}" if module else name
+
+
+def _traced_chunk(
+    task: ChunkTask,
+    index: int,
+    n_chunks: int,
+    size: int,
+    backend: str,
+    submitted_mono: float,
+    chunk_seed: np.random.SeedSequence,
+) -> "RunSet":
+    """Run one chunk under a ``parallel.chunk`` span.
+
+    Module-level (hence picklable) so the process backend executes it — and
+    emits its events — *inside the worker*: the recorded ``pid`` is the
+    worker's, and ``queue_s`` measures submit-to-start latency
+    (``CLOCK_MONOTONIC`` is system-wide on Linux, so the parent's submit
+    stamp is comparable).  When tracing is off this is a plain call.
+    """
+    if not obs.enabled():
+        return task(size, chunk_seed)
+    queue_s = max(0.0, time.monotonic() - submitted_mono)
+    with obs.span(
+        "parallel.chunk",
+        backend=backend,
+        chunk=index,
+        n_chunks=n_chunks,
+        size=size,
+        queue_s=round(queue_s, 6),
+    ):
+        return task(size, chunk_seed)
 
 
 def _run_in_pool(
@@ -291,9 +370,13 @@ def _run_in_pool(
     """
     try:
         with ProcessPoolExecutor(max_workers=min(n_jobs, len(sizes))) as pool:
+            submitted = time.monotonic()
             futures = [
-                pool.submit(task, size, chunk_seed)
-                for size, chunk_seed in zip(sizes, seeds)
+                pool.submit(
+                    _traced_chunk, task, i, len(sizes), size, "process",
+                    submitted, chunk_seed,
+                )
+                for i, (size, chunk_seed) in enumerate(zip(sizes, seeds))
             ]
             return [f.result() for f in futures]
     # AttributeError/TypeError: how pickle reports an unpicklable task
@@ -307,6 +390,12 @@ def _run_in_pool(
         AttributeError,
         TypeError,
     ) as exc:
+        obs.event(
+            "parallel.fallback",
+            error=type(exc).__name__,
+            n_chunks=len(sizes),
+            n_jobs=n_jobs,
+        )
         warnings.warn(
             f"process pool unavailable ({type(exc).__name__}: {exc}); "
             "falling back to serial chunked execution",

@@ -30,11 +30,14 @@ failures during checkpoints, downtime and recovery.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.exceptions import ParameterError, SimulationError
+from repro.obs import manifest as _obs_manifest
+from repro.obs import trace as obs
 from repro.platform_model.costs import CheckpointCosts
 from repro.simulation.policies import PeriodicPolicy
 from repro.simulation.results import RunSet
@@ -113,6 +116,7 @@ def simulate_lockstep(config: LockstepConfig, *, seed: SeedLike = None) -> RunSe
     run.  A single NumPy generator drives all runs; reproducibility is at
     batch granularity (same seed + same config = same batch).
     """
+    t_start = time.monotonic()
     rng = as_generator(seed)
     n = config.n_runs
     policy = config.policy
@@ -146,11 +150,15 @@ def simulate_lockstep(config: LockstepConfig, *, seed: SeedLike = None) -> RunSe
 
     # Hard cap on iterations: generous bound on events per run.
     max_iter = _iteration_budget(config)
+    n_iterations = 0
+    n_events = 0
 
     for _ in range(max_iter):
         idx = np.nonzero(active)[0]
         if idx.size == 0:
             break
+        n_iterations += 1
+        n_events += int(idx.size)
         dt = rng.exponential(mean_gap, idx.size)
         t_next = pos[idx] + dt
         length = seg_len[idx]
@@ -253,6 +261,18 @@ def simulate_lockstep(config: LockstepConfig, *, seed: SeedLike = None) -> RunSe
             "likely cannot make progress (period shorter than failure gaps)"
         )
 
+    if obs.enabled():
+        obs.event(
+            "engine.lockstep",
+            runs=n,
+            iterations=n_iterations,
+            events=n_events,
+            failures=int(n_failures.sum()),
+            fatal=int(n_fatal.sum()),
+            periods=int(periods_done.sum()),
+        )
+        obs.count("engine.lockstep.iterations", n_iterations)
+        obs.count("engine.lockstep.failures", int(n_failures.sum()))
     return RunSet(
         total_time=total,
         useful_time=useful,
@@ -270,6 +290,22 @@ def simulate_lockstep(config: LockstepConfig, *, seed: SeedLike = None) -> RunSe
             "n_pairs": config.n_pairs,
             "n_standalone": config.n_standalone,
             "engine": "lockstep",
+            "manifest": _obs_manifest.RunManifest(
+                label=policy.name,
+                seed=_obs_manifest.seed_provenance(rng),
+                config={
+                    "mtbf": config.mtbf,
+                    "n_pairs": config.n_pairs,
+                    "n_standalone": config.n_standalone,
+                    "policy": policy.name,
+                    "n_runs": config.n_runs,
+                    "n_periods": config.n_periods,
+                    "work_target": config.work_target,
+                    "failures_during_checkpoint": config.failures_during_checkpoint,
+                },
+                execution={"engine": "lockstep"},
+                timings={"total_s": time.monotonic() - t_start},
+            ).to_dict(),
         },
     )
 

@@ -157,6 +157,11 @@ class RunSet:
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunSet":
+        missing = [name for name in _VECTOR_FIELDS if name not in data]
+        if missing:
+            raise ParameterError(
+                f"RunSet payload is missing field(s): {', '.join(missing)}"
+            )
         kwargs = {name: np.asarray(data[name]) for name in _VECTOR_FIELDS}
         return cls(label=data.get("label", ""), meta=data.get("meta", {}), **kwargs)
 
@@ -164,8 +169,12 @@ class RunSet:
     def concatenate(cls, parts: list["RunSet"], label: str | None = None) -> "RunSet":
         """Merge several run batches into one (e.g. chunked execution).
 
-        Run order follows the order of *parts*; the label and meta of the
-        first part are inherited (pass *label* to override the former).
+        Run order follows the order of *parts*; the label of the first part
+        is inherited (pass *label* to override).  Metadata is merged
+        deterministically across *all* parts — first occurrence of a key
+        wins, in part order — and ``n_parts`` records how many batches were
+        merged, so chunked and serial executions of the same workload carry
+        the same information.
         """
         if not parts:
             raise ParameterError("cannot concatenate an empty list of RunSets")
@@ -173,9 +182,14 @@ class RunSet:
             name: np.concatenate([np.asarray(getattr(p, name)) for p in parts])
             for name in _VECTOR_FIELDS
         }
+        merged_meta: dict = {}
+        for part in parts:
+            for key, value in part.meta.items():
+                merged_meta.setdefault(key, value)
+        merged_meta["n_parts"] = len(parts)
         return cls(
             label=label if label is not None else parts[0].label,
-            meta=dict(parts[0].meta),
+            meta=merged_meta,
             **kwargs,
         )
 

@@ -16,13 +16,14 @@ Engine selection: the *restart* strategy defaults to the exact sampled fast
 path; every other exponential strategy uses the lockstep engine; trace and
 non-exponential inputs go through :func:`simulate_with_source`.
 
-Parallel execution: every entry point accepts ``n_jobs``.  When set (or when
-a default :class:`~repro.parallel.ExecutionContext` is installed, or
-``REPRO_JOBS`` is exported), the batch is split into deterministic chunks
-and fanned out across worker processes by :func:`repro.parallel.run_chunked`;
-``n_jobs=1`` and ``n_jobs=8`` return bit-identical :class:`RunSet`\\ s for
-the same seed.  Leaving ``n_jobs`` unset everywhere preserves the legacy
-single-batch seed stream.
+Parallel execution: every entry point accepts ``n_jobs`` — either a worker
+count or a full :class:`~repro.parallel.ExecutionContext` (to pin the
+backend or chunk size for one call).  When set (or when a default context is
+installed, or ``REPRO_JOBS`` is exported), the batch is split into
+deterministic chunks and fanned out across worker processes by
+:func:`repro.parallel.run_chunked`; ``n_jobs=1`` and ``n_jobs=8`` return
+bit-identical :class:`RunSet`\\ s for the same seed.  Leaving ``n_jobs``
+unset everywhere preserves the legacy single-batch seed stream.
 """
 
 from __future__ import annotations
@@ -33,7 +34,7 @@ from functools import partial
 from repro.exceptions import ParameterError
 from repro.failures.generator import FailureSource, TraceFailureSource
 from repro.failures.traces import FailureTrace
-from repro.parallel import resolve_execution, run_chunked
+from repro.parallel import ExecutionContext, resolve_execution, run_chunked
 from repro.platform_model.costs import CheckpointCosts
 from repro.platform_model.machine import Platform
 from repro.simulation.lockstep import LockstepConfig, simulate_lockstep
@@ -121,14 +122,16 @@ def simulate_restart(
     engine: str = "sampled",
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
-    n_jobs: int | None = None,
+    n_jobs: int | ExecutionContext | None = None,
 ) -> RunSet:
     """Simulate the paper's *restart* strategy (restart at every checkpoint).
 
     ``engine`` is ``"sampled"`` (exact closed-form sampling, fastest) or
     ``"lockstep"`` (event-driven, used for cross-validation).  The sampled
     engine requires ``n_periods`` termination.  ``n_jobs`` fans the
-    replications out across worker processes (see :mod:`repro.parallel`).
+    replications out across worker processes (see :mod:`repro.parallel`);
+    pass an :class:`~repro.parallel.ExecutionContext` instead of an int to
+    control the backend and chunk size for this call.
     """
     n_runs = check_positive_int("n_runs", n_runs)
     if engine == "sampled":
@@ -176,7 +179,7 @@ def simulate_no_restart(
     n_runs: int = 100,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
-    n_jobs: int | None = None,
+    n_jobs: int | ExecutionContext | None = None,
 ) -> RunSet:
     """Simulate prior work's *no-restart* strategy."""
     policy = no_restart_policy(period, costs)
@@ -206,7 +209,7 @@ def simulate_nbound(
     restart_wave_factor: float = 2.0,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
-    n_jobs: int | None = None,
+    n_jobs: int | ExecutionContext | None = None,
 ) -> RunSet:
     """Simulate the Section 7.7 extension: restart after >= n_bound deaths."""
     policy = nbound_policy(period, costs, n_bound, restart_wave_factor=restart_wave_factor)
@@ -234,7 +237,7 @@ def simulate_every_k(
     n_runs: int = 100,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
-    n_jobs: int | None = None,
+    n_jobs: int | ExecutionContext | None = None,
 ) -> RunSet:
     """Simulate the future-work variant: rejuvenate at every k-th checkpoint."""
     policy = every_k_policy(period, costs, k)
@@ -263,7 +266,7 @@ def simulate_non_periodic(
     n_runs: int = 100,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
-    n_jobs: int | None = None,
+    n_jobs: int | ExecutionContext | None = None,
 ) -> RunSet:
     """Simulate Figure 2's non-periodic no-restart variant (T1 / T2)."""
     policy = non_periodic_policy(healthy_period, degraded_period, costs)
@@ -292,7 +295,7 @@ def simulate_no_replication(
     n_runs: int = 100,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
-    n_jobs: int | None = None,
+    n_jobs: int | ExecutionContext | None = None,
 ) -> RunSet:
     """Simulate plain checkpoint/restart without replication."""
     n_runs = check_positive_int("n_runs", n_runs)
@@ -325,7 +328,7 @@ def simulate_partial_replication(
     n_runs: int = 100,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
-    n_jobs: int | None = None,
+    n_jobs: int | ExecutionContext | None = None,
 ) -> RunSet:
     """Simulate a partially replicated platform (paper Section 7.6).
 
@@ -370,7 +373,7 @@ def simulate_policy(
     n_standalone: int = 0,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
-    n_jobs: int | None = None,
+    n_jobs: int | ExecutionContext | None = None,
 ) -> RunSet:
     """Simulate an arbitrary :class:`PeriodicPolicy` with the lockstep engine."""
     n_runs = check_positive_int("n_runs", n_runs)
@@ -400,7 +403,7 @@ def simulate_with_source(
     n_standalone: int = 0,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
-    n_jobs: int | None = None,
+    n_jobs: int | ExecutionContext | None = None,
 ) -> RunSet:
     """Simulate a policy against an arbitrary failure source (general engine)."""
     n_runs = check_positive_int("n_runs", n_runs)
@@ -430,7 +433,7 @@ def simulate_with_trace(
     n_runs: int = 100,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
-    n_jobs: int | None = None,
+    n_jobs: int | ExecutionContext | None = None,
 ) -> RunSet:
     """Replay a failure trace with the paper's group methodology.
 

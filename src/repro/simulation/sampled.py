@@ -21,11 +21,14 @@ integration tests check).
 
 from __future__ import annotations
 
+import time
 
 import numpy as np
 
 from repro.core.mtti import sample_time_to_interruption
 from repro.exceptions import SimulationError
+from repro.obs import manifest as _obs_manifest
+from repro.obs import trace as obs
 from repro.platform_model.costs import CheckpointCosts
 from repro.simulation.results import RunSet
 from repro.util.rng import SeedLike, as_generator
@@ -76,6 +79,7 @@ def simulate_restart_sampled(
     period = check_positive("period", period)
     n_periods = check_positive_int("n_periods", n_periods)
     n_runs = check_positive_int("n_runs", n_runs)
+    t_start = time.monotonic()
     rng = as_generator(seed)
 
     lam = 1.0 / mtbf
@@ -92,9 +96,13 @@ def simulate_restart_sampled(
     max_deg = np.zeros(n_cells, dtype=np.int64)
 
     pending = np.arange(n_cells)
+    n_rounds = 0
+    n_attempts = 0
     for _ in range(_MAX_ROUNDS):
         if pending.size == 0:
             break
+        n_rounds += 1
+        n_attempts += int(pending.size)
         tau = sample_time_to_interruption(mtbf, n_pairs, pending.size, rng=rng)
         failed = tau <= exposure
         ok = pending[~failed]
@@ -131,6 +139,18 @@ def simulate_restart_sampled(
     def per_run(v: np.ndarray) -> np.ndarray:
         return v.reshape(n_runs, n_periods).sum(axis=1)
 
+    if obs.enabled():
+        obs.event(
+            "engine.sampled",
+            runs=n_runs,
+            periods=n_cells,
+            attempts=n_attempts,
+            rounds=n_rounds,
+            failures=int(fails.sum()),
+            fatal=int(fatal.sum()),
+        )
+        obs.count("engine.sampled.periods", n_cells)
+        obs.count("engine.sampled.failures", int(fails.sum()))
     return RunSet(
         total_time=per_run(total),
         useful_time=np.full(n_runs, float(n_periods) * period),
@@ -148,5 +168,19 @@ def simulate_restart_sampled(
             "n_pairs": n_pairs,
             "n_standalone": 0,
             "engine": "sampled",
+            "manifest": _obs_manifest.RunManifest(
+                label=f"Restart(T={period:g}) [sampled]",
+                seed=_obs_manifest.seed_provenance(rng),
+                config={
+                    "mtbf": mtbf,
+                    "n_pairs": n_pairs,
+                    "period": period,
+                    "n_periods": n_periods,
+                    "n_runs": n_runs,
+                    "failures_during_checkpoint": failures_during_checkpoint,
+                },
+                execution={"engine": "sampled"},
+                timings={"total_s": time.monotonic() - t_start},
+            ).to_dict(),
         },
     )

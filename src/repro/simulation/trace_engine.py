@@ -18,16 +18,19 @@ Monte-Carlo error on exponential inputs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.exceptions import ParameterError, SimulationError
 from repro.failures.generator import FailureSource
+from repro.obs import manifest as _obs_manifest
+from repro.obs import trace as obs
 from repro.platform_model.costs import CheckpointCosts
 from repro.simulation.policies import PeriodicPolicy
 from repro.simulation.results import RunSet
-from repro.util.rng import SeedLike, spawn_seeds
+from repro.util.rng import SeedLike, as_seed_sequence
 from repro.util.validation import check_positive, check_positive_int
 
 __all__ = ["TraceEngineConfig", "simulate_trace_runs"]
@@ -119,7 +122,9 @@ def simulate_trace_runs(config: TraceEngineConfig, *, seed: SeedLike = None) -> 
     Each run opens a fresh stream (independent rotation/permutation seeds
     for trace sources; independent sample paths for renewal sources).
     """
-    seeds = spawn_seeds(seed, config.n_runs)
+    t_start = time.monotonic()
+    root_seed = as_seed_sequence(seed)
+    seeds = root_seed.spawn(config.n_runs)
     metrics = {
         name: np.zeros(config.n_runs)
         for name in (
@@ -140,12 +145,38 @@ def simulate_trace_runs(config: TraceEngineConfig, *, seed: SeedLike = None) -> 
             arr[r] = out[name]
         for name, arr in counts.items():
             arr[r] = out[name]
+    if obs.enabled():
+        obs.event(
+            "engine.trace",
+            runs=config.n_runs,
+            failures=int(counts["n_failures"].sum()),
+            fatal=int(counts["n_fatal"].sum()),
+            checkpoints=int(counts["n_checkpoints"].sum()),
+        )
+        obs.count("engine.trace.runs", config.n_runs)
+        obs.count("engine.trace.failures", int(counts["n_failures"].sum()))
     return RunSet(
         label=config.policy.name,
         meta={
             "n_pairs": config.n_pairs,
             "n_standalone": config.n_standalone,
             "engine": "trace",
+            "manifest": _obs_manifest.RunManifest(
+                label=config.policy.name,
+                seed=_obs_manifest.seed_provenance(root_seed),
+                config={
+                    "source": type(config.source).__name__,
+                    "n_pairs": config.n_pairs,
+                    "n_standalone": config.n_standalone,
+                    "policy": config.policy.name,
+                    "n_runs": config.n_runs,
+                    "n_periods": config.n_periods,
+                    "work_target": config.work_target,
+                    "failures_during_checkpoint": config.failures_during_checkpoint,
+                },
+                execution={"engine": "trace"},
+                timings={"total_s": time.monotonic() - t_start},
+            ).to_dict(),
         },
         **metrics,
         **counts,

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 
 from repro.core.mtti import mtti
 from repro.core.overhead import (
+    _expected_loss_given_failure,
     expected_period_time_exact,
     expected_period_time_one_pair,
     no_replication_optimal_overhead,
@@ -123,6 +124,42 @@ class TestExactOnePair:
         one = expected_period_time_one_pair(t, cr, mu)
         gen = expected_period_time_exact(t, cr, mu, 1)
         assert gen == pytest.approx(one, rel=1e-6)
+
+
+class TestExpectedLossDegenerate:
+    """The vanishing-failure-probability branch of the conditional loss.
+
+    As ``lambda T -> 0`` a fatal attempt needs two failures in ``[0, T]``;
+    their expected order statistics are ``T/3`` and ``2T/3``, and the
+    attempt dies at the *second* — so the conditional loss tends to
+    ``2T/3`` (Section 4.2 Taylor expansion), not ``T/2``.
+    """
+
+    def test_degenerate_branch_returns_two_thirds(self):
+        # mu so large that the failure probability underflows to exactly 0.
+        t = 100.0
+        loss = _expected_loss_given_failure(t, 1e30, 1, 101)
+        assert loss == pytest.approx(2.0 * t / 3.0)
+
+    def test_quadrature_limit_matches_degenerate_value(self):
+        # Just above the underflow threshold the quadrature path must agree
+        # with the Taylor limit — i.e. the branch is continuous.
+        # (mu is capped where p_fail ~ (T/mu)^2 still clears float-eps
+        # cancellation in the quadrature.)
+        t = 100.0
+        for mu in (1e6, 1e7, 1e8):
+            loss = _expected_loss_given_failure(t, mu, 1, 2001)
+            assert loss == pytest.approx(2.0 * t / 3.0, rel=1e-3)
+
+    def test_exact_pins_against_one_pair_at_tiny_lambda_t(self):
+        # Regression: for b=1 the quadrature-based exact E(T) must match
+        # the closed-form one-pair E(T) deep in the reliable regime, where
+        # the E(T) difference is dominated by the conditional-loss term.
+        t, cr = 1000.0, 60.0
+        for mu in (1e8, 1e9):
+            gen = expected_period_time_exact(t, cr, mu, 1)
+            one = expected_period_time_one_pair(t, cr, mu)
+            assert gen == pytest.approx(one, rel=1e-9)
 
 
 class TestExactBPairs:

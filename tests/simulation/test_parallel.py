@@ -91,6 +91,42 @@ class TestDeterminismAcrossJobs:
             b = simulate_restart(**kw)
         _assert_identical(a, b)
 
+    def test_execution_context_accepted_as_n_jobs(self, costs60):
+        # resolve_execution (and every simulate_* n_jobs kwarg) accepts a
+        # full ExecutionContext, pinning backend/chunking for one call.
+        ctx = ExecutionContext(n_jobs=3, backend="serial", chunk_size=5)
+        assert resolve_execution(ctx) is ctx
+        kw = dict(mtbf=MTBF, n_pairs=500, period=40_000.0, costs=costs60,
+                  n_periods=10, n_runs=17, seed=9)
+        rs = simulate_restart(**kw, n_jobs=ctx)
+        # same chunk layout, different worker count: bit-identical
+        one = simulate_restart(
+            **kw, n_jobs=ExecutionContext(n_jobs=1, backend="serial", chunk_size=5)
+        )
+        _assert_identical(rs, one)
+        info = rs.meta["execution"]
+        assert info["backend"] == "serial"
+        assert info["n_jobs"] == 3
+        assert info["chunk_size"] == 5
+
+    def test_part_meta_identical_across_backends(self, costs60):
+        # The chunk-meta merge must not depend on the backend: excluding the
+        # volatile keys (execution layout, manifest timings), serial and
+        # process fan-outs carry the same merged metadata.
+        kw = dict(mtbf=MTBF, n_pairs=500, period=40_000.0, costs=costs60,
+                  n_periods=10, n_runs=20, seed=5)
+        a = simulate_restart(
+            **kw, n_jobs=ExecutionContext(n_jobs=2, backend="serial", chunk_size=4)
+        )
+        b = simulate_restart(
+            **kw, n_jobs=ExecutionContext(n_jobs=2, backend="process", chunk_size=4)
+        )
+        volatile = {"execution", "manifest"}
+        meta_a = {k: v for k, v in a.meta.items() if k not in volatile}
+        meta_b = {k: v for k, v in b.meta.items() if k not in volatile}
+        assert meta_a == meta_b
+        assert meta_a["n_parts"] == 5
+
     def test_execution_meta_recorded(self, costs60):
         rs = simulate_restart(mtbf=MTBF, n_pairs=100, period=40_000.0,
                               costs=costs60, n_periods=5, n_runs=40,

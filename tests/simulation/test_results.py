@@ -76,6 +76,18 @@ class TestSerialisation:
         rs.meta["engine"] = "x"
         assert RunSet.from_dict(rs.to_dict()).meta["engine"] == "x"
 
+    def test_truncated_payload_names_missing_fields(self):
+        payload = make_runset().to_dict()
+        payload.pop("n_fatal")
+        payload.pop("wasted_time")
+        with pytest.raises(ParameterError, match="wasted_time") as exc:
+            RunSet.from_dict(payload)
+        assert "n_fatal" in str(exc.value)
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ParameterError, match="missing field"):
+            RunSet.from_dict({"label": "x"})
+
 
 class TestConcatenate:
     def test_merges(self):
@@ -91,3 +103,18 @@ class TestConcatenate:
     def test_empty_rejected(self):
         with pytest.raises(ParameterError):
             RunSet.concatenate([])
+
+    def test_meta_merged_across_parts_first_wins(self):
+        a, b, c = make_runset(n=1), make_runset(n=1), make_runset(n=1)
+        a.meta = {"engine": "sampled", "shared": 1}
+        b.meta = {"engine": "lockstep", "only_b": "kept"}
+        c.meta = {"shared": 2, "only_c": True}
+        merged = RunSet.concatenate([a, b, c])
+        assert merged.meta["engine"] == "sampled"  # first occurrence wins
+        assert merged.meta["shared"] == 1
+        assert merged.meta["only_b"] == "kept"  # later-only keys survive
+        assert merged.meta["only_c"] is True
+        assert merged.meta["n_parts"] == 3
+
+    def test_n_parts_recorded_for_single_part(self):
+        assert RunSet.concatenate([make_runset(n=2)]).meta["n_parts"] == 1

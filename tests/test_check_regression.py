@@ -12,6 +12,7 @@ from benchmarks.check_regression import (
     compare_experiment,
     load_baselines,
     main,
+    write_run_manifest,
 )
 
 
@@ -91,8 +92,39 @@ class TestInjection:
         assert main(["--skip-run"]) == 0
         assert "OK" in capsys.readouterr().out
 
-    def test_main_unknown_module_is_infrastructure_error(self):
-        assert main(["--modules", "does-not-exist"]) == 2
+    def test_main_unknown_module_is_infrastructure_error(self, tmp_path):
+        assert main(["--modules", "does-not-exist", "--artifacts", str(tmp_path)]) == 2
+
+    def test_main_artifacts_can_be_disabled(self, capsys):
+        assert main(["--skip-run", "--artifacts", ""]) == 0
+
+
+class TestTimingArtifacts:
+    def test_write_run_manifest_round_trips(self, tmp_path):
+        path = write_run_manifest(
+            tmp_path,
+            modules=["fig01", "tables"],
+            rtol=0.1,
+            timings={"fig01": 1.25, "tables": 0.5},
+            n_deviations=0,
+        )
+        from repro.io import load_manifest
+
+        manifest = load_manifest(path)
+        assert manifest.label == "benchmarks/check_regression"
+        assert manifest.execution["gate"] == "pass"
+        assert manifest.timings["fig01_s"] == 1.25
+        assert manifest.timings["total_s"] == pytest.approx(1.75)
+
+    def test_gate_outcome_recorded_on_failure(self, tmp_path):
+        write_run_manifest(
+            tmp_path, modules=["fig01"], rtol=0.1,
+            timings={"fig01": 1.0}, n_deviations=3,
+        )
+        from repro.io import load_manifest
+
+        manifest = load_manifest(tmp_path / "check_regression_manifest.json")
+        assert manifest.execution["gate"] == "fail(3)"
 
 
 def test_script_importable_without_pytest_running():

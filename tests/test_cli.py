@@ -95,3 +95,78 @@ class TestCommands:
         from repro.io import read_trace
 
         assert read_trace(path).n_failures == 3899
+
+
+class TestObsCommands:
+    @pytest.fixture(autouse=True)
+    def _clean_globals(self):
+        """--jobs / --log-json install process-wide state; undo it."""
+        yield
+        from repro import obs
+        from repro.parallel import set_default_execution
+
+        obs.disable_trace()
+        set_default_execution(None)
+
+    def test_log_json_records_chunk_spans(self, tmp_path, capsys):
+        from repro import obs
+
+        trace_path = tmp_path / "run.jsonl"
+        rc = main([
+            "simulate", "restart", "--pairs", "1000", "--runs", "40",
+            "--periods", "5", "--seed", "1", "--jobs", "1",
+            "--log-json", str(trace_path),
+        ])
+        assert rc == 0
+        obs.disable_trace()
+        events = obs.read_events(trace_path)
+        for record in events:
+            obs.validate_event(record)
+        starts = [e for e in events if e["kind"] == "span_start" and e["name"] == "parallel.chunk"]
+        ends = [e for e in events if e["kind"] == "span_end" and e["name"] == "parallel.chunk"]
+        assert len(starts) == len(ends) > 0
+        assert sum(e["labels"]["size"] for e in ends) == 40
+
+    def test_obs_manifest_pretty_prints(self, tmp_path, capsys):
+        from repro.io import save_manifest
+        from repro.obs import RunManifest
+
+        path = tmp_path / "m.json"
+        save_manifest(RunManifest(label="demo-run", timings={"total_s": 0.5}), path)
+        assert main(["obs", "manifest", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "demo-run" in out and "total_s" in out
+
+    def test_obs_manifest_accepts_runset_files(self, tmp_path, capsys):
+        import repro
+        from repro.io import save_runset
+        from repro.simulation import simulate_restart
+
+        rs = simulate_restart(
+            mtbf=5 * repro.YEAR, n_pairs=1000, period=40_000.0,
+            costs=repro.CheckpointCosts(checkpoint=60.0),
+            n_periods=5, n_runs=4, seed=1,
+        )
+        path = tmp_path / "rs.json"
+        save_runset(rs, path)
+        assert main(["obs", "manifest", str(path)]) == 0
+        assert "engine=sampled" in capsys.readouterr().out
+
+    def test_obs_manifest_bad_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"nope": 1}')
+        assert main(["obs", "manifest", str(path)]) == 2
+        assert "missing field" in capsys.readouterr().err
+        assert main(["obs", "manifest", str(tmp_path / "absent.json")]) == 2
+
+    def test_obs_tail(self, tmp_path, capsys):
+        from repro import obs
+
+        path = tmp_path / "t.jsonl"
+        with obs.trace_to(path):
+            for i in range(6):
+                obs.event("tick", i=i)
+        assert main(["obs", "tail", str(path), "--lines", "2"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 2
+        assert "i=5" in out[-1]

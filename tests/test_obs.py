@@ -1,0 +1,338 @@
+"""Tests for :mod:`repro.obs` — tracing, event schema, run manifests.
+
+The load-bearing guarantees:
+
+* tracing is strictly zero-impact when disabled — instrumented and
+  uninstrumented runs are bit-identical for the same seed;
+* every emitted JSONL line validates against the checked-in event schema;
+* every chunk dispatched by :func:`repro.parallel.run_chunked` appears as a
+  ``span_start``/``span_end`` pair carrying backend, chunk index, size and
+  wall time;
+* every simulation ``RunSet`` carries a :class:`~repro.obs.RunManifest`
+  that round-trips through :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.exceptions import ParameterError
+from repro.failures.generator import ExponentialFailureSource
+from repro.io import load_manifest, save_manifest
+from repro.obs import RunManifest, seed_provenance, validate_event
+from repro.parallel import ExecutionContext
+from repro.simulation import (
+    no_restart_policy,
+    simulate_no_restart,
+    simulate_restart,
+    simulate_with_source,
+)
+from repro.util.units import YEAR
+
+MTBF = 5 * YEAR
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    """Every test starts and ends with tracing globally disabled."""
+    obs.disable_trace()
+    obs.reset_counters()
+    yield
+    obs.disable_trace()
+    obs.reset_counters()
+
+
+def _restart_kwargs(costs, **overrides):
+    kw = dict(mtbf=MTBF, n_pairs=500, period=40_000.0, costs=costs,
+              n_periods=10, n_runs=20, seed=7)
+    kw.update(overrides)
+    return kw
+
+
+class TestTraceCore:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+        assert obs.trace_path() is None
+        # all entry points are no-ops when off
+        obs.event("x", a=1)
+        obs.count("x")
+        with obs.span("x"):
+            pass
+        assert obs.counters() == {}
+
+    def test_trace_to_emits_schema_valid_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with obs.trace_to(path):
+            assert obs.enabled()
+            assert obs.trace_path() == str(path)
+            obs.event("unit.event", answer=42)
+            with obs.span("unit.span", tag="s"):
+                pass
+            obs.count("unit.counter", 2.5, kind_label="c")
+        assert not obs.enabled()
+        events = obs.read_events(path)
+        assert [e["kind"] for e in events] == ["event", "span_start", "span_end", "counter"]
+        for record in events:
+            validate_event(record)  # raises on any schema violation
+        assert events[0]["labels"] == {"answer": 42}
+        assert events[2]["wall_s"] >= 0.0
+        assert events[3]["value"] == 2.5
+        assert all(e["pid"] == os.getpid() for e in events)
+
+    def test_trace_to_restores_previous_destination(self, tmp_path):
+        outer, inner = tmp_path / "outer.jsonl", tmp_path / "inner.jsonl"
+        with obs.trace_to(outer):
+            with obs.trace_to(inner):
+                obs.event("inner.event")
+            assert obs.trace_path() == str(outer)
+            obs.event("outer.event")
+        assert [e["name"] for e in obs.read_events(inner)] == ["inner.event"]
+        assert [e["name"] for e in obs.read_events(outer)] == ["outer.event"]
+
+    def test_enable_trace_exports_env_for_workers(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(obs.TRACE_ENV_VAR, raising=False)
+        path = tmp_path / "t.jsonl"
+        obs.enable_trace(path)
+        assert os.environ[obs.TRACE_ENV_VAR] == str(path)
+        obs.disable_trace()
+        assert obs.TRACE_ENV_VAR not in os.environ
+
+    def test_env_var_activates_tracing_at_import(self, tmp_path):
+        # Simulate what a spawned worker does: import repro.obs.trace with
+        # REPRO_TRACE exported.
+        import subprocess
+        import sys
+
+        path = tmp_path / "worker.jsonl"
+        code = "from repro.obs import trace; trace.event('from.worker', ok=1)"
+        env = dict(os.environ, REPRO_TRACE=str(path))
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        subprocess.run([sys.executable, "-c", code], check=True, env=env)
+        events = obs.read_events(path)
+        assert [e["name"] for e in events] == ["from.worker"]
+        validate_event(events[0])
+
+    def test_counters_accumulate(self, tmp_path):
+        with obs.trace_to(tmp_path / "t.jsonl"):
+            obs.count("hits")
+            obs.count("hits", 2)
+            obs.count("misses", 0.5)
+        assert obs.counters() == {"hits": 3.0, "misses": 0.5}
+        obs.reset_counters()
+        assert obs.counters() == {}
+
+    def test_read_events_tolerates_torn_final_line(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        with obs.trace_to(path):
+            obs.event("kept")
+        with open(path, "a") as fh:
+            fh.write('{"schema": "repro/obs-ev')  # interrupted write
+        events = obs.read_events(path)
+        assert [e["name"] for e in events] == ["kept"]
+
+    def test_format_event_renders_one_line(self, tmp_path):
+        with obs.trace_to(tmp_path / "t.jsonl"):
+            with obs.span("render.me", backend="serial"):
+                pass
+        end = obs.read_events(tmp_path / "t.jsonl")[-1]
+        text = obs.format_event(end)
+        assert "\n" not in text
+        assert "render.me" in text and "backend=serial" in text and "wall=" in text
+
+
+class TestEventSchema:
+    def test_schema_file_is_valid_json_and_versioned(self):
+        schema = obs.load_event_schema()
+        assert schema["$id"] == obs.EVENT_SCHEMA_ID
+        assert set(schema["required"]) <= set(schema["properties"])
+
+    def _valid(self):
+        return {
+            "schema": obs.EVENT_SCHEMA_ID, "kind": "event", "name": "x",
+            "ts": 1.0, "mono": 2.0, "pid": 1,
+        }
+
+    def test_accepts_valid_records(self):
+        validate_event(self._valid())
+        validate_event({**self._valid(), "labels": {"a": 1}})
+        validate_event({**self._valid(), "kind": "span_end", "wall_s": 0.1})
+        validate_event({**self._valid(), "kind": "counter", "value": 3.0})
+
+    def test_rejects_bad_records(self):
+        for corrupt in (
+            {k: v for k, v in self._valid().items() if k != "name"},  # missing
+            {**self._valid(), "unknown_field": 1},  # additionalProperties
+            {**self._valid(), "kind": "mystery"},  # enum
+            {**self._valid(), "schema": "other/v9"},  # const
+            {**self._valid(), "ts": "yesterday"},  # type
+            {**self._valid(), "kind": "span_end"},  # span_end needs wall_s
+            {**self._valid(), "kind": "counter"},  # counter needs value
+        ):
+            with pytest.raises(ParameterError):
+                validate_event(corrupt)
+
+
+class TestChunkSpans:
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_every_chunk_emits_a_span_pair(self, tmp_path, costs60, backend):
+        path = tmp_path / f"{backend}.jsonl"
+        ctx = ExecutionContext(n_jobs=2, backend=backend, chunk_size=6)
+        with obs.trace_to(path):
+            simulate_restart(**_restart_kwargs(costs60), n_jobs=ctx)
+        events = obs.read_events(path)
+        for record in events:
+            validate_event(record)
+        starts = [e for e in events if e["kind"] == "span_start" and e["name"] == "parallel.chunk"]
+        ends = [e for e in events if e["kind"] == "span_end" and e["name"] == "parallel.chunk"]
+        assert len(starts) == len(ends) == 4  # 20 runs / chunk_size 6
+        for end in ends:
+            labels = end["labels"]
+            assert labels["backend"] == backend
+            assert labels["size"] in (5, 6)
+            assert 0 <= labels["chunk"] < 4
+            assert labels["n_chunks"] == 4
+            assert labels["queue_s"] >= 0.0
+            assert end["wall_s"] >= 0.0
+        assert sum(e["labels"]["size"] for e in ends) == 20
+
+    def test_process_spans_carry_worker_pids(self, tmp_path, costs60):
+        path = tmp_path / "pids.jsonl"
+        ctx = ExecutionContext(n_jobs=2, backend="process", chunk_size=6)
+        with obs.trace_to(path):
+            simulate_restart(**_restart_kwargs(costs60), n_jobs=ctx)
+        spans = [e for e in obs.read_events(path) if e["name"] == "parallel.chunk"]
+        assert spans and all(e["pid"] != os.getpid() for e in spans)
+
+    def test_engine_events_emitted(self, tmp_path, costs60):
+        path = tmp_path / "engines.jsonl"
+        with obs.trace_to(path):
+            simulate_restart(**_restart_kwargs(costs60, n_runs=4))
+            simulate_no_restart(**_restart_kwargs(costs60, n_runs=4))
+            policy = no_restart_policy(30_000.0, costs60)
+            source = ExponentialFailureSource(MTBF / 50, n_procs=8)
+            simulate_with_source(policy, source, n_pairs=4, costs=costs60,
+                                 n_periods=5, n_runs=3, seed=3)
+        names = {e["name"] for e in obs.read_events(path)}
+        assert {"engine.sampled", "engine.lockstep", "engine.trace"} <= names
+
+
+class TestZeroCostWhenOff:
+    def test_instrumented_and_uninstrumented_runs_bit_identical(self, tmp_path, costs60):
+        kw = _restart_kwargs(costs60)
+        ctx = ExecutionContext(n_jobs=2, backend="serial", chunk_size=6)
+        plain = simulate_restart(**kw, n_jobs=ctx)
+        with obs.trace_to(tmp_path / "t.jsonl"):
+            traced = simulate_restart(**kw, n_jobs=ctx)
+        for name in ("total_time", "useful_time", "wasted_time", "n_failures", "n_fatal"):
+            np.testing.assert_array_equal(
+                getattr(plain, name), getattr(traced, name), err_msg=name, strict=True
+            )
+
+    def test_legacy_path_bit_identical_too(self, tmp_path, costs60):
+        kw = _restart_kwargs(costs60, n_runs=8)
+        plain = simulate_no_restart(**kw)
+        with obs.trace_to(tmp_path / "t.jsonl"):
+            traced = simulate_no_restart(**kw)
+        np.testing.assert_array_equal(plain.total_time, traced.total_time, strict=True)
+
+
+class TestRunManifest:
+    def test_roundtrip(self):
+        m = RunManifest(label="demo", seed={"entropy": 5, "spawn_key": []},
+                        config={"n_runs": 3}, execution={"engine": "sampled"},
+                        timings={"total_s": 0.25})
+        again = RunManifest.from_dict(m.to_dict())
+        assert again == m
+
+    def test_from_dict_names_missing_fields(self):
+        payload = RunManifest(label="x").to_dict()
+        payload.pop("seed")
+        payload.pop("timings")
+        with pytest.raises(ParameterError, match="seed") as exc:
+            RunManifest.from_dict(payload)
+        assert "timings" in str(exc.value)
+
+    def test_save_load(self, tmp_path):
+        m = RunManifest(label="disk", timings={"total_s": 1.5})
+        path = tmp_path / "m.json"
+        save_manifest(m, path)
+        assert json.loads(path.read_text())["schema"] == obs.MANIFEST_SCHEMA
+        assert load_manifest(path) == m
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "repro/runset-v1"}')
+        with pytest.raises(ParameterError):
+            load_manifest(path)
+
+    def test_describe_mentions_key_facts(self):
+        m = RunManifest(label="Restart(T=1)", seed={"entropy": 99, "spawn_key": []},
+                        execution={"engine": "sampled", "backend": "process"},
+                        timings={"total_s": 0.125})
+        text = m.describe()
+        assert "Restart(T=1)" in text
+        assert "entropy=99" in text
+        assert "backend=process" in text
+        assert "total_s 0.1250s" in text
+
+    def test_seed_provenance_digs_out_generator_entropy(self):
+        rng = np.random.default_rng(1234)
+        prov = seed_provenance(rng)
+        assert prov["entropy"] == 1234
+        assert prov["spawn_key"] == []
+        # seed=None still yields real, recorded entropy
+        prov_none = seed_provenance(np.random.default_rng())
+        assert prov_none["entropy"] is not None
+
+    def test_engine_level_manifest_on_legacy_path(self, costs60):
+        rs = simulate_restart(**_restart_kwargs(costs60, n_runs=4, seed=11))
+        m = RunManifest.from_dict(rs.meta["manifest"])
+        assert m.execution == {"engine": "sampled"}
+        assert m.seed["entropy"] == 11
+        assert m.config["n_runs"] == 4
+        assert m.timings["total_s"] > 0.0
+        rs = simulate_no_restart(**_restart_kwargs(costs60, n_runs=4, seed=11))
+        m = RunManifest.from_dict(rs.meta["manifest"])
+        assert m.execution == {"engine": "lockstep"}
+        assert m.config["policy"] == rs.label
+
+    def test_chunked_manifest_records_layout_and_stages(self, costs60):
+        ctx = ExecutionContext(n_jobs=2, backend="serial", chunk_size=6)
+        rs = simulate_restart(**_restart_kwargs(costs60, seed=13), n_jobs=ctx)
+        m = RunManifest.from_dict(rs.meta["manifest"])
+        assert m.execution["backend"] == "serial"
+        assert m.execution["n_chunks"] == 4
+        assert m.seed["entropy"] == 13
+        assert m.config["n_runs"] == 20
+        assert "sampled" in m.config["task"]
+        for stage in ("setup_s", "dispatch_s", "merge_s", "total_s"):
+            assert m.timings[stage] >= 0.0
+
+
+class TestSweepProgress:
+    def test_pass_through_when_disabled(self):
+        from repro.experiments.common import sweep_progress
+
+        gen = (i * i for i in range(4))  # works on plain iterators
+        assert list(sweep_progress("quad", gen)) == [0, 1, 4, 9]
+
+    def test_emits_progress_events_when_enabled(self, tmp_path):
+        from repro.experiments.common import sweep_progress
+
+        with obs.trace_to(tmp_path / "s.jsonl"):
+            assert list(sweep_progress("demo", [10, 20, 30])) == [10, 20, 30]
+        events = obs.read_events(tmp_path / "s.jsonl")
+        for record in events:
+            validate_event(record)
+        names = [e["name"] for e in events]
+        assert names == ["sweep.start", "sweep.point", "sweep.point", "sweep.point", "sweep.end"]
+        points = [e for e in events if e["name"] == "sweep.point"]
+        assert [p["labels"]["index"] for p in points] == [0, 1, 2]
+        assert all(p["labels"]["total"] == 3 for p in points)
+        assert all(p["labels"]["eta_s"] >= 0.0 for p in points)
+        assert points[-1]["labels"]["eta_s"] == 0.0
