@@ -62,7 +62,9 @@ def load_baselines() -> dict[str, dict]:
 
 
 def run_benchmarks(
-    modules: list[str], artifacts_dir: Path | None = None
+    modules: list[str],
+    artifacts_dir: Path | None = None,
+    cache_dir: Path | None = None,
 ) -> tuple[int, dict[str, float]]:
     """Execute the selected ``test_bench_<module>.py`` files with pytest.
 
@@ -70,7 +72,10 @@ def run_benchmarks(
     in the returned timings dict (and, via the run manifest, in CI's
     uploaded artifacts).  When *artifacts_dir* is set, the benchmark
     processes inherit ``REPRO_TRACE`` pointing into it, so engine/chunk
-    events stream to ``bench_trace.jsonl``.
+    events stream to ``bench_trace.jsonl``.  When *cache_dir* is set, the
+    processes inherit ``REPRO_CACHE_DIR``, so completed simulation batches
+    are served from the result cache across gate steps (bit-identical —
+    cached entries are exactly what the first run computed).
     """
     paths = []
     for module in modules:
@@ -85,6 +90,8 @@ def run_benchmarks(
     )
     if artifacts_dir is not None:
         env["REPRO_TRACE"] = str(artifacts_dir / "bench_trace.jsonl")
+    if cache_dir is not None:
+        env["REPRO_CACHE_DIR"] = str(cache_dir)
     timings: dict[str, float] = {}
     for module, path in zip(modules, paths):
         cmd = [sys.executable, "-m", "pytest", str(path), "--benchmark-disable", "-q"]
@@ -228,10 +235,18 @@ def main(argv: list[str] | None = None) -> int:
         help="directory for timing artifacts (manifest + JSONL trace); "
              "pass '' to disable (default: benchmarks/artifacts)",
     )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory exported to the benchmark processes as "
+             "REPRO_CACHE_DIR (completed batches are reused across steps)",
+    )
     args = parser.parse_args(argv)
     artifacts_dir = Path(args.artifacts) if args.artifacts else None
     if artifacts_dir is not None:
         artifacts_dir.mkdir(parents=True, exist_ok=True)
+    cache_dir = Path(args.cache_dir) if args.cache_dir else None
+    if cache_dir is not None:
+        cache_dir.mkdir(parents=True, exist_ok=True)
 
     baselines = load_baselines()
     if not baselines:
@@ -240,7 +255,7 @@ def main(argv: list[str] | None = None) -> int:
 
     timings: dict[str, float] = {}
     if not args.skip_run:
-        status, timings = run_benchmarks(args.modules, artifacts_dir)
+        status, timings = run_benchmarks(args.modules, artifacts_dir, cache_dir)
         if status != 0:
             print("error: benchmark run failed", file=sys.stderr)
             return 2

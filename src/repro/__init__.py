@@ -16,7 +16,12 @@ The package provides:
 * :mod:`repro.experiments` — one driver per paper figure/table;
 * :mod:`repro.parallel` — deterministic process-pool execution layer for
   fanning Monte-Carlo replications across cores (``n_jobs=1`` and
-  ``n_jobs=8`` give bit-identical results for the same seed);
+  ``n_jobs=8`` give bit-identical results for the same seed), with
+  per-chunk fault handling: crashed or hung chunks retry with their
+  original seeds, genuine task errors propagate unchanged;
+* :mod:`repro.cache` — content-addressed on-disk result cache keyed by
+  task/config/seed/layout provenance, making interrupted sweeps resumable
+  (``--cache-dir`` / ``REPRO_CACHE_DIR``);
 * :mod:`repro.obs` — structured observability: JSONL tracing (spans,
   events, counters) gated by ``REPRO_TRACE`` / ``--log-json``, plus
   deterministic :class:`~repro.obs.RunManifest` provenance records
@@ -76,6 +81,7 @@ from repro.failures import (
     make_lanl2_like,
     make_lanl18_like,
 )
+from repro.cache import RunCache, cache_scope, set_default_cache
 from repro.obs import RunManifest, enable_trace, trace_to
 from repro.parallel import (
     ExecutionContext,
@@ -152,6 +158,10 @@ __all__ = [
     "ExecutionContext",
     "parallel_execution",
     "set_default_execution",
+    # result cache
+    "RunCache",
+    "cache_scope",
+    "set_default_cache",
     # observability
     "RunManifest",
     "enable_trace",

@@ -1,0 +1,65 @@
+"""repro.cache — resumable simulation results.
+
+A content-addressed on-disk store for
+:class:`~repro.simulation.results.RunSet`\\ s, keyed by a canonical hash of
+the same provenance a :class:`~repro.obs.RunManifest` records: task
+qualname + bound configuration, chunk layout and root seed entropy.  With
+a cache active, every simulation entry point — and every chunk of the
+parallel fan-out — first consults the store, so a killed full-fidelity
+sweep resumes from its completed points and chunks instead of restarting
+from zero, returning bit-identical results.
+
+Activation (highest precedence first):
+
+* :func:`cache_scope` / :func:`set_default_cache` — programmatic;
+* ``repro-sim --cache-dir PATH`` (``--no-cache`` disables) — CLI;
+* ``REPRO_CACHE_DIR`` — environment, also how the bench harness caches
+  across CI steps.
+
+Inspect or drop a cache with ``repro-sim cache ls|clear``.
+
+>>> from repro.cache import RunCache, cache_scope
+>>> import repro, tempfile
+>>> with cache_scope(tempfile.mkdtemp()) as cache:
+...     rs = repro.simulate_restart(
+...         mtbf=1e9, n_pairs=10, period=1e6, n_periods=2, n_runs=3, seed=7,
+...         costs=repro.CheckpointCosts(checkpoint=60.0))
+...     len(cache)
+1
+"""
+
+from repro.cache.keys import (
+    CACHE_KEY_SCHEMA,
+    canonical_payload,
+    fingerprint_task,
+    runset_key,
+)
+from repro.cache.store import (
+    CACHE_DIR_ENV_VAR,
+    CacheEntry,
+    RunCache,
+    cache_scope,
+    cacheable_seed,
+    cached_runset,
+    get_default_cache,
+    resolve_cache,
+    set_default_cache,
+)
+
+__all__ = [
+    # keys
+    "CACHE_KEY_SCHEMA",
+    "canonical_payload",
+    "fingerprint_task",
+    "runset_key",
+    # store
+    "CACHE_DIR_ENV_VAR",
+    "CacheEntry",
+    "RunCache",
+    "cache_scope",
+    "cacheable_seed",
+    "cached_runset",
+    "get_default_cache",
+    "resolve_cache",
+    "set_default_cache",
+]

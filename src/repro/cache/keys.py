@@ -1,0 +1,142 @@
+"""Canonical cache-key derivation for simulation results.
+
+A cache key is the SHA-256 digest of a canonical JSON payload combining the
+same ingredients a :class:`~repro.obs.RunManifest` records for provenance:
+
+* the **task**: qualified name of the chunk task plus its bound
+  configuration (``functools.partial`` arguments), canonicalised;
+* the **layout**: how the batch is split (single batch, or chunk index /
+  chunk size / total runs for the chunked path, or a sweep-point tag);
+* the **seed**: the root entropy and spawn key actually consumed, in the
+  exact form :func:`repro.obs.seed_provenance` reports.
+
+Because every ingredient is deterministic given the call (and ``n_jobs`` /
+backend are deliberately excluded — they never change results), two
+processes issuing the same simulation derive the same key, and any change
+to the configuration, the seed or the chunk layout invalidates the entry.
+
+Canonicalisation (:func:`canonical_payload`) is total: dataclasses recurse
+field-wise, NumPy arrays/scalars become lists/numbers, callables reduce to
+their qualified name, mappings are emitted with sorted keys, and any other
+object falls back to its attribute dict (tagged with the type's qualified
+name) or ``repr``.  Floats rely on :func:`repr` round-tripping, which is
+exact for IEEE doubles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from functools import partial
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = [
+    "CACHE_KEY_SCHEMA",
+    "canonical_payload",
+    "fingerprint_task",
+    "runset_key",
+]
+
+#: bumped whenever the key derivation changes incompatibly — old entries
+#: then simply stop matching instead of being served with stale semantics.
+CACHE_KEY_SCHEMA = "repro/cache-key-v1"
+
+#: recursion guard: canonicalisation of pathological self-referencing
+#: objects degrades to ``repr`` beyond this depth.
+_MAX_DEPTH = 24
+
+
+def _qualname(obj: Any) -> str:
+    module = getattr(obj, "__module__", "")
+    name = getattr(obj, "__qualname__", None) or type(obj).__name__
+    return f"{module}.{name}" if module else str(name)
+
+
+def canonical_payload(obj: Any, _depth: int = 0) -> Any:
+    """Reduce *obj* to a JSON-serialisable, deterministic structure."""
+    if _depth > _MAX_DEPTH:
+        return repr(obj)
+    # numpy scalars first: np.float64 subclasses float, and its repr
+    # ("np.float64(2.5)") would otherwise diverge from the python float's
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        return canonical_payload(obj.item(), _depth + 1)
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return repr(obj)  # exact round-trip, no formatting ambiguity
+    if isinstance(obj, np.ndarray):
+        return {"__ndarray__": str(obj.dtype),
+                "data": canonical_payload(obj.tolist(), _depth + 1)}
+    if isinstance(obj, np.random.SeedSequence):
+        from repro.obs.manifest import seed_provenance
+
+        return {"__seed__": seed_provenance(obj)}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: canonical_payload(getattr(obj, f.name), _depth + 1)
+            for f in dataclasses.fields(obj)
+        }
+        return {"__dataclass__": _qualname(type(obj)), **fields}
+    if isinstance(obj, Mapping):
+        return {
+            str(key): canonical_payload(value, _depth + 1)
+            for key, value in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(obj, (list, tuple)):
+        return [canonical_payload(item, _depth + 1) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(repr(canonical_payload(item, _depth + 1)) for item in obj)
+    if callable(obj):
+        return {"__callable__": _qualname(obj)}
+    attrs = getattr(obj, "__dict__", None)
+    if isinstance(attrs, dict) and attrs:
+        return {
+            "__object__": _qualname(type(obj)),
+            **{
+                str(key): canonical_payload(value, _depth + 1)
+                for key, value in sorted(attrs.items())
+                if not str(key).startswith("_")
+            },
+        }
+    return repr(obj)
+
+
+def fingerprint_task(task: Any) -> dict:
+    """Canonical identity of a chunk task: qualname + bound configuration.
+
+    ``functools.partial`` wrappers are unwrapped so the simulation
+    parameters bound by the runner entry points (engine config, costs,
+    policy) all land in the fingerprint — two sweeps differing in any
+    parameter never share keys.
+    """
+    if isinstance(task, partial):
+        return {
+            "task": _qualname(task.func),
+            "args": canonical_payload(list(task.args)),
+            "kwargs": canonical_payload(dict(task.keywords or {})),
+        }
+    if isinstance(task, (dict, str)):
+        return {"task": canonical_payload(task), "args": [], "kwargs": {}}
+    return {"task": _qualname(task), "args": [], "kwargs": {}}
+
+
+def runset_key(*, kind: str, task: Any, layout: Mapping, seed: Mapping) -> str:
+    """SHA-256 key of (kind, task fingerprint, layout, seed provenance).
+
+    ``seed`` must already be a provenance dict
+    (:func:`repro.obs.seed_provenance` output); ``layout`` describes the
+    batch split and ``kind`` namespaces the entry (``"batch"``, ``"chunk"``
+    or ``"point:<sweep>"``) so the three granularities can never collide.
+    """
+    payload = {
+        "schema": CACHE_KEY_SCHEMA,
+        "kind": kind,
+        "task": fingerprint_task(task),
+        "layout": canonical_payload(dict(layout)),
+        "seed": canonical_payload(dict(seed)),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,0 +1,280 @@
+"""Content-addressed on-disk store for simulation :class:`RunSet`\\ s.
+
+Layout: ``<root>/<key[:2]>/<key>.json``, one ``repro/cache-entry-v1`` JSON
+file per entry (see :mod:`repro.io.results_io`).  The file name *is* the
+content address — :func:`repro.cache.runset_key` digests of the task
+fingerprint, chunk layout and seed provenance — so a stale or colliding
+read is impossible: any change to the simulated configuration produces a
+different key, and an entry whose recorded key disagrees with its file
+name is treated as corrupt.
+
+Writes are atomic (temp file + :func:`os.replace`) so a killed run never
+leaves a torn entry behind; corrupt or unreadable entries are treated as
+misses and removed best-effort.  Every lookup emits a ``cache.hit`` /
+``cache.miss`` observability event and a store emits ``cache.store``, so a
+resumed sweep shows exactly which points were served from disk
+(``repro-sim obs tail``).
+
+Resolution mirrors :mod:`repro.parallel`: an explicit
+:func:`set_default_cache` / :func:`cache_scope` wins, then the
+``REPRO_CACHE_DIR`` environment variable; :func:`resolve_cache` returns
+``None`` when caching is off, which every caller treats as "compute
+normally".
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping
+
+import numpy as np
+
+from repro.cache.keys import runset_key
+from repro.exceptions import ParameterError
+from repro.obs import trace as obs
+from repro.obs.manifest import seed_provenance
+
+if TYPE_CHECKING:  # lazy at call time: results.py consumers import us
+    from repro.simulation.results import RunSet
+
+__all__ = [
+    "CACHE_DIR_ENV_VAR",
+    "CacheEntry",
+    "RunCache",
+    "cache_scope",
+    "cacheable_seed",
+    "cached_runset",
+    "get_default_cache",
+    "resolve_cache",
+    "set_default_cache",
+]
+
+#: environment variable naming the cache root; consulted by
+#: :func:`resolve_cache` when no process-wide default is installed.
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """Directory-listing view of one stored entry (``repro-sim cache ls``)."""
+
+    key: str
+    path: Path
+    label: str
+    n_runs: int
+    created_at: str
+    size_bytes: int
+
+    def describe(self) -> str:
+        label = self.label or "-"
+        return (
+            f"{self.key[:16]}…  {self.n_runs:>6} runs  "
+            f"{self.size_bytes:>9,} B  {self.created_at}  {label}"
+        )
+
+
+class RunCache:
+    """Content-addressed store of :class:`~repro.simulation.results.RunSet`\\ s.
+
+    >>> import tempfile
+    >>> cache = RunCache(tempfile.mkdtemp())
+    >>> cache.get("0" * 64) is None
+    True
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        root = Path(root)
+        if root.exists() and not root.is_dir():
+            raise ParameterError(f"cache root {root} exists and is not a directory")
+        self.root = root
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """On-disk location of *key* (two-level fan-out keeps dirs small)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str, *, label: str = "") -> "RunSet | None":
+        """Load the entry for *key*, or ``None`` on a miss.
+
+        Corrupt entries (unreadable JSON, wrong schema, key mismatch) are
+        misses and are deleted best-effort, so a torn write can never
+        poison later runs.
+        """
+        from repro.io.results_io import load_cache_entry
+
+        path = self.path_for(key)
+        if not path.exists():
+            obs.event("cache.miss", key=key[:16], label=label)
+            return None
+        try:
+            stored_key, runs = load_cache_entry(path)
+            if stored_key != key:
+                raise ParameterError(f"cache entry {path} records key {stored_key!r}")
+        except Exception as exc:  # corrupt entry: miss, drop the file
+            obs.event(
+                "cache.corrupt", key=key[:16], label=label, error=type(exc).__name__
+            )
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        obs.event("cache.hit", key=key[:16], label=label, n_runs=runs.n_runs)
+        obs.count("cache.hits")
+        return runs
+
+    def put(self, key: str, runs: "RunSet", *, label: str = "") -> Path:
+        """Atomically store *runs* under *key*; returns the entry path."""
+        from repro.io.results_io import save_cache_entry
+
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        save_cache_entry(key, runs, tmp, label=label)
+        os.replace(tmp, path)
+        obs.event("cache.store", key=key[:16], label=label, n_runs=runs.n_runs)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    # ------------------------------------------------------------------
+    def entries(self) -> list[CacheEntry]:
+        """All readable entries, newest first (``repro-sim cache ls``)."""
+        from repro.io.results_io import read_cache_entry_header
+
+        found: list[CacheEntry] = []
+        if not self.root.is_dir():
+            return found
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                header = read_cache_entry_header(path)
+            except Exception:
+                continue
+            found.append(
+                CacheEntry(
+                    key=header["key"],
+                    path=path,
+                    label=header.get("label", ""),
+                    n_runs=int(header.get("n_runs", 0)),
+                    created_at=header.get("created_at", ""),
+                    size_bytes=path.stat().st_size,
+                )
+            )
+        found.sort(key=lambda e: e.created_at, reverse=True)
+        return found
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for sub in self.root.glob("*"):
+            if sub.is_dir():
+                try:
+                    sub.rmdir()
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default / environment resolution
+# ---------------------------------------------------------------------------
+
+_default_cache: RunCache | None = None
+
+
+def set_default_cache(cache: RunCache | None) -> RunCache | None:
+    """Install *cache* as the process-wide default; return the previous one."""
+    global _default_cache
+    if cache is not None and not isinstance(cache, RunCache):
+        raise ParameterError(
+            f"expected a RunCache or None, got {type(cache).__name__}"
+        )
+    previous = _default_cache
+    _default_cache = cache
+    return previous
+
+
+def get_default_cache() -> RunCache | None:
+    """The cache installed via :func:`set_default_cache`, if any."""
+    return _default_cache
+
+
+@contextmanager
+def cache_scope(root: str | Path) -> Iterator[RunCache]:
+    """Scoped default cache: every simulation inside the block may use it."""
+    cache = RunCache(root)
+    previous = set_default_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_default_cache(previous)
+
+
+def resolve_cache() -> RunCache | None:
+    """The active result cache, or ``None`` when caching is off.
+
+    Precedence: the process-wide default (:func:`set_default_cache` /
+    :func:`cache_scope`), then the ``REPRO_CACHE_DIR`` environment
+    variable.
+    """
+    if _default_cache is not None:
+        return _default_cache
+    raw = os.environ.get(CACHE_DIR_ENV_VAR, "").strip()
+    if raw:
+        return RunCache(raw)
+    return None
+
+
+def cacheable_seed(seed: Any) -> bool:
+    """Whether *seed* pins a reproducible stream worth caching.
+
+    ``None`` draws fresh OS entropy and an explicit ``Generator`` carries
+    hidden stream state — both produce keys that can never hit again, so
+    caching them would only grow the store.
+    """
+    return seed is not None and not isinstance(seed, np.random.Generator)
+
+
+def cached_runset(
+    kind: str,
+    *,
+    task: Any,
+    layout: Mapping,
+    seed: Any,
+    compute: Callable[[], "RunSet"],
+    label: str = "",
+) -> "RunSet":
+    """Serve ``compute()`` through the ambient cache (compute on a miss).
+
+    No-op (straight call) when no cache is active or *seed* is not
+    cacheable.  The key combines *kind* (namespace), the *task*
+    fingerprint, the batch *layout* and the resolved seed provenance —
+    see :mod:`repro.cache.keys`.
+    """
+    cache = resolve_cache()
+    if cache is None or not cacheable_seed(seed):
+        return compute()
+    key = runset_key(
+        kind=kind, task=task, layout=layout, seed=seed_provenance(seed)
+    )
+    hit = cache.get(key, label=label or kind)
+    if hit is not None:
+        return hit
+    runs = compute()
+    cache.put(key, runs, label=label or kind)
+    return runs

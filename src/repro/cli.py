@@ -8,6 +8,7 @@ Subcommands
 ``simulate``    run one strategy at one configuration point
 ``trace``       synthesise a LANL-like trace to a CSV file
 ``obs``         inspect observability artifacts (manifests, JSONL traces)
+``cache``       inspect or clear the on-disk result cache
 
 Examples
 --------
@@ -21,12 +22,17 @@ Examples
     repro-sim trace lanl2 --out lanl2.csv --seed 7
     repro-sim figure fig5-c60 --jobs 4 --log-json run.jsonl
     repro-sim obs tail run.jsonl --lines 20
+    repro-sim figure fig9 --full --cache-dir ~/.cache/repro-sim
+    repro-sim cache ls --cache-dir ~/.cache/repro-sim
 
 ``--jobs N`` (or the ``REPRO_JOBS`` environment variable) fans the
 Monte-Carlo replications out over N worker processes; results are
 bit-identical for every N (see :mod:`repro.parallel`).  ``--log-json PATH``
 (or ``REPRO_TRACE``) streams structured trace events to a JSONL file
-(see :mod:`repro.obs`).
+(see :mod:`repro.obs`).  ``--cache-dir PATH`` (or ``REPRO_CACHE_DIR``)
+stores completed sweep points and chunks on disk so an interrupted run
+resumes bit-identically; ``--no-cache`` disables caching for one
+invocation (see :mod:`repro.cache`).
 """
 
 from __future__ import annotations
@@ -57,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--seed", type=int, default=2019)
     _add_jobs_arg(p_fig)
     _add_obs_arg(p_fig)
+    _add_cache_arg(p_fig)
     p_fig.add_argument("--json", metavar="PATH", help="also save the table as JSON")
     p_fig.add_argument(
         "--plot", action="store_true", help="render the series as an ASCII chart"
@@ -78,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seed", type=int, default=None)
     _add_jobs_arg(p_sim)
     _add_obs_arg(p_sim)
+    _add_cache_arg(p_sim)
 
     p_tr = sub.add_parser("trace", help="synthesise a LANL-like failure trace")
     p_tr.add_argument("kind", choices=["lanl2", "lanl18"])
@@ -96,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--seed", type=int, default=2019)
     _add_jobs_arg(p_rep)
     _add_obs_arg(p_rep)
+    _add_cache_arg(p_rep)
 
     p_obs = sub.add_parser(
         "obs", help="inspect observability artifacts (manifests, JSONL traces)"
@@ -110,6 +119,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs_tail.add_argument(
         "--lines", "-n", type=int, default=10, metavar="N", help="events to show"
     )
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cache_ls = cache_sub.add_parser("ls", help="list cached entries")
+    _add_cache_dir_arg(p_cache_ls)
+    p_cache_clear = cache_sub.add_parser("clear", help="delete every cached entry")
+    _add_cache_dir_arg(p_cache_clear)
     return parser
 
 
@@ -145,6 +163,34 @@ def _add_obs_arg(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_dir_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="result cache directory (default: the REPRO_CACHE_DIR env var)",
+    )
+
+
+def _add_cache_arg(p: argparse.ArgumentParser) -> None:
+    group = p.add_mutually_exclusive_group()
+    group.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "store completed sweep points / chunks under PATH so an "
+            "interrupted run resumes bit-identically; equivalent to "
+            "exporting REPRO_CACHE_DIR"
+        ),
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable result caching even if REPRO_CACHE_DIR is set",
+    )
+
+
 def _apply_jobs(args: argparse.Namespace) -> None:
     """Install ``--jobs`` as the default execution context for this run."""
     jobs = getattr(args, "jobs", None)
@@ -163,6 +209,23 @@ def _apply_obs(args: argparse.Namespace) -> None:
         enable_trace(log_json)
 
 
+def _apply_cache(args: argparse.Namespace) -> None:
+    """Install ``--cache-dir`` / honour ``--no-cache`` for this run."""
+    import os
+
+    from repro.cache import CACHE_DIR_ENV_VAR, RunCache, set_default_cache
+
+    if getattr(args, "no_cache", False):
+        os.environ.pop(CACHE_DIR_ENV_VAR, None)
+        set_default_cache(None)
+        return
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is not None:
+        set_default_cache(RunCache(cache_dir))
+        # exported so any helper subprocess resolves the same store
+        os.environ[CACHE_DIR_ENV_VAR] = str(cache_dir)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -174,6 +237,7 @@ def main(argv: list[str] | None = None) -> int:
 def _dispatch(args: argparse.Namespace) -> int:
     _apply_jobs(args)
     _apply_obs(args)
+    _apply_cache(args)
     if args.command == "list":
         from repro.experiments import ALL_EXPERIMENTS
 
@@ -237,6 +301,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "obs":
         return _run_obs(args)
 
+    if args.command == "cache":
+        return _run_cache(args)
+
     if args.command == "report":
         from repro.exceptions import ParameterError
         from repro.experiments.report import generate_report
@@ -297,6 +364,35 @@ def _run_obs(args: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError(f"unhandled obs command {args.obs_command}")  # pragma: no cover
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.cache import CACHE_DIR_ENV_VAR, RunCache
+
+    cache_dir = args.cache_dir or os.environ.get(CACHE_DIR_ENV_VAR, "").strip()
+    if not cache_dir:
+        print(
+            f"no cache directory: pass --cache-dir or set {CACHE_DIR_ENV_VAR}",
+            file=sys.stderr,
+        )
+        return 2
+    cache = RunCache(cache_dir)
+
+    if args.cache_command == "ls":
+        entries = cache.entries()
+        for entry in entries:
+            print(entry.describe())
+        print(f"{len(entries)} entries in {cache.root}")
+        return 0
+
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.root}")
+        return 0
+
+    raise AssertionError(f"unhandled cache command {args.cache_command}")  # pragma: no cover
 
 
 def _run_simulate(args: argparse.Namespace) -> int:

@@ -106,9 +106,11 @@ def interruption_quantile(q: float, mu: float, b: int) -> float:
         from repro.exceptions import ParameterError
 
         raise ParameterError(f"quantile level must be in (0, 1), got {q}")
-    # (1-q)^{1/b} computed as exp(log1p(-q)/b) to stay accurate for huge b.
-    pair_alive = math.exp(math.log1p(-q) / b)
-    one_dead = math.sqrt(1.0 - pair_alive)
+    # (1-q)^{1/b} computed in log space to stay accurate for huge b;
+    # expm1 avoids the catastrophic cancellation of 1 - exp(tiny) when
+    # log1p(-q)/b underflows (large b, small q) — mirroring
+    # sample_time_to_interruption.
+    one_dead = math.sqrt(-math.expm1(math.log1p(-q) / b))
     return -mu * math.log1p(-one_dead)
 
 

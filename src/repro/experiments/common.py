@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Sequence, TypeVar
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence, TypeVar
 
+from repro.cache import cached_runset
 from repro.obs import trace as obs
 from repro.parallel import resolve_execution
 from repro.platform_model.costs import CheckpointCosts
@@ -39,6 +40,7 @@ __all__ = [
     "PAPER_GAMMA",
     "PAPER_ALPHA",
     "active_jobs",
+    "cached_point",
     "mc_samples",
     "sweep_progress",
     "ExperimentResult",
@@ -99,6 +101,33 @@ def sweep_progress(name: str, points: Iterable[_T]) -> Iterator[_T]:
             eta_s=round(eta, 3),
         )
     obs.event("sweep.end", sweep=name, points=total, wall_s=round(time.monotonic() - t0, 6))
+
+
+def cached_point(
+    sweep: str,
+    *,
+    params: Mapping[str, Any],
+    seed: Any,
+    compute: Callable[[], Any],
+):
+    """Serve one sweep point through the ambient result cache.
+
+    For drivers whose engines bypass the runner entry points (and therefore
+    the batch/chunk caches), this makes a sweep resumable: an interrupted
+    ``run()`` re-executed with the same cache dir skips every point already
+    on disk, bit-identically.  *params* must canonically describe the point
+    (every simulation parameter; see :mod:`repro.cache.keys`); keys are
+    namespaced by *sweep* so figures never collide.  Without an active
+    cache — or with a non-reproducible seed — this is a plain ``compute()``.
+    """
+    return cached_runset(
+        f"point:{sweep}",
+        task=dict(params),
+        layout={"sweep": sweep},
+        seed=seed,
+        compute=compute,
+        label=f"point:{sweep}",
+    )
 
 
 def paper_costs(checkpoint: float, restart_factor: float = 1.0) -> CheckpointCosts:

@@ -17,6 +17,7 @@ from repro.experiments.common import (
     ExperimentResult,
     PAPER_N_PAIRS,
     PAPER_N_PERIODS,
+    cached_point,
     mc_samples,
     paper_costs,
 )
@@ -65,9 +66,19 @@ def run(
             mtbf=mu, n_pairs=n_pairs, period=t_rs, costs=costs,
             n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=children[0],
         )
-        rof = simulate_restart_on_failure(
-            mtbf=mu, n_pairs=n_pairs, work_target=work, costs=costs,
-            n_runs=n_runs, seed=children[1],
+        # restart-on-failure bypasses the runner (and its batch cache), so
+        # the sweep point is cached here to make interrupted runs resumable.
+        rof = cached_point(
+            "fig6",
+            params=dict(
+                strategy="restart_on_failure", mtbf=mu, n_pairs=n_pairs,
+                work_target=work, costs=costs, n_runs=n_runs,
+            ),
+            seed=children[1],
+            compute=lambda: simulate_restart_on_failure(
+                mtbf=mu, n_pairs=n_pairs, work_target=work, costs=costs,
+                n_runs=n_runs, seed=children[1],
+            ),
         )
         result.add_row(
             mtbf_years=mu / YEAR,

@@ -26,7 +26,14 @@ import math
 from repro.core.amdahl import AmdahlApplication
 from repro.core.periods import restart_period, young_daly_period
 from repro.exceptions import SimulationError
-from repro.experiments.common import ExperimentResult, PAPER_ALPHA, PAPER_GAMMA, mc_samples, paper_costs
+from repro.experiments.common import (
+    ExperimentResult,
+    PAPER_ALPHA,
+    PAPER_GAMMA,
+    cached_point,
+    mc_samples,
+    paper_costs,
+)
 from repro.failures.heterogeneous import (
     HeterogeneousExponentialSource,
     arrange_rates_for_partial_replication,
@@ -50,7 +57,14 @@ def _simulate(source, n_pairs, n_standalone, policy, costs, n_periods, n_runs, s
         n_periods=n_periods,
         n_runs=n_runs,
     )
-    return simulate_trace_runs(config, seed=seed)
+    # Direct engine call (no runner batch cache): cache the sweep point so
+    # an interrupted full-fidelity run resumes from completed points.
+    return cached_point(
+        "heterogeneous",
+        params={"engine": "trace", "config": config},
+        seed=seed,
+        compute=lambda: simulate_trace_runs(config, seed=seed),
+    )
 
 
 def run(

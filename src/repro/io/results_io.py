@@ -7,6 +7,7 @@ archived and diffed across code revisions.
 from __future__ import annotations
 
 import json
+from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.exceptions import ParameterError
@@ -15,17 +16,25 @@ from repro.obs.manifest import MANIFEST_SCHEMA, RunManifest
 from repro.simulation.results import RunSet
 
 __all__ = [
+    "CACHE_ENTRY_SCHEMA",
     "save_runset",
     "load_runset",
     "save_experiment",
     "load_experiment",
     "save_manifest",
     "load_manifest",
+    "save_cache_entry",
+    "load_cache_entry",
+    "read_cache_entry_header",
 ]
 
 _SCHEMA_RUNSET = "repro/runset-v1"
 _SCHEMA_EXPERIMENT = "repro/experiment-v1"
 _SCHEMA_MANIFEST = MANIFEST_SCHEMA
+
+#: one entry of the :mod:`repro.cache` content-addressed store: a RunSet
+#: payload wrapped with its key, label and creation stamp.
+CACHE_ENTRY_SCHEMA = "repro/cache-entry-v1"
 
 
 def save_runset(runs: RunSet, path: str | Path) -> None:
@@ -62,6 +71,48 @@ def load_manifest(path: str | Path) -> RunManifest:
         raise ParameterError(f"{path} is not a {_SCHEMA_MANIFEST} file")
     payload.pop("schema")
     return RunManifest.from_dict(payload)
+
+
+def save_cache_entry(
+    key: str, runs: RunSet, path: str | Path, *, label: str = ""
+) -> None:
+    """Write one :mod:`repro.cache` store entry (RunSet + key header)."""
+    payload = {
+        "schema": CACHE_ENTRY_SCHEMA,
+        "key": key,
+        "label": label,
+        "n_runs": runs.n_runs,
+        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "runset": runs.to_dict(),
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_cache_entry(path: str | Path) -> tuple[str, RunSet]:
+    """Read a cache entry written by :func:`save_cache_entry`.
+
+    Returns ``(key, runset)``; raises :class:`ParameterError` on schema or
+    payload mismatch (the store treats that as a corrupt entry / miss).
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != CACHE_ENTRY_SCHEMA:
+        raise ParameterError(f"{path} is not a {CACHE_ENTRY_SCHEMA} file")
+    key = payload.get("key")
+    if not isinstance(key, str) or not key:
+        raise ParameterError(f"{path} has no cache key")
+    return key, RunSet.from_dict(payload["runset"])
+
+
+def read_cache_entry_header(path: str | Path) -> dict:
+    """Entry metadata (key, label, n_runs, created_at) without the vectors.
+
+    Parses the whole JSON file but skips RunSet reconstruction — enough for
+    ``repro-sim cache ls`` over large stores.
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != CACHE_ENTRY_SCHEMA:
+        raise ParameterError(f"{path} is not a {CACHE_ENTRY_SCHEMA} file")
+    return {k: payload.get(k) for k in ("key", "label", "n_runs", "created_at")}
 
 
 def load_experiment(path: str | Path) -> ExperimentResult:

@@ -27,6 +27,25 @@ an explicit ``n_jobs=`` argument wins, then the process-wide default
 single-batch path is used, which keeps historical seeds (and the committed
 benchmark baselines) bit-for-bit stable.
 
+Fault handling: chunk dispatch is *per-chunk resilient*.  A genuine
+exception raised inside a chunk task is returned from the worker as a
+value, outstanding futures are cancelled, and the error propagates
+unchanged — exactly as it would serially.  Pool-infrastructure failures
+(a killed worker, a hung chunk exceeding
+:attr:`ExecutionContext.chunk_timeout`, a broken pipe) retry only the
+affected chunks, up to :attr:`ExecutionContext.retries` times with
+exponential backoff, in a fresh pool; each retried chunk reuses its
+original :class:`~numpy.random.SeedSequence` child, so the merged result
+stays bit-identical to an undisturbed run.  Deterministic infrastructure
+failures (an unpicklable task) and exhausted retries degrade gracefully to
+serial execution of the still-missing chunks.  ``parallel.chunk_failed`` /
+``parallel.retry`` / ``parallel.fallback`` observability events trace every
+decision.
+
+When a result cache is active (:mod:`repro.cache`) and the seed is
+reproducible, completed chunks are stored as they finish and skipped on
+re-execution, making an interrupted chunked batch resumable.
+
 >>> from repro.parallel import ExecutionContext
 >>> ExecutionContext(n_jobs=4).n_jobs
 4
@@ -36,8 +55,10 @@ from __future__ import annotations
 
 import os
 import time
+import traceback
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -47,11 +68,12 @@ from typing import TYPE_CHECKING, Callable, Iterator
 
 import numpy as np
 
+from repro.cache import cacheable_seed, resolve_cache, runset_key
 from repro.exceptions import ParameterError
 from repro.obs import manifest as _obs_manifest
 from repro.obs import trace as obs
 from repro.util.rng import SeedLike, as_seed_sequence
-from repro.util.validation import check_positive_int
+from repro.util.validation import check_positive, check_positive_int
 
 if TYPE_CHECKING:  # import at call time only: runner.py imports this module
     from repro.simulation.results import RunSet
@@ -104,11 +126,27 @@ class ExecutionContext:
         ``(n_runs, chunk_size)``, so changing ``n_jobs`` never changes
         results — but changing ``chunk_size`` does reshuffle the per-chunk
         seed fan-out.
+    retries:
+        How many times a transiently failed chunk (crashed worker, broken
+        pool, timeout) is re-dispatched to a fresh pool before degrading to
+        serial execution.  ``0`` disables retries.  Retries never change
+        results: a retried chunk reuses its original seed.
+    chunk_timeout:
+        Optional stall detector, in seconds: harvesting waits at most this
+        long for the next outstanding chunk; on expiry the pool is torn
+        down and the unfinished chunks are retried.  ``None`` (default)
+        waits forever.
+    retry_backoff:
+        Base delay in seconds before the first retry round; doubles each
+        round.
     """
 
     n_jobs: int = 1
     backend: str = "process"
     chunk_size: int | None = None
+    retries: int = 2
+    chunk_timeout: float | None = None
+    retry_backoff: float = 0.25
 
     def __post_init__(self) -> None:
         if self.backend not in _BACKENDS:
@@ -121,6 +159,13 @@ class ExecutionContext:
             check_positive_int("n_jobs", self.n_jobs)
         if self.chunk_size is not None:
             check_positive_int("chunk_size", self.chunk_size)
+        if not isinstance(self.retries, int) or isinstance(self.retries, bool) or self.retries < 0:
+            raise ParameterError(
+                f"retries must be a non-negative integer, got {self.retries!r}"
+            )
+        if self.chunk_timeout is not None:
+            check_positive("chunk_timeout", self.chunk_timeout)
+        check_positive("retry_backoff", self.retry_backoff, allow_zero=True)
 
     @property
     def effective_chunk_size(self) -> int:
@@ -161,6 +206,9 @@ def parallel_execution(
     *,
     backend: str = "process",
     chunk_size: int | None = None,
+    retries: int = 2,
+    chunk_timeout: float | None = None,
+    retry_backoff: float = 0.25,
 ) -> Iterator[ExecutionContext]:
     """Scoped default context: every simulation inside the block uses it.
 
@@ -169,7 +217,14 @@ def parallel_execution(
     ...     ctx.n_jobs
     2
     """
-    context = ExecutionContext(n_jobs=n_jobs, backend=backend, chunk_size=chunk_size)
+    context = ExecutionContext(
+        n_jobs=n_jobs,
+        backend=backend,
+        chunk_size=chunk_size,
+        retries=retries,
+        chunk_timeout=chunk_timeout,
+        retry_backoff=retry_backoff,
+    )
     previous = set_default_execution(context)
     try:
         yield context
@@ -267,6 +322,11 @@ def run_chunked(
     queue-to-start latency; the merged ``RunSet`` always carries a
     :class:`~repro.obs.RunManifest` under ``meta["manifest"]`` recording
     seed entropy, chunk layout and per-stage timings.
+
+    Resilience: see the module docstring — transiently failed chunks are
+    retried per-chunk (same seed, fresh pool), task exceptions propagate
+    immediately, and completed chunks are served from / stored into the
+    ambient result cache (:mod:`repro.cache`) when one is active.
     """
     from repro.simulation.results import RunSet
 
@@ -276,20 +336,57 @@ def run_chunked(
     sizes = chunk_sizes(n_runs, context.effective_chunk_size)
     root_seed = as_seed_sequence(seed)
     seeds = root_seed.spawn(len(sizes))
+
+    # Resume support: serve completed chunks from the ambient cache.
+    cache = resolve_cache() if cacheable_seed(seed) else None
+    parts: list["RunSet | None"] = [None] * len(sizes)
+    keys: list[str] | None = None
+    cache_hits = 0
+    if cache is not None:
+        task_label = f"chunk:{_describe_task(task)}"
+        root_prov = _obs_manifest.seed_provenance(root_seed)
+        keys = [
+            runset_key(
+                kind="chunk",
+                task=task,
+                layout={
+                    "n_runs": n_runs,
+                    "chunk_size": context.effective_chunk_size,
+                    "n_chunks": len(sizes),
+                    "index": i,
+                    "size": size,
+                },
+                seed=root_prov,
+            )
+            for i, size in enumerate(sizes)
+        ]
+        for i, key in enumerate(keys):
+            parts[i] = cache.get(key, label=task_label)
+        cache_hits = sum(part is not None for part in parts)
+
+    def _store(index: int, chunk: "RunSet") -> None:
+        if cache is not None and keys is not None:
+            cache.put(keys[index], chunk, label=f"chunk:{_describe_task(task)}")
+
     t_setup = time.monotonic() - t_start
 
+    missing = [i for i, part in enumerate(parts) if part is None]
     use_pool = (
-        context.backend == "process" and context.n_jobs > 1 and len(sizes) > 1
+        context.backend == "process" and context.n_jobs > 1 and len(missing) > 1
     )
     t_dispatch_start = time.monotonic()
-    parts = _run_in_pool(task, sizes, seeds, context.n_jobs) if use_pool else None
-    used_process = parts is not None
-    if parts is None:
+    pool_stats: dict = {}
+    if use_pool:
+        pool_stats = _run_in_pool(task, sizes, seeds, context, missing, parts, _store)
+    used_process = pool_stats.get("completed", 0) > 0
+    still_missing = [i for i, part in enumerate(parts) if part is None]
+    if still_missing:
         submitted = time.monotonic()
-        parts = [
-            _traced_chunk(task, i, len(sizes), size, "serial", submitted, chunk_seed)
-            for i, (size, chunk_seed) in enumerate(zip(sizes, seeds))
-        ]
+        for i in still_missing:
+            parts[i] = _traced_chunk(
+                task, i, len(sizes), sizes[i], "serial", submitted, seeds[i]
+            )
+            _store(i, parts[i])
     t_dispatch = time.monotonic() - t_dispatch_start
 
     t_merge_start = time.monotonic()
@@ -301,6 +398,12 @@ def run_chunked(
         "n_chunks": len(sizes),
         "chunk_size": context.effective_chunk_size,
     }
+    if cache_hits:
+        execution["cache_hits"] = cache_hits
+    if pool_stats.get("retry_rounds"):
+        execution["retry_rounds"] = pool_stats["retry_rounds"]
+    if pool_stats.get("serial_fallback") or (used_process and still_missing):
+        execution["serial_fallback_chunks"] = len(still_missing)
     merged.meta.update(execution=dict(execution))
     merged.meta["manifest"] = _obs_manifest.RunManifest(
         label=merged.label,
@@ -356,50 +459,244 @@ def _traced_chunk(
         return task(size, chunk_seed)
 
 
+class _ChunkTaskError:
+    """A task exception, shipped back from the worker *as a value*.
+
+    :func:`_guarded_chunk` catches everything the chunk task raises and
+    returns it wrapped in this container, so any exception that escapes
+    ``Future.result()`` is a pool-infrastructure failure *by construction*
+    — no guessing whether a ``TypeError`` came from pickling or from the
+    simulation.
+    """
+
+    __slots__ = ("exc", "tb")
+
+    def __init__(self, exc: BaseException, tb: str) -> None:
+        self.exc = exc
+        self.tb = tb
+
+
+def _guarded_chunk(
+    task: ChunkTask,
+    index: int,
+    n_chunks: int,
+    size: int,
+    backend: str,
+    submitted_mono: float,
+    chunk_seed: np.random.SeedSequence,
+) -> "RunSet | _ChunkTaskError":
+    """:func:`_traced_chunk`, but task exceptions return instead of raise."""
+    try:
+        return _traced_chunk(
+            task, index, n_chunks, size, backend, submitted_mono, chunk_seed
+        )
+    except Exception as exc:
+        return _ChunkTaskError(exc, traceback.format_exc())
+
+
+class _PermanentPoolError(Exception):
+    """Pool-infrastructure failure that retrying cannot fix."""
+
+    def __init__(self, cause: BaseException) -> None:
+        super().__init__(str(cause))
+        self.cause = cause
+
+
+#: infrastructure failures worth retrying in a fresh pool: a crashed or
+#: killed worker (``BrokenProcessPool``), resource exhaustion / broken
+#: pipes (``OSError``), and futures cancelled by a prior teardown.
+_TRANSIENT_ERRORS = (BrokenProcessPool, OSError, CancelledError)
+
+#: deterministic failures — retrying reproduces them.  ``AttributeError`` /
+#: ``TypeError`` / ``PicklingError`` are how pickle reports an unpicklable
+#: task or result; with :func:`_guarded_chunk` in place no *task* exception
+#: can surface here.
+_PERMANENT_ERRORS = (PicklingError, ImportError, AttributeError, TypeError)
+
+
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on hung or doomed workers."""
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+
+
+def _pool_round(
+    task: ChunkTask,
+    sizes: list[int],
+    seeds: list[np.random.SeedSequence],
+    context: ExecutionContext,
+    pending: list[int],
+    parts: "list[RunSet | None]",
+    store: Callable[[int, "RunSet"], None],
+    stats: dict,
+) -> tuple[list[int], str | None]:
+    """One dispatch round over the *pending* chunk indices.
+
+    Fills ``parts`` (and the cache, via *store*) for every chunk that
+    completes; returns ``(failed, error)`` where *failed* lists the indices
+    to retry and *error* names the last transient failure.  Raises
+    :class:`_PermanentPoolError` when retrying cannot help, or the original
+    task exception when a chunk task raised.
+
+    Futures are harvested sequentially in submission order with
+    ``chunk_timeout`` as the per-step budget; because the pool schedules
+    FIFO, completion tracks submission closely enough that the timeout acts
+    as a stall detector without penalising chunks that are merely queued.
+    """
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(context.n_jobs, len(pending)))
+    except Exception as exc:  # e.g. no process support on the platform
+        raise _PermanentPoolError(exc) from exc
+
+    failed: list[int] = []
+    error: str | None = None
+    hard_teardown = False
+    try:
+        submitted = time.monotonic()
+        futures = {
+            i: pool.submit(
+                _guarded_chunk, task, i, len(sizes), sizes[i], "process",
+                submitted, seeds[i],
+            )
+            for i in pending
+        }
+        stalled = False
+        for i in pending:
+            fut = futures[i]
+            if stalled and not fut.done():
+                failed.append(i)
+                continue
+            try:
+                out = fut.result(timeout=None if stalled else context.chunk_timeout)
+            except FuturesTimeoutError:
+                # Stall: keep whatever already finished, retry the rest in
+                # a fresh pool (the hung worker is terminated below).
+                error = "timeout"
+                stalled = True
+                hard_teardown = True
+                failed.append(i)
+                obs.event(
+                    "parallel.chunk_failed",
+                    chunk=i, error="timeout", kind="infrastructure",
+                )
+                continue
+            except _PERMANENT_ERRORS as exc:
+                # Plain join below: the feeder thread fails the remaining
+                # futures itself, and cancelling them instead would race
+                # it (InvalidStateError) or deadlock the join.
+                raise _PermanentPoolError(exc) from exc
+            except _TRANSIENT_ERRORS as exc:
+                error = type(exc).__name__
+                failed.append(i)
+                obs.event(
+                    "parallel.chunk_failed",
+                    chunk=i, error=type(exc).__name__, kind="infrastructure",
+                )
+                continue
+            if isinstance(out, _ChunkTaskError):
+                # Genuine simulation error: cancel the siblings and
+                # propagate unchanged, exactly as serial execution would.
+                obs.event(
+                    "parallel.chunk_failed",
+                    chunk=i, error=type(out.exc).__name__, kind="task",
+                )
+                hard_teardown = True
+                exc = out.exc
+                if out.tb and hasattr(exc, "add_note"):
+                    exc.add_note(f"(worker traceback)\n{out.tb}")
+                raise exc
+            parts[i] = out
+            store(i, out)
+            stats["completed"] += 1
+    finally:
+        if hard_teardown:
+            _abandon_pool(pool)
+        else:
+            # Every pending future has been harvested (or recorded as
+            # failed) by now, so a plain join is safe and prompt.
+            pool.shutdown(wait=True)
+    return failed, error
+
+
 def _run_in_pool(
     task: ChunkTask,
     sizes: list[int],
     seeds: list[np.random.SeedSequence],
-    n_jobs: int,
-) -> "list[RunSet] | None":
-    """Fan chunks out to a process pool; ``None`` means "fall back to serial".
+    context: ExecutionContext,
+    pending: list[int],
+    parts: "list[RunSet | None]",
+    store: Callable[[int, "RunSet"], None],
+) -> dict:
+    """Dispatch the *pending* chunk indices to a process pool, resiliently.
 
-    Only pool-infrastructure failures (no fork support, unpicklable task,
-    broken worker) trigger the fallback — genuine simulation errors
-    propagate unchanged, exactly as they would serially.
+    Completed chunks land in ``parts`` (and the cache) as they are
+    harvested, so progress survives any later failure.  Transient failures
+    are retried per-chunk with exponential backoff; permanent failures and
+    an exhausted retry budget leave the still-missing chunks for the caller
+    to run serially (the ``"falling back to serial"`` warning below).  Task
+    exceptions propagate from :func:`_pool_round` unchanged.
+
+    Returns a stats dict: ``completed`` chunks run in workers,
+    ``retry_rounds`` used and whether a ``serial_fallback`` happened.
     """
-    try:
-        with ProcessPoolExecutor(max_workers=min(n_jobs, len(sizes))) as pool:
-            submitted = time.monotonic()
-            futures = [
-                pool.submit(
-                    _traced_chunk, task, i, len(sizes), size, "process",
-                    submitted, chunk_seed,
-                )
-                for i, (size, chunk_seed) in enumerate(zip(sizes, seeds))
-            ]
-            return [f.result() for f in futures]
-    # AttributeError/TypeError: how pickle reports an unpicklable task
-    # (e.g. a closure); a genuine simulation error of those types would be
-    # re-raised by the serial retry anyway.
-    except (
-        BrokenProcessPool,
-        PicklingError,
-        OSError,
-        ImportError,
-        AttributeError,
-        TypeError,
-    ) as exc:
+    stats = {"completed": 0, "retry_rounds": 0, "serial_fallback": False}
+    remaining = list(pending)
+    attempt = 0
+    while remaining:
+        try:
+            remaining, error = _pool_round(
+                task, sizes, seeds, context, remaining, parts, store, stats
+            )
+        except _PermanentPoolError as exc:
+            cause = exc.cause
+            obs.event(
+                "parallel.fallback",
+                error=type(cause).__name__,
+                n_chunks=len(remaining),
+                n_jobs=context.n_jobs,
+            )
+            warnings.warn(
+                f"process pool unavailable ({type(cause).__name__}: {cause}); "
+                "falling back to serial chunked execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            stats["serial_fallback"] = True
+            return stats
+        if not remaining:
+            break
+        if attempt >= context.retries:
+            obs.event(
+                "parallel.fallback",
+                error=error or "retries_exhausted",
+                n_chunks=len(remaining),
+                n_jobs=context.n_jobs,
+            )
+            warnings.warn(
+                f"process pool unavailable ({error}; "
+                f"{context.retries} retries exhausted); "
+                "falling back to serial chunked execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            stats["serial_fallback"] = True
+            return stats
+        attempt += 1
+        stats["retry_rounds"] = attempt
+        delay = context.retry_backoff * (2 ** (attempt - 1))
         obs.event(
-            "parallel.fallback",
-            error=type(exc).__name__,
-            n_chunks=len(sizes),
-            n_jobs=n_jobs,
+            "parallel.retry",
+            attempt=attempt,
+            max_retries=context.retries,
+            chunks=list(remaining),
+            error=error,
+            delay_s=round(delay, 3),
         )
-        warnings.warn(
-            f"process pool unavailable ({type(exc).__name__}: {exc}); "
-            "falling back to serial chunked execution",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-        return None
+        if delay > 0:
+            time.sleep(delay)
+    return stats

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import replace
 from functools import partial
 
+from repro.cache import cached_runset
 from repro.exceptions import ParameterError
 from repro.failures.generator import FailureSource, TraceFailureSource
 from repro.failures.traces import FailureTrace
@@ -86,28 +87,41 @@ def _trace_chunk(config: TraceEngineConfig, n_runs: int, seed: SeedLike) -> RunS
     return simulate_trace_runs(replace(config, n_runs=n_runs), seed=seed)
 
 
+def _cached_batch(task: partial, n_runs: int, seed: SeedLike, compute) -> RunSet:
+    """Serve a legacy single-batch simulation through the ambient cache.
+
+    The legacy (non-chunked) path must keep its historical seed stream, so
+    caching wraps the whole batch: the first run computes and stores it
+    unchanged, a re-run with the same task/config/seed is served from disk
+    bit-identically (see :mod:`repro.cache`).
+    """
+    return cached_runset(
+        "batch",
+        task=task,
+        layout={"mode": "single-batch", "n_runs": n_runs},
+        seed=seed,
+        compute=compute,
+    )
+
+
 def _run_lockstep(config: LockstepConfig, seed: SeedLike, n_jobs) -> RunSet:
     context = resolve_execution(n_jobs)
+    task = partial(_lockstep_chunk, config)
     if context is None:
-        return simulate_lockstep(config, seed=seed)
-    return run_chunked(
-        partial(_lockstep_chunk, config),
-        n_runs=config.n_runs,
-        seed=seed,
-        context=context,
-    )
+        return _cached_batch(
+            task, config.n_runs, seed, lambda: simulate_lockstep(config, seed=seed)
+        )
+    return run_chunked(task, n_runs=config.n_runs, seed=seed, context=context)
 
 
 def _run_trace(config: TraceEngineConfig, seed: SeedLike, n_jobs) -> RunSet:
     context = resolve_execution(n_jobs)
+    task = partial(_trace_chunk, config)
     if context is None:
-        return simulate_trace_runs(config, seed=seed)
-    return run_chunked(
-        partial(_trace_chunk, config),
-        n_runs=config.n_runs,
-        seed=seed,
-        context=context,
-    )
+        return _cached_batch(
+            task, config.n_runs, seed, lambda: simulate_trace_runs(config, seed=seed)
+        )
+    return run_chunked(task, n_runs=config.n_runs, seed=seed, context=context)
 
 
 def simulate_restart(
@@ -137,6 +151,13 @@ def simulate_restart(
     if engine == "sampled":
         if n_periods is None:
             raise ParameterError("the sampled engine requires n_periods termination")
+        if work_target is not None:
+            # Mirror LockstepConfig instead of silently ignoring one mode.
+            raise ParameterError(
+                "set exactly one of n_periods / work_target: the sampled "
+                "engine supports only n_periods termination "
+                "(use engine='lockstep' for work_target)"
+            )
         params = dict(
             mtbf=mtbf,
             n_pairs=n_pairs,
@@ -146,11 +167,15 @@ def simulate_restart(
             failures_during_checkpoint=failures_during_checkpoint,
         )
         context = resolve_execution(n_jobs)
+        task = partial(_sampled_chunk, params)
         if context is None:
-            return simulate_restart_sampled(n_runs=n_runs, seed=seed, **params)
-        return run_chunked(
-            partial(_sampled_chunk, params), n_runs=n_runs, seed=seed, context=context
-        )
+            return _cached_batch(
+                task,
+                n_runs,
+                seed,
+                lambda: simulate_restart_sampled(n_runs=n_runs, seed=seed, **params),
+            )
+        return run_chunked(task, n_runs=n_runs, seed=seed, context=context)
     if engine != "lockstep":
         raise ParameterError(f"unknown engine {engine!r}; expected 'sampled' or 'lockstep'")
     policy = restart_policy(period, costs)

@@ -32,16 +32,18 @@ _Z_TABLE = {
 
 
 def _z_value(level: float) -> float:
-    try:
-        return _Z_TABLE[round(level, 2)]
-    except KeyError:
-        # Fall back to scipy for unusual levels; imported lazily because the
-        # common path should not pay the import cost.
-        from scipy.stats import norm
+    # Exact table match only — rounding the level would silently serve a
+    # nearby quantile (e.g. the 0.68 value for level=0.683).
+    hit = _Z_TABLE.get(level)
+    if hit is not None:
+        return hit
+    # Fall back to scipy for unusual levels; imported lazily because the
+    # common path should not pay the import cost.
+    from scipy.stats import norm
 
-        if not 0.0 < level < 1.0:
-            raise ParameterError(f"confidence level must be in (0, 1), got {level}") from None
-        return float(norm.ppf(0.5 + level / 2.0))
+    if not 0.0 < level < 1.0:
+        raise ParameterError(f"confidence level must be in (0, 1), got {level}")
+    return float(norm.ppf(0.5 + level / 2.0))
 
 
 @dataclass

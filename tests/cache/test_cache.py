@@ -1,0 +1,322 @@
+"""Tests for the content-addressed result cache (:mod:`repro.cache`).
+
+Covers key derivation + invalidation, the on-disk store (round-trip
+bit-identity, corrupt-entry handling, ls/clear), resolution precedence
+(default vs ``REPRO_CACHE_DIR``), the :func:`cached_runset` helper, and
+end-to-end resumability of chunked runs and sweep points.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import CheckpointCosts, simulate_restart
+from repro.cache import (
+    CACHE_DIR_ENV_VAR,
+    RunCache,
+    cache_scope,
+    cacheable_seed,
+    cached_runset,
+    canonical_payload,
+    fingerprint_task,
+    get_default_cache,
+    resolve_cache,
+    runset_key,
+    set_default_cache,
+)
+from repro.exceptions import ParameterError
+from repro.io.results_io import load_cache_entry, read_cache_entry_header, save_cache_entry
+from repro.obs import read_events
+from repro.obs import trace as obs
+from repro.parallel import ExecutionContext, run_chunked
+from repro.simulation import RunSet
+from repro.util import YEAR
+
+MTBF = 5 * YEAR
+
+
+def _stub_runs(n_runs: int, seed) -> RunSet:
+    rng = np.random.default_rng(seed)
+    vals = rng.random(n_runs)
+    ints = rng.integers(0, 7, n_runs)
+    return RunSet(*([vals] * 5 + [ints] * 5), label="stub")
+
+
+def _assert_identical(a: RunSet, b: RunSet) -> None:
+    assert a.n_runs == b.n_runs
+    for name in (
+        "total_time", "useful_time", "checkpoint_time", "recovery_time",
+        "wasted_time", "n_failures", "n_fatal", "n_checkpoints",
+        "n_proc_restarts", "max_degraded",
+    ):
+        np.testing.assert_array_equal(
+            getattr(a, name), getattr(b, name), err_msg=name, strict=True
+        )
+
+
+def _key(**overrides) -> str:
+    base = dict(
+        kind="batch",
+        task={"f": "stub", "mtbf": MTBF},
+        layout={"n_runs": 8, "chunk_size": 4},
+        seed={"entropy": 42},
+    )
+    base.update(overrides)
+    return runset_key(**base)
+
+
+class TestKeys:
+    def test_key_is_hex_sha256(self):
+        key = _key()
+        assert len(key) == 64
+        int(key, 16)  # hex
+
+    def test_key_deterministic(self):
+        assert _key() == _key()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"kind": "chunk"},
+            {"task": {"f": "stub", "mtbf": MTBF * 2}},
+            {"layout": {"n_runs": 16, "chunk_size": 4}},
+            {"seed": {"entropy": 43}},
+        ],
+    )
+    def test_any_component_change_invalidates(self, change):
+        assert _key(**change) != _key()
+
+    def test_canonical_payload_orders_mappings(self):
+        assert canonical_payload({"b": 1, "a": 2}) == canonical_payload(
+            {"a": 2, "b": 1}
+        )
+
+    def test_canonical_payload_distinguishes_float_precision(self):
+        assert canonical_payload(0.1) != canonical_payload(0.1 + 1e-17) or (
+            0.1 == 0.1 + 1e-17
+        )
+        assert canonical_payload(1.0) != canonical_payload(1)
+
+    def test_canonical_payload_numpy(self):
+        assert canonical_payload(np.float64(2.5)) == canonical_payload(2.5)
+        arr = canonical_payload(np.arange(3))
+        assert arr == canonical_payload(np.arange(3))
+        assert arr != canonical_payload(np.arange(4))
+
+    def test_fingerprint_mapping_params(self):
+        fp = fingerprint_task({"strategy": "restart", "mtbf": MTBF})
+        assert fingerprint_task({"mtbf": MTBF, "strategy": "restart"}) == fp
+
+
+class TestStore:
+    def test_round_trip_bit_identity(self, tmp_path):
+        cache = RunCache(tmp_path / "cache")
+        runs = _stub_runs(10, 42)
+        key = _key()
+        assert cache.get(key) is None
+        cache.put(key, runs, label="unit")
+        assert key in cache
+        loaded = cache.get(key)
+        _assert_identical(runs, loaded)
+        # dtypes must survive the round trip exactly (strict=True above)
+        assert loaded.total_time.dtype == runs.total_time.dtype
+        assert loaded.n_failures.dtype == runs.n_failures.dtype
+
+    def test_corrupt_entry_is_miss_and_removed(self, tmp_path):
+        cache = RunCache(tmp_path)
+        key = _key()
+        cache.put(key, _stub_runs(4, 1))
+        path = cache.path_for(key)
+        path.write_text("{ not json")
+        trace = tmp_path / "trace.jsonl"
+        with obs.trace_to(trace):
+            assert cache.get(key) is None
+        assert not path.exists()
+        assert any(e["name"] == "cache.corrupt" for e in read_events(trace))
+
+    def test_key_mismatch_is_corrupt(self, tmp_path):
+        cache = RunCache(tmp_path)
+        other = _key(kind="chunk")
+        cache.put(other, _stub_runs(4, 1))
+        # copy the valid entry under the wrong address
+        key = _key()
+        cache.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(key).write_bytes(cache.path_for(other).read_bytes())
+        assert cache.get(key) is None
+        assert not cache.path_for(key).exists()
+
+    def test_entries_and_clear(self, tmp_path):
+        cache = RunCache(tmp_path)
+        assert len(cache) == 0 and cache.entries() == []
+        cache.put(_key(), _stub_runs(4, 1), label="a")
+        cache.put(_key(kind="chunk"), _stub_runs(6, 2), label="b")
+        entries = cache.entries()
+        assert len(cache) == 2
+        assert {e.label for e in entries} == {"a", "b"}
+        assert {e.n_runs for e in entries} == {4, 6}
+        for entry in entries:
+            assert entry.key in entry.describe() or entry.key[:16] in entry.describe()
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_root_must_be_directory(self, tmp_path):
+        not_dir = tmp_path / "file"
+        not_dir.write_text("x")
+        with pytest.raises(ParameterError):
+            RunCache(not_dir)
+
+
+class TestResolution:
+    def test_default_wins_over_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path / "env"))
+        explicit = RunCache(tmp_path / "explicit")
+        previous = set_default_cache(explicit)
+        try:
+            assert resolve_cache() is explicit
+        finally:
+            set_default_cache(previous)
+
+    def test_env_var_activates(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path / "env"))
+        cache = resolve_cache()
+        assert cache is not None and cache.root == tmp_path / "env"
+
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV_VAR, raising=False)
+        assert get_default_cache() is None
+        assert resolve_cache() is None
+
+    def test_cache_scope_restores(self, tmp_path):
+        assert get_default_cache() is None
+        with cache_scope(tmp_path) as cache:
+            assert get_default_cache() is cache
+        assert get_default_cache() is None
+
+    def test_set_default_type_checked(self):
+        with pytest.raises(ParameterError):
+            set_default_cache("/tmp/not-a-cache")
+
+    @pytest.mark.parametrize(
+        "seed, ok",
+        [(0, True), (42, True), (np.random.SeedSequence(7), True),
+         (None, False), (np.random.default_rng(3), False)],
+    )
+    def test_cacheable_seed(self, seed, ok):
+        assert cacheable_seed(seed) is ok
+
+
+class TestCachedRunset:
+    def test_compute_once_then_hit(self, tmp_path):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return _stub_runs(6, 9)
+
+        with cache_scope(tmp_path):
+            first = cached_runset(
+                "point:test", task={"x": 1}, layout={"sweep": "test"},
+                seed=np.random.SeedSequence(9), compute=compute,
+            )
+            second = cached_runset(
+                "point:test", task={"x": 1}, layout={"sweep": "test"},
+                seed=np.random.SeedSequence(9), compute=compute,
+            )
+        assert len(calls) == 1
+        _assert_identical(first, second)
+
+    def test_no_cache_means_straight_call(self):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return _stub_runs(2, 0)
+
+        cached_runset(
+            "batch", task={}, layout={}, seed=1, compute=compute
+        )
+        cached_runset(
+            "batch", task={}, layout={}, seed=1, compute=compute
+        )
+        assert len(calls) == 2  # no ambient cache: computed every time
+
+    def test_uncacheable_seed_bypasses(self, tmp_path):
+        with cache_scope(tmp_path) as cache:
+            cached_runset(
+                "batch", task={}, layout={}, seed=None,
+                compute=lambda: _stub_runs(2, 0),
+            )
+            assert len(cache) == 0
+
+
+class TestEndToEnd:
+    def test_chunked_run_resumes_from_chunk_cache(self, tmp_path):
+        ctx = ExecutionContext(n_jobs=1, backend="serial", chunk_size=2)
+        with cache_scope(tmp_path) as cache:
+            cold = run_chunked(_stub_runs, n_runs=8, seed=5, context=ctx)
+            assert len(cache) == 4  # one entry per chunk
+            warm = run_chunked(_stub_runs, n_runs=8, seed=5, context=ctx)
+        assert warm.meta["execution"]["cache_hits"] == 4
+        _assert_identical(cold, warm)
+        bare = run_chunked(_stub_runs, n_runs=8, seed=5, context=ctx)
+        _assert_identical(cold, bare)  # caching never changes results
+
+    def test_interrupted_run_recomputes_only_missing_chunks(self, tmp_path):
+        ctx = ExecutionContext(n_jobs=1, backend="serial", chunk_size=2)
+        with cache_scope(tmp_path) as cache:
+            full = run_chunked(_stub_runs, n_runs=8, seed=5, context=ctx)
+            # simulate an interrupt that lost two of the four chunks
+            victims = [e.key for e in cache.entries()][:2]
+            for key in victims:
+                cache.path_for(key).unlink()
+            assert len(cache) == 2
+            resumed = run_chunked(_stub_runs, n_runs=8, seed=5, context=ctx)
+            assert resumed.meta["execution"]["cache_hits"] == 2
+            assert len(cache) == 4  # recomputed chunks were re-stored
+        _assert_identical(full, resumed)
+
+    def test_simulate_restart_batch_cached(self, tmp_path):
+        kwargs = dict(
+            mtbf=MTBF, n_pairs=50, period=3600.0,
+            costs=CheckpointCosts(checkpoint=60.0), n_periods=10,
+            n_runs=5, seed=123,
+        )
+        with cache_scope(tmp_path) as cache:
+            cold = simulate_restart(**kwargs)
+            assert len(cache) == 1
+            warm = simulate_restart(**kwargs)
+            assert len(cache) == 1
+        _assert_identical(cold, warm)
+        bare = simulate_restart(**kwargs)
+        _assert_identical(cold, bare)
+
+    def test_unseeded_run_never_cached(self, tmp_path):
+        with cache_scope(tmp_path) as cache:
+            simulate_restart(
+                mtbf=MTBF, n_pairs=50, period=3600.0,
+                costs=CheckpointCosts(checkpoint=60.0), n_periods=10, n_runs=3,
+            )
+            assert len(cache) == 0
+
+
+class TestCacheEntryIO:
+    def test_schema_and_header(self, tmp_path):
+        path = tmp_path / "entry.json"
+        runs = _stub_runs(3, 8)
+        save_cache_entry("ab" * 32, runs, path, label="hdr")
+        header = read_cache_entry_header(path)
+        assert header["key"] == "ab" * 32
+        assert header["label"] == "hdr"
+        assert header["n_runs"] == 3
+        key, loaded = load_cache_entry(path)
+        assert key == "ab" * 32
+        _assert_identical(runs, loaded)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "repro/runset-v1"}))
+        with pytest.raises(ParameterError, match="cache-entry"):
+            load_cache_entry(path)

@@ -161,3 +161,31 @@ class TestSampling:
         a = sample_time_to_interruption(10.0, 5, 10, seed=1, rng=rng)
         b = sample_time_to_interruption(10.0, 5, 10, seed=1)
         assert not np.array_equal(a, b)
+
+
+class TestQuantilePrecision:
+    """Regression pins for the ``expm1``/``log1p`` quantile rewrite.
+
+    For q -> 0 the quantile behaves as ``mu * sqrt(q / b)``; the naive
+    ``sqrt(1 - (1 - q)**(1/b))`` form cancels catastrophically and
+    returned exactly 0.0 for q below ~1e-16 * b.
+    """
+
+    @pytest.mark.parametrize("q", [1e-6, 1e-9, 1e-12])
+    def test_tiny_quantiles_match_asymptote(self, q):
+        mu, b = 5 * YEAR, 100_000
+        t = interruption_quantile(q, mu, b)
+        assert t > 0.0
+        assert t == pytest.approx(mu * math.sqrt(q / b), rel=1e-4)
+
+    def test_tiny_quantiles_monotone(self):
+        mu, b = 5 * YEAR, 100_000
+        qs = [1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2]
+        ts = [interruption_quantile(q, mu, b) for q in qs]
+        assert all(a < b_ for a, b_ in zip(ts, ts[1:]))
+
+    def test_tiny_quantile_still_inverts_cdf(self):
+        mu, b = 5 * YEAR, 10_000
+        q = 1e-9
+        t = interruption_quantile(q, mu, b)
+        assert float(interruption_cdf(t, mu, b)) == pytest.approx(q, rel=1e-6)

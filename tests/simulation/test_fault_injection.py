@@ -1,0 +1,230 @@
+"""Fault-injection tests for the resilient chunk dispatch.
+
+The contract under test (:mod:`repro.parallel`):
+
+* a crashed or hung worker retries only the affected chunks, with their
+  original seeds, so the merged result is bit-identical to an undisturbed
+  run — and the run does NOT degrade to a full serial re-execution;
+* a genuine task exception propagates unchanged (no misleading
+  "process pool unavailable" warning, no serial re-run of the failing task);
+* an exhausted retry budget degrades gracefully: the still-missing chunks
+  run serially and the run completes with the same bit-identical result.
+
+Worker crashes are injected from inside picklable module-level tasks via a
+sentinel file (path passed through the environment, which forked workers
+inherit): the victim chunk removes the sentinel and SIGKILLs its own
+worker, so the retry finds the sentinel gone and succeeds.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.obs import read_events
+from repro.obs import trace as obs
+from repro.parallel import ExecutionContext, run_chunked
+from repro.simulation import RunSet
+
+KILL_FILE_VAR = "REPRO_TEST_KILL_FILE"
+HANG_FILE_VAR = "REPRO_TEST_HANG_FILE"
+
+pytestmark = pytest.mark.filterwarnings("error::RuntimeWarning")
+
+
+def _assert_identical(a: RunSet, b: RunSet) -> None:
+    assert a.n_runs == b.n_runs
+    for name in (
+        "total_time", "useful_time", "checkpoint_time", "recovery_time",
+        "wasted_time", "n_failures", "n_fatal", "n_checkpoints",
+        "n_proc_restarts", "max_degraded",
+    ):
+        np.testing.assert_array_equal(
+            getattr(a, name), getattr(b, name), err_msg=name, strict=True
+        )
+
+
+# ---------------------------------------------------------------------------
+# Module-level chunk tasks (picklable for the process backend)
+# ---------------------------------------------------------------------------
+
+
+def _stub_runs(n_runs: int, seed) -> RunSet:
+    """Deterministic pure function of (n_runs, seed)."""
+    rng = np.random.default_rng(seed)
+    vals = rng.random(n_runs)
+    ints = rng.integers(0, 5, n_runs)
+    return RunSet(*([vals] * 5 + [ints] * 5), label="stub")
+
+
+def _consume_sentinel(var: str) -> bool:
+    """True exactly once: when the sentinel file named by *var* exists."""
+    flag = os.environ.get(var)
+    if not flag or not os.path.exists(flag):
+        return False
+    try:
+        os.remove(flag)
+    except FileNotFoundError:  # a sibling worker won the race
+        return False
+    return True
+
+
+def _kill_chunk1_task(n_runs: int, seed) -> RunSet:
+    """SIGKILL the worker running chunk 1 (once); other chunks are instant.
+
+    The chunk index is recovered from the seed's ``spawn_key``, and the
+    victim sleeps first so its siblings finish — making "only the affected
+    chunk is retried" deterministic.
+    """
+    if tuple(seed.spawn_key)[-1:] == (1,) and os.environ.get(KILL_FILE_VAR):
+        if _consume_sentinel(KILL_FILE_VAR):
+            time.sleep(0.5)
+            os.kill(os.getpid(), signal.SIGKILL)
+    return _stub_runs(n_runs, seed)
+
+
+def _hang_chunk1_task(n_runs: int, seed) -> RunSet:
+    """Hang the worker running chunk 1 (once) far beyond the chunk timeout."""
+    if tuple(seed.spawn_key)[-1:] == (1,) and os.environ.get(HANG_FILE_VAR):
+        if _consume_sentinel(HANG_FILE_VAR):
+            time.sleep(300.0)
+    return _stub_runs(n_runs, seed)
+
+
+def _value_error_task(n_runs: int, seed) -> RunSet:
+    raise ValueError("boom in chunk")
+
+
+def _os_error_task(n_runs: int, seed) -> RunSet:
+    raise OSError("simulated I/O failure inside the task")
+
+
+SERIAL = ExecutionContext(n_jobs=1, backend="serial", chunk_size=2)
+
+
+class TestWorkerCrash:
+    def test_killed_worker_retries_only_affected_chunk(self, tmp_path, monkeypatch):
+        kill_file = tmp_path / "kill-once"
+        kill_file.touch()
+        monkeypatch.setenv(KILL_FILE_VAR, str(kill_file))
+        trace = tmp_path / "trace.jsonl"
+        with obs.trace_to(trace):
+            rs = run_chunked(
+                _kill_chunk1_task, n_runs=8, seed=11,
+                context=ExecutionContext(n_jobs=2, chunk_size=2, retries=2),
+            )
+        assert not kill_file.exists()  # the crash really happened
+        assert rs.n_runs == 8
+
+        events = {e["name"] for e in read_events(trace)}
+        assert "parallel.retry" in events
+        assert "parallel.fallback" not in events  # no serial degradation
+        retries = [
+            e for e in read_events(trace) if e["name"] == "parallel.retry"
+        ]
+        # only the crashed chunk was re-dispatched (siblings had finished)
+        assert retries[0]["labels"]["chunks"] == [1]
+        assert rs.meta["execution"]["backend"] == "process"
+        assert rs.meta["execution"]["retry_rounds"] >= 1
+
+        monkeypatch.delenv(KILL_FILE_VAR)
+        baseline = run_chunked(_kill_chunk1_task, n_runs=8, seed=11, context=SERIAL)
+        _assert_identical(rs, baseline)
+
+    def test_retries_exhausted_falls_back_to_serial(self, tmp_path, monkeypatch):
+        kill_file = tmp_path / "kill-once"
+        kill_file.touch()
+        monkeypatch.setenv(KILL_FILE_VAR, str(kill_file))
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            rs = run_chunked(
+                _kill_chunk1_task, n_runs=8, seed=11,
+                context=ExecutionContext(n_jobs=2, chunk_size=2, retries=0),
+            )
+        assert rs.n_runs == 8
+        assert rs.meta["execution"]["serial_fallback_chunks"] >= 1
+
+        monkeypatch.delenv(KILL_FILE_VAR)
+        baseline = run_chunked(_kill_chunk1_task, n_runs=8, seed=11, context=SERIAL)
+        _assert_identical(rs, baseline)
+
+
+class TestChunkTimeout:
+    def test_hung_chunk_times_out_and_retries(self, tmp_path, monkeypatch):
+        hang_file = tmp_path / "hang-once"
+        hang_file.touch()
+        monkeypatch.setenv(HANG_FILE_VAR, str(hang_file))
+        trace = tmp_path / "trace.jsonl"
+        with obs.trace_to(trace):
+            rs = run_chunked(
+                _hang_chunk1_task, n_runs=8, seed=7,
+                context=ExecutionContext(
+                    n_jobs=2, chunk_size=2, retries=2, chunk_timeout=2.0,
+                ),
+            )
+        assert rs.n_runs == 8
+        events = read_events(trace)
+        failed = [e for e in events if e["name"] == "parallel.chunk_failed"]
+        assert any(e["labels"]["error"] == "timeout" for e in failed)
+        assert {e["name"] for e in events} >= {"parallel.retry"}
+
+        monkeypatch.delenv(HANG_FILE_VAR)
+        baseline = run_chunked(_hang_chunk1_task, n_runs=8, seed=7, context=SERIAL)
+        _assert_identical(rs, baseline)
+
+
+class TestTaskErrorPropagation:
+    """Genuine task exceptions must NOT be mistaken for pool failures."""
+
+    @pytest.mark.parametrize(
+        "task, exc_type, match",
+        [
+            (_value_error_task, ValueError, "boom in chunk"),
+            (_os_error_task, OSError, "simulated I/O failure"),
+        ],
+    )
+    def test_task_exception_propagates_without_fallback(
+        self, tmp_path, task, exc_type, match
+    ):
+        trace = tmp_path / "trace.jsonl"
+        with warnings.catch_warnings():
+            # any RuntimeWarning ("process pool unavailable...") is a bug
+            warnings.simplefilter("error")
+            with obs.trace_to(trace):
+                with pytest.raises(exc_type, match=match):
+                    run_chunked(
+                        task, n_runs=8, seed=3,
+                        context=ExecutionContext(n_jobs=2, chunk_size=2),
+                    )
+        events = read_events(trace)
+        kinds = [
+            e["labels"].get("kind")
+            for e in events
+            if e["name"] == "parallel.chunk_failed"
+        ]
+        assert "task" in kinds
+        assert all(e["name"] != "parallel.fallback" for e in events)
+
+    def test_serial_chunked_raises_identically(self):
+        with pytest.raises(ValueError, match="boom in chunk"):
+            run_chunked(_value_error_task, n_runs=8, seed=3, context=SERIAL)
+
+
+class TestContextValidation:
+    def test_new_fields_validated(self):
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError):
+            ExecutionContext(retries=-1)
+        with pytest.raises(ParameterError):
+            ExecutionContext(retries=1.5)
+        with pytest.raises(ParameterError):
+            ExecutionContext(chunk_timeout=0.0)
+        with pytest.raises(ParameterError):
+            ExecutionContext(retry_backoff=-0.1)
+        ctx = ExecutionContext(retries=0, chunk_timeout=1.0, retry_backoff=0.0)
+        assert ctx.retries == 0 and ctx.chunk_timeout == 1.0

@@ -42,6 +42,20 @@ class TestRestartWrapper:
         with pytest.raises(ParameterError):
             simulate_restart(period=1000.0, engine="warp", **BASE)
 
+    def test_sampled_rejects_both_termination_modes(self):
+        # BASE sets n_periods=10; the sampled engine used to silently
+        # ignore an additional work_target instead of raising.
+        with pytest.raises(ParameterError, match="exactly one"):
+            simulate_restart(period=1000.0, work_target=5000.0, **BASE)
+
+    def test_lockstep_honours_work_target_alongside_periods(self):
+        kw = {k: v for k, v in BASE.items() if k != "n_periods"}
+        rs = simulate_restart(
+            period=1000.0, engine="lockstep", n_periods=None,
+            work_target=5000.0, **kw,
+        )
+        assert rs.meta["engine"] == "lockstep"
+
 
 class TestOtherWrappers:
     def test_no_restart(self):

@@ -170,3 +170,75 @@ class TestObsCommands:
         out = capsys.readouterr().out.strip().splitlines()
         assert len(out) == 2
         assert "i=5" in out[-1]
+
+
+class TestCacheCommands:
+    @pytest.fixture(autouse=True)
+    def _clean_globals(self, monkeypatch):
+        """--cache-dir installs process-wide state (default cache + exported
+        REPRO_CACHE_DIR); scrub both so later tests run uncached."""
+        import os
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        yield
+        from repro.cache import set_default_cache
+
+        set_default_cache(None)
+        os.environ.pop("REPRO_CACHE_DIR", None)
+
+    SIM = [
+        "simulate", "restart", "--pairs", "1000", "--runs", "10",
+        "--periods", "5", "--seed", "1",
+    ]
+
+    def test_cache_dir_populates_and_resumes(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(self.SIM + ["--cache-dir", str(cache_dir)]) == 0
+        first = capsys.readouterr().out
+        from repro.cache import RunCache, set_default_cache
+
+        set_default_cache(None)
+        assert len(RunCache(cache_dir)) == 1
+        assert main(self.SIM + ["--cache-dir", str(cache_dir)]) == 0
+        second = capsys.readouterr().out
+        assert first == second  # resumed run prints identical numbers
+        set_default_cache(None)
+        assert len(RunCache(cache_dir)) == 1  # hit, not a second entry
+
+    def test_no_cache_disables_env_var(self, tmp_path, capsys, monkeypatch):
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        assert main(self.SIM + ["--no-cache"]) == 0
+        from repro.cache import RunCache
+
+        assert len(RunCache(cache_dir)) == 0
+
+    def test_cache_ls_and_clear(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(self.SIM + ["--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "1 entr" in out and "runs" in out
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1" in out
+        assert main(["cache", "ls", "--cache-dir", str(cache_dir)]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_cache_ls_empty_dir_is_fine(self, tmp_path, capsys):
+        rc = main(["cache", "ls", "--cache-dir", str(tmp_path / "nope")])
+        assert rc == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_cache_requires_dir(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        rc = main(["cache", "ls"])
+        assert rc == 2
+        assert "no cache directory" in capsys.readouterr().err
+
+    def test_cache_dir_conflicts_with_no_cache(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "restart", "--cache-dir", "/tmp/x", "--no-cache"]
+            )

@@ -119,3 +119,34 @@ class TestWeightedMean:
     def test_zero_weights(self):
         with pytest.raises(ParameterError):
             weighted_mean([1.0, 2.0], [0.0, 0.0])
+
+
+class TestZValueExactness:
+    """Regression pins: ``_z_value`` must not round the level to 2 decimals.
+
+    The old lookup did ``round(level, 2)`` before consulting the table, so
+    ``level=0.683`` silently reused the 0.68 entry instead of the exact
+    scipy quantile.
+    """
+
+    def test_level_near_table_entry_uses_scipy(self):
+        from scipy.stats import norm
+
+        from repro.util.stats import _z_value
+
+        exact = float(norm.ppf(0.5 * (1.0 + 0.683)))
+        assert _z_value(0.683) == pytest.approx(exact, rel=1e-12)
+        assert _z_value(0.683) != _z_value(0.68)
+
+    def test_table_entries_still_served(self):
+        from repro.util.stats import _Z_TABLE, _z_value
+
+        for level, z in _Z_TABLE.items():
+            assert _z_value(level) == z
+
+    def test_halfwidths_differ_for_nearby_levels(self):
+        data = list(np.random.default_rng(5).normal(size=200))
+        h68 = mean_confidence_halfwidth(data, level=0.68)
+        h683 = mean_confidence_halfwidth(data, level=0.683)
+        assert h683 != h68
+        assert h683 > h68  # higher level => wider interval
