@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.cache.keys import runset_key
 from repro.exceptions import ParameterError
+from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs
 from repro.obs.manifest import seed_provenance
 
@@ -108,6 +109,7 @@ class RunCache:
         path = self.path_for(key)
         if not path.exists():
             obs.event("cache.miss", key=key[:16], label=label)
+            obs_metrics.inc("cache.misses")
             return None
         try:
             stored_key, runs = load_cache_entry(path)
@@ -117,6 +119,7 @@ class RunCache:
             obs.event(
                 "cache.corrupt", key=key[:16], label=label, error=type(exc).__name__
             )
+            obs_metrics.inc("cache.corrupt")
             try:
                 path.unlink()
             except OSError:
@@ -124,6 +127,7 @@ class RunCache:
             return None
         obs.event("cache.hit", key=key[:16], label=label, n_runs=runs.n_runs)
         obs.count("cache.hits")
+        obs_metrics.inc("cache.hits")
         return runs
 
     def put(self, key: str, runs: "RunSet", *, label: str = "") -> Path:
@@ -136,6 +140,7 @@ class RunCache:
         save_cache_entry(key, runs, tmp, label=label)
         os.replace(tmp, path)
         obs.event("cache.store", key=key[:16], label=label, n_runs=runs.n_runs)
+        obs_metrics.inc("cache.stores")
         return path
 
     def __contains__(self, key: str) -> bool:

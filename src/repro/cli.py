@@ -119,6 +119,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs_tail.add_argument(
         "--lines", "-n", type=int, default=10, metavar="N", help="events to show"
     )
+    p_obs_rep = obs_sub.add_parser(
+        "report",
+        help=(
+            "analyze a JSONL trace: per-span timing, chunk timeline (Gantt), "
+            "chunk-latency histogram, parallel efficiency, retry/fallback/"
+            "cache-hit counts"
+        ),
+    )
+    p_obs_rep.add_argument("path", help="JSONL trace file")
+    p_obs_rep.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker count for the efficiency denominator "
+             "(default: from the trace)",
+    )
+    p_obs_rep.add_argument(
+        "--width", type=int, default=60, metavar="COLS",
+        help="chart width in characters",
+    )
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk result cache"
@@ -159,6 +177,16 @@ def _add_obs_arg(p: argparse.ArgumentParser) -> None:
         help=(
             "append structured trace events (chunk spans, engine stats, sweep "
             "progress) to PATH as JSONL; equivalent to exporting REPRO_TRACE"
+        ),
+    )
+    p.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "after the run, dump the merged metrics registry (counters, "
+            "gauges, histograms — including everything workers recorded) to "
+            "PATH: Prometheus text for .prom/.txt, JSON otherwise"
         ),
     )
 
@@ -229,9 +257,15 @@ def _apply_cache(args: argparse.Namespace) -> None:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        return _dispatch(args)
+        status = _dispatch(args)
     except BrokenPipeError:  # pragma: no cover
         return 0
+    if status == 0 and getattr(args, "metrics_out", None):
+        from repro.obs.metrics import save_metrics
+
+        save_metrics(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    return status
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -361,6 +395,18 @@ def _run_obs(args: argparse.Namespace) -> int:
             return 2
         for record in events[-max(args.lines, 0):]:
             print(format_event(record))
+        return 0
+
+    if args.obs_command == "report":
+        from repro.obs.report import analyze_trace, render_report
+
+        try:
+            report = analyze_trace(args.path, n_jobs=args.jobs)
+            text = render_report(report, width=max(args.width, 20))
+        except (OSError, ParameterError) as exc:
+            print(f"cannot analyze {args.path}: {exc}", file=sys.stderr)
+            return 2
+        print(text)
         return 0
 
     raise AssertionError(f"unhandled obs command {args.obs_command}")  # pragma: no cover

@@ -1,11 +1,19 @@
 """repro.obs — structured observability for engines and parallel dispatch.
 
-Three pieces, all dependency-free and zero-cost when disabled:
+Five pieces, all dependency-free and zero-cost when disabled:
 
-* :mod:`repro.obs.trace` — spans, point events and counters emitted as
-  JSONL, gated by ``REPRO_TRACE`` / ``repro-sim --log-json PATH``;
+* :mod:`repro.obs.trace` — spans (with v2 span/parent ids), point events
+  and counters emitted as JSONL, gated by ``REPRO_TRACE`` /
+  ``repro-sim --log-json PATH``;
 * :mod:`repro.obs.schema` — the checked-in event schema
-  (``event_schema.json``) and its validator;
+  (``event_schema.json``, v1 and v2) and its validator;
+* :mod:`repro.obs.metrics` — always-on cross-process counters / gauges /
+  log-bucket histograms; worker deltas are merged back by
+  :func:`repro.parallel.run_chunked`, exportable as JSON or Prometheus
+  text;
+* :mod:`repro.obs.report` — trace analytics: span pairing, per-chunk
+  timeline (ASCII Gantt), chunk-latency histogram, parallel efficiency,
+  retry / fallback / cache-hit rates (``repro-sim obs report``);
 * :mod:`repro.obs.manifest` — deterministic :class:`RunManifest`
   provenance records attached to every simulation ``RunSet`` and
   serialised via :mod:`repro.io`.
@@ -16,16 +24,22 @@ Quickstart::
 
     with obs.trace_to("run.jsonl"):
         rs = repro.simulate_restart(..., n_jobs=4)
-    print(repro.obs.RunManifest.from_dict(rs.meta["manifest"]).describe())
+    print(obs.render_report(obs.analyze_trace("run.jsonl")))
+    print(obs.metrics.to_prometheus())
 """
 
+from repro.obs import metrics
 from repro.obs.manifest import MANIFEST_SCHEMA, RunManifest, host_info, seed_provenance
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import Span, TraceReport, analyze_trace, render_report
 from repro.obs.schema import EVENT_SCHEMA_PATH, load_event_schema, validate_event
 from repro.obs.trace import (
     EVENT_SCHEMA_ID,
+    EVENT_SCHEMA_ID_V1,
     TRACE_ENV_VAR,
     count,
     counters,
+    current_span_id,
     disable_trace,
     enable_trace,
     enabled,
@@ -42,6 +56,7 @@ __all__ = [
     # tracing
     "TRACE_ENV_VAR",
     "EVENT_SCHEMA_ID",
+    "EVENT_SCHEMA_ID_V1",
     "enabled",
     "enable_trace",
     "disable_trace",
@@ -49,6 +64,7 @@ __all__ = [
     "trace_to",
     "event",
     "span",
+    "current_span_id",
     "count",
     "counters",
     "reset_counters",
@@ -58,6 +74,14 @@ __all__ = [
     "EVENT_SCHEMA_PATH",
     "load_event_schema",
     "validate_event",
+    # metrics
+    "metrics",
+    "MetricsRegistry",
+    # report
+    "Span",
+    "TraceReport",
+    "analyze_trace",
+    "render_report",
     # manifests
     "MANIFEST_SCHEMA",
     "RunManifest",

@@ -1,0 +1,341 @@
+"""Cross-process metrics: counters, gauges and log-bucket histograms.
+
+:mod:`repro.obs.trace` counters are *trace-bound*: they record increments
+as JSONL lines and keep a per-process tally, so everything incremented
+inside a pool worker is lost to the parent (and nothing is recorded at all
+when tracing is off).  This module is the always-on complement: a
+thread-safe in-process :class:`MetricsRegistry` whose state is a plain
+JSON-serialisable snapshot, designed so that worker processes can ship a
+**delta** of what one chunk added back to the parent alongside the chunk
+result, and :func:`repro.parallel.run_chunked` can merge those deltas into
+the parent registry without double counting — a chunk's delta travels only
+with its successful attempt, so retries and serial fallback keep the
+merged metrics identical to a serial run.
+
+Three instrument kinds:
+
+* **counter** — monotonically increasing float (:func:`inc`);
+* **gauge** — last-written value (:func:`set_gauge`); merges overwrite;
+* **histogram** — fixed log-spaced buckets (:func:`observe`): every
+  registry in every process uses the same :data:`BUCKET_BOUNDS`, so two
+  histograms merge by element-wise bucket addition, exactly like
+  Prometheus cumulative histograms re-aggregate.
+
+Series are identified by name plus optional labels, rendered
+Prometheus-style (``name{k="v"}``) so snapshots stay flat string-keyed
+dicts.  Export as JSON (:func:`save_metrics`) or Prometheus text
+exposition (:func:`to_prometheus`).
+
+All operations are dict updates behind one lock — cheap enough to call
+unconditionally from hot paths at batch/chunk granularity (never
+per-iteration), preserving the repo's zero-cost-when-off discipline for
+the *trace* layer while metrics stay always-on.
+
+>>> from repro.obs import metrics
+>>> reg = metrics.MetricsRegistry()
+>>> reg.inc("demo.events", 3)
+>>> reg.snapshot()["counters"]["demo.events"]
+3.0
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from bisect import bisect_left
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "bucket_label",
+    "get_registry",
+    "inc",
+    "set_gauge",
+    "observe",
+    "snapshot",
+    "snapshot_delta",
+    "merge",
+    "reset",
+    "to_prometheus",
+    "save_metrics",
+]
+
+#: schema identifier stamped on JSON metric dumps.
+METRICS_SCHEMA = "repro/metrics-v1"
+
+#: fixed histogram bucket upper bounds: two log-spaced buckets per decade
+#: from 1e-6 to 1e4 (seconds-oriented, but unit-agnostic), plus an implicit
+#: +Inf overflow bucket.  Fixed — never derived from the data — so
+#: histograms recorded in different processes merge exactly.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(10.0 ** (k / 2.0) for k in range(-12, 9))
+
+
+def bucket_label(index: int) -> str:
+    """Human label for bucket *index* (``report`` histogram rows)."""
+    if index == 0:
+        return f"< {BUCKET_BOUNDS[0]:.3g}"
+    if index >= len(BUCKET_BOUNDS):
+        return f">= {BUCKET_BOUNDS[-1]:.3g}"
+    return f"{BUCKET_BOUNDS[index - 1]:.3g} - {BUCKET_BOUNDS[index]:.3g}"
+
+
+def _series_key(name: str, labels: Mapping[str, Any]) -> str:
+    """Render ``name`` + labels as a flat Prometheus-style series key."""
+    if not labels:
+        return name
+    inner = ",".join(
+        '{}="{}"'.format(k, str(v).replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in sorted(labels.items())
+    )
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Thread-safe counters / gauges / fixed-bucket histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        # histogram value: [bucket counts (len(BUCKET_BOUNDS)+1), sum, count]
+        self._hists: dict[str, tuple[list[int], float, int]] = {}
+
+    # -- recording -----------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        """Add *value* (default 1) to counter *name*."""
+        key = _series_key(name, labels)
+        v = float(value)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + v
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Record *value* as the current level of gauge *name*."""
+        key = _series_key(name, labels)
+        with self._lock:
+            self._gauges[key] = float(value)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record one observation of *value* into histogram *name*."""
+        key = _series_key(name, labels)
+        v = float(value)
+        if math.isnan(v):
+            return
+        bucket = bisect_left(BUCKET_BOUNDS, v)
+        with self._lock:
+            counts, total, n = self._hists.get(
+                key, ([0] * (len(BUCKET_BOUNDS) + 1), 0.0, 0)
+            )
+            counts = list(counts)
+            counts[bucket] += 1
+            self._hists[key] = (counts, total + v, n + 1)
+
+    # -- snapshots -----------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-serialisable copy of the registry state."""
+        with self._lock:
+            return {
+                "schema": METRICS_SCHEMA,
+                "bounds": list(BUCKET_BOUNDS),
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    key: {"buckets": list(counts), "sum": total, "count": n}
+                    for key, (counts, total, n) in self._hists.items()
+                },
+            }
+
+    def merge(self, snap: Mapping) -> None:
+        """Fold a snapshot (or delta) from another registry into this one.
+
+        Counters and histogram buckets add; gauges take the incoming
+        value.  Raises on a bucket-layout mismatch — merging histograms
+        recorded against different bounds would be silent nonsense.
+        """
+        bounds = snap.get("bounds")
+        if bounds is not None and tuple(bounds) != BUCKET_BOUNDS:
+            raise ParameterError(
+                "cannot merge metrics recorded against different histogram bounds"
+            )
+        with self._lock:
+            for key, value in snap.get("counters", {}).items():
+                self._counters[key] = self._counters.get(key, 0.0) + float(value)
+            for key, value in snap.get("gauges", {}).items():
+                self._gauges[key] = float(value)
+            for key, hist in snap.get("histograms", {}).items():
+                incoming = list(hist["buckets"])
+                counts, total, n = self._hists.get(
+                    key, ([0] * (len(BUCKET_BOUNDS) + 1), 0.0, 0)
+                )
+                if len(incoming) != len(counts):
+                    raise ParameterError(
+                        f"histogram {key!r}: bucket count mismatch "
+                        f"({len(incoming)} vs {len(counts)})"
+                    )
+                self._hists[key] = (
+                    [a + b for a, b in zip(counts, incoming)],
+                    total + float(hist.get("sum", 0.0)),
+                    n + int(hist.get("count", 0)),
+                )
+
+    def reset(self) -> None:
+        """Drop every recorded series."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+
+
+def snapshot_delta(before: Mapping, after: Mapping) -> dict:
+    """What happened between two snapshots of the *same* registry.
+
+    This is how a pool worker reports one chunk's metrics: snapshot before
+    the chunk, snapshot after, ship the difference.  Works regardless of
+    what the worker inherited at fork time or accumulated over earlier
+    chunks, because inherited state subtracts out.  Counters and histogram
+    buckets subtract (series that did not change are dropped); gauges keep
+    the ``after`` value for gauges written between the snapshots.
+    """
+    delta: dict = {
+        "schema": METRICS_SCHEMA,
+        "bounds": list(after.get("bounds", BUCKET_BOUNDS)),
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+    before_counters = before.get("counters", {})
+    for key, value in after.get("counters", {}).items():
+        diff = float(value) - float(before_counters.get(key, 0.0))
+        if diff != 0.0:
+            delta["counters"][key] = diff
+    before_gauges = before.get("gauges", {})
+    for key, value in after.get("gauges", {}).items():
+        if key not in before_gauges or before_gauges[key] != value:
+            delta["gauges"][key] = float(value)
+    before_hists = before.get("histograms", {})
+    for key, hist in after.get("histograms", {}).items():
+        prev = before_hists.get(key)
+        if prev is None:
+            counts = list(hist["buckets"])
+            total, n = float(hist["sum"]), int(hist["count"])
+        else:
+            counts = [a - b for a, b in zip(hist["buckets"], prev["buckets"])]
+            total = float(hist["sum"]) - float(prev["sum"])
+            n = int(hist["count"]) - int(prev["count"])
+        if n != 0 or any(counts):
+            delta["histograms"][key] = {"buckets": counts, "sum": total, "count": n}
+    return delta
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default registry
+# ---------------------------------------------------------------------------
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry every convenience function uses."""
+    return _registry
+
+
+def inc(name: str, value: float = 1.0, **labels: Any) -> None:
+    """Add *value* to counter *name* in the default registry."""
+    _registry.inc(name, value, **labels)
+
+
+def set_gauge(name: str, value: float, **labels: Any) -> None:
+    """Set gauge *name* in the default registry."""
+    _registry.set_gauge(name, value, **labels)
+
+
+def observe(name: str, value: float, **labels: Any) -> None:
+    """Record an observation into histogram *name* in the default registry."""
+    _registry.observe(name, value, **labels)
+
+
+def snapshot() -> dict:
+    """Snapshot the default registry."""
+    return _registry.snapshot()
+
+
+def merge(snap: Mapping) -> None:
+    """Merge a snapshot/delta into the default registry."""
+    _registry.merge(snap)
+
+
+def reset() -> None:
+    """Clear the default registry (tests, or between CLI invocations)."""
+    _registry.reset()
+
+
+# ---------------------------------------------------------------------------
+# Export
+# ---------------------------------------------------------------------------
+
+
+def _prom_name(key: str) -> tuple[str, str]:
+    """Split a series key into (sanitised metric name, label suffix)."""
+    name, brace, labels = key.partition("{")
+    safe = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if not safe or safe[0].isdigit():
+        safe = "_" + safe
+    return safe, (brace + labels if brace else "")
+
+
+def to_prometheus(snap: Mapping | None = None, *, prefix: str = "repro_") -> str:
+    """Render a snapshot as Prometheus text exposition format (0.0.4).
+
+    Dots in series names become underscores; histograms expand to
+    cumulative ``_bucket{le="..."}`` series plus ``_sum`` and ``_count``,
+    so the output scrapes/pushes straight into a Prometheus stack.
+    """
+    if snap is None:
+        snap = snapshot()
+    lines: list[str] = []
+    for key in sorted(snap.get("counters", {})):
+        name, labels = _prom_name(key)
+        lines.append(f"# TYPE {prefix}{name} counter")
+        lines.append(f"{prefix}{name}{labels} {snap['counters'][key]:g}")
+    for key in sorted(snap.get("gauges", {})):
+        name, labels = _prom_name(key)
+        lines.append(f"# TYPE {prefix}{name} gauge")
+        lines.append(f"{prefix}{name}{labels} {snap['gauges'][key]:g}")
+    bounds = snap.get("bounds", list(BUCKET_BOUNDS))
+    for key in sorted(snap.get("histograms", {})):
+        hist = snap["histograms"][key]
+        name, labels = _prom_name(key)
+        base_labels = labels[1:-1] if labels else ""
+        lines.append(f"# TYPE {prefix}{name} histogram")
+        cumulative = 0
+        for bound, count in zip(bounds, hist["buckets"]):
+            cumulative += count
+            le = f'le="{bound:g}"'
+            joined = f"{{{base_labels + ',' if base_labels else ''}{le}}}"
+            lines.append(f"{prefix}{name}_bucket{joined} {cumulative}")
+        cumulative += hist["buckets"][-1]
+        joined = f"{{{base_labels + ',' if base_labels else ''}le=\"+Inf\"}}"
+        lines.append(f"{prefix}{name}_bucket{joined} {cumulative}")
+        lines.append(f"{prefix}{name}_sum{labels} {hist['sum']:g}")
+        lines.append(f"{prefix}{name}_count{labels} {hist['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def save_metrics(path: str | Path, snap: Mapping | None = None) -> Path:
+    """Write a snapshot to *path*: Prometheus text for ``.prom``/``.txt``
+    suffixes, pretty-printed JSON otherwise.  Returns the path."""
+    path = Path(path)
+    if snap is None:
+        snap = snapshot()
+    if path.suffix in (".prom", ".txt"):
+        path.write_text(to_prometheus(snap), encoding="utf-8")
+    else:
+        path.write_text(
+            json.dumps(snap, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+    return path

@@ -1,0 +1,358 @@
+"""Trace analytics: turn a JSONL trace into answers about a run.
+
+:mod:`repro.obs.trace` records *events*; this module makes them
+*measurements*.  :func:`analyze_trace` pairs ``span_start``/``span_end``
+lines into completed spans — by ``span_id`` for schema-v2 traces, falling
+back to per-``(pid, name)`` LIFO matching for v1 lines, where concurrent
+same-name spans from one process remain ambiguous — and computes:
+
+* wall-clock breakdown per span name (count / total / mean / min / max);
+* the per-chunk timeline of a :func:`repro.parallel.run_chunked` dispatch,
+  rendered as an ASCII Gantt chart (one bar per chunk, grouped under the
+  parent ``parallel.dispatch`` span via ``parent_id``);
+* the chunk-latency histogram over the fixed log buckets of
+  :mod:`repro.obs.metrics`, so trace-derived and metrics-derived
+  histograms are directly comparable;
+* parallel efficiency — Σ chunk wall / (elapsed × n_jobs), the measured
+  counterpart of the restart-efficiency ratios the paper's simulation
+  study sweeps — plus retry / fallback / chunk-failure counts and the
+  cache hit rate.
+
+``repro-sim obs report trace.jsonl`` prints the rendered report; the same
+data is available programmatically as a :class:`TraceReport`.
+
+This module only *reads* traces — it never emits — so importing it from
+the CLI costs nothing on the hot paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.exceptions import ParameterError
+from repro.obs import metrics as _metrics
+from repro.util.ascii_chart import ascii_gantt, ascii_histogram
+
+__all__ = ["Span", "TraceReport", "analyze_trace", "render_report"]
+
+#: cap on Gantt rows so a 10k-chunk sweep still renders; the report names
+#: how many rows were dropped (never a silent truncation).
+MAX_GANTT_ROWS = 64
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed span, reconstructed from its start/end pair."""
+
+    name: str
+    pid: int
+    start_mono: float
+    wall_s: float
+    span_id: str | None = None
+    parent_id: str | None = None
+    labels: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def end_mono(self) -> float:
+        return self.start_mono + self.wall_s
+
+
+@dataclass
+class TraceReport:
+    """Everything :func:`analyze_trace` measured about one trace file."""
+
+    n_records: int
+    spans: list[Span]
+    unmatched_spans: int
+    span_stats: dict[str, dict[str, float]]
+    chunks: list[Span]
+    n_jobs: int
+    busy_s: float
+    elapsed_s: float
+    efficiency: float | None
+    retry_rounds: int
+    retried_chunks: int
+    fallbacks: int
+    chunk_failures: dict[str, int]
+    cache: dict[str, float]
+    counters: dict[str, float]
+
+    def chunk_latency_histogram(self) -> list[tuple[str, int]]:
+        """Chunk wall times over the fixed metrics buckets, trimmed to the
+        occupied range (empty interior buckets are kept for shape)."""
+        bounds = _metrics.BUCKET_BOUNDS
+        counts = [0] * (len(bounds) + 1)
+        from bisect import bisect_left
+
+        for chunk in self.chunks:
+            counts[bisect_left(bounds, chunk.wall_s)] += 1
+        occupied = [i for i, c in enumerate(counts) if c]
+        if not occupied:
+            return []
+        lo, hi = occupied[0], occupied[-1]
+        return [
+            (_metrics.bucket_label(i), counts[i]) for i in range(lo, hi + 1)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Analysis
+# ---------------------------------------------------------------------------
+
+
+def _pair_spans(records: Sequence[dict]) -> tuple[list[Span], int]:
+    """Match ``span_start``/``span_end`` lines into completed spans.
+
+    v2 lines pair by ``span_id`` — exact even when a fork-started pool
+    interleaves identically named spans.  v1 lines pair LIFO within
+    ``(pid, name)``, which is correct for the single-threaded emitters v1
+    ever had.  Returns the spans (in end order) and how many starts never
+    found their end (killed workers, torn traces).
+    """
+    by_id: dict[str, dict] = {}
+    stacks: dict[tuple[int, str], list[dict]] = {}
+    spans: list[Span] = []
+    for rec in records:
+        kind = rec.get("kind")
+        if kind == "span_start":
+            span_id = rec.get("span_id")
+            if span_id is not None:
+                by_id[span_id] = rec
+            else:
+                stacks.setdefault((rec.get("pid", -1), rec.get("name", "?")), []).append(rec)
+        elif kind == "span_end":
+            span_id = rec.get("span_id")
+            if span_id is not None:
+                start = by_id.pop(span_id, None)
+            else:
+                stack = stacks.get((rec.get("pid", -1), rec.get("name", "?")))
+                start = stack.pop() if stack else None
+            if start is None:
+                continue  # end without start: truncated head of a trace
+            wall = float(rec.get("wall_s", 0.0))
+            spans.append(
+                Span(
+                    name=str(rec.get("name", "?")),
+                    pid=int(rec.get("pid", -1)),
+                    start_mono=float(start.get("mono", rec.get("mono", 0.0) - wall)),
+                    wall_s=wall,
+                    span_id=span_id,
+                    parent_id=rec.get("parent_id"),
+                    labels=dict(rec.get("labels") or {}),
+                )
+            )
+    unmatched = len(by_id) + sum(len(stack) for stack in stacks.values())
+    return spans, unmatched
+
+
+def _span_stats(spans: Iterable[Span]) -> dict[str, dict[str, float]]:
+    stats: dict[str, dict[str, float]] = {}
+    for sp in spans:
+        entry = stats.setdefault(
+            sp.name,
+            {"count": 0, "total_s": 0.0, "min_s": float("inf"), "max_s": 0.0},
+        )
+        entry["count"] += 1
+        entry["total_s"] += sp.wall_s
+        entry["min_s"] = min(entry["min_s"], sp.wall_s)
+        entry["max_s"] = max(entry["max_s"], sp.wall_s)
+    for entry in stats.values():
+        entry["mean_s"] = entry["total_s"] / entry["count"]
+    return stats
+
+
+def analyze_trace(
+    source: str | Path | Sequence[dict], *, n_jobs: int | None = None
+) -> TraceReport:
+    """Analyze a trace file (or pre-parsed records) into a :class:`TraceReport`.
+
+    *n_jobs* overrides the worker count used for the parallel-efficiency
+    denominator; by default it is taken from the ``n_jobs`` label on
+    dispatch/chunk spans, falling back to the number of distinct worker
+    pids observed.
+    """
+    if isinstance(source, (str, Path)):
+        from repro.obs.trace import read_events
+
+        records = read_events(source)
+    else:
+        records = list(source)
+    spans, unmatched = _pair_spans(records)
+
+    chunks = sorted(
+        (sp for sp in spans if sp.name == "parallel.chunk"),
+        key=lambda sp: (sp.start_mono, sp.labels.get("chunk", 0)),
+    )
+    dispatches = [sp for sp in spans if sp.name == "parallel.dispatch"]
+
+    busy = sum(sp.wall_s for sp in chunks)
+    if dispatches:
+        elapsed = sum(sp.wall_s for sp in dispatches)
+    elif chunks:
+        elapsed = max(sp.end_mono for sp in chunks) - min(sp.start_mono for sp in chunks)
+    else:
+        elapsed = 0.0
+
+    if n_jobs is None:
+        labelled = [
+            int(sp.labels["n_jobs"])
+            for sp in chunks + dispatches
+            if "n_jobs" in sp.labels
+        ]
+        if labelled:
+            n_jobs = max(labelled)
+        else:
+            worker_pids = {
+                sp.pid for sp in chunks if sp.labels.get("backend") == "process"
+            }
+            n_jobs = max(len(worker_pids), 1)
+    efficiency = busy / (elapsed * n_jobs) if chunks and elapsed > 0 else None
+
+    retries = [r for r in records if r.get("name") == "parallel.retry"]
+    retried_chunks = sum(
+        len((r.get("labels") or {}).get("chunks", [])) for r in retries
+    )
+    fallbacks = sum(1 for r in records if r.get("name") == "parallel.fallback")
+    chunk_failures: dict[str, int] = {}
+    for rec in records:
+        if rec.get("name") == "parallel.chunk_failed":
+            kind = str((rec.get("labels") or {}).get("kind", "unknown"))
+            chunk_failures[kind] = chunk_failures.get(kind, 0) + 1
+
+    cache_counts = {
+        short: sum(1 for r in records if r.get("name") == f"cache.{short}")
+        for short in ("hit", "miss", "store", "corrupt")
+    }
+    lookups = cache_counts["hit"] + cache_counts["miss"]
+    cache = {
+        "hits": cache_counts["hit"],
+        "misses": cache_counts["miss"],
+        "stores": cache_counts["store"],
+        "corrupt": cache_counts["corrupt"],
+        "hit_rate": cache_counts["hit"] / lookups if lookups else None,
+    }
+
+    counters: dict[str, float] = {}
+    for rec in records:
+        if rec.get("kind") == "counter":
+            name = str(rec.get("name", "?"))
+            counters[name] = counters.get(name, 0.0) + float(rec.get("value", 0.0))
+
+    return TraceReport(
+        n_records=len(records),
+        spans=spans,
+        unmatched_spans=unmatched,
+        span_stats=_span_stats(spans),
+        chunks=chunks,
+        n_jobs=n_jobs,
+        busy_s=busy,
+        elapsed_s=elapsed,
+        efficiency=efficiency,
+        retry_rounds=len(retries),
+        retried_chunks=retried_chunks,
+        fallbacks=fallbacks,
+        chunk_failures=chunk_failures,
+        cache=cache,
+        counters=counters,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def _fmt_seconds(value: float) -> str:
+    return f"{value:.4f}s" if value < 100 else f"{value:,.1f}s"
+
+
+def render_report(report: TraceReport, *, width: int = 60) -> str:
+    """Human rendering of a :class:`TraceReport` (``repro-sim obs report``)."""
+    if report.n_records == 0:
+        raise ParameterError("trace contains no records")
+    out: list[str] = []
+
+    out.append("== span timing ==")
+    if report.span_stats:
+        name_w = max(len(name) for name in report.span_stats)
+        out.append(
+            f"{'name':<{name_w}} {'count':>6} {'total':>10} {'mean':>10} "
+            f"{'min':>10} {'max':>10}"
+        )
+        for name in sorted(
+            report.span_stats, key=lambda n: -report.span_stats[n]["total_s"]
+        ):
+            s = report.span_stats[name]
+            out.append(
+                f"{name:<{name_w}} {int(s['count']):>6} {_fmt_seconds(s['total_s']):>10} "
+                f"{_fmt_seconds(s['mean_s']):>10} {_fmt_seconds(s['min_s']):>10} "
+                f"{_fmt_seconds(s['max_s']):>10}"
+            )
+    else:
+        out.append("(no completed spans)")
+    if report.unmatched_spans:
+        out.append(f"unmatched span starts: {report.unmatched_spans}")
+
+    if report.chunks:
+        out.append("")
+        out.append("== chunk timeline ==")
+        rows = [
+            (
+                f"c{sp.labels.get('chunk', '?'):>3} pid{sp.pid}",
+                sp.start_mono,
+                sp.end_mono,
+            )
+            for sp in report.chunks[:MAX_GANTT_ROWS]
+        ]
+        out.append(ascii_gantt(rows, width=width))
+        if len(report.chunks) > MAX_GANTT_ROWS:
+            out.append(f"... {len(report.chunks) - MAX_GANTT_ROWS} more chunks not shown")
+
+        hist = report.chunk_latency_histogram()
+        if hist:
+            out.append("")
+            out.append("== chunk latency histogram ==")
+            out.append(ascii_histogram(hist, width=max(20, width - 30)))
+
+        out.append("")
+        out.append("== parallel execution ==")
+        out.append(f"chunks completed    : {len(report.chunks)}")
+        out.append(f"n_jobs              : {report.n_jobs}")
+        out.append(f"elapsed (dispatch)  : {_fmt_seconds(report.elapsed_s)}")
+        out.append(f"busy (sum of chunks): {_fmt_seconds(report.busy_s)}")
+        if report.efficiency is not None:
+            out.append(
+                f"parallel efficiency : {report.efficiency:.1%} "
+                f"(busy / elapsed x {report.n_jobs} jobs)"
+            )
+    failures = sum(report.chunk_failures.values())
+    out.append(f"retry rounds        : {report.retry_rounds}"
+               f" ({report.retried_chunks} chunk retries)")
+    out.append(f"serial fallbacks    : {report.fallbacks}")
+    if failures:
+        detail = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(report.chunk_failures.items())
+        )
+        out.append(f"failed chunk runs   : {failures} ({detail})")
+
+    out.append("")
+    out.append("== cache ==")
+    if report.cache["hits"] or report.cache["misses"] or report.cache["stores"]:
+        rate = report.cache["hit_rate"]
+        out.append(
+            f"hits {report.cache['hits']}  misses {report.cache['misses']}  "
+            f"stores {report.cache['stores']}  corrupt {report.cache['corrupt']}"
+            + (f"  hit rate {rate:.1%}" if rate is not None else "")
+        )
+    else:
+        out.append("(no cache activity)")
+
+    if report.counters:
+        out.append("")
+        out.append("== counters (trace-summed) ==")
+        name_w = max(len(name) for name in report.counters)
+        for name in sorted(report.counters):
+            out.append(f"{name:<{name_w}} {report.counters[name]:g}")
+    return "\n".join(out)

@@ -4,8 +4,10 @@ The schema lives next to this module as ``event_schema.json`` so that the
 contract is reviewable (and diffable) as data rather than buried in code.
 The validator implements exactly the JSON-Schema subset the file uses —
 ``type`` / ``enum`` / ``const`` / ``required`` / ``additionalProperties`` —
-plus the two kind-conditional requirements (``span_end`` carries ``wall_s``,
-``counter`` carries ``value``), so no third-party dependency is needed.
+plus the kind-conditional requirements (``span_end`` carries ``wall_s``,
+``counter`` carries ``value``, and v2 ``span_start``/``span_end`` lines
+carry a ``span_id``), so no third-party dependency is needed.  Both
+schema versions validate: v1 lines simply carry no span ids.
 """
 
 from __future__ import annotations
@@ -80,4 +82,10 @@ def validate_event(record: Any) -> dict:
         raise ParameterError("span_end trace event is missing 'wall_s'")
     if kind == "counter" and "value" not in record:
         raise ParameterError("counter trace event is missing 'value'")
+    if (
+        record["schema"] == "repro/obs-event-v2"
+        and kind in ("span_start", "span_end")
+        and "span_id" not in record
+    ):
+        raise ParameterError(f"v2 {kind} trace event is missing 'span_id'")
     return record

@@ -26,8 +26,22 @@ processes of the same boot on Linux), the emitting ``pid``, a ``kind``
 optional ``labels``.  ``span_end`` adds the span's ``wall_s``; ``counter``
 adds the increment ``value``.
 
+Schema v2 adds span identity: every ``span_start``/``span_end`` pair
+carries a process-unique ``span_id`` and, when nested under another span
+(or given an explicit parent, e.g. a worker chunk under the parent
+process's dispatch span), a ``parent_id``.  Point events emitted inside a
+span inherit its id as their ``parent_id``.  This is what lets
+:mod:`repro.obs.report` pair the ends of concurrent spans from a process
+pool, where interleaving makes name-based pairing ambiguous.
+:func:`read_events` and :func:`~repro.obs.schema.validate_event` accept
+both v1 and v2 lines.
+
 Files are opened in append mode; one-line writes are atomic enough under
 ``O_APPEND`` for the multi-process fan-out of :func:`repro.parallel.run_chunked`.
+Fork-start pools are safe too: an :func:`os.register_at_fork` handler
+reopens the JSONL file in the child, so parent and child never share one
+Python file object (and a child ``disable_trace`` cannot close the
+parent's handle).
 
 >>> import repro.obs as obs
 >>> obs.enabled()
@@ -36,10 +50,13 @@ False
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import secrets
 import threading
 import time
+import warnings
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator, TextIO
@@ -47,6 +64,7 @@ from typing import Any, Iterator, TextIO
 __all__ = [
     "TRACE_ENV_VAR",
     "EVENT_SCHEMA_ID",
+    "EVENT_SCHEMA_ID_V1",
     "enabled",
     "enable_trace",
     "disable_trace",
@@ -54,6 +72,7 @@ __all__ = [
     "trace_to",
     "event",
     "span",
+    "current_span_id",
     "count",
     "counters",
     "reset_counters",
@@ -66,7 +85,11 @@ __all__ = [
 TRACE_ENV_VAR = "REPRO_TRACE"
 
 #: schema identifier stamped on every emitted line (see ``event_schema.json``).
-EVENT_SCHEMA_ID = "repro/obs-event-v1"
+EVENT_SCHEMA_ID = "repro/obs-event-v2"
+
+#: the previous schema identifier; still accepted by :func:`read_events`
+#: and :func:`repro.obs.schema.validate_event` (v1 lines carry no span ids).
+EVENT_SCHEMA_ID_V1 = "repro/obs-event-v1"
 
 _KINDS = ("event", "span_start", "span_end", "counter")
 
@@ -92,10 +115,92 @@ class _JsonlEmitter:
             if not self._file.closed:
                 self._file.close()
 
+    def reopen_in_child(self) -> None:
+        """Replace the fork-inherited file object with a fresh one.
+
+        Called from the ``os.register_at_fork`` child handler: the lock is
+        re-created (a lock held by another thread at fork time would stay
+        locked forever in the child) and the JSONL file is reopened so the
+        child appends through its own descriptor.  The inherited handle is
+        closed afterwards — its buffer is empty because every write
+        flushes — which only closes the child's duplicate, never the
+        parent's.
+        """
+        old = self._file
+        self._lock = threading.Lock()
+        self._file = open(self.path, "a", encoding="utf-8")
+        try:
+            old.close()
+        except Exception:
+            pass
+
 
 _emitter: _JsonlEmitter | None = None
 _counters: dict[str, float] = {}
 _counter_lock = threading.Lock()
+
+# --- span identity ---------------------------------------------------------
+# Span ids must be unique across every process appending to one trace file.
+# A per-process random prefix plus an atomic in-process sequence gives that
+# without any cross-process coordination (pid alone could be recycled).
+_SPAN_ID_PREFIX = secrets.token_hex(4)
+_span_seq = itertools.count(1)
+_span_stack = threading.local()
+
+
+def _new_span_id() -> str:
+    return f"{_SPAN_ID_PREFIX}-{next(_span_seq):x}"
+
+
+def _stack_ids() -> list[str]:
+    ids = getattr(_span_stack, "ids", None)
+    if ids is None:
+        ids = _span_stack.ids = []
+    return ids
+
+
+def current_span_id() -> str | None:
+    """The id of the innermost active span on this thread, if any.
+
+    Used to propagate span parentage across process boundaries: the parent
+    captures it before submitting work and the worker passes it to
+    :func:`span` as ``parent_id``.
+    """
+    ids = getattr(_span_stack, "ids", None)
+    return ids[-1] if ids else None
+
+
+def _reset_after_fork() -> None:
+    """Fork hygiene for the child process (``os.register_at_fork``).
+
+    Two independent hazards when a fork-start pool inherits tracing state:
+
+    * the JSONL file object is shared with the parent — the child must
+      reopen it so a child ``disable_trace`` (or interpreter exit) cannot
+      close or corrupt the parent's handle;
+    * the span-id prefix and sequence are shared too — two forked workers
+      would mint *identical* span ids, silently mis-pairing concurrent
+      chunk spans in the analyzer.  The child gets fresh identity and an
+      empty span stack (cross-process parentage is always explicit, via
+      ``span(parent_id=...)``).
+    """
+    global _emitter, _SPAN_ID_PREFIX, _span_seq, _span_stack
+    _SPAN_ID_PREFIX = secrets.token_hex(4)
+    _span_seq = itertools.count(1)
+    _span_stack = threading.local()
+    em = _emitter
+    if em is None:
+        return
+    _emitter = None  # stay off if the reopen fails
+    try:
+        em.reopen_in_child()
+    except OSError:
+        return
+    _emitter = em
+
+
+if hasattr(os, "register_at_fork"):  # not on every platform
+    os.register_at_fork(after_in_child=_reset_after_fork)
 
 
 # ---------------------------------------------------------------------------
@@ -192,32 +297,62 @@ def _record(kind: str, name: str, labels: dict[str, Any]) -> dict:
 
 
 def event(name: str, **labels: Any) -> None:
-    """Emit a point event (no-op when tracing is off)."""
+    """Emit a point event (no-op when tracing is off).
+
+    When emitted inside an active :func:`span`, the record carries that
+    span's id as ``parent_id`` so the analyzer can attribute it.
+    """
     em = _emitter
     if em is None:
         return
-    em.write(_record("event", name, labels))
+    rec = _record("event", name, labels)
+    parent = current_span_id()
+    if parent is not None:
+        rec["parent_id"] = parent
+    em.write(rec)
 
 
 @contextmanager
-def span(name: str, **labels: Any) -> Iterator[None]:
+def span(name: str, *, parent_id: str | None = None, **labels: Any) -> Iterator[str | None]:
     """Emit a ``span_start`` / ``span_end`` pair around the block.
+
+    Both records carry a unique ``span_id`` (and a ``parent_id``: the
+    explicit *parent_id* argument if given — e.g. a span id captured in
+    another process — else the enclosing span on this thread).  The block
+    receives the span id, so callers can hand it to work dispatched
+    elsewhere::
+
+        with obs.span("dispatch") as sid:
+            submit(task, parent_id=sid)
 
     The ``span_end`` record carries the measured wall time (``wall_s``,
     monotonic clock) and repeats the labels, so either end of the pair is
     self-describing.  When tracing is off the block runs untouched — no
-    timer reads, no allocations.
+    timer reads, no allocations — and yields ``None``.
     """
     em = _emitter
     if em is None:
-        yield
+        yield None
         return
+    span_id = _new_span_id()
+    parent = parent_id if parent_id is not None else current_span_id()
     start = time.monotonic()
-    em.write(_record("span_start", name, labels))
+    rec = _record("span_start", name, labels)
+    rec["span_id"] = span_id
+    if parent is not None:
+        rec["parent_id"] = parent
+    em.write(rec)
+    ids = _stack_ids()
+    ids.append(span_id)
     try:
-        yield
+        yield span_id
     finally:
+        if ids and ids[-1] == span_id:
+            ids.pop()
         rec = _record("span_end", name, labels)
+        rec["span_id"] = span_id
+        if parent is not None:
+            rec["parent_id"] = parent
         rec["wall_s"] = time.monotonic() - start
         # late-bound: the emitter may have been swapped inside the block
         (_emitter or em).write(rec)
@@ -261,10 +396,15 @@ def reset_counters() -> None:
 def read_events(path: str | Path) -> list[dict]:
     """Parse a JSONL trace file into a list of event records.
 
-    Blank lines are skipped; a torn final line (trace still being written)
-    is tolerated and dropped.
+    Blank lines are skipped.  Unparseable lines are skipped too, anywhere
+    in the file — concurrent ``O_APPEND`` writers (a killed worker, a
+    filled filesystem) can tear *any* line, not just the last.  A torn
+    final line (trace still being written) is dropped silently; torn lines
+    elsewhere raise a :class:`RuntimeWarning` naming how many were
+    skipped, so silent data loss is still visible.
     """
     records: list[dict] = []
+    torn = 0
     lines = Path(path).read_text(encoding="utf-8").splitlines()
     for i, line in enumerate(lines):
         line = line.strip()
@@ -273,9 +413,15 @@ def read_events(path: str | Path) -> list[dict]:
         try:
             records.append(json.loads(line))
         except json.JSONDecodeError:
-            if i == len(lines) - 1:
-                continue  # torn tail write
-            raise
+            if i < len(lines) - 1:  # a torn tail write is routine
+                torn += 1
+    if torn:
+        warnings.warn(
+            f"{path}: skipped {torn} unparseable trace line(s) "
+            "(torn writes from concurrent or killed processes)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return records
 
 

@@ -71,6 +71,7 @@ import numpy as np
 from repro.cache import cacheable_seed, resolve_cache, runset_key
 from repro.exceptions import ParameterError
 from repro.obs import manifest as _obs_manifest
+from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs
 from repro.util.rng import SeedLike, as_seed_sequence
 from repro.util.validation import check_positive, check_positive_int
@@ -80,6 +81,7 @@ if TYPE_CHECKING:  # import at call time only: runner.py imports this module
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
+    "PROFILE_ENV_VAR",
     "ExecutionContext",
     "chunk_sizes",
     "get_default_execution",
@@ -97,6 +99,12 @@ DEFAULT_CHUNK_SIZE = 16
 
 #: environment variable consulted by :func:`resolve_execution`.
 JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: opt-in per-chunk profiling: when this names a directory, every chunk
+#: task runs under :mod:`cProfile` and dumps ``chunk<idx>-pid<pid>.pstats``
+#: there (workers inherit the variable through the environment).  Load the
+#: files with :mod:`pstats` to see where sweep time actually goes.
+PROFILE_ENV_VAR = "REPRO_PROFILE"
 
 _BACKENDS = ("serial", "process")
 
@@ -369,6 +377,8 @@ def run_chunked(
             cache.put(keys[index], chunk, label=f"chunk:{_describe_task(task)}")
 
     t_setup = time.monotonic() - t_start
+    if cache_hits:
+        obs_metrics.inc("parallel.cache_hit_chunks", cache_hits)
 
     missing = [i for i, part in enumerate(parts) if part is None]
     use_pool = (
@@ -376,17 +386,30 @@ def run_chunked(
     )
     t_dispatch_start = time.monotonic()
     pool_stats: dict = {}
-    if use_pool:
-        pool_stats = _run_in_pool(task, sizes, seeds, context, missing, parts, _store)
-    used_process = pool_stats.get("completed", 0) > 0
-    still_missing = [i for i, part in enumerate(parts) if part is None]
-    if still_missing:
-        submitted = time.monotonic()
-        for i in still_missing:
-            parts[i] = _traced_chunk(
-                task, i, len(sizes), sizes[i], "serial", submitted, seeds[i]
+    # The dispatch span's id is handed to every chunk (through the pool's
+    # pickled task arguments), so worker-emitted chunk spans carry it as
+    # parent_id and the analyzer can nest the cross-process timeline.
+    with obs.span(
+        "parallel.dispatch",
+        backend=context.backend,
+        n_chunks=len(sizes),
+        n_missing=len(missing),
+        n_jobs=context.n_jobs,
+    ) as dispatch_id:
+        if use_pool:
+            pool_stats = _run_in_pool(
+                task, sizes, seeds, context, missing, parts, _store, dispatch_id
             )
-            _store(i, parts[i])
+        used_process = pool_stats.get("completed", 0) > 0
+        still_missing = [i for i, part in enumerate(parts) if part is None]
+        if still_missing:
+            submitted = time.monotonic()
+            for i in still_missing:
+                parts[i] = _traced_chunk(
+                    task, i, len(sizes), sizes[i], "serial", submitted, seeds[i],
+                    dispatch_id, context.n_jobs,
+                )
+                _store(i, parts[i])
     t_dispatch = time.monotonic() - t_dispatch_start
 
     t_merge_start = time.monotonic()
@@ -428,6 +451,28 @@ def _describe_task(task: ChunkTask) -> str:
     return f"{module}.{name}" if module else name
 
 
+def _run_chunk_task(
+    task: ChunkTask, index: int, size: int, chunk_seed: np.random.SeedSequence
+) -> "RunSet":
+    """Invoke the chunk task, under cProfile when ``REPRO_PROFILE`` is set."""
+    profile_dir = os.environ.get(PROFILE_ENV_VAR, "").strip()
+    if not profile_dir:
+        return task(size, chunk_seed)
+    import cProfile
+
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(task, size, chunk_seed)
+    finally:
+        try:
+            os.makedirs(profile_dir, exist_ok=True)
+            profiler.dump_stats(
+                os.path.join(profile_dir, f"chunk{index:04d}-pid{os.getpid()}.pstats")
+            )
+        except OSError:  # profiling must never take the run down
+            pass
+
+
 def _traced_chunk(
     task: ChunkTask,
     index: int,
@@ -436,6 +481,8 @@ def _traced_chunk(
     backend: str,
     submitted_mono: float,
     chunk_seed: np.random.SeedSequence,
+    parent_id: str | None = None,
+    n_jobs: int = 1,
 ) -> "RunSet":
     """Run one chunk under a ``parallel.chunk`` span.
 
@@ -443,20 +490,54 @@ def _traced_chunk(
     emits its events — *inside the worker*: the recorded ``pid`` is the
     worker's, and ``queue_s`` measures submit-to-start latency
     (``CLOCK_MONOTONIC`` is system-wide on Linux, so the parent's submit
-    stamp is comparable).  When tracing is off this is a plain call.
+    stamp is comparable).  *parent_id* is the parent process's
+    ``parallel.dispatch`` span id, so worker chunk spans nest under it in
+    the reconstructed timeline.  Chunk count/size/latency metrics are
+    recorded in the executing process's registry either way (shipped back
+    as a delta by :func:`_guarded_chunk` on the process backend); when
+    tracing is off that is the only instrumentation cost.
     """
+    start = time.monotonic()
     if not obs.enabled():
-        return task(size, chunk_seed)
-    queue_s = max(0.0, time.monotonic() - submitted_mono)
+        out = _run_chunk_task(task, index, size, chunk_seed)
+        _chunk_metrics(size, time.monotonic() - start)
+        return out
+    queue_s = max(0.0, start - submitted_mono)
     with obs.span(
         "parallel.chunk",
+        parent_id=parent_id,
         backend=backend,
         chunk=index,
         n_chunks=n_chunks,
         size=size,
+        n_jobs=n_jobs,
         queue_s=round(queue_s, 6),
     ):
-        return task(size, chunk_seed)
+        out = _run_chunk_task(task, index, size, chunk_seed)
+    _chunk_metrics(size, time.monotonic() - start)
+    return out
+
+
+def _chunk_metrics(size: int, wall_s: float) -> None:
+    obs_metrics.inc("parallel.chunks")
+    obs_metrics.inc("parallel.chunk_runs", size)
+    obs_metrics.observe("parallel.chunk_seconds", wall_s)
+
+
+class _ChunkPayload:
+    """A completed chunk plus the metrics delta it produced in the worker.
+
+    Shipping the delta *with* the result is what makes metric merging
+    retry-safe: an attempt that dies or times out never returns a payload,
+    so its increments are never merged, and the successful attempt's delta
+    is merged exactly once when it is harvested.
+    """
+
+    __slots__ = ("runs", "metrics")
+
+    def __init__(self, runs: "RunSet", metrics: dict) -> None:
+        self.runs = runs
+        self.metrics = metrics
 
 
 class _ChunkTaskError:
@@ -484,14 +565,23 @@ def _guarded_chunk(
     backend: str,
     submitted_mono: float,
     chunk_seed: np.random.SeedSequence,
-) -> "RunSet | _ChunkTaskError":
-    """:func:`_traced_chunk`, but task exceptions return instead of raise."""
+    parent_id: str | None = None,
+    n_jobs: int = 1,
+) -> "_ChunkPayload | _ChunkTaskError":
+    """:func:`_traced_chunk` in the worker: returns the chunk result bundled
+    with the metrics delta the chunk recorded there, and returns task
+    exceptions as values instead of raising."""
+    before = obs_metrics.snapshot()
     try:
-        return _traced_chunk(
-            task, index, n_chunks, size, backend, submitted_mono, chunk_seed
+        runs = _traced_chunk(
+            task, index, n_chunks, size, backend, submitted_mono, chunk_seed,
+            parent_id, n_jobs,
         )
     except Exception as exc:
         return _ChunkTaskError(exc, traceback.format_exc())
+    return _ChunkPayload(
+        runs, obs_metrics.snapshot_delta(before, obs_metrics.snapshot())
+    )
 
 
 class _PermanentPoolError(Exception):
@@ -534,6 +624,7 @@ def _pool_round(
     parts: "list[RunSet | None]",
     store: Callable[[int, "RunSet"], None],
     stats: dict,
+    parent_id: str | None = None,
 ) -> tuple[list[int], str | None]:
     """One dispatch round over the *pending* chunk indices.
 
@@ -561,7 +652,7 @@ def _pool_round(
         futures = {
             i: pool.submit(
                 _guarded_chunk, task, i, len(sizes), sizes[i], "process",
-                submitted, seeds[i],
+                submitted, seeds[i], parent_id, context.n_jobs,
             )
             for i in pending
         }
@@ -584,6 +675,7 @@ def _pool_round(
                     "parallel.chunk_failed",
                     chunk=i, error="timeout", kind="infrastructure",
                 )
+                obs_metrics.inc("parallel.chunk_failures", kind="infrastructure")
                 continue
             except _PERMANENT_ERRORS as exc:
                 # Plain join below: the feeder thread fails the remaining
@@ -597,6 +689,7 @@ def _pool_round(
                     "parallel.chunk_failed",
                     chunk=i, error=type(exc).__name__, kind="infrastructure",
                 )
+                obs_metrics.inc("parallel.chunk_failures", kind="infrastructure")
                 continue
             if isinstance(out, _ChunkTaskError):
                 # Genuine simulation error: cancel the siblings and
@@ -605,13 +698,17 @@ def _pool_round(
                     "parallel.chunk_failed",
                     chunk=i, error=type(out.exc).__name__, kind="task",
                 )
+                obs_metrics.inc("parallel.chunk_failures", kind="task")
                 hard_teardown = True
                 exc = out.exc
                 if out.tb and hasattr(exc, "add_note"):
                     exc.add_note(f"(worker traceback)\n{out.tb}")
                 raise exc
-            parts[i] = out
-            store(i, out)
+            parts[i] = out.runs
+            store(i, out.runs)
+            # merge exactly once, at harvest: a retried chunk's failed
+            # attempt never produced a payload, so nothing double-counts
+            obs_metrics.merge(out.metrics)
             stats["completed"] += 1
     finally:
         if hard_teardown:
@@ -631,6 +728,7 @@ def _run_in_pool(
     pending: list[int],
     parts: "list[RunSet | None]",
     store: Callable[[int, "RunSet"], None],
+    parent_id: str | None = None,
 ) -> dict:
     """Dispatch the *pending* chunk indices to a process pool, resiliently.
 
@@ -650,7 +748,8 @@ def _run_in_pool(
     while remaining:
         try:
             remaining, error = _pool_round(
-                task, sizes, seeds, context, remaining, parts, store, stats
+                task, sizes, seeds, context, remaining, parts, store, stats,
+                parent_id,
             )
         except _PermanentPoolError as exc:
             cause = exc.cause
@@ -660,6 +759,7 @@ def _run_in_pool(
                 n_chunks=len(remaining),
                 n_jobs=context.n_jobs,
             )
+            obs_metrics.inc("parallel.fallbacks")
             warnings.warn(
                 f"process pool unavailable ({type(cause).__name__}: {cause}); "
                 "falling back to serial chunked execution",
@@ -677,6 +777,7 @@ def _run_in_pool(
                 n_chunks=len(remaining),
                 n_jobs=context.n_jobs,
             )
+            obs_metrics.inc("parallel.fallbacks")
             warnings.warn(
                 f"process pool unavailable ({error}; "
                 f"{context.retries} retries exhausted); "
@@ -688,6 +789,7 @@ def _run_in_pool(
             return stats
         attempt += 1
         stats["retry_rounds"] = attempt
+        obs_metrics.inc("parallel.retries", len(remaining))
         delay = context.retry_backoff * (2 ** (attempt - 1))
         obs.event(
             "parallel.retry",

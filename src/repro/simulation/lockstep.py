@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.exceptions import ParameterError, SimulationError
 from repro.obs import manifest as _obs_manifest
+from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs
 from repro.platform_model.costs import CheckpointCosts
 from repro.simulation.policies import PeriodicPolicy
@@ -261,6 +262,12 @@ def simulate_lockstep(config: LockstepConfig, *, seed: SeedLike = None) -> RunSe
             "likely cannot make progress (period shorter than failure gaps)"
         )
 
+    # metric points are always-on (batch granularity, merged back from
+    # pool workers by run_chunked); JSONL emission stays trace-gated
+    obs_metrics.inc("engine.lockstep.batches")
+    obs_metrics.inc("engine.lockstep.runs", n)
+    obs_metrics.inc("engine.lockstep.iterations", n_iterations)
+    obs_metrics.inc("engine.lockstep.failures", int(n_failures.sum()))
     if obs.enabled():
         obs.event(
             "engine.lockstep",

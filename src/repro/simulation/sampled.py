@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.mtti import sample_time_to_interruption
 from repro.exceptions import SimulationError
 from repro.obs import manifest as _obs_manifest
+from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs
 from repro.platform_model.costs import CheckpointCosts
 from repro.simulation.results import RunSet
@@ -139,6 +140,13 @@ def simulate_restart_sampled(
     def per_run(v: np.ndarray) -> np.ndarray:
         return v.reshape(n_runs, n_periods).sum(axis=1)
 
+    # metric points are always-on (batch granularity, merged back from
+    # pool workers by run_chunked); JSONL emission stays trace-gated
+    obs_metrics.inc("engine.sampled.batches")
+    obs_metrics.inc("engine.sampled.runs", n_runs)
+    obs_metrics.inc("engine.sampled.periods", n_cells)
+    obs_metrics.inc("engine.sampled.attempts", n_attempts)
+    obs_metrics.inc("engine.sampled.failures", int(fails.sum()))
     if obs.enabled():
         obs.event(
             "engine.sampled",

@@ -26,6 +26,7 @@ import numpy as np
 from repro.exceptions import ParameterError, SimulationError
 from repro.failures.generator import FailureSource
 from repro.obs import manifest as _obs_manifest
+from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs
 from repro.platform_model.costs import CheckpointCosts
 from repro.simulation.policies import PeriodicPolicy
@@ -145,6 +146,12 @@ def simulate_trace_runs(config: TraceEngineConfig, *, seed: SeedLike = None) -> 
             arr[r] = out[name]
         for name, arr in counts.items():
             arr[r] = out[name]
+    # metric points are always-on (batch granularity, merged back from
+    # pool workers by run_chunked); JSONL emission stays trace-gated
+    obs_metrics.inc("engine.trace.batches")
+    obs_metrics.inc("engine.trace.runs", config.n_runs)
+    obs_metrics.inc("engine.trace.failures", int(counts["n_failures"].sum()))
+    obs_metrics.inc("engine.trace.checkpoints", int(counts["n_checkpoints"].sum()))
     if obs.enabled():
         obs.event(
             "engine.trace",

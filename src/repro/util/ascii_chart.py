@@ -14,7 +14,7 @@ from typing import Mapping, Sequence
 
 from repro.exceptions import ParameterError
 
-__all__ = ["ascii_chart", "chart_experiment"]
+__all__ = ["ascii_chart", "ascii_gantt", "ascii_histogram", "chart_experiment"]
 
 _MARKS = "ox+*#@%&"
 
@@ -104,6 +104,66 @@ def ascii_chart(
         f"{mark} {name}" for (name, _), mark in zip(transformed.items(), _MARKS)
     )
     lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    items: Sequence[tuple[str, float]],
+    *,
+    width: int = 40,
+    mark: str = "#",
+) -> str:
+    """Horizontal bar chart: one ``label  count  bar`` row per item.
+
+    Bars scale linearly to the largest count; zero-count rows render
+    empty so fixed bucket layouts (e.g. the metrics histograms) keep
+    their shape.
+
+    >>> print(ascii_histogram([("a", 2), ("b", 1)], width=4))
+    a 2 ####
+    b 1 ##
+    """
+    if not items:
+        raise ParameterError("need at least one histogram row")
+    peak = max(count for _, count in items)
+    label_w = max(len(label) for label, _ in items)
+    count_w = max(len(f"{count:g}") for _, count in items)
+    lines = []
+    for label, count in items:
+        bar = mark * round(count / peak * width) if peak > 0 else ""
+        lines.append(f"{label:<{label_w}} {count:>{count_w}g} {bar}".rstrip())
+    return "\n".join(lines)
+
+
+def ascii_gantt(
+    rows: Sequence[tuple[str, float, float]],
+    *,
+    width: int = 60,
+    mark: str = "#",
+) -> str:
+    """Timeline chart: each row ``(label, start, end)`` becomes a bar
+    positioned on a shared time axis spanning the rows' full extent.
+
+    Times are in any common unit (the trace analyzer feeds monotonic
+    seconds); the axis footer prints the total span.  A bar always renders
+    at least one mark so instantaneous work stays visible.
+    """
+    if not rows:
+        raise ParameterError("need at least one gantt row")
+    t0 = min(start for _, start, _ in rows)
+    t1 = max(end for _, _, end in rows)
+    span = t1 - t0
+    if span <= 0:
+        span = 1.0
+    label_w = max(len(label) for label, _, _ in rows)
+    lines = []
+    for label, start, end in rows:
+        lo = round((start - t0) / span * (width - 1))
+        hi = max(lo + 1, round((end - t0) / span * (width - 1)) + 1)
+        bar = " " * lo + mark * (hi - lo)
+        lines.append(f"{label:<{label_w}} |{bar:<{width}}|")
+    axis = f"0s{f'{t1 - t0:.3g}s'.rjust(width - 2)}"
+    lines.append(f"{' ' * label_w}  {axis}")
     return "\n".join(lines)
 
 

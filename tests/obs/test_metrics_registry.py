@@ -1,0 +1,245 @@
+"""Tests for :mod:`repro.obs.metrics` — the cross-process metrics registry.
+
+The load-bearing guarantees:
+
+* fixed log-spaced histogram buckets, so histograms recorded in different
+  processes merge by element-wise addition;
+* ``snapshot_delta`` isolates exactly what happened between two snapshots
+  of one registry (how a pool worker reports one chunk), and merging that
+  delta reproduces the original increments bit-for-bit;
+* Prometheus text exposition renders cumulative buckets the way a scraper
+  expects.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs import metrics
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    bucket_label,
+    snapshot_delta,
+    to_prometheus,
+)
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 2.5)
+        assert reg.snapshot()["counters"]["a"] == 3.5
+
+    def test_labels_make_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.inc("req", kind="hit")
+        reg.inc("req", kind="miss")
+        reg.inc("req", kind="hit")
+        counters = reg.snapshot()["counters"]
+        assert counters['req{kind="hit"}'] == 2.0
+        assert counters['req{kind="miss"}'] == 1.0
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.inc("x", 1, b=2, a=1)
+        reg.inc("x", 1, a=1, b=2)
+        assert reg.snapshot()["counters"] == {'x{a="1",b="2"}': 2.0}
+
+    def test_thread_safety(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                reg.inc("n")
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.snapshot()["counters"]["n"] == 8000.0
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("level", 3.0)
+        reg.set_gauge("level", 1.5)
+        assert reg.snapshot()["gauges"]["level"] == 1.5
+
+
+class TestHistograms:
+    def test_observations_land_in_log_buckets(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.02)
+        reg.observe("lat", 0.02)
+        reg.observe("lat", 5.0)
+        hist = reg.snapshot()["histograms"]["lat"]
+        assert sum(hist["buckets"]) == hist["count"] == 3
+        assert hist["sum"] == pytest.approx(5.04)
+
+    def test_overflow_bucket(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 10.0 * BUCKET_BOUNDS[-1])
+        hist = reg.snapshot()["histograms"]["lat"]
+        assert hist["buckets"][-1] == 1
+        assert len(hist["buckets"]) == len(BUCKET_BOUNDS) + 1
+
+    def test_nan_is_dropped(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", float("nan"))
+        assert reg.snapshot()["histograms"] == {}
+
+    def test_bucket_labels(self):
+        assert bucket_label(0).startswith("< ")
+        assert bucket_label(len(BUCKET_BOUNDS)).startswith(">= ")
+        assert " - " in bucket_label(1)
+
+
+class TestSnapshotAndMerge:
+    def test_snapshot_is_a_copy(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        snap = reg.snapshot()
+        snap["counters"]["a"] = 99.0
+        assert reg.snapshot()["counters"]["a"] == 1.0
+        assert snap["schema"] == METRICS_SCHEMA
+        assert tuple(snap["bounds"]) == BUCKET_BOUNDS
+
+    def test_merge_adds_counters_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("n", 2)
+        a.observe("lat", 0.5)
+        b.inc("n", 3)
+        b.observe("lat", 0.5)
+        b.set_gauge("level", 7.0)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["n"] == 5.0
+        assert snap["gauges"]["level"] == 7.0
+        hist = snap["histograms"]["lat"]
+        assert hist["count"] == 2 and hist["sum"] == 1.0
+        assert sum(hist["buckets"]) == 2
+
+    def test_merge_rejects_foreign_bucket_bounds(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ParameterError, match="different histogram bounds"):
+            reg.merge({"bounds": [1.0, 2.0], "counters": {}})
+
+    def test_merge_rejects_bucket_count_mismatch(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ParameterError, match="bucket count mismatch"):
+            reg.merge(
+                {"histograms": {"h": {"buckets": [1, 2], "sum": 1.0, "count": 3}}}
+            )
+
+
+class TestSnapshotDelta:
+    def test_delta_isolates_the_difference(self):
+        reg = MetricsRegistry()
+        reg.inc("stale", 5)  # pre-existing (fork-inherited) state
+        reg.observe("lat", 0.5)
+        before = reg.snapshot()
+        reg.inc("fresh", 2)
+        reg.inc("stale", 1)
+        reg.observe("lat", 0.5)
+        reg.set_gauge("level", 4.0)
+        delta = snapshot_delta(before, reg.snapshot())
+        assert delta["counters"] == {"fresh": 2.0, "stale": 1.0}
+        assert delta["gauges"] == {"level": 4.0}
+        assert delta["histograms"]["lat"]["count"] == 1
+        assert delta["histograms"]["lat"]["sum"] == 0.5
+
+    def test_unchanged_series_are_dropped(self):
+        reg = MetricsRegistry()
+        reg.inc("quiet", 3)
+        reg.set_gauge("g", 1.0)
+        snap = reg.snapshot()
+        delta = snapshot_delta(snap, snap)
+        assert delta["counters"] == {}
+        assert delta["gauges"] == {}
+        assert delta["histograms"] == {}
+
+    def test_merge_of_delta_reproduces_increments_exactly(self):
+        # the run_chunked contract: worker delta merged into the parent is
+        # bit-identical to the parent having done the work itself
+        worker = MetricsRegistry()
+        worker.inc("inherited", 7)  # state the fork copied in
+        before = worker.snapshot()
+        worker.inc("chunk.runs", 6)
+        worker.observe("chunk.size", 6.0)
+        delta = snapshot_delta(before, worker.snapshot())
+
+        parent = MetricsRegistry()
+        parent.merge(delta)
+        direct = MetricsRegistry()
+        direct.inc("chunk.runs", 6)
+        direct.observe("chunk.size", 6.0)
+        assert parent.snapshot() == direct.snapshot()
+
+
+class TestModuleLevelRegistry:
+    @pytest.fixture(autouse=True)
+    def _isolated(self):
+        saved = metrics.snapshot()
+        metrics.reset()
+        yield
+        metrics.reset()
+        metrics.merge(saved)
+
+    def test_convenience_functions_share_one_registry(self):
+        metrics.inc("mod.counter", 4)
+        metrics.set_gauge("mod.gauge", 2.0)
+        metrics.observe("mod.hist", 1.0)
+        snap = metrics.get_registry().snapshot()
+        assert snap == metrics.snapshot()
+        assert snap["counters"]["mod.counter"] == 4.0
+        metrics.reset()
+        assert metrics.snapshot()["counters"] == {}
+
+
+class TestExport:
+    def _snap(self):
+        reg = MetricsRegistry()
+        reg.inc("engine.runs", 12)
+        reg.set_gauge("pool.size", 4.0)
+        reg.observe("chunk.seconds", 0.5)
+        reg.observe("chunk.seconds", 0.5)
+        return reg.snapshot()
+
+    def test_prometheus_exposition(self):
+        text = to_prometheus(self._snap())
+        assert "# TYPE repro_engine_runs counter" in text
+        assert "repro_engine_runs 12" in text
+        assert "# TYPE repro_pool_size gauge" in text
+        assert "# TYPE repro_chunk_seconds histogram" in text
+        assert 'repro_chunk_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_chunk_seconds_sum 1" in text
+        assert "repro_chunk_seconds_count 2" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_buckets_are_cumulative(self):
+        text = to_prometheus(self._snap())
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_chunk_seconds_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 2
+
+    def test_save_metrics_prom_vs_json(self, tmp_path):
+        snap = self._snap()
+        prom = metrics.save_metrics(tmp_path / "m.prom", snap)
+        assert "# TYPE" in prom.read_text()
+        out = metrics.save_metrics(tmp_path / "m.json", snap)
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == METRICS_SCHEMA
+        assert payload["counters"]["engine.runs"] == 12.0

@@ -1,0 +1,206 @@
+"""Tests for :mod:`repro.obs.report` — the trace analyzer.
+
+All tests build records by hand so every geometric property (overlaps,
+interleavings, missing ends) is exact; the end-to-end path over a real
+``run_chunked`` trace lives in ``tests/test_obs.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs.report import MAX_GANTT_ROWS, analyze_trace, render_report
+from repro.obs.trace import EVENT_SCHEMA_ID, EVENT_SCHEMA_ID_V1
+
+
+def _rec(kind, name, *, pid=1, mono=0.0, schema=EVENT_SCHEMA_ID, **extra):
+    rec = {
+        "schema": schema, "kind": kind, "name": name,
+        "ts": 0.0, "mono": mono, "pid": pid,
+    }
+    rec.update(extra)
+    return rec
+
+
+def _span_pair(name, *, span_id, start, wall, pid=1, parent_id=None, labels=None):
+    common = {"pid": pid, "span_id": span_id}
+    if parent_id is not None:
+        common["parent_id"] = parent_id
+    if labels:
+        common["labels"] = labels
+    return [
+        _rec("span_start", name, mono=start, **common),
+        _rec("span_end", name, mono=start + wall, wall_s=wall, **common),
+    ]
+
+
+class TestSpanPairing:
+    def test_v2_pairs_by_id_across_interleaving(self):
+        # two same-name spans from one pid, ends arriving out of order —
+        # exactly what a fork pool produces; id pairing must stay exact
+        records = [
+            _rec("span_start", "work", mono=0.0, span_id="a"),
+            _rec("span_start", "work", mono=1.0, span_id="b"),
+            _rec("span_end", "work", mono=5.0, span_id="a", wall_s=5.0),
+            _rec("span_end", "work", mono=2.0, span_id="b", wall_s=1.0),
+        ]
+        report = analyze_trace(records)
+        walls = {sp.span_id: sp.wall_s for sp in report.spans}
+        assert walls == {"a": 5.0, "b": 1.0}
+        assert report.unmatched_spans == 0
+
+    def test_v1_falls_back_to_lifo_per_pid_and_name(self):
+        records = [
+            _rec("span_start", "outer", mono=0.0, schema=EVENT_SCHEMA_ID_V1),
+            _rec("span_start", "outer", mono=1.0, schema=EVENT_SCHEMA_ID_V1),
+            _rec("span_end", "outer", mono=2.0, wall_s=1.0, schema=EVENT_SCHEMA_ID_V1),
+            _rec("span_end", "outer", mono=3.0, wall_s=3.0, schema=EVENT_SCHEMA_ID_V1),
+        ]
+        report = analyze_trace(records)
+        # LIFO: first end matches the later start
+        assert [sp.start_mono for sp in report.spans] == [1.0, 0.0]
+        assert report.span_stats["outer"]["count"] == 2
+
+    def test_unmatched_starts_are_counted_not_dropped_silently(self):
+        records = [
+            _rec("span_start", "killed", span_id="x"),
+            _rec("span_start", "torn", schema=EVENT_SCHEMA_ID_V1),
+            *_span_pair("fine", span_id="y", start=0.0, wall=1.0),
+        ]
+        report = analyze_trace(records)
+        assert report.unmatched_spans == 2
+        assert [sp.name for sp in report.spans] == ["fine"]
+
+    def test_end_without_start_is_ignored(self):
+        records = [_rec("span_end", "headless", span_id="z", wall_s=1.0)]
+        report = analyze_trace(records)
+        assert report.spans == [] and report.unmatched_spans == 0
+
+    def test_parent_ids_surface_on_spans(self):
+        records = [
+            *_span_pair("parallel.dispatch", span_id="d", start=0.0, wall=4.0),
+            *_span_pair(
+                "parallel.chunk", span_id="c", start=1.0, wall=2.0,
+                pid=9, parent_id="d", labels={"chunk": 0},
+            ),
+        ]
+        report = analyze_trace(records)
+        chunk = next(sp for sp in report.spans if sp.name == "parallel.chunk")
+        assert chunk.parent_id == "d"
+        assert chunk.end_mono == 3.0
+
+
+class TestParallelMetrics:
+    def _chunked(self, *, n_jobs_label=True):
+        labels = {"backend": "process", "n_jobs": 2} if n_jobs_label else {"backend": "process"}
+        return [
+            *_span_pair("parallel.dispatch", span_id="d", start=0.0, wall=2.0,
+                        labels=labels if n_jobs_label else None),
+            *_span_pair("parallel.chunk", span_id="c0", start=0.0, wall=2.0,
+                        pid=11, parent_id="d", labels={**labels, "chunk": 0}),
+            *_span_pair("parallel.chunk", span_id="c1", start=0.0, wall=1.0,
+                        pid=12, parent_id="d", labels={**labels, "chunk": 1}),
+        ]
+
+    def test_efficiency_is_busy_over_elapsed_times_jobs(self):
+        report = analyze_trace(self._chunked())
+        assert report.busy_s == 3.0
+        assert report.elapsed_s == 2.0
+        assert report.n_jobs == 2
+        assert report.efficiency == pytest.approx(3.0 / (2.0 * 2))
+
+    def test_n_jobs_override_wins(self):
+        report = analyze_trace(self._chunked(), n_jobs=4)
+        assert report.n_jobs == 4
+        assert report.efficiency == pytest.approx(3.0 / (2.0 * 4))
+
+    def test_n_jobs_falls_back_to_distinct_worker_pids(self):
+        report = analyze_trace(self._chunked(n_jobs_label=False))
+        assert report.n_jobs == 2  # pids 11 and 12
+
+    def test_retry_fallback_and_failure_counts(self):
+        records = self._chunked() + [
+            _rec("event", "parallel.retry", labels={"chunks": [1, 3]}),
+            _rec("event", "parallel.retry", labels={"chunks": [3]}),
+            _rec("event", "parallel.fallback", labels={"reason": "retries"}),
+            _rec("event", "parallel.chunk_failed", labels={"kind": "infrastructure"}),
+            _rec("event", "parallel.chunk_failed", labels={"kind": "task"}),
+            _rec("event", "parallel.chunk_failed", labels={"kind": "task"}),
+        ]
+        report = analyze_trace(records)
+        assert report.retry_rounds == 2
+        assert report.retried_chunks == 3
+        assert report.fallbacks == 1
+        assert report.chunk_failures == {"infrastructure": 1, "task": 2}
+
+    def test_chunk_latency_histogram_covers_all_chunks(self):
+        report = analyze_trace(self._chunked())
+        hist = report.chunk_latency_histogram()
+        assert sum(count for _, count in hist) == 2
+
+    def test_cache_and_counter_aggregation(self):
+        records = [
+            _rec("event", "cache.miss"),
+            _rec("event", "cache.store"),
+            _rec("event", "cache.hit"),
+            _rec("event", "cache.hit"),
+            _rec("event", "cache.corrupt"),
+            _rec("counter", "engine.runs", value=8.0),
+            _rec("counter", "engine.runs", value=4.0),
+        ]
+        report = analyze_trace(records)
+        assert report.cache["hits"] == 2 and report.cache["misses"] == 1
+        assert report.cache["hit_rate"] == pytest.approx(2 / 3)
+        assert report.counters == {"engine.runs": 12.0}
+
+    def test_no_lookups_means_no_hit_rate(self):
+        report = analyze_trace([_rec("event", "cache.store")])
+        assert report.cache["hit_rate"] is None
+
+
+class TestRendering:
+    def test_report_sections_render(self):
+        records = [
+            *_span_pair("parallel.dispatch", span_id="d", start=0.0, wall=2.0,
+                        labels={"n_jobs": 2}),
+            *_span_pair("parallel.chunk", span_id="c0", start=0.0, wall=1.5,
+                        pid=11, labels={"chunk": 0, "n_jobs": 2}),
+            _rec("counter", "engine.runs", value=8.0),
+            _rec("event", "cache.hit"),
+            _rec("event", "cache.miss"),
+        ]
+        text = render_report(analyze_trace(records))
+        for heading in (
+            "== span timing ==", "== chunk timeline ==",
+            "== chunk latency histogram ==", "== parallel execution ==",
+            "== cache ==", "== counters (trace-summed) ==",
+        ):
+            assert heading in text
+        assert "parallel efficiency" in text
+        assert "hit rate 50.0%" in text
+        assert "engine.runs" in text
+
+    def test_gantt_truncation_is_announced(self):
+        records = []
+        for i in range(MAX_GANTT_ROWS + 5):
+            records += _span_pair(
+                "parallel.chunk", span_id=f"c{i}", start=float(i), wall=1.0,
+                labels={"chunk": i},
+            )
+        text = render_report(analyze_trace(records))
+        assert "5 more chunks not shown" in text
+
+    def test_empty_trace_is_an_error(self):
+        with pytest.raises(ParameterError, match="no records"):
+            render_report(analyze_trace([]))
+
+    def test_reads_from_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        records = _span_pair("alone", span_id="a", start=0.0, wall=0.25)
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        report = analyze_trace(path)
+        assert report.span_stats["alone"]["total_s"] == 0.25
+        assert "(no completed spans)" not in render_report(report)

@@ -1,0 +1,185 @@
+"""Worker-to-parent metrics merging under faults (:mod:`repro.parallel`).
+
+The contract: metrics recorded inside pool workers reach the parent
+registry as per-chunk deltas travelling with the chunk results, and the
+merged totals are **bit-identical** to a serial run — including when a
+worker is SIGKILLed and its chunk retried, and when the run degrades to
+the serial fallback.  A doomed attempt's increments die with the worker;
+only the successful attempt's delta is merged, so nothing double-counts.
+
+Values recorded by the tasks are dyadic rationals, so float equality is
+exact and "bit-identical" means exactly that.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.parallel import ExecutionContext, run_chunked
+from repro.simulation import RunSet
+
+KILL_FILE_VAR = "REPRO_TEST_METRICS_KILL_FILE"
+
+SERIAL = ExecutionContext(n_jobs=1, backend="serial", chunk_size=2)
+POOL = ExecutionContext(n_jobs=2, backend="process", chunk_size=2, retries=2)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    """Isolate each test's metrics; restore whatever the session had."""
+    saved = obs_metrics.snapshot()
+    obs_metrics.reset()
+    yield
+    obs_metrics.reset()
+    obs_metrics.merge(saved)
+
+
+def _metric_task(n_runs: int, seed) -> RunSet:
+    """Deterministic task that records counters + a histogram per chunk."""
+    obs_metrics.inc("mtest.chunks")
+    obs_metrics.inc("mtest.runs", n_runs)
+    obs_metrics.observe("mtest.chunk_size", float(n_runs))
+    rng = np.random.default_rng(seed)
+    vals = rng.random(n_runs)
+    ints = rng.integers(0, 5, n_runs)
+    return RunSet(*([vals] * 5 + [ints] * 5), label="mtest")
+
+
+def _metric_kill_task(n_runs: int, seed) -> RunSet:
+    """Record metrics, then SIGKILL the worker running chunk 1 (once).
+
+    Recording *before* dying is the point: the doomed attempt's increments
+    must vanish with the worker, not leak into the parent.
+    """
+    out = _metric_task(n_runs, seed)
+    if tuple(seed.spawn_key)[-1:] == (1,):
+        flag = os.environ.get(KILL_FILE_VAR)
+        if flag and os.path.exists(flag):
+            try:
+                os.remove(flag)
+            except FileNotFoundError:
+                flag = None
+            if flag:
+                time.sleep(0.5)  # let sibling chunks finish first
+                os.kill(os.getpid(), signal.SIGKILL)
+    return out
+
+
+def _mtest_series(snap: dict) -> dict:
+    """The task-recorded series only — timing histograms and dispatch
+    counters legitimately differ between serial and pool runs."""
+    return {
+        "counters": {
+            k: v for k, v in snap["counters"].items() if k.startswith("mtest.")
+        },
+        "histograms": {
+            k: v for k, v in snap["histograms"].items() if k.startswith("mtest.")
+        },
+    }
+
+
+def _serial_baseline() -> dict:
+    obs_metrics.reset()
+    run_chunked(_metric_task, n_runs=8, seed=11, context=SERIAL)
+    series = _mtest_series(obs_metrics.snapshot())
+    obs_metrics.reset()
+    assert series["counters"]["mtest.chunks"] == 4.0  # sanity: 8 runs / 2
+    assert series["counters"]["mtest.runs"] == 8.0
+    return series
+
+
+class TestMergedEqualsSerial:
+    def test_process_pool_merge_matches_serial_exactly(self):
+        baseline = _serial_baseline()
+        run_chunked(_metric_task, n_runs=8, seed=11, context=POOL)
+        assert _mtest_series(obs_metrics.snapshot()) == baseline
+
+    def test_killed_worker_retry_does_not_double_count(self, tmp_path, monkeypatch):
+        baseline = _serial_baseline()
+        kill_file = tmp_path / "kill-once"
+        kill_file.touch()
+        monkeypatch.setenv(KILL_FILE_VAR, str(kill_file))
+        rs = run_chunked(_metric_kill_task, n_runs=8, seed=11, context=POOL)
+        assert not kill_file.exists()  # the crash really happened
+        assert rs.meta["execution"]["retry_rounds"] >= 1
+        assert _mtest_series(obs_metrics.snapshot()) == baseline
+
+    def test_serial_fallback_still_matches(self, tmp_path, monkeypatch):
+        baseline = _serial_baseline()
+        kill_file = tmp_path / "kill-once"
+        kill_file.touch()
+        monkeypatch.setenv(KILL_FILE_VAR, str(kill_file))
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            rs = run_chunked(
+                _metric_kill_task, n_runs=8, seed=11,
+                context=ExecutionContext(
+                    n_jobs=2, backend="process", chunk_size=2, retries=0,
+                ),
+            )
+        assert rs.meta["execution"]["serial_fallback_chunks"] >= 1
+        assert _mtest_series(obs_metrics.snapshot()) == baseline
+
+
+class TestProfilingHook:
+    def test_repro_profile_writes_per_chunk_pstats(self, tmp_path, monkeypatch):
+        import pstats
+
+        from repro.parallel import PROFILE_ENV_VAR
+
+        prof_dir = tmp_path / "profiles"
+        prof_dir.mkdir()
+        monkeypatch.setenv(PROFILE_ENV_VAR, str(prof_dir))
+        run_chunked(_metric_task, n_runs=8, seed=3, context=POOL)
+        dumps = sorted(prof_dir.glob("chunk*-pid*.pstats"))
+        assert len(dumps) == 4  # one per chunk
+        assert {p.name.split("-")[0] for p in dumps} == {
+            "chunk0000", "chunk0001", "chunk0002", "chunk0003",
+        }
+        stats = pstats.Stats(str(dumps[0]))  # loads, i.e. a valid dump
+        assert stats.total_calls > 0
+
+    def test_profiled_run_stays_deterministic(self, tmp_path, monkeypatch):
+        from repro.parallel import PROFILE_ENV_VAR
+
+        baseline = run_chunked(_metric_task, n_runs=8, seed=3, context=SERIAL)
+        monkeypatch.setenv(PROFILE_ENV_VAR, str(tmp_path))
+        profiled = run_chunked(_metric_task, n_runs=8, seed=3, context=SERIAL)
+        np.testing.assert_array_equal(
+            baseline.total_time, profiled.total_time, strict=True
+        )
+
+
+class TestDispatchInstrumentation:
+    def test_chunk_metrics_recorded_for_every_chunk(self):
+        run_chunked(_metric_task, n_runs=8, seed=5, context=POOL)
+        snap = obs_metrics.snapshot()
+        assert snap["counters"]["parallel.chunks"] == 4.0
+        assert snap["counters"]["parallel.chunk_runs"] == 8.0
+        hist = snap["histograms"]["parallel.chunk_seconds"]
+        assert hist["count"] == 4
+        assert hist["sum"] > 0.0
+
+    def test_serial_backend_records_the_same_instruments(self):
+        run_chunked(_metric_task, n_runs=8, seed=5, context=SERIAL)
+        snap = obs_metrics.snapshot()
+        assert snap["counters"]["parallel.chunks"] == 4.0
+        assert snap["histograms"]["parallel.chunk_seconds"]["count"] == 4
+
+    def test_engine_metrics_flow_back_from_workers(self, costs60):
+        from repro.simulation import simulate_restart
+        from repro.util.units import YEAR
+
+        ctx = ExecutionContext(n_jobs=2, backend="process", chunk_size=6)
+        simulate_restart(
+            mtbf=5 * YEAR, n_pairs=500, period=40_000.0, costs=costs60,
+            n_periods=10, n_runs=20, seed=7, n_jobs=ctx,
+        )
+        counters = obs_metrics.snapshot()["counters"]
+        assert counters["engine.sampled.runs"] == 20.0
+        assert counters["engine.sampled.batches"] == 4.0  # one per chunk

@@ -171,6 +171,53 @@ class TestObsCommands:
         assert len(out) == 2
         assert "i=5" in out[-1]
 
+    SIM_TRACED = [
+        "simulate", "restart", "--pairs", "1000", "--runs", "40",
+        "--periods", "5", "--seed", "1", "--jobs", "2",
+    ]
+
+    def test_obs_report_renders_a_recorded_run(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        assert main(self.SIM_TRACED + ["--log-json", str(trace_path)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "== span timing ==" in out
+        assert "parallel.chunk" in out
+        assert "parallel efficiency" in out
+        assert "n_jobs              : 2" in out
+
+    def test_obs_report_jobs_override(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        assert main(self.SIM_TRACED + ["--log-json", str(trace_path)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(trace_path), "--jobs", "8"]) == 0
+        assert "n_jobs              : 8" in capsys.readouterr().out
+
+    def test_obs_report_missing_or_empty_file(self, tmp_path, capsys):
+        assert main(["obs", "report", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot analyze" in capsys.readouterr().err
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["obs", "report", str(empty)]) == 2
+        assert "no records" in capsys.readouterr().err
+
+    def test_metrics_out_writes_prometheus_and_json(self, tmp_path, capsys):
+        prom = tmp_path / "m.prom"
+        assert main(self.SIM_TRACED + ["--metrics-out", str(prom)]) == 0
+        assert "metrics written to" in capsys.readouterr().out
+        text = prom.read_text()
+        assert "# TYPE repro_engine_sampled_runs counter" in text
+        assert "# TYPE repro_parallel_chunk_seconds histogram" in text
+
+        as_json = tmp_path / "m.json"
+        assert main(self.SIM_TRACED + ["--metrics-out", str(as_json)]) == 0
+        import json as _json
+
+        payload = _json.loads(as_json.read_text())
+        assert payload["schema"] == "repro/metrics-v1"
+        assert payload["counters"]["parallel.chunks"] > 0
+
 
 class TestCacheCommands:
     @pytest.fixture(autouse=True)

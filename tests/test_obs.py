@@ -135,6 +135,18 @@ class TestTraceCore:
         events = obs.read_events(path)
         assert [e["name"] for e in events] == ["kept"]
 
+    def test_read_events_warns_on_torn_middle_line(self, tmp_path):
+        path = tmp_path / "torn-mid.jsonl"
+        with obs.trace_to(path):
+            obs.event("first")
+        with open(path, "a") as fh:
+            fh.write('{"schema": "repro/obs-ev\n')  # killed writer mid-line
+        with obs.trace_to(path):
+            obs.event("last")
+        with pytest.warns(RuntimeWarning, match="skipped 1 unparseable"):
+            events = obs.read_events(path)
+        assert [e["name"] for e in events] == ["first", "last"]
+
     def test_format_event_renders_one_line(self, tmp_path):
         with obs.trace_to(tmp_path / "t.jsonl"):
             with obs.span("render.me", backend="serial"):
@@ -143,6 +155,99 @@ class TestTraceCore:
         text = obs.format_event(end)
         assert "\n" not in text
         assert "render.me" in text and "backend=serial" in text and "wall=" in text
+
+
+class TestSpanIdentity:
+    def test_span_yields_its_id_and_records_it(self, tmp_path):
+        path = tmp_path / "ids.jsonl"
+        with obs.trace_to(path):
+            with obs.span("outer") as sid:
+                assert sid is not None
+        start, end = obs.read_events(path)
+        assert start["span_id"] == end["span_id"] == sid
+        assert "parent_id" not in start
+
+    def test_span_yields_none_when_off(self):
+        with obs.span("dark") as sid:
+            assert sid is None
+        assert obs.current_span_id() is None
+
+    def test_nested_spans_carry_parent_ids(self, tmp_path):
+        path = tmp_path / "nest.jsonl"
+        with obs.trace_to(path):
+            with obs.span("outer") as outer_id:
+                assert obs.current_span_id() == outer_id
+                with obs.span("inner") as inner_id:
+                    assert obs.current_span_id() == inner_id
+                    obs.event("leaf")
+                assert obs.current_span_id() == outer_id
+        assert obs.current_span_id() is None
+        by_name = {}
+        for e in obs.read_events(path):
+            by_name.setdefault(e["name"], []).append(e)
+        assert all("parent_id" not in e for e in by_name["outer"])
+        assert all(e["parent_id"] == outer_id for e in by_name["inner"])
+        assert by_name["leaf"][0]["parent_id"] == inner_id
+
+    def test_explicit_parent_id_wins_over_stack(self, tmp_path):
+        path = tmp_path / "explicit.jsonl"
+        with obs.trace_to(path):
+            with obs.span("ambient"):
+                with obs.span("adopted", parent_id="remote-1"):
+                    pass
+        adopted = [e for e in obs.read_events(path) if e["name"] == "adopted"]
+        assert all(e["parent_id"] == "remote-1" for e in adopted)
+
+    def test_span_ids_are_unique(self, tmp_path):
+        path = tmp_path / "many.jsonl"
+        with obs.trace_to(path):
+            for _ in range(100):
+                with obs.span("tick"):
+                    pass
+        starts = [e for e in obs.read_events(path) if e["kind"] == "span_start"]
+        ids = [e["span_id"] for e in starts]
+        assert len(set(ids)) == 100
+
+    @pytest.mark.skipif(
+        not hasattr(os, "register_at_fork"), reason="no fork on this platform"
+    )
+    def test_forked_children_get_fresh_identity_and_file_handle(self, tmp_path):
+        # Two forked children mint span ids concurrently; the at-fork hook
+        # must regenerate the id prefix (else they collide) and reopen the
+        # JSONL handle (else the children share the parent's file object).
+        import multiprocessing
+
+        def child() -> None:
+            with obs.span("child.work"):
+                pass
+
+        path = tmp_path / "fork.jsonl"
+        ctx = multiprocessing.get_context("fork")
+        with obs.trace_to(path):
+            with obs.span("parent.dispatch"):
+                procs = [ctx.Process(target=child) for _ in range(2)]
+                for p in procs:
+                    p.start()
+                for p in procs:
+                    p.join()
+                assert all(p.exitcode == 0 for p in procs)
+            assert obs.enabled()  # children closing handles must not hurt us
+            obs.event("parent.after")
+        events = obs.read_events(path)
+        for record in events:
+            validate_event(record)
+        child_starts = [
+            e for e in events
+            if e["name"] == "child.work" and e["kind"] == "span_start"
+        ]
+        assert len(child_starts) == 2
+        assert len({e["pid"] for e in child_starts}) == 2
+        all_ids = {e["span_id"] for e in events if "span_id" in e}
+        assert len(all_ids) == 3  # parent + 2 children, no collisions
+        # fork inherited the parent's span stack conceptually, but the
+        # child resets it: child spans must not claim the parent span as
+        # parent implicitly
+        assert all("parent_id" not in e for e in child_starts)
 
 
 class TestEventSchema:
@@ -160,18 +265,30 @@ class TestEventSchema:
     def test_accepts_valid_records(self):
         validate_event(self._valid())
         validate_event({**self._valid(), "labels": {"a": 1}})
-        validate_event({**self._valid(), "kind": "span_end", "wall_s": 0.1})
+        validate_event(
+            {**self._valid(), "kind": "span_end", "wall_s": 0.1, "span_id": "p-1"}
+        )
         validate_event({**self._valid(), "kind": "counter", "value": 3.0})
+
+    def test_accepts_v1_records_without_span_ids(self):
+        v1 = {**self._valid(), "schema": "repro/obs-event-v1"}
+        validate_event(v1)
+        validate_event({**v1, "kind": "span_start"})  # v1 spans carry no ids
+        validate_event({**v1, "kind": "span_end", "wall_s": 0.1})
 
     def test_rejects_bad_records(self):
         for corrupt in (
             {k: v for k, v in self._valid().items() if k != "name"},  # missing
             {**self._valid(), "unknown_field": 1},  # additionalProperties
             {**self._valid(), "kind": "mystery"},  # enum
-            {**self._valid(), "schema": "other/v9"},  # const
+            {**self._valid(), "schema": "other/v9"},  # enum on schema id
             {**self._valid(), "ts": "yesterday"},  # type
-            {**self._valid(), "kind": "span_end"},  # span_end needs wall_s
+            # span_end needs wall_s
+            {**self._valid(), "kind": "span_end", "span_id": "p-1"},
             {**self._valid(), "kind": "counter"},  # counter needs value
+            # v2 spans need span_id
+            {**self._valid(), "kind": "span_start"},
+            {**self._valid(), "kind": "span_end", "wall_s": 0.1},
         ):
             with pytest.raises(ParameterError):
                 validate_event(corrupt)
@@ -207,6 +324,45 @@ class TestChunkSpans:
             simulate_restart(**_restart_kwargs(costs60), n_jobs=ctx)
         spans = [e for e in obs.read_events(path) if e["name"] == "parallel.chunk"]
         assert spans and all(e["pid"] != os.getpid() for e in spans)
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_chunk_spans_are_children_of_the_dispatch_span(
+        self, tmp_path, costs60, backend
+    ):
+        path = tmp_path / f"tree-{backend}.jsonl"
+        ctx = ExecutionContext(n_jobs=2, backend=backend, chunk_size=6)
+        with obs.trace_to(path):
+            simulate_restart(**_restart_kwargs(costs60), n_jobs=ctx)
+        events = obs.read_events(path)
+        dispatches = [e for e in events if e["name"] == "parallel.dispatch"]
+        assert len(dispatches) == 2  # one start + one end
+        dispatch_id = dispatches[0]["span_id"]
+        chunk_starts = [
+            e for e in events
+            if e["name"] == "parallel.chunk" and e["kind"] == "span_start"
+        ]
+        assert len(chunk_starts) == 4
+        # parentage survives the process boundary: worker chunk spans name
+        # the parent process's dispatch span, and every id is unique
+        assert all(e["parent_id"] == dispatch_id for e in chunk_starts)
+        assert len({e["span_id"] for e in chunk_starts}) == 4
+        assert dispatches[0]["labels"]["n_jobs"] == 2
+
+    def test_trace_analyzes_end_to_end(self, tmp_path, costs60):
+        from repro.obs import analyze_trace, render_report
+
+        path = tmp_path / "full.jsonl"
+        ctx = ExecutionContext(n_jobs=2, backend="process", chunk_size=6)
+        with obs.trace_to(path):
+            simulate_restart(**_restart_kwargs(costs60), n_jobs=ctx)
+        report = analyze_trace(path)
+        assert len(report.chunks) == 4
+        assert report.n_jobs == 2
+        assert report.unmatched_spans == 0
+        assert report.efficiency is not None and 0 < report.efficiency <= 1
+        assert report.counters["engine.sampled.failures"] > 0
+        text = render_report(report)
+        assert "parallel efficiency" in text and "pid" in text
 
     def test_engine_events_emitted(self, tmp_path, costs60):
         path = tmp_path / "engines.jsonl"
