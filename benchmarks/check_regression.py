@@ -48,8 +48,9 @@ RESULTS_DIR = BENCH_DIR / "results"
 ARTIFACTS_DIR = BENCH_DIR / "artifacts"
 
 #: default quick-mode subset: sampled engine (fig1), full period sweep with
-#: both engines (fig5) and the analytic tables — broad coverage in ~15 s.
-DEFAULT_MODULES = ("fig01", "fig05", "tables")
+#: both engines (fig5), the analytic tables, and the executor-backend
+#: dispatch benchmark — broad coverage in ~20 s.
+DEFAULT_MODULES = ("fig01", "fig05", "tables", "dispatch")
 
 
 def load_baselines() -> dict[str, dict]:

@@ -1,0 +1,34 @@
+"""Dispatch throughput across executor backends (gate module)."""
+
+import pytest
+
+from benchmarks import dispatch_throughput
+from benchmarks.conftest import bench_quick, run_once
+
+
+def test_dispatch_backend_agreement_table(benchmark, report):
+    result = run_once(
+        benchmark, lambda: dispatch_throughput.run(quick=bench_quick(), seed=2019)
+    )
+    report(result)
+
+    rows = {r["config"]: r for r in result.rows}
+    assert set(rows) == {c[0] for c in dispatch_throughput.CONFIGS}
+    base = rows["serial"]
+    for label, row in rows.items():
+        assert row["n_runs"] == base["n_runs"]
+        assert row["n_chunks"] == base["n_chunks"]
+        if "streaming" in label:
+            # streamed moments: Welford vs NumPy differ in the last ulps
+            assert row["mean_overhead"] == pytest.approx(
+                base["mean_overhead"], rel=1e-12
+            )
+            assert row["mean_total_time"] == pytest.approx(
+                base["mean_total_time"], rel=1e-12
+            )
+        else:
+            # materialized runs must be bit-identical to serial
+            assert row["mean_overhead"] == base["mean_overhead"]
+            assert row["mean_total_time"] == base["mean_total_time"]
+            assert row["mean_n_failures"] == base["mean_n_failures"]
+    assert result.meta["max_rel_spread_mean_overhead"] <= 1e-9

@@ -9,6 +9,7 @@ Subcommands
 ``trace``       synthesise a LANL-like trace to a CSV file
 ``obs``         inspect observability artifacts (manifests, JSONL traces)
 ``cache``       inspect or clear the on-disk result cache
+``worker``      serve chunks for a tcp-backend coordinator
 
 Examples
 --------
@@ -24,10 +25,15 @@ Examples
     repro-sim obs tail run.jsonl --lines 20
     repro-sim figure fig9 --full --cache-dir ~/.cache/repro-sim
     repro-sim cache ls --cache-dir ~/.cache/repro-sim
+    repro-sim figure fig9 --jobs 4 --backend tcp
+    repro-sim worker --connect 10.0.0.5:7077
 
 ``--jobs N`` (or the ``REPRO_JOBS`` environment variable) fans the
 Monte-Carlo replications out over N worker processes; results are
-bit-identical for every N (see :mod:`repro.parallel`).  ``--log-json PATH``
+bit-identical for every N (see :mod:`repro.parallel`).  ``--backend``
+(or ``REPRO_BACKEND``) selects the executor backend: ``process`` (local
+pool, the default), ``tcp`` (socket work queue serving local or remote
+``repro-sim worker`` processes) or ``serial``.  ``--log-json PATH``
 (or ``REPRO_TRACE``) streams structured trace events to a JSONL file
 (see :mod:`repro.obs`).  ``--cache-dir PATH`` (or ``REPRO_CACHE_DIR``)
 stores completed sweep points and chunks on disk so an interrupted run
@@ -138,6 +144,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="chart width in characters",
     )
 
+    p_wk = sub.add_parser(
+        "worker", help="serve chunks for a tcp-backend coordinator"
+    )
+    p_wk.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address (printed by / passed to the dispatching run)",
+    )
+    p_wk.add_argument(
+        "--max-chunks", type=int, default=None, metavar="N",
+        help="disconnect after executing N chunks (fault-injection testing)",
+    )
+
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk result cache"
     )
@@ -165,6 +183,16 @@ def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
             "fan Monte-Carlo replications out over N worker processes "
             "(-1 = all cores; default: serial, or the REPRO_JOBS env var); "
             "results are identical for every N"
+        ),
+    )
+    p.add_argument(
+        "--backend",
+        choices=["serial", "process", "tcp"],
+        default=None,
+        help=(
+            "executor backend for chunk dispatch (default: the "
+            "REPRO_BACKEND env var, else 'process'); results are "
+            "identical for every backend"
         ),
     )
 
@@ -220,12 +248,17 @@ def _add_cache_arg(p: argparse.ArgumentParser) -> None:
 
 
 def _apply_jobs(args: argparse.Namespace) -> None:
-    """Install ``--jobs`` as the default execution context for this run."""
+    """Install ``--jobs`` / ``--backend`` as the default context for this run."""
     jobs = getattr(args, "jobs", None)
-    if jobs is not None:
-        from repro.parallel import ExecutionContext, set_default_execution
+    backend = getattr(args, "backend", None)
+    if jobs is None and backend is None:
+        return
+    from repro.parallel import ExecutionContext, set_default_execution
+    from repro.parallel.context import _env_jobs
 
-        set_default_execution(ExecutionContext(n_jobs=jobs))
+    if jobs is None:
+        jobs = _env_jobs() or 1
+    set_default_execution(ExecutionContext(n_jobs=jobs, backend=backend))
 
 
 def _apply_obs(args: argparse.Namespace) -> None:
@@ -337,6 +370,23 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "cache":
         return _run_cache(args)
+
+    if args.command == "worker":
+        from repro.exceptions import ParameterError
+        from repro.parallel.backends.tcp import parse_address, serve_worker
+
+        try:
+            host, port = parse_address(args.connect)
+        except ParameterError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        try:
+            executed = serve_worker(host, port, max_chunks=args.max_chunks)
+        except (OSError, ConnectionError) as exc:
+            print(f"cannot serve {args.connect}: {exc}", file=sys.stderr)
+            return 2
+        print(f"worker done: {executed} chunks", file=sys.stderr)
+        return 0
 
     if args.command == "report":
         from repro.exceptions import ParameterError

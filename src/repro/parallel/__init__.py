@@ -1,0 +1,91 @@
+"""Parallel Monte-Carlo execution layer.
+
+Every experiment in the reproduction fans out hundreds to thousands of
+*independent* replications through the :mod:`repro.simulation.runner` entry
+points.  This package turns that embarrassing parallelism into wall-clock
+speedup without sacrificing reproducibility:
+
+* an :class:`ExecutionContext` (:mod:`repro.parallel.context`) describes
+  *how* a batch of ``n_runs`` replications is executed: the executor
+  ``backend`` (``"serial"`` / ``"process"`` / ``"tcp"``), worker count
+  ``n_jobs``, per-task ``chunk_size``, the per-chunk fault budget, and
+  whether results are ``streaming``-folded instead of materialized;
+* :func:`run_chunked` (:mod:`repro.parallel.dispatch`) splits a batch into
+  chunks whose layout depends only on ``(n_runs, chunk_size)`` — never on
+  ``n_jobs`` — derives one :class:`numpy.random.SeedSequence` child per
+  chunk, hands the specs to the selected
+  :class:`~repro.parallel.protocol.ExecutorBackend`, and merges the parts
+  back in chunk order;
+* the backends (:mod:`repro.parallel.backends`) only decide *where* a
+  chunk runs: in the calling process (``serial``), on a local
+  :class:`~concurrent.futures.ProcessPoolExecutor` (``process``), or on a
+  TCP work queue serving local or remote ``repro-sim worker`` processes
+  (``tcp``).
+
+Because the chunk layout and the per-chunk seeds are independent of both
+the worker count and the backend, every ``(n_jobs, backend)`` combination
+produces **bit-identical** results for the same seed; the scheduler only
+changes *when* and *where* a chunk runs, never *what* it computes.  This
+holds through faults too: a transiently failed chunk is retried with its
+original seed (see the fault-handling notes in
+:mod:`repro.parallel.dispatch`).
+
+>>> from repro.parallel import ExecutionContext
+>>> ExecutionContext(n_jobs=4).n_jobs
+4
+"""
+
+from repro.parallel.chunks import (
+    PROFILE_ENV_VAR,
+    ChunkPayload,
+    ChunkTask,
+    ChunkTaskError,
+    chunk_sizes,
+)
+from repro.parallel.context import (
+    BACKEND_ENV_VAR,
+    DEFAULT_CHUNK_SIZE,
+    JOBS_ENV_VAR,
+    ExecutionContext,
+    default_backend,
+    get_default_execution,
+    parallel_execution,
+    resolve_execution,
+    set_default_execution,
+)
+from repro.parallel.dispatch import run_chunked
+from repro.parallel.protocol import (
+    BUILTIN_BACKENDS,
+    ChunkSpec,
+    ExecutorBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.parallel.streaming import RunSetAccumulator, StreamingRunSummary
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BUILTIN_BACKENDS",
+    "DEFAULT_CHUNK_SIZE",
+    "JOBS_ENV_VAR",
+    "PROFILE_ENV_VAR",
+    "ChunkPayload",
+    "ChunkSpec",
+    "ChunkTask",
+    "ChunkTaskError",
+    "ExecutionContext",
+    "ExecutorBackend",
+    "RunSetAccumulator",
+    "StreamingRunSummary",
+    "available_backends",
+    "chunk_sizes",
+    "default_backend",
+    "get_backend",
+    "get_default_execution",
+    "parallel_execution",
+    "register_backend",
+    "resolve_execution",
+    "run_chunked",
+    "set_default_execution",
+]

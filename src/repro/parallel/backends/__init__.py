@@ -1,0 +1,21 @@
+"""Built-in executor backends.
+
+Importing this package registers the built-ins — ``serial``
+(:class:`~repro.parallel.backends.serial.SerialBackend`), ``process``
+(:class:`~repro.parallel.backends.process.ProcessBackend`) and ``tcp``
+(:class:`~repro.parallel.backends.tcp.TcpBackend`) — with the
+:mod:`repro.parallel.protocol` registry.  :func:`~repro.parallel.protocol.get_backend`
+performs this import lazily on first use, so merely constructing an
+:class:`~repro.parallel.context.ExecutionContext` stays cheap.
+"""
+
+from repro.parallel.backends.process import ProcessBackend
+from repro.parallel.backends.serial import SerialBackend
+from repro.parallel.backends.tcp import TcpBackend
+from repro.parallel.protocol import register_backend
+
+__all__ = ["ProcessBackend", "SerialBackend", "TcpBackend"]
+
+register_backend(SerialBackend.name, SerialBackend)
+register_backend(ProcessBackend.name, ProcessBackend)
+register_backend(TcpBackend.name, TcpBackend)

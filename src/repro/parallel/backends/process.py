@@ -1,0 +1,240 @@
+"""Process-pool executor backend.
+
+Dispatches chunk specs to a :class:`~concurrent.futures.ProcessPoolExecutor`
+with per-chunk fault handling: transient infrastructure failures (a killed
+worker, a broken pipe, a chunk exceeding ``chunk_timeout``) retry only the
+affected chunks in a fresh pool — with their original seeds — while
+deterministic failures (an unpicklable task) and an exhausted retry budget
+end the round with the missing chunks unharvested, which the dispatcher
+degrades to serial execution under the ``"falling back to serial"``
+warning.  Task exceptions come back as values
+(:class:`~repro.parallel.chunks.ChunkTaskError`) and re-raise unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from pickle import PicklingError
+from typing import TYPE_CHECKING
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs
+from repro.parallel.chunks import ChunkTaskError, guarded_chunk
+from repro.parallel.protocol import (
+    ChunkSpec,
+    ExecutorBackend,
+    HarvestFn,
+    PermanentBackendError,
+)
+
+if TYPE_CHECKING:
+    from repro.parallel.chunks import ChunkTask
+    from repro.parallel.context import ExecutionContext
+
+__all__ = ["ProcessBackend", "PERMANENT_ERRORS", "TRANSIENT_ERRORS"]
+
+#: infrastructure failures worth retrying in a fresh pool: a crashed or
+#: killed worker (``BrokenProcessPool``), resource exhaustion / broken
+#: pipes (``OSError``), and futures cancelled by a prior teardown.
+TRANSIENT_ERRORS = (BrokenProcessPool, OSError, CancelledError)
+
+#: deterministic failures — retrying reproduces them.  ``AttributeError`` /
+#: ``TypeError`` / ``PicklingError`` are how pickle reports an unpicklable
+#: task or result; with :func:`~repro.parallel.chunks.guarded_chunk` in
+#: place no *task* exception can surface here.
+PERMANENT_ERRORS = (PicklingError, ImportError, AttributeError, TypeError)
+
+
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on hung or doomed workers."""
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+
+
+class ProcessBackend(ExecutorBackend):
+    """Execute chunks on a local ``ProcessPoolExecutor``, resiliently."""
+
+    name = "process"
+
+    def run(
+        self,
+        task: "ChunkTask",
+        specs: "list[ChunkSpec]",
+        context: "ExecutionContext",
+        harvest: HarvestFn,
+        parent_id: str | None = None,
+    ) -> dict:
+        stats = {"completed": 0, "retry_rounds": 0, "serial_fallback": False}
+        remaining = list(specs)
+        attempt = 0
+        while remaining:
+            try:
+                remaining, error = self._pool_round(
+                    task, remaining, context, harvest, stats, parent_id
+                )
+            except PermanentBackendError as exc:
+                cause = exc.cause
+                obs.event(
+                    "parallel.fallback",
+                    error=type(cause).__name__,
+                    n_chunks=len(remaining),
+                    n_jobs=context.n_jobs,
+                )
+                obs_metrics.inc("parallel.fallbacks")
+                warnings.warn(
+                    f"process pool unavailable ({type(cause).__name__}: {cause}); "
+                    "falling back to serial chunked execution",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+                stats["serial_fallback"] = True
+                return stats
+            if not remaining:
+                break
+            if attempt >= context.retries:
+                obs.event(
+                    "parallel.fallback",
+                    error=error or "retries_exhausted",
+                    n_chunks=len(remaining),
+                    n_jobs=context.n_jobs,
+                )
+                obs_metrics.inc("parallel.fallbacks")
+                warnings.warn(
+                    f"process pool unavailable ({error}; "
+                    f"{context.retries} retries exhausted); "
+                    "falling back to serial chunked execution",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+                stats["serial_fallback"] = True
+                return stats
+            attempt += 1
+            stats["retry_rounds"] = attempt
+            obs_metrics.inc("parallel.retries", len(remaining))
+            delay = context.retry_backoff * (2 ** (attempt - 1))
+            obs.event(
+                "parallel.retry",
+                attempt=attempt,
+                max_retries=context.retries,
+                chunks=[spec.index for spec in remaining],
+                error=error,
+                delay_s=round(delay, 3),
+            )
+            if delay > 0:
+                time.sleep(delay)
+        return stats
+
+    def _pool_round(
+        self,
+        task: "ChunkTask",
+        pending: "list[ChunkSpec]",
+        context: "ExecutionContext",
+        harvest: HarvestFn,
+        stats: dict,
+        parent_id: str | None = None,
+    ) -> tuple["list[ChunkSpec]", str | None]:
+        """One dispatch round over the *pending* chunk specs.
+
+        Harvests every chunk that completes; returns ``(failed, error)``
+        where *failed* lists the specs to retry and *error* names the last
+        transient failure.  Raises :class:`PermanentBackendError` when
+        retrying cannot help, or the original task exception when a chunk
+        task raised.
+
+        Futures are harvested sequentially in submission order with
+        ``chunk_timeout`` as the per-step budget; because the pool schedules
+        FIFO, completion tracks submission closely enough that the timeout
+        acts as a stall detector without penalising chunks that are merely
+        queued.
+        """
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(context.n_jobs, len(pending)))
+        except Exception as exc:  # e.g. no process support on the platform
+            raise PermanentBackendError(exc) from exc
+
+        failed: list[ChunkSpec] = []
+        error: str | None = None
+        hard_teardown = False
+        try:
+            submitted = time.monotonic()
+            futures = {
+                spec.index: pool.submit(
+                    guarded_chunk, task, spec.index, spec.n_chunks, spec.size,
+                    self.name, submitted, spec.seed, parent_id, context.n_jobs,
+                )
+                for spec in pending
+            }
+            stalled = False
+            for spec in pending:
+                fut = futures[spec.index]
+                if stalled and not fut.done():
+                    failed.append(spec)
+                    continue
+                try:
+                    out = fut.result(
+                        timeout=None if stalled else context.chunk_timeout
+                    )
+                except FuturesTimeoutError:
+                    # Stall: keep whatever already finished, retry the rest
+                    # in a fresh pool (the hung worker is terminated below).
+                    error = "timeout"
+                    stalled = True
+                    hard_teardown = True
+                    failed.append(spec)
+                    obs.event(
+                        "parallel.chunk_failed",
+                        chunk=spec.index, error="timeout", kind="infrastructure",
+                    )
+                    obs_metrics.inc(
+                        "parallel.chunk_failures", kind="infrastructure"
+                    )
+                    continue
+                except PERMANENT_ERRORS as exc:
+                    # Plain join below: the feeder thread fails the
+                    # remaining futures itself, and cancelling them instead
+                    # would race it (InvalidStateError) or deadlock the
+                    # join.
+                    raise PermanentBackendError(exc) from exc
+                except TRANSIENT_ERRORS as exc:
+                    error = type(exc).__name__
+                    failed.append(spec)
+                    obs.event(
+                        "parallel.chunk_failed",
+                        chunk=spec.index, error=type(exc).__name__,
+                        kind="infrastructure",
+                    )
+                    obs_metrics.inc(
+                        "parallel.chunk_failures", kind="infrastructure"
+                    )
+                    continue
+                if isinstance(out, ChunkTaskError):
+                    # Genuine simulation error: tear the pool down and
+                    # propagate unchanged, exactly as serial execution
+                    # would.
+                    obs.event(
+                        "parallel.chunk_failed",
+                        chunk=spec.index, error=type(out.exc).__name__,
+                        kind="task",
+                    )
+                    obs_metrics.inc("parallel.chunk_failures", kind="task")
+                    hard_teardown = True
+                    out.raise_with_note()
+                harvest(spec.index, out.runs, out.metrics)
+                stats["completed"] += 1
+        finally:
+            if hard_teardown:
+                _abandon_pool(pool)
+            else:
+                # Every pending future has been harvested (or recorded as
+                # failed) by now, so a plain join is safe and prompt.
+                pool.shutdown(wait=True)
+        return failed, error

@@ -1,0 +1,50 @@
+"""In-process executor backend.
+
+Runs every chunk in the calling process, in spec order, under the same
+``parallel.chunk`` span and metrics instrumentation the remote backends
+emit from their workers.  This is both a selectable backend
+(``ExecutionContext(backend="serial")`` — useful for debugging, tests and
+the CI conformance matrix) and the degradation target the dispatcher uses
+for chunks a remote backend could not complete.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from repro.parallel.chunks import run_traced_chunk
+from repro.parallel.protocol import ChunkSpec, ExecutorBackend, HarvestFn
+
+if TYPE_CHECKING:
+    from repro.parallel.chunks import ChunkTask
+    from repro.parallel.context import ExecutionContext
+
+__all__ = ["SerialBackend"]
+
+
+class SerialBackend(ExecutorBackend):
+    """Execute chunks one after another in the calling process."""
+
+    name = "serial"
+
+    def run(
+        self,
+        task: "ChunkTask",
+        specs: "list[ChunkSpec]",
+        context: "ExecutionContext",
+        harvest: HarvestFn,
+        parent_id: str | None = None,
+    ) -> dict:
+        submitted = time.monotonic()
+        completed = 0
+        for spec in specs:
+            runs = run_traced_chunk(
+                task, spec.index, spec.n_chunks, spec.size, self.name,
+                submitted, spec.seed, parent_id, context.n_jobs,
+            )
+            # In-process execution recorded its metrics in the live
+            # registry already — pass None so harvest does not re-merge.
+            harvest(spec.index, runs, None)
+            completed += 1
+        return {"completed": completed, "retry_rounds": 0, "serial_fallback": False}

@@ -1,0 +1,616 @@
+"""TCP work-queue executor backend.
+
+A coordinator in the dispatching process serves chunk specs over a socket
+to ``repro-sim worker --connect HOST:PORT`` processes — spawned locally by
+default, or started by hand on other machines.  The wire protocol is
+deliberately small:
+
+* every frame is a 4-byte big-endian length prefix followed by a pickled
+  ``(kind, data)`` tuple;
+* workers send ``("hello", info)`` once, then ``("heartbeat", None)``
+  every :data:`HEARTBEAT_INTERVAL` seconds while connected;
+* the coordinator sends ``("chunk", job)`` — the task, the chunk's
+  position in the layout and its original ``SeedSequence`` child — and the
+  worker answers ``("result", (index, payload_or_error))`` where the
+  payload carries the chunk ``RunSet`` plus the worker's metrics delta
+  (:class:`~repro.parallel.chunks.ChunkPayload`) and task exceptions come
+  back as values (:class:`~repro.parallel.chunks.ChunkTaskError`);
+* ``("shutdown", None)`` tells an idle worker to exit.
+
+Fault handling mirrors the process backend: a chunk whose worker misses
+heartbeats for :data:`LIVENESS_TIMEOUT` seconds, drops the connection, or
+exceeds ``context.chunk_timeout`` is requeued — with its original seed —
+up to ``context.retries`` times; afterwards it is left unharvested for the
+dispatcher's serial fallback.  Task exceptions re-raise unchanged.
+Harvest calls are serialised with a lock because results arrive on
+per-connection handler threads.
+
+Environment knobs:
+
+* ``REPRO_TCP_BIND`` — ``host:port`` to bind the coordinator on
+  (default ``127.0.0.1:0``, an ephemeral localhost port).  Bind a routable
+  address to serve workers on other machines.
+* ``REPRO_TCP_SPAWN`` — set to ``0`` to *not* spawn local workers and
+  wait for external ``repro-sim worker`` connections instead.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+import warnings
+from collections import deque
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.exceptions import ParameterError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs
+from repro.parallel.chunks import ChunkTaskError, guarded_chunk
+from repro.parallel.protocol import ChunkSpec, ExecutorBackend, HarvestFn
+
+if TYPE_CHECKING:
+    from repro.parallel.chunks import ChunkTask
+    from repro.parallel.context import ExecutionContext
+
+__all__ = [
+    "BIND_ENV_VAR",
+    "HEARTBEAT_INTERVAL",
+    "LIVENESS_TIMEOUT",
+    "SPAWN_ENV_VAR",
+    "TcpBackend",
+    "serve_worker",
+]
+
+#: seconds between worker heartbeats.
+HEARTBEAT_INTERVAL = 1.0
+
+#: a connected worker silent (no heartbeat, no result) for this long is
+#: declared dead and its in-flight chunk requeued.
+LIVENESS_TIMEOUT = 15.0
+
+#: ``host:port`` the coordinator binds; default ``127.0.0.1:0``.
+BIND_ENV_VAR = "REPRO_TCP_BIND"
+
+#: set to ``0`` to disable local worker spawning (external workers only).
+SPAWN_ENV_VAR = "REPRO_TCP_SPAWN"
+
+#: socket poll granularity for handler/acceptor loops, seconds.
+_POLL_S = 0.25
+
+_LEN = struct.Struct("!I")
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def send_msg(sock: socket.socket, message: tuple, lock: threading.Lock | None = None) -> None:
+    """Send one length-prefixed pickled frame (atomically, under *lock*)."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    frame = _LEN.pack(len(payload)) + payload
+    if lock is None:
+        sock.sendall(frame)
+    else:
+        with lock:
+            sock.sendall(frame)
+
+
+class _Abandon(Exception):
+    """Raised by a patience check to abandon the in-flight chunk."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+def _recv_exact(sock: socket.socket, n: int, patience=None) -> bytes:
+    """Read exactly *n* bytes, surviving socket timeouts between chunks.
+
+    *patience* is called on every socket timeout; it may raise
+    :class:`_Abandon` to give up.  Frame sync is preserved either way —
+    a partially read frame keeps accumulating across timeouts.
+    """
+    buf = bytearray()
+    while len(buf) < n:
+        try:
+            piece = sock.recv(n - len(buf))
+        except socket.timeout:
+            if patience is not None:
+                patience()
+            continue
+        if not piece:
+            raise ConnectionError("connection closed mid-frame")
+        buf.extend(piece)
+    return bytes(buf)
+
+
+def recv_msg(sock: socket.socket, patience=None) -> tuple:
+    """Receive one framed ``(kind, data)`` message."""
+    header = _recv_exact(sock, _LEN.size, patience)
+    (length,) = _LEN.unpack(header)
+    return pickle.loads(_recv_exact(sock, length, patience))
+
+
+def parse_address(raw: str) -> tuple[str, int]:
+    """Parse ``host:port`` (the port must be an integer in [0, 65535])."""
+    host, sep, port_s = raw.rpartition(":")
+    if not sep or not host:
+        raise ParameterError(f"expected HOST:PORT, got {raw!r}")
+    try:
+        port = int(port_s)
+    except ValueError:
+        raise ParameterError(f"port must be an integer, got {port_s!r}") from None
+    if not 0 <= port <= 65535:
+        raise ParameterError(f"port must be in [0, 65535], got {port}")
+    return host, port
+
+
+# ---------------------------------------------------------------------------
+# Worker
+# ---------------------------------------------------------------------------
+
+
+def serve_worker(host: str, port: int, *, max_chunks: int | None = None) -> int:
+    """Connect to a coordinator and execute chunks until told to stop.
+
+    Runs the ``repro-sim worker --connect HOST:PORT`` loop: receive a
+    chunk job, execute it under the standard chunk instrumentation
+    (:func:`~repro.parallel.chunks.guarded_chunk` — so task exceptions and
+    the worker's metrics delta travel back as values), send the result,
+    repeat.  A daemon thread heartbeats every :data:`HEARTBEAT_INTERVAL`
+    seconds so the coordinator can tell "slow chunk" from "dead worker".
+
+    *max_chunks* bounds how many chunks this worker executes before
+    disconnecting (used by the conformance suite to exercise mid-run
+    worker loss); ``None`` serves until shutdown.  Returns the number of
+    chunks executed.
+    """
+    sock = socket.create_connection((host, port), timeout=30.0)
+    sock.settimeout(None)
+    send_lock = threading.Lock()
+    stop = threading.Event()
+
+    def _heartbeat() -> None:
+        while not stop.wait(HEARTBEAT_INTERVAL):
+            try:
+                send_msg(sock, ("heartbeat", None), send_lock)
+            except OSError:
+                stop.set()
+                return
+
+    send_msg(sock, ("hello", {"pid": os.getpid(), "host": socket.gethostname()}))
+    beat = threading.Thread(target=_heartbeat, daemon=True)
+    beat.start()
+    executed = 0
+    try:
+        while not stop.is_set():
+            try:
+                kind, data = recv_msg(sock)
+            except (ConnectionError, OSError, EOFError, pickle.UnpicklingError):
+                break
+            if kind == "shutdown":
+                break
+            if kind != "chunk":
+                continue
+            out = guarded_chunk(
+                data["task"], data["index"], data["n_chunks"], data["size"],
+                "tcp", data["submitted"], data["seed"], data["parent_id"],
+                data["n_jobs"],
+            )
+            try:
+                send_msg(sock, ("result", (data["index"], out)), send_lock)
+            except OSError:
+                break
+            executed += 1
+            if max_chunks is not None and executed >= max_chunks:
+                break
+    finally:
+        stop.set()
+        try:
+            sock.close()
+        except OSError:
+            pass
+    return executed
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+
+class _Coordinator:
+    """Shared queue state for one dispatch; handler threads drain it."""
+
+    def __init__(
+        self,
+        task: "ChunkTask",
+        specs: "list[ChunkSpec]",
+        context: "ExecutionContext",
+        harvest: HarvestFn,
+        parent_id: str | None,
+    ) -> None:
+        self.task = task
+        self.context = context
+        self.harvest = harvest
+        self.parent_id = parent_id
+        self.total = len(specs)
+        self.pending: deque[ChunkSpec] = deque(specs)
+        self.attempts = {spec.index: 0 for spec in specs}
+        self.done: set[int] = set()
+        self.exhausted: set[int] = set()
+        self.task_error: ChunkTaskError | None = None
+        self.last_error: str | None = None
+        self.cond = threading.Condition()
+        self.harvest_lock = threading.Lock()
+        self.stop = threading.Event()
+        self.active_connections = 0
+        self.ever_connected = False
+        self.stats = {"completed": 0, "retry_rounds": 0, "serial_fallback": False}
+
+    # -- queue ---------------------------------------------------------
+    def _settled(self) -> bool:
+        return (
+            self.task_error is not None
+            or len(self.done) + len(self.exhausted) >= self.total
+        )
+
+    def claim(self) -> ChunkSpec | None:
+        """Take the next pending spec, blocking while chunks are in flight
+        (a failed one may be requeued); None once the batch is settled."""
+        with self.cond:
+            while True:
+                if self._settled() or self.stop.is_set():
+                    return None
+                if self.pending:
+                    spec = self.pending.popleft()
+                    self.attempts[spec.index] += 1
+                    return spec
+                self.cond.wait(_POLL_S)
+
+    def complete(self, spec: ChunkSpec, runs, metrics: dict | None) -> None:
+        with self.cond:
+            if spec.index in self.done:
+                return
+            self.done.add(spec.index)
+            self.stats["completed"] += 1
+            self.cond.notify_all()
+        with self.harvest_lock:
+            self.harvest(spec.index, runs, metrics)
+
+    def fail(self, spec: ChunkSpec, error: str) -> None:
+        """Requeue a failed dispatch (original seed) or exhaust its budget."""
+        obs.event(
+            "parallel.chunk_failed",
+            chunk=spec.index, error=error, kind="infrastructure",
+        )
+        obs_metrics.inc("parallel.chunk_failures", kind="infrastructure")
+        with self.cond:
+            if spec.index in self.done:
+                return
+            self.last_error = error
+            attempt = self.attempts[spec.index]
+            if attempt > self.context.retries:
+                self.exhausted.add(spec.index)
+            else:
+                self.pending.append(spec)
+                self.stats["retry_rounds"] = max(
+                    self.stats["retry_rounds"], attempt
+                )
+                obs_metrics.inc("parallel.retries")
+                obs.event(
+                    "parallel.retry",
+                    attempt=attempt,
+                    max_retries=self.context.retries,
+                    chunks=[spec.index],
+                    error=error,
+                )
+            self.cond.notify_all()
+
+    def abort(self, error: ChunkTaskError) -> None:
+        with self.cond:
+            if self.task_error is None:
+                self.task_error = error
+            self.stop.set()
+            self.cond.notify_all()
+
+    # -- connection handling -------------------------------------------
+    def handle(self, conn: socket.socket) -> None:
+        conn.settimeout(_POLL_S)
+        with self.cond:
+            self.active_connections += 1
+            self.ever_connected = True
+            self.cond.notify_all()
+        try:
+            self._serve_connection(conn)
+        finally:
+            with self.cond:
+                self.active_connections -= 1
+                self.cond.notify_all()
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            kind, _ = recv_msg(conn, patience=self._hello_patience(time.monotonic()))
+        except (_Abandon, ConnectionError, OSError, EOFError, pickle.UnpicklingError):
+            return
+        if kind != "hello":
+            return
+        while True:
+            spec = self.claim()
+            if spec is None:
+                try:
+                    send_msg(conn, ("shutdown", None))
+                except OSError:
+                    pass
+                return
+            job = {
+                "task": self.task,
+                "index": spec.index,
+                "n_chunks": spec.n_chunks,
+                "size": spec.size,
+                "seed": spec.seed,
+                "submitted": time.monotonic(),
+                "parent_id": self.parent_id,
+                "n_jobs": self.context.n_jobs,
+            }
+            try:
+                send_msg(conn, ("chunk", job))
+            except OSError:
+                self.fail(spec, "send_failed")
+                return
+            if not self._await_result(conn, spec):
+                return
+
+    def _hello_patience(self, started: float):
+        def check() -> None:
+            if self.stop.is_set() or time.monotonic() - started > LIVENESS_TIMEOUT:
+                raise _Abandon("no_hello")
+        return check
+
+    def _await_result(self, conn: socket.socket, spec: ChunkSpec) -> bool:
+        """Wait for *spec*'s result on *conn*; False ends the connection."""
+        dispatched = time.monotonic()
+        deadline = (
+            dispatched + self.context.chunk_timeout
+            if self.context.chunk_timeout is not None
+            else None
+        )
+        last_seen = dispatched
+
+        def patience() -> None:
+            now = time.monotonic()
+            if deadline is not None and now > deadline:
+                raise _Abandon("timeout")
+            if now - last_seen > LIVENESS_TIMEOUT:
+                raise _Abandon("worker_lost")
+            if self.stop.is_set():
+                raise _Abandon("shutdown")
+
+        while True:
+            try:
+                kind, data = recv_msg(conn, patience)
+            except _Abandon as stop:
+                if stop.reason != "shutdown":
+                    self.fail(spec, stop.reason)
+                return False
+            except (ConnectionError, OSError, EOFError, pickle.UnpicklingError):
+                self.fail(spec, "connection_lost")
+                return False
+            last_seen = time.monotonic()
+            if kind == "heartbeat":
+                # A heartbeat proves liveness but does not extend the
+                # chunk's execution deadline.
+                if deadline is not None and last_seen > deadline:
+                    self.fail(spec, "timeout")
+                    return False
+                continue
+            if kind != "result":
+                continue
+            index, out = data
+            if index != spec.index:
+                self.fail(spec, "protocol_error")
+                return False
+            if isinstance(out, ChunkTaskError):
+                obs.event(
+                    "parallel.chunk_failed",
+                    chunk=spec.index, error=type(out.exc).__name__, kind="task",
+                )
+                obs_metrics.inc("parallel.chunk_failures", kind="task")
+                self.abort(out)
+                return False
+            self.complete(spec, out.runs, out.metrics)
+            return True
+
+
+def _bind_address() -> tuple[str, int]:
+    raw = os.environ.get(BIND_ENV_VAR, "").strip()
+    if raw:
+        return parse_address(raw)
+    return ("127.0.0.1", 0)
+
+
+def _spawn_enabled() -> bool:
+    return os.environ.get(SPAWN_ENV_VAR, "").strip() not in ("0", "false", "no")
+
+
+def _spawn_local_workers(host: str, port: int, count: int) -> list:
+    """Start *count* local ``repro-sim worker`` subprocesses.
+
+    The coordinator's environment is inherited (so ``REPRO_TRACE`` /
+    ``REPRO_PROFILE`` keep working across the process boundary) with the
+    coordinator's ``sys.path`` exported as ``PYTHONPATH``, so a freshly
+    spawned interpreter unpickles chunk tasks by reference exactly like a
+    forked process-pool worker would — including tasks defined in modules
+    that are importable only through runtime path entries (a test module,
+    a script directory).
+    """
+    import repro
+
+    env = os.environ.copy()
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    paths = dict.fromkeys([src_root] + [p for p in sys.path if p])
+    env["PYTHONPATH"] = os.pathsep.join(
+        list(paths) + env.get("PYTHONPATH", "").split(os.pathsep)
+    ).rstrip(os.pathsep)
+    connect = f"{host if host not in ('0.0.0.0', '::') else '127.0.0.1'}:{port}"
+    procs = []
+    for _ in range(count):
+        procs.append(
+            subprocess.Popen(
+                [sys.executable, "-m", "repro", "worker", "--connect", connect],
+                env=env,
+            )
+        )
+    return procs
+
+
+class TcpBackend(ExecutorBackend):
+    """Coordinate chunk execution over a TCP work queue."""
+
+    name = "tcp"
+
+    def run(
+        self,
+        task: "ChunkTask",
+        specs: "list[ChunkSpec]",
+        context: "ExecutionContext",
+        harvest: HarvestFn,
+        parent_id: str | None = None,
+    ) -> dict:
+        coord = _Coordinator(task, specs, context, harvest, parent_id)
+        # Pre-flight: an unpicklable task can never cross the socket;
+        # degrade the whole batch immediately instead of per-chunk churn.
+        try:
+            pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            self._fallback(coord, f"{type(exc).__name__}: {exc}", len(specs), context)
+            return coord.stats
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        procs: list = []
+        try:
+            try:
+                listener.bind(_bind_address())
+                listener.listen()
+            except OSError as exc:
+                self._fallback(
+                    coord, f"bind failed ({exc})", len(specs), context
+                )
+                return coord.stats
+            listener.settimeout(_POLL_S)
+            host, port = listener.getsockname()[:2]
+
+            acceptor = threading.Thread(
+                target=self._accept_loop, args=(listener, coord), daemon=True
+            )
+            acceptor.start()
+            spawn = _spawn_enabled()
+            if spawn:
+                procs = _spawn_local_workers(
+                    host, port, min(context.n_jobs, len(specs))
+                )
+            self._wait(coord, procs, spawn)
+        finally:
+            coord.stop.set()
+            with coord.cond:
+                coord.cond.notify_all()
+            try:
+                listener.close()
+            except OSError:
+                pass
+            self._reap(procs)
+
+        if coord.task_error is not None:
+            coord.task_error.raise_with_note()
+        missing = coord.total - len(coord.done)
+        if missing:
+            reason = coord.last_error or "workers unavailable"
+            self._fallback(coord, reason, missing, context, exhausted=True)
+        return coord.stats
+
+    # -- helpers -------------------------------------------------------
+    def _accept_loop(self, listener: socket.socket, coord: _Coordinator) -> None:
+        while not coord.stop.is_set():
+            try:
+                conn, _addr = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(
+                target=coord.handle, args=(conn,), daemon=True
+            ).start()
+
+    def _wait(self, coord: _Coordinator, procs: list, spawn: bool) -> None:
+        started = time.monotonic()
+        while True:
+            with coord.cond:
+                if coord._settled():
+                    return
+                coord.cond.wait(_POLL_S)
+                ever = coord.ever_connected
+                active = coord.active_connections
+            if active > 0:
+                continue
+            if spawn:
+                if procs and all(p.poll() is not None for p in procs):
+                    # Every local worker exited and nothing is connected:
+                    # no executor will ever pick up the remaining chunks.
+                    coord.last_error = coord.last_error or "workers_exited"
+                    return
+            elif not ever and time.monotonic() - started > LIVENESS_TIMEOUT:
+                coord.last_error = "no workers connected"
+                return
+
+    def _reap(self, procs: list) -> None:
+        # The batch is settled by now: anything still running is either an
+        # idle worker draining its shutdown message or one stuck in an
+        # abandoned (timed-out) chunk — a short grace, then terminate.
+        deadline = time.monotonic() + 1.5
+        for proc in procs:
+            try:
+                proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+
+    def _fallback(
+        self,
+        coord: _Coordinator,
+        reason: str,
+        n_chunks: int,
+        context: "ExecutionContext",
+        exhausted: bool = False,
+    ) -> None:
+        obs.event(
+            "parallel.fallback",
+            error=reason,
+            n_chunks=n_chunks,
+            n_jobs=context.n_jobs,
+        )
+        obs_metrics.inc("parallel.fallbacks")
+        detail = (
+            f"{reason}; {context.retries} retries exhausted" if exhausted else reason
+        )
+        warnings.warn(
+            f"tcp work queue unavailable ({detail}); "
+            "falling back to serial chunked execution",
+            RuntimeWarning,
+            stacklevel=5,
+        )
+        coord.stats["serial_fallback"] = True

@@ -1,0 +1,228 @@
+"""Chunk layout and per-chunk execution, shared by every backend.
+
+A *chunk task* is ``task(chunk_runs, chunk_seed) -> RunSet`` — a picklable
+pure function of its arguments.  This module provides:
+
+* :func:`chunk_sizes` — the deterministic layout (a pure function of
+  ``(n_runs, chunk_size)``, never of the worker count);
+* :func:`run_traced_chunk` — execute one chunk under a ``parallel.chunk``
+  observability span and always-on chunk metrics;
+* :func:`guarded_chunk` — the worker-side wrapper every remote backend
+  dispatches: it bundles the chunk result with the metrics **delta** the
+  chunk recorded in the executing process (:class:`ChunkPayload`) and
+  returns task exceptions *as values* (:class:`ChunkTaskError`), so any
+  exception that escapes the transport layer is an infrastructure failure
+  by construction.
+
+These functions are module-level (hence picklable) on purpose: the process
+backend ships them through a ``ProcessPoolExecutor`` and the tcp backend
+through a socket, and both need the observability events emitted *inside*
+the worker so cross-process span parentage and pid attribution work.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs
+from repro.util.validation import check_positive_int
+
+if TYPE_CHECKING:  # import at call time only: runner.py imports this package
+    from repro.simulation.results import RunSet
+
+__all__ = [
+    "PROFILE_ENV_VAR",
+    "ChunkPayload",
+    "ChunkTask",
+    "ChunkTaskError",
+    "chunk_metrics",
+    "chunk_sizes",
+    "describe_task",
+    "guarded_chunk",
+    "run_traced_chunk",
+]
+
+#: opt-in per-chunk profiling: when this names a directory, every chunk
+#: task runs under :mod:`cProfile` and dumps ``chunk<idx>-pid<pid>.pstats``
+#: there (workers inherit the variable through the environment).  Load the
+#: files with :mod:`pstats` to see where sweep time actually goes.
+PROFILE_ENV_VAR = "REPRO_PROFILE"
+
+#: a per-chunk simulation task: ``(n_runs, seed) -> RunSet``.  Must be
+#: picklable (module-level function or :func:`functools.partial` thereof)
+#: for the process and tcp backends.
+ChunkTask = Callable[[int, np.random.SeedSequence], "RunSet"]
+
+
+def chunk_sizes(n_runs: int, chunk_size: int) -> list[int]:
+    """Split *n_runs* replications into near-equal chunks of <= *chunk_size*.
+
+    The layout is a pure function of its arguments: ``ceil(n/c)`` chunks,
+    sizes differing by at most one, larger chunks first.
+
+    >>> chunk_sizes(10, 4)
+    [4, 3, 3]
+    >>> chunk_sizes(3, 16)
+    [3]
+    """
+    n_runs = check_positive_int("n_runs", n_runs)
+    chunk_size = check_positive_int("chunk_size", chunk_size)
+    n_chunks = -(-n_runs // chunk_size)
+    base, extra = divmod(n_runs, n_chunks)
+    return [base + (1 if i < extra else 0) for i in range(n_chunks)]
+
+
+def describe_task(task: ChunkTask) -> str:
+    """Qualified name of a chunk task (unwrapping ``functools.partial``)."""
+    from functools import partial
+
+    fn = task.func if isinstance(task, partial) else task
+    module = getattr(fn, "__module__", "")
+    name = getattr(fn, "__qualname__", repr(fn))
+    return f"{module}.{name}" if module else name
+
+
+def _run_chunk_task(
+    task: ChunkTask, index: int, size: int, chunk_seed: np.random.SeedSequence
+) -> "RunSet":
+    """Invoke the chunk task, under cProfile when ``REPRO_PROFILE`` is set."""
+    profile_dir = os.environ.get(PROFILE_ENV_VAR, "").strip()
+    if not profile_dir:
+        return task(size, chunk_seed)
+    import cProfile
+
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(task, size, chunk_seed)
+    finally:
+        try:
+            os.makedirs(profile_dir, exist_ok=True)
+            profiler.dump_stats(
+                os.path.join(profile_dir, f"chunk{index:04d}-pid{os.getpid()}.pstats")
+            )
+        except OSError:  # profiling must never take the run down
+            pass
+
+
+def run_traced_chunk(
+    task: ChunkTask,
+    index: int,
+    n_chunks: int,
+    size: int,
+    backend: str,
+    submitted_mono: float,
+    chunk_seed: np.random.SeedSequence,
+    parent_id: str | None = None,
+    n_jobs: int = 1,
+) -> "RunSet":
+    """Run one chunk under a ``parallel.chunk`` span.
+
+    Module-level (hence picklable) so the remote backends execute it — and
+    emit its events — *inside the worker*: the recorded ``pid`` is the
+    worker's, and ``queue_s`` measures submit-to-start latency
+    (``CLOCK_MONOTONIC`` is system-wide on Linux, so the parent's submit
+    stamp is comparable).  *parent_id* is the parent process's
+    ``parallel.dispatch`` span id, so worker chunk spans nest under it in
+    the reconstructed timeline.  Chunk count/size/latency metrics are
+    recorded in the executing process's registry either way (shipped back
+    as a delta by :func:`guarded_chunk` on the remote backends); when
+    tracing is off that is the only instrumentation cost.
+    """
+    start = time.monotonic()
+    if not obs.enabled():
+        out = _run_chunk_task(task, index, size, chunk_seed)
+        chunk_metrics(size, time.monotonic() - start)
+        return out
+    queue_s = max(0.0, start - submitted_mono)
+    with obs.span(
+        "parallel.chunk",
+        parent_id=parent_id,
+        backend=backend,
+        chunk=index,
+        n_chunks=n_chunks,
+        size=size,
+        n_jobs=n_jobs,
+        queue_s=round(queue_s, 6),
+    ):
+        out = _run_chunk_task(task, index, size, chunk_seed)
+    chunk_metrics(size, time.monotonic() - start)
+    return out
+
+
+def chunk_metrics(size: int, wall_s: float) -> None:
+    obs_metrics.inc("parallel.chunks")
+    obs_metrics.inc("parallel.chunk_runs", size)
+    obs_metrics.observe("parallel.chunk_seconds", wall_s)
+
+
+class ChunkPayload:
+    """A completed chunk plus the metrics delta it produced in the worker.
+
+    Shipping the delta *with* the result is what makes metric merging
+    retry-safe: an attempt that dies or times out never returns a payload,
+    so its increments are never merged, and the successful attempt's delta
+    is merged exactly once when it is harvested.
+    """
+
+    __slots__ = ("runs", "metrics")
+
+    def __init__(self, runs: "RunSet", metrics: dict) -> None:
+        self.runs = runs
+        self.metrics = metrics
+
+
+class ChunkTaskError:
+    """A task exception, shipped back from the worker *as a value*.
+
+    :func:`guarded_chunk` catches everything the chunk task raises and
+    returns it wrapped in this container, so any exception that escapes
+    the transport (``Future.result()``, a socket read) is an
+    infrastructure failure *by construction* — no guessing whether a
+    ``TypeError`` came from pickling or from the simulation.
+    """
+
+    __slots__ = ("exc", "tb")
+
+    def __init__(self, exc: BaseException, tb: str) -> None:
+        self.exc = exc
+        self.tb = tb
+
+    def raise_with_note(self) -> None:
+        """Re-raise the task exception, annotated with the worker traceback."""
+        exc = self.exc
+        if self.tb and hasattr(exc, "add_note"):
+            exc.add_note(f"(worker traceback)\n{self.tb}")
+        raise exc
+
+
+def guarded_chunk(
+    task: ChunkTask,
+    index: int,
+    n_chunks: int,
+    size: int,
+    backend: str,
+    submitted_mono: float,
+    chunk_seed: np.random.SeedSequence,
+    parent_id: str | None = None,
+    n_jobs: int = 1,
+) -> "ChunkPayload | ChunkTaskError":
+    """:func:`run_traced_chunk` in the worker: returns the chunk result
+    bundled with the metrics delta the chunk recorded there, and returns
+    task exceptions as values instead of raising."""
+    before = obs_metrics.snapshot()
+    try:
+        runs = run_traced_chunk(
+            task, index, n_chunks, size, backend, submitted_mono, chunk_seed,
+            parent_id, n_jobs,
+        )
+    except Exception as exc:
+        return ChunkTaskError(exc, traceback.format_exc())
+    return ChunkPayload(
+        runs, obs_metrics.snapshot_delta(before, obs_metrics.snapshot())
+    )

@@ -1,0 +1,268 @@
+"""Execution contexts: how a batch of replications is executed.
+
+An :class:`ExecutionContext` is a frozen value object describing the
+executor backend (``serial`` / ``process`` / ``tcp`` — see
+:mod:`repro.parallel.backends`), the worker count, the chunk size, the
+per-chunk fault-handling budget and whether completed chunks are folded
+into a streaming accumulator instead of being materialized
+(:mod:`repro.parallel.streaming`).
+
+Resolution precedence for entry points (:func:`resolve_execution`): an
+explicit ``n_jobs`` argument (an int or a full context), then the
+process-wide default (:func:`set_default_execution` /
+:func:`parallel_execution`), then the ``REPRO_JOBS`` environment variable.
+The backend of a context constructed without an explicit ``backend=``
+defaults from ``REPRO_BACKEND`` (else ``"process"``), so exporting
+``REPRO_BACKEND=tcp`` retargets every dispatch without code changes —
+this is what the CI backend-conformance matrix flips.
+
+Every field is validated eagerly at construction
+(:class:`~repro.exceptions.ParameterError`), matching the ``n_runs`` /
+``n_jobs`` style of :mod:`repro.util.validation`: a zero ``chunk_timeout``
+or a negative ``retry_backoff`` fails here, not as a hang or a busy-loop
+deep inside a sweep.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import ParameterError
+from repro.parallel.protocol import available_backends
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "JOBS_ENV_VAR",
+    "BACKEND_ENV_VAR",
+    "ExecutionContext",
+    "default_backend",
+    "get_default_execution",
+    "parallel_execution",
+    "resolve_execution",
+    "set_default_execution",
+]
+
+#: runs per dispatched task when :attr:`ExecutionContext.chunk_size` is None.
+#: Fixed (never derived from ``n_jobs``) so that the chunk layout — and
+#: therefore the per-chunk seed fan-out — is identical for every worker
+#: count.
+DEFAULT_CHUNK_SIZE = 16
+
+#: environment variable consulted by :func:`resolve_execution`.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: environment variable supplying the default executor backend for any
+#: context constructed without an explicit ``backend=``.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+def default_backend() -> str:
+    """The backend used when a context does not pin one explicitly.
+
+    ``REPRO_BACKEND`` when set (validated against the registered backends),
+    else ``"process"``.
+    """
+    raw = os.environ.get(BACKEND_ENV_VAR, "").strip()
+    if not raw:
+        return "process"
+    if raw not in available_backends():
+        raise ParameterError(
+            f"{BACKEND_ENV_VAR} must be one of {available_backends()}, got {raw!r}"
+        )
+    return raw
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """How a batch of independent Monte-Carlo replications is executed.
+
+    Attributes
+    ----------
+    n_jobs:
+        Worker processes to fan chunks out to.  ``1`` keeps execution in
+        the calling process (but still uses the chunked deterministic seed
+        path); ``-1`` resolves to ``os.cpu_count()``.
+    backend:
+        Executor backend name: ``"process"`` dispatches to a
+        :class:`~concurrent.futures.ProcessPoolExecutor`, ``"tcp"`` to a
+        socket work queue serving local or remote ``repro-sim worker``
+        processes, ``"serial"`` forces in-process execution while keeping
+        the chunked layout.  ``None`` (the default) resolves from the
+        ``REPRO_BACKEND`` environment variable, else ``"process"``.
+        Whatever the backend, the result is bit-identical: the scheduler
+        only changes *when* a chunk runs, never *what* it computes.
+    chunk_size:
+        Replications per dispatched task; ``None`` uses
+        :data:`DEFAULT_CHUNK_SIZE`.  The chunk layout is a pure function of
+        ``(n_runs, chunk_size)``, so changing ``n_jobs`` never changes
+        results — but changing ``chunk_size`` does reshuffle the per-chunk
+        seed fan-out.
+    retries:
+        How many times a transiently failed chunk (crashed worker, broken
+        pool, dropped connection, timeout) is re-dispatched before
+        degrading to serial execution.  ``0`` disables retries.  Retries
+        never change results: a retried chunk reuses its original seed.
+    chunk_timeout:
+        Optional stall detector, in seconds: a chunk whose result has not
+        been harvested within this budget is treated as hung, its executor
+        torn down (process pool) or its connection dropped (tcp), and the
+        chunk retried.  ``None`` (default) waits forever.  Must be
+        strictly positive when set — ``0`` would declare every chunk hung.
+    retry_backoff:
+        Base delay in seconds before the first retry round; doubles each
+        round.  Must be >= 0.
+    streaming:
+        When true, :func:`repro.parallel.run_chunked` folds completed
+        chunks into an online :class:`~repro.parallel.streaming.RunSetAccumulator`
+        (Welford moments, in chunk order) and returns a
+        :class:`~repro.parallel.streaming.StreamingRunSummary` instead of
+        materializing every chunk ``RunSet`` before the merge.
+    """
+
+    n_jobs: int = 1
+    backend: str | None = None
+    chunk_size: int | None = None
+    retries: int = 2
+    chunk_timeout: float | None = None
+    retry_backoff: float = 0.25
+    streaming: bool = False
+
+    def __post_init__(self) -> None:
+        if self.backend is None:
+            object.__setattr__(self, "backend", default_backend())
+        if self.backend not in available_backends():
+            raise ParameterError(
+                f"backend must be one of {available_backends()}, got {self.backend!r}"
+            )
+        if self.n_jobs == -1:
+            object.__setattr__(self, "n_jobs", os.cpu_count() or 1)
+        else:
+            check_positive_int("n_jobs", self.n_jobs)
+        if self.chunk_size is not None:
+            check_positive_int("chunk_size", self.chunk_size)
+        if not isinstance(self.retries, int) or isinstance(self.retries, bool) or self.retries < 0:
+            raise ParameterError(
+                f"retries must be a non-negative integer, got {self.retries!r}"
+            )
+        if self.chunk_timeout is not None:
+            check_positive("chunk_timeout", self.chunk_timeout)
+        check_positive("retry_backoff", self.retry_backoff, allow_zero=True)
+        if not isinstance(self.streaming, bool):
+            raise ParameterError(
+                f"streaming must be a bool, got {self.streaming!r}"
+            )
+
+    @property
+    def effective_chunk_size(self) -> int:
+        return self.chunk_size if self.chunk_size is not None else DEFAULT_CHUNK_SIZE
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default context
+# ---------------------------------------------------------------------------
+
+_default_context: ExecutionContext | None = None
+
+
+def set_default_execution(context: ExecutionContext | None) -> ExecutionContext | None:
+    """Install *context* as the process-wide default; return the previous one.
+
+    ``None`` restores the legacy behaviour (single-batch serial execution,
+    unless ``REPRO_JOBS`` is set).
+    """
+    global _default_context
+    if context is not None and not isinstance(context, ExecutionContext):
+        raise ParameterError(
+            f"expected an ExecutionContext or None, got {type(context).__name__}"
+        )
+    previous = _default_context
+    _default_context = context
+    return previous
+
+
+def get_default_execution() -> ExecutionContext | None:
+    """The context installed via :func:`set_default_execution`, if any."""
+    return _default_context
+
+
+@contextmanager
+def parallel_execution(
+    n_jobs: int,
+    *,
+    backend: str | None = None,
+    chunk_size: int | None = None,
+    retries: int = 2,
+    chunk_timeout: float | None = None,
+    retry_backoff: float = 0.25,
+    streaming: bool = False,
+) -> Iterator[ExecutionContext]:
+    """Scoped default context: every simulation inside the block uses it.
+
+    >>> from repro.parallel import parallel_execution
+    >>> with parallel_execution(2, backend="serial") as ctx:
+    ...     ctx.n_jobs
+    2
+    """
+    context = ExecutionContext(
+        n_jobs=n_jobs,
+        backend=backend,
+        chunk_size=chunk_size,
+        retries=retries,
+        chunk_timeout=chunk_timeout,
+        retry_backoff=retry_backoff,
+        streaming=streaming,
+    )
+    previous = set_default_execution(context)
+    try:
+        yield context
+    finally:
+        set_default_execution(previous)
+
+
+def _env_jobs() -> int | None:
+    raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ParameterError(
+            f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
+        ) from None
+    if jobs != -1:
+        check_positive_int(JOBS_ENV_VAR, jobs)
+    return jobs
+
+
+def resolve_execution(
+    n_jobs: int | ExecutionContext | None = None,
+) -> ExecutionContext | None:
+    """Resolve the effective context for a simulation entry point.
+
+    ``n_jobs`` may be a worker count *or* a full :class:`ExecutionContext`
+    (every ``simulate_*`` entry point forwards its ``n_jobs`` keyword here,
+    so callers can pass e.g. ``ExecutionContext(n_jobs=2, backend="serial")``
+    to pin the backend and chunk size as well).
+
+    Precedence: explicit ``n_jobs`` argument, then the process-wide default
+    (:func:`set_default_execution`), then the ``REPRO_JOBS`` environment
+    variable.  Returns ``None`` when nothing requests chunked execution —
+    callers then take their legacy single-batch path, which preserves
+    historical seed streams.
+    """
+    if n_jobs is not None:
+        if isinstance(n_jobs, ExecutionContext):
+            return n_jobs
+        if n_jobs != -1:
+            check_positive_int("n_jobs", n_jobs)
+        return ExecutionContext(n_jobs=n_jobs)
+    if _default_context is not None:
+        return _default_context
+    env = _env_jobs()
+    if env is not None:
+        return ExecutionContext(n_jobs=env)
+    return None

@@ -1,0 +1,220 @@
+"""Backend-agnostic chunked dispatch.
+
+:func:`run_chunked` owns everything *semantic* about a chunked batch — the
+deterministic chunk layout, the per-chunk ``SeedSequence`` fan-out, cache
+lookup/stores, harvest-time metric merging, streaming accumulation and the
+final merge — and delegates everything *mechanical* (where and when a chunk
+runs) to an :class:`~repro.parallel.protocol.ExecutorBackend`.  Because the
+backend never touches seeds or result ordering, ``serial``, ``process`` and
+``tcp`` execution are bit-identical by construction.
+
+Fault handling: chunk dispatch is *per-chunk resilient*.  A genuine
+exception raised inside a chunk task is returned from the worker as a
+value and re-raised unchanged — exactly as it would serially.
+Infrastructure failures (a killed worker, a dropped connection, a hung
+chunk exceeding :attr:`ExecutionContext.chunk_timeout`) retry only the
+affected chunks, up to :attr:`ExecutionContext.retries` times; each
+retried chunk reuses its original seed, so the merged result stays
+bit-identical to an undisturbed run.  Chunks the backend could not
+complete (permanent failure, exhausted retries) degrade gracefully to
+serial in-process execution.  ``parallel.chunk_failed`` /
+``parallel.retry`` / ``parallel.fallback`` observability events trace
+every decision.
+
+When a result cache is active (:mod:`repro.cache`) and the seed is
+reproducible, completed chunks are stored as they finish and skipped on
+re-execution, making an interrupted chunked batch resumable.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.cache import cacheable_seed, resolve_cache, runset_key
+from repro.obs import manifest as _obs_manifest
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs
+from repro.parallel.chunks import ChunkTask, chunk_sizes, describe_task
+from repro.parallel.context import ExecutionContext
+from repro.parallel.protocol import ChunkSpec, get_backend
+from repro.parallel.streaming import RunSetAccumulator, StreamingRunSummary
+from repro.util.rng import SeedLike, as_seed_sequence
+
+if TYPE_CHECKING:  # import at call time only: runner.py imports this package
+    from repro.simulation.results import RunSet
+
+__all__ = ["run_chunked"]
+
+
+def run_chunked(
+    task: ChunkTask,
+    *,
+    n_runs: int,
+    seed: SeedLike = None,
+    context: ExecutionContext | None = None,
+) -> "RunSet | StreamingRunSummary":
+    """Execute ``task`` over deterministic chunks and merge the results.
+
+    ``task(chunk_runs, chunk_seed)`` must return a
+    :class:`~repro.simulation.results.RunSet` of ``chunk_runs`` runs; it is
+    called once per chunk with an independent
+    :class:`~numpy.random.SeedSequence` child of *seed*.  Results are merged
+    in chunk order, so the returned ``RunSet`` is identical for every
+    ``n_jobs`` / backend combination.  With
+    ``context.streaming=True`` completed chunks are folded into a
+    :class:`~repro.parallel.streaming.RunSetAccumulator` as they arrive and
+    a :class:`~repro.parallel.streaming.StreamingRunSummary` is returned
+    instead — aggregate statistics without the O(n_runs) vectors.
+
+    Observability: when tracing is on (:mod:`repro.obs`) every chunk emits a
+    ``parallel.chunk`` span pair — from inside the worker for the remote
+    backends — labelled with backend, chunk index, chunk size and
+    queue-to-start latency; the merged result always carries a
+    :class:`~repro.obs.RunManifest` under ``meta["manifest"]`` recording
+    seed entropy, chunk layout and per-stage timings.
+
+    Resilience: see the module docstring — transiently failed chunks are
+    retried per-chunk (same seed), task exceptions propagate immediately,
+    and completed chunks are served from / stored into the ambient result
+    cache (:mod:`repro.cache`) when one is active.
+    """
+    from repro.simulation.results import RunSet
+
+    t_start = time.monotonic()
+    if context is None:
+        context = ExecutionContext()
+    sizes = chunk_sizes(n_runs, context.effective_chunk_size)
+    root_seed = as_seed_sequence(seed)
+    seeds = root_seed.spawn(len(sizes))
+    specs = [
+        ChunkSpec(index=i, n_chunks=len(sizes), size=size, seed=seeds[i])
+        for i, size in enumerate(sizes)
+    ]
+
+    streaming = context.streaming
+    acc = RunSetAccumulator(len(sizes)) if streaming else None
+    parts: list["RunSet | None"] = [None] * len(sizes)
+    done = [False] * len(sizes)
+
+    # Resume support: serve completed chunks from the ambient cache.
+    cache = resolve_cache() if cacheable_seed(seed) else None
+    keys: list[str] | None = None
+    cache_hits = 0
+    if cache is not None:
+        task_label = f"chunk:{describe_task(task)}"
+        root_prov = _obs_manifest.seed_provenance(root_seed)
+        keys = [
+            runset_key(
+                kind="chunk",
+                task=task,
+                layout={
+                    "n_runs": n_runs,
+                    "chunk_size": context.effective_chunk_size,
+                    "n_chunks": len(sizes),
+                    "index": i,
+                    "size": size,
+                },
+                seed=root_prov,
+            )
+            for i, size in enumerate(sizes)
+        ]
+
+    def _accept(index: int, runs: "RunSet") -> None:
+        if streaming:
+            acc.add(index, runs)
+        else:
+            parts[index] = runs
+        done[index] = True
+
+    if keys is not None:
+        for i, key in enumerate(keys):
+            hit = cache.get(key, label=task_label)
+            if hit is not None:
+                _accept(i, hit)
+                cache_hits += 1
+
+    def _store(index: int, chunk: "RunSet") -> None:
+        if cache is not None and keys is not None:
+            cache.put(keys[index], chunk, label=f"chunk:{describe_task(task)}")
+
+    def harvest(index: int, runs: "RunSet", metrics: dict | None) -> None:
+        # The backend contract (repro.parallel.protocol): called exactly
+        # once per completed chunk; ``metrics`` is the worker's snapshot
+        # delta, or None when the chunk ran in this process (its metrics
+        # are already in the live registry — merging would double-count).
+        _accept(index, runs)
+        _store(index, runs)
+        if metrics is not None:
+            obs_metrics.merge(metrics)
+
+    t_setup = time.monotonic() - t_start
+    if cache_hits:
+        obs_metrics.inc("parallel.cache_hit_chunks", cache_hits)
+
+    missing = [spec for spec in specs if not done[spec.index]]
+    use_remote = (
+        context.backend != "serial" and context.n_jobs > 1 and len(missing) > 1
+    )
+    t_dispatch_start = time.monotonic()
+    backend_stats: dict = {}
+    # The dispatch span's id is handed to every chunk (through the backend's
+    # pickled task arguments), so worker-emitted chunk spans carry it as
+    # parent_id and the analyzer can nest the cross-process timeline.
+    with obs.span(
+        "parallel.dispatch",
+        backend=context.backend,
+        n_chunks=len(sizes),
+        n_missing=len(missing),
+        n_jobs=context.n_jobs,
+        streaming=streaming,
+    ) as dispatch_id:
+        if use_remote:
+            backend_stats = get_backend(context.backend).run(
+                task, missing, context, harvest, dispatch_id
+            )
+        used_remote = backend_stats.get("completed", 0) > 0
+        still_missing = [spec for spec in specs if not done[spec.index]]
+        if still_missing:
+            get_backend("serial").run(
+                task, still_missing, context, harvest, dispatch_id
+            )
+    t_dispatch = time.monotonic() - t_dispatch_start
+
+    t_merge_start = time.monotonic()
+    if streaming:
+        merged: "RunSet | StreamingRunSummary" = acc.result()
+    else:
+        merged = RunSet.concatenate(parts)
+    t_merge = time.monotonic() - t_merge_start
+    execution = {
+        "backend": context.backend if used_remote else "serial",
+        "n_jobs": context.n_jobs,
+        "n_chunks": len(sizes),
+        "chunk_size": context.effective_chunk_size,
+    }
+    if streaming:
+        execution["streaming"] = True
+        execution["peak_buffered_chunks"] = acc.peak_buffered
+    if cache_hits:
+        execution["cache_hits"] = cache_hits
+    if backend_stats.get("retry_rounds"):
+        execution["retry_rounds"] = backend_stats["retry_rounds"]
+    if backend_stats.get("serial_fallback") or (use_remote and still_missing):
+        execution["serial_fallback_chunks"] = len(still_missing)
+    merged.meta.update(execution=dict(execution))
+    merged.meta["manifest"] = _obs_manifest.RunManifest(
+        label=merged.label,
+        seed=_obs_manifest.seed_provenance(root_seed),
+        config={"task": describe_task(task), "n_runs": n_runs},
+        execution=execution,
+        timings={
+            "setup_s": t_setup,
+            "dispatch_s": t_dispatch,
+            "merge_s": t_merge,
+            "total_s": time.monotonic() - t_start,
+        },
+    ).to_dict()
+    return merged

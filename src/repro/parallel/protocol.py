@@ -1,0 +1,158 @@
+"""The executor protocol: what any dispatch backend must implement.
+
+:func:`repro.parallel.run_chunked` is backend-agnostic.  It computes a
+deterministic chunk layout, derives one :class:`~numpy.random.SeedSequence`
+child per chunk, and hands the resulting :class:`ChunkSpec` list to an
+:class:`ExecutorBackend`.  The backend's only job is to get every spec
+executed — somewhere, somehow — and report each completed chunk through
+the harvest callback.  Everything semantic (seeding, cache, streaming
+accumulation, metric merging, the final concatenation) stays in the
+dispatcher, which is why serial, process-pool and TCP work-queue execution
+are bit-identical by construction.
+
+Backend contract
+----------------
+``run(task, specs, context, harvest, parent_id)`` must:
+
+* call ``harvest(spec.index, runset, metrics_delta)`` **exactly once** per
+  completed chunk, from the coordinating thread's perspective (the
+  dispatcher's harvest is not thread-safe unless the backend serialises
+  calls, which :class:`repro.parallel.backends.tcp.TcpBackend` does with a
+  lock); ``metrics_delta`` is the worker's
+  :func:`repro.obs.metrics.snapshot_delta` for cross-process execution, or
+  ``None`` when the chunk ran in-process (its metrics are already in the
+  live registry);
+* execute a retried chunk with its **original** ``spec.seed`` — retries
+  must never change results;
+* re-raise genuine task exceptions unchanged (they are *simulation* bugs,
+  not infrastructure faults — see
+  :class:`repro.parallel.chunks.ChunkTaskError`);
+* on unrecoverable infrastructure failure or an exhausted retry budget,
+  return normally with the affected chunks unharvested — the dispatcher
+  degrades them to serial execution, preserving bit-identity;
+* return a stats dict with at least ``completed`` (chunks harvested by
+  this backend), ``retry_rounds`` and ``serial_fallback``.
+
+Backends register by name (:func:`register_backend`); the built-ins —
+``serial``, ``process``, ``tcp`` — live in :mod:`repro.parallel.backends`
+and are registered on first use.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+if TYPE_CHECKING:
+    from repro.parallel.chunks import ChunkTask
+    from repro.parallel.context import ExecutionContext
+    from repro.simulation.results import RunSet
+
+__all__ = [
+    "BUILTIN_BACKENDS",
+    "ChunkSpec",
+    "ExecutorBackend",
+    "HarvestFn",
+    "PermanentBackendError",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]
+
+#: the backends shipped with :mod:`repro.parallel.backends`, in the order
+#: they appear in docs and CLI choices.
+BUILTIN_BACKENDS = ("serial", "process", "tcp")
+
+
+@dataclass(frozen=True)
+class ChunkSpec:
+    """One deterministic unit of dispatch.
+
+    The spec is a pure function of ``(n_runs, chunk_size, seed)`` — it
+    carries everything a worker anywhere needs to execute the chunk
+    reproducibly: its position in the layout and its own
+    :class:`~numpy.random.SeedSequence` child.  Specs are picklable, so
+    the same object crosses a ``ProcessPoolExecutor`` boundary or a TCP
+    socket unchanged.
+    """
+
+    index: int
+    n_chunks: int
+    size: int
+    seed: np.random.SeedSequence
+
+
+#: ``harvest(index, runset, metrics_delta_or_None)`` — the dispatcher's
+#: completion callback; see the module docstring for the contract.
+HarvestFn = Callable[[int, "RunSet", Optional[dict]], None]
+
+
+class PermanentBackendError(Exception):
+    """Infrastructure failure that retrying cannot fix (e.g. an
+    unpicklable task).  Backends raise it to make the dispatcher degrade
+    the *whole* remaining batch to serial execution immediately."""
+
+    def __init__(self, cause: BaseException) -> None:
+        super().__init__(str(cause))
+        self.cause = cause
+
+
+class ExecutorBackend(ABC):
+    """Abstract executor backend; see the module docstring for the contract."""
+
+    #: registry name; also recorded in ``RunSet.meta["execution"]["backend"]``.
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(
+        self,
+        task: "ChunkTask",
+        specs: "list[ChunkSpec]",
+        context: "ExecutionContext",
+        harvest: HarvestFn,
+        parent_id: str | None = None,
+    ) -> dict:
+        """Execute *specs* and harvest completions; return a stats dict."""
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_registry: dict[str, Callable[[], ExecutorBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], ExecutorBackend]) -> None:
+    """Register *factory* under *name* (overwrites an existing entry)."""
+    if not name or not isinstance(name, str):
+        raise ParameterError(f"backend name must be a non-empty string, got {name!r}")
+    _registry[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Every selectable backend name: built-ins plus registered extras."""
+    extras = tuple(sorted(set(_registry) - set(BUILTIN_BACKENDS)))
+    return BUILTIN_BACKENDS + extras
+
+
+def get_backend(name: str) -> ExecutorBackend:
+    """Instantiate the backend registered under *name*.
+
+    The built-in backends register themselves on first use (importing
+    :mod:`repro.parallel.backends` here keeps module import cheap and
+    avoids an import cycle with :mod:`repro.parallel.context`).
+    """
+    if name in BUILTIN_BACKENDS and name not in _registry:
+        import repro.parallel.backends  # noqa: F401  (registers built-ins)
+    try:
+        factory = _registry[name]
+    except KeyError:
+        raise ParameterError(
+            f"no executor backend named {name!r}; available: {available_backends()}"
+        ) from None
+    return factory()

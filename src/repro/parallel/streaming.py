@@ -1,0 +1,217 @@
+"""Streaming harvest: fold chunks into online summary statistics.
+
+Materializing every chunk :class:`~repro.simulation.results.RunSet` before
+the final :meth:`~repro.simulation.results.RunSet.concatenate` is wasteful
+when only aggregate statistics are consumed — which is what every
+time-to-solution sweep (fig9/fig10) does.  With
+``ExecutionContext(streaming=True)``, :func:`repro.parallel.run_chunked`
+feeds each completed chunk to a :class:`RunSetAccumulator` and discards
+it, keeping memory at O(chunk) instead of O(n_runs), and returns a
+:class:`StreamingRunSummary` exposing the same aggregate API a ``RunSet``
+does (``mean_overhead``, ``overhead_summary()``, I/O pressure means...).
+
+Determinism invariant
+---------------------
+Chunks may *complete* in any order (workers race, retries reorder, cache
+hits arrive first), but they are always **folded in chunk-index order**:
+out-of-order arrivals are buffered until their predecessors land.  Welford
+updates are therefore applied in one fixed order, so the streamed moments
+are bit-identical across backends and worker counts — the same contract
+the materialized path gets from order-preserving concatenation.  The peak
+number of buffered chunks is recorded
+(:attr:`RunSetAccumulator.peak_buffered`) so the memory claim is
+observable.
+
+Accuracy invariant: the streamed mean/variance agree with the
+materialized ``RunSet`` statistics to float64 round-off (Welford vs.
+NumPy pairwise summation differ only in the last ulps; the conformance
+suite pins ``rtol=1e-12``), and run counts, crash counts and merged
+metadata agree exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.util.stats import StreamingMoments, moments_confidence_halfwidth
+
+if TYPE_CHECKING:
+    from repro.simulation.results import OverheadSummary, RunSet
+
+__all__ = ["RunSetAccumulator", "StreamingRunSummary"]
+
+#: the per-run derived vectors the accumulator tracks moments for.
+_MOMENT_FIELDS = (
+    "overhead",
+    "total_time",
+    "useful_time",
+    "checkpoint_frequency",
+    "io_time_fraction",
+    "n_failures",
+    "n_fatal",
+    "n_checkpoints",
+)
+
+
+@dataclass
+class StreamingRunSummary:
+    """Aggregate statistics of a chunked batch, without the per-run vectors.
+
+    Quacks like a :class:`~repro.simulation.results.RunSet` for every
+    aggregate consumer (sweep drivers, ``overhead_summary``, I/O pressure
+    reports); per-run vector attributes are deliberately absent — if a
+    caller needs them, it should not request streaming harvest.
+    """
+
+    label: str = ""
+    meta: dict = field(default_factory=dict)
+    moments: dict = field(default_factory=dict)
+    n_crashed: int = 0
+    n_multi_crashed: int = 0
+
+    # -- aggregate API mirroring RunSet --------------------------------
+    @property
+    def n_runs(self) -> int:
+        m = self.moments.get("overhead")
+        return int(m.count) if m is not None else 0
+
+    @property
+    def mean_overhead(self) -> float:
+        return float(self.moments["overhead"].mean)
+
+    def overhead_summary(self, level: float = 0.95) -> "OverheadSummary":
+        """Mean overhead with a confidence interval (Welford moments)."""
+        from repro.simulation.results import OverheadSummary
+
+        m = self.moments["overhead"]
+        return OverheadSummary(
+            label=self.label,
+            mean=float(m.mean),
+            halfwidth=moments_confidence_halfwidth(m, level=level),
+            n_runs=int(m.count),
+        )
+
+    @property
+    def mean_total_time(self) -> float:
+        return float(self.moments["total_time"].mean)
+
+    @property
+    def mean_checkpoint_frequency(self) -> float:
+        """Checkpoints per second of wall-clock time (I/O pressure proxy)."""
+        return float(self.moments["checkpoint_frequency"].mean)
+
+    @property
+    def mean_io_time_fraction(self) -> float:
+        """Fraction of wall-clock time spent doing checkpoint/recovery I/O."""
+        return float(self.moments["io_time_fraction"].mean)
+
+    @property
+    def mean_n_failures(self) -> float:
+        return float(self.moments["n_failures"].mean)
+
+    @property
+    def mean_n_fatal(self) -> float:
+        return float(self.moments["n_fatal"].mean)
+
+    @property
+    def multi_failure_rollback_fraction(self) -> float:
+        """Among runs that crashed at least once, the fraction that crashed
+        two or more times (paper Section 7.2)."""
+        if self.n_crashed == 0:
+            return 0.0
+        return self.n_multi_crashed / self.n_crashed
+
+
+class RunSetAccumulator:
+    """Online (Welford) aggregation of chunk RunSets, in chunk order.
+
+    ``add(index, runs)`` may be called in any completion order; chunks are
+    buffered until every lower index has been folded, so the update order
+    — and therefore every accumulated float — is a pure function of the
+    chunk contents, not of scheduling.  ``meta`` merges exactly like
+    :meth:`RunSet.concatenate`: first occurrence of a key wins, in chunk
+    order, and ``n_parts`` records the number of chunks folded.
+    """
+
+    def __init__(self, n_chunks: int, label: str | None = None) -> None:
+        from repro.util.validation import check_positive_int
+
+        self.n_chunks = check_positive_int("n_chunks", n_chunks)
+        self._next = 0
+        self._pending: dict[int, RunSet] = {}
+        self._moments = {name: StreamingMoments() for name in _MOMENT_FIELDS}
+        self._meta: dict = {}
+        self._label = label
+        self._n_crashed = 0
+        self._n_multi = 0
+        self._folded = 0
+        #: high-water mark of chunks held back waiting for a predecessor —
+        #: the observable cost of ordered folding (0 = chunks arrived in
+        #: order; bounded by n_chunks - 1 in the worst case).
+        self.peak_buffered = 0
+
+    def __len__(self) -> int:
+        return self._folded
+
+    @property
+    def is_complete(self) -> bool:
+        return self._folded == self.n_chunks
+
+    def add(self, index: int, runs: "RunSet") -> None:
+        """Fold chunk *index* (buffering it if predecessors are missing)."""
+        if not 0 <= index < self.n_chunks:
+            raise ParameterError(
+                f"chunk index {index} outside layout of {self.n_chunks} chunks"
+            )
+        if index < self._next or index in self._pending:
+            raise ParameterError(f"chunk {index} was already accumulated")
+        self._pending[index] = runs
+        self.peak_buffered = max(self.peak_buffered, len(self._pending))
+        while self._next in self._pending:
+            self._fold(self._pending.pop(self._next))
+            self._next += 1
+
+    def _fold(self, runs: "RunSet") -> None:
+        if self._label is None:
+            self._label = runs.label
+        for key, value in runs.meta.items():
+            self._meta.setdefault(key, value)
+        m = self._moments
+        total = np.asarray(runs.total_time, dtype=float)
+        m["overhead"].push(runs.overheads)
+        m["total_time"].push(total)
+        m["useful_time"].push(runs.useful_time)
+        m["checkpoint_frequency"].push(runs.n_checkpoints / total)
+        m["io_time_fraction"].push((runs.checkpoint_time + runs.recovery_time) / total)
+        m["n_failures"].push(runs.n_failures)
+        m["n_fatal"].push(runs.n_fatal)
+        m["n_checkpoints"].push(runs.n_checkpoints)
+        self._n_crashed += int(np.count_nonzero(runs.n_fatal > 0))
+        self._n_multi += int(np.count_nonzero(runs.n_fatal >= 2))
+        self._folded += 1
+
+    def result(self) -> StreamingRunSummary:
+        """The summary of everything folded so far.
+
+        Raises if any chunk is still buffered out of order (an incomplete
+        *prefix* is fine — that is what adaptive sampling will consume —
+        but a gap means some ``add`` went missing).
+        """
+        if self._pending:
+            raise ParameterError(
+                f"cannot summarise: chunk(s) {sorted(self._pending)} are buffered "
+                f"waiting for chunk {self._next}"
+            )
+        meta = dict(self._meta)
+        meta["n_parts"] = self._folded
+        return StreamingRunSummary(
+            label=self._label or "",
+            meta=meta,
+            moments=dict(self._moments),
+            n_crashed=self._n_crashed,
+            n_multi_crashed=self._n_multi,
+        )

@@ -19,6 +19,7 @@ __all__ = [
     "StreamingMoments",
     "confidence_interval",
     "mean_confidence_halfwidth",
+    "moments_confidence_halfwidth",
     "weighted_mean",
 ]
 
@@ -115,6 +116,19 @@ def mean_confidence_halfwidth(samples, level: float = 0.95) -> float:
         return 0.0
     sem = float(arr.std(ddof=1)) / math.sqrt(arr.size)
     return _z_value(level) * sem
+
+
+def moments_confidence_halfwidth(moments: StreamingMoments, level: float = 0.95) -> float:
+    """Half-width of the normal CI for the mean of a Welford accumulator.
+
+    Identical to :func:`mean_confidence_halfwidth` evaluated on the samples
+    the accumulator has seen (same unbiased variance, same z quantile), but
+    computable without materializing them — this is what streaming-harvest
+    summaries (:mod:`repro.parallel.streaming`) report.
+    """
+    if moments.count < 2:
+        return 0.0
+    return _z_value(level) * moments.sem
 
 
 def weighted_mean(values, weights) -> float:

@@ -1,0 +1,258 @@
+"""Backend-conformance suite: every executor backend, one contract.
+
+:class:`BackendConformanceSuite` pins the executor-protocol contract
+(:mod:`repro.parallel.protocol`) and is subclassed once per built-in
+backend, so ``serial``, ``process`` and ``tcp`` all answer to the same
+assertions:
+
+* bit-identical results at every worker count (1, 2, 4), merged in chunk
+  order with chunk metadata intact;
+* per-chunk seed provenance: chunk *i* runs with ``root.spawn(n)[i]``,
+  reproducible by hand;
+* a crashed worker retries only the affected chunk with its **original**
+  seed, so the merged result matches an undisturbed serial run bit for bit;
+* worker-recorded metric deltas merge into the parent registry exactly
+  once, faults or not;
+* task exceptions propagate unchanged (no fallback warning);
+* streaming harvest reproduces the materialized statistics, and the
+  streamed moments are bit-identical across backends.
+
+The CI backend-conformance matrix additionally runs the engine-agreement
+and fault-injection suites with ``REPRO_BACKEND`` flipped per leg; this
+file is the backend-targeted core of that matrix and runs on every leg.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.parallel import ExecutionContext, chunk_sizes, run_chunked
+from repro.simulation import RunSet
+from repro.util.rng import as_seed_sequence
+
+KILL_FILE_VAR = "REPRO_TEST_CONF_KILL_FILE"
+
+pytestmark = pytest.mark.filterwarnings("error::RuntimeWarning")
+
+_VECTORS = (
+    "total_time", "useful_time", "checkpoint_time", "recovery_time",
+    "wasted_time", "n_failures", "n_fatal", "n_checkpoints",
+    "n_proc_restarts", "max_degraded",
+)
+
+
+def _assert_identical(a: RunSet, b: RunSet) -> None:
+    assert a.n_runs == b.n_runs
+    for name in _VECTORS:
+        np.testing.assert_array_equal(
+            getattr(a, name), getattr(b, name), err_msg=name, strict=True
+        )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    """Isolate each test's metrics; restore whatever the session had."""
+    saved = obs_metrics.snapshot()
+    obs_metrics.reset()
+    yield
+    obs_metrics.reset()
+    obs_metrics.merge(saved)
+
+
+# ---------------------------------------------------------------------------
+# Module-level chunk tasks (picklable, hence shippable to any backend)
+# ---------------------------------------------------------------------------
+
+
+def _stub_task(n_runs: int, seed) -> RunSet:
+    """Deterministic pure function of (n_runs, seed)."""
+    rng = np.random.default_rng(seed)
+    vals = rng.random(n_runs)
+    ints = rng.integers(0, 5, n_runs)
+    return RunSet(*([vals] * 5 + [ints] * 5), label="stub", meta={"flavor": "conf"})
+
+
+def _metric_task(n_runs: int, seed) -> RunSet:
+    obs_metrics.inc("conf.chunks")
+    obs_metrics.inc("conf.runs", n_runs)
+    return _stub_task(n_runs, seed)
+
+
+def _kill_chunk1_task(n_runs: int, seed) -> RunSet:
+    """SIGKILL the worker running chunk 1, exactly once (sentinel file)."""
+    if tuple(seed.spawn_key)[-1:] == (1,):
+        flag = os.environ.get(KILL_FILE_VAR)
+        if flag and os.path.exists(flag):
+            try:
+                os.remove(flag)
+            except FileNotFoundError:
+                pass
+            else:
+                time.sleep(0.5)
+                os.kill(os.getpid(), signal.SIGKILL)
+    return _stub_task(n_runs, seed)
+
+
+def _boom_task(n_runs: int, seed) -> RunSet:
+    raise ValueError("conformance boom")
+
+
+# ---------------------------------------------------------------------------
+# The suite
+# ---------------------------------------------------------------------------
+
+
+class BackendConformanceSuite:
+    """Contract assertions shared by every executor backend."""
+
+    backend: str
+    #: serial execution cannot survive a SIGKILL of "its worker" (that IS
+    #: the test process), so the fault legs only run on remote backends.
+    supports_faults = True
+
+    def ctx(self, n_jobs: int, **kw) -> ExecutionContext:
+        kw.setdefault("chunk_size", 2)
+        return ExecutionContext(n_jobs=n_jobs, backend=self.backend, **kw)
+
+    # -- determinism ---------------------------------------------------
+    def test_bit_identity_across_worker_counts(self):
+        baseline = run_chunked(
+            _stub_task, n_runs=10, seed=42,
+            context=ExecutionContext(n_jobs=1, backend="serial", chunk_size=2),
+        )
+        for n_jobs in (1, 2, 4):
+            rs = run_chunked(
+                _stub_task, n_runs=10, seed=42, context=self.ctx(n_jobs)
+            )
+            _assert_identical(baseline, rs)
+            assert rs.label == "stub"
+            assert rs.meta["flavor"] == "conf"
+            assert rs.meta["n_parts"] == 5
+
+    def test_chunk_seed_provenance(self):
+        # chunk i must run with root.spawn(n_chunks)[i]: rebuild by hand.
+        sizes = chunk_sizes(10, 2)
+        seeds = as_seed_sequence(42).spawn(len(sizes))
+        expected = RunSet.concatenate(
+            [_stub_task(size, seeds[i]) for i, size in enumerate(sizes)]
+        )
+        rs = run_chunked(_stub_task, n_runs=10, seed=42, context=self.ctx(2))
+        _assert_identical(expected, rs)
+
+    # -- metrics -------------------------------------------------------
+    def test_metric_deltas_merge_exactly_once(self):
+        before = obs_metrics.snapshot()
+        run_chunked(_metric_task, n_runs=10, seed=1, context=self.ctx(2))
+        delta = obs_metrics.snapshot_delta(before, obs_metrics.snapshot())
+        assert delta["counters"]["conf.chunks"] == 5.0
+        assert delta["counters"]["conf.runs"] == 10.0
+
+    # -- fault handling ------------------------------------------------
+    def test_killed_worker_retries_with_original_seed(self, tmp_path, monkeypatch):
+        if not self.supports_faults:
+            pytest.skip("fault injection would kill the test process")
+        kill_file = tmp_path / "kill-once"
+        kill_file.touch()
+        monkeypatch.setenv(KILL_FILE_VAR, str(kill_file))
+        rs = run_chunked(
+            _kill_chunk1_task, n_runs=8, seed=11, context=self.ctx(2, retries=2)
+        )
+        assert not kill_file.exists()  # the crash really happened
+        assert rs.meta["execution"]["backend"] == self.backend
+        assert rs.meta["execution"]["retry_rounds"] >= 1
+
+        monkeypatch.delenv(KILL_FILE_VAR)
+        baseline = run_chunked(
+            _kill_chunk1_task, n_runs=8, seed=11,
+            context=ExecutionContext(n_jobs=1, backend="serial", chunk_size=2),
+        )
+        _assert_identical(rs, baseline)
+
+    def test_metric_deltas_exactly_once_under_faults(self, tmp_path, monkeypatch):
+        if not self.supports_faults:
+            pytest.skip("fault injection would kill the test process")
+        kill_file = tmp_path / "kill-once"
+        kill_file.touch()
+        monkeypatch.setenv(KILL_FILE_VAR, str(kill_file))
+
+        before = obs_metrics.snapshot()
+        run_chunked(
+            _kill_metric_entry, n_runs=8, seed=11, context=self.ctx(2, retries=2)
+        )
+        delta = obs_metrics.snapshot_delta(before, obs_metrics.snapshot())
+        # the doomed attempt recorded its counters *before* dying; those
+        # increments died with the worker and must not leak into the merge
+        assert delta["counters"]["conf.chunks"] == 4.0
+        assert delta["counters"]["conf.runs"] == 8.0
+
+    # -- error propagation ---------------------------------------------
+    def test_task_exception_propagates_unchanged(self):
+        with pytest.raises(ValueError, match="conformance boom"):
+            run_chunked(_boom_task, n_runs=8, seed=3, context=self.ctx(2))
+
+    # -- streaming -----------------------------------------------------
+    def test_streaming_matches_materialized(self):
+        rs = run_chunked(_stub_task, n_runs=20, seed=9, context=self.ctx(2))
+        summary = run_chunked(
+            _stub_task, n_runs=20, seed=9, context=self.ctx(2, streaming=True)
+        )
+        assert summary.n_runs == rs.n_runs
+        np.testing.assert_allclose(
+            summary.mean_overhead, rs.overheads.mean(), rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            summary.mean_total_time, rs.total_time.mean(), rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            summary.overhead_summary().halfwidth,
+            rs.overhead_summary().halfwidth,
+            rtol=1e-12,
+        )
+        volatile = {"execution", "manifest"}
+        assert {k: v for k, v in summary.meta.items() if k not in volatile} == {
+            k: v for k, v in rs.meta.items() if k not in volatile
+        }
+
+    def test_streaming_bit_identical_to_serial_streaming(self):
+        # ordered folding: the streamed Welford state is a pure function of
+        # the chunk contents, so every backend produces the same bits.
+        serial = run_chunked(
+            _stub_task, n_runs=20, seed=9,
+            context=ExecutionContext(
+                n_jobs=1, backend="serial", chunk_size=2, streaming=True
+            ),
+        )
+        mine = run_chunked(
+            _stub_task, n_runs=20, seed=9, context=self.ctx(4, streaming=True)
+        )
+        for name, m in serial.moments.items():
+            other = mine.moments[name]
+            assert (m.count, m.mean, m.variance) == (
+                other.count, other.mean, other.variance
+            ), name
+
+
+def _kill_metric_entry(n_runs: int, seed) -> RunSet:
+    """Metric-recording task that also kills chunk 1's worker once."""
+    obs_metrics.inc("conf.chunks")
+    obs_metrics.inc("conf.runs", n_runs)
+    return _kill_chunk1_task(n_runs, seed)
+
+
+class TestSerialConformance(BackendConformanceSuite):
+    backend = "serial"
+    supports_faults = False
+
+
+class TestProcessConformance(BackendConformanceSuite):
+    backend = "process"
+
+
+class TestTcpConformance(BackendConformanceSuite):
+    backend = "tcp"

@@ -1,0 +1,122 @@
+"""Regression tests for :class:`repro.parallel.ExecutionContext` validation.
+
+Every field is checked eagerly at construction — a zero ``chunk_timeout``
+or a negative ``retry_backoff`` must fail here, not as a hang or a
+busy-loop deep inside a sweep — and backend selection (explicit,
+``REPRO_BACKEND``, registry extras) is validated the same way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.parallel import (
+    BACKEND_ENV_VAR,
+    BUILTIN_BACKENDS,
+    ExecutionContext,
+    available_backends,
+    default_backend,
+    get_backend,
+    register_backend,
+    resolve_execution,
+)
+from repro.parallel.backends import ProcessBackend, SerialBackend, TcpBackend
+from repro.parallel.protocol import _registry
+
+
+class TestFieldValidation:
+    def test_chunk_timeout_zero_rejected(self):
+        # 0 would declare every chunk hung on arrival
+        with pytest.raises(ParameterError):
+            ExecutionContext(chunk_timeout=0)
+        with pytest.raises(ParameterError):
+            ExecutionContext(chunk_timeout=0.0)
+        with pytest.raises(ParameterError):
+            ExecutionContext(chunk_timeout=-1.0)
+        assert ExecutionContext(chunk_timeout=0.5).chunk_timeout == 0.5
+        assert ExecutionContext().chunk_timeout is None
+
+    def test_retry_backoff_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            ExecutionContext(retry_backoff=-0.1)
+        with pytest.raises(ParameterError):
+            ExecutionContext(retry_backoff=-1)
+        # zero backoff is a legitimate "retry immediately"
+        assert ExecutionContext(retry_backoff=0.0).retry_backoff == 0.0
+
+    def test_retries_validation(self):
+        for bad in (-1, 1.5, True, "2"):
+            with pytest.raises(ParameterError):
+                ExecutionContext(retries=bad)
+        assert ExecutionContext(retries=0).retries == 0
+
+    def test_streaming_must_be_bool(self):
+        for bad in (1, 0, "yes", None):
+            with pytest.raises(ParameterError):
+                ExecutionContext(streaming=bad)
+        assert ExecutionContext(streaming=True).streaming is True
+
+
+class TestBackendSelection:
+    def test_builtins_selectable(self):
+        for name in BUILTIN_BACKENDS:
+            assert ExecutionContext(backend=name).backend == name
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ParameterError, match="backend"):
+            ExecutionContext(backend="threads")
+        with pytest.raises(ParameterError):
+            ExecutionContext(backend="")
+
+    def test_default_backend_from_env(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert default_backend() == "process"
+        assert ExecutionContext().backend == "process"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "tcp")
+        assert ExecutionContext().backend == "tcp"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "serial")
+        assert ExecutionContext().backend == "serial"
+        # an explicit backend always wins over the environment
+        assert ExecutionContext(backend="process").backend == "process"
+
+    def test_invalid_env_backend_rejected(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "carrier-pigeon")
+        with pytest.raises(ParameterError, match=BACKEND_ENV_VAR):
+            ExecutionContext()
+        with pytest.raises(ParameterError):
+            resolve_execution(2)
+
+    def test_env_backend_reaches_resolved_contexts(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "serial")
+        ctx = resolve_execution(3)
+        assert ctx is not None and ctx.backend == "serial"
+
+
+class TestRegistry:
+    def test_builtin_instances(self):
+        assert isinstance(get_backend("serial"), SerialBackend)
+        assert isinstance(get_backend("process"), ProcessBackend)
+        assert isinstance(get_backend("tcp"), TcpBackend)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ParameterError, match="no executor backend"):
+            get_backend("smoke-signals")
+
+    def test_custom_backend_registers_and_validates(self):
+        class NullBackend(SerialBackend):
+            name = "null-test"
+
+        register_backend("null-test", NullBackend)
+        try:
+            assert "null-test" in available_backends()
+            assert ExecutionContext(backend="null-test").backend == "null-test"
+            assert isinstance(get_backend("null-test"), NullBackend)
+        finally:
+            _registry.pop("null-test", None)
+
+    def test_register_rejects_bad_names(self):
+        with pytest.raises(ParameterError):
+            register_backend("", SerialBackend)
+        with pytest.raises(ParameterError):
+            register_backend(None, SerialBackend)

@@ -1,0 +1,182 @@
+"""TCP work-queue backend internals (:mod:`repro.parallel.backends.tcp`).
+
+Covers the wire protocol (length-prefixed pickled frames), address
+parsing, and coordinator behaviour with *external* workers
+(``REPRO_TCP_SPAWN=0``): chunks are served to whoever connects, a worker
+disconnecting mid-run hands its remaining share to the survivors, and the
+merged result stays bit-identical throughout.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.parallel import ExecutionContext, run_chunked
+from repro.parallel.backends.tcp import (
+    BIND_ENV_VAR,
+    SPAWN_ENV_VAR,
+    parse_address,
+    recv_msg,
+    send_msg,
+    serve_worker,
+)
+from repro.simulation import RunSet
+
+pytestmark = pytest.mark.filterwarnings("error::RuntimeWarning")
+
+
+def _stub_task(n_runs: int, seed) -> RunSet:
+    rng = np.random.default_rng(seed)
+    vals = rng.random(n_runs)
+    ints = rng.integers(0, 5, n_runs)
+    return RunSet(*([vals] * 5 + [ints] * 5), label="tcp-stub")
+
+
+class TestFraming:
+    def test_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            messages = [
+                ("hello", {"pid": 1234}),
+                ("heartbeat", None),
+                ("chunk", {"index": 3, "seed": np.random.SeedSequence(7)}),
+                ("result", (3, list(range(1000)))),
+            ]
+            for msg in messages:
+                send_msg(a, msg)
+            for msg in messages:
+                kind, data = recv_msg(b)
+                assert kind == msg[0]
+                if kind == "chunk":
+                    assert data["index"] == 3
+                    assert isinstance(data["seed"], np.random.SeedSequence)
+                elif kind == "result":
+                    assert data == msg[1]
+        finally:
+            a.close()
+            b.close()
+
+    def test_partial_frames_survive_timeouts(self):
+        a, b = socket.socketpair()
+        try:
+            b.settimeout(0.05)
+            payload = ("result", (0, b"x" * 4096))
+            waits = []
+
+            def patience() -> None:
+                waits.append(1)
+
+            def trickle() -> None:
+                import pickle
+                import struct
+
+                raw = struct.pack("!I", len(pickle.dumps(payload))) + pickle.dumps(
+                    payload
+                )
+                for i in range(0, len(raw), 512):
+                    a.sendall(raw[i : i + 512])
+                    time.sleep(0.02)
+
+            t = threading.Thread(target=trickle)
+            t.start()
+            kind, data = recv_msg(b, patience)
+            t.join()
+            assert kind == "result" and data[1] == b"x" * 4096
+        finally:
+            a.close()
+            b.close()
+
+    def test_closed_socket_raises_connection_error(self):
+        a, b = socket.socketpair()
+        a.close()
+        with pytest.raises(ConnectionError):
+            recv_msg(b)
+        b.close()
+
+
+class TestParseAddress:
+    def test_valid(self):
+        assert parse_address("127.0.0.1:7077") == ("127.0.0.1", 7077)
+        assert parse_address("example.org:0") == ("example.org", 0)
+
+    def test_invalid(self):
+        for bad in ("nohost", ":8000", "host:", "host:abc", "host:-1", "host:70000"):
+            with pytest.raises(ParameterError):
+                parse_address(bad)
+
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def _start_worker(port: int, max_chunks: int | None = None) -> threading.Thread:
+    """External worker in a thread, retrying until the coordinator is up."""
+
+    def run() -> None:
+        deadline = time.monotonic() + 10.0
+        while True:
+            try:
+                serve_worker("127.0.0.1", port, max_chunks=max_chunks)
+                return
+            except (ConnectionError, OSError):
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)
+
+    t = threading.Thread(target=run, daemon=True)
+    t.start()
+    return t
+
+
+class TestExternalWorkers:
+    """``REPRO_TCP_SPAWN=0``: the coordinator serves whoever connects."""
+
+    @pytest.fixture()
+    def external(self, monkeypatch):
+        port = _free_port()
+        monkeypatch.setenv(SPAWN_ENV_VAR, "0")
+        monkeypatch.setenv(BIND_ENV_VAR, f"127.0.0.1:{port}")
+        return port
+
+    def test_external_workers_bit_identical(self, external):
+        workers = [_start_worker(external) for _ in range(2)]
+        rs = run_chunked(
+            _stub_task, n_runs=12, seed=5,
+            context=ExecutionContext(n_jobs=2, backend="tcp", chunk_size=2),
+        )
+        for t in workers:
+            t.join(timeout=10.0)
+        baseline = run_chunked(
+            _stub_task, n_runs=12, seed=5,
+            context=ExecutionContext(n_jobs=1, backend="serial", chunk_size=2),
+        )
+        np.testing.assert_array_equal(rs.total_time, baseline.total_time, strict=True)
+        np.testing.assert_array_equal(rs.n_failures, baseline.n_failures, strict=True)
+        assert rs.meta["execution"]["backend"] == "tcp"
+
+    def test_mid_run_worker_death_redistributes(self, external):
+        # worker A disconnects after a single chunk; worker B finishes the
+        # batch — no retries burned, no fallback, identical bits.
+        short = _start_worker(external, max_chunks=1)
+        full = _start_worker(external)
+        rs = run_chunked(
+            _stub_task, n_runs=12, seed=5,
+            context=ExecutionContext(n_jobs=2, backend="tcp", chunk_size=2),
+        )
+        short.join(timeout=10.0)
+        full.join(timeout=10.0)
+        assert rs.n_runs == 12
+        baseline = run_chunked(
+            _stub_task, n_runs=12, seed=5,
+            context=ExecutionContext(n_jobs=1, backend="serial", chunk_size=2),
+        )
+        np.testing.assert_array_equal(rs.total_time, baseline.total_time, strict=True)
+        assert "serial_fallback_chunks" not in rs.meta["execution"]

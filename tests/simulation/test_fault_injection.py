@@ -113,11 +113,9 @@ class TestWorkerCrash:
         kill_file.touch()
         monkeypatch.setenv(KILL_FILE_VAR, str(kill_file))
         trace = tmp_path / "trace.jsonl"
+        ctx = ExecutionContext(n_jobs=2, chunk_size=2, retries=2)
         with obs.trace_to(trace):
-            rs = run_chunked(
-                _kill_chunk1_task, n_runs=8, seed=11,
-                context=ExecutionContext(n_jobs=2, chunk_size=2, retries=2),
-            )
+            rs = run_chunked(_kill_chunk1_task, n_runs=8, seed=11, context=ctx)
         assert not kill_file.exists()  # the crash really happened
         assert rs.n_runs == 8
 
@@ -129,7 +127,9 @@ class TestWorkerCrash:
         ]
         # only the crashed chunk was re-dispatched (siblings had finished)
         assert retries[0]["labels"]["chunks"] == [1]
-        assert rs.meta["execution"]["backend"] == "process"
+        # the run stayed on the selected backend (process under the default,
+        # tcp when the CI conformance matrix exports REPRO_BACKEND=tcp)
+        assert rs.meta["execution"]["backend"] == ctx.backend
         assert rs.meta["execution"]["retry_rounds"] >= 1
 
         monkeypatch.delenv(KILL_FILE_VAR)
