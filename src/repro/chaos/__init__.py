@@ -1,0 +1,58 @@
+"""repro.chaos — seeded deterministic fault injection for the executor layer.
+
+The paper's whole subject is surviving failures efficiently; this package
+makes the substrate's own failure handling *measurable* by injecting
+faults as a reproducible process rather than an accident of timing.  A
+:class:`ChaosPlan` (seed + per-fault probabilities) turns every chunk
+attempt into a deterministic draw — kill the worker, straggle it, corrupt
+or drop or duplicate its result frame — so a chaos run can be replayed
+bit-for-bit and every backend-conformance invariant (bit-identity,
+exactly-once metrics, original-seed retries) can be asserted *under*
+failure, not just beside it.
+
+Activation (highest precedence first):
+
+* ``ExecutionContext(chaos="seed=7,kill=0.2,...")`` — programmatic;
+* ``repro-sim ... --chaos SPEC`` — CLI;
+* ``REPRO_CHAOS`` — environment, inherited by every spawned worker and how
+  the CI chaos job retargets whole suites.
+
+Faults execute in workers (and on the tcp wire), never in the dispatching
+process, and the serial backend is inert by design — so the degradation
+chain tcp → process → serial always converges.  See
+:mod:`repro.chaos.plan` for the spec grammar and decision function, and
+:mod:`repro.chaos.inject` for the execution hooks.
+
+>>> from repro.chaos import ChaosPlan
+>>> plan = ChaosPlan.parse("seed=42,kill=0.3,delay=0.2")
+>>> plan.decide(0, 1) == plan.decide(0, 1)
+True
+"""
+
+from repro.chaos.inject import (
+    CHAOS_ENV_VAR,
+    chunk_decision,
+    resolve_chaos,
+    transport_fault,
+    worker_fault,
+)
+from repro.chaos.plan import (
+    CHAOS_ACTIONS,
+    TRANSPORT_ACTIONS,
+    ChaosDecision,
+    ChaosPlan,
+    parse_chaos,
+)
+
+__all__ = [
+    "CHAOS_ACTIONS",
+    "CHAOS_ENV_VAR",
+    "TRANSPORT_ACTIONS",
+    "ChaosDecision",
+    "ChaosPlan",
+    "chunk_decision",
+    "parse_chaos",
+    "resolve_chaos",
+    "transport_fault",
+    "worker_fault",
+]

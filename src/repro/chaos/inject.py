@@ -1,0 +1,98 @@
+"""Worker-side chaos execution: turning decisions into faults.
+
+The dispatcher never injects faults into itself — chaos executes where the
+real faults it models would strike: inside worker processes
+(:func:`repro.parallel.chunks.guarded_chunk` calls :func:`worker_fault`)
+and on the tcp wire (the worker's result-send path consults the decision's
+transport action).  The serial backend — the degradation target of last
+resort — is inert by construction, which is what guarantees every chaos
+run still terminates with a bit-identical result.
+
+Every injected fault emits a ``chaos.inject`` trace event and a
+``chaos.injections`` metric *from the worker*, so ``repro-sim obs report``
+can line injected faults up against the ``fault_recovery`` counters the
+coordinator records while surviving them.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+from repro.chaos.plan import TRANSPORT_ACTIONS, ChaosDecision, ChaosPlan, parse_chaos
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs
+
+__all__ = [
+    "CHAOS_ENV_VAR",
+    "chunk_decision",
+    "resolve_chaos",
+    "transport_fault",
+    "worker_fault",
+]
+
+#: environment variable supplying the default chaos spec for any
+#: :class:`~repro.parallel.context.ExecutionContext` constructed without an
+#: explicit ``chaos=`` — this is what the CI chaos job exports.
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+
+def resolve_chaos(value: "str | ChaosPlan | None" = None) -> ChaosPlan | None:
+    """The effective chaos plan: explicit *value*, else ``REPRO_CHAOS``."""
+    if value is not None:
+        return parse_chaos(value)
+    return parse_chaos(os.environ.get(CHAOS_ENV_VAR))
+
+
+def chunk_decision(
+    plan: ChaosPlan | None, chunk_index: int, attempt: int, backend: str
+) -> ChaosDecision:
+    """The injection decision for one chunk attempt on one backend.
+
+    Masks actions the backend cannot express: transport faults need a tcp
+    wire, and serial execution (the fallback of last resort) is inert.
+    The underlying draw (:meth:`ChaosPlan.decide`) is unmasked, so the
+    fault *sequence* for a given plan is identical whatever backend ends
+    up executing each attempt.
+    """
+    if plan is None or not plan.active:
+        return ChaosDecision(None)
+    decision = plan.decide(chunk_index, attempt)
+    if decision.action is None:
+        return decision
+    if backend == "serial":
+        return ChaosDecision(None)
+    if backend != "tcp" and decision.action in TRANSPORT_ACTIONS:
+        return ChaosDecision(None)
+    return decision
+
+
+def _record(action: str, chunk_index: int, attempt: int) -> None:
+    obs.event("chaos.inject", action=action, chunk=chunk_index, attempt=attempt)
+    obs_metrics.inc("chaos.injections", action=action)
+
+
+def worker_fault(decision: ChaosDecision, chunk_index: int, attempt: int) -> None:
+    """Execute a worker-local fault (``kill`` / ``delay``) in this process.
+
+    ``kill`` SIGKILLs the calling process — no cleanup, no flush, exactly
+    the fail-stop fault the retry machinery must survive.  ``delay``
+    sleeps, turning this worker into a straggler.  Transport actions are
+    executed by the tcp send path, not here.
+    """
+    if decision.action == "kill":
+        _record("kill", chunk_index, attempt)
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif decision.action == "delay":
+        _record("delay", chunk_index, attempt)
+        time.sleep(decision.delay_s)
+
+
+def transport_fault(decision: ChaosDecision, chunk_index: int, attempt: int) -> str | None:
+    """Record and return the transport action to apply when sending a
+    result frame (``corrupt`` / ``drop`` / ``dup``), or ``None``."""
+    if decision.action in TRANSPORT_ACTIONS:
+        _record(decision.action, chunk_index, attempt)
+        return decision.action
+    return None

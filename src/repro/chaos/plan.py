@@ -1,0 +1,192 @@
+"""Seeded, deterministic chaos plans.
+
+A :class:`ChaosPlan` is a frozen value object describing *which* faults a
+chaos run may inject and *how often*, plus the seed that makes every
+injection decision a pure function of ``(plan, chunk_index, attempt)``.
+Nothing about the decision depends on wall-clock time, scheduling or
+worker identity, so two runs with the same plan inject the **same fault
+sequence** — the property Sodre's restart asymptotics and the
+fault-prediction papers (PAPERS.md) need before recovery-strategy quality
+is measurable at all.
+
+Fault kinds (all probabilities per chunk *attempt*, mutually exclusive):
+
+``kill``
+    SIGKILL the worker process before it executes the chunk — the
+    classic fail-stop fault every retry path must survive.
+``delay``
+    Sleep ``delay_s`` seconds before returning the result — a straggler,
+    exercising liveness/timeout logic without killing anything.
+``corrupt``
+    (tcp only) send the result frame with a deliberately wrong CRC32 —
+    the coordinator must detect it, drop the connection and requeue.
+``drop``
+    (tcp only) close the connection instead of sending the result.
+``dup``
+    (tcp only) send the result frame twice — the coordinator must
+    harvest exactly once.
+
+On the ``process`` backend only ``kill`` and ``delay`` apply (there is no
+wire to corrupt); on the ``serial`` backend chaos is inert by design —
+serial execution is the degradation target of last resort and must always
+converge.  See :func:`repro.chaos.inject.chunk_decision`.
+
+The spec grammar is a comma-separated ``key=value`` list::
+
+    seed=7,kill=0.2,delay=0.1,delay_s=0.05,corrupt=0.1,drop=0.1,dup=0.05
+
+``seed`` defaults to 0 and every probability to 0.0, so ``"seed=7"``
+alone is a valid (inert) plan.  Probabilities must sum to at most 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "CHAOS_ACTIONS",
+    "TRANSPORT_ACTIONS",
+    "ChaosDecision",
+    "ChaosPlan",
+    "parse_chaos",
+]
+
+#: every injectable fault kind, in cumulative-draw order (stable: changing
+#: this order would change which fault a given seed injects).
+CHAOS_ACTIONS = ("kill", "delay", "corrupt", "drop", "dup")
+
+#: the subset of actions that manipulate the wire rather than the worker;
+#: only the tcp backend can express them.
+TRANSPORT_ACTIONS = ("corrupt", "drop", "dup")
+
+
+@dataclass(frozen=True)
+class ChaosDecision:
+    """The (deterministic) outcome of one injection draw."""
+
+    action: str | None
+    delay_s: float = 0.0
+
+    def __bool__(self) -> bool:
+        return self.action is not None
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Seeded fault-injection plan; see the module docstring.
+
+    >>> plan = ChaosPlan.parse("seed=7,kill=0.5")
+    >>> plan.decide(3, 1) == plan.decide(3, 1)   # pure function
+    True
+    """
+
+    seed: int = 0
+    kill: float = 0.0
+    delay: float = 0.0
+    corrupt: float = 0.0
+    drop: float = 0.0
+    dup: float = 0.0
+    delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) or self.seed < 0:
+            raise ParameterError(
+                f"chaos seed must be a non-negative integer, got {self.seed!r}"
+            )
+        total = 0.0
+        for name in CHAOS_ACTIONS:
+            p = getattr(self, name)
+            if not isinstance(p, (int, float)) or isinstance(p, bool) or not 0.0 <= p <= 1.0:
+                raise ParameterError(
+                    f"chaos probability {name!r} must be in [0, 1], got {p!r}"
+                )
+            total += p
+        if total > 1.0 + 1e-12:
+            raise ParameterError(
+                f"chaos probabilities must sum to <= 1, got {total:g}"
+            )
+        if not isinstance(self.delay_s, (int, float)) or isinstance(self.delay_s, bool) \
+                or self.delay_s < 0:
+            raise ParameterError(
+                f"chaos delay_s must be >= 0, got {self.delay_s!r}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: "str | ChaosPlan | None") -> "ChaosPlan | None":
+        """Parse a spec string (``None``/empty -> ``None``, plan passes through)."""
+        if spec is None or isinstance(spec, ChaosPlan):
+            return spec
+        if not isinstance(spec, str):
+            raise ParameterError(
+                f"chaos must be a spec string or ChaosPlan, got {type(spec).__name__}"
+            )
+        text = spec.strip()
+        if not text:
+            return None
+        known = {f.name for f in fields(cls)}
+        kwargs: dict = {}
+        for item in text.split(","):
+            key, sep, value = item.partition("=")
+            key = key.strip()
+            if not sep or key not in known:
+                raise ParameterError(
+                    f"bad chaos spec item {item.strip()!r} in {spec!r}; "
+                    f"expected key=value with key in {sorted(known)}"
+                )
+            try:
+                kwargs[key] = int(value) if key == "seed" else float(value)
+            except ValueError:
+                raise ParameterError(
+                    f"bad chaos value for {key!r} in {spec!r}: {value.strip()!r}"
+                ) from None
+        return cls(**kwargs)
+
+    def spec(self) -> str:
+        """Canonical spec string (round-trips through :meth:`parse`)."""
+        parts = [f"seed={self.seed}"]
+        for name in CHAOS_ACTIONS:
+            p = getattr(self, name)
+            if p:
+                parts.append(f"{name}={p:g}")
+        if self.delay and self.delay_s != 0.05:
+            parts.append(f"delay_s={self.delay_s:g}")
+        return ",".join(parts)
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault has a non-zero probability."""
+        return any(getattr(self, name) for name in CHAOS_ACTIONS)
+
+    # ------------------------------------------------------------------
+    def decide(self, chunk_index: int, attempt: int) -> ChaosDecision:
+        """The injection decision for one chunk attempt.
+
+        A pure function of ``(seed, chunk_index, attempt)``: the draw uses
+        a :class:`~numpy.random.SeedSequence` keyed on the chunk and the
+        attempt, never on time, pid or scheduling — so the fault sequence
+        of a chaos run is bit-reproducible, and a retried attempt draws a
+        fresh (but equally deterministic) decision, which is what lets a
+        kill-heavy plan still converge through the retry budget.
+        """
+        seq = np.random.SeedSequence(
+            entropy=self.seed, spawn_key=(int(chunk_index), int(attempt))
+        )
+        u = np.random.default_rng(seq).random()
+        edge = 0.0
+        for name in CHAOS_ACTIONS:
+            edge += getattr(self, name)
+            if u < edge:
+                return ChaosDecision(
+                    name, self.delay_s if name == "delay" else 0.0
+                )
+        return ChaosDecision(None)
+
+
+def parse_chaos(spec: "str | ChaosPlan | None") -> ChaosPlan | None:
+    """Module-level alias of :meth:`ChaosPlan.parse` (CLI / env entry point)."""
+    return ChaosPlan.parse(spec)

@@ -6,6 +6,7 @@ Subcommands
 ``list``        list available experiments
 ``periods``     print the optimal periods for a configuration
 ``simulate``    run one strategy at one configuration point
+``sweep``       journaled multi-point MTBF sweep (crash-safe; ``--resume``)
 ``trace``       synthesise a LANL-like trace to a CSV file
 ``obs``         inspect observability artifacts (manifests, JSONL traces)
 ``cache``       inspect or clear the on-disk result cache
@@ -92,6 +93,59 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_arg(p_sim)
     _add_obs_arg(p_sim)
     _add_cache_arg(p_sim)
+
+    p_sw = sub.add_parser(
+        "sweep",
+        help=(
+            "journaled MTBF sweep of one strategy (crash-safe: resume a "
+            "killed sweep bit-identically with --resume)"
+        ),
+    )
+    p_sw.add_argument(
+        "strategy",
+        nargs="?",
+        choices=["restart", "no-restart", "restart-on-failure", "no-replication"],
+        help="recovery strategy to sweep (omit with --resume)",
+    )
+    p_sw.add_argument(
+        "--mtbf-years", metavar="Y1,Y2,...", default="1,2,5,10,20",
+        help="comma-separated individual-MTBF sweep points, in years",
+    )
+    p_sw.add_argument("--pairs", type=int, default=100_000, help="replicated pairs b")
+    p_sw.add_argument("--checkpoint", type=float, default=60.0, help="checkpoint cost C (s)")
+    p_sw.add_argument("--period", type=float, help="period in seconds (default: optimal)")
+    p_sw.add_argument("--periods", type=int, default=100, help="periods per run")
+    p_sw.add_argument("--runs", type=int, default=200)
+    p_sw.add_argument(
+        "--restart-factor", type=float, default=1.0, help="C^R / C in [1,2]"
+    )
+    p_sw.add_argument("--seed", type=int, default=2019)
+    p_sw.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="replications per dispatched chunk (journaled: resume reuses it)",
+    )
+    p_sw.add_argument(
+        "--save-runs", metavar="DIR", default=None,
+        help="also save each point's full RunSet as DIR/point-NNN.json",
+    )
+    p_sw.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help=(
+            "write-ahead journal file (default: "
+            "<cache-dir>/journal/sweep-<hash>.jsonl)"
+        ),
+    )
+    p_sw.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "resume a crashed or interrupted sweep from its journal "
+            "(the newest resumable one under the cache's journal "
+            "directory unless --journal names it)"
+        ),
+    )
+    _add_jobs_arg(p_sw)
+    _add_obs_arg(p_sw)
+    _add_cache_arg(p_sw)
 
     p_tr = sub.add_parser("trace", help="synthesise a LANL-like failure trace")
     p_tr.add_argument("kind", choices=["lanl2", "lanl18"])
@@ -195,6 +249,17 @@ def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
             "identical for every backend"
         ),
     )
+    p.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "seeded deterministic fault injection, e.g. "
+            "'seed=7,kill=0.2,delay=0.1' (kill/delay/corrupt/drop/dup "
+            "probabilities per chunk attempt; default: the REPRO_CHAOS "
+            "env var, else off); results are identical with or without it"
+        ),
+    )
 
 
 def _add_obs_arg(p: argparse.ArgumentParser) -> None:
@@ -248,17 +313,24 @@ def _add_cache_arg(p: argparse.ArgumentParser) -> None:
 
 
 def _apply_jobs(args: argparse.Namespace) -> None:
-    """Install ``--jobs`` / ``--backend`` as the default context for this run."""
+    """Install ``--jobs`` / ``--backend`` / ``--chaos`` as the default
+    context for this run."""
     jobs = getattr(args, "jobs", None)
     backend = getattr(args, "backend", None)
-    if jobs is None and backend is None:
+    chaos = getattr(args, "chaos", None)
+    chunk_size = getattr(args, "chunk_size", None)
+    if jobs is None and backend is None and chaos is None and chunk_size is None:
         return
     from repro.parallel import ExecutionContext, set_default_execution
     from repro.parallel.context import _env_jobs
 
     if jobs is None:
         jobs = _env_jobs() or 1
-    set_default_execution(ExecutionContext(n_jobs=jobs, backend=backend))
+    set_default_execution(
+        ExecutionContext(
+            n_jobs=jobs, backend=backend, chunk_size=chunk_size, chaos=chaos
+        )
+    )
 
 
 def _apply_obs(args: argparse.Namespace) -> None:
@@ -288,11 +360,16 @@ def _apply_cache(args: argparse.Namespace) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.exceptions import ParameterError
+
     args = build_parser().parse_args(argv)
     try:
         status = _dispatch(args)
     except BrokenPipeError:  # pragma: no cover
         return 0
+    except ParameterError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     if status == 0 and getattr(args, "metrics_out", None):
         from repro.obs.metrics import save_metrics
 
@@ -356,6 +433,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "simulate":
         return _run_simulate(args)
 
+    if args.command == "sweep":
+        return _run_sweep(args)
+
     if args.command == "trace":
         from repro.failures import make_lanl2_like, make_lanl18_like
         from repro.io import write_trace
@@ -376,12 +456,17 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.parallel.backends.tcp import parse_address, serve_worker
 
         try:
-            host, port = parse_address(args.connect)
+            host, port = parse_address(args.connect, source="--connect")
         except ParameterError as exc:
             print(str(exc), file=sys.stderr)
             return 2
         try:
-            executed = serve_worker(host, port, max_chunks=args.max_chunks)
+            # Signal handlers make SIGTERM/SIGINT a graceful drain: the
+            # in-flight chunk finishes, its result is sent, and we exit 0.
+            executed = serve_worker(
+                host, port, max_chunks=args.max_chunks,
+                install_signal_handlers=True,
+            )
         except (OSError, ConnectionError) as exc:
             print(f"cannot serve {args.connect}: {exc}", file=sys.stderr)
             return 2
@@ -489,6 +574,100 @@ def _run_cache(args: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError(f"unhandled cache command {args.cache_command}")  # pragma: no cover
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.cache import CACHE_DIR_ENV_VAR, resolve_cache
+    from repro.exceptions import ParameterError
+    from repro.sweep import (
+        SweepRequest,
+        default_journal_path,
+        find_resumable_journal,
+        load_request,
+        run_sweep,
+    )
+
+    journal_path = args.journal
+    if args.resume:
+        if journal_path is None:
+            cache = resolve_cache()
+            if cache is None:
+                print(
+                    "cannot locate a journal to resume: pass --journal PATH, "
+                    f"or --cache-dir / {CACHE_DIR_ENV_VAR} so the default "
+                    "journal directory exists",
+                    file=sys.stderr,
+                )
+                return 2
+            journal_path = find_resumable_journal(os.path.join(cache.root, "journal"))
+        request, status = load_request(journal_path)
+        if status == "complete":
+            print(f"{journal_path}: sweep already complete", file=sys.stderr)
+            return 0
+        print(f"resuming {request.strategy} sweep from {journal_path} ({status})")
+    else:
+        if args.strategy is None:
+            print("sweep: strategy is required (or pass --resume)", file=sys.stderr)
+            return 2
+        try:
+            points = tuple(
+                float(part) for part in str(args.mtbf_years).split(",") if part.strip()
+            )
+        except ValueError:
+            raise ParameterError(
+                f"--mtbf-years must be a comma-separated float list, "
+                f"got {args.mtbf_years!r}"
+            ) from None
+        request = SweepRequest(
+            strategy=args.strategy,
+            mtbf_years=points,
+            pairs=args.pairs,
+            checkpoint=args.checkpoint,
+            period=args.period,
+            periods=args.periods,
+            runs=args.runs,
+            restart_factor=args.restart_factor,
+            seed=args.seed,
+            chunk_size=args.chunk_size,
+            save_runs=args.save_runs,
+        )
+        if journal_path is None:
+            journal_path = default_journal_path(request)
+
+    # The sweep needs an ambient context so replications take the chunked
+    # (and therefore chunk-cached, journal-recorded) execution path even
+    # without --jobs.
+    from repro.parallel import ExecutionContext, get_default_execution, set_default_execution
+
+    if get_default_execution() is None:
+        set_default_execution(
+            ExecutionContext(n_jobs=1, chunk_size=request.chunk_size)
+        )
+
+    outcome = run_sweep(
+        request,
+        journal_path=journal_path,
+        resume=args.resume,
+        progress=print,
+    )
+    if not outcome.complete:
+        print(
+            f"interrupted; resume with: repro-sim sweep --resume "
+            f"--journal {outcome.journal_path}",
+            file=sys.stderr,
+        )
+        return 3
+    print(f"strategy          : {request.strategy}")
+    for row in outcome.rows:
+        print(
+            f"mtbf {row['mtbf_years']:>6g}y  period {row['period_s']:>12,.0f}s  "
+            f"overhead {row['overhead']:.4%} ± {row['halfwidth']:.4%}  "
+            f"({row['n_runs']} runs)"
+        )
+    print(f"journal           : {outcome.journal_path}")
+    return 0
 
 
 def _run_simulate(args: argparse.Namespace) -> int:

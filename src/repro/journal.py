@@ -1,0 +1,217 @@
+"""Crash-safe write-ahead sweep journal.
+
+A :class:`SweepJournal` is an append-only JSONL file — one fsync'd record
+per line — that a sweep writes *before and while* it runs, so that a
+coordinator killed at any instant (SIGKILL included) leaves behind enough
+durable state to resume bit-identically:
+
+* a ``begin`` record carrying the full sweep request (strategy, every
+  simulation parameter, the root seed) — ``repro-sim sweep --resume``
+  reconstructs the run from this alone, no retyping;
+* one ``layout`` record per chunked batch: task qualname, ``n_runs``,
+  chunk layout and root-seed provenance — the exact ingredients of the
+  content-addressed cache keys;
+* one ``chunk`` record per completed chunk with its cache key (appended
+  *after* the atomic cache store, so a journaled key always names a
+  durable entry);
+* ``point_start`` / ``point`` records bracketing each sweep point;
+* an ``interrupted`` record on graceful drain (SIGTERM/SIGINT), or an
+  ``end`` record with ``status="complete"``.
+
+Durability model: each record is a single ``os.write`` on an ``O_APPEND``
+descriptor followed by ``os.fsync``, so a crash can only ever tear the
+*final* line; :func:`read_journal` tolerates (and reports) a torn tail.
+The journal is written by exactly one process — the coordinator — and
+lives beside the result cache (``<cache>/journal/``) so the two artifacts
+that resumption needs travel together.
+
+Like the cache and the trace emitter, the journal is ambient: install one
+with :func:`journal_scope` / :func:`set_active_journal` and
+:func:`repro.parallel.run_chunked` records layouts and chunk completions
+automatically; :func:`resolve_journal` returns ``None`` when journaling
+is off, which every caller treats as "don't".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "SweepJournal",
+    "get_active_journal",
+    "journal_scope",
+    "journal_status",
+    "read_journal",
+    "resolve_journal",
+    "set_active_journal",
+]
+
+#: schema identifier stamped on every journal record; bumped on
+#: incompatible change so a resume never misreads an old journal.
+JOURNAL_SCHEMA = "repro/journal-v1"
+
+
+class SweepJournal:
+    """Append-only fsync'd JSONL journal; see the module docstring."""
+
+    def __init__(self, path: str | Path, *, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fsync = fsync
+        self._fd: int | None = os.open(
+            str(self.path), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+
+    # ------------------------------------------------------------------
+    def append(self, kind: str, **fields: Any) -> None:
+        """Durably append one record (single write + fsync).
+
+        Record order within the file is the order of completion, which is
+        all resume needs; the single-writer discipline (only the
+        coordinator appends) is what makes one ``O_APPEND`` write per
+        record atomic enough.
+        """
+        if self._fd is None:
+            raise ParameterError(f"journal {self.path} is closed")
+        record = {"schema": JOURNAL_SCHEMA, "kind": kind, "ts": time.time(), **fields}
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True, default=str)
+        os.write(self._fd, line.encode("utf-8") + b"\n")
+        if self._fsync:
+            os.fsync(self._fd)
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- typed appends --------------------------------------------------
+    def begin(self, request: Mapping[str, Any], *, label: str = "") -> None:
+        self.append("begin", label=label, request=dict(request))
+
+    def chunk_layout(
+        self, *, task: str, n_runs: int, chunk_size: int, n_chunks: int, seed: Mapping
+    ) -> None:
+        self.append(
+            "layout", task=task, n_runs=n_runs, chunk_size=chunk_size,
+            n_chunks=n_chunks, seed=dict(seed),
+        )
+
+    def chunk_done(self, index: int, key: str | None, *, source: str = "computed") -> None:
+        self.append("chunk", index=index, key=key, source=source)
+
+    def point_start(self, index: int, **params: Any) -> None:
+        self.append("point_start", index=index, **params)
+
+    def point_done(self, index: int, key: str | None = None, **stats: Any) -> None:
+        self.append("point", index=index, key=key, **stats)
+
+    def interrupted(self, reason: str) -> None:
+        self.append("interrupted", reason=reason)
+
+    def end(self, status: str = "complete") -> None:
+        self.append("end", status=status)
+
+
+def read_journal(path: str | Path) -> list[dict]:
+    """Parse a journal, tolerating a torn final line.
+
+    A record that fails to parse *anywhere but the last line* means the
+    file is not a journal (or was corrupted in place) and raises
+    :class:`~repro.exceptions.ParameterError`; a torn **tail** is the
+    expected signature of a crash mid-append and is silently dropped.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise ParameterError(f"cannot read journal {path}: {exc}") from None
+    records: list[dict] = []
+    lines = raw.split(b"\n")
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+            if not isinstance(record, dict) or record.get("schema") != JOURNAL_SCHEMA:
+                raise ValueError("not a journal record")
+        except (ValueError, UnicodeDecodeError):
+            if i >= len(lines) - 2:  # torn tail: crash mid-append
+                break
+            raise ParameterError(
+                f"{path} line {i + 1} is not a {JOURNAL_SCHEMA} record"
+            ) from None
+        records.append(record)
+    return records
+
+
+def journal_status(records: list[dict]) -> str:
+    """One-word lifecycle state of a parsed journal.
+
+    ``complete`` (saw ``end: complete``), ``interrupted`` (graceful
+    drain), ``crashed`` (begun but no terminal record — the SIGKILL
+    signature), or ``empty``.
+    """
+    status = "empty"
+    for record in records:
+        kind = record.get("kind")
+        if kind == "begin":
+            status = "crashed"
+        elif kind == "interrupted":
+            status = "interrupted"
+        elif kind == "end" and record.get("status") == "complete":
+            status = "complete"
+    return status
+
+
+# ---------------------------------------------------------------------------
+# Ambient journal (mirrors repro.cache resolution)
+# ---------------------------------------------------------------------------
+
+_active_journal: SweepJournal | None = None
+
+
+def set_active_journal(journal: SweepJournal | None) -> SweepJournal | None:
+    """Install *journal* as the process-wide journal; return the previous."""
+    global _active_journal
+    if journal is not None and not isinstance(journal, SweepJournal):
+        raise ParameterError(
+            f"expected a SweepJournal or None, got {type(journal).__name__}"
+        )
+    previous = _active_journal
+    _active_journal = journal
+    return previous
+
+
+def get_active_journal() -> SweepJournal | None:
+    return _active_journal
+
+
+def resolve_journal() -> SweepJournal | None:
+    """The journal :func:`repro.parallel.run_chunked` should append to."""
+    return _active_journal
+
+
+@contextmanager
+def journal_scope(path: str | Path) -> Iterator[SweepJournal]:
+    """Scoped journal: chunked dispatch inside the block records into it."""
+    journal = SweepJournal(path)
+    previous = set_active_journal(journal)
+    try:
+        yield journal
+    finally:
+        set_active_journal(previous)
+        journal.close()

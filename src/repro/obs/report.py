@@ -78,6 +78,8 @@ class TraceReport:
     chunk_failures: dict[str, int]
     cache: dict[str, float]
     counters: dict[str, float]
+    chaos_injections: dict[str, int] = field(default_factory=dict)
+    poison_chunks: int = 0
 
     def chunk_latency_histogram(self) -> list[tuple[str, int]]:
         """Chunk wall times over the fixed metrics buckets, trimmed to the
@@ -216,10 +218,18 @@ def analyze_trace(
     )
     fallbacks = sum(1 for r in records if r.get("name") == "parallel.fallback")
     chunk_failures: dict[str, int] = {}
+    chaos_injections: dict[str, int] = {}
+    poison_chunks = 0
     for rec in records:
-        if rec.get("name") == "parallel.chunk_failed":
+        name = rec.get("name")
+        if name == "parallel.chunk_failed":
             kind = str((rec.get("labels") or {}).get("kind", "unknown"))
             chunk_failures[kind] = chunk_failures.get(kind, 0) + 1
+        elif name == "chaos.inject":
+            action = str((rec.get("labels") or {}).get("action", "?"))
+            chaos_injections[action] = chaos_injections.get(action, 0) + 1
+        elif name == "parallel.poison_chunk":
+            poison_chunks += 1
 
     cache_counts = {
         short: sum(1 for r in records if r.get("name") == f"cache.{short}")
@@ -256,6 +266,8 @@ def analyze_trace(
         chunk_failures=chunk_failures,
         cache=cache,
         counters=counters,
+        chaos_injections=chaos_injections,
+        poison_chunks=poison_chunks,
     )
 
 
@@ -336,6 +348,15 @@ def render_report(report: TraceReport, *, width: int = 60) -> str:
             f"{kind}={count}" for kind, count in sorted(report.chunk_failures.items())
         )
         out.append(f"failed chunk runs   : {failures} ({detail})")
+    if report.poison_chunks:
+        out.append(f"poisoned chunks     : {report.poison_chunks}")
+    if report.chaos_injections:
+        detail = ", ".join(
+            f"{action}={count}"
+            for action, count in sorted(report.chaos_injections.items())
+        )
+        injected = sum(report.chaos_injections.values())
+        out.append(f"chaos injections    : {injected} ({detail})")
 
     out.append("")
     out.append("== cache ==")

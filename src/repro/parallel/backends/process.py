@@ -79,7 +79,8 @@ class ProcessBackend(ExecutorBackend):
         while remaining:
             try:
                 remaining, error = self._pool_round(
-                    task, remaining, context, harvest, stats, parent_id
+                    task, remaining, context, harvest, stats, parent_id,
+                    attempt=attempt + 1,
                 )
             except PermanentBackendError as exc:
                 cause = exc.cause
@@ -90,6 +91,7 @@ class ProcessBackend(ExecutorBackend):
                     n_jobs=context.n_jobs,
                 )
                 obs_metrics.inc("parallel.fallbacks")
+                obs_metrics.inc("fault_recovery", kind="fallback")
                 warnings.warn(
                     f"process pool unavailable ({type(cause).__name__}: {cause}); "
                     "falling back to serial chunked execution",
@@ -108,6 +110,7 @@ class ProcessBackend(ExecutorBackend):
                     n_jobs=context.n_jobs,
                 )
                 obs_metrics.inc("parallel.fallbacks")
+                obs_metrics.inc("fault_recovery", kind="fallback")
                 warnings.warn(
                     f"process pool unavailable ({error}; "
                     f"{context.retries} retries exhausted); "
@@ -120,6 +123,7 @@ class ProcessBackend(ExecutorBackend):
             attempt += 1
             stats["retry_rounds"] = attempt
             obs_metrics.inc("parallel.retries", len(remaining))
+            obs_metrics.inc("fault_recovery", len(remaining), kind="retry")
             delay = context.retry_backoff * (2 ** (attempt - 1))
             obs.event(
                 "parallel.retry",
@@ -141,6 +145,7 @@ class ProcessBackend(ExecutorBackend):
         harvest: HarvestFn,
         stats: dict,
         parent_id: str | None = None,
+        attempt: int = 1,
     ) -> tuple["list[ChunkSpec]", str | None]:
         """One dispatch round over the *pending* chunk specs.
 
@@ -170,6 +175,7 @@ class ProcessBackend(ExecutorBackend):
                 spec.index: pool.submit(
                     guarded_chunk, task, spec.index, spec.n_chunks, spec.size,
                     self.name, submitted, spec.seed, parent_id, context.n_jobs,
+                    context.chaos, attempt,
                 )
                 for spec in pending
             }

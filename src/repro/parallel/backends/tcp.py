@@ -3,33 +3,51 @@
 A coordinator in the dispatching process serves chunk specs over a socket
 to ``repro-sim worker --connect HOST:PORT`` processes — spawned locally by
 default, or started by hand on other machines.  The wire protocol is
-deliberately small:
+deliberately small but hardened:
 
-* every frame is a 4-byte big-endian length prefix followed by a pickled
-  ``(kind, data)`` tuple;
-* workers send ``("hello", info)`` once, then ``("heartbeat", None)``
-  every :data:`HEARTBEAT_INTERVAL` seconds while connected;
+* every frame is a fixed header — 4-byte magic (:data:`MAGIC`), 4-byte
+  big-endian payload length, 4-byte CRC32 of the payload — followed by a
+  pickled ``(kind, data)`` tuple; a frame whose magic, length bound
+  (:data:`MAX_FRAME_BYTES`) or checksum does not verify raises
+  :class:`ProtocolError` and tears the connection down (the chunk in
+  flight is requeued with its original seed — a corrupted frame can never
+  be *mis*-harvested);
+* workers send ``("hello", info)`` once — *info* carries the worker's
+  :data:`PROTOCOL_VERSION`, and the coordinator rejects a mismatch before
+  any chunk crosses the wire — then ``("heartbeat", None)`` every
+  :data:`HEARTBEAT_INTERVAL` seconds while connected;
 * the coordinator sends ``("chunk", job)`` — the task, the chunk's
-  position in the layout and its original ``SeedSequence`` child — and the
+  position in the layout, its original ``SeedSequence`` child, the attempt
+  number and the active :class:`~repro.chaos.ChaosPlan` (if any) — and the
   worker answers ``("result", (index, payload_or_error))`` where the
   payload carries the chunk ``RunSet`` plus the worker's metrics delta
   (:class:`~repro.parallel.chunks.ChunkPayload`) and task exceptions come
   back as values (:class:`~repro.parallel.chunks.ChunkTaskError`);
+  duplicate result frames (e.g. chaos ``dup``) are harvested exactly once;
 * ``("shutdown", None)`` tells an idle worker to exit.
 
 Fault handling mirrors the process backend: a chunk whose worker misses
-heartbeats for :data:`LIVENESS_TIMEOUT` seconds, drops the connection, or
-exceeds ``context.chunk_timeout`` is requeued — with its original seed —
-up to ``context.retries`` times; afterwards it is left unharvested for the
-dispatcher's serial fallback.  Task exceptions re-raise unchanged.
-Harvest calls are serialised with a lock because results arrive on
-per-connection handler threads.
+heartbeats for :data:`LIVENESS_TIMEOUT` seconds, drops the connection,
+corrupts a frame, or exceeds ``context.chunk_timeout`` is requeued — with
+its original seed — up to ``context.retries`` times; afterwards it is left
+unharvested for the dispatcher's serial fallback.  A chunk that fails on
+:data:`POISON_DISTINCT_WORKERS` *distinct* workers is quarantined
+immediately (``parallel.poison_chunk``) instead of burning the remaining
+retry budget — repeated failure across unrelated workers is evidence the
+chunk itself is poison (a payload that crashes any worker), and the serial
+fallback will surface whatever it does deterministically.  Task exceptions
+re-raise unchanged.  Harvest calls are serialised with a lock because
+results arrive on per-connection handler threads.  Every recovery decision
+increments the ``fault_recovery`` metric family alongside its trace event.
 
 Environment knobs:
 
 * ``REPRO_TCP_BIND`` — ``host:port`` to bind the coordinator on
   (default ``127.0.0.1:0``, an ephemeral localhost port).  Bind a routable
-  address to serve workers on other machines.
+  address to serve workers on other machines.  Malformed values raise
+  :class:`~repro.exceptions.ParameterError` naming the variable — at
+  :class:`~repro.parallel.context.ExecutionContext` construction, not deep
+  inside dispatch.
 * ``REPRO_TCP_SPAWN`` — set to ``0`` to *not* spawn local workers and
   wait for external ``repro-sim worker`` connections instead.
 """
@@ -38,6 +56,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import signal as signal_module
 import socket
 import struct
 import subprocess
@@ -45,10 +64,12 @@ import sys
 import threading
 import time
 import warnings
+import zlib
 from collections import deque
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from repro.chaos import chunk_decision, transport_fault, worker_fault
 from repro.exceptions import ParameterError
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs
@@ -63,9 +84,17 @@ __all__ = [
     "BIND_ENV_VAR",
     "HEARTBEAT_INTERVAL",
     "LIVENESS_TIMEOUT",
+    "MAGIC",
+    "MAX_FRAME_BYTES",
+    "MAX_RECONNECTS",
+    "POISON_DISTINCT_WORKERS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
     "SPAWN_ENV_VAR",
     "TcpBackend",
+    "parse_address",
     "serve_worker",
+    "validate_bind_env",
 ]
 
 #: seconds between worker heartbeats.
@@ -84,7 +113,40 @@ SPAWN_ENV_VAR = "REPRO_TCP_SPAWN"
 #: socket poll granularity for handler/acceptor loops, seconds.
 _POLL_S = 0.25
 
-_LEN = struct.Struct("!I")
+#: frame magic: a frame not starting with these bytes is not ours — the
+#: stream is torn or something else connected to the port.
+MAGIC = b"RSIM"
+
+#: wire protocol version, exchanged in the hello handshake.  Bumped on any
+#: incompatible frame or message change so a stale worker is rejected at
+#: connect time instead of failing mysteriously mid-chunk.
+PROTOCOL_VERSION = 2
+
+#: upper bound on one frame's payload; a length field beyond this is
+#: treated as corruption (it would otherwise ask the receiver to buffer
+#: unbounded attacker/garbage-controlled amounts).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: a chunk that failed on this many *distinct* workers is quarantined
+#: (``parallel.poison_chunk``) rather than retried further.
+POISON_DISTINCT_WORKERS = 3
+
+#: how many times a worker re-dials the coordinator after a lost
+#: connection before giving up.  Bounded so a pathological coordinator
+#: cannot hold a worker in a dial loop forever; generous because each
+#: legitimate retry round may cost every worker one reconnect.
+MAX_RECONNECTS = 32
+
+_HEADER = struct.Struct("!4sII")
+
+
+class ProtocolError(ConnectionError):
+    """A frame failed verification (magic, size bound or checksum).
+
+    Subclasses :class:`ConnectionError` because the only safe reaction is
+    the same: the stream can no longer be trusted, drop the connection and
+    requeue whatever was in flight.
+    """
 
 
 # ---------------------------------------------------------------------------
@@ -92,15 +154,32 @@ _LEN = struct.Struct("!I")
 # ---------------------------------------------------------------------------
 
 
-def send_msg(sock: socket.socket, message: tuple, lock: threading.Lock | None = None) -> None:
-    """Send one length-prefixed pickled frame (atomically, under *lock*)."""
+def _frame(message: tuple, *, crc_xor: int = 0) -> bytes:
     payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    frame = _LEN.pack(len(payload)) + payload
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte bound"
+        )
+    crc = (zlib.crc32(payload) ^ crc_xor) & 0xFFFFFFFF
+    return _HEADER.pack(MAGIC, len(payload), crc) + payload
+
+
+def send_msg(sock: socket.socket, message: tuple, lock: threading.Lock | None = None) -> None:
+    """Send one checksummed length-prefixed frame (atomically, under *lock*)."""
+    frame = _frame(message)
     if lock is None:
         sock.sendall(frame)
     else:
         with lock:
             sock.sendall(frame)
+
+
+def _send_corrupted(sock: socket.socket, message: tuple, lock: threading.Lock) -> None:
+    """Chaos ``corrupt``: a well-formed frame whose CRC cannot verify."""
+    frame = _frame(message, crc_xor=0x5A5A5A5A)
+    with lock:
+        sock.sendall(frame)
 
 
 class _Abandon(Exception):
@@ -133,24 +212,53 @@ def _recv_exact(sock: socket.socket, n: int, patience=None) -> bytes:
 
 
 def recv_msg(sock: socket.socket, patience=None) -> tuple:
-    """Receive one framed ``(kind, data)`` message."""
-    header = _recv_exact(sock, _LEN.size, patience)
-    (length,) = _LEN.unpack(header)
-    return pickle.loads(_recv_exact(sock, length, patience))
+    """Receive one framed message, verifying magic, bound and checksum."""
+    header = _recv_exact(sock, _HEADER.size, patience)
+    magic, length, crc = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte bound"
+        )
+    payload = _recv_exact(sock, length, patience)
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise ProtocolError("frame checksum mismatch")
+    return pickle.loads(payload)
 
 
-def parse_address(raw: str) -> tuple[str, int]:
-    """Parse ``host:port`` (the port must be an integer in [0, 65535])."""
-    host, sep, port_s = raw.rpartition(":")
+def parse_address(raw: str, *, source: str = "address") -> tuple[str, int]:
+    """Parse ``host:port`` (the port must be an integer in [0, 65535]).
+
+    *source* names where the value came from (``REPRO_TCP_BIND``,
+    ``--connect``) so a malformed address is diagnosable from the message
+    alone.
+    """
+    host, sep, port_s = str(raw).rpartition(":")
     if not sep or not host:
-        raise ParameterError(f"expected HOST:PORT, got {raw!r}")
+        raise ParameterError(f"{source} must be HOST:PORT, got {raw!r}")
     try:
         port = int(port_s)
     except ValueError:
-        raise ParameterError(f"port must be an integer, got {port_s!r}") from None
+        raise ParameterError(
+            f"{source} port must be an integer, got {port_s!r} (in {raw!r})"
+        ) from None
     if not 0 <= port <= 65535:
-        raise ParameterError(f"port must be in [0, 65535], got {port}")
+        raise ParameterError(f"{source} port must be in [0, 65535], got {port}")
     return host, port
+
+
+def validate_bind_env() -> tuple[str, int]:
+    """The coordinator bind address: ``REPRO_TCP_BIND``, validated.
+
+    Called from :class:`~repro.parallel.context.ExecutionContext`
+    construction (for ``backend="tcp"``) so a malformed value fails fast
+    with a :class:`~repro.exceptions.ParameterError` naming the variable.
+    """
+    raw = os.environ.get(BIND_ENV_VAR, "").strip()
+    if raw:
+        return parse_address(raw, source=BIND_ENV_VAR)
+    return ("127.0.0.1", 0)
 
 
 # ---------------------------------------------------------------------------
@@ -158,7 +266,13 @@ def parse_address(raw: str) -> tuple[str, int]:
 # ---------------------------------------------------------------------------
 
 
-def serve_worker(host: str, port: int, *, max_chunks: int | None = None) -> int:
+def serve_worker(
+    host: str,
+    port: int,
+    *,
+    max_chunks: int | None = None,
+    install_signal_handlers: bool = False,
+) -> int:
     """Connect to a coordinator and execute chunks until told to stop.
 
     Runs the ``repro-sim worker --connect HOST:PORT`` loop: receive a
@@ -168,15 +282,87 @@ def serve_worker(host: str, port: int, *, max_chunks: int | None = None) -> int:
     repeat.  A daemon thread heartbeats every :data:`HEARTBEAT_INTERVAL`
     seconds so the coordinator can tell "slow chunk" from "dead worker".
 
+    With *install_signal_handlers* (the CLI entry point), SIGTERM/SIGINT
+    request a **graceful drain**: the in-flight chunk finishes, its result
+    is sent, the socket is closed and the loop returns normally — so an
+    orchestrator shutdown (or a chaos harness pruning workers politely) is
+    distinguishable from a crash by the clean exit status and the absence
+    of a lost chunk.
+
+    If the coordinator's job carries a :class:`~repro.chaos.ChaosPlan`,
+    the deterministic decision for this chunk attempt executes here: a
+    ``kill`` SIGKILLs this process before the task runs, a ``delay``
+    straggles it, and ``corrupt``/``drop``/``dup`` manipulate the result
+    frame on its way out.
+
+    A lost connection (the coordinator tearing down a corrupted stream, a
+    chaos ``drop``, a network blip) is not fatal: the worker **reconnects**
+    — up to :data:`MAX_RECONNECTS` times — and keeps serving, so transient
+    transport faults shrink throughput instead of the worker pool.  A
+    refused reconnect means the coordinator is gone (batch settled) and
+    the worker exits cleanly.
+
     *max_chunks* bounds how many chunks this worker executes before
     disconnecting (used by the conformance suite to exercise mid-run
     worker loss); ``None`` serves until shutdown.  Returns the number of
     chunks executed.
     """
-    sock = socket.create_connection((host, port), timeout=30.0)
-    sock.settimeout(None)
+    drain = threading.Event()
+
+    if install_signal_handlers:
+        def _request_drain(signum, frame) -> None:
+            drain.set()
+
+        for sig in (signal_module.SIGTERM, signal_module.SIGINT):
+            try:
+                signal_module.signal(sig, _request_drain)
+            except ValueError:  # not the main thread: caller keeps its handlers
+                break
+
+    executed = 0
+    reconnects = 0
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=30.0)
+        except OSError:
+            if reconnects == 0:
+                raise  # first connect: surface the error to the caller
+            break  # coordinator gone: the batch is over
+        done, served = _serve_one_connection(
+            sock, drain, max_chunks=(
+                None if max_chunks is None else max_chunks - executed
+            ),
+        )
+        executed += served
+        if done or drain.is_set() or (
+            max_chunks is not None and executed >= max_chunks
+        ):
+            break
+        reconnects += 1
+        if reconnects > MAX_RECONNECTS:
+            break
+        time.sleep(0.1)
+    return executed
+
+
+def _serve_one_connection(
+    sock: socket.socket,
+    drain: threading.Event,
+    *,
+    max_chunks: int | None,
+) -> tuple[bool, int]:
+    """One worker connection's serve loop.
+
+    Returns ``(done, executed)`` — *done* is True when the worker should
+    exit (shutdown/reject/drain/chunk budget) rather than reconnect.
+    """
+    sock.settimeout(_POLL_S)
     send_lock = threading.Lock()
     stop = threading.Event()
+
+    def _patience() -> None:
+        if stop.is_set() or drain.is_set():
+            raise _Abandon("drain")
 
     def _heartbeat() -> None:
         while not stop.wait(HEARTBEAT_INTERVAL):
@@ -186,39 +372,66 @@ def serve_worker(host: str, port: int, *, max_chunks: int | None = None) -> int:
                 stop.set()
                 return
 
-    send_msg(sock, ("hello", {"pid": os.getpid(), "host": socket.gethostname()}))
-    beat = threading.Thread(target=_heartbeat, daemon=True)
-    beat.start()
     executed = 0
+    done = False
     try:
-        while not stop.is_set():
+        send_msg(
+            sock,
+            ("hello", {
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "proto": PROTOCOL_VERSION,
+            }),
+        )
+        threading.Thread(target=_heartbeat, daemon=True).start()
+        while not (stop.is_set() or drain.is_set()):
             try:
-                kind, data = recv_msg(sock)
+                kind, data = recv_msg(sock, _patience)
+            except _Abandon:
+                done = True
+                break
             except (ConnectionError, OSError, EOFError, pickle.UnpicklingError):
                 break
-            if kind == "shutdown":
+            if kind in ("shutdown", "reject"):
+                done = True
                 break
             if kind != "chunk":
                 continue
+            index = data["index"]
+            attempt = data.get("attempt", 1)
+            decision = chunk_decision(data.get("chaos"), index, attempt, "tcp")
+            worker_fault(decision, index, attempt)  # kill/delay execute here
             out = guarded_chunk(
-                data["task"], data["index"], data["n_chunks"], data["size"],
+                data["task"], index, data["n_chunks"], data["size"],
                 "tcp", data["submitted"], data["seed"], data["parent_id"],
                 data["n_jobs"],
             )
+            action = transport_fault(decision, index, attempt)
+            message = ("result", (index, out))
             try:
-                send_msg(sock, ("result", (data["index"], out)), send_lock)
+                if action == "drop":
+                    break  # close without sending: reconnect, coordinator requeues
+                if action == "corrupt":
+                    _send_corrupted(sock, message, send_lock)
+                else:
+                    send_msg(sock, message, send_lock)
+                    if action == "dup":
+                        send_msg(sock, message, send_lock)
             except OSError:
                 break
             executed += 1
             if max_chunks is not None and executed >= max_chunks:
+                done = True
                 break
+    except OSError:
+        pass
     finally:
         stop.set()
         try:
             sock.close()
         except OSError:
             pass
-    return executed
+    return done, executed
 
 
 # ---------------------------------------------------------------------------
@@ -244,6 +457,7 @@ class _Coordinator:
         self.total = len(specs)
         self.pending: deque[ChunkSpec] = deque(specs)
         self.attempts = {spec.index: 0 for spec in specs}
+        self.fail_workers: dict[int, set[str]] = {}
         self.done: set[int] = set()
         self.exhausted: set[int] = set()
         self.task_error: ChunkTaskError | None = None
@@ -262,9 +476,10 @@ class _Coordinator:
             or len(self.done) + len(self.exhausted) >= self.total
         )
 
-    def claim(self) -> ChunkSpec | None:
-        """Take the next pending spec, blocking while chunks are in flight
-        (a failed one may be requeued); None once the batch is settled."""
+    def claim(self) -> "tuple[ChunkSpec, int] | None":
+        """Take the next pending spec (with its attempt number), blocking
+        while chunks are in flight (a failed one may be requeued); None
+        once the batch is settled."""
         with self.cond:
             while True:
                 if self._settled() or self.stop.is_set():
@@ -272,7 +487,7 @@ class _Coordinator:
                 if self.pending:
                     spec = self.pending.popleft()
                     self.attempts[spec.index] += 1
-                    return spec
+                    return spec, self.attempts[spec.index]
                 self.cond.wait(_POLL_S)
 
     def complete(self, spec: ChunkSpec, runs, metrics: dict | None) -> None:
@@ -285,8 +500,9 @@ class _Coordinator:
         with self.harvest_lock:
             self.harvest(spec.index, runs, metrics)
 
-    def fail(self, spec: ChunkSpec, error: str) -> None:
-        """Requeue a failed dispatch (original seed) or exhaust its budget."""
+    def fail(self, spec: ChunkSpec, error: str, worker: str | None = None) -> None:
+        """Requeue a failed dispatch (original seed), quarantine a chunk
+        that failed on too many distinct workers, or exhaust its budget."""
         obs.event(
             "parallel.chunk_failed",
             chunk=spec.index, error=error, kind="infrastructure",
@@ -296,8 +512,24 @@ class _Coordinator:
             if spec.index in self.done:
                 return
             self.last_error = error
+            owners = self.fail_workers.setdefault(spec.index, set())
+            if worker:
+                owners.add(worker)
             attempt = self.attempts[spec.index]
-            if attempt > self.context.retries:
+            if len(owners) >= POISON_DISTINCT_WORKERS:
+                # Circuit breaker: the same chunk failing on K unrelated
+                # workers is evidence the *chunk* is poison, not the
+                # workers — quarantine it for the deterministic serial
+                # fallback instead of churning through the retry budget.
+                self.exhausted.add(spec.index)
+                obs.event(
+                    "parallel.poison_chunk",
+                    chunk=spec.index, workers=len(owners), error=error,
+                    attempts=attempt,
+                )
+                obs_metrics.inc("parallel.poison_chunks")
+                obs_metrics.inc("fault_recovery", kind="poison_chunk")
+            elif attempt > self.context.retries:
                 self.exhausted.add(spec.index)
             else:
                 self.pending.append(spec)
@@ -305,6 +537,7 @@ class _Coordinator:
                     self.stats["retry_rounds"], attempt
                 )
                 obs_metrics.inc("parallel.retries")
+                obs_metrics.inc("fault_recovery", kind="retry")
                 obs.event(
                     "parallel.retry",
                     attempt=attempt,
@@ -341,19 +574,35 @@ class _Coordinator:
 
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
-            kind, _ = recv_msg(conn, patience=self._hello_patience(time.monotonic()))
+            kind, info = recv_msg(conn, patience=self._hello_patience(time.monotonic()))
         except (_Abandon, ConnectionError, OSError, EOFError, pickle.UnpicklingError):
             return
         if kind != "hello":
             return
+        proto = info.get("proto") if isinstance(info, dict) else None
+        if proto != PROTOCOL_VERSION:
+            # Version handshake: a stale or foreign worker is turned away
+            # before any chunk (or pickled task) crosses the wire.
+            obs.event(
+                "parallel.protocol_mismatch",
+                got=str(proto), expected=PROTOCOL_VERSION,
+            )
+            obs_metrics.inc("fault_recovery", kind="protocol_mismatch")
+            try:
+                send_msg(conn, ("reject", {"expected": PROTOCOL_VERSION}))
+            except OSError:
+                pass
+            return
+        worker = f"{info.get('host', '?')}:{info.get('pid', '?')}"
         while True:
-            spec = self.claim()
-            if spec is None:
+            claimed = self.claim()
+            if claimed is None:
                 try:
                     send_msg(conn, ("shutdown", None))
                 except OSError:
                     pass
                 return
+            spec, attempt = claimed
             job = {
                 "task": self.task,
                 "index": spec.index,
@@ -363,13 +612,15 @@ class _Coordinator:
                 "submitted": time.monotonic(),
                 "parent_id": self.parent_id,
                 "n_jobs": self.context.n_jobs,
+                "attempt": attempt,
+                "chaos": self.context.chaos,
             }
             try:
                 send_msg(conn, ("chunk", job))
             except OSError:
-                self.fail(spec, "send_failed")
+                self.fail(spec, "send_failed", worker)
                 return
-            if not self._await_result(conn, spec):
+            if not self._await_result(conn, spec, worker):
                 return
 
     def _hello_patience(self, started: float):
@@ -378,7 +629,7 @@ class _Coordinator:
                 raise _Abandon("no_hello")
         return check
 
-    def _await_result(self, conn: socket.socket, spec: ChunkSpec) -> bool:
+    def _await_result(self, conn: socket.socket, spec: ChunkSpec, worker: str) -> bool:
         """Wait for *spec*'s result on *conn*; False ends the connection."""
         dispatched = time.monotonic()
         deadline = (
@@ -402,24 +653,37 @@ class _Coordinator:
                 kind, data = recv_msg(conn, patience)
             except _Abandon as stop:
                 if stop.reason != "shutdown":
-                    self.fail(spec, stop.reason)
+                    self.fail(spec, stop.reason, worker)
+                return False
+            except ProtocolError:
+                # Torn or corrupted frame: the stream can no longer be
+                # trusted — drop the connection, requeue with the
+                # original seed.  The checksum is what turns silent
+                # corruption into a clean retry.
+                obs_metrics.inc("fault_recovery", kind="frame_corrupt")
+                self.fail(spec, "frame_corrupt", worker)
                 return False
             except (ConnectionError, OSError, EOFError, pickle.UnpicklingError):
-                self.fail(spec, "connection_lost")
+                self.fail(spec, "connection_lost", worker)
                 return False
             last_seen = time.monotonic()
             if kind == "heartbeat":
                 # A heartbeat proves liveness but does not extend the
                 # chunk's execution deadline.
                 if deadline is not None and last_seen > deadline:
-                    self.fail(spec, "timeout")
+                    self.fail(spec, "timeout", worker)
                     return False
                 continue
             if kind != "result":
                 continue
             index, out = data
             if index != spec.index:
-                self.fail(spec, "protocol_error")
+                if index in self.done:
+                    # Duplicate delivery (retransmit / chaos ``dup``): the
+                    # chunk was already harvested exactly once — ignore.
+                    obs_metrics.inc("fault_recovery", kind="duplicate_result")
+                    continue
+                self.fail(spec, "protocol_error", worker)
                 return False
             if isinstance(out, ChunkTaskError):
                 obs.event(
@@ -434,26 +698,28 @@ class _Coordinator:
 
 
 def _bind_address() -> tuple[str, int]:
-    raw = os.environ.get(BIND_ENV_VAR, "").strip()
-    if raw:
-        return parse_address(raw)
-    return ("127.0.0.1", 0)
+    return validate_bind_env()
 
 
 def _spawn_enabled() -> bool:
     return os.environ.get(SPAWN_ENV_VAR, "").strip() not in ("0", "false", "no")
 
 
-def _spawn_local_workers(host: str, port: int, count: int) -> list:
-    """Start *count* local ``repro-sim worker`` subprocesses.
+def _spawn_local_workers(host: str, port: int, count: int, procs: list) -> None:
+    """Start *count* local ``repro-sim worker`` subprocesses into *procs*.
+
+    Appends each child to *procs* **as it is spawned**, so a failure
+    launching worker *k* leaves workers ``0..k-1`` visible to the caller's
+    reaper instead of leaking them — the caller owns the list and always
+    reaps it in a ``finally``.
 
     The coordinator's environment is inherited (so ``REPRO_TRACE`` /
-    ``REPRO_PROFILE`` keep working across the process boundary) with the
-    coordinator's ``sys.path`` exported as ``PYTHONPATH``, so a freshly
-    spawned interpreter unpickles chunk tasks by reference exactly like a
-    forked process-pool worker would — including tasks defined in modules
-    that are importable only through runtime path entries (a test module,
-    a script directory).
+    ``REPRO_PROFILE`` / ``REPRO_CHAOS`` keep working across the process
+    boundary) with the coordinator's ``sys.path`` exported as
+    ``PYTHONPATH``, so a freshly spawned interpreter unpickles chunk tasks
+    by reference exactly like a forked process-pool worker would —
+    including tasks defined in modules that are importable only through
+    runtime path entries (a test module, a script directory).
     """
     import repro
 
@@ -464,7 +730,6 @@ def _spawn_local_workers(host: str, port: int, count: int) -> list:
         list(paths) + env.get("PYTHONPATH", "").split(os.pathsep)
     ).rstrip(os.pathsep)
     connect = f"{host if host not in ('0.0.0.0', '::') else '127.0.0.1'}:{port}"
-    procs = []
     for _ in range(count):
         procs.append(
             subprocess.Popen(
@@ -472,7 +737,6 @@ def _spawn_local_workers(host: str, port: int, count: int) -> list:
                 env=env,
             )
         )
-    return procs
 
 
 class TcpBackend(ExecutorBackend):
@@ -518,11 +782,16 @@ class TcpBackend(ExecutorBackend):
             acceptor.start()
             spawn = _spawn_enabled()
             if spawn:
-                procs = _spawn_local_workers(
-                    host, port, min(context.n_jobs, len(specs))
+                _spawn_local_workers(
+                    host, port, min(context.n_jobs, len(specs)), procs
                 )
-            self._wait(coord, procs, spawn)
+            self._wait(coord, procs, spawn, host, port)
         finally:
+            # Every exit path — batch settled, bind failure after partial
+            # setup, task error, KeyboardInterrupt out of _wait, even an
+            # exception while spawning worker k of n — lands here with
+            # every successfully spawned child recorded in ``procs``, so
+            # none of them can outlive the coordinator.
             coord.stop.set()
             with coord.cond:
                 coord.cond.notify_all()
@@ -553,8 +822,18 @@ class TcpBackend(ExecutorBackend):
                 target=coord.handle, args=(conn,), daemon=True
             ).start()
 
-    def _wait(self, coord: _Coordinator, procs: list, spawn: bool) -> None:
+    def _wait(
+        self, coord: _Coordinator, procs: list, spawn: bool, host: str, port: int
+    ) -> None:
         started = time.monotonic()
+        # Workers lost to faults (a chaos kill, a crash) are replaced while
+        # work remains, within a budget bounded by the retry discipline:
+        # every chunk makes at most ``retries + 1`` attempts, so a batch
+        # can never consume workers beyond that — a respawn loop cannot
+        # run away.
+        respawn_budget = (
+            coord.context.n_jobs * (coord.context.retries + 1) if spawn else 0
+        )
         while True:
             with coord.cond:
                 if coord._settled():
@@ -562,12 +841,27 @@ class TcpBackend(ExecutorBackend):
                 coord.cond.wait(_POLL_S)
                 ever = coord.ever_connected
                 active = coord.active_connections
+                remaining = (
+                    coord.total - len(coord.done) - len(coord.exhausted)
+                )
             if active > 0:
                 continue
             if spawn:
                 if procs and all(p.poll() is not None for p in procs):
-                    # Every local worker exited and nothing is connected:
-                    # no executor will ever pick up the remaining chunks.
+                    if remaining > 0 and respawn_budget > 0:
+                        count = min(
+                            coord.context.n_jobs, remaining, respawn_budget
+                        )
+                        respawn_budget -= count
+                        obs.event("parallel.worker_respawn", count=count)
+                        obs_metrics.inc(
+                            "fault_recovery", count, kind="worker_respawn"
+                        )
+                        _spawn_local_workers(host, port, count, procs)
+                        continue
+                    # Every local worker exited, nothing is connected and
+                    # the respawn budget is spent: no executor will ever
+                    # pick up the remaining chunks.
                     coord.last_error = coord.last_error or "workers_exited"
                     return
             elif not ever and time.monotonic() - started > LIVENESS_TIMEOUT:
@@ -577,9 +871,13 @@ class TcpBackend(ExecutorBackend):
     def _reap(self, procs: list) -> None:
         # The batch is settled by now: anything still running is either an
         # idle worker draining its shutdown message or one stuck in an
-        # abandoned (timed-out) chunk — a short grace, then terminate.
+        # abandoned (timed-out) chunk — a short grace, then terminate,
+        # then SIGKILL.  Every spawned child passes through here on every
+        # coordinator exit path (see the ``finally`` in :meth:`run`).
         deadline = time.monotonic() + 1.5
         for proc in procs:
+            if proc.poll() is not None:
+                continue
             try:
                 proc.wait(timeout=max(0.1, deadline - time.monotonic()))
             except subprocess.TimeoutExpired:
@@ -588,6 +886,10 @@ class TcpBackend(ExecutorBackend):
                     proc.wait(timeout=2.0)
                 except subprocess.TimeoutExpired:
                     proc.kill()
+                    try:
+                        proc.wait(timeout=2.0)
+                    except subprocess.TimeoutExpired:  # pragma: no cover
+                        pass
 
     def _fallback(
         self,
@@ -604,6 +906,7 @@ class TcpBackend(ExecutorBackend):
             n_jobs=context.n_jobs,
         )
         obs_metrics.inc("parallel.fallbacks")
+        obs_metrics.inc("fault_recovery", kind="fallback")
         detail = (
             f"{reason}; {context.retries} retries exhausted" if exhausted else reason
         )

@@ -211,11 +211,25 @@ def guarded_chunk(
     chunk_seed: np.random.SeedSequence,
     parent_id: str | None = None,
     n_jobs: int = 1,
+    chaos=None,
+    attempt: int = 1,
 ) -> "ChunkPayload | ChunkTaskError":
     """:func:`run_traced_chunk` in the worker: returns the chunk result
     bundled with the metrics delta the chunk recorded there, and returns
-    task exceptions as values instead of raising."""
+    task exceptions as values instead of raising.
+
+    *chaos* is an optional :class:`~repro.chaos.ChaosPlan`; when set, the
+    deterministic decision for ``(index, attempt)`` may SIGKILL this
+    worker before the task runs (fail-stop) or delay the return
+    (straggler) — transport faults are left to the backend's send path.
+    Chaos runs *inside* the guard on purpose: an injected kill looks to
+    the coordinator exactly like the real worker loss it models.
+    """
     before = obs_metrics.snapshot()
+    if chaos is not None:
+        from repro.chaos import chunk_decision, worker_fault
+
+        worker_fault(chunk_decision(chaos, index, attempt, backend), index, attempt)
     try:
         runs = run_traced_chunk(
             task, index, n_chunks, size, backend, submitted_mono, chunk_seed,

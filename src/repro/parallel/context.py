@@ -121,6 +121,14 @@ class ExecutionContext:
         (Welford moments, in chunk order) and returns a
         :class:`~repro.parallel.streaming.StreamingRunSummary` instead of
         materializing every chunk ``RunSet`` before the merge.
+    chaos:
+        Seeded deterministic fault injection (:mod:`repro.chaos`): a spec
+        string (``"seed=7,kill=0.2,delay=0.1"``) or a parsed
+        :class:`~repro.chaos.ChaosPlan`.  ``None`` (the default) resolves
+        from the ``REPRO_CHAOS`` environment variable, else chaos is off.
+        Faults execute in workers and on the tcp wire only — never in the
+        dispatching process, never on the serial backend — so results
+        stay bit-identical while the recovery machinery is exercised.
     """
 
     n_jobs: int = 1
@@ -130,6 +138,7 @@ class ExecutionContext:
     chunk_timeout: float | None = None
     retry_backoff: float = 0.25
     streaming: bool = False
+    chaos: "str | object | None" = None
 
     def __post_init__(self) -> None:
         if self.backend is None:
@@ -138,6 +147,17 @@ class ExecutionContext:
             raise ParameterError(
                 f"backend must be one of {available_backends()}, got {self.backend!r}"
             )
+        # Parse/validate chaos eagerly (ParameterError here, not mid-sweep);
+        # the stored value is always a ChaosPlan or None.
+        from repro.chaos import resolve_chaos
+
+        object.__setattr__(self, "chaos", resolve_chaos(self.chaos))
+        if self.backend == "tcp":
+            # Surface a malformed bind address at context construction
+            # instead of as a warning-wrapped failure deep in dispatch.
+            from repro.parallel.backends.tcp import validate_bind_env
+
+            validate_bind_env()
         if self.n_jobs == -1:
             object.__setattr__(self, "n_jobs", os.cpu_count() or 1)
         else:
@@ -199,6 +219,7 @@ def parallel_execution(
     chunk_timeout: float | None = None,
     retry_backoff: float = 0.25,
     streaming: bool = False,
+    chaos: "str | None" = None,
 ) -> Iterator[ExecutionContext]:
     """Scoped default context: every simulation inside the block uses it.
 
@@ -215,6 +236,7 @@ def parallel_execution(
         chunk_timeout=chunk_timeout,
         retry_backoff=retry_backoff,
         streaming=streaming,
+        chaos=chaos,
     )
     previous = set_default_execution(context)
     try:

@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.cache import cacheable_seed, resolve_cache, runset_key
+from repro.journal import resolve_journal
 from repro.obs import manifest as _obs_manifest
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs
@@ -99,10 +100,22 @@ def run_chunked(
     parts: list["RunSet | None"] = [None] * len(sizes)
     done = [False] * len(sizes)
 
-    # Resume support: serve completed chunks from the ambient cache.
+    # Resume support: serve completed chunks from the ambient cache, and
+    # write-ahead every layout/completion into the ambient sweep journal
+    # (repro.journal) so a coordinator killed mid-batch leaves a durable
+    # record of exactly which cache keys are already harvestable.
     cache = resolve_cache() if cacheable_seed(seed) else None
+    journal = resolve_journal()
     keys: list[str] | None = None
     cache_hits = 0
+    if journal is not None:
+        journal.chunk_layout(
+            task=describe_task(task),
+            n_runs=n_runs,
+            chunk_size=context.effective_chunk_size,
+            n_chunks=len(sizes),
+            seed=_obs_manifest.seed_provenance(root_seed),
+        )
     if cache is not None:
         task_label = f"chunk:{describe_task(task)}"
         root_prov = _obs_manifest.seed_provenance(root_seed)
@@ -135,10 +148,19 @@ def run_chunked(
             if hit is not None:
                 _accept(i, hit)
                 cache_hits += 1
+                if journal is not None:
+                    journal.chunk_done(i, key, source="cache")
 
     def _store(index: int, chunk: "RunSet") -> None:
+        # Cache first, journal second: a journaled key must always name a
+        # durable cache entry, so a crash between the two is safe (the
+        # chunk is merely recomputed on resume).
         if cache is not None and keys is not None:
             cache.put(keys[index], chunk, label=f"chunk:{describe_task(task)}")
+        if journal is not None:
+            journal.chunk_done(
+                index, keys[index] if keys is not None else None
+            )
 
     def harvest(index: int, runs: "RunSet", metrics: dict | None) -> None:
         # The backend contract (repro.parallel.protocol): called exactly

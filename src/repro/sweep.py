@@ -1,0 +1,413 @@
+"""Crash-safe parameter sweeps: ``repro-sim sweep`` and its resume path.
+
+A sweep runs one recovery strategy across a list of MTBF points, with every
+replication fanned out through the chunked executor layer.  What makes it a
+*subsystem* rather than a loop is the durability contract:
+
+* the full :class:`SweepRequest` is journaled (:mod:`repro.journal`)
+  **before** any simulation starts, so ``repro-sim sweep --resume`` can
+  reconstruct the run from the journal alone;
+* every chunk layout and completed-chunk cache key is journaled by
+  :func:`repro.parallel.run_chunked` as the sweep executes, beside the
+  content-addressed cache entries themselves (:mod:`repro.cache`);
+* a coordinator killed at any instant — SIGKILL included — therefore
+  leaves a journal whose status reads ``crashed``, and resuming replays the
+  request through the cache: completed chunks hit, missing chunks
+  recompute with their original per-chunk seeds, and the merged result is
+  **bit-identical** to an undisturbed run;
+* SIGTERM/SIGINT trigger a graceful drain instead: the in-flight point is
+  abandoned, an ``interrupted`` record is flushed, and the CLI exits
+  nonzero with a resume hint.
+
+Determinism: per-point seeds are ``SeedSequence(seed).spawn(n_points)``
+children — a pure function of the request — so neither resumption nor the
+executor backend (nor an active chaos plan, :mod:`repro.chaos`) can change
+any number in the output table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import signal
+import threading
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.cache import resolve_cache
+from repro.exceptions import ParameterError
+from repro.journal import (
+    SweepJournal,
+    journal_status,
+    read_journal,
+    set_active_journal,
+)
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs
+from repro.util.rng import as_seed_sequence
+from repro.util.units import YEAR
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = [
+    "STRATEGIES",
+    "SweepOutcome",
+    "SweepRequest",
+    "default_journal_path",
+    "find_resumable_journal",
+    "load_request",
+    "run_sweep",
+]
+
+#: recovery strategies a sweep can drive (the ``simulate`` subcommand's).
+STRATEGIES = ("restart", "no-restart", "restart-on-failure", "no-replication")
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """Everything that determines a sweep's output, and nothing else.
+
+    Execution knobs (worker count, backend, chaos plan) are deliberately
+    *not* part of the request: they may change between a crash and its
+    resume without changing a single output bit, so journaling them would
+    only manufacture spurious mismatches.
+    """
+
+    strategy: str
+    mtbf_years: tuple[float, ...]
+    pairs: int = 100_000
+    checkpoint: float = 60.0
+    period: float | None = None
+    periods: int = 100
+    runs: int = 200
+    restart_factor: float = 1.0
+    seed: int = 2019
+    chunk_size: int | None = None
+    save_runs: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ParameterError(
+                f"strategy must be one of {STRATEGIES}, got {self.strategy!r}"
+            )
+        points = tuple(float(m) for m in self.mtbf_years)
+        if not points:
+            raise ParameterError("mtbf_years must name at least one sweep point")
+        for m in points:
+            check_positive("mtbf_years", m)
+        object.__setattr__(self, "mtbf_years", points)
+        check_positive_int("pairs", self.pairs)
+        check_positive("checkpoint", self.checkpoint)
+        if self.period is not None:
+            check_positive("period", self.period)
+        check_positive_int("periods", self.periods)
+        check_positive_int("runs", self.runs)
+        if not 1.0 <= self.restart_factor <= 2.0:
+            raise ParameterError(
+                f"restart_factor must be in [1, 2], got {self.restart_factor!r}"
+            )
+        # A journaled sweep must be replayable, which requires a pinned seed.
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ParameterError(
+                f"sweep seed must be an integer, got {self.seed!r}"
+            )
+        if self.chunk_size is not None:
+            check_positive_int("chunk_size", self.chunk_size)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "mtbf_years": list(self.mtbf_years),
+            "pairs": self.pairs,
+            "checkpoint": self.checkpoint,
+            "period": self.period,
+            "periods": self.periods,
+            "runs": self.runs,
+            "restart_factor": self.restart_factor,
+            "seed": self.seed,
+            "chunk_size": self.chunk_size,
+            "save_runs": self.save_runs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepRequest":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ParameterError(
+                f"unknown sweep request fields: {sorted(unknown)}"
+            )
+        kwargs = dict(data)
+        if "mtbf_years" in kwargs:
+            kwargs["mtbf_years"] = tuple(kwargs["mtbf_years"])
+        return cls(**kwargs)
+
+    def fingerprint(self) -> str:
+        """Short content hash naming this request (journal filenames)."""
+        blob = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class SweepOutcome:
+    """What a sweep run produced (or got through before stopping)."""
+
+    status: str  # "complete" | "interrupted"
+    rows: list[dict] = field(default_factory=list)
+    journal_path: Path | None = None
+
+    @property
+    def complete(self) -> bool:
+        return self.status == "complete"
+
+
+# ---------------------------------------------------------------------------
+# Journal placement and resume discovery
+# ---------------------------------------------------------------------------
+
+
+def default_journal_path(request: SweepRequest) -> Path:
+    """``<cache>/journal/sweep-<fingerprint>.jsonl`` beside the result cache.
+
+    The journal names cache keys, so the two artifacts resumption needs
+    travel together; with no cache active the caller must pass an explicit
+    journal path (or accept that resume will recompute every chunk).
+    """
+    cache = resolve_cache()
+    if cache is None:
+        raise ParameterError(
+            "no result cache is active: pass --cache-dir (or set "
+            "REPRO_CACHE_DIR) so the journal has somewhere durable to "
+            "live, or name a journal file explicitly with --journal"
+        )
+    return Path(cache.root) / "journal" / f"sweep-{request.fingerprint()}.jsonl"
+
+
+def load_request(journal_path: str | Path) -> tuple[SweepRequest, str]:
+    """Reconstruct the :class:`SweepRequest` a journal was begun with.
+
+    Returns ``(request, status)`` where *status* is the journal's lifecycle
+    word (``crashed`` / ``interrupted`` / ``complete``).  The *last*
+    ``begin`` record wins — each resume appends its own.
+    """
+    records = read_journal(journal_path)
+    begin = None
+    for record in records:
+        if record.get("kind") == "begin":
+            begin = record
+    if begin is None or not isinstance(begin.get("request"), dict):
+        raise ParameterError(
+            f"{journal_path} has no begin record: not a sweep journal"
+        )
+    return SweepRequest.from_dict(begin["request"]), journal_status(records)
+
+
+def find_resumable_journal(journal_dir: str | Path) -> Path:
+    """The newest crashed-or-interrupted journal under *journal_dir*."""
+    directory = Path(journal_dir)
+    candidates = sorted(
+        directory.glob("sweep-*.jsonl"),
+        key=lambda p: p.stat().st_mtime,
+        reverse=True,
+    )
+    for path in candidates:
+        try:
+            status = journal_status(read_journal(path))
+        except ParameterError:
+            continue
+        if status in ("crashed", "interrupted"):
+            return path
+    raise ParameterError(
+        f"no resumable sweep journal under {directory} "
+        "(nothing crashed or interrupted)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Point execution
+# ---------------------------------------------------------------------------
+
+
+def _point_runs(request: SweepRequest, mtbf_years: float, seed: Any):
+    """Run one sweep point; returns ``(period_s, RunSet)``.
+
+    Mirrors the ``repro-sim simulate`` strategy mapping exactly (same
+    period defaults, same entry points) so a sweep point and a one-shot
+    simulation of the same parameters are the same numbers.
+    """
+    from repro.core import no_restart_period, restart_period, young_daly_period
+    from repro.platform_model import CheckpointCosts
+    from repro.simulation import (
+        simulate_no_replication,
+        simulate_no_restart,
+        simulate_restart,
+        simulate_restart_on_failure,
+    )
+
+    mu = mtbf_years * YEAR
+    b, c = request.pairs, request.checkpoint
+    costs = CheckpointCosts(
+        checkpoint=c, restart_factor=request.restart_factor
+    )
+    if request.strategy == "restart":
+        period = request.period or restart_period(mu, costs.restart_checkpoint, b)
+        runs = simulate_restart(
+            mtbf=mu, n_pairs=b, period=period, costs=costs,
+            n_periods=request.periods, n_runs=request.runs, seed=seed,
+        )
+    elif request.strategy == "no-restart":
+        period = request.period or no_restart_period(mu, c, b)
+        runs = simulate_no_restart(
+            mtbf=mu, n_pairs=b, period=period, costs=costs,
+            n_periods=request.periods, n_runs=request.runs, seed=seed,
+        )
+    elif request.strategy == "restart-on-failure":
+        period = request.period or restart_period(mu, costs.restart_checkpoint, b)
+        runs = simulate_restart_on_failure(
+            mtbf=mu, n_pairs=b, work_target=request.periods * period,
+            costs=costs, n_runs=request.runs, seed=seed,
+        )
+    else:  # no-replication
+        n = 2 * b
+        period = request.period or young_daly_period(mu, c, n)
+        runs = simulate_no_replication(
+            mtbf=mu, n_procs=n, period=period, costs=costs,
+            n_periods=request.periods, n_runs=request.runs, seed=seed,
+        )
+    return period, runs
+
+
+# ---------------------------------------------------------------------------
+# The sweep driver
+# ---------------------------------------------------------------------------
+
+
+class _Drain(BaseException):
+    """SIGTERM/SIGINT during a sweep: drain gracefully, journal, exit."""
+
+    def __init__(self, signame: str) -> None:
+        super().__init__(signame)
+        self.signame = signame
+
+
+@dataclass
+class _SignalScope:
+    """Install drain handlers for the sweep's duration (main thread only)."""
+
+    previous: list = field(default_factory=list)
+
+    def __enter__(self) -> "_SignalScope":
+        if threading.current_thread() is not threading.main_thread():
+            return self  # embedded use: caller owns signal disposition
+
+        def _drain(signum: int, frame: Any) -> None:
+            raise _Drain(signal.Signals(signum).name)
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            self.previous.append((sig, signal.signal(sig, _drain)))
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        for sig, handler in self.previous:
+            signal.signal(sig, handler)
+
+
+def run_sweep(
+    request: SweepRequest,
+    *,
+    journal_path: str | Path | None = None,
+    resume: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> SweepOutcome:
+    """Execute *request* under the write-ahead journal; see module docstring.
+
+    With ``resume=True`` the call is a replay: the request (typically
+    reconstructed from the journal via :func:`load_request`) re-executes
+    every point through the ambient cache — journaled chunks hit, missing
+    chunks recompute with their original seeds — and appends a fresh
+    ``begin`` record so the journal documents the resume itself.
+
+    Raises nothing on SIGTERM/SIGINT: the outcome's status is
+    ``"interrupted"`` and the journal's final record says why.  SIGKILL
+    obviously cannot be caught — that is what the write-ahead discipline
+    is for.
+    """
+    say = progress or (lambda _msg: None)
+    path = Path(journal_path) if journal_path is not None else default_journal_path(request)
+    if request.chunk_size is not None:
+        # Pin the journaled chunk size onto the ambient context so resume
+        # reproduces the exact chunk layout (and therefore cache keys).
+        from repro.parallel import get_default_execution, set_default_execution
+
+        context = get_default_execution()
+        if context is not None and context.chunk_size != request.chunk_size:
+            set_default_execution(replace(context, chunk_size=request.chunk_size))
+
+    journal = SweepJournal(path)
+    previous = set_active_journal(journal)
+    outcome = SweepOutcome(status="interrupted", journal_path=path)
+    save_dir = Path(request.save_runs) if request.save_runs else None
+    if save_dir is not None:
+        save_dir.mkdir(parents=True, exist_ok=True)
+    try:
+        with _SignalScope():
+            journal.begin(request.to_dict(), label=request.strategy)
+            if resume:
+                journal.append("resume")
+                obs.event("sweep.resume", journal=str(path))
+                obs_metrics.inc("fault_recovery", kind="sweep_resume")
+            root = as_seed_sequence(request.seed)
+            point_seeds = root.spawn(len(request.mtbf_years))
+            obs.event(
+                "sweep.start",
+                sweep=f"cli:{request.strategy}",
+                points=len(request.mtbf_years),
+            )
+            for i, mtbf in enumerate(request.mtbf_years):
+                journal.point_start(i, mtbf_years=mtbf)
+                period, runs = _point_runs(request, mtbf, point_seeds[i])
+                if save_dir is not None:
+                    from repro.io import save_runset
+
+                    save_runset(runs, save_dir / f"point-{i:03d}.json")
+                summary = runs.overhead_summary()
+                row = {
+                    "index": i,
+                    "mtbf_years": mtbf,
+                    "period_s": period,
+                    "overhead": summary.mean,
+                    "halfwidth": summary.halfwidth,
+                    "n_runs": summary.n_runs,
+                    "n_fatal": float(runs.n_fatal.mean()),
+                }
+                journal.point_done(
+                    i,
+                    overhead=summary.mean,
+                    halfwidth=summary.halfwidth,
+                    n_runs=summary.n_runs,
+                )
+                outcome.rows.append(row)
+                say(
+                    f"point {i + 1}/{len(request.mtbf_years)}: "
+                    f"mtbf={mtbf:g}y overhead={summary.mean:.4%} "
+                    f"± {summary.halfwidth:.4%}"
+                )
+            journal.end("complete")
+            outcome.status = "complete"
+    except _Drain as sig:
+        # Graceful drain: the journal's last full record says what and
+        # why, so --resume can pick up without guessing.
+        journal.interrupted(sig.signame)
+        obs.event("sweep.interrupted", signal=sig.signame, journal=str(path))
+        obs_metrics.inc("fault_recovery", kind="graceful_drain")
+        say(f"sweep interrupted by {sig.signame}; journal: {path}")
+    finally:
+        set_active_journal(previous)
+        journal.close()
+    return outcome
+
+
+def iter_points(request: SweepRequest) -> Iterator[tuple[int, float]]:
+    """Enumerate the sweep's points (index, mtbf_years)."""
+    return iter(enumerate(request.mtbf_years))

@@ -191,6 +191,39 @@ class BackendConformanceSuite:
         assert delta["counters"]["conf.chunks"] == 4.0
         assert delta["counters"]["conf.runs"] == 8.0
 
+    # -- chaos ---------------------------------------------------------
+    #: pinned seed → the injected fault sequence is bit-reproducible; mild
+    #: probabilities so the retry budget absorbs every injection.
+    CHAOS_SPEC = "seed=2019,kill=0.05,delay=0.05,corrupt=0.05,drop=0.05,dup=0.05,delay_s=0.05"
+
+    @pytest.mark.filterwarnings("default::RuntimeWarning")
+    def test_seeded_chaos_stays_bit_identical(self):
+        # Chaos may change *how* chunks get computed (kills, retries,
+        # duplicate frames, even a serial fallback) — never *what*.
+        baseline = run_chunked(
+            _stub_task, n_runs=10, seed=42,
+            context=ExecutionContext(n_jobs=1, backend="serial", chunk_size=2),
+        )
+        rs = run_chunked(
+            _stub_task, n_runs=10, seed=42,
+            context=self.ctx(2, retries=6, chaos=self.CHAOS_SPEC),
+        )
+        _assert_identical(baseline, rs)
+        assert rs.meta["execution"]["backend"] == self.backend
+
+    @pytest.mark.filterwarnings("default::RuntimeWarning")
+    def test_metric_deltas_exactly_once_under_chaos(self):
+        # Doomed attempts (killed, dropped, corrupted) must never merge
+        # their metric deltas; duplicates must merge exactly once.
+        before = obs_metrics.snapshot()
+        run_chunked(
+            _metric_task, n_runs=10, seed=1,
+            context=self.ctx(2, retries=6, chaos=self.CHAOS_SPEC),
+        )
+        delta = obs_metrics.snapshot_delta(before, obs_metrics.snapshot())
+        assert delta["counters"]["conf.chunks"] == 5.0
+        assert delta["counters"]["conf.runs"] == 10.0
+
     # -- error propagation ---------------------------------------------
     def test_task_exception_propagates_unchanged(self):
         with pytest.raises(ValueError, match="conformance boom"):

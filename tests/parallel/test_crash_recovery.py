@@ -1,0 +1,130 @@
+"""SIGKILL the sweep coordinator mid-run; resume must be bit-identical.
+
+This is the acceptance test for the write-ahead journal discipline
+(:mod:`repro.journal` + :mod:`repro.sweep`): a coordinator killed with
+SIGKILL — no handlers, no atexit, nothing — leaves a journal whose status
+reads ``crashed``, and ``repro-sim sweep --resume`` replays the journaled
+request through the content-addressed cache to the exact bits an
+undisturbed run produces.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.io import load_runset
+from repro.journal import journal_status, read_journal
+
+_SWEEP_ARGS = [
+    "sweep", "restart",
+    "--mtbf-years", "5,10",
+    "--pairs", "2000",
+    "--periods", "5",
+    "--runs", "64",
+    "--seed", "7",
+    "--chunk-size", "4",
+    "--jobs", "1",
+]
+
+
+def _env() -> dict:
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env = os.environ.copy()
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
+    return env
+
+
+def _cli(extra: list, env: dict) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *extra],
+        env=env, capture_output=True, text=True, timeout=300.0,
+    )
+
+
+def _journal_chunks(journal_dir: Path) -> tuple[Path | None, int]:
+    for path in journal_dir.glob("sweep-*.jsonl"):
+        try:
+            records = read_journal(path)
+        except Exception:
+            continue
+        return path, sum(r.get("kind") == "chunk" for r in records)
+    return None, 0
+
+
+@pytest.mark.slow
+def test_sigkill_mid_sweep_then_resume_is_bit_identical(tmp_path):
+    env = _env()
+
+    # Undisturbed reference, in its own cache so nothing is shared.
+    ref = _cli(
+        _SWEEP_ARGS
+        + ["--cache-dir", str(tmp_path / "ref-cache"),
+           "--save-runs", str(tmp_path / "ref-runs")],
+        env,
+    )
+    assert ref.returncode == 0, ref.stderr
+
+    # The victim: SIGKILL once the journal proves real progress (the
+    # layout is down and at least two chunks have committed).
+    cache = tmp_path / "cache"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", *_SWEEP_ARGS,
+         "--cache-dir", str(cache),
+         "--save-runs", str(tmp_path / "runs")],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    journal_dir = cache / "journal"
+    deadline = time.monotonic() + 120.0
+    try:
+        while True:
+            assert time.monotonic() < deadline, "sweep never journaled a chunk"
+            assert proc.poll() is None, "sweep finished before it could be killed"
+            _path, n_chunks = _journal_chunks(journal_dir)
+            if n_chunks >= 2:
+                break
+            time.sleep(0.01)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30.0)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10.0)
+    assert proc.returncode == -signal.SIGKILL
+
+    journal_path, _ = _journal_chunks(journal_dir)
+    assert journal_path is not None
+    assert journal_status(read_journal(journal_path)) == "crashed"
+
+    # Resume finds the crashed journal on its own and finishes the run.
+    resumed = _cli(["sweep", "--resume", "--cache-dir", str(cache)], env)
+    assert resumed.returncode == 0, resumed.stderr
+    records = read_journal(journal_path)
+    assert journal_status(records) == "complete"
+    assert any(r.get("kind") == "resume" for r in records)
+    # Resume replays through the cache: at least one journaled chunk must
+    # have been a hit rather than a recompute.
+    assert any(
+        r.get("kind") == "chunk" and r.get("source") == "cache" for r in records
+    )
+
+    for i in range(2):
+        a = load_runset(tmp_path / "ref-runs" / f"point-{i:03d}.json")
+        b = load_runset(tmp_path / "runs" / f"point-{i:03d}.json")
+        for name in ("overheads", "total_time", "n_failures", "n_fatal"):
+            np.testing.assert_array_equal(
+                np.asarray(getattr(a, name)),
+                np.asarray(getattr(b, name)),
+                err_msg=name, strict=True,
+            )

@@ -9,23 +9,39 @@ merged result stays bit-identical throughout.
 
 from __future__ import annotations
 
+import os
+import signal
 import socket
+import subprocess
+import sys
 import threading
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro.chaos import CHAOS_ENV_VAR
 from repro.exceptions import ParameterError
 from repro.parallel import ExecutionContext, run_chunked
 from repro.parallel.backends.tcp import (
+    _HEADER,
     BIND_ENV_VAR,
+    MAGIC,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
     SPAWN_ENV_VAR,
+    ProtocolError,
+    _Coordinator,
+    _frame,
     parse_address,
     recv_msg,
     send_msg,
     serve_worker,
+    validate_bind_env,
 )
+from repro.parallel.chunks import guarded_chunk
+from repro.parallel.protocol import ChunkSpec
 from repro.simulation import RunSet
 
 pytestmark = pytest.mark.filterwarnings("error::RuntimeWarning")
@@ -73,12 +89,9 @@ class TestFraming:
                 waits.append(1)
 
             def trickle() -> None:
-                import pickle
-                import struct
+                from repro.parallel.backends.tcp import _frame
 
-                raw = struct.pack("!I", len(pickle.dumps(payload))) + pickle.dumps(
-                    payload
-                )
+                raw = _frame(payload)
                 for i in range(0, len(raw), 512):
                     a.sendall(raw[i : i + 512])
                     time.sleep(0.02)
@@ -100,6 +113,52 @@ class TestFraming:
         b.close()
 
 
+class TestFrameHardening:
+    """A frame that does not verify must raise, never mis-deliver."""
+
+    def _pair(self):
+        a, b = socket.socketpair()
+        return a, b
+
+    def test_checksum_mismatch_raises(self):
+        a, b = self._pair()
+        try:
+            a.sendall(_frame(("result", (0, "x")), crc_xor=0x5A5A5A5A))
+            with pytest.raises(ProtocolError, match="checksum"):
+                recv_msg(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_bad_magic_raises(self):
+        a, b = self._pair()
+        try:
+            raw = bytearray(_frame(("hello", None)))
+            raw[:4] = b"EVIL"
+            a.sendall(bytes(raw))
+            with pytest.raises(ProtocolError, match="magic"):
+                recv_msg(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversize_length_rejected_before_buffering(self):
+        # Only a header crosses the wire: the bound must trip before the
+        # receiver tries to allocate or read the advertised payload.
+        a, b = self._pair()
+        try:
+            a.sendall(_HEADER.pack(MAGIC, MAX_FRAME_BYTES + 1, 0))
+            with pytest.raises(ProtocolError, match="bound"):
+                recv_msg(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_frame_refuses_oversized_payload(self):
+        with pytest.raises(ProtocolError, match="bound"):
+            _frame(("blob", b"\x00" * (MAX_FRAME_BYTES + 1)))
+
+
 class TestParseAddress:
     def test_valid(self):
         assert parse_address("127.0.0.1:7077") == ("127.0.0.1", 7077)
@@ -109,6 +168,181 @@ class TestParseAddress:
         for bad in ("nohost", ":8000", "host:", "host:abc", "host:-1", "host:70000"):
             with pytest.raises(ParameterError):
                 parse_address(bad)
+
+    def test_message_names_the_source(self):
+        with pytest.raises(ParameterError, match="--connect"):
+            parse_address("nohost", source="--connect")
+        with pytest.raises(ParameterError, match="--connect"):
+            parse_address("host:nan", source="--connect")
+
+    def test_bad_bind_env_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(BIND_ENV_VAR, "not-an-address")
+        with pytest.raises(ParameterError, match=BIND_ENV_VAR):
+            validate_bind_env()
+
+    def test_bad_bind_env_fails_at_context_construction(self, monkeypatch):
+        # The tcp backend validates its bind address eagerly: the error
+        # surfaces where the user configured it, not deep inside dispatch.
+        monkeypatch.setenv(BIND_ENV_VAR, "host:99999")
+        with pytest.raises(ParameterError, match=BIND_ENV_VAR):
+            ExecutionContext(n_jobs=2, backend="tcp")
+
+    def test_unset_bind_env_defaults_to_ephemeral_localhost(self, monkeypatch):
+        monkeypatch.delenv(BIND_ENV_VAR, raising=False)
+        assert validate_bind_env() == ("127.0.0.1", 0)
+
+
+def _deadline_patience(seconds: float = 10.0):
+    deadline = time.monotonic() + seconds
+    def check() -> None:
+        assert time.monotonic() < deadline, "timed out waiting for a frame"
+    return check
+
+
+class TestCoordinatorHardening:
+    """Handshake, duplicate and poison-chunk behaviour, tested over a
+    socketpair against a real :class:`_Coordinator`."""
+
+    def _coordinator(self, n_chunks: int = 2, size: int = 2):
+        seeds = np.random.SeedSequence(7).spawn(n_chunks)
+        specs = [ChunkSpec(i, n_chunks, size, seeds[i]) for i in range(n_chunks)]
+        harvested: list[int] = []
+        coord = _Coordinator(
+            _stub_task,
+            specs,
+            ExecutionContext(n_jobs=1, backend="serial", chunk_size=size),
+            lambda index, runs, metrics: harvested.append(index),
+            None,
+        )
+        return coord, harvested
+
+    def test_version_mismatch_rejected_before_any_chunk(self):
+        coord, harvested = self._coordinator()
+        a, b = socket.socketpair()
+        a.settimeout(0.1)
+        t = threading.Thread(target=coord.handle, args=(b,))
+        t.start()
+        try:
+            send_msg(a, ("hello", {"pid": 1, "host": "stale", "proto": 1}))
+            kind, data = recv_msg(a, _deadline_patience())
+            assert kind == "reject"
+            assert data == {"expected": PROTOCOL_VERSION}
+        finally:
+            a.close()
+        t.join(timeout=10.0)
+        assert not t.is_alive()
+        assert harvested == [] and not coord.done
+
+    def test_duplicate_result_harvested_exactly_once(self):
+        coord, harvested = self._coordinator(n_chunks=2)
+        a, b = socket.socketpair()
+        a.settimeout(0.1)
+        t = threading.Thread(target=coord.handle, args=(b,))
+        t.start()
+        try:
+            send_msg(
+                a,
+                ("hello", {"pid": 9, "host": "dup", "proto": PROTOCOL_VERSION}),
+            )
+            for expected in (0, 1):
+                kind, job = recv_msg(a, _deadline_patience())
+                assert kind == "chunk" and job["index"] == expected
+                out = guarded_chunk(
+                    job["task"], job["index"], job["n_chunks"], job["size"],
+                    "tcp", job["submitted"], job["seed"], job["parent_id"],
+                    job["n_jobs"],
+                )
+                send_msg(a, ("result", (job["index"], out)))
+                if expected == 0:  # retransmit: must be ignored, not re-merged
+                    send_msg(a, ("result", (job["index"], out)))
+            kind, _ = recv_msg(a, _deadline_patience())
+            assert kind == "shutdown"
+        finally:
+            a.close()
+        t.join(timeout=10.0)
+        assert harvested == [0, 1]
+        assert coord.done == {0, 1}
+
+    def test_poison_chunk_quarantined_after_distinct_workers(self):
+        coord, harvested = self._coordinator(n_chunks=1)
+        for worker in ("hosta:1", "hostb:2", "hostc:3"):
+            claimed = coord.claim()
+            assert claimed is not None
+            spec, _attempt = claimed
+            coord.fail(spec, "boom", worker)
+        assert coord.exhausted == {0}
+        assert coord.fail_workers[0] == {"hosta:1", "hostb:2", "hostc:3"}
+        assert coord._settled()
+        assert coord.claim() is None  # quarantined, not requeued
+        assert harvested == []
+
+    def test_same_worker_failures_keep_retrying(self):
+        # One flaky worker must burn the retry budget, not trip the
+        # distinct-workers breaker.
+        coord, _ = self._coordinator(n_chunks=1)
+        spec, attempt = coord.claim()
+        assert attempt == 1
+        coord.fail(spec, "boom", "hosta:1")
+        spec, attempt = coord.claim()
+        assert attempt == 2
+        assert 0 not in coord.exhausted
+
+
+def _worker_cli_env() -> dict:
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env = os.environ.copy()
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
+    return env
+
+
+class TestWorkerCliSignals:
+    """``repro-sim worker`` as a subprocess: drain and argument errors."""
+
+    def test_sigterm_while_idle_drains_to_exit_zero(self):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen()
+        listener.settimeout(20.0)
+        port = listener.getsockname()[1]
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker", "--connect", f"127.0.0.1:{port}"],
+            env=_worker_cli_env(),
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        conn = None
+        try:
+            conn, _addr = listener.accept()
+            conn.settimeout(0.1)
+            kind, info = recv_msg(conn, _deadline_patience(20.0))
+            assert kind == "hello" and info["proto"] == PROTOCOL_VERSION
+            proc.send_signal(signal.SIGTERM)
+            _out, err = proc.communicate(timeout=30.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
+            if conn is not None:
+                conn.close()
+            listener.close()
+        assert proc.returncode == 0
+        assert "worker done: 0 chunks" in err
+
+    def test_malformed_connect_exits_2_naming_the_flag(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "worker", "--connect", "nope"],
+            env=_worker_cli_env(),
+            capture_output=True,
+            text=True,
+            timeout=60.0,
+        )
+        assert proc.returncode == 2
+        assert "--connect" in proc.stderr
 
 
 def _free_port() -> int:
@@ -144,6 +378,9 @@ class TestExternalWorkers:
         port = _free_port()
         monkeypatch.setenv(SPAWN_ENV_VAR, "0")
         monkeypatch.setenv(BIND_ENV_VAR, f"127.0.0.1:{port}")
+        # These workers run as *threads* of the pytest process: an ambient
+        # chaos plan (chaos CI leg) would SIGKILL the test runner itself.
+        monkeypatch.delenv(CHAOS_ENV_VAR, raising=False)
         return port
 
     def test_external_workers_bit_identical(self, external):

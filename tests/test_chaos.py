@@ -1,0 +1,161 @@
+"""Seeded fault injection (:mod:`repro.chaos`): plans, decisions, masking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import (
+    CHAOS_ACTIONS,
+    CHAOS_ENV_VAR,
+    TRANSPORT_ACTIONS,
+    ChaosDecision,
+    ChaosPlan,
+    chunk_decision,
+    parse_chaos,
+    resolve_chaos,
+)
+from repro.exceptions import ParameterError
+from repro.parallel import ExecutionContext
+
+
+class TestParse:
+    def test_full_spec_round_trips(self):
+        plan = parse_chaos("seed=7,kill=0.2,delay=0.1,corrupt=0.05,drop=0.05,dup=0.1")
+        assert plan == ChaosPlan(
+            seed=7, kill=0.2, delay=0.1, corrupt=0.05, drop=0.05, dup=0.1
+        )
+        assert parse_chaos(plan.spec()) == plan
+
+    def test_none_and_empty_mean_off(self):
+        assert parse_chaos(None) is None
+        assert parse_chaos("") is None
+        assert parse_chaos("   ") is None
+
+    def test_plan_passes_through(self):
+        plan = ChaosPlan(seed=3, kill=0.5)
+        assert parse_chaos(plan) is plan
+
+    def test_seed_only_is_inert(self):
+        plan = parse_chaos("seed=9")
+        assert plan is not None and not plan.active
+        assert chunk_decision(plan, 0, 1, "tcp") == ChaosDecision(None)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "kill",            # no value
+            "boom=0.5",        # unknown key
+            "kill=maybe",      # not a float
+            "seed=1.5",        # seed must be an int
+            "kill=1.5",        # probability out of range
+            "kill=-0.1",
+            "kill=0.6,drop=0.6",  # sum > 1
+            "delay_s=-1",
+        ],
+    )
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(ParameterError):
+            parse_chaos(bad)
+
+    def test_non_string_raises(self):
+        with pytest.raises(ParameterError):
+            parse_chaos(123)  # type: ignore[arg-type]
+
+
+class TestDecide:
+    def test_pure_function_of_seed_chunk_attempt(self):
+        plan = ChaosPlan.parse("seed=42,kill=0.2,delay=0.2,corrupt=0.2,drop=0.2,dup=0.2")
+        seq_a = [plan.decide(i, a) for i in range(20) for a in range(1, 4)]
+        seq_b = [plan.decide(i, a) for i in range(20) for a in range(1, 4)]
+        assert seq_a == seq_b
+
+    def test_different_seeds_differ(self):
+        spec = "kill=0.2,delay=0.2,corrupt=0.2,drop=0.2,dup=0.2"
+        a = [ChaosPlan.parse(f"seed=1,{spec}").decide(i, 1).action for i in range(40)]
+        b = [ChaosPlan.parse(f"seed=2,{spec}").decide(i, 1).action for i in range(40)]
+        assert a != b
+
+    def test_retried_attempt_draws_fresh_decision(self):
+        plan = ChaosPlan(seed=5, kill=1.0)
+        assert plan.decide(0, 1).action == "kill"
+        # kill=1.0 always kills — but a mixed plan must re-draw per attempt
+        mixed = ChaosPlan.parse("seed=5,kill=0.5,delay=0.5")
+        actions = {mixed.decide(3, a).action for a in range(1, 30)}
+        assert len(actions) > 1
+
+    def test_probabilities_roughly_respected(self):
+        plan = ChaosPlan(seed=0, kill=0.5)
+        kills = sum(plan.decide(i, 1).action == "kill" for i in range(400))
+        assert 120 <= kills <= 280
+
+    def test_delay_carries_duration(self):
+        plan = ChaosPlan(seed=1, delay=1.0, delay_s=0.25)
+        decision = plan.decide(0, 1)
+        assert decision.action == "delay" and decision.delay_s == 0.25
+
+    def test_actions_catalogue(self):
+        assert set(TRANSPORT_ACTIONS) < set(CHAOS_ACTIONS)
+
+
+class TestMasking:
+    plan = ChaosPlan.parse("seed=3,kill=0.2,delay=0.2,corrupt=0.2,drop=0.2,dup=0.2")
+
+    def test_serial_is_inert(self):
+        for i in range(30):
+            assert not chunk_decision(self.plan, i, 1, "serial")
+
+    def test_process_masks_transport_actions(self):
+        actions = {
+            chunk_decision(self.plan, i, a, "process").action
+            for i in range(40)
+            for a in range(1, 3)
+        }
+        assert actions <= {None, "kill", "delay"}
+
+    def test_tcp_expresses_everything(self):
+        actions = {
+            chunk_decision(self.plan, i, 1, "tcp").action for i in range(60)
+        }
+        assert set(CHAOS_ACTIONS) <= actions or len(actions) >= 4
+
+    def test_unmasked_draw_is_backend_independent(self):
+        # The underlying draw must not depend on the backend: masking
+        # nulls an action, never reshuffles the sequence.
+        for i in range(20):
+            tcp = chunk_decision(self.plan, i, 1, "tcp")
+            proc = chunk_decision(self.plan, i, 1, "process")
+            if proc.action is not None:
+                assert proc == tcp
+
+    def test_none_plan_decides_nothing(self):
+        assert not chunk_decision(None, 0, 1, "tcp")
+
+
+class TestResolution:
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV_VAR, "seed=1,kill=0.1")
+        plan = resolve_chaos("seed=2,kill=0.2")
+        assert plan.seed == 2
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV_VAR, "seed=8,delay=0.3")
+        plan = resolve_chaos(None)
+        assert plan == ChaosPlan(seed=8, delay=0.3)
+
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(CHAOS_ENV_VAR, raising=False)
+        assert resolve_chaos(None) is None
+
+    def test_context_parses_chaos_eagerly(self):
+        ctx = ExecutionContext(n_jobs=1, backend="serial", chaos="seed=4,kill=0.5")
+        assert isinstance(ctx.chaos, ChaosPlan)
+        assert ctx.chaos.seed == 4
+
+    def test_context_rejects_bad_chaos(self):
+        with pytest.raises(ParameterError):
+            ExecutionContext(n_jobs=1, backend="serial", chaos="nope=1")
+
+    def test_context_env_chaos(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV_VAR, "seed=6,kill=0.25")
+        ctx = ExecutionContext(n_jobs=1, backend="serial")
+        assert ctx.chaos == ChaosPlan(seed=6, kill=0.25)

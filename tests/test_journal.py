@@ -1,0 +1,184 @@
+"""Write-ahead sweep journal (:mod:`repro.journal`)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cache import RunCache, set_default_cache
+from repro.exceptions import ParameterError
+from repro.journal import (
+    JOURNAL_SCHEMA,
+    SweepJournal,
+    get_active_journal,
+    journal_scope,
+    journal_status,
+    read_journal,
+    set_active_journal,
+)
+from repro.parallel import ExecutionContext, run_chunked
+from repro.simulation import RunSet
+
+
+def _stub_task(n_runs: int, seed) -> RunSet:
+    rng = np.random.default_rng(seed)
+    vals = rng.random(n_runs)
+    ints = rng.integers(0, 3, n_runs)
+    return RunSet(*([vals] * 5 + [ints] * 5), label="journal-stub")
+
+
+class TestAppendRead:
+    def test_records_round_trip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path) as journal:
+            journal.begin({"strategy": "restart", "seed": 7}, label="restart")
+            journal.chunk_layout(
+                task="t", n_runs=10, chunk_size=4, n_chunks=3, seed={"entropy": 7}
+            )
+            journal.chunk_done(0, "abc123")
+            journal.chunk_done(1, "def456", source="cache")
+            journal.point_start(0, mtbf_years=5.0)
+            journal.point_done(0, overhead=0.01)
+            journal.end()
+        records = read_journal(path)
+        kinds = [r["kind"] for r in records]
+        assert kinds == [
+            "begin", "layout", "chunk", "chunk", "point_start", "point", "end"
+        ]
+        assert all(r["schema"] == JOURNAL_SCHEMA for r in records)
+        assert records[0]["request"] == {"strategy": "restart", "seed": 7}
+        assert records[2]["key"] == "abc123" and records[2]["source"] == "computed"
+        assert records[3]["source"] == "cache"
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.close()
+        with pytest.raises(ParameterError):
+            journal.append("begin")
+
+    def test_reopen_appends(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path) as journal:
+            journal.begin({"seed": 1})
+        with SweepJournal(path) as journal:
+            journal.end()
+        assert [r["kind"] for r in read_journal(path)] == ["begin", "end"]
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path) as journal:
+            journal.begin({"seed": 1})
+            journal.chunk_done(0, "k0")
+        with open(path, "ab") as fh:  # simulate a crash mid-append
+            fh.write(b'{"schema":"repro/journal-v1","kind":"chu')
+        records = read_journal(path)
+        assert [r["kind"] for r in records] == ["begin", "chunk"]
+
+    def test_corruption_in_the_middle_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path) as journal:
+            for i in range(5):
+                journal.chunk_done(i, f"k{i}")
+        raw = path.read_bytes().split(b"\n")
+        raw[1] = b"garbage"
+        path.write_bytes(b"\n".join(raw))
+        with pytest.raises(ParameterError):
+            read_journal(path)
+
+    def test_non_journal_file_raises(self, tmp_path):
+        path = tmp_path / "not.jsonl"
+        path.write_text(json.dumps({"hello": 1}) + "\n" + json.dumps({"x": 2}) + "\n" * 3)
+        with pytest.raises(ParameterError):
+            read_journal(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ParameterError):
+            read_journal(tmp_path / "absent.jsonl")
+
+
+class TestStatus:
+    def _status(self, tmp_path, writes):
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path) as journal:
+            writes(journal)
+        return journal_status(read_journal(path))
+
+    def test_lifecycle_words(self, tmp_path):
+        assert self._status(tmp_path, lambda j: None) == "empty"
+        assert self._status(tmp_path, lambda j: j.begin({})) == "crashed"
+        assert (
+            self._status(
+                tmp_path, lambda j: (j.begin({}), j.interrupted("SIGTERM"))
+            )
+            == "interrupted"
+        )
+        assert (
+            self._status(tmp_path, lambda j: (j.begin({}), j.end()))
+            == "complete"
+        )
+
+    def test_resume_then_complete(self, tmp_path):
+        # crash, resume (second begin), then completion: final word wins
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path) as journal:
+            journal.begin({"seed": 1})
+        with SweepJournal(path) as journal:
+            journal.begin({"seed": 1})
+            journal.end()
+        assert journal_status(read_journal(path)) == "complete"
+
+
+class TestAmbient:
+    def test_scope_installs_and_restores(self, tmp_path):
+        assert get_active_journal() is None
+        with journal_scope(tmp_path / "j.jsonl") as journal:
+            assert get_active_journal() is journal
+        assert get_active_journal() is None
+
+    def test_set_active_rejects_non_journal(self):
+        with pytest.raises(ParameterError):
+            set_active_journal(object())  # type: ignore[arg-type]
+
+    def test_run_chunked_records_layout_and_chunks(self, tmp_path):
+        set_default_cache(RunCache(tmp_path / "cache"))
+        try:
+            with journal_scope(tmp_path / "j.jsonl") as journal:
+                run_chunked(
+                    _stub_task, n_runs=10, seed=3,
+                    context=ExecutionContext(n_jobs=1, backend="serial", chunk_size=4),
+                )
+                path = journal.path
+        finally:
+            set_default_cache(None)
+        records = read_journal(path)
+        layouts = [r for r in records if r["kind"] == "layout"]
+        chunks = [r for r in records if r["kind"] == "chunk"]
+        assert len(layouts) == 1
+        assert layouts[0]["n_chunks"] == 3 and layouts[0]["n_runs"] == 10
+        assert {c["index"] for c in chunks} == {0, 1, 2}
+        assert all(c["key"] for c in chunks)
+        assert all(c["source"] == "computed" for c in chunks)
+
+    def test_rerun_journals_cache_hits(self, tmp_path):
+        set_default_cache(RunCache(tmp_path / "cache"))
+        try:
+            context = ExecutionContext(n_jobs=1, backend="serial", chunk_size=4)
+            with journal_scope(tmp_path / "first.jsonl"):
+                run_chunked(_stub_task, n_runs=10, seed=3, context=context)
+            with journal_scope(tmp_path / "second.jsonl") as journal:
+                run_chunked(_stub_task, n_runs=10, seed=3, context=context)
+                path = journal.path
+        finally:
+            set_default_cache(None)
+        chunks = [r for r in read_journal(path) if r["kind"] == "chunk"]
+        assert len(chunks) == 3
+        assert all(c["source"] == "cache" for c in chunks)
+
+    def test_no_journal_means_no_file(self, tmp_path):
+        run_chunked(
+            _stub_task, n_runs=6, seed=1,
+            context=ExecutionContext(n_jobs=1, backend="serial", chunk_size=3),
+        )
+        assert list(tmp_path.iterdir()) == []

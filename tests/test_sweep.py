@@ -1,0 +1,223 @@
+"""Journaled sweeps (:mod:`repro.sweep`): request round-trip, drain, resume."""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cache import RunCache, set_default_cache
+from repro.exceptions import ParameterError
+from repro.journal import journal_status, read_journal
+from repro.parallel import ExecutionContext, set_default_execution
+from repro.sweep import (
+    SweepRequest,
+    _Drain,
+    _SignalScope,
+    default_journal_path,
+    find_resumable_journal,
+    load_request,
+    run_sweep,
+)
+
+# Small enough to be fast, structured enough to have several chunks per point.
+_REQ = dict(
+    strategy="restart",
+    mtbf_years=(5.0, 10.0),
+    pairs=500,
+    periods=4,
+    runs=12,
+    seed=11,
+    chunk_size=4,
+)
+
+
+@pytest.fixture(autouse=True)
+def _ambient(tmp_path):
+    set_default_cache(RunCache(tmp_path / "cache"))
+    set_default_execution(ExecutionContext(n_jobs=1, backend="serial", chunk_size=4))
+    yield
+    set_default_execution(None)
+    set_default_cache(None)
+
+
+class TestRequest:
+    def test_round_trip(self):
+        req = SweepRequest(**_REQ)
+        assert SweepRequest.from_dict(req.to_dict()) == req
+
+    def test_fingerprint_is_content_addressed(self):
+        assert SweepRequest(**_REQ).fingerprint() == SweepRequest(**_REQ).fingerprint()
+        other = SweepRequest(**{**_REQ, "seed": 12})
+        assert other.fingerprint() != SweepRequest(**_REQ).fingerprint()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"strategy": "bogus"},
+            {"mtbf_years": ()},
+            {"mtbf_years": (0.0,)},
+            {"pairs": 0},
+            {"runs": -1},
+            {"restart_factor": 3.0},
+            {"seed": None},
+            {"chunk_size": 0},
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(ParameterError):
+            SweepRequest(**{**_REQ, **bad})
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ParameterError):
+            SweepRequest.from_dict({**_REQ, "surprise": 1})
+
+
+class TestRunSweep:
+    def test_complete_sweep_journals_everything(self, tmp_path):
+        req = SweepRequest(**_REQ, save_runs=str(tmp_path / "runs"))
+        outcome = run_sweep(req, journal_path=tmp_path / "j.jsonl")
+        assert outcome.complete
+        assert len(outcome.rows) == 2
+        assert (tmp_path / "runs" / "point-000.json").exists()
+        assert (tmp_path / "runs" / "point-001.json").exists()
+        records = read_journal(tmp_path / "j.jsonl")
+        assert journal_status(records) == "complete"
+        kinds = [r["kind"] for r in records]
+        assert kinds.count("point_start") == 2 and kinds.count("point") == 2
+        assert kinds.count("layout") == 2
+        assert kinds.count("chunk") == 6  # 12 runs / chunk_size 4, per point
+        req2, status = load_request(tmp_path / "j.jsonl")
+        assert req2 == req and status == "complete"
+
+    def test_default_journal_path_lives_beside_cache(self, tmp_path):
+        req = SweepRequest(**_REQ)
+        path = default_journal_path(req)
+        assert str(tmp_path / "cache") in str(path)
+        assert path.name == f"sweep-{req.fingerprint()}.jsonl"
+
+    def test_default_journal_path_requires_cache(self):
+        set_default_cache(None)
+        with pytest.raises(ParameterError):
+            default_journal_path(SweepRequest(**_REQ))
+
+    def test_drain_mid_sweep_is_graceful(self, tmp_path, monkeypatch):
+        import repro.sweep as sweep_mod
+
+        real = sweep_mod._point_runs
+
+        def interrupt_second(request, mtbf, seed):
+            if mtbf == request.mtbf_years[1]:
+                raise _Drain("SIGTERM")
+            return real(request, mtbf, seed)
+
+        monkeypatch.setattr(sweep_mod, "_point_runs", interrupt_second)
+        outcome = run_sweep(
+            SweepRequest(**_REQ), journal_path=tmp_path / "j.jsonl"
+        )
+        assert not outcome.complete
+        assert len(outcome.rows) == 1
+        records = read_journal(tmp_path / "j.jsonl")
+        assert journal_status(records) == "interrupted"
+        assert records[-1]["kind"] == "interrupted"
+        assert records[-1]["reason"] == "SIGTERM"
+
+    def test_resume_is_bit_identical(self, tmp_path, monkeypatch):
+        import repro.sweep as sweep_mod
+
+        from repro.io import load_runset
+
+        # Undisturbed reference (same cache is fine: chunk keys are content
+        # addressed, so hits only make it faster, never different).
+        ref = SweepRequest(**_REQ, save_runs=str(tmp_path / "ref"))
+        assert run_sweep(ref, journal_path=tmp_path / "ref.jsonl").complete
+
+        req = SweepRequest(**_REQ, save_runs=str(tmp_path / "runs"))
+        real = sweep_mod._point_runs
+        monkeypatch.setattr(
+            sweep_mod,
+            "_point_runs",
+            lambda r, m, s: (_ for _ in ()).throw(_Drain("SIGTERM"))
+            if m == r.mtbf_years[1]
+            else real(r, m, s),
+        )
+        assert not run_sweep(req, journal_path=tmp_path / "j.jsonl").complete
+        monkeypatch.setattr(sweep_mod, "_point_runs", real)
+
+        resumed_req, status = load_request(tmp_path / "j.jsonl")
+        assert status == "interrupted"
+        outcome = run_sweep(
+            resumed_req, journal_path=tmp_path / "j.jsonl", resume=True
+        )
+        assert outcome.complete
+        for i in range(2):
+            a = load_runset(tmp_path / "ref" / f"point-{i:03d}.json")
+            b = load_runset(tmp_path / "runs" / f"point-{i:03d}.json")
+            np.testing.assert_array_equal(
+                np.asarray(a.overheads), np.asarray(b.overheads), strict=True
+            )
+            np.testing.assert_array_equal(
+                np.asarray(a.n_failures), np.asarray(b.n_failures), strict=True
+            )
+        records = read_journal(tmp_path / "j.jsonl")
+        assert journal_status(records) == "complete"
+        assert any(r["kind"] == "resume" for r in records)
+
+    def test_find_resumable_picks_unfinished(self, tmp_path):
+        done = SweepRequest(**_REQ)
+        assert run_sweep(done, journal_path=tmp_path / "done.jsonl").complete
+        # A crashed journal: begin but no terminal record.
+        from repro.journal import SweepJournal
+
+        crashed = tmp_path / "sweep-deadbeef.jsonl"
+        with SweepJournal(crashed) as journal:
+            journal.begin(done.to_dict())
+        (tmp_path / "done.jsonl").rename(tmp_path / "sweep-finished.jsonl")
+        assert find_resumable_journal(tmp_path) == crashed
+
+    def test_find_resumable_empty_dir_raises(self, tmp_path):
+        with pytest.raises(ParameterError):
+            find_resumable_journal(tmp_path / "nothing")
+
+    def test_load_request_rejects_non_sweep_journal(self, tmp_path):
+        from repro.journal import SweepJournal
+
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path) as journal:
+            journal.chunk_done(0, "k")
+        with pytest.raises(ParameterError):
+            load_request(path)
+
+
+class TestSignalScope:
+    def test_sigterm_raises_drain_in_main_thread(self):
+        with pytest.raises(_Drain) as info:
+            with _SignalScope():
+                os.kill(os.getpid(), signal.SIGTERM)
+                signal.sigtimedwait([], 0.5)  # give delivery a window
+        assert info.value.signame == "SIGTERM"
+
+    def test_handlers_restored(self):
+        before = signal.getsignal(signal.SIGTERM)
+        try:
+            with _SignalScope():
+                os.kill(os.getpid(), signal.SIGTERM)
+                signal.sigtimedwait([], 0.5)
+        except _Drain:
+            pass
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_non_main_thread_is_a_noop(self):
+        raised: list = []
+
+        def target() -> None:
+            with _SignalScope() as scope:
+                raised.append(scope.previous)
+
+        t = threading.Thread(target=target)
+        t.start()
+        t.join()
+        assert raised == [[]]
