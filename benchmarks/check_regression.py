@@ -48,9 +48,16 @@ RESULTS_DIR = BENCH_DIR / "results"
 ARTIFACTS_DIR = BENCH_DIR / "artifacts"
 
 #: default quick-mode subset: sampled engine (fig1), full period sweep with
-#: both engines (fig5), the analytic tables, and the executor-backend
-#: dispatch benchmark — broad coverage in ~20 s.
-DEFAULT_MODULES = ("fig01", "fig05", "tables", "dispatch")
+#: both engines (fig5), the analytic tables, the executor-backend dispatch
+#: benchmark, and the engine-throughput artifact — broad coverage in ~20 s.
+DEFAULT_MODULES = ("fig01", "fig05", "tables", "dispatch", "engines")
+
+#: pinned relative-performance baseline: the batch engine must stay at
+#: least this many times faster than lockstep on the fig9 sweep workload
+#: (both timed back-to-back in one process, so the ratio is
+#: machine-independent; see test_bench_engines.py).
+ENGINES_ARTIFACT = "BENCH_engines.json"
+BATCH_SPEEDUP_FLOOR = 10.0
 
 
 def load_baselines() -> dict[str, dict]:
@@ -202,6 +209,33 @@ def compare_all(
     return deviations
 
 
+def check_engine_speedup(artifacts_dir: Path | None) -> list[str]:
+    """Gate the batch-vs-lockstep speedup recorded in the engines artifact.
+
+    Only applies when the engines module just ran (the artifact exists);
+    absolute runs/sec are machine-dependent and stay informational, but the
+    relative speedup is pinned so a batch-engine performance regression
+    fails the gate like a numeric deviation would.
+    """
+    if artifacts_dir is None:
+        return []
+    path = artifacts_dir / ENGINES_ARTIFACT
+    if not path.exists():
+        return []
+    with path.open() as fh:
+        data = json.load(fh)
+    speedup = data.get("batch_speedup_vs_lockstep")
+    if not _is_number(speedup):
+        return [f"{ENGINES_ARTIFACT}: missing batch_speedup_vs_lockstep"]
+    if speedup < BATCH_SPEEDUP_FLOOR:
+        return [
+            f"engines: batch speedup {speedup:.1f}x below the pinned "
+            f"{BATCH_SPEEDUP_FLOOR:.0f}x floor"
+        ]
+    print(f"engines: batch speedup {speedup:.1f}x (floor {BATCH_SPEEDUP_FLOOR:.0f}x)")
+    return []
+
+
 def _inject_first_metric(data: dict) -> bool:
     """Perturb the first finite numeric metric in *data* (self-test hook)."""
     for row in data.get("rows", []):
@@ -264,6 +298,8 @@ def main(argv: list[str] | None = None) -> int:
     deviations = compare_all(
         baselines, rtol=args.rtol, inject_deviation=args.inject_deviation
     )
+    if not args.skip_run and "engines" in args.modules:
+        deviations.extend(check_engine_speedup(artifacts_dir))
     if artifacts_dir is not None and not args.skip_run:
         manifest_path = write_run_manifest(
             artifacts_dir,

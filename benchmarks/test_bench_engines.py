@@ -1,18 +1,32 @@
 """Engine micro-benchmarks: simulator throughput.
 
 Unlike the figure benches (single-shot regenerations), these are true
-timing benchmarks: they measure the three engines on a fixed configuration
+timing benchmarks: they measure the four engines on a fixed configuration
 so performance regressions in the simulator hot paths are visible.
+
+``test_engines_throughput_artifact`` additionally times the engines over a
+fig9-style MTBF sweep with ``time.perf_counter`` (pytest-benchmark timing
+is disabled under the regression gate's ``--benchmark-disable``) and
+writes ``benchmarks/artifacts/BENCH_engines.json`` — runs/sec per engine
+plus the machine-independent batch-vs-lockstep speedup the gate pins.
 """
 
+import json
+import time
+from pathlib import Path
 
+from benchmarks.conftest import bench_quick
+from repro.core.periods import restart_period
 from repro.failures.generator import ExponentialFailureSource
 from repro.platform_model.costs import CheckpointCosts
+from repro.simulation.batch import BatchConfig, simulate_batch
 from repro.simulation.lockstep import LockstepConfig, simulate_lockstep
 from repro.simulation.policies import no_restart_policy, restart_policy
 from repro.simulation.sampled import simulate_restart_sampled
 from repro.simulation.trace_engine import TraceEngineConfig, simulate_trace_runs
 from repro.util.units import YEAR
+
+ARTIFACTS_DIR = Path(__file__).parent / "artifacts"
 
 MTBF = 5 * YEAR
 PAIRS = 100_000
@@ -50,6 +64,100 @@ def test_engine_lockstep_no_restart(benchmark):
     )
     rs = benchmark(lambda: simulate_lockstep(cfg, seed=3))
     assert rs.n_runs == 50
+
+
+def test_engine_batch_restart(benchmark):
+    """Struct-of-arrays per-period engine, restart policy, paper scale."""
+    cfg = BatchConfig(
+        mtbf=MTBF, n_pairs=PAIRS, policy=restart_policy(PERIOD, COSTS),
+        costs=COSTS, n_periods=N_PERIODS, n_runs=200,
+    )
+    rs = benchmark(lambda: simulate_batch(cfg, seed=12))
+    assert rs.n_runs == 200
+
+
+def test_engine_batch_no_restart(benchmark):
+    """Struct-of-arrays per-period engine, no-restart policy, paper scale."""
+    cfg = BatchConfig(
+        mtbf=MTBF, n_pairs=PAIRS, policy=no_restart_policy(7289.0, COSTS),
+        costs=COSTS, n_periods=N_PERIODS, n_runs=200,
+    )
+    rs = benchmark(lambda: simulate_batch(cfg, seed=13))
+    assert rs.n_runs == 200
+
+
+def _time_runs(fn, n_runs: int) -> tuple[float, float]:
+    """(wall seconds, runs/sec) for one warm invocation of *fn*."""
+    fn()  # warm-up: first-call allocations / code paths
+    t0 = time.perf_counter()
+    fn()
+    wall = time.perf_counter() - t0
+    return wall, n_runs / wall
+
+
+def test_engines_throughput_artifact():
+    """Emit BENCH_engines.json and pin the batch-vs-lockstep speedup.
+
+    Workload: the fig9 restart strategy (paper scale: 100k pairs,
+    C = C^R = 60 s, T_opt^rs per point) swept over node MTBFs from the
+    fig9 grid.  The speedup is the ratio of total sweep wall time, which
+    is machine-independent (both engines run in this process, back to
+    back) and is what the ``engine="batch"`` option buys a sweep driver.
+    """
+    mtbfs = (
+        (0.5 * YEAR, 1 * YEAR, 5 * YEAR)
+        if bench_quick()
+        else (0.2 * YEAR, 0.5 * YEAR, 1 * YEAR, 5 * YEAR)
+    )
+    # big enough to amortize the batch engine's fixed per-iteration cost
+    # (its throughput is batch-size-sensitive; lockstep's is not)
+    n_runs = 32 if bench_quick() else 100
+    points = []
+    lockstep_wall = batch_wall = 0.0
+    for mtbf in mtbfs:
+        period = restart_period(mtbf, COSTS.restart_checkpoint, PAIRS)
+        policy = restart_policy(period, COSTS)
+        cfg = LockstepConfig(
+            mtbf=mtbf, n_pairs=PAIRS, policy=policy, costs=COSTS,
+            n_periods=N_PERIODS, n_runs=n_runs,
+        )
+        sampled_wall, sampled_rps = _time_runs(
+            lambda: simulate_restart_sampled(
+                mtbf=mtbf, n_pairs=PAIRS, period=period, costs=COSTS,
+                n_periods=N_PERIODS, n_runs=n_runs, seed=20,
+            ),
+            n_runs,
+        )
+        lock_wall, lock_rps = _time_runs(
+            lambda: simulate_lockstep(cfg, seed=21), n_runs
+        )
+        b_wall, b_rps = _time_runs(lambda: simulate_batch(cfg, seed=22), n_runs)
+        lockstep_wall += lock_wall
+        batch_wall += b_wall
+        points.append({
+            "mtbf_years": mtbf / YEAR,
+            "period": period,
+            "n_runs": n_runs,
+            "runs_per_sec": {
+                "sampled": sampled_rps, "lockstep": lock_rps, "batch": b_rps,
+            },
+            "batch_speedup_vs_lockstep": lock_wall / b_wall,
+        })
+    speedup = lockstep_wall / batch_wall
+    ARTIFACTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "schema": "repro/bench-engines-v1",
+        "workload": "fig9 restart sweep (100k pairs, C=C^R=60s, T_opt^rs)",
+        "n_periods": N_PERIODS,
+        "points": points,
+        "batch_speedup_vs_lockstep": speedup,
+    }
+    (ARTIFACTS_DIR / "BENCH_engines.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    # acceptance floor: the batch engine must stay >= 10x lockstep on the
+    # fig9 sweep (the regression gate re-checks this from the artifact)
+    assert speedup >= 10.0, f"batch speedup degraded to {speedup:.1f}x"
 
 
 def test_engine_trace_exponential(benchmark):

@@ -104,23 +104,46 @@ def canonical_payload(obj: Any, _depth: int = 0) -> Any:
     return repr(obj)
 
 
+def _engine_identity(func: Any) -> dict:
+    """Engine identity fields a chunk task advertises (possibly none).
+
+    The runner's chunk adapters tag themselves with ``__engine__`` and —
+    for the batch engine — ``__rng_contract__`` (the pinned draw-order
+    contract version, see :data:`repro.simulation.batch.BATCH_RNG_CONTRACT`).
+    Folding both into the fingerprint guarantees a result computed by one
+    engine (or under an older RNG contract) is never served for a request
+    targeting another: the keys simply differ.
+    """
+    identity: dict = {}
+    engine = getattr(func, "__engine__", None)
+    if engine is not None:
+        identity["engine"] = str(engine)
+    contract = getattr(func, "__rng_contract__", None)
+    if contract is not None:
+        identity["rng_contract"] = str(contract)
+    return identity
+
+
 def fingerprint_task(task: Any) -> dict:
     """Canonical identity of a chunk task: qualname + bound configuration.
 
     ``functools.partial`` wrappers are unwrapped so the simulation
     parameters bound by the runner entry points (engine config, costs,
     policy) all land in the fingerprint — two sweeps differing in any
-    parameter never share keys.
+    parameter never share keys.  Engine identity and RNG-contract tags on
+    the unwrapped task join the fingerprint too (see
+    :func:`_engine_identity`).
     """
     if isinstance(task, partial):
         return {
             "task": _qualname(task.func),
             "args": canonical_payload(list(task.args)),
             "kwargs": canonical_payload(dict(task.keywords or {})),
+            **_engine_identity(task.func),
         }
     if isinstance(task, (dict, str)):
         return {"task": canonical_payload(task), "args": [], "kwargs": {}}
-    return {"task": _qualname(task), "args": [], "kwargs": {}}
+    return {"task": _qualname(task), "args": [], "kwargs": {}, **_engine_identity(task)}
 
 
 def runset_key(*, kind: str, task: Any, layout: Mapping, seed: Mapping) -> str:

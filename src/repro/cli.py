@@ -29,9 +29,14 @@ Examples
     repro-sim figure fig9 --jobs 4 --backend tcp
     repro-sim worker --connect 10.0.0.5:7077
 
-``--jobs N`` (or the ``REPRO_JOBS`` environment variable) fans the
-Monte-Carlo replications out over N worker processes; results are
-bit-identical for every N (see :mod:`repro.parallel`).  ``--backend``
+``--engine NAME`` (or the ``REPRO_ENGINE`` environment variable) selects
+the simulation engine — ``batch`` (struct-of-arrays per-phase engine,
+fastest at scale), ``sampled``, ``lockstep`` or ``trace``; entry points an
+engine does not apply to keep their defaults (see
+:mod:`repro.simulation.runner`).  ``--jobs N`` (or the ``REPRO_JOBS``
+environment variable) fans the Monte-Carlo replications out over N worker
+processes; results are bit-identical for every N (see
+:mod:`repro.parallel`).  ``--backend``
 (or ``REPRO_BACKEND``) selects the executor backend: ``process`` (local
 pool, the default), ``tcp`` (socket work queue serving local or remote
 ``repro-sim worker`` processes) or ``serial``.  ``--log-json PATH``
@@ -68,6 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("name", help="experiment name (see 'list')")
     p_fig.add_argument("--full", action="store_true", help="paper-scale sample counts")
     p_fig.add_argument("--seed", type=int, default=2019)
+    _add_engine_arg(p_fig)
     _add_jobs_arg(p_fig)
     _add_obs_arg(p_fig)
     _add_cache_arg(p_fig)
@@ -90,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--runs", type=int, default=200)
     p_sim.add_argument("--restart-factor", type=float, default=1.0, help="C^R / C in [1,2]")
     p_sim.add_argument("--seed", type=int, default=None)
+    _add_engine_arg(p_sim)
     _add_jobs_arg(p_sim)
     _add_obs_arg(p_sim)
     _add_cache_arg(p_sim)
@@ -143,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
             "directory unless --journal names it)"
         ),
     )
+    _add_engine_arg(p_sw)
     _add_jobs_arg(p_sw)
     _add_obs_arg(p_sw)
     _add_cache_arg(p_sw)
@@ -162,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rep.add_argument("--full", action="store_true", help="paper-scale sample counts")
     p_rep.add_argument("--seed", type=int, default=2019)
+    _add_engine_arg(p_rep)
     _add_jobs_arg(p_rep)
     _add_obs_arg(p_rep)
     _add_cache_arg(p_rep)
@@ -225,6 +234,20 @@ def _add_platform_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--mtbf-years", type=float, default=5.0, help="individual MTBF (years)")
     p.add_argument("--pairs", type=int, default=100_000, help="replicated pairs b")
     p.add_argument("--checkpoint", type=float, default=60.0, help="checkpoint cost C (s)")
+
+
+def _add_engine_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--engine",
+        metavar="NAME",
+        default=None,
+        help=(
+            "simulation engine: batch (struct-of-arrays per-phase engine, "
+            "fastest at scale), sampled, lockstep or trace (default: the "
+            "REPRO_ENGINE env var, else per-strategy defaults); entry "
+            "points the engine does not apply to keep their defaults"
+        ),
+    )
 
 
 def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
@@ -312,6 +335,31 @@ def _add_cache_arg(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _apply_engine(args: argparse.Namespace) -> None:
+    """Validate ``--engine`` eagerly and export it as ``REPRO_ENGINE``.
+
+    Exporting (rather than threading a parameter through every driver)
+    makes the choice ambient: entry points pick it up via
+    :func:`repro.simulation.runner.resolve_engine`, and worker processes
+    inherit it.  Validation happens here so a typo fails before any
+    simulation starts, with the same ParameterError the API layer raises.
+    """
+    engine = getattr(args, "engine", None)
+    if engine is None:
+        return
+    import os
+
+    from repro.exceptions import ParameterError
+    from repro.simulation.runner import ENGINE_ENV_VAR, ENGINES
+
+    if engine not in ENGINES:
+        raise ParameterError(
+            f"--engine {engine!r} is not a known engine; "
+            f"valid engines: {', '.join(ENGINES)}"
+        )
+    os.environ[ENGINE_ENV_VAR] = engine
+
+
 def _apply_jobs(args: argparse.Namespace) -> None:
     """Install ``--jobs`` / ``--backend`` / ``--chaos`` as the default
     context for this run."""
@@ -379,6 +427,7 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+    _apply_engine(args)
     _apply_jobs(args)
     _apply_obs(args)
     _apply_cache(args)

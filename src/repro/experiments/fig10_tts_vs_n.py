@@ -52,8 +52,13 @@ def run(
     n_procs_values: tuple[int, ...] = DEFAULT_N_PROCS,
     gamma: float = PAPER_GAMMA,
     alpha: float = PAPER_ALPHA,
+    engine: str | None = None,
 ) -> ExperimentResult:
-    """Reproduce one panel of Figure 10 (``checkpoint`` = 60 or 600)."""
+    """Reproduce one panel of Figure 10 (``checkpoint`` = 60 or 600).
+
+    ``engine`` selects the simulation engine for every strategy leg
+    (``None``: per-strategy defaults, or ``REPRO_ENGINE``).
+    """
     n_runs = mc_samples(quick, quick_runs=40, full_runs=500)
     costs = paper_costs(checkpoint)
     app = AmdahlApplication(
@@ -90,6 +95,7 @@ def run(
             lambda: simulate_no_replication(
                 mtbf=mtbf, n_procs=n, period=t_yd, costs=costs,
                 n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=children[0],
+                engine=engine,
             ),
             app, n, replicated=False,
             viable=_attempt_viable(t_yd, checkpoint, n / mtbf),
@@ -100,10 +106,12 @@ def run(
         rs = simulate_restart(
             mtbf=mtbf, n_pairs=b, period=t_rs, costs=costs,
             n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=children[1],
+            engine=engine,
         )
         nr = simulate_no_restart(
             mtbf=mtbf, n_pairs=b, period=t_no, costs=costs,
             n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=children[2],
+            engine=engine,
         )
         row["restart_full"] = _amdahl_days(app, n, rs.mean_overhead, replicated=True)
         row["norestart_full"] = _amdahl_days(app, n, nr.mean_overhead, replicated=True)
@@ -117,7 +125,7 @@ def run(
             row[tag] = _tts_or_inf(
                 lambda p=platform, t=period, rf=restart_flag, c=child: simulate_partial_replication(
                     mtbf=mtbf, platform=p, period=t, costs=costs, restart_at_checkpoint=rf,
-                    n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=c,
+                    n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=c, engine=engine,
                 ),
                 app, platform.n_logical, replicated="partial", viable=viable,
                 alpha=alpha, gamma=gamma,

@@ -81,8 +81,14 @@ def run(
     mtbfs: tuple[float, ...] = DEFAULT_MTBFS,
     gamma: float = PAPER_GAMMA,
     alpha: float = PAPER_ALPHA,
+    engine: str | None = None,
 ) -> ExperimentResult:
-    """Reproduce one panel of Figure 9 (``checkpoint`` = 60 or 600)."""
+    """Reproduce one panel of Figure 9 (``checkpoint`` = 60 or 600).
+
+    ``engine`` selects the simulation engine for every strategy leg
+    (``None``: per-strategy defaults, or ``REPRO_ENGINE``); ``"batch"``
+    makes the full-scale sweep 10-100x faster per core.
+    """
     n_runs = mc_samples(quick, quick_runs=40, full_runs=500)
     costs = paper_costs(checkpoint)
     app = AmdahlApplication(
@@ -122,6 +128,7 @@ def run(
             lambda: simulate_no_replication(
                 mtbf=mu, n_procs=n_procs, period=t_yd, costs=costs,
                 n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=children[0],
+                engine=engine,
             ),
             app, n_procs, replicated=False,
             viable=_attempt_viable(t_yd, checkpoint, n_procs / mu),
@@ -133,10 +140,12 @@ def run(
         rs = simulate_restart(
             mtbf=mu, n_pairs=b, period=t_rs, costs=costs,
             n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=children[1],
+            engine=engine,
         )
         nr = simulate_no_restart(
             mtbf=mu, n_pairs=b, period=t_no, costs=costs,
             n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=children[2],
+            engine=engine,
         )
         row["restart_full"] = _amdahl_days(app, n_procs, rs.mean_overhead, replicated=True)
         row["norestart_full"] = _amdahl_days(app, n_procs, nr.mean_overhead, replicated=True)
@@ -152,7 +161,7 @@ def run(
             row[tag] = _tts_or_inf(
                 lambda p=platform, t=period, rf=restart_flag, c=child: simulate_partial_replication(
                     mtbf=mu, platform=p, period=t, costs=costs, restart_at_checkpoint=rf,
-                    n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=c,
+                    n_periods=PAPER_N_PERIODS, n_runs=n_runs, seed=c, engine=engine,
                 ),
                 app, platform.n_logical * 1, n_procs_physical=n_procs,
                 replicated="partial", viable=viable, alpha=alpha, gamma=gamma,

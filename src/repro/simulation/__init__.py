@@ -1,18 +1,23 @@
 """Monte-Carlo simulation of checkpoint/replication strategies.
 
-Three engines with identical semantics:
+Four engines with identical semantics:
 
 * :mod:`~repro.simulation.sampled` — exact closed-form sampling for the
-  *restart* strategy under exponential failures (fastest);
+  *restart* strategy under exponential failures;
+* :mod:`~repro.simulation.batch` — struct-of-arrays engine resolving one
+  whole phase (or period) per array operation for every periodic policy
+  under exponential failures (fastest at scale);
 * :mod:`~repro.simulation.lockstep` — vectorised event-driven engine for
-  every periodic policy under exponential failures;
+  every periodic policy under exponential failures (the semantic
+  reference);
 * :mod:`~repro.simulation.trace_engine` — general engine replaying
   explicit failure events (log traces, non-exponential renewal processes).
 
-Use the wrappers in :mod:`~repro.simulation.runner` unless you need
-engine-level control.
+Use the wrappers in :mod:`~repro.simulation.runner` (``engine=`` /
+``REPRO_ENGINE`` select the engine) unless you need engine-level control.
 """
 
+from repro.simulation.batch import BATCH_RNG_CONTRACT, BatchConfig, simulate_batch
 from repro.simulation.lockstep import LockstepConfig, simulate_lockstep
 from repro.simulation.metrics import (
     IOPressure,
@@ -31,6 +36,9 @@ from repro.simulation.policies import (
 from repro.simulation.restart_on_failure import simulate_restart_on_failure
 from repro.simulation.results import OverheadSummary, RunSet
 from repro.simulation.runner import (
+    ENGINE_ENV_VAR,
+    ENGINES,
+    resolve_engine,
     simulate_every_k,
     simulate_nbound,
     simulate_no_replication,
@@ -56,6 +64,12 @@ __all__ = [
     "every_k_policy",
     "LockstepConfig",
     "simulate_lockstep",
+    "BATCH_RNG_CONTRACT",
+    "BatchConfig",
+    "simulate_batch",
+    "ENGINES",
+    "ENGINE_ENV_VAR",
+    "resolve_engine",
     "simulate_restart_sampled",
     "TraceEngineConfig",
     "simulate_trace_runs",

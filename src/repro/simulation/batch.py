@@ -1,0 +1,475 @@
+"""Struct-of-arrays batch engine: one array operation per *phase*, not per event.
+
+The lockstep engine advances every run to its next failure event; at paper
+scale (200,000 processors, MTBF of a few years) a single period contains
+tens to hundreds of platform failures, so simulating 100 periods costs
+thousands of vectorised loop iterations.  This engine removes the per-event
+loop entirely: each iteration resolves one whole *phase* (a work segment or
+a checkpoint wave) for every active run with a handful of whole-array
+operations over struct-of-arrays state vectors — work done, period phase,
+degraded-pair counts, pending fatal-failure times.
+
+Per-phase sampling is exact for IID exponential failures.  From a state
+with ``d`` degraded pairs and ``s`` standalone processors, the first
+*fatal* failure inside a phase is the minimum of two independent times:
+
+* ``tau_lin ~ Exp((d + s) * lambda)`` — a degraded pair's survivor or a
+  standalone processor dies (constant hazard);
+* ``tau_pair`` — the first of the ``b - d`` healthy pairs loses *both*
+  members, with survival ``(1 - (1 - e^{-lambda t})^2)^(b-d)`` — sampled
+  by inverse transform exactly like :func:`repro.core.mtti.
+  sample_time_to_interruption`.
+
+If ``min(tau_lin, tau_pair)`` falls beyond the phase, the phase completes
+and the number of pairs that silently degraded during it is a Binomial
+draw with the closed-form conditional probability
+:func:`repro.simulation.sampled._degraded_probability_given_not_dead`.
+If it falls inside, the run crashes there; the failures observed in the
+doomed phase are recovered the same way (Binomial over the surviving
+healthy pairs, plus one or two hits for the fatal component itself).
+Either way, an arbitrarily failure-dense phase costs *one* iteration.
+
+Policies whose checkpoint wave is decided before the work segment runs —
+cost and restart flag independent of how many pairs die during the segment,
+which covers the paper's *restart* (always a ``C^R`` wave), *no-restart*
+(always plain ``C``, never restarts) and *every-k* (counter-driven)
+strategies — are stepped one whole **period** (work + checkpoint) per
+iteration: the fatal window spans both sub-phases, and the work lost to a
+crash is the elapsed period time ``tau`` whether the crash lands in the
+work or the checkpoint part.  Only the n-bound threshold policies (wave
+cost depends on the end-of-segment death count) and replanning non-periodic
+policies pay two iterations per period.
+
+Policies with ``replan_on_degrade`` (the non-periodic variant) need the
+exact time of the first failure in a healthy work segment; those runs fall
+back to sampling that single event — still one iteration per failure, but
+only until the first hit, after which the per-phase fast path resumes.
+
+RNG contract (``repro/batch-rng-v1``, see DESIGN §5h): draws come from one
+``numpy`` Generator in a pinned iteration-major order — per iteration, a
+uniform (healthy-pair fatal), a unit exponential (linear-component fatal),
+a uniform (event classification), then the completion and crash Binomial
+blocks.  Reproducibility is at batch granularity: same seed + same config
++ same ``n_runs`` = bit-identical :class:`RunSet`.  The chunk fan-out of
+:mod:`repro.parallel` derives per-chunk seeds from the root
+``SeedSequence`` independently of worker count or backend, so chunked
+batch results are bit-stable under any ``n_jobs``/backend combination —
+but they intentionally differ from the lockstep engine's event-ordered
+stream (the engines agree statistically, not bit-for-bit; the
+engine-agreement suite pins that).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.obs import manifest as _obs_manifest
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs
+from repro.simulation.lockstep import (
+    LockstepConfig,
+    _guard_can_progress,
+    _iteration_budget,
+)
+from repro.simulation.results import RunSet
+from repro.simulation.sampled import _degraded_probability_given_not_dead
+from repro.util.rng import SeedLike, as_generator
+
+__all__ = ["BATCH_RNG_CONTRACT", "BatchConfig", "simulate_batch"]
+
+#: Pinned identity of the batch engine's draw-order contract.  Bumped
+#: whenever the sampling algorithm changes the stream it consumes, so cache
+#: keys derived from batch results stop matching instead of replaying a
+#: different distribution of bits (see repro.cache.keys).
+BATCH_RNG_CONTRACT = "repro/batch-rng-v1"
+
+#: The batch engine simulates the same configuration space as lockstep.
+BatchConfig = LockstepConfig
+
+_WORK = 0
+_CKPT = 1
+
+
+def _pair_fatal_time(u: np.ndarray, m: np.ndarray, mtbf: float) -> np.ndarray:
+    """Inverse-transform sample of the first healthy-pair death among *m* pairs.
+
+    *u* is the survival value (uniform); rows with ``m == 0`` return +inf.
+    Same inversion as :func:`repro.core.mtti.sample_time_to_interruption`,
+    vectorised over a per-run pair count.
+    """
+    out = np.full(u.shape, np.inf)
+    has = m > 0
+    if np.any(has):
+        with np.errstate(divide="ignore"):
+            inner = -np.expm1(np.log(u[has]) / m[has])
+        out[has] = -mtbf * np.log1p(-np.sqrt(inner))
+    return out
+
+
+def simulate_batch(config: BatchConfig, *, seed: SeedLike = None) -> RunSet:
+    """Run a batch of independent simulations; see :class:`BatchConfig`.
+
+    Statistically identical to :func:`~repro.simulation.lockstep.
+    simulate_lockstep` on every configuration (the integration suite pins
+    this), 10-100x faster on failure-dense workloads, and reproducible at
+    batch granularity under the ``repro/batch-rng-v1`` contract.
+    """
+    t_start = time.monotonic()
+    rng = as_generator(seed)
+    n = config.n_runs
+    policy = config.policy
+    b = config.n_pairs
+    s = config.n_standalone
+    n_slots = config.n_slots
+    lam = 1.0 / config.mtbf
+    downtime_recovery = config.costs.downtime + config.costs.recovery
+    _guard_can_progress(config)
+
+    # Fused-period mode: when the checkpoint wave's cost and restart
+    # decision are independent of how many pairs die during the work
+    # segment (restart / no-restart / every-k / non-replanning policies),
+    # the wave is decided at period start and the whole period — work plus
+    # checkpoint — resolves in a single iteration (see module docstring).
+    fdc = config.failures_during_checkpoint
+    replan = policy.replan_on_degrade
+    fused = not replan and (
+        policy.restart_every_k is not None
+        or policy.restart_threshold is None
+        or (
+            policy.restart_threshold == 1
+            and policy.charge_restart_cost_when_healthy
+        )
+    )
+
+    # Struct-of-arrays state vectors --------------------------------------
+    phase = np.full(n, _WORK, dtype=np.int8)
+    pos = np.zeros(n)  # consumed prefix of the current phase
+    degraded = np.zeros(n, dtype=np.int64)
+    seg_len = np.zeros(n)
+    work_len = np.zeros(n)
+    cost_len = np.zeros(n)  # fused mode: the pre-decided wave riding along
+    restart_flag = np.zeros(n, dtype=bool)
+    ckpt_counter = np.zeros(n, dtype=np.int64)
+    active = np.ones(n, dtype=bool)
+
+    def _plan(run_idx: np.ndarray) -> None:
+        """Plan the next segment for *run_idx* from its (reset) state.
+
+        Fused mode also fixes the checkpoint wave now — legal because the
+        eligible policies' ``checkpoint_decision`` ignores the deaths that
+        the segment will add — and folds its exposure into ``seg_len``.
+        """
+        w = policy.work_length(degraded[run_idx])
+        if fused:
+            cost, restarts = policy.checkpoint_decision(
+                degraded[run_idx], ckpt_counter[run_idx]
+            )
+            work_len[run_idx] = w
+            cost_len[run_idx] = cost
+            restart_flag[run_idx] = restarts
+            seg_len[run_idx] = w + cost if fdc else w
+        else:
+            seg_len[run_idx] = w
+
+    _plan(np.arange(n))
+
+    # Accumulators --------------------------------------------------------
+    total = np.zeros(n)
+    useful = np.zeros(n)
+    ckpt_time = np.zeros(n)
+    rec_time = np.zeros(n)
+    wasted = np.zeros(n)
+    n_failures = np.zeros(n, dtype=np.int64)
+    n_fatal = np.zeros(n, dtype=np.int64)
+    n_ckpt = np.zeros(n, dtype=np.int64)
+    n_restarts = np.zeros(n, dtype=np.int64)
+    periods_done = np.zeros(n, dtype=np.int64)
+    max_degraded = np.zeros(n, dtype=np.int64)
+
+    # The lockstep budget bounds *events*; batch iterations are a strict
+    # subset (one per phase / crash / replan hit), so the bound transfers.
+    max_iter = _iteration_budget(config)
+    n_iterations = 0
+    n_phases = 0
+
+    for _ in range(max_iter):
+        idx = np.nonzero(active)[0]
+        if idx.size == 0:
+            break
+        n_iterations += 1
+        d = degraded[idx]
+        m = b - d  # healthy pairs
+        remaining = seg_len[idx] - pos[idx]
+        # Fused mode never enters a standalone checkpoint phase.
+        in_ckpt = None if fused else phase[idx] == _CKPT
+
+        # Pinned draw order (repro/batch-rng-v1): u_pair, g_lin, u_cls.
+        u_pair = rng.random(idx.size)
+        g_lin = rng.exponential(1.0, idx.size)
+        u_cls = rng.random(idx.size)
+
+        tau_pair = _pair_fatal_time(u_pair, m, config.mtbf)
+        lin_rate_slots = d + s
+        with np.errstate(divide="ignore"):
+            tau_lin = g_lin * (config.mtbf / lin_rate_slots)
+        tau = np.minimum(tau_pair, tau_lin)
+        cause_pair = tau_pair < tau_lin
+
+        # Runs resolving a single first-failure event instead of a whole
+        # phase: healthy work segments of replan-on-degrade policies (the
+        # replanned checkpoint needs the exact first-hit time).  They
+        # re-interpret g_lin as the first failure among all (all-alive)
+        # slots; u_cls picks the struck component.
+        eventwise = None
+        if replan:
+            eventwise = (~in_ckpt) & (d == 0)
+            if np.any(eventwise):
+                tau[eventwise] = g_lin[eventwise] * (config.mtbf / n_slots)
+                # A hit on a standalone processor is immediately fatal; any
+                # of the 2b pair members merely degrades its pair.
+                cause_pair[eventwise] = False
+
+        hit = tau < remaining
+        if not fdc and not fused:
+            hit &= ~in_ckpt  # fused seg_len already excludes the wave
+
+        # --- first failure inside a healthy replan segment ----------------
+        if replan:
+            ev_loc = np.nonzero(hit & eventwise)[0]
+            if ev_loc.size:
+                e_idx = idx[ev_loc]
+                t_ev = tau[ev_loc]
+                total[e_idx] += t_ev
+                pos[e_idx] += t_ev
+                n_failures[e_idx] += 1
+                is_fatal = u_cls[ev_loc] < (s / n_slots if n_slots else 0.0)
+                f_idx = e_idx[is_fatal]
+                if f_idx.size:  # standalone struck: crash, healthy platform
+                    wasted[f_idx] += pos[f_idx]
+                    total[f_idx] += downtime_recovery
+                    rec_time[f_idx] += downtime_recovery
+                    n_fatal[f_idx] += 1
+                    n_restarts[f_idx] += 1
+                    ckpt_counter[f_idx] = 0
+                    phase[f_idx] = _WORK
+                    pos[f_idx] = 0.0
+                    _plan(f_idx)
+                g_idx = e_idx[~is_fatal]
+                if g_idx.size:  # pair member struck: degrade and re-plan
+                    degraded[g_idx] = 1
+                    max_degraded[g_idx] = np.maximum(max_degraded[g_idx], 1)
+                    seg_len[g_idx] = pos[g_idx] + policy.degraded_period
+
+        # --- fatal failure inside the phase (per-phase fast path) ---------
+        f_loc = np.nonzero(hit & ~eventwise)[0] if replan else np.nonzero(hit)[0]
+        if f_loc.size:
+            f_idx = idx[f_loc]
+            t_f = tau[f_loc]
+            was_pair = cause_pair[f_loc]
+            # Degrades observed before the crash, among the healthy pairs
+            # that did *not* cause it, each conditioned on surviving to tau.
+            q_bad = _degraded_probability_given_not_dead(lam, t_f)
+            others = m[f_loc] - was_pair.astype(np.int64)
+            deg_bad = rng.binomial(others, q_bad)
+            d_crash = degraded[f_idx] + deg_bad + was_pair
+            n_failures[f_idx] += deg_bad + 1 + was_pair
+            max_degraded[f_idx] = np.maximum(max_degraded[f_idx], d_crash)
+            n_fatal[f_idx] += 1
+            n_restarts[f_idx] += d_crash + 1  # dead pair halves + the victim
+            pos[f_idx] += t_f
+            if fused:
+                # pos counts from period start, so the lost work is simply
+                # the elapsed period time — crash in the work part or the
+                # checkpoint part alike.
+                lost = pos[f_idx]
+            else:
+                lost = np.where(
+                    in_ckpt[f_loc], work_len[f_idx] + pos[f_idx], pos[f_idx]
+                )
+            wasted[f_idx] += lost
+            total[f_idx] += t_f + downtime_recovery
+            rec_time[f_idx] += downtime_recovery
+            # Crash rejuvenation: restart from the last valid checkpoint
+            # with a fresh platform.
+            degraded[f_idx] = 0
+            ckpt_counter[f_idx] = 0
+            phase[f_idx] = _WORK
+            pos[f_idx] = 0.0
+            _plan(f_idx)
+
+        # --- phase completions --------------------------------------------
+        done_loc = np.nonzero(~hit)[0]
+        if done_loc.size:
+            d_idx = idx[done_loc]
+            total[d_idx] += remaining[done_loc]
+            # Pairs that silently degraded during the survived phase.  Two
+            # exclusions: checkpoint phases while checkpoint failures are
+            # disabled (no failures strike), and event-wise replan segments
+            # (their sample conditions on *no hit at all* in the window).
+            window = remaining[done_loc]
+            if fused:
+                # seg_len covered exactly the failure-exposed span, and
+                # fused policies never run event-wise.
+                q_ok = _degraded_probability_given_not_dead(lam, window)
+            else:
+                can_fail = None
+                if replan:
+                    can_fail = ~eventwise[done_loc]
+                    if not fdc:
+                        can_fail &= ~in_ckpt[done_loc]
+                elif not fdc:
+                    can_fail = ~in_ckpt[done_loc]
+                q_ok = _degraded_probability_given_not_dead(lam, window)
+                if can_fail is not None:
+                    q_ok = np.where(can_fail, q_ok, 0.0)
+            deg_ok = rng.binomial(m[done_loc], q_ok)
+            degraded[d_idx] += deg_ok
+            n_failures[d_idx] += deg_ok
+            max_degraded[d_idx] = np.maximum(max_degraded[d_idx], degraded[d_idx])
+
+            if fused:
+                # One whole period retired: the work segment and the wave
+                # that was decided with it at planning time.
+                n_phases += 2 * int(done_loc.size)
+                if not fdc:  # wave exposure excluded from seg_len: add time
+                    total[d_idx] += cost_len[d_idx]
+                useful[d_idx] += work_len[d_idx]
+                ckpt_time[d_idx] += cost_len[d_idx]
+                n_ckpt[d_idx] += 1
+                periods_done[d_idx] += 1
+                restarted = restart_flag[d_idx]
+                rest = d_idx[restarted]
+                if rest.size:
+                    n_restarts[rest] += degraded[rest]
+                    degraded[rest] = 0
+                    ckpt_counter[rest] = 0
+                plain = d_idx[~restarted]
+                if plain.size:
+                    ckpt_counter[plain] += 1
+                pos[d_idx] = 0.0
+                _plan(d_idx)
+            else:
+                n_phases += int(done_loc.size)
+                was_work = phase[d_idx] == _WORK
+                w_idx = d_idx[was_work]
+                if w_idx.size:  # work segment done: enter (or skip) checkpoint
+                    work_len[w_idx] = seg_len[w_idx]
+                    cost, restarts = policy.checkpoint_decision(
+                        degraded[w_idx], ckpt_counter[w_idx]
+                    )
+                    phase[w_idx] = _CKPT
+                    pos[w_idx] = 0.0
+                    seg_len[w_idx] = cost
+                    restart_flag[w_idx] = restarts
+                    if not fdc:
+                        total[w_idx] += cost
+                        _complete_checkpoint(
+                            w_idx, policy, degraded, phase, pos, seg_len, work_len,
+                            restart_flag, ckpt_counter, useful, ckpt_time, n_ckpt,
+                            n_restarts, periods_done,
+                        )
+                k_idx = d_idx[~was_work]
+                if k_idx.size:
+                    _complete_checkpoint(
+                        k_idx, policy, degraded, phase, pos, seg_len, work_len,
+                        restart_flag, ckpt_counter, useful, ckpt_time, n_ckpt,
+                        n_restarts, periods_done,
+                    )
+
+        # --- termination ---------------------------------------------------
+        if config.n_periods is not None:
+            np.logical_and(active, periods_done < config.n_periods, out=active)
+        else:
+            np.logical_and(active, useful < config.work_target, out=active)
+    else:
+        raise SimulationError(
+            "batch engine exceeded its iteration budget; the configuration "
+            "likely cannot make progress (period shorter than failure gaps)"
+        )
+
+    # metric points are always-on (batch granularity, merged back from
+    # pool workers by run_chunked); JSONL emission stays trace-gated
+    obs_metrics.inc("engine.batch.batches")
+    obs_metrics.inc("engine.batch.runs", n)
+    obs_metrics.inc("engine.batch.iterations", n_iterations)
+    obs_metrics.inc("engine.batch.failures", int(n_failures.sum()))
+    if obs.enabled():
+        obs.event(
+            "engine.batch",
+            runs=n,
+            iterations=n_iterations,
+            phases=n_phases,
+            failures=int(n_failures.sum()),
+            fatal=int(n_fatal.sum()),
+            periods=int(periods_done.sum()),
+        )
+        obs.count("engine.batch.iterations", n_iterations)
+        obs.count("engine.batch.failures", int(n_failures.sum()))
+    return RunSet(
+        total_time=total,
+        useful_time=useful,
+        checkpoint_time=ckpt_time,
+        recovery_time=rec_time,
+        wasted_time=wasted,
+        n_failures=n_failures,
+        n_fatal=n_fatal,
+        n_checkpoints=n_ckpt,
+        n_proc_restarts=n_restarts,
+        max_degraded=max_degraded,
+        label=policy.name,
+        meta={
+            "mtbf": config.mtbf,
+            "n_pairs": config.n_pairs,
+            "n_standalone": config.n_standalone,
+            "engine": "batch",
+            "rng_contract": BATCH_RNG_CONTRACT,
+            "manifest": _obs_manifest.RunManifest(
+                label=policy.name,
+                seed=_obs_manifest.seed_provenance(rng),
+                config={
+                    "mtbf": config.mtbf,
+                    "n_pairs": config.n_pairs,
+                    "n_standalone": config.n_standalone,
+                    "policy": policy.name,
+                    "n_runs": config.n_runs,
+                    "n_periods": config.n_periods,
+                    "work_target": config.work_target,
+                    "failures_during_checkpoint": config.failures_during_checkpoint,
+                },
+                execution={"engine": "batch", "rng_contract": BATCH_RNG_CONTRACT},
+                timings={"total_s": time.monotonic() - t_start},
+            ).to_dict(),
+        },
+    )
+
+
+def _complete_checkpoint(
+    k_idx, policy, degraded, phase, pos, seg_len, work_len, restart_flag,
+    ckpt_counter, useful, ckpt_time, n_ckpt, n_restarts, periods_done,
+) -> None:
+    """Apply checkpoint-completion bookkeeping for runs *k_idx* (in place).
+
+    Mirrors the lockstep engine's bookkeeping exactly: the two engines
+    share period/restart semantics, differing only in how the failure
+    process inside a phase is sampled.
+    """
+    ckpt_time[k_idx] += seg_len[k_idx]
+    n_ckpt[k_idx] += 1
+    useful[k_idx] += work_len[k_idx]
+    periods_done[k_idx] += 1
+    restarted = restart_flag[k_idx]
+    rest = k_idx[restarted]
+    if rest.size:
+        n_restarts[rest] += degraded[rest]
+        degraded[rest] = 0
+        ckpt_counter[rest] = 0
+    plain = k_idx[~restarted]
+    if plain.size:
+        ckpt_counter[plain] += 1
+    phase[k_idx] = _WORK
+    pos[k_idx] = 0.0
+    seg_len[k_idx] = policy.work_length(degraded[k_idx])
+    restart_flag[k_idx] = False

@@ -12,9 +12,18 @@ strategies, so experiment code reads like the paper:
 >>> rs.n_runs
 4
 
-Engine selection: the *restart* strategy defaults to the exact sampled fast
-path; every other exponential strategy uses the lockstep engine; trace and
-non-exponential inputs go through :func:`simulate_with_source`.
+Engine selection: every entry point accepts ``engine=`` (or honours the
+``REPRO_ENGINE`` environment variable when the argument is omitted).  The
+*restart* strategy defaults to the exact sampled fast path; every other
+exponential strategy uses the lockstep engine; both accept
+``engine="batch"`` for the struct-of-arrays per-phase engine
+(:mod:`repro.simulation.batch` — 10-100x faster on failure-dense
+workloads); trace and non-exponential inputs go through
+:func:`simulate_with_source`.  Unknown engine names raise
+:class:`~repro.exceptions.ParameterError` naming the valid set; a
+``REPRO_ENGINE`` value that is a known engine but inapplicable to an entry
+point falls back to that entry point's default, so one exported value can
+steer a whole experiment without breaking its trace-driven legs.
 
 Parallel execution: every entry point accepts ``n_jobs`` — either a worker
 count or a full :class:`~repro.parallel.ExecutionContext` (to pin the
@@ -28,6 +37,7 @@ unset everywhere preserves the legacy single-batch seed stream.
 
 from __future__ import annotations
 
+import os
 from dataclasses import replace
 from functools import partial
 
@@ -38,6 +48,7 @@ from repro.failures.traces import FailureTrace
 from repro.parallel import ExecutionContext, resolve_execution, run_chunked
 from repro.platform_model.costs import CheckpointCosts
 from repro.platform_model.machine import Platform
+from repro.simulation.batch import BATCH_RNG_CONTRACT, simulate_batch
 from repro.simulation.lockstep import LockstepConfig, simulate_lockstep
 from repro.simulation.policies import (
     PeriodicPolicy,
@@ -55,6 +66,9 @@ from repro.util.rng import SeedLike
 from repro.util.validation import check_positive_int
 
 __all__ = [
+    "ENGINES",
+    "ENGINE_ENV_VAR",
+    "resolve_engine",
     "simulate_restart",
     "simulate_no_restart",
     "simulate_nbound",
@@ -68,10 +82,53 @@ __all__ = [
     "simulate_restart_on_failure",
 ]
 
+#: Every engine any entry point knows about; the universe ``REPRO_ENGINE``
+#: values are validated against.
+ENGINES = ("sampled", "lockstep", "batch", "trace")
+
+#: Environment variable consulted when ``engine=`` is omitted; exported by
+#: the CLI's ``--engine`` flag so worker processes inherit the choice.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+
+def resolve_engine(
+    engine: str | None, *, valid: tuple[str, ...], default: str
+) -> str:
+    """Resolve an engine name from the argument or the environment.
+
+    An explicit ``engine`` must belong to *valid* (the subset this entry
+    point implements) or a :class:`ParameterError` names both the local and
+    the global engine sets.  When ``engine`` is ``None``, a ``REPRO_ENGINE``
+    value is honoured if it applies here — it must at least be a *known*
+    engine, or the error names the environment variable — and otherwise the
+    entry point's *default* is used.
+    """
+    if engine is not None:
+        if engine not in valid:
+            raise ParameterError(
+                f"unknown engine {engine!r}; valid engines here: "
+                f"{', '.join(valid)} (all engines: {', '.join(ENGINES)})"
+            )
+        return engine
+    env = os.environ.get(ENGINE_ENV_VAR, "").strip()
+    if env:
+        if env not in ENGINES:
+            raise ParameterError(
+                f"{ENGINE_ENV_VAR}={env!r} is not a known engine; "
+                f"valid engines: {', '.join(ENGINES)}"
+            )
+        if env in valid:
+            return env
+    return default
+
 
 # ---------------------------------------------------------------------------
 # Chunk task adapters (module-level so ``functools.partial`` of them pickles
-# for the process backend of :mod:`repro.parallel`).
+# for the process backend of :mod:`repro.parallel`).  Each adapter carries
+# its engine identity — and, for the batch engine, the pinned RNG-contract
+# version — as attributes that :func:`repro.cache.keys.fingerprint_task`
+# folds into cache keys, so results from different engines (or different
+# batch contracts) can never cross-serve.
 # ---------------------------------------------------------------------------
 
 
@@ -83,8 +140,19 @@ def _lockstep_chunk(config: LockstepConfig, n_runs: int, seed: SeedLike) -> RunS
     return simulate_lockstep(replace(config, n_runs=n_runs), seed=seed)
 
 
+def _batch_chunk(config: LockstepConfig, n_runs: int, seed: SeedLike) -> RunSet:
+    return simulate_batch(replace(config, n_runs=n_runs), seed=seed)
+
+
 def _trace_chunk(config: TraceEngineConfig, n_runs: int, seed: SeedLike) -> RunSet:
     return simulate_trace_runs(replace(config, n_runs=n_runs), seed=seed)
+
+
+_sampled_chunk.__engine__ = "sampled"
+_lockstep_chunk.__engine__ = "lockstep"
+_batch_chunk.__engine__ = "batch"
+_batch_chunk.__rng_contract__ = BATCH_RNG_CONTRACT
+_trace_chunk.__engine__ = "trace"
 
 
 def _cached_batch(task: partial, n_runs: int, seed: SeedLike, compute) -> RunSet:
@@ -104,12 +172,23 @@ def _cached_batch(task: partial, n_runs: int, seed: SeedLike, compute) -> RunSet
     )
 
 
-def _run_lockstep(config: LockstepConfig, seed: SeedLike, n_jobs) -> RunSet:
+#: engine name -> (chunk adapter, direct single-batch function) for the
+#: engines that share LockstepConfig.
+_CONFIG_ENGINES = {
+    "lockstep": (_lockstep_chunk, simulate_lockstep),
+    "batch": (_batch_chunk, simulate_batch),
+}
+
+
+def _run_config(
+    config: LockstepConfig, seed: SeedLike, n_jobs, engine: str = "lockstep"
+) -> RunSet:
+    chunk_fn, direct = _CONFIG_ENGINES[engine]
     context = resolve_execution(n_jobs)
-    task = partial(_lockstep_chunk, config)
+    task = partial(chunk_fn, config)
     if context is None:
         return _cached_batch(
-            task, config.n_runs, seed, lambda: simulate_lockstep(config, seed=seed)
+            task, config.n_runs, seed, lambda: direct(config, seed=seed)
         )
     return run_chunked(task, n_runs=config.n_runs, seed=seed, context=context)
 
@@ -133,21 +212,26 @@ def simulate_restart(
     n_periods: int | None = None,
     work_target: float | None = None,
     n_runs: int = 100,
-    engine: str = "sampled",
+    engine: str | None = None,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
     n_jobs: int | ExecutionContext | None = None,
 ) -> RunSet:
     """Simulate the paper's *restart* strategy (restart at every checkpoint).
 
-    ``engine`` is ``"sampled"`` (exact closed-form sampling, fastest) or
-    ``"lockstep"`` (event-driven, used for cross-validation).  The sampled
-    engine requires ``n_periods`` termination.  ``n_jobs`` fans the
-    replications out across worker processes (see :mod:`repro.parallel`);
-    pass an :class:`~repro.parallel.ExecutionContext` instead of an int to
-    control the backend and chunk size for this call.
+    ``engine`` is ``"sampled"`` (exact closed-form sampling, the default),
+    ``"batch"`` (struct-of-arrays per-phase engine, fastest at scale) or
+    ``"lockstep"`` (event-driven, used for cross-validation); ``None``
+    consults ``REPRO_ENGINE``.  The sampled engine requires ``n_periods``
+    termination.  ``n_jobs`` fans the replications out across worker
+    processes (see :mod:`repro.parallel`); pass an
+    :class:`~repro.parallel.ExecutionContext` instead of an int to control
+    the backend and chunk size for this call.
     """
     n_runs = check_positive_int("n_runs", n_runs)
+    engine = resolve_engine(
+        engine, valid=("sampled", "lockstep", "batch"), default="sampled"
+    )
     if engine == "sampled":
         if n_periods is None:
             raise ParameterError("the sampled engine requires n_periods termination")
@@ -176,8 +260,6 @@ def simulate_restart(
                 lambda: simulate_restart_sampled(n_runs=n_runs, seed=seed, **params),
             )
         return run_chunked(task, n_runs=n_runs, seed=seed, context=context)
-    if engine != "lockstep":
-        raise ParameterError(f"unknown engine {engine!r}; expected 'sampled' or 'lockstep'")
     policy = restart_policy(period, costs)
     return simulate_policy(
         policy,
@@ -187,6 +269,7 @@ def simulate_restart(
         n_periods=n_periods,
         work_target=work_target,
         n_runs=n_runs,
+        engine=engine,
         failures_during_checkpoint=failures_during_checkpoint,
         seed=seed,
         n_jobs=n_jobs,
@@ -202,6 +285,7 @@ def simulate_no_restart(
     n_periods: int | None = None,
     work_target: float | None = None,
     n_runs: int = 100,
+    engine: str | None = None,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
     n_jobs: int | ExecutionContext | None = None,
@@ -216,6 +300,7 @@ def simulate_no_restart(
         n_periods=n_periods,
         work_target=work_target,
         n_runs=n_runs,
+        engine=engine,
         failures_during_checkpoint=failures_during_checkpoint,
         seed=seed,
         n_jobs=n_jobs,
@@ -231,6 +316,7 @@ def simulate_nbound(
     n_bound: int,
     n_periods: int | None = None,
     n_runs: int = 100,
+    engine: str | None = None,
     restart_wave_factor: float = 2.0,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
@@ -245,6 +331,7 @@ def simulate_nbound(
         costs=costs,
         n_periods=n_periods,
         n_runs=n_runs,
+        engine=engine,
         failures_during_checkpoint=failures_during_checkpoint,
         seed=seed,
         n_jobs=n_jobs,
@@ -260,6 +347,7 @@ def simulate_every_k(
     k: int,
     n_periods: int | None = None,
     n_runs: int = 100,
+    engine: str | None = None,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
     n_jobs: int | ExecutionContext | None = None,
@@ -273,6 +361,7 @@ def simulate_every_k(
         costs=costs,
         n_periods=n_periods,
         n_runs=n_runs,
+        engine=engine,
         failures_during_checkpoint=failures_during_checkpoint,
         seed=seed,
         n_jobs=n_jobs,
@@ -289,6 +378,7 @@ def simulate_non_periodic(
     n_periods: int | None = None,
     work_target: float | None = None,
     n_runs: int = 100,
+    engine: str | None = None,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
     n_jobs: int | ExecutionContext | None = None,
@@ -303,6 +393,7 @@ def simulate_non_periodic(
         n_periods=n_periods,
         work_target=work_target,
         n_runs=n_runs,
+        engine=engine,
         failures_during_checkpoint=failures_during_checkpoint,
         seed=seed,
         n_jobs=n_jobs,
@@ -318,12 +409,14 @@ def simulate_no_replication(
     n_periods: int | None = None,
     work_target: float | None = None,
     n_runs: int = 100,
+    engine: str | None = None,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
     n_jobs: int | ExecutionContext | None = None,
 ) -> RunSet:
     """Simulate plain checkpoint/restart without replication."""
     n_runs = check_positive_int("n_runs", n_runs)
+    engine = resolve_engine(engine, valid=("lockstep", "batch"), default="lockstep")
     policy = no_restart_policy(period, costs)
     config = LockstepConfig(
         mtbf=mtbf,
@@ -336,7 +429,7 @@ def simulate_no_replication(
         n_runs=n_runs,
         failures_during_checkpoint=failures_during_checkpoint,
     )
-    rs = _run_lockstep(config, seed, n_jobs)
+    rs = _run_config(config, seed, n_jobs, engine)
     rs.label = f"NoReplication(T={period:g})"
     return rs
 
@@ -351,6 +444,7 @@ def simulate_partial_replication(
     n_periods: int | None = None,
     work_target: float | None = None,
     n_runs: int = 100,
+    engine: str | None = None,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
     n_jobs: int | ExecutionContext | None = None,
@@ -364,6 +458,7 @@ def simulate_partial_replication(
     restart or no-restart flavour for the replicated part.
     """
     n_runs = check_positive_int("n_runs", n_runs)
+    engine = resolve_engine(engine, valid=("lockstep", "batch"), default="lockstep")
     policy = (
         restart_policy(period, costs)
         if restart_at_checkpoint
@@ -380,7 +475,7 @@ def simulate_partial_replication(
         n_runs=n_runs,
         failures_during_checkpoint=failures_during_checkpoint,
     )
-    rs = _run_lockstep(config, seed, n_jobs)
+    rs = _run_config(config, seed, n_jobs, engine)
     frac = int(round(platform.replicated_fraction * 100))
     rs.label = f"Partial{frac}(T={period:g})"
     return rs
@@ -396,12 +491,18 @@ def simulate_policy(
     work_target: float | None = None,
     n_runs: int = 100,
     n_standalone: int = 0,
+    engine: str | None = None,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
     n_jobs: int | ExecutionContext | None = None,
 ) -> RunSet:
-    """Simulate an arbitrary :class:`PeriodicPolicy` with the lockstep engine."""
+    """Simulate an arbitrary :class:`PeriodicPolicy`.
+
+    ``engine`` is ``"lockstep"`` (event-driven, the default) or ``"batch"``
+    (struct-of-arrays per-phase engine); ``None`` consults ``REPRO_ENGINE``.
+    """
     n_runs = check_positive_int("n_runs", n_runs)
+    engine = resolve_engine(engine, valid=("lockstep", "batch"), default="lockstep")
     config = LockstepConfig(
         mtbf=mtbf,
         n_pairs=n_pairs,
@@ -413,7 +514,7 @@ def simulate_policy(
         n_runs=n_runs,
         failures_during_checkpoint=failures_during_checkpoint,
     )
-    return _run_lockstep(config, seed, n_jobs)
+    return _run_config(config, seed, n_jobs, engine)
 
 
 def simulate_with_source(
@@ -426,12 +527,19 @@ def simulate_with_source(
     work_target: float | None = None,
     n_runs: int = 100,
     n_standalone: int = 0,
+    engine: str | None = None,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
     n_jobs: int | ExecutionContext | None = None,
 ) -> RunSet:
-    """Simulate a policy against an arbitrary failure source (general engine)."""
+    """Simulate a policy against an arbitrary failure source (general engine).
+
+    Only the trace engine can replay arbitrary failure sources, so
+    ``engine`` accepts nothing else; an exported ``REPRO_ENGINE`` naming a
+    different (known) engine is ignored here.
+    """
     n_runs = check_positive_int("n_runs", n_runs)
+    resolve_engine(engine, valid=("trace",), default="trace")
     config = TraceEngineConfig(
         source=source,
         n_pairs=n_pairs,
@@ -456,6 +564,7 @@ def simulate_with_trace(
     n_periods: int | None = None,
     work_target: float | None = None,
     n_runs: int = 100,
+    engine: str | None = None,
     failures_during_checkpoint: bool = True,
     seed: SeedLike = None,
     n_jobs: int | ExecutionContext | None = None,
@@ -479,6 +588,7 @@ def simulate_with_trace(
         n_periods=n_periods,
         work_target=work_target,
         n_runs=n_runs,
+        engine=engine,
         failures_during_checkpoint=failures_during_checkpoint,
         seed=seed,
         n_jobs=n_jobs,

@@ -99,6 +99,9 @@ def simulate_restart_sampled(
     pending = np.arange(n_cells)
     n_rounds = 0
     n_attempts = 0
+    # loop-invariant: the end-of-attempt degraded probability depends only
+    # on the (constant) exposure window, not on the attempt round
+    q = float(_degraded_probability_given_not_dead(lam, exposure))
     for _ in range(_MAX_ROUNDS):
         if pending.size == 0:
             break
@@ -109,7 +112,6 @@ def simulate_restart_sampled(
         ok = pending[~failed]
         if ok.size:
             # Attempt succeeded: draw the end-of-attempt degraded count.
-            q = float(_degraded_probability_given_not_dead(lam, exposure))
             deg = rng.binomial(n_pairs, q, ok.size)
             fails[ok] += deg
             restarts[ok] += deg
@@ -133,8 +135,10 @@ def simulate_restart_sampled(
         pending = bad
     else:
         raise SimulationError(
-            f"restart-sampled attempts did not converge: success probability "
-            f"per attempt is too small (period {period:g}s, exposure {exposure:g}s)"
+            f"restart-sampled attempts did not converge after {_MAX_ROUNDS} "
+            f"rounds: {pending.size} of {n_cells} period cells still pending; "
+            f"success probability per attempt is too small "
+            f"(period {period:g}s, exposure {exposure:g}s)"
         )
 
     def per_run(v: np.ndarray) -> np.ndarray:

@@ -110,6 +110,48 @@ class TestKeys:
         fp = fingerprint_task({"strategy": "restart", "mtbf": MTBF})
         assert fingerprint_task({"mtbf": MTBF, "strategy": "restart"}) == fp
 
+    def test_engine_identity_separates_chunk_tasks(self):
+        # Regression: a lockstep result must never be served for a batch
+        # request (or vice versa) even with identical config/layout/seed.
+        from functools import partial
+
+        from repro.platform_model.costs import CheckpointCosts
+        from repro.simulation.batch import BATCH_RNG_CONTRACT, BatchConfig
+        from repro.simulation.policies import restart_policy
+        from repro.simulation.runner import _batch_chunk, _lockstep_chunk
+
+        costs = CheckpointCosts(checkpoint=10.0)
+        config = BatchConfig(
+            mtbf=MTBF, n_pairs=100, policy=restart_policy(1000.0, costs),
+            costs=costs, n_periods=5, n_runs=8,
+        )
+        keys = {
+            runset_key(
+                kind="chunk",
+                task=partial(chunk, config),
+                layout={"n_runs": 8, "chunk_size": 4},
+                seed={"entropy": 42},
+            )
+            for chunk in (_lockstep_chunk, _batch_chunk)
+        }
+        assert len(keys) == 2
+        fp = fingerprint_task(partial(_batch_chunk, config))
+        assert fp["engine"] == "batch"
+        assert fp["rng_contract"] == BATCH_RNG_CONTRACT
+
+    def test_rng_contract_version_invalidates_keys(self):
+        # Bumping the batch draw-order contract must stop old entries from
+        # matching even though the task callable is otherwise unchanged.
+        def _chunk(n_runs, seed):  # stand-in with mutable engine tags
+            raise NotImplementedError
+
+        _chunk.__engine__ = "batch"
+        _chunk.__rng_contract__ = "repro/batch-rng-v1"
+        before = _key(task=_chunk)
+        _chunk.__rng_contract__ = "repro/batch-rng-v2"
+        after = _key(task=_chunk)
+        assert before != after
+
 
 class TestStore:
     def test_round_trip_bit_identity(self, tmp_path):

@@ -1,17 +1,28 @@
-"""Integration: the three engines must agree statistically.
+"""Integration: the four engines must agree statistically.
 
-The sampled engine (exact fatal-time inverse transform), the lockstep
-engine (vectorised events) and the trace engine (explicit per-processor
-events) implement the same semantics; on exponential inputs their mean
-overheads and crash rates must coincide within Monte-Carlo error.
+The sampled engine (exact fatal-time inverse transform), the batch engine
+(struct-of-arrays per-phase sampling), the lockstep engine (vectorised
+events) and the trace engine (explicit per-processor events) implement
+the same semantics; on exponential inputs their mean overheads and crash
+rates must coincide within Monte-Carlo error.
 """
 
 import numpy as np
+import pytest
 
 from repro.failures.generator import ExponentialFailureSource
+from repro.parallel import ExecutionContext
 from repro.platform_model.costs import CheckpointCosts
+from repro.simulation.batch import BatchConfig, simulate_batch
 from repro.simulation.lockstep import LockstepConfig, simulate_lockstep
-from repro.simulation.policies import no_restart_policy, restart_policy
+from repro.simulation.policies import (
+    every_k_policy,
+    nbound_policy,
+    no_restart_policy,
+    non_periodic_policy,
+    restart_policy,
+)
+from repro.simulation.runner import simulate_policy
 from repro.simulation.sampled import simulate_restart_sampled
 from repro.simulation.trace_engine import TraceEngineConfig, simulate_trace_runs
 from repro.util.stats import mean_confidence_halfwidth
@@ -30,14 +41,22 @@ def _sampled(n_runs, seed):
     )
 
 
-def _lockstep(policy, n_runs, seed):
-    return simulate_lockstep(
-        LockstepConfig(
-            mtbf=MTBF, n_pairs=PAIRS, policy=policy, costs=COSTS,
-            n_periods=N_PERIODS, n_runs=n_runs,
-        ),
-        seed=seed,
+def _lockstep(policy, n_runs, seed, **cfg):
+    base = dict(
+        mtbf=MTBF, n_pairs=PAIRS, policy=policy, costs=COSTS,
+        n_periods=N_PERIODS, n_runs=n_runs,
     )
+    base.update(cfg)
+    return simulate_lockstep(LockstepConfig(**base), seed=seed)
+
+
+def _batch(policy, n_runs, seed, **cfg):
+    base = dict(
+        mtbf=MTBF, n_pairs=PAIRS, policy=policy, costs=COSTS,
+        n_periods=N_PERIODS, n_runs=n_runs,
+    )
+    base.update(cfg)
+    return simulate_batch(BatchConfig(**base), seed=seed)
 
 
 def _trace(policy, n_runs, seed):
@@ -85,6 +104,100 @@ class TestRestartStrategyAgreement:
         l = _lockstep(policy, 150, seed=8)
         _assert_close(
             s.n_failures.astype(float), l.n_failures.astype(float), "failure counts"
+        )
+
+
+class TestBatchAgreement:
+    """Batch vs the reference engines, across a small policy grid.
+
+    The batch engine shares no RNG stream with either reference, so the
+    comparisons are statistical (pinned seeds keep them deterministic).
+    """
+
+    def test_batch_vs_sampled_overhead(self):
+        policy = restart_policy(PERIOD, COSTS)
+        b = _batch(policy, 400, seed=21)
+        s = _sampled(600, seed=22)
+        _assert_close(b.overheads, s.overheads, "batch vs sampled overhead")
+
+    def test_batch_vs_lockstep_crash_rates(self):
+        policy = restart_policy(PERIOD, COSTS)
+        b = _batch(policy, 400, seed=23)
+        l = _lockstep(policy, 200, seed=24)
+        _assert_close(
+            b.n_fatal.astype(float), l.n_fatal.astype(float), "batch crash counts"
+        )
+
+    def test_batch_vs_lockstep_failure_counts(self):
+        policy = restart_policy(PERIOD, COSTS)
+        b = _batch(policy, 400, seed=25)
+        l = _lockstep(policy, 200, seed=26)
+        _assert_close(
+            b.n_failures.astype(float),
+            l.n_failures.astype(float),
+            "batch failure counts",
+        )
+
+    #: fused (restart / no-restart / every-k), two-phase (nbound) and
+    #: replanning (non-periodic) paths, with and without checkpoint
+    #: failures
+    GRID = [
+        ("restart", restart_policy(PERIOD, COSTS), True),
+        ("no_restart", no_restart_policy(PERIOD, COSTS), True),
+        ("no_restart_nofdc", no_restart_policy(PERIOD, COSTS), False),
+        ("nbound3", nbound_policy(PERIOD, COSTS, 3), True),
+        ("every_k4", every_k_policy(PERIOD, COSTS, 4), True),
+        ("non_periodic", non_periodic_policy(PERIOD, 0.4 * PERIOD, COSTS), True),
+    ]
+
+    @pytest.mark.parametrize(
+        "label,policy,fdc", GRID, ids=[g[0] for g in GRID]
+    )
+    def test_batch_vs_lockstep_grid(self, label, policy, fdc):
+        b = _batch(policy, 400, seed=31, failures_during_checkpoint=fdc)
+        l = _lockstep(policy, 200, seed=32, failures_during_checkpoint=fdc)
+        _assert_close(b.overheads, l.overheads, f"{label} overhead")
+        _assert_close(
+            b.n_failures.astype(float),
+            l.n_failures.astype(float),
+            f"{label} failures",
+        )
+
+
+class TestBatchStreamingHarvest:
+    def test_streaming_moments_match_materialized(self):
+        # same root seed + chunk layout = the same underlying chunk
+        # results; the streamed Welford moments must reproduce the
+        # materialized statistics to floating-point folding error
+        policy = no_restart_policy(PERIOD, COSTS)
+        kw = dict(
+            mtbf=MTBF, n_pairs=PAIRS, costs=COSTS, n_periods=N_PERIODS,
+            n_runs=80, seed=77, engine="batch",
+        )
+        rs = simulate_policy(
+            policy,
+            n_jobs=ExecutionContext(n_jobs=2, backend="serial", chunk_size=20),
+            **kw,
+        )
+        summary = simulate_policy(
+            policy,
+            n_jobs=ExecutionContext(
+                n_jobs=2, backend="serial", chunk_size=20, streaming=True
+            ),
+            **kw,
+        )
+        assert rs.meta["engine"] == summary.meta["engine"] == "batch"
+        assert summary.n_runs == rs.n_runs == 80
+        np.testing.assert_allclose(
+            summary.mean_overhead, rs.overheads.mean(), rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            summary.mean_total_time, rs.total_time.mean(), rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            summary.overhead_summary().halfwidth,
+            rs.overhead_summary().halfwidth,
+            rtol=1e-12,
         )
 
 

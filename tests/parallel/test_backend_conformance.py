@@ -33,7 +33,10 @@ import pytest
 
 from repro.obs import metrics as obs_metrics
 from repro.parallel import ExecutionContext, chunk_sizes, run_chunked
+from repro.platform_model.costs import CheckpointCosts
 from repro.simulation import RunSet
+from repro.simulation.batch import BATCH_RNG_CONTRACT, BatchConfig, simulate_batch
+from repro.simulation.policies import restart_policy
 from repro.util.rng import as_seed_sequence
 
 KILL_FILE_VAR = "REPRO_TEST_CONF_KILL_FILE"
@@ -103,6 +106,21 @@ def _boom_task(n_runs: int, seed) -> RunSet:
     raise ValueError("conformance boom")
 
 
+_ENGINE_COSTS = CheckpointCosts(checkpoint=30.0, downtime=5.0, recovery=30.0)
+
+
+def _batch_engine_task(n_runs: int, seed) -> RunSet:
+    """Real batch-engine chunk: the conformance contract must hold for the
+    production struct-of-arrays engine, not just the stub."""
+    return simulate_batch(
+        BatchConfig(
+            mtbf=2e5, n_pairs=50, policy=restart_policy(3000.0, _ENGINE_COSTS),
+            costs=_ENGINE_COSTS, n_periods=5, n_runs=n_runs,
+        ),
+        seed=seed,
+    )
+
+
 # ---------------------------------------------------------------------------
 # The suite
 # ---------------------------------------------------------------------------
@@ -134,6 +152,22 @@ class BackendConformanceSuite:
             assert rs.label == "stub"
             assert rs.meta["flavor"] == "conf"
             assert rs.meta["n_parts"] == 5
+
+    def test_batch_engine_bit_identity_across_worker_counts(self):
+        # the batch RNG contract promises chunked results bit-stable under
+        # any n_jobs/backend combination (repro/batch-rng-v1, DESIGN §5h)
+        baseline = run_chunked(
+            _batch_engine_task, n_runs=8, seed=7,
+            context=ExecutionContext(n_jobs=1, backend="serial", chunk_size=2),
+        )
+        assert baseline.meta["engine"] == "batch"
+        assert baseline.meta["rng_contract"] == BATCH_RNG_CONTRACT
+        for n_jobs in (2, 4):
+            rs = run_chunked(
+                _batch_engine_task, n_runs=8, seed=7, context=self.ctx(n_jobs)
+            )
+            _assert_identical(baseline, rs)
+            assert rs.meta["rng_contract"] == BATCH_RNG_CONTRACT
 
     def test_chunk_seed_provenance(self):
         # chunk i must run with root.spawn(n_chunks)[i]: rebuild by hand.

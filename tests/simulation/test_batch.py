@@ -1,0 +1,126 @@
+"""Unit tests for the struct-of-arrays batch engine.
+
+Covers all three code paths — fused single-iteration periods (restart /
+no-restart / every-k), the two-phase n-bound path, and the event-wise
+replanning path — plus the pinned RNG contract, reproducibility at batch
+granularity, and the wall-clock accounting identity.  Statistical
+agreement with the other engines lives in
+``tests/integration/test_engine_agreement.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.platform_model.costs import CheckpointCosts
+from repro.simulation.batch import BATCH_RNG_CONTRACT, BatchConfig, simulate_batch
+from repro.simulation.policies import (
+    every_k_policy,
+    nbound_policy,
+    no_restart_policy,
+    non_periodic_policy,
+    restart_policy,
+)
+
+COSTS = CheckpointCosts(checkpoint=30.0, downtime=5.0, recovery=30.0)
+MTBF = 2e5
+PAIRS = 50
+PERIOD = 3000.0
+N_PERIODS = 8
+
+#: one policy per engine code path (see module docstring)
+POLICIES = {
+    "restart": restart_policy(PERIOD, COSTS),
+    "no_restart": no_restart_policy(PERIOD, COSTS),
+    "every_k": every_k_policy(PERIOD, COSTS, 3),
+    "nbound": nbound_policy(PERIOD, COSTS, 3),
+    "non_periodic": non_periodic_policy(PERIOD, 0.4 * PERIOD, COSTS),
+}
+
+_VECTORS = (
+    "total_time", "useful_time", "checkpoint_time", "recovery_time",
+    "wasted_time", "n_failures", "n_fatal", "n_checkpoints",
+    "n_proc_restarts", "max_degraded",
+)
+
+
+def _config(policy, **overrides):
+    base = dict(
+        mtbf=MTBF, n_pairs=PAIRS, policy=policy, costs=COSTS,
+        n_periods=N_PERIODS, n_runs=12,
+    )
+    base.update(overrides)
+    return BatchConfig(**base)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_same_seed_bit_identical(self, name):
+        a = simulate_batch(_config(POLICIES[name]), seed=123)
+        b = simulate_batch(_config(POLICIES[name]), seed=123)
+        for field in _VECTORS:
+            np.testing.assert_array_equal(
+                getattr(a, field), getattr(b, field), err_msg=field, strict=True
+            )
+
+    def test_different_seeds_differ(self):
+        a = simulate_batch(_config(POLICIES["restart"]), seed=1)
+        b = simulate_batch(_config(POLICIES["restart"]), seed=2)
+        assert not np.array_equal(a.total_time, b.total_time)
+
+
+class TestMeta:
+    def test_engine_and_rng_contract_pinned(self):
+        rs = simulate_batch(_config(POLICIES["restart"]), seed=5)
+        assert rs.meta["engine"] == "batch"
+        # the contract version is part of the public cache-key surface:
+        # changing it must be a deliberate, test-visible act
+        assert rs.meta["rng_contract"] == BATCH_RNG_CONTRACT == "repro/batch-rng-v1"
+
+    def test_manifest_records_engine_identity(self):
+        rs = simulate_batch(_config(POLICIES["no_restart"]), seed=5)
+        execution = rs.meta["manifest"]["execution"]
+        assert execution["engine"] == "batch"
+        assert execution["rng_contract"] == BATCH_RNG_CONTRACT
+
+
+class TestAccounting:
+    @pytest.mark.parametrize("fdc", [True, False], ids=["fdc", "no-fdc"])
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_wall_clock_decomposes(self, name, fdc):
+        rs = simulate_batch(
+            _config(POLICIES[name], failures_during_checkpoint=fdc), seed=9
+        )
+        np.testing.assert_allclose(
+            rs.total_time,
+            rs.useful_time + rs.checkpoint_time
+            + rs.recovery_time + rs.wasted_time,
+            rtol=1e-9,
+        )
+
+    def test_wall_clock_decomposes_with_standalone_processors(self):
+        rs = simulate_batch(
+            _config(POLICIES["no_restart"], n_standalone=5), seed=11
+        )
+        np.testing.assert_allclose(
+            rs.total_time,
+            rs.useful_time + rs.checkpoint_time
+            + rs.recovery_time + rs.wasted_time,
+            rtol=1e-9,
+        )
+        assert rs.n_fatal.sum() > 0  # standalone hits are immediately fatal
+
+    def test_n_periods_termination(self):
+        rs = simulate_batch(_config(POLICIES["restart"]), seed=3)
+        # every period ends in exactly one (restart-)checkpoint wave and
+        # credits exactly one period of useful work
+        np.testing.assert_array_equal(rs.n_checkpoints, N_PERIODS)
+        np.testing.assert_allclose(rs.useful_time, N_PERIODS * PERIOD)
+
+    def test_work_target_termination(self):
+        rs = simulate_batch(
+            _config(
+                POLICIES["no_restart"], n_periods=None, work_target=5 * PERIOD
+            ),
+            seed=4,
+        )
+        assert np.all(rs.useful_time >= 5 * PERIOD)

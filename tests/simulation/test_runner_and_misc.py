@@ -57,6 +57,61 @@ class TestRestartWrapper:
         assert rs.meta["engine"] == "lockstep"
 
 
+class TestEngineSelection:
+    """engine= argument and REPRO_ENGINE fallback, per entry point."""
+
+    @pytest.fixture(autouse=True)
+    def _no_ambient_engine(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+
+    def test_batch_option_restart(self):
+        rs = simulate_restart(period=1000.0, engine="batch", **BASE)
+        assert rs.meta["engine"] == "batch"
+
+    def test_batch_option_policy_wrappers(self):
+        rs = simulate_no_restart(period=1000.0, engine="batch", **BASE)
+        assert rs.meta["engine"] == "batch"
+
+    def test_unknown_engine_error_names_valid_set(self):
+        with pytest.raises(ParameterError, match="lockstep, batch"):
+            simulate_no_restart(period=1000.0, engine="warp", **BASE)
+
+    def test_trace_entry_rejects_other_engines(self):
+        from repro.failures.generator import ExponentialFailureSource
+        from repro.simulation.policies import restart_policy
+        from repro.simulation.runner import simulate_with_source
+
+        with pytest.raises(ParameterError, match="trace"):
+            simulate_with_source(
+                restart_policy(1000.0, COSTS),
+                ExponentialFailureSource(1e6, 200),
+                n_pairs=100, costs=COSTS, n_periods=1, n_runs=1,
+                engine="batch",
+            )
+
+    def test_env_selects_batch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "batch")
+        rs = simulate_no_restart(period=1000.0, **BASE)
+        assert rs.meta["engine"] == "batch"
+
+    def test_env_unknown_engine_raises_naming_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "warp")
+        with pytest.raises(ParameterError, match="REPRO_ENGINE"):
+            simulate_no_restart(period=1000.0, **BASE)
+
+    def test_env_inapplicable_engine_falls_back_to_default(self, monkeypatch):
+        # sampled is a known engine but only the restart strategy has it;
+        # other entry points fall back to their default instead of raising
+        monkeypatch.setenv("REPRO_ENGINE", "sampled")
+        rs = simulate_no_restart(period=1000.0, **BASE)
+        assert rs.meta["engine"] == "lockstep"
+
+    def test_explicit_engine_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "batch")
+        rs = simulate_no_restart(period=1000.0, engine="lockstep", **BASE)
+        assert rs.meta["engine"] == "lockstep"
+
+
 class TestOtherWrappers:
     def test_no_restart(self):
         rs = simulate_no_restart(period=1000.0, **BASE)

@@ -97,6 +97,37 @@ class TestCommands:
         assert read_trace(path).n_failures == 3899
 
 
+class TestEngineFlag:
+    @pytest.fixture(autouse=True)
+    def _scrub_engine_env(self, monkeypatch):
+        """--engine exports REPRO_ENGINE process-wide; scrub it."""
+        import os
+
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        yield
+        os.environ.pop("REPRO_ENGINE", None)
+
+    SIM = [
+        "simulate", "no-restart", "--pairs", "200", "--runs", "5",
+        "--periods", "5", "--seed", "6",
+    ]
+
+    def test_engine_flag_runs_and_exports_env(self):
+        import os
+
+        assert main(self.SIM + ["--engine", "batch"]) == 0
+        # exported so pool workers inherit the choice
+        assert os.environ["REPRO_ENGINE"] == "batch"
+
+    def test_unknown_engine_exits_2_naming_valid_set(self, capsys):
+        import os
+
+        assert main(self.SIM + ["--engine", "warp"]) == 2
+        err = capsys.readouterr().err
+        assert "not a known engine" in err and "batch" in err
+        assert "REPRO_ENGINE" not in os.environ  # rejected before export
+
+
 class TestObsCommands:
     @pytest.fixture(autouse=True)
     def _clean_globals(self):
