@@ -50,7 +50,7 @@ ARTIFACTS_DIR = BENCH_DIR / "artifacts"
 #: default quick-mode subset: sampled engine (fig1), full period sweep with
 #: both engines (fig5), the analytic tables, the executor-backend dispatch
 #: benchmark, and the engine-throughput artifact — broad coverage in ~20 s.
-DEFAULT_MODULES = ("fig01", "fig05", "tables", "dispatch", "engines")
+DEFAULT_MODULES = ("fig01", "fig05", "tables", "dispatch", "engines", "adaptive")
 
 #: pinned relative-performance baseline: the batch engine must stay at
 #: least this many times faster than lockstep on the fig9 sweep workload
@@ -58,6 +58,14 @@ DEFAULT_MODULES = ("fig01", "fig05", "tables", "dispatch", "engines")
 #: machine-independent; see test_bench_engines.py).
 ENGINES_ARTIFACT = "BENCH_engines.json"
 BATCH_SPEEDUP_FLOOR = 10.0
+
+#: pinned adaptive-sampling baseline: the CI-targeted stopping rule must
+#: keep saving at least this factor of runs vs the fixed budget on the
+#: fig9 sweep workload, at equal-or-better per-point precision (both
+#: passes replay the same seeds, so the factor is machine-independent;
+#: see test_bench_adaptive.py).
+ADAPTIVE_ARTIFACT = "BENCH_adaptive.json"
+ADAPTIVE_SAVINGS_FLOOR = 2.0
 
 
 def load_baselines() -> dict[str, dict]:
@@ -236,6 +244,46 @@ def check_engine_speedup(artifacts_dir: Path | None) -> list[str]:
     return []
 
 
+def check_adaptive_savings(artifacts_dir: Path | None) -> list[str]:
+    """Gate the runs-saved factor recorded in the adaptive artifact.
+
+    Only applies when the adaptive module just ran (the artifact exists).
+    Also re-checks that every point reached the precision target — a
+    savings factor bought by under-sampling is not a savings.
+    """
+    if artifacts_dir is None:
+        return []
+    path = artifacts_dir / ADAPTIVE_ARTIFACT
+    if not path.exists():
+        return []
+    with path.open() as fh:
+        data = json.load(fh)
+    factor = data.get("runs_saved_factor")
+    if not _is_number(factor):
+        return [f"{ADAPTIVE_ARTIFACT}: missing runs_saved_factor"]
+    unreached = [
+        p["mtbf_years"]
+        for p in data.get("points", [])
+        if not p.get("reached_target", False)
+    ]
+    deviations = []
+    if unreached:
+        deviations.append(
+            f"adaptive: points capped below the precision target: {unreached}"
+        )
+    if factor < ADAPTIVE_SAVINGS_FLOOR:
+        deviations.append(
+            f"adaptive: runs saved {factor:.2f}x below the pinned "
+            f"{ADAPTIVE_SAVINGS_FLOOR:.0f}x floor"
+        )
+    if not deviations:
+        print(
+            f"adaptive: runs saved {factor:.2f}x "
+            f"(floor {ADAPTIVE_SAVINGS_FLOOR:.0f}x)"
+        )
+    return deviations
+
+
 def _inject_first_metric(data: dict) -> bool:
     """Perturb the first finite numeric metric in *data* (self-test hook)."""
     for row in data.get("rows", []):
@@ -300,6 +348,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     if not args.skip_run and "engines" in args.modules:
         deviations.extend(check_engine_speedup(artifacts_dir))
+    if not args.skip_run and "adaptive" in args.modules:
+        deviations.extend(check_adaptive_savings(artifacts_dir))
     if artifacts_dir is not None and not args.skip_run:
         manifest_path = write_run_manifest(
             artifacts_dir,

@@ -19,6 +19,11 @@ The package provides:
   ``n_jobs=8`` give bit-identical results for the same seed), with
   per-chunk fault handling: crashed or hung chunks retry with their
   original seeds, genuine task errors propagate unchanged;
+* :mod:`repro.adaptive` — CI-targeted sequential replication: chunked
+  dispatch stops per point once the overhead-mean confidence half-width
+  reaches a target (``target_ci`` / ``--target-ci`` / ``REPRO_TARGET_CI``),
+  with bit-reproducible stopping decisions across backends and worker
+  counts;
 * :mod:`repro.cache` — content-addressed on-disk result cache keyed by
   task/config/seed/layout provenance, making interrupted sweeps resumable
   (``--cache-dir`` / ``REPRO_CACHE_DIR``);
@@ -81,6 +86,7 @@ from repro.failures import (
     make_lanl2_like,
     make_lanl18_like,
 )
+from repro.adaptive import AdaptivePlan, default_target_ci
 from repro.cache import RunCache, cache_scope, set_default_cache
 from repro.obs import RunManifest, enable_trace, trace_to
 from repro.parallel import (
@@ -158,6 +164,9 @@ __all__ = [
     "ExecutionContext",
     "parallel_execution",
     "set_default_execution",
+    # adaptive sampling
+    "AdaptivePlan",
+    "default_target_ci",
     # result cache
     "RunCache",
     "cache_scope",

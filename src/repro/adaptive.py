@@ -1,0 +1,177 @@
+"""Adaptive sampling: CI-targeted sequential replication.
+
+Every fixed-budget sweep spends the same ``n_runs`` on every point, so easy
+points (tight variance) burn the budget a hard point actually needs.  This
+module implements the sequential alternative: chunks are dispatched in
+**waves**, completed chunks fold into the streaming accumulator
+(:mod:`repro.parallel.streaming`), and dispatch stops for a point as soon
+as the overhead-mean confidence-interval half-width
+(:func:`repro.util.stats.moments_confidence_halfwidth`) reaches a target.
+Budget saved on easy points is available as extra waves — up to a
+``max_runs`` cap — on points still above target.
+
+Determinism contract (DESIGN §5i)
+---------------------------------
+The stopping decision is a **pure function of the folded chunk-index
+prefix at fixed wave boundaries**:
+
+* the chunk layout covers the full ``max_runs`` cap up front, so chunk
+  sizes and per-chunk seeds never depend on where dispatch stops;
+* a wave is a fixed slice of that layout (``wave_size`` chunks), fully
+  drained before the rule is evaluated — in-flight chunks are never
+  abandoned, undispatched waves are simply never submitted;
+* :func:`should_stop` reads only the ordered-fold Welford state, which the
+  streaming layer guarantees is a pure function of chunk contents.
+
+Consequently the runs-spent-per-point vector and the final summary are
+bit-identical for a given seed across every backend and any ``n_jobs`` —
+the same contract fixed-budget dispatch has, proven by the same
+conformance suite.
+
+Usage: set ``target_ci=`` (plus optional ``max_runs=`` / ``wave_size=``)
+on an :class:`~repro.parallel.ExecutionContext`, pass ``--target-ci`` to
+``repro-sim sweep``, or export ``REPRO_TARGET_CI`` to retarget every
+dispatch ambiently.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.exceptions import ParameterError
+from repro.util.stats import StreamingMoments, moments_confidence_halfwidth
+from repro.util.validation import check_positive, check_positive_int
+
+if TYPE_CHECKING:
+    from repro.parallel.context import ExecutionContext
+
+__all__ = [
+    "ADAPTIVE_CI_LEVEL",
+    "DEFAULT_WAVE_SIZE",
+    "TARGET_CI_ENV_VAR",
+    "AdaptivePlan",
+    "default_target_ci",
+    "resolve_plan",
+    "should_stop",
+    "wave_bounds",
+]
+
+#: chunks dispatched per wave when :attr:`ExecutionContext.wave_size` is
+#: None.  Fixed (never derived from ``n_jobs``) for the same reason the
+#: chunk size is: wave boundaries are where stopping is evaluated, so they
+#: must be identical for every worker count.
+DEFAULT_WAVE_SIZE = 4
+
+#: confidence level of the targeted half-width.  Pinned rather than
+#: configurable so a target value means the same thing in every journal,
+#: cache key and benchmark artifact.
+ADAPTIVE_CI_LEVEL = 0.95
+
+#: environment variable supplying the default ``target_ci`` for any
+#: context constructed without an explicit one (mirrors ``REPRO_BACKEND``).
+TARGET_CI_ENV_VAR = "REPRO_TARGET_CI"
+
+
+def default_target_ci() -> float | None:
+    """``REPRO_TARGET_CI`` parsed and validated, else ``None`` (off)."""
+    raw = os.environ.get(TARGET_CI_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ParameterError(
+            f"{TARGET_CI_ENV_VAR} must be a float, got {raw!r}"
+        ) from None
+    check_positive(TARGET_CI_ENV_VAR, value)
+    return value
+
+
+@dataclass(frozen=True)
+class AdaptivePlan:
+    """Resolved adaptive-sampling parameters for one chunked batch.
+
+    A plan is a pure function of the execution context and the requested
+    ``n_runs`` (:func:`resolve_plan`), so two dispatches of the same
+    request always stop at the same wave boundary.
+    """
+
+    target_ci: float
+    max_runs: int
+    wave_size: int
+    level: float = ADAPTIVE_CI_LEVEL
+
+    def __post_init__(self) -> None:
+        check_positive("target_ci", self.target_ci)
+        check_positive_int("max_runs", self.max_runs)
+        check_positive_int("wave_size", self.wave_size)
+        if not 0.0 < self.level < 1.0:
+            raise ParameterError(
+                f"confidence level must be in (0, 1), got {self.level}"
+            )
+
+    def key_payload(self) -> dict:
+        """The plan as folded into chunk cache keys.
+
+        Adaptive chunk entries live in their own key namespace: a run that
+        realizes only a prefix of the layout must never cross-serve (or be
+        served by) a fixed-budget request, which expects the full layout
+        under its keys.
+        """
+        return {
+            "target_ci": self.target_ci,
+            "max_runs": self.max_runs,
+            "wave_size": self.wave_size,
+            "level": self.level,
+        }
+
+
+def resolve_plan(
+    context: "ExecutionContext | None", n_runs: int
+) -> AdaptivePlan | None:
+    """The :class:`AdaptivePlan` for a dispatch, or ``None`` (fixed budget).
+
+    ``max_runs`` defaults to the requested ``n_runs`` — the cap only grows
+    the layout when a caller explicitly grants extra budget for hard
+    points.
+    """
+    if context is None or context.target_ci is None:
+        return None
+    return AdaptivePlan(
+        target_ci=context.target_ci,
+        max_runs=context.max_runs if context.max_runs is not None else n_runs,
+        wave_size=(
+            context.wave_size if context.wave_size is not None else DEFAULT_WAVE_SIZE
+        ),
+    )
+
+
+def wave_bounds(n_chunks: int, wave_size: int) -> list[tuple[int, int]]:
+    """Fixed wave boundaries over a chunk layout: ``[(0, w), (w, 2w), ...]``.
+
+    A pure function of ``(n_chunks, wave_size)`` — the dispatch loop and
+    any offline replay (tests, journal audits) therefore agree on exactly
+    where stopping decisions happen.
+    """
+    check_positive_int("n_chunks", n_chunks)
+    check_positive_int("wave_size", wave_size)
+    return [
+        (start, min(start + wave_size, n_chunks))
+        for start in range(0, n_chunks, wave_size)
+    ]
+
+
+def should_stop(
+    moments: StreamingMoments, target_ci: float, *, level: float = ADAPTIVE_CI_LEVEL
+) -> bool:
+    """Has the folded prefix pinned the overhead mean tightly enough?
+
+    True once the CI half-width is at or below *target_ci*.  With fewer
+    than two observations the half-width is degenerately zero, so the rule
+    never stops before real evidence exists.
+    """
+    if moments.count < 2:
+        return False
+    return moments_confidence_halfwidth(moments, level=level) <= target_ci

@@ -136,6 +136,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="also save each point's full RunSet as DIR/point-NNN.json",
     )
     p_sw.add_argument(
+        "--target-ci", type=float, default=None, metavar="HW",
+        help=(
+            "adaptive sampling: stop each point once the 0.95-level "
+            "confidence half-width of its overhead mean is <= HW "
+            "(journaled; REPRO_TARGET_CI sets a default)"
+        ),
+    )
+    p_sw.add_argument(
+        "--max-runs", type=int, default=None, metavar="N",
+        help=(
+            "cap on runs per adaptive point (default: --runs); raise it to "
+            "grant hard points the budget saved on easy ones"
+        ),
+    )
+    p_sw.add_argument(
         "--journal", metavar="PATH", default=None,
         help=(
             "write-ahead journal file (default: "
@@ -681,6 +696,8 @@ def _run_sweep(args: argparse.Namespace) -> int:
             seed=args.seed,
             chunk_size=args.chunk_size,
             save_runs=args.save_runs,
+            target_ci=args.target_ci,
+            max_runs=args.max_runs,
         )
         if journal_path is None:
             journal_path = default_journal_path(request)

@@ -40,6 +40,7 @@ __all__ = [
     "PAPER_GAMMA",
     "PAPER_ALPHA",
     "active_jobs",
+    "adaptive_context",
     "cached_point",
     "mc_samples",
     "sweep_progress",
@@ -68,6 +69,21 @@ def active_jobs() -> int:
     """Worker count ambient simulations will use (1 = serial / legacy path)."""
     context = resolve_execution()
     return 1 if context is None else context.n_jobs
+
+
+def adaptive_context():
+    """The ambient execution context when adaptive sampling is on, else None.
+
+    Drivers use this to record the realized adaptive plan (and per-point
+    runs spent) in their result metadata: with ``REPRO_TARGET_CI`` exported
+    — or an adaptive :func:`~repro.parallel.parallel_execution` installed —
+    every Monte-Carlo leg stops at its confidence target instead of
+    spending the fixed budget, and the provenance should say so.
+    """
+    context = resolve_execution()
+    if context is None or context.target_ci is None:
+        return None
+    return context
 
 
 def sweep_progress(name: str, points: Iterable[_T]) -> Iterator[_T]:

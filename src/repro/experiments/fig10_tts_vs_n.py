@@ -19,6 +19,7 @@ from repro.experiments.common import (
     PAPER_GAMMA,
     PAPER_MTBF,
     PAPER_N_PERIODS,
+    adaptive_context,
     mc_samples,
     paper_costs,
 )
@@ -84,6 +85,11 @@ def run(
         meta={"checkpoint": checkpoint, "n_runs": n_runs},
     )
 
+    # Same adaptive-sampling provenance discipline as fig9: plan and
+    # realized runs-per-point go in meta, never as gated table columns.
+    adaptive = adaptive_context()
+    runs_spent: list[dict] = []
+
     seeds = spawn_seeds(seed, len(n_procs_values))
     for n, s in zip(n_procs_values, seeds):
         children = spawn_seeds(s, 5)
@@ -115,6 +121,10 @@ def run(
         )
         row["restart_full"] = _amdahl_days(app, n, rs.mean_overhead, replicated=True)
         row["norestart_full"] = _amdahl_days(app, n, nr.mean_overhead, replicated=True)
+        if adaptive is not None:
+            runs_spent.append(
+                {"n_procs": n, "restart": rs.n_runs, "norestart": nr.n_runs}
+            )
 
         for tag, frac, period, restart_flag, child in (
             ("partial90_Trs", 0.9, t_rs, True, children[3]),
@@ -131,6 +141,20 @@ def run(
                 alpha=alpha, gamma=gamma,
             )
         result.add_row(**row)
+
+    if adaptive is not None:
+        result.meta["adaptive"] = {
+            "target_ci": adaptive.target_ci,
+            "max_runs": adaptive.max_runs,
+            "runs_spent": runs_spent,
+        }
+        total = sum(r["restart"] + r["norestart"] for r in runs_spent)
+        fixed = 2 * n_runs * len(result.rows)
+        result.note(
+            f"adaptive sampling at target_ci={adaptive.target_ci:g}: "
+            f"{total} runs spent on the full-replication legs "
+            f"(fixed budget would be {fixed})"
+        )
 
     rows = result.rows
     rs_wins = all(r["restart_full"] <= r["norestart_full"] * 1.01 for r in rows)

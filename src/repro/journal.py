@@ -119,6 +119,15 @@ class SweepJournal:
     def point_done(self, index: int, key: str | None = None, **stats: Any) -> None:
         self.append("point", index=index, key=key, **stats)
 
+    def adaptive_stop(self, **decision: Any) -> None:
+        """Record an adaptive-sampling stopping decision (:mod:`repro.adaptive`).
+
+        The decision is derived deterministically from the journaled chunk
+        layout and the folded chunk prefix, so a resumed sweep re-derives —
+        and re-journals — the identical record.
+        """
+        self.append("adaptive", **decision)
+
     def interrupted(self, reason: str) -> None:
         self.append("interrupted", reason=reason)
 

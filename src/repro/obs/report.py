@@ -80,6 +80,9 @@ class TraceReport:
     counters: dict[str, float]
     chaos_injections: dict[str, int] = field(default_factory=dict)
     poison_chunks: int = 0
+    adaptive_stops: int = 0
+    adaptive_chunks_saved: int = 0
+    adaptive_points_capped: int = 0
 
     def chunk_latency_histogram(self) -> list[tuple[str, int]]:
         """Chunk wall times over the fixed metrics buckets, trimmed to the
@@ -220,6 +223,9 @@ def analyze_trace(
     chunk_failures: dict[str, int] = {}
     chaos_injections: dict[str, int] = {}
     poison_chunks = 0
+    adaptive_stops = 0
+    adaptive_chunks_saved = 0
+    adaptive_points_capped = 0
     for rec in records:
         name = rec.get("name")
         if name == "parallel.chunk_failed":
@@ -230,6 +236,12 @@ def analyze_trace(
             chaos_injections[action] = chaos_injections.get(action, 0) + 1
         elif name == "parallel.poison_chunk":
             poison_chunks += 1
+        elif name == "adaptive.stop":
+            labels = rec.get("labels") or {}
+            adaptive_stops += 1
+            adaptive_chunks_saved += int(labels.get("chunks_saved", 0))
+            if not labels.get("reached_target", True):
+                adaptive_points_capped += 1
 
     cache_counts = {
         short: sum(1 for r in records if r.get("name") == f"cache.{short}")
@@ -268,6 +280,9 @@ def analyze_trace(
         counters=counters,
         chaos_injections=chaos_injections,
         poison_chunks=poison_chunks,
+        adaptive_stops=adaptive_stops,
+        adaptive_chunks_saved=adaptive_chunks_saved,
+        adaptive_points_capped=adaptive_points_capped,
     )
 
 
@@ -343,6 +358,12 @@ def render_report(report: TraceReport, *, width: int = 60) -> str:
     out.append(f"retry rounds        : {report.retry_rounds}"
                f" ({report.retried_chunks} chunk retries)")
     out.append(f"serial fallbacks    : {report.fallbacks}")
+    if report.adaptive_stops:
+        out.append(
+            f"adaptive stops      : {report.adaptive_stops} "
+            f"({report.adaptive_chunks_saved} chunks saved, "
+            f"{report.adaptive_points_capped} points capped at max_runs)"
+        )
     if failures:
         detail = ", ".join(
             f"{kind}={count}" for kind, count in sorted(report.chunk_failures.items())

@@ -129,6 +129,25 @@ class ExecutionContext:
         Faults execute in workers and on the tcp wire only — never in the
         dispatching process, never on the serial backend — so results
         stay bit-identical while the recovery machinery is exercised.
+    target_ci:
+        When set, dispatch becomes adaptive (:mod:`repro.adaptive`):
+        chunks run in waves and stop once the 0.95-level confidence
+        half-width of the overhead mean is at or below this value.
+        ``None`` (the default) resolves from the ``REPRO_TARGET_CI``
+        environment variable, else fixed-budget dispatch.  Adaptive
+        dispatch implies streaming harvest and returns a
+        :class:`~repro.parallel.streaming.StreamingRunSummary`.
+    max_runs:
+        Cap on runs per adaptive dispatch; defaults to the requested
+        ``n_runs``.  Setting it above ``n_runs`` grants extra waves for
+        points whose variance keeps them over target — the budget saved on
+        easy points.  Requires ``target_ci``.
+    wave_size:
+        Chunks dispatched per adaptive wave; ``None`` uses
+        :data:`repro.adaptive.DEFAULT_WAVE_SIZE`.  Like ``chunk_size`` it
+        is never derived from ``n_jobs``: wave boundaries are where the
+        stopping rule is evaluated, so they must be identical for every
+        worker count.  Requires ``target_ci``.
     """
 
     n_jobs: int = 1
@@ -139,6 +158,9 @@ class ExecutionContext:
     retry_backoff: float = 0.25
     streaming: bool = False
     chaos: "str | object | None" = None
+    target_ci: float | None = None
+    max_runs: int | None = None
+    wave_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend is None:
@@ -175,10 +197,33 @@ class ExecutionContext:
             raise ParameterError(
                 f"streaming must be a bool, got {self.streaming!r}"
             )
+        if self.target_ci is None:
+            from repro.adaptive import default_target_ci
+
+            object.__setattr__(self, "target_ci", default_target_ci())
+        else:
+            check_positive("target_ci", self.target_ci)
+        if self.max_runs is not None:
+            check_positive_int("max_runs", self.max_runs)
+        if self.wave_size is not None:
+            check_positive_int("wave_size", self.wave_size)
+        if self.target_ci is None and (
+            self.max_runs is not None or self.wave_size is not None
+        ):
+            raise ParameterError(
+                "max_runs / wave_size only apply to adaptive sampling; "
+                "set target_ci as well"
+            )
 
     @property
     def effective_chunk_size(self) -> int:
         return self.chunk_size if self.chunk_size is not None else DEFAULT_CHUNK_SIZE
+
+    @property
+    def effective_wave_size(self) -> int:
+        from repro.adaptive import DEFAULT_WAVE_SIZE
+
+        return self.wave_size if self.wave_size is not None else DEFAULT_WAVE_SIZE
 
 
 # ---------------------------------------------------------------------------
@@ -220,6 +265,9 @@ def parallel_execution(
     retry_backoff: float = 0.25,
     streaming: bool = False,
     chaos: "str | None" = None,
+    target_ci: float | None = None,
+    max_runs: int | None = None,
+    wave_size: int | None = None,
 ) -> Iterator[ExecutionContext]:
     """Scoped default context: every simulation inside the block uses it.
 
@@ -237,6 +285,9 @@ def parallel_execution(
         retry_backoff=retry_backoff,
         streaming=streaming,
         chaos=chaos,
+        target_ci=target_ci,
+        max_runs=max_runs,
+        wave_size=wave_size,
     )
     previous = set_default_execution(context)
     try:

@@ -24,6 +24,14 @@ every decision.
 When a result cache is active (:mod:`repro.cache`) and the seed is
 reproducible, completed chunks are stored as they finish and skipped on
 re-execution, making an interrupted chunked batch resumable.
+
+Adaptive sampling: when the context carries a ``target_ci``
+(:mod:`repro.adaptive`), chunks are dispatched wave by wave over a layout
+sized to ``max_runs``; after each wave fully drains, the stopping rule is
+evaluated on the streamed overhead moments and the remaining waves are
+simply never submitted.  Cache hits are served per wave (never ahead of
+the stopping decision), adaptive chunk keys live in their own cache
+namespace, and the decision itself is journaled and traced.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.adaptive import resolve_plan, should_stop, wave_bounds
 from repro.cache import cacheable_seed, resolve_cache, runset_key
 from repro.journal import resolve_journal
 from repro.obs import manifest as _obs_manifest
@@ -87,7 +96,12 @@ def run_chunked(
     t_start = time.monotonic()
     if context is None:
         context = ExecutionContext()
-    sizes = chunk_sizes(n_runs, context.effective_chunk_size)
+    plan = resolve_plan(context, n_runs)
+    # Adaptive dispatch lays the chunks out over the full max_runs cap up
+    # front: chunk sizes and per-chunk seeds must never depend on where
+    # dispatch stops, or the stopping rule would feed back into the data.
+    layout_runs = plan.max_runs if plan is not None else n_runs
+    sizes = chunk_sizes(layout_runs, context.effective_chunk_size)
     root_seed = as_seed_sequence(seed)
     seeds = root_seed.spawn(len(sizes))
     specs = [
@@ -95,7 +109,10 @@ def run_chunked(
         for i, size in enumerate(sizes)
     ]
 
-    streaming = context.streaming
+    # Adaptive dispatch implies streaming harvest: the stopping rule reads
+    # the streamed Welford prefix, and only aggregate statistics survive a
+    # batch whose realized size is data-dependent.
+    streaming = context.streaming or plan is not None
     acc = RunSetAccumulator(len(sizes)) if streaming else None
     parts: list["RunSet | None"] = [None] * len(sizes)
     done = [False] * len(sizes)
@@ -107,33 +124,36 @@ def run_chunked(
     cache = resolve_cache() if cacheable_seed(seed) else None
     journal = resolve_journal()
     keys: list[str] | None = None
+    task_label = f"chunk:{describe_task(task)}"
     cache_hits = 0
     if journal is not None:
         journal.chunk_layout(
             task=describe_task(task),
-            n_runs=n_runs,
+            n_runs=layout_runs,
             chunk_size=context.effective_chunk_size,
             n_chunks=len(sizes),
             seed=_obs_manifest.seed_provenance(root_seed),
         )
     if cache is not None:
-        task_label = f"chunk:{describe_task(task)}"
         root_prov = _obs_manifest.seed_provenance(root_seed)
-        keys = [
-            runset_key(
-                kind="chunk",
-                task=task,
-                layout={
-                    "n_runs": n_runs,
-                    "chunk_size": context.effective_chunk_size,
-                    "n_chunks": len(sizes),
-                    "index": i,
-                    "size": size,
-                },
-                seed=root_prov,
+        keys = []
+        for i, size in enumerate(sizes):
+            layout = {
+                "n_runs": layout_runs,
+                "chunk_size": context.effective_chunk_size,
+                "n_chunks": len(sizes),
+                "index": i,
+                "size": size,
+            }
+            if plan is not None:
+                # Separate key namespace: an adaptive batch realizes only a
+                # prefix of the layout, so its chunks must never cross-serve
+                # a fixed-budget request (or an adaptive one under a
+                # different plan) that expects the full layout.
+                layout["adaptive"] = plan.key_payload()
+            keys.append(
+                runset_key(kind="chunk", task=task, layout=layout, seed=root_prov)
             )
-            for i, size in enumerate(sizes)
-        ]
 
     def _accept(index: int, runs: "RunSet") -> None:
         if streaming:
@@ -142,21 +162,26 @@ def run_chunked(
             parts[index] = runs
         done[index] = True
 
-    if keys is not None:
-        for i, key in enumerate(keys):
-            hit = cache.get(key, label=task_label)
+    def _serve_cache(spec_list: list[ChunkSpec]) -> None:
+        nonlocal cache_hits
+        if keys is None:
+            return
+        for spec in spec_list:
+            if done[spec.index]:
+                continue
+            hit = cache.get(keys[spec.index], label=task_label)
             if hit is not None:
-                _accept(i, hit)
+                _accept(spec.index, hit)
                 cache_hits += 1
                 if journal is not None:
-                    journal.chunk_done(i, key, source="cache")
+                    journal.chunk_done(spec.index, keys[spec.index], source="cache")
 
     def _store(index: int, chunk: "RunSet") -> None:
         # Cache first, journal second: a journaled key must always name a
         # durable cache entry, so a crash between the two is safe (the
         # chunk is merely recomputed on resume).
         if cache is not None and keys is not None:
-            cache.put(keys[index], chunk, label=f"chunk:{describe_task(task)}")
+            cache.put(keys[index], chunk, label=task_label)
         if journal is not None:
             journal.chunk_done(
                 index, keys[index] if keys is not None else None
@@ -172,37 +197,127 @@ def run_chunked(
         if metrics is not None:
             obs_metrics.merge(metrics)
 
-    t_setup = time.monotonic() - t_start
-    if cache_hits:
-        obs_metrics.inc("parallel.cache_hit_chunks", cache_hits)
+    used_remote = False
+    retry_rounds = 0
+    serial_fallback_chunks = 0
+    backend_flagged_fallback = False
 
-    missing = [spec for spec in specs if not done[spec.index]]
-    use_remote = (
-        context.backend != "serial" and context.n_jobs > 1 and len(missing) > 1
-    )
-    t_dispatch_start = time.monotonic()
-    backend_stats: dict = {}
-    # The dispatch span's id is handed to every chunk (through the backend's
-    # pickled task arguments), so worker-emitted chunk spans carry it as
-    # parent_id and the analyzer can nest the cross-process timeline.
-    with obs.span(
-        "parallel.dispatch",
-        backend=context.backend,
-        n_chunks=len(sizes),
-        n_missing=len(missing),
-        n_jobs=context.n_jobs,
-        streaming=streaming,
-    ) as dispatch_id:
+    def _dispatch(spec_list: list[ChunkSpec], dispatch_id) -> None:
+        # Run every not-yet-done chunk of *spec_list* to completion: remote
+        # backend first when it pays, then in-process for whatever the
+        # backend could not finish (exhausted retries, permanent failure).
+        nonlocal used_remote, retry_rounds, serial_fallback_chunks
+        nonlocal backend_flagged_fallback
+        missing = [spec for spec in spec_list if not done[spec.index]]
+        if not missing:
+            return
+        use_remote = (
+            context.backend != "serial" and context.n_jobs > 1 and len(missing) > 1
+        )
         if use_remote:
-            backend_stats = get_backend(context.backend).run(
+            stats = get_backend(context.backend).run(
                 task, missing, context, harvest, dispatch_id
             )
-        used_remote = backend_stats.get("completed", 0) > 0
-        still_missing = [spec for spec in specs if not done[spec.index]]
+            used_remote = used_remote or stats.get("completed", 0) > 0
+            retry_rounds += stats.get("retry_rounds", 0)
+            backend_flagged_fallback = backend_flagged_fallback or bool(
+                stats.get("serial_fallback")
+            )
+        still_missing = [spec for spec in spec_list if not done[spec.index]]
         if still_missing:
             get_backend("serial").run(
                 task, still_missing, context, harvest, dispatch_id
             )
+            if use_remote:
+                serial_fallback_chunks += len(still_missing)
+
+    decision: dict | None = None
+    t_dispatch_start = t_start
+    # The dispatch span's id is handed to every chunk (through the backend's
+    # pickled task arguments), so worker-emitted chunk spans carry it as
+    # parent_id and the analyzer can nest the cross-process timeline.
+    if plan is None:
+        _serve_cache(specs)
+        t_setup = time.monotonic() - t_start
+        if cache_hits:
+            obs_metrics.inc("parallel.cache_hit_chunks", cache_hits)
+        n_missing = sum(1 for flag in done if not flag)
+        t_dispatch_start = time.monotonic()
+        with obs.span(
+            "parallel.dispatch",
+            backend=context.backend,
+            n_chunks=len(sizes),
+            n_missing=n_missing,
+            n_jobs=context.n_jobs,
+            streaming=streaming,
+        ) as dispatch_id:
+            _dispatch(specs, dispatch_id)
+        n_chunks_run = len(sizes)
+    else:
+        # Waves are fixed slices of the layout, each fully drained (cache,
+        # remote, serial fallback) before the stopping rule looks at the
+        # folded prefix — which therefore *is* the realized chunk set.
+        # Cache hits are served per wave, never ahead of the decision, so a
+        # warm cache reproduces exactly the cold-cache prefix.
+        t_setup = time.monotonic() - t_start
+        waves = wave_bounds(len(sizes), plan.wave_size)
+        stopped = False
+        n_chunks_run = 0
+        t_dispatch_start = time.monotonic()
+        with obs.span(
+            "parallel.dispatch",
+            backend=context.backend,
+            n_chunks=len(sizes),
+            n_missing=len(sizes),
+            n_jobs=context.n_jobs,
+            streaming=True,
+            adaptive=True,
+        ) as dispatch_id:
+            for wave_start, wave_end in waves:
+                wave_specs = specs[wave_start:wave_end]
+                _serve_cache(wave_specs)
+                _dispatch(wave_specs, dispatch_id)
+                n_chunks_run = wave_end
+                if should_stop(
+                    acc.peek("overhead"), plan.target_ci, level=plan.level
+                ):
+                    stopped = True
+                    break
+        if cache_hits:
+            obs_metrics.inc("parallel.cache_hit_chunks", cache_hits)
+        runs_spent = int(sum(sizes[:n_chunks_run]))
+        from repro.util.stats import moments_confidence_halfwidth
+
+        decision = {
+            "target_ci": plan.target_ci,
+            "level": plan.level,
+            "max_runs": plan.max_runs,
+            "wave_size": plan.wave_size,
+            "n_chunks": len(sizes),
+            "n_chunks_run": n_chunks_run,
+            "chunks_saved": len(sizes) - n_chunks_run,
+            "runs_spent": runs_spent,
+            "runs_saved": layout_runs - runs_spent,
+            "reached_target": stopped,
+            "halfwidth": moments_confidence_halfwidth(
+                acc.peek("overhead"), level=plan.level
+            ),
+        }
+        if journal is not None:
+            journal.adaptive_stop(**decision)
+        obs.event(
+            "adaptive.stop",
+            reached_target=stopped,
+            chunks_saved=decision["chunks_saved"],
+            runs_spent=runs_spent,
+            halfwidth=decision["halfwidth"],
+        )
+        if decision["chunks_saved"]:
+            obs_metrics.inc("adaptive.chunks_saved", decision["chunks_saved"])
+            obs.count("adaptive.chunks_saved", decision["chunks_saved"])
+        if not stopped:
+            obs_metrics.inc("adaptive.points_capped")
+            obs.count("adaptive.points_capped")
     t_dispatch = time.monotonic() - t_dispatch_start
 
     t_merge_start = time.monotonic()
@@ -220,12 +335,14 @@ def run_chunked(
     if streaming:
         execution["streaming"] = True
         execution["peak_buffered_chunks"] = acc.peak_buffered
+    if decision is not None:
+        execution["adaptive"] = dict(decision)
     if cache_hits:
         execution["cache_hits"] = cache_hits
-    if backend_stats.get("retry_rounds"):
-        execution["retry_rounds"] = backend_stats["retry_rounds"]
-    if backend_stats.get("serial_fallback") or (use_remote and still_missing):
-        execution["serial_fallback_chunks"] = len(still_missing)
+    if retry_rounds:
+        execution["retry_rounds"] = retry_rounds
+    if serial_fallback_chunks or backend_flagged_fallback:
+        execution["serial_fallback_chunks"] = serial_fallback_chunks
     merged.meta.update(execution=dict(execution))
     merged.meta["manifest"] = _obs_manifest.RunManifest(
         label=merged.label,

@@ -36,7 +36,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.exceptions import ParameterError
+from repro.exceptions import ParameterError, SimulationError
 from repro.util.stats import StreamingMoments, moments_confidence_halfwidth
 
 if TYPE_CHECKING:
@@ -170,10 +170,12 @@ class RunSetAccumulator:
         if index < self._next or index in self._pending:
             raise ParameterError(f"chunk {index} was already accumulated")
         self._pending[index] = runs
-        self.peak_buffered = max(self.peak_buffered, len(self._pending))
         while self._next in self._pending:
             self._fold(self._pending.pop(self._next))
             self._next += 1
+        # Measure *after* folding: only chunks still held back waiting for a
+        # predecessor count as buffered, so in-order arrival reads 0.
+        self.peak_buffered = max(self.peak_buffered, len(self._pending))
 
     def _fold(self, runs: "RunSet") -> None:
         if self._label is None:
@@ -182,6 +184,12 @@ class RunSetAccumulator:
             self._meta.setdefault(key, value)
         m = self._moments
         total = np.asarray(runs.total_time, dtype=float)
+        if total.size and not np.all(total > 0.0):
+            raise SimulationError(
+                f"chunk {runs.label!r} contains a run with non-positive "
+                "total_time; the checkpoint_frequency / io_time_fraction "
+                "ratios are undefined for it"
+            )
         m["overhead"].push(runs.overheads)
         m["total_time"].push(total)
         m["useful_time"].push(runs.useful_time)
@@ -193,6 +201,20 @@ class RunSetAccumulator:
         self._n_crashed += int(np.count_nonzero(runs.n_fatal > 0))
         self._n_multi += int(np.count_nonzero(runs.n_fatal >= 2))
         self._folded += 1
+
+    def peek(self, name: str = "overhead") -> StreamingMoments:
+        """The live moments folded so far for *name*.
+
+        This is what adaptive sampling (:mod:`repro.adaptive`) evaluates at
+        wave boundaries: because folding is ordered, the returned state is a
+        pure function of the folded chunk-index prefix, never of completion
+        order.
+        """
+        if name not in self._moments:
+            raise ParameterError(
+                f"unknown moment field {name!r}; tracked: {_MOMENT_FIELDS}"
+            )
+        return self._moments[name]
 
     def result(self) -> StreamingRunSummary:
         """The summary of everything folded so far.

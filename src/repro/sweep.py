@@ -84,6 +84,8 @@ class SweepRequest:
     seed: int = 2019
     chunk_size: int | None = None
     save_runs: str | None = None
+    target_ci: float | None = None
+    max_runs: int | None = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -113,6 +115,29 @@ class SweepRequest:
             )
         if self.chunk_size is not None:
             check_positive_int("chunk_size", self.chunk_size)
+        # Adaptive sampling (repro.adaptive): the target half-width changes
+        # the output (runs spent per point), so — unlike pure execution
+        # knobs — it belongs in the request.  REPRO_TARGET_CI is folded in
+        # at construction so the journal records the *realized* target.
+        if self.target_ci is None:
+            from repro.adaptive import default_target_ci
+
+            object.__setattr__(self, "target_ci", default_target_ci())
+        else:
+            check_positive("target_ci", self.target_ci)
+        if self.max_runs is not None:
+            check_positive_int("max_runs", self.max_runs)
+            if self.target_ci is None:
+                raise ParameterError(
+                    "max_runs only applies to adaptive sampling; "
+                    "set target_ci (or REPRO_TARGET_CI) as well"
+                )
+        if self.target_ci is not None and self.save_runs:
+            raise ParameterError(
+                "save_runs is incompatible with adaptive sampling "
+                "(target_ci): adaptive points keep only streamed aggregate "
+                "statistics, never the per-run vectors"
+            )
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -128,6 +153,8 @@ class SweepRequest:
             "seed": self.seed,
             "chunk_size": self.chunk_size,
             "save_runs": self.save_runs,
+            "target_ci": self.target_ci,
+            "max_runs": self.max_runs,
         }
 
     @classmethod
@@ -335,14 +362,33 @@ def run_sweep(
     """
     say = progress or (lambda _msg: None)
     path = Path(journal_path) if journal_path is not None else default_journal_path(request)
+    overrides: dict[str, Any] = {}
     if request.chunk_size is not None:
         # Pin the journaled chunk size onto the ambient context so resume
         # reproduces the exact chunk layout (and therefore cache keys).
-        from repro.parallel import get_default_execution, set_default_execution
+        overrides["chunk_size"] = request.chunk_size
+    if request.target_ci is not None:
+        # Likewise the adaptive plan: the journaled target and cap determine
+        # where every point stops, so resume must dispatch under the same
+        # plan regardless of the resume-time environment.
+        overrides["target_ci"] = request.target_ci
+        overrides["max_runs"] = request.max_runs
+    if overrides:
+        from repro.parallel import (
+            ExecutionContext,
+            get_default_execution,
+            set_default_execution,
+        )
 
         context = get_default_execution()
-        if context is not None and context.chunk_size != request.chunk_size:
-            set_default_execution(replace(context, chunk_size=request.chunk_size))
+        if context is None:
+            if request.target_ci is not None:
+                # Adaptive sampling needs chunked dispatch; install a serial
+                # single-worker context rather than silently falling back to
+                # the legacy fixed-budget single-batch path.
+                set_default_execution(ExecutionContext(n_jobs=1, **overrides))
+        elif any(getattr(context, k) != v for k, v in overrides.items()):
+            set_default_execution(replace(context, **overrides))
 
     journal = SweepJournal(path)
     previous = set_active_journal(journal)
@@ -372,6 +418,13 @@ def run_sweep(
 
                     save_runset(runs, save_dir / f"point-{i:03d}.json")
                 summary = runs.overhead_summary()
+                # A streaming/adaptive point returns a StreamingRunSummary
+                # (aggregate moments, no per-run vectors); a materialized
+                # point returns a RunSet with the raw n_fatal array.
+                if hasattr(runs, "mean_n_fatal"):
+                    n_fatal = float(runs.mean_n_fatal)
+                else:
+                    n_fatal = float(runs.n_fatal.mean())
                 row = {
                     "index": i,
                     "mtbf_years": mtbf,
@@ -379,7 +432,7 @@ def run_sweep(
                     "overhead": summary.mean,
                     "halfwidth": summary.halfwidth,
                     "n_runs": summary.n_runs,
-                    "n_fatal": float(runs.n_fatal.mean()),
+                    "n_fatal": n_fatal,
                 }
                 journal.point_done(
                     i,

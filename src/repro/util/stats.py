@@ -33,6 +33,10 @@ _Z_TABLE = {
 
 
 def _z_value(level: float) -> float:
+    # Domain check first: an invalid level must raise ParameterError even
+    # when scipy is absent or slow to import.
+    if not 0.0 < level < 1.0:
+        raise ParameterError(f"confidence level must be in (0, 1), got {level}")
     # Exact table match only — rounding the level would silently serve a
     # nearby quantile (e.g. the 0.68 value for level=0.683).
     hit = _Z_TABLE.get(level)
@@ -42,8 +46,6 @@ def _z_value(level: float) -> float:
     # common path should not pay the import cost.
     from scipy.stats import norm
 
-    if not 0.0 < level < 1.0:
-        raise ParameterError(f"confidence level must be in (0, 1), got {level}")
     return float(norm.ppf(0.5 + level / 2.0))
 
 
@@ -60,13 +62,37 @@ class StreamingMoments:
     _m2: float = field(default=0.0, repr=False)
 
     def push(self, value) -> None:
-        """Add one observation or an array of observations."""
-        arr = np.atleast_1d(np.asarray(value, dtype=float))
-        for x in arr:
-            self.count += 1
-            delta = x - self.mean
-            self.mean += delta / self.count
-            self._m2 += delta * (x - self.mean)
+        """Add one observation or an array of observations.
+
+        An array is folded as a single Chan-style batch merge (the array's
+        mean and M2 computed vectorized, then combined exactly like
+        :meth:`merge`), so the streaming hot path costs O(1) Python
+        operations per chunk instead of per run.
+        """
+        arr = np.asarray(value, dtype=float)
+        if arr.ndim == 0:
+            self._push_one(float(arr))
+            return
+        arr = np.ravel(arr)
+        n = int(arr.size)
+        if n == 0:
+            return
+        if n == 1:
+            self._push_one(float(arr[0]))
+            return
+        batch_mean = float(arr.mean())
+        batch_m2 = float(np.square(arr - batch_mean).sum())
+        total = self.count + n
+        delta = batch_mean - self.mean
+        self.mean += delta * n / total
+        self._m2 += batch_m2 + delta * delta * self.count * n / total
+        self.count = total
+
+    def _push_one(self, x: float) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
 
     @property
     def variance(self) -> float:

@@ -1,0 +1,340 @@
+"""Adaptive sampling (:mod:`repro.adaptive` + the dispatch wave loop).
+
+The determinism contract under test (DESIGN §5i): the stopping decision is
+a pure function of the folded chunk-index prefix at fixed wave boundaries,
+so runs-spent and the final summary are bit-reproducible for a given seed —
+independent of backend, worker count, and cache warmth.  Backend/worker
+invariance itself is pinned by the conformance suite
+(:mod:`tests.parallel.test_backend_conformance`); this module pins the
+rule, the wiring (context / cache keys / journal / obs) and the budget
+semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adaptive import (
+    ADAPTIVE_CI_LEVEL,
+    DEFAULT_WAVE_SIZE,
+    TARGET_CI_ENV_VAR,
+    AdaptivePlan,
+    default_target_ci,
+    resolve_plan,
+    should_stop,
+    wave_bounds,
+)
+from repro.cache import cache_scope
+from repro.exceptions import ParameterError
+from repro.journal import journal_scope, read_journal
+from repro.obs import metrics as obs_metrics
+from repro.parallel import (
+    ExecutionContext,
+    RunSetAccumulator,
+    chunk_sizes,
+    run_chunked,
+)
+from repro.simulation import RunSet
+from repro.util.stats import StreamingMoments, moments_confidence_halfwidth
+from repro.util.rng import as_seed_sequence
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    saved = obs_metrics.snapshot()
+    obs_metrics.reset()
+    yield
+    obs_metrics.reset()
+    obs_metrics.merge(saved)
+
+
+def _noisy_task(n_runs: int, seed) -> RunSet:
+    """Variable-overhead chunk task: total/useful - 1 ~ Uniform[0, 1).
+
+    sigma ~= 0.289, so at the 0.95 level the half-width crosses 0.15 after
+    ~15 runs — well inside a 40-run cap.
+    """
+    rng = np.random.default_rng(seed)
+    useful = rng.random(n_runs) + 1.0
+    total = useful * (1.0 + rng.random(n_runs))
+    ints = rng.integers(0, 5, n_runs)
+    return RunSet(
+        total, useful, useful, useful, useful,
+        ints, ints, ints, ints, ints,
+        label="noisy", meta={"flavor": "adaptive"},
+    )
+
+
+def _ctx(**kw) -> ExecutionContext:
+    kw.setdefault("n_jobs", 1)
+    kw.setdefault("backend", "serial")
+    kw.setdefault("chunk_size", 2)
+    return ExecutionContext(**kw)
+
+
+PLAN_KW = dict(target_ci=0.15, max_runs=40, wave_size=2)
+
+
+# ---------------------------------------------------------------------------
+# Plan resolution and validation
+# ---------------------------------------------------------------------------
+
+
+class TestPlanResolution:
+    def test_no_target_means_fixed_budget(self, monkeypatch):
+        monkeypatch.delenv(TARGET_CI_ENV_VAR, raising=False)
+        assert resolve_plan(None, 100) is None
+        assert resolve_plan(_ctx(), 100) is None
+
+    def test_explicit_target_resolves_defaults(self):
+        plan = resolve_plan(_ctx(target_ci=0.01), 100)
+        assert plan == AdaptivePlan(
+            target_ci=0.01, max_runs=100, wave_size=DEFAULT_WAVE_SIZE
+        )
+        assert plan.level == ADAPTIVE_CI_LEVEL
+
+    def test_max_runs_and_wave_size_override(self):
+        plan = resolve_plan(
+            _ctx(target_ci=0.01, max_runs=400, wave_size=3), 100
+        )
+        assert (plan.max_runs, plan.wave_size) == (400, 3)
+
+    def test_env_var_supplies_ambient_target(self, monkeypatch):
+        monkeypatch.setenv(TARGET_CI_ENV_VAR, "0.025")
+        assert default_target_ci() == 0.025
+        assert _ctx().target_ci == 0.025
+
+    def test_env_var_rejected_eagerly(self, monkeypatch):
+        monkeypatch.setenv(TARGET_CI_ENV_VAR, "soon")
+        with pytest.raises(ParameterError, match=TARGET_CI_ENV_VAR):
+            default_target_ci()
+        monkeypatch.setenv(TARGET_CI_ENV_VAR, "-0.5")
+        with pytest.raises(ParameterError):
+            default_target_ci()
+
+    def test_knobs_require_target(self, monkeypatch):
+        monkeypatch.delenv(TARGET_CI_ENV_VAR, raising=False)
+        with pytest.raises(ParameterError, match="target_ci"):
+            _ctx(max_runs=100)
+        with pytest.raises(ParameterError, match="target_ci"):
+            _ctx(wave_size=2)
+
+    def test_plan_validation(self):
+        with pytest.raises(ParameterError):
+            AdaptivePlan(target_ci=0.0, max_runs=10, wave_size=1)
+        with pytest.raises(ParameterError):
+            AdaptivePlan(target_ci=0.1, max_runs=0, wave_size=1)
+        with pytest.raises(ParameterError, match="confidence level"):
+            AdaptivePlan(target_ci=0.1, max_runs=10, wave_size=1, level=1.5)
+
+
+class TestWaveBounds:
+    def test_exact_cover(self):
+        assert wave_bounds(6, 2) == [(0, 2), (2, 4), (4, 6)]
+
+    def test_ragged_tail(self):
+        assert wave_bounds(5, 2) == [(0, 2), (2, 4), (4, 5)]
+        assert wave_bounds(3, 8) == [(0, 3)]
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            wave_bounds(0, 2)
+        with pytest.raises(ParameterError):
+            wave_bounds(4, 0)
+
+
+class TestShouldStop:
+    def test_never_stops_below_two_observations(self):
+        m = StreamingMoments()
+        assert not should_stop(m, 1e9)
+        m.push(1.0)
+        assert not should_stop(m, 1e9)  # halfwidth degenerately 0 here
+
+    def test_stops_at_target(self):
+        m = StreamingMoments()
+        m.push(np.random.default_rng(0).normal(size=100))
+        hw = moments_confidence_halfwidth(m, level=ADAPTIVE_CI_LEVEL)
+        assert should_stop(m, hw)  # <= is a stop
+        assert should_stop(m, hw * 1.01)
+        assert not should_stop(m, hw * 0.99)
+
+
+# ---------------------------------------------------------------------------
+# The dispatch wave loop
+# ---------------------------------------------------------------------------
+
+
+def _expected_prefix(seed, *, chunk_size, **plan_kw):
+    """Replay the stopping rule by hand over manually built chunks."""
+    plan = AdaptivePlan(**{**PLAN_KW, **plan_kw})
+    sizes = chunk_sizes(plan.max_runs, chunk_size)
+    seeds = as_seed_sequence(seed).spawn(len(sizes))
+    acc = RunSetAccumulator(len(sizes))
+    stopped = False
+    n_chunks_run = 0
+    for start, end in wave_bounds(len(sizes), plan.wave_size):
+        for i in range(start, end):
+            acc.add(i, _noisy_task(sizes[i], seeds[i]))
+        n_chunks_run = end
+        if should_stop(acc.peek("overhead"), plan.target_ci, level=plan.level):
+            stopped = True
+            break
+    return acc.result(), n_chunks_run, stopped, sizes
+
+
+class TestAdaptiveDispatch:
+    def test_stops_early_and_matches_manual_prefix_fold(self):
+        summary = run_chunked(
+            _noisy_task, n_runs=40, seed=5, context=_ctx(**PLAN_KW)
+        )
+        expected, n_chunks_run, stopped, sizes = _expected_prefix(5, chunk_size=2)
+        assert stopped
+        decision = summary.meta["execution"]["adaptive"]
+        assert decision["reached_target"] is True
+        assert decision["n_chunks_run"] == n_chunks_run
+        assert decision["chunks_saved"] == len(sizes) - n_chunks_run
+        assert decision["runs_spent"] == sum(sizes[:n_chunks_run])
+        assert 0 < decision["runs_spent"] < 40
+        assert summary.n_runs == decision["runs_spent"] == expected.n_runs
+        for name, m in expected.moments.items():
+            o = summary.moments[name]
+            assert (m.count, m.mean, m.variance) == (o.count, o.mean, o.variance), name
+        # the reported half-width is the stopping rule's own number
+        assert decision["halfwidth"] == moments_confidence_halfwidth(
+            expected.moments["overhead"], level=ADAPTIVE_CI_LEVEL
+        )
+        assert decision["halfwidth"] <= PLAN_KW["target_ci"]
+
+    def test_wave_granularity_never_splits_a_wave(self):
+        summary = run_chunked(
+            _noisy_task, n_runs=40, seed=5, context=_ctx(**PLAN_KW)
+        )
+        decision = summary.meta["execution"]["adaptive"]
+        assert decision["n_chunks_run"] % PLAN_KW["wave_size"] == 0
+
+    def test_max_runs_caps_an_unreachable_target(self):
+        before = obs_metrics.snapshot()
+        summary = run_chunked(
+            _noisy_task, n_runs=8, seed=5,
+            context=_ctx(target_ci=1e-9, max_runs=8, wave_size=2),
+        )
+        decision = summary.meta["execution"]["adaptive"]
+        assert decision["reached_target"] is False
+        assert decision["chunks_saved"] == 0
+        assert decision["runs_spent"] == 8 == summary.n_runs
+        delta = obs_metrics.snapshot_delta(before, obs_metrics.snapshot())
+        assert delta["counters"]["adaptive.points_capped"] == 1.0
+        assert "adaptive.chunks_saved" not in delta["counters"]
+
+    def test_extra_budget_beyond_n_runs(self):
+        # max_runs > n_runs grants waves past the nominal budget
+        summary = run_chunked(
+            _noisy_task, n_runs=4, seed=5,
+            context=_ctx(target_ci=0.15, max_runs=40, wave_size=2),
+        )
+        assert summary.n_runs > 4
+        assert summary.meta["execution"]["adaptive"]["reached_target"] is True
+
+    def test_chunks_saved_metric(self):
+        before = obs_metrics.snapshot()
+        summary = run_chunked(
+            _noisy_task, n_runs=40, seed=5, context=_ctx(**PLAN_KW)
+        )
+        decision = summary.meta["execution"]["adaptive"]
+        delta = obs_metrics.snapshot_delta(before, obs_metrics.snapshot())
+        assert delta["counters"]["adaptive.chunks_saved"] == float(
+            decision["chunks_saved"]
+        )
+
+    def test_adaptive_implies_streaming_summary(self):
+        summary = run_chunked(
+            _noisy_task, n_runs=40, seed=5, context=_ctx(**PLAN_KW)
+        )
+        assert not hasattr(summary, "total_time")  # no per-run vectors
+        assert summary.meta["execution"]["streaming"] is True
+
+
+# ---------------------------------------------------------------------------
+# Cache interaction
+# ---------------------------------------------------------------------------
+
+
+class TestAdaptiveCache:
+    def test_adaptive_and_fixed_keys_never_cross_serve(self, tmp_path):
+        with cache_scope(tmp_path):
+            fixed = run_chunked(_noisy_task, n_runs=40, seed=5, context=_ctx())
+            adaptive = run_chunked(
+                _noisy_task, n_runs=40, seed=5, context=_ctx(**PLAN_KW)
+            )
+            # the fixed-budget entries cover the identical layout prefix,
+            # but the adaptive dispatch must not have touched them
+            assert "cache_hits" not in adaptive.meta["execution"]
+        cold = run_chunked(_noisy_task, n_runs=40, seed=5, context=_ctx())
+        np.testing.assert_array_equal(cold.total_time, fixed.total_time)
+
+    def test_warm_adaptive_rerun_is_bit_identical_and_served(self, tmp_path):
+        with cache_scope(tmp_path):
+            cold = run_chunked(
+                _noisy_task, n_runs=40, seed=5, context=_ctx(**PLAN_KW)
+            )
+            warm = run_chunked(
+                _noisy_task, n_runs=40, seed=5, context=_ctx(**PLAN_KW)
+            )
+        cold_dec = cold.meta["execution"]["adaptive"]
+        warm_dec = warm.meta["execution"]["adaptive"]
+        assert warm_dec == cold_dec
+        assert warm.meta["execution"]["cache_hits"] == cold_dec["n_chunks_run"]
+        for name, m in cold.moments.items():
+            o = warm.moments[name]
+            assert (m.count, m.mean, m.variance) == (o.count, o.mean, o.variance), name
+
+    def test_different_plan_gets_its_own_namespace(self, tmp_path):
+        with cache_scope(tmp_path):
+            run_chunked(_noisy_task, n_runs=40, seed=5, context=_ctx(**PLAN_KW))
+            other = run_chunked(
+                _noisy_task, n_runs=40, seed=5,
+                context=_ctx(target_ci=0.2, max_runs=40, wave_size=2),
+            )
+        assert "cache_hits" not in other.meta["execution"]
+
+
+# ---------------------------------------------------------------------------
+# Journal and trace wiring
+# ---------------------------------------------------------------------------
+
+
+class TestAdaptiveObservability:
+    def test_journal_records_the_decision(self, tmp_path):
+        with journal_scope(tmp_path / "j.jsonl"):
+            summary = run_chunked(
+                _noisy_task, n_runs=40, seed=5, context=_ctx(**PLAN_KW)
+            )
+        decision = summary.meta["execution"]["adaptive"]
+        records = read_journal(tmp_path / "j.jsonl")
+        adaptive = [r for r in records if r.get("kind") == "adaptive"]
+        assert len(adaptive) == 1
+        for key, value in decision.items():
+            assert adaptive[0][key] == value
+        # the layout is journaled over the full cap, not the realized prefix
+        layout = [r for r in records if r.get("kind") == "layout"]
+        assert layout[0]["n_runs"] == PLAN_KW["max_runs"]
+
+    def test_trace_reports_adaptive_stops(self, tmp_path):
+        import repro.obs as obs_pkg
+        from repro.obs.report import analyze_trace, render_report
+
+        path = tmp_path / "trace.jsonl"
+        with obs_pkg.trace_to(path, export_env=False):
+            run_chunked(_noisy_task, n_runs=40, seed=5, context=_ctx(**PLAN_KW))
+            run_chunked(
+                _noisy_task, n_runs=4, seed=5,
+                context=_ctx(target_ci=1e-9, max_runs=4, wave_size=2),
+            )
+        report = analyze_trace(path)
+        assert report.adaptive_stops == 2
+        assert report.adaptive_chunks_saved > 0
+        assert report.adaptive_points_capped == 1
+        text = render_report(report)
+        assert "adaptive stops" in text
+        assert report.counters["adaptive.chunks_saved"] > 0

@@ -106,6 +106,19 @@ def _boom_task(n_runs: int, seed) -> RunSet:
     raise ValueError("conformance boom")
 
 
+def _noisy_task(n_runs: int, seed) -> RunSet:
+    """Variable-overhead task (total/useful - 1 ~ Uniform[0,1)) so the
+    adaptive stopping rule sees a genuinely shrinking half-width."""
+    rng = np.random.default_rng(seed)
+    useful = rng.random(n_runs) + 1.0
+    total = useful * (1.0 + rng.random(n_runs))
+    ints = rng.integers(0, 5, n_runs)
+    return RunSet(
+        total, useful, useful, useful, useful,
+        ints, ints, ints, ints, ints, label="noisy",
+    )
+
+
 _ENGINE_COSTS = CheckpointCosts(checkpoint=30.0, downtime=5.0, recovery=30.0)
 
 
@@ -285,6 +298,34 @@ class BackendConformanceSuite:
         assert {k: v for k, v in summary.meta.items() if k not in volatile} == {
             k: v for k, v in rs.meta.items() if k not in volatile
         }
+
+    # -- adaptive sampling ---------------------------------------------
+    def test_adaptive_stop_bit_identical_across_worker_counts(self):
+        # DESIGN §5i: the stopping decision is a pure function of the
+        # folded chunk-index prefix at fixed wave boundaries, so the
+        # runs-spent and every streamed float must match the serial
+        # reference bit for bit at any worker count.
+        plan = dict(target_ci=0.15, max_runs=40, wave_size=2)
+        serial = run_chunked(
+            _noisy_task, n_runs=40, seed=5,
+            context=ExecutionContext(
+                n_jobs=1, backend="serial", chunk_size=2, **plan
+            ),
+        )
+        decision = serial.meta["execution"]["adaptive"]
+        assert decision["reached_target"] is True
+        assert 0 < decision["runs_spent"] < 40
+        for n_jobs in (1, 2, 4):
+            mine = run_chunked(
+                _noisy_task, n_runs=40, seed=5, context=self.ctx(n_jobs, **plan)
+            )
+            assert mine.meta["execution"]["adaptive"] == decision
+            assert mine.n_runs == serial.n_runs
+            for name, m in serial.moments.items():
+                other = mine.moments[name]
+                assert (m.count, m.mean, m.variance) == (
+                    other.count, other.mean, other.variance
+                ), name
 
     def test_streaming_bit_identical_to_serial_streaming(self):
         # ordered folding: the streamed Welford state is a pure function of

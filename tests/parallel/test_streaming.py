@@ -52,8 +52,41 @@ class TestAccumulator:
             ), name
         assert a.meta == b.meta
         assert a.label == b.label == "chunk0"
-        assert in_order.peak_buffered == 1
+        # in-order arrival never holds a chunk back past its own fold
+        assert in_order.peak_buffered == 0
         assert shuffled.peak_buffered > 1
+
+    def test_peak_buffered_counts_only_held_back_chunks(self):
+        # regression: the high-water mark used to be taken before the fold
+        # loop, so it read >= 1 even for perfectly ordered arrival
+        acc = RunSetAccumulator(4)
+        for i in range(4):
+            acc.add(i, _chunk(i))
+            assert acc.peak_buffered == 0
+        # arrival (1, 3, 2, 0): 1 waits for 0, then 3 and 2 pile up behind
+        # it -> 3 chunks held back at the peak; 0 drains everything.
+        held = RunSetAccumulator(4)
+        for i, expected_peak in ((1, 1), (3, 2), (2, 3), (0, 3)):
+            held.add(i, _chunk(i))
+            assert held.peak_buffered == expected_peak
+        assert held.is_complete
+
+    def test_fold_rejects_non_positive_total_time(self):
+        from repro.exceptions import SimulationError
+
+        n = 3
+        ones = np.ones(n)
+        ints = ones.astype(int)
+        bad_total = np.array([10.0, 0.0, 5.0])
+        rs = RunSet(
+            total_time=bad_total, useful_time=ones, checkpoint_time=ones,
+            recovery_time=ones, wasted_time=ones, n_failures=ints,
+            n_fatal=ints, n_checkpoints=ints, n_proc_restarts=ints,
+            max_degraded=ints, label="degenerate",
+        )
+        acc = RunSetAccumulator(1)
+        with pytest.raises(SimulationError, match="non-positive total_time"):
+            acc.add(0, rs)
 
     def test_meta_merges_first_wins_with_n_parts(self):
         acc = RunSetAccumulator(3)
@@ -177,5 +210,5 @@ class TestStreamingVsMaterializedFig9:
         info = summary.meta["execution"]
         assert info["streaming"] is True
         # ordered folding buffers at most n_chunks-1 out-of-order chunks;
-        # in practice the high-water mark is far below the chunk count
-        assert 1 <= info["peak_buffered_chunks"] <= info["n_chunks"]
+        # 0 means every chunk arrived in order and was folded immediately
+        assert 0 <= info["peak_buffered_chunks"] < info["n_chunks"]

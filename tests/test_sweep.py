@@ -192,6 +192,106 @@ class TestRunSweep:
             load_request(path)
 
 
+class TestAdaptiveSweep:
+    """Adaptive sampling wired through the sweep subsystem.
+
+    Short MTBFs so failures actually occur: at multi-year MTBFs these
+    small workloads see no failures, overhead is deterministic, and
+    every CI target is trivially reached at the first wave.
+    """
+
+    _ADAPTIVE = {
+        **_REQ,
+        "mtbf_years": (0.005, 0.01),
+        "target_ci": 0.05,
+        "max_runs": 24,
+    }
+
+    def test_round_trip_carries_the_plan(self):
+        req = SweepRequest(**self._ADAPTIVE)
+        again = SweepRequest.from_dict(req.to_dict())
+        assert again == req
+        assert again.target_ci == 0.05 and again.max_runs == 24
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"target_ci": 0.0},
+            {"target_ci": -0.1},
+            {"max_runs": 24},  # cap without a target
+            {"target_ci": 0.05, "max_runs": 0},
+            {"target_ci": 0.05, "save_runs": "somewhere"},  # no per-run vectors
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(ParameterError):
+            SweepRequest(**{**_REQ, **bad})
+
+    def test_env_target_is_folded_into_the_request(self, monkeypatch):
+        from repro.adaptive import TARGET_CI_ENV_VAR
+
+        monkeypatch.setenv(TARGET_CI_ENV_VAR, "0.02")
+        req = SweepRequest(**_REQ)
+        assert req.target_ci == 0.02
+        assert req.to_dict()["target_ci"] == 0.02  # journaled as realized
+
+    def test_adaptive_sweep_journals_decisions(self, tmp_path):
+        req = SweepRequest(**self._ADAPTIVE)
+        outcome = run_sweep(req, journal_path=tmp_path / "j.jsonl")
+        assert outcome.complete
+        records = read_journal(tmp_path / "j.jsonl")
+        decisions = [r for r in records if r["kind"] == "adaptive"]
+        assert len(decisions) == 2  # one stopping decision per point
+        for row, decision in zip(outcome.rows, decisions):
+            assert row["n_runs"] == decision["runs_spent"] <= 24
+            assert decision["target_ci"] == 0.05
+
+    def test_capped_point_spends_exactly_max_runs(self, tmp_path):
+        req = SweepRequest(
+            **{**self._ADAPTIVE, "target_ci": 1e-12, "max_runs": 12}
+        )
+        outcome = run_sweep(req, journal_path=tmp_path / "j.jsonl")
+        assert outcome.complete
+        assert all(row["n_runs"] == 12 for row in outcome.rows)
+        records = read_journal(tmp_path / "j.jsonl")
+        assert all(
+            not r["reached_target"]
+            for r in records
+            if r["kind"] == "adaptive"
+        )
+
+    def test_adaptive_resume_is_bit_identical(self, tmp_path, monkeypatch):
+        import repro.sweep as sweep_mod
+
+        ref = SweepRequest(**self._ADAPTIVE)
+        ref_outcome = run_sweep(ref, journal_path=tmp_path / "ref.jsonl")
+        assert ref_outcome.complete
+
+        req = SweepRequest(**self._ADAPTIVE)
+        real = sweep_mod._point_runs
+        monkeypatch.setattr(
+            sweep_mod,
+            "_point_runs",
+            lambda r, m, s: (_ for _ in ()).throw(_Drain("SIGTERM"))
+            if m == r.mtbf_years[1]
+            else real(r, m, s),
+        )
+        assert not run_sweep(req, journal_path=tmp_path / "j.jsonl").complete
+        monkeypatch.setattr(sweep_mod, "_point_runs", real)
+
+        resumed_req, status = load_request(tmp_path / "j.jsonl")
+        assert status == "interrupted"
+        assert resumed_req.target_ci == 0.05 and resumed_req.max_runs == 24
+        outcome = run_sweep(
+            resumed_req, journal_path=tmp_path / "j.jsonl", resume=True
+        )
+        assert outcome.complete
+        # per-point runs-spent and every reported float match the
+        # undisturbed sweep exactly: the stopping decision re-derives from
+        # the same folded prefix, warm cache or not
+        assert outcome.rows == ref_outcome.rows
+
+
 class TestSignalScope:
     def test_sigterm_raises_drain_in_main_thread(self):
         with pytest.raises(_Drain) as info:

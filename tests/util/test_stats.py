@@ -58,6 +58,26 @@ class TestStreamingMoments:
         m = a.merge(StreamingMoments())
         assert m.count == 2 and m.mean == pytest.approx(1.5)
 
+    def test_batch_push_matches_scalar_pushes(self):
+        # the vectorized array path (one Chan merge per array) must agree
+        # with element-wise Welford to float64 round-off
+        rng = np.random.default_rng(7)
+        chunks = [rng.normal(5.0, 3.0, size=n) for n in (1, 16, 7, 32)]
+        batched, looped = StreamingMoments(), StreamingMoments()
+        for chunk in chunks:
+            batched.push(chunk)
+            for x in chunk:
+                looped.push(float(x))
+        assert batched.count == looped.count
+        assert batched.mean == pytest.approx(looped.mean, rel=1e-12)
+        assert batched.variance == pytest.approx(looped.variance, rel=1e-12)
+
+    def test_push_empty_array_is_noop(self):
+        sm = StreamingMoments()
+        sm.push([1.0, 2.0])
+        sm.push(np.array([]))
+        assert sm.count == 2 and sm.mean == pytest.approx(1.5)
+
 
 class TestConfidenceInterval:
     def test_contains_mean(self):
@@ -150,3 +170,27 @@ class TestZValueExactness:
         h683 = mean_confidence_halfwidth(data, level=0.683)
         assert h683 != h68
         assert h683 > h68  # higher level => wider interval
+
+
+class TestZValueDomain:
+    """``_z_value`` validates the level *before* the lazy scipy import."""
+
+    @pytest.mark.parametrize("level", [1.5, 0.0, 1.0, -0.2])
+    def test_invalid_level_raises_parameter_error(self, level):
+        from repro.util.stats import _z_value
+
+        with pytest.raises(ParameterError, match="confidence level"):
+            _z_value(level)
+
+    @pytest.mark.parametrize("level", [1.5, 0.0])
+    def test_invalid_level_does_not_touch_scipy(self, level, monkeypatch):
+        # regression: the domain check used to sit after the scipy import,
+        # so a bad level with a broken scipy raised ImportError instead
+        import sys
+
+        from repro.util.stats import _z_value
+
+        monkeypatch.setitem(sys.modules, "scipy", None)
+        monkeypatch.setitem(sys.modules, "scipy.stats", None)
+        with pytest.raises(ParameterError, match="confidence level"):
+            _z_value(level)
