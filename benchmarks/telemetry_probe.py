@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""CI probe for the live telemetry plane.
+
+Starts a real ``repro-sim sweep --backend tcp --telemetry-port`` run in a
+subprocess, scrapes ``/healthz``, ``/metrics``, ``/metrics.json``,
+``/progress`` and ``/workers`` while the sweep is still executing,
+validates the Prometheus payload with the checked-in mini-parser
+(:mod:`repro.obs.promtext`), and writes the captured payloads next to the
+other bench artifacts:
+
+* ``progress.json`` / ``workers.json`` — the mid-run scrape payloads;
+* ``telemetry_metrics.prom`` — the mid-run ``/metrics`` exposition.
+
+Exits non-zero if any endpoint never becomes valid before ``--timeout``
+or the sweep itself fails.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/telemetry_probe.py
+    PYTHONPATH=src python benchmarks/telemetry_probe.py --out benchmarks/artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.exceptions import ParameterError
+from repro.obs.promtext import validate_exposition
+
+WORKER_ID_RE = re.compile(r"^[^:]+:\d+$")
+
+SWEEP_ARGS = [
+    "sweep", "restart",
+    "--mtbf-years", "5,10",
+    "--pairs", "500",
+    "--periods", "3",
+    "--runs", "64",
+    "--seed", "3",
+    "--chunk-size", "2",
+    "--jobs", "2",
+    "--backend", "tcp",
+]
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _get(url: str, timeout: float = 5.0) -> bytes:
+    with urllib.request.urlopen(url, timeout=timeout) as resp:  # noqa: S310
+        return resp.read()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="benchmarks/artifacts", metavar="DIR",
+        help="directory for the captured telemetry artifacts",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=120.0, metavar="S",
+        help="deadline for all endpoints to produce valid mid-run payloads",
+    )
+    args = parser.parse_args(argv)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    port = _free_port()
+    base = f"http://127.0.0.1:{port}"
+    print(f"probing {base} against: repro-sim {' '.join(SWEEP_ARGS)}")
+    captured: dict[str, bool] = {
+        "healthz": False, "metrics": False, "metrics.json": False,
+        "progress": False, "workers": False,
+    }
+    with tempfile.TemporaryDirectory(prefix="telemetry-probe-") as cache_dir:
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", *SWEEP_ARGS,
+                "--cache-dir", cache_dir,
+                "--telemetry-port", str(port),
+            ],
+            env=os.environ.copy(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + args.timeout
+            while not all(captured.values()):
+                if time.monotonic() >= deadline:
+                    print(f"FAIL: deadline passed with {captured}", file=sys.stderr)
+                    proc.kill()
+                    proc.communicate()
+                    return 1
+                if proc.poll() is not None:
+                    print(
+                        f"FAIL: sweep exited (rc={proc.returncode}) before the "
+                        f"probe finished: {captured}\n{proc.stderr.read()}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                try:
+                    health = json.loads(_get(base + "/healthz"))
+                    metrics_text = _get(base + "/metrics").decode("utf-8")
+                    metrics_json = json.loads(_get(base + "/metrics.json"))
+                    progress = json.loads(_get(base + "/progress"))
+                    workers = json.loads(_get(base + "/workers"))
+                except OSError:
+                    time.sleep(0.05)  # server not bound yet
+                    continue
+
+                captured["healthz"] = health.get("status") == "ok"
+                captured["metrics.json"] = "counters" in metrics_json
+
+                try:
+                    families = validate_exposition(metrics_text)
+                except ParameterError as exc:
+                    print(f"FAIL: invalid /metrics payload: {exc}", file=sys.stderr)
+                    proc.kill()
+                    proc.communicate()
+                    return 1
+                if not captured["metrics"] and "repro_parallel_chunks" in families:
+                    (out_dir / "telemetry_metrics.prom").write_text(metrics_text)
+                    captured["metrics"] = True
+
+                dispatch = progress.get("dispatch")
+                if (
+                    not captured["progress"]
+                    and progress.get("schema") == "repro/progress-v1"
+                    and dispatch is not None
+                    and dispatch.get("total_chunks", 0) > 0
+                ):
+                    (out_dir / "progress.json").write_text(
+                        json.dumps(progress, indent=2, sort_keys=True) + "\n"
+                    )
+                    captured["progress"] = True
+
+                rows = workers.get("workers", [])
+                if not captured["workers"] and rows:
+                    bad = [w["id"] for w in rows if not WORKER_ID_RE.match(w["id"])]
+                    if bad:
+                        print(f"FAIL: malformed worker ids: {bad}", file=sys.stderr)
+                        proc.kill()
+                        proc.communicate()
+                        return 1
+                    (out_dir / "workers.json").write_text(
+                        json.dumps(workers, indent=2, sort_keys=True) + "\n"
+                    )
+                    captured["workers"] = True
+                time.sleep(0.05)
+        finally:
+            stderr = ""
+            if proc.poll() is None:
+                try:
+                    stderr = proc.communicate(timeout=240.0)[1]
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.communicate()
+                    print("FAIL: sweep hung after the probe", file=sys.stderr)
+                    return 1
+            elif proc.stderr is not None and not proc.stderr.closed:
+                stderr = proc.stderr.read()
+    if proc.returncode != 0:
+        print(f"FAIL: sweep exited rc={proc.returncode}\n{stderr}", file=sys.stderr)
+        return 1
+    print(f"ok: all endpoints served valid mid-run payloads -> {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

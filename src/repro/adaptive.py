@@ -53,6 +53,7 @@ __all__ = [
     "TARGET_CI_ENV_VAR",
     "AdaptivePlan",
     "default_target_ci",
+    "evaluate_wave",
     "resolve_plan",
     "should_stop",
     "wave_bounds",
@@ -175,3 +176,20 @@ def should_stop(
     if moments.count < 2:
         return False
     return moments_confidence_halfwidth(moments, level=level) <= target_ci
+
+
+def evaluate_wave(
+    moments: StreamingMoments, plan: AdaptivePlan
+) -> tuple[bool, float]:
+    """One wave-boundary decision: ``(stop, halfwidth)``.
+
+    Exactly :func:`should_stop` plus the half-width it was judged against,
+    computed once — the dispatch loop journals/traces the half-width and
+    feeds it to the live progress tracker, so evaluating it separately
+    would double the (scipy-backed) computation and risk divergence.
+    Bit-identical to ``should_stop(moments, plan.target_ci, level=...)``:
+    below two observations the half-width is degenerately zero and the
+    rule never stops.
+    """
+    halfwidth = moments_confidence_halfwidth(moments, level=plan.level)
+    return (moments.count >= 2 and halfwidth <= plan.target_ci), halfwidth

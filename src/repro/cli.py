@@ -28,6 +28,8 @@ Examples
     repro-sim cache ls --cache-dir ~/.cache/repro-sim
     repro-sim figure fig9 --jobs 4 --backend tcp
     repro-sim worker --connect 10.0.0.5:7077
+    repro-sim sweep restart --jobs 4 --backend tcp --telemetry-port 9090
+    repro-sim obs top http://127.0.0.1:9090
 
 ``--engine NAME`` (or the ``REPRO_ENGINE`` environment variable) selects
 the simulation engine — ``batch`` (struct-of-arrays per-phase engine,
@@ -221,6 +223,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--width", type=int, default=60, metavar="COLS",
         help="chart width in characters",
     )
+    p_obs_rep.add_argument(
+        "--straggler-k", type=float, default=2.0, metavar="K",
+        help="flag chunks slower than K x the median chunk wall time",
+    )
+    p_obs_top = obs_sub.add_parser(
+        "top",
+        help=(
+            "live terminal view of a running coordinator's /progress and "
+            "/workers telemetry endpoints"
+        ),
+    )
+    p_obs_top.add_argument(
+        "endpoint",
+        help=(
+            "telemetry base URL or HOST:PORT (printed by --telemetry-port "
+            "at startup, e.g. http://127.0.0.1:9090)"
+        ),
+    )
+    p_obs_top.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="refresh period in seconds",
+    )
+    p_obs_top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (no screen clearing)",
+    )
+    p_obs_top.add_argument(
+        "--timeout", type=float, default=2.0, metavar="S",
+        help="per-request HTTP timeout in seconds",
+    )
 
     p_wk = sub.add_parser(
         "worker", help="serve chunks for a tcp-backend coordinator"
@@ -320,6 +352,18 @@ def _add_obs_arg(p: argparse.ArgumentParser) -> None:
             "PATH: Prometheus text for .prom/.txt, JSON otherwise"
         ),
     )
+    p.add_argument(
+        "--telemetry-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve live GET /metrics, /metrics.json, /progress, /workers "
+            "and /healthz over HTTP on 127.0.0.1:PORT for the duration of "
+            "the run (0 = pick an ephemeral port, printed at startup; "
+            "equivalent to exporting REPRO_TELEMETRY_PORT)"
+        ),
+    )
 
 
 def _add_cache_dir_arg(p: argparse.ArgumentParser) -> None:
@@ -397,12 +441,24 @@ def _apply_jobs(args: argparse.Namespace) -> None:
 
 
 def _apply_obs(args: argparse.Namespace) -> None:
-    """Activate ``--log-json`` tracing (exported so workers inherit it)."""
+    """Activate ``--log-json`` tracing and ``--telemetry-port`` serving."""
     log_json = getattr(args, "log_json", None)
     if log_json is not None:
         from repro.obs import enable_trace
 
         enable_trace(log_json)
+    port = getattr(args, "telemetry_port", None)
+    if port is not None:
+        import os
+
+        from repro.obs.server import TELEMETRY_ENV_VAR, ensure_telemetry
+
+        server = ensure_telemetry(port)
+        # Exported so every ExecutionContext built later in this run (and
+        # any helper subprocess that dispatches chunks itself) resolves the
+        # same telemetry default without threading the flag everywhere.
+        os.environ[TELEMETRY_ENV_VAR] = str(port)
+        print(f"telemetry: {server.url}", file=sys.stderr)
 
 
 def _apply_cache(args: argparse.Namespace) -> None:
@@ -443,8 +499,10 @@ def main(argv: list[str] | None = None) -> int:
 
 def _dispatch(args: argparse.Namespace) -> int:
     _apply_engine(args)
-    _apply_jobs(args)
+    # obs before jobs: --telemetry-port exports REPRO_TELEMETRY_PORT, which
+    # the ExecutionContext _apply_jobs builds resolves as its default.
     _apply_obs(args)
+    _apply_jobs(args)
     _apply_cache(args)
     if args.command == "list":
         from repro.experiments import ALL_EXPERIMENTS
@@ -600,7 +658,9 @@ def _run_obs(args: argparse.Namespace) -> int:
         from repro.obs.report import analyze_trace, render_report
 
         try:
-            report = analyze_trace(args.path, n_jobs=args.jobs)
+            report = analyze_trace(
+                args.path, n_jobs=args.jobs, straggler_k=args.straggler_k
+            )
             text = render_report(report, width=max(args.width, 20))
         except (OSError, ParameterError) as exc:
             print(f"cannot analyze {args.path}: {exc}", file=sys.stderr)
@@ -608,7 +668,123 @@ def _run_obs(args: argparse.Namespace) -> int:
         print(text)
         return 0
 
+    if args.obs_command == "top":
+        return _run_obs_top(args)
+
     raise AssertionError(f"unhandled obs command {args.obs_command}")  # pragma: no cover
+
+
+def _fetch_json(url: str, timeout: float) -> dict:
+    import json
+    import urllib.request
+
+    with urllib.request.urlopen(url, timeout=timeout) as resp:  # noqa: S310
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def _top_frame(base: str, progress: dict, workers: dict) -> str:
+    """One ``obs top`` frame rendered from /progress and /workers payloads."""
+    lines = [
+        f"repro-sim telemetry  {base}  pid={progress.get('pid')}  "
+        f"uptime={progress.get('uptime_s', 0.0):.0f}s"
+    ]
+    sweep = progress.get("sweep")
+    if sweep:
+        state = "running" if sweep.get("active") else "done"
+        labels = sweep.get("point_labels") or {}
+        label_s = " ".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        eta = sweep.get("eta_s")
+        line = (
+            f"sweep     {sweep.get('label')}: "
+            f"{sweep.get('points_done')}/{sweep.get('n_points')} points ({state})"
+        )
+        if sweep.get("point") is not None and sweep.get("active"):
+            line += f"  now #{sweep['point']}" + (f" {label_s}" if label_s else "")
+        if eta is not None:
+            line += f"  eta {eta:.0f}s"
+        lines.append(line)
+    dispatch = progress.get("dispatch")
+    if dispatch:
+        total = dispatch.get("total_chunks") or 0
+        done = dispatch.get("chunks_done") or 0
+        state = "running" if dispatch.get("active") else "done"
+        width = 30
+        filled = int(round(width * done / total)) if total else 0
+        line = (
+            f"dispatch  [{'#' * filled}{'.' * (width - filled)}] "
+            f"{done}/{total} chunks ({state}, {dispatch.get('backend')}"
+            f" x{dispatch.get('n_jobs')})"
+        )
+        extras = []
+        if dispatch.get("in_flight"):
+            extras.append(f"in-flight {len(dispatch['in_flight'])}")
+        if dispatch.get("cache_hits"):
+            extras.append(f"cache {dispatch['cache_hits']}")
+        if dispatch.get("retries"):
+            extras.append(f"retries {dispatch['retries']}")
+        if dispatch.get("rate_chunks_per_s"):
+            extras.append(f"{dispatch['rate_chunks_per_s']:.1f} chk/s")
+        if dispatch.get("eta_s") is not None:
+            extras.append(f"eta {dispatch['eta_s']:.0f}s")
+        if extras:
+            line += "  " + "  ".join(extras)
+        lines.append(line)
+        if dispatch.get("adaptive"):
+            hw = dispatch.get("halfwidth")
+            target = dispatch.get("target_ci")
+            lines.append(
+                f"adaptive  wave {dispatch.get('wave')}/{dispatch.get('n_waves')}"
+                + (f"  halfwidth {hw:.3e}" if hw is not None else "")
+                + (f"  target {target:g}" if target is not None else "")
+            )
+    rows = (workers or {}).get("workers") or []
+    if rows:
+        lines.append("")
+        lines.append(
+            f"{'worker':<28} {'state':<5} {'hb-age':>7} {'chunk':>6} "
+            f"{'done':>5} {'chk/s':>6}"
+        )
+        for row in rows:
+            in_flight = row.get("in_flight")
+            lines.append(
+                f"{row['id']:<28} "
+                f"{'up' if row.get('connected') else 'down':<5} "
+                f"{row.get('heartbeat_age_s', 0.0):>6.1f}s "
+                f"{in_flight if in_flight is not None else '-':>6} "
+                f"{row.get('chunks_completed', 0):>5} "
+                f"{row.get('throughput_chunks_per_s', 0.0):>6.2f}"
+            )
+    return "\n".join(lines)
+
+
+def _run_obs_top(args: argparse.Namespace) -> int:
+    import time
+
+    base = args.endpoint
+    if "://" not in base:
+        base = f"http://{base}"
+    base = base.rstrip("/")
+    frames = 0
+    while True:
+        try:
+            progress = _fetch_json(base + "/progress", args.timeout)
+            workers = _fetch_json(base + "/workers", args.timeout)
+        except (OSError, ValueError) as exc:
+            if frames:
+                # The endpoint vanishing after a successful frame is the
+                # normal way a watched run ends.
+                print(f"{base} gone ({exc}); run finished")
+                return 0
+            print(f"cannot reach {base}: {exc}", file=sys.stderr)
+            return 2
+        frames += 1
+        frame = _top_frame(base, progress, workers)
+        if args.once:
+            print(frame)
+            return 0
+        sys.stdout.write("\x1b[H\x1b[2J" + frame + "\n")
+        sys.stdout.flush()
+        time.sleep(max(args.interval, 0.1))
 
 
 def _run_cache(args: argparse.Namespace) -> int:

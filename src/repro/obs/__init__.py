@@ -1,6 +1,6 @@
 """repro.obs — structured observability for engines and parallel dispatch.
 
-Five pieces, all dependency-free and zero-cost when disabled:
+Eight pieces, all dependency-free and zero-cost when disabled:
 
 * :mod:`repro.obs.trace` — spans (with v2 span/parent ids), point events
   and counters emitted as JSONL, gated by ``REPRO_TRACE`` /
@@ -16,7 +16,15 @@ Five pieces, all dependency-free and zero-cost when disabled:
   retry / fallback / cache-hit rates (``repro-sim obs report``);
 * :mod:`repro.obs.manifest` — deterministic :class:`RunManifest`
   provenance records attached to every simulation ``RunSet`` and
-  serialised via :mod:`repro.io`.
+  serialised via :mod:`repro.io`;
+* :mod:`repro.obs.progress` — the always-on, thread-safe
+  :class:`ProgressTracker` behind ``/progress`` and ``/workers``: live
+  dispatch/sweep/fleet state fed by the dispatch, sweep and tcp layers;
+* :mod:`repro.obs.server` — the embedded HTTP telemetry plane
+  (``/metrics``, ``/progress``, ``/workers``, ``/healthz``), enabled by
+  ``--telemetry-port`` / ``REPRO_TELEMETRY_PORT``;
+* :mod:`repro.obs.promtext` — a dependency-free Prometheus
+  text-exposition parser/validator for scrape payloads (CI probe, tests).
 
 Quickstart::
 
@@ -31,7 +39,16 @@ Quickstart::
 from repro.obs import metrics
 from repro.obs.manifest import MANIFEST_SCHEMA, RunManifest, host_info, seed_provenance
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import PROGRESS_SCHEMA, WORKERS_SCHEMA, ProgressTracker, get_tracker
 from repro.obs.report import Span, TraceReport, analyze_trace, render_report
+from repro.obs.server import (
+    TELEMETRY_ENV_VAR,
+    TelemetryServer,
+    active_telemetry,
+    ensure_telemetry,
+    start_telemetry,
+    stop_telemetry,
+)
 from repro.obs.schema import EVENT_SCHEMA_PATH, load_event_schema, validate_event
 from repro.obs.trace import (
     EVENT_SCHEMA_ID,
@@ -82,6 +99,17 @@ __all__ = [
     "TraceReport",
     "analyze_trace",
     "render_report",
+    # progress + telemetry server
+    "PROGRESS_SCHEMA",
+    "WORKERS_SCHEMA",
+    "ProgressTracker",
+    "get_tracker",
+    "TELEMETRY_ENV_VAR",
+    "TelemetryServer",
+    "active_telemetry",
+    "ensure_telemetry",
+    "start_telemetry",
+    "stop_telemetry",
     # manifests
     "MANIFEST_SCHEMA",
     "RunManifest",

@@ -15,7 +15,10 @@ merged metrics identical to a serial run.
 Three instrument kinds:
 
 * **counter** — monotonically increasing float (:func:`inc`);
-* **gauge** — last-written value (:func:`set_gauge`); merges overwrite;
+* **gauge** — last-written value (:func:`set_gauge`); merges follow a
+  per-suffix policy (see :meth:`MetricsRegistry.merge`): a gauge whose
+  name ends in ``_peak`` merges by **max** (use :func:`set_gauge_max` to
+  maintain it), every other gauge takes the incoming value;
 * **histogram** — fixed log-spaced buckets (:func:`observe`): every
   registry in every process uses the same :data:`BUCKET_BOUNDS`, so two
   histograms merge by element-wise bucket addition, exactly like
@@ -52,11 +55,13 @@ from repro.exceptions import ParameterError
 __all__ = [
     "BUCKET_BOUNDS",
     "METRICS_SCHEMA",
+    "METRIC_HELP",
     "MetricsRegistry",
     "bucket_label",
     "get_registry",
     "inc",
     "set_gauge",
+    "set_gauge_max",
     "observe",
     "snapshot",
     "snapshot_delta",
@@ -68,6 +73,60 @@ __all__ = [
 
 #: schema identifier stamped on JSON metric dumps.
 METRICS_SCHEMA = "repro/metrics-v1"
+
+#: central metric-description map: series name (before labels) -> help
+#: text.  :func:`to_prometheus` turns these into ``# HELP`` lines, so a
+#: scraped dashboard documents itself.  New metrics should add a line here
+#: — an unlisted name still exports, just without help text.
+METRIC_HELP: dict[str, str] = {
+    "adaptive.chunks_saved": (
+        "Chunks never dispatched because adaptive sampling met its CI target"
+    ),
+    "adaptive.points_capped": (
+        "Adaptive dispatches that hit max_runs without reaching the CI target"
+    ),
+    "cache.hits": "Result-cache lookups served from a stored entry",
+    "cache.misses": "Result-cache lookups that found no usable entry",
+    "cache.stores": "RunSets written into the result cache",
+    "cache.corrupt": "Cache entries discarded as corrupt at load time",
+    "chaos.injections": "Deterministic chaos faults injected, by action label",
+    "engine.batch.batches": "Batch-engine invocations",
+    "engine.batch.runs": "Monte-Carlo replications simulated by the batch engine",
+    "engine.batch.iterations": "Vectorized iterations executed by the batch engine",
+    "engine.batch.failures": "Failure events sampled by the batch engine",
+    "engine.lockstep.batches": "Lockstep-engine invocations",
+    "engine.lockstep.runs": "Replications simulated by the lockstep engine",
+    "engine.lockstep.iterations": "Per-period iterations of the lockstep engine",
+    "engine.lockstep.failures": "Failure events sampled by the lockstep engine",
+    "engine.sampled.batches": "Sampled-engine invocations",
+    "engine.sampled.runs": "Replications simulated by the sampled engine",
+    "engine.sampled.periods": "Periods resolved by the sampled engine",
+    "engine.sampled.attempts": "Rejection-sampling attempts in the sampled engine",
+    "engine.sampled.failures": "Failure events sampled by the sampled engine",
+    "engine.trace.batches": "Trace-engine invocations",
+    "engine.trace.runs": "Replications simulated by the trace engine",
+    "engine.trace.failures": "Trace failure records consumed",
+    "engine.trace.checkpoints": "Checkpoints taken by the trace engine",
+    "fault_recovery": "Recovery actions taken by the resilience machinery, by kind",
+    "parallel.cache_hit_chunks": "Chunks served from the result cache by dispatch",
+    "parallel.chunks": "Chunks executed (any backend, including retries)",
+    "parallel.chunk_runs": "Replications executed inside completed chunks",
+    "parallel.chunk_seconds": "Wall-clock seconds per executed chunk",
+    "parallel.chunk_seconds_peak": (
+        "Slowest chunk observed (merged by max across workers)"
+    ),
+    "parallel.chunk_failures": "Failed chunk attempts, by failure kind",
+    "parallel.fallbacks": "Dispatches degraded to serial chunked execution",
+    "parallel.poison_chunks": "Chunks quarantined after failing on distinct workers",
+    "parallel.retries": "Chunk attempts re-dispatched after transient failures",
+    "parallel.worker_chunks_completed": (
+        "Chunks completed per tcp worker (stable host:pid label)"
+    ),
+    "parallel.worker_heartbeat_age": (
+        "Seconds since each connected tcp worker's last heartbeat, "
+        "refreshed at scrape time"
+    ),
+}
 
 #: fixed histogram bucket upper bounds: two log-spaced buckets per decade
 #: from 1e-6 to 1e4 (seconds-oriented, but unit-agnostic), plus an implicit
@@ -120,6 +179,21 @@ class MetricsRegistry:
         with self._lock:
             self._gauges[key] = float(value)
 
+    def set_gauge_max(self, name: str, value: float, **labels: Any) -> None:
+        """Raise gauge *name* to *value* if it is the largest seen so far.
+
+        The local-maintenance half of the ``_peak`` gauge convention: name
+        the gauge ``*_peak``, update it with this method, and
+        :meth:`merge` will aggregate it by max across workers — so the
+        merged value is the true fleet-wide peak, not whichever worker's
+        delta folded last.
+        """
+        key = _series_key(name, labels)
+        v = float(value)
+        with self._lock:
+            if v > self._gauges.get(key, float("-inf")):
+                self._gauges[key] = v
+
     def observe(self, name: str, value: float, **labels: Any) -> None:
         """Record one observation of *value* into histogram *name*."""
         key = _series_key(name, labels)
@@ -153,9 +227,18 @@ class MetricsRegistry:
     def merge(self, snap: Mapping) -> None:
         """Fold a snapshot (or delta) from another registry into this one.
 
-        Counters and histogram buckets add; gauges take the incoming
-        value.  Raises on a bucket-layout mismatch — merging histograms
-        recorded against different bounds would be silent nonsense.
+        Counters and histogram buckets add.  Gauges follow a per-suffix
+        policy keyed on the series name (the part before any labels):
+
+        * ``*_peak`` gauges merge by **max** — N workers each reporting
+          their local peak aggregate to the fleet-wide peak;
+        * every other gauge takes the incoming value ("a gauge is the
+          last level someone set"), which is correct for point-in-time
+          levels but was silently wrong for peaks: whichever chunk's
+          delta folded last used to win, discarding larger earlier peaks.
+
+        Raises on a bucket-layout mismatch — merging histograms recorded
+        against different bounds would be silent nonsense.
         """
         bounds = snap.get("bounds")
         if bounds is not None and tuple(bounds) != BUCKET_BOUNDS:
@@ -166,7 +249,12 @@ class MetricsRegistry:
             for key, value in snap.get("counters", {}).items():
                 self._counters[key] = self._counters.get(key, 0.0) + float(value)
             for key, value in snap.get("gauges", {}).items():
-                self._gauges[key] = float(value)
+                v = float(value)
+                if key.partition("{")[0].endswith("_peak"):
+                    if v > self._gauges.get(key, float("-inf")):
+                        self._gauges[key] = v
+                else:
+                    self._gauges[key] = v
             for key, hist in snap.get("histograms", {}).items():
                 incoming = list(hist["buckets"])
                 counts, total, n = self._hists.get(
@@ -254,6 +342,11 @@ def set_gauge(name: str, value: float, **labels: Any) -> None:
     _registry.set_gauge(name, value, **labels)
 
 
+def set_gauge_max(name: str, value: float, **labels: Any) -> None:
+    """Raise peak gauge *name* in the default registry (``*_peak`` names)."""
+    _registry.set_gauge_max(name, value, **labels)
+
+
 def observe(name: str, value: float, **labels: Any) -> None:
     """Record an observation into histogram *name* in the default registry."""
     _registry.observe(name, value, **labels)
@@ -288,36 +381,59 @@ def _prom_name(key: str) -> tuple[str, str]:
     return safe, (brace + labels if brace else "")
 
 
+def _family_header(
+    lines: list[str], key: str, kind: str, prefix: str, seen: set[str]
+) -> tuple[str, str]:
+    """Emit ``# HELP`` / ``# TYPE`` once per family; return (name, labels).
+
+    Help text comes from :data:`METRIC_HELP`, keyed on the raw series name
+    (label sets of one family share a single header block, as the
+    exposition format requires).
+    """
+    name, labels = _prom_name(key)
+    if name not in seen:
+        seen.add(name)
+        help_text = METRIC_HELP.get(key.partition("{")[0])
+        if help_text:
+            lines.append(f"# HELP {prefix}{name} {help_text}")
+        lines.append(f"# TYPE {prefix}{name} {kind}")
+    return name, labels
+
+
 def to_prometheus(snap: Mapping | None = None, *, prefix: str = "repro_") -> str:
     """Render a snapshot as Prometheus text exposition format (0.0.4).
 
     Dots in series names become underscores; histograms expand to
     cumulative ``_bucket{le="..."}`` series plus ``_sum`` and ``_count``,
-    so the output scrapes/pushes straight into a Prometheus stack.
+    so the output scrapes/pushes straight into a Prometheus stack.  Each
+    family gets one ``# HELP`` line (from :data:`METRIC_HELP`, when the
+    name is listed there) and one ``# TYPE`` line, before all its samples
+    — the layout ``promtool`` and :mod:`repro.obs.promtext` expect.
     """
     if snap is None:
         snap = snapshot()
     lines: list[str] = []
+    seen: set[str] = set()
     for key in sorted(snap.get("counters", {})):
-        name, labels = _prom_name(key)
-        lines.append(f"# TYPE {prefix}{name} counter")
+        name, labels = _family_header(lines, key, "counter", prefix, seen)
         lines.append(f"{prefix}{name}{labels} {snap['counters'][key]:g}")
     for key in sorted(snap.get("gauges", {})):
-        name, labels = _prom_name(key)
-        lines.append(f"# TYPE {prefix}{name} gauge")
+        name, labels = _family_header(lines, key, "gauge", prefix, seen)
         lines.append(f"{prefix}{name}{labels} {snap['gauges'][key]:g}")
     bounds = snap.get("bounds", list(BUCKET_BOUNDS))
     for key in sorted(snap.get("histograms", {})):
         hist = snap["histograms"][key]
-        name, labels = _prom_name(key)
+        name, labels = _family_header(lines, key, "histogram", prefix, seen)
         base_labels = labels[1:-1] if labels else ""
-        lines.append(f"# TYPE {prefix}{name} histogram")
         cumulative = 0
         for bound, count in zip(bounds, hist["buckets"]):
             cumulative += count
             le = f'le="{bound:g}"'
             joined = f"{{{base_labels + ',' if base_labels else ''}{le}}}"
             lines.append(f"{prefix}{name}_bucket{joined} {cumulative}")
+        # The overflow bucket: observations beyond BUCKET_BOUNDS[-1] land
+        # in the final (implicit +Inf) slot, so the +Inf cumulative count
+        # must equal _count even when overflow observations exist.
         cumulative += hist["buckets"][-1]
         joined = f"{{{base_labels + ',' if base_labels else ''}le=\"+Inf\"}}"
         lines.append(f"{prefix}{name}_bucket{joined} {cumulative}")

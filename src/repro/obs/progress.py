@@ -1,0 +1,337 @@
+"""Live dispatch/sweep/fleet progress: the state behind ``/progress``.
+
+:mod:`repro.obs.trace` records what *happened*; this module tracks what is
+happening **right now**.  A process-wide, thread-safe
+:class:`ProgressTracker` is fed by the layers that own the facts:
+
+* :func:`repro.parallel.run_chunked` — dispatch start/end, chunk
+  dispatched/done/retried (including cache-served chunks), adaptive wave
+  decisions;
+* :mod:`repro.sweep` — sweep and point boundaries;
+* the tcp backend (:mod:`repro.parallel.backends.tcp`) — worker
+  connect/heartbeat/complete/disconnect, keyed by the stable
+  ``host:pid`` worker id from the hello handshake.
+
+The tracker follows the always-on discipline of
+:mod:`repro.obs.metrics`: every update is a dict mutation behind one lock
+at chunk granularity (never per-iteration), so feeding it costs nothing
+measurable and requires no opt-in.  It owns **no threads and no sockets**
+— serving the state over HTTP is :mod:`repro.obs.server`'s job, and that
+server only exists when a telemetry port is configured.
+
+Invariants (DESIGN §5j):
+
+* per dispatch, ``chunks_done`` and ``retries`` are monotonic and
+  ``in_flight`` only ever contains chunks that were dispatched and are
+  neither done nor failed — so ``done + len(in_flight) <= total`` always;
+* :meth:`ProgressTracker.snapshot` is a consistent copy taken under the
+  lock: a scrape never observes a half-applied update and never mutates
+  tracker state;
+* a finished dispatch/sweep stays visible (``active: false``) until the
+  next one starts, so a scrape that lands between points still renders.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "PROGRESS_SCHEMA",
+    "WORKERS_SCHEMA",
+    "ProgressTracker",
+    "get_tracker",
+]
+
+#: schema identifier stamped on ``/progress`` payloads.
+PROGRESS_SCHEMA = "repro/progress-v1"
+
+#: schema identifier stamped on ``/workers`` payloads.
+WORKERS_SCHEMA = "repro/workers-v1"
+
+
+class ProgressTracker:
+    """Thread-safe live view of the current sweep / dispatch / worker fleet.
+
+    All mutators are cheap (dict updates under one lock) and never raise on
+    out-of-order or unknown-entity calls: progress tracking must not be
+    able to take a run down, so a ``chunk_done`` for an unknown dispatch or
+    a heartbeat from a never-announced worker is simply recorded as best as
+    possible (or dropped), never an error.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started_mono = time.monotonic()
+        self._sweep: dict[str, Any] | None = None
+        self._dispatch: dict[str, Any] | None = None
+        self._workers: dict[str, dict[str, Any]] = {}
+
+    # -- dispatch ------------------------------------------------------
+    def dispatch_start(
+        self,
+        *,
+        n_chunks: int,
+        n_runs: int,
+        backend: str,
+        n_jobs: int,
+        adaptive: bool = False,
+        n_waves: int | None = None,
+        target_ci: float | None = None,
+    ) -> None:
+        """A ``run_chunked`` dispatch laid out *n_chunks* over *n_runs*."""
+        with self._lock:
+            self._dispatch = {
+                "backend": backend,
+                "n_jobs": n_jobs,
+                "total_chunks": n_chunks,
+                "runs_total": n_runs,
+                "chunks_done": 0,
+                "cache_hits": 0,
+                "retries": 0,
+                "runs_done": 0,
+                "in_flight": set(),
+                "adaptive": bool(adaptive),
+                "n_waves": n_waves,
+                "wave": 0,
+                "halfwidth": None,
+                "target_ci": target_ci,
+                "started_mono": time.monotonic(),
+                "active": True,
+            }
+
+    def chunk_dispatched(self, index: int, worker: str | None = None) -> None:
+        """Chunk *index* was handed to an executor (possibly a retry)."""
+        with self._lock:
+            d = self._dispatch
+            if d is not None and d["active"]:
+                d["in_flight"].add(index)
+            if worker is not None:
+                entry = self._workers.get(worker)
+                if entry is not None:
+                    entry["in_flight"] = index
+
+    def chunk_done(self, index: int, *, size: int = 0, source: str = "run") -> None:
+        """Chunk *index* was harvested (*source*: ``"run"`` or ``"cache"``)."""
+        with self._lock:
+            d = self._dispatch
+            if d is None or not d["active"]:
+                return
+            d["chunks_done"] += 1
+            d["runs_done"] += int(size)
+            if source == "cache":
+                d["cache_hits"] += 1
+            d["in_flight"].discard(index)
+
+    def chunk_failed(self, index: int, worker: str | None = None, *,
+                     requeued: bool = True) -> None:
+        """A chunk attempt failed; *requeued* means it will be retried."""
+        with self._lock:
+            d = self._dispatch
+            if d is not None and d["active"]:
+                d["in_flight"].discard(index)
+                if requeued:
+                    d["retries"] += 1
+            if worker is not None:
+                entry = self._workers.get(worker)
+                if entry is not None and entry.get("in_flight") == index:
+                    entry["in_flight"] = None
+
+    def wave_done(
+        self, wave: int, *, halfwidth: float | None = None, stopped: bool = False
+    ) -> None:
+        """Adaptive wave *wave* (1-based) drained and was evaluated."""
+        with self._lock:
+            d = self._dispatch
+            if d is None or not d["active"]:
+                return
+            d["wave"] = int(wave)
+            if halfwidth is not None:
+                d["halfwidth"] = float(halfwidth)
+            if stopped:
+                d["stopped"] = True
+
+    def dispatch_end(self) -> None:
+        """The dispatch finished; its last state stays visible (inactive)."""
+        with self._lock:
+            if self._dispatch is not None:
+                self._dispatch["active"] = False
+                self._dispatch["in_flight"] = set()
+
+    # -- sweep ---------------------------------------------------------
+    def sweep_start(self, *, label: str, n_points: int) -> None:
+        with self._lock:
+            self._sweep = {
+                "label": label,
+                "n_points": int(n_points),
+                "points_done": 0,
+                "point": None,
+                "point_labels": {},
+                "started_mono": time.monotonic(),
+                "active": True,
+            }
+
+    def point_start(self, index: int, **labels: Any) -> None:
+        with self._lock:
+            s = self._sweep
+            if s is not None and s["active"]:
+                s["point"] = int(index)
+                s["point_labels"] = dict(labels)
+
+    def point_done(self, index: int) -> None:
+        with self._lock:
+            s = self._sweep
+            if s is not None and s["active"]:
+                s["points_done"] += 1
+
+    def sweep_end(self) -> None:
+        with self._lock:
+            if self._sweep is not None:
+                self._sweep["active"] = False
+
+    # -- worker fleet (tcp backend) ------------------------------------
+    def worker_connected(self, worker_id: str) -> None:
+        """A worker completed the hello handshake.  Reconnects keep the
+        completed-chunk tally (the id is stable across reconnects)."""
+        now = time.monotonic()
+        with self._lock:
+            entry = self._workers.get(worker_id)
+            if entry is None:
+                entry = self._workers[worker_id] = {
+                    "chunks_completed": 0,
+                    "disconnects": 0,
+                    "first_connected_mono": now,
+                }
+            entry.update(
+                connected=True, connected_mono=now, last_heartbeat_mono=now,
+                in_flight=None,
+            )
+
+    def worker_heartbeat(self, worker_id: str) -> None:
+        with self._lock:
+            entry = self._workers.get(worker_id)
+            if entry is not None:
+                entry["last_heartbeat_mono"] = time.monotonic()
+
+    def worker_chunk_done(self, worker_id: str) -> None:
+        with self._lock:
+            entry = self._workers.get(worker_id)
+            if entry is not None:
+                entry["chunks_completed"] += 1
+                entry["in_flight"] = None
+                entry["last_heartbeat_mono"] = time.monotonic()
+
+    def worker_disconnected(self, worker_id: str) -> None:
+        with self._lock:
+            entry = self._workers.get(worker_id)
+            if entry is not None:
+                entry["connected"] = False
+                entry["disconnects"] += 1
+                entry["in_flight"] = None
+
+    # -- read side -----------------------------------------------------
+    def snapshot(self) -> dict:
+        """The ``/progress`` payload: a consistent, JSON-safe copy."""
+        now = time.monotonic()
+        with self._lock:
+            sweep = dict(self._sweep) if self._sweep is not None else None
+            dispatch = dict(self._dispatch) if self._dispatch is not None else None
+            if dispatch is not None:
+                dispatch["in_flight"] = sorted(dispatch["in_flight"])
+        out: dict[str, Any] = {
+            "schema": PROGRESS_SCHEMA,
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "uptime_s": round(now - self._started_mono, 3),
+            "sweep": None,
+            "dispatch": None,
+        }
+        if sweep is not None:
+            elapsed = now - sweep.pop("started_mono")
+            done = sweep["points_done"]
+            remaining = max(0, sweep["n_points"] - done)
+            eta = elapsed / done * remaining if sweep["active"] and done else None
+            sweep["elapsed_s"] = round(elapsed, 3)
+            sweep["eta_s"] = round(eta, 3) if eta is not None else None
+            out["sweep"] = sweep
+        if dispatch is not None:
+            elapsed = now - dispatch.pop("started_mono")
+            done = dispatch["chunks_done"]
+            rate = done / elapsed if elapsed > 0 else 0.0
+            remaining = max(0, dispatch["total_chunks"] - done)
+            eta = remaining / rate if dispatch["active"] and rate > 0 else None
+            dispatch["elapsed_s"] = round(elapsed, 3)
+            dispatch["rate_chunks_per_s"] = round(rate, 3)
+            dispatch["eta_s"] = round(eta, 3) if eta is not None else None
+            out["dispatch"] = dispatch
+        return out
+
+    def workers_snapshot(self) -> dict:
+        """The ``/workers`` payload: per-worker fleet health."""
+        now = time.monotonic()
+        with self._lock:
+            rows = []
+            for worker_id in sorted(self._workers):
+                entry = self._workers[worker_id]
+                age = now - entry.get("last_heartbeat_mono", now)
+                lifetime = now - entry.get("first_connected_mono", now)
+                completed = entry["chunks_completed"]
+                rows.append({
+                    "id": worker_id,
+                    "connected": bool(entry.get("connected")),
+                    "heartbeat_age_s": round(age, 3),
+                    "in_flight": entry.get("in_flight"),
+                    "chunks_completed": completed,
+                    "throughput_chunks_per_s": (
+                        round(completed / lifetime, 3) if lifetime > 0 else 0.0
+                    ),
+                    "disconnects": entry["disconnects"],
+                })
+        return {"schema": WORKERS_SCHEMA, "ts": time.time(), "workers": rows}
+
+    def refresh_worker_gauges(self, registry: "MetricsRegistry | None" = None) -> None:
+        """Publish per-worker heartbeat ages as labelled gauges.
+
+        Called at scrape time (``GET /metrics``) rather than on every
+        heartbeat: the gauge is only meaningful at the instant it is read,
+        and scrape-time refresh keeps the heartbeat path allocation-free.
+        """
+        if registry is None:
+            from repro.obs import metrics as obs_metrics
+
+            registry = obs_metrics.get_registry()
+        now = time.monotonic()
+        with self._lock:
+            ages = {
+                worker_id: now - entry.get("last_heartbeat_mono", now)
+                for worker_id, entry in self._workers.items()
+                if entry.get("connected")
+            }
+        for worker_id, age in ages.items():
+            registry.set_gauge(
+                "parallel.worker_heartbeat_age", round(age, 3), worker=worker_id
+            )
+
+    def reset(self) -> None:
+        """Forget everything (tests, or between CLI invocations)."""
+        with self._lock:
+            self._sweep = None
+            self._dispatch = None
+            self._workers.clear()
+
+
+# ---------------------------------------------------------------------------
+# Process-wide singleton
+# ---------------------------------------------------------------------------
+
+_tracker = ProgressTracker()
+
+
+def get_tracker() -> ProgressTracker:
+    """The process-wide tracker every producer and the HTTP server share."""
+    return _tracker

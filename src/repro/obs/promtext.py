@@ -1,0 +1,210 @@
+"""A minimal Prometheus text-exposition parser/validator.
+
+The repo *emits* exposition text (:func:`repro.obs.metrics.to_prometheus`)
+but until now nothing checked in could *read* it back — so the CI bench
+gate could only assert "the scrape returned bytes".  This module is the
+counterpart: a dependency-free parser for the subset of the text format
+(0.0.4) the registry produces, used by the telemetry CI probe
+(``benchmarks/telemetry_probe.py``) and the test suite to validate a live
+``GET /metrics`` payload structurally:
+
+* ``# HELP`` / ``# TYPE`` comment lines attach to the named family, and a
+  family's samples must follow its ``# TYPE`` line;
+* every sample line is ``name{labels} value`` with a float-parseable
+  value and balanced, well-formed label braces;
+* histogram families must expose ``_bucket`` series with non-decreasing
+  cumulative counts per label set, ending in a ``le="+Inf"`` bucket whose
+  count equals the family's ``_count`` sample.
+
+:func:`parse_prometheus` raises :class:`~repro.exceptions.ParameterError`
+naming the offending line; :func:`validate_exposition` is the one-call
+wrapper the probe uses.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+from repro.exceptions import ParameterError
+
+__all__ = ["MetricFamily", "Sample", "parse_prometheus", "validate_exposition"]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One sample line: series name, parsed labels, float value."""
+
+    name: str
+    labels: dict[str, str]
+    value: float
+
+
+@dataclass
+class MetricFamily:
+    """One metric family: its declared type, help text and samples."""
+
+    name: str
+    type: str | None = None
+    help: str | None = None
+    samples: list[Sample] = field(default_factory=list)
+
+
+def _parse_labels(raw: str, lineno: int) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    pos, length = 0, len(raw)
+    while pos < length:
+        match = _LABEL_RE.match(raw, pos)
+        if match is None:
+            raise ParameterError(
+                f"line {lineno}: malformed label pair at {raw[pos:]!r}"
+            )
+        labels[match.group(1)] = (
+            match.group(2).replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+        )
+        pos = match.end()
+        if pos < length:
+            if raw[pos] != ",":
+                raise ParameterError(
+                    f"line {lineno}: expected ',' between labels, got {raw[pos]!r}"
+                )
+            pos += 1
+    return labels
+
+
+def _family_of(sample_name: str, families: dict[str, MetricFamily]) -> str:
+    """Map a sample series to its family (``_bucket``/``_sum``/``_count``
+    collapse onto the histogram family that declared them)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if families.get(base) is not None and families[base].type == "histogram":
+                return base
+    return sample_name
+
+
+def parse_prometheus(text: str) -> dict[str, MetricFamily]:
+    """Parse exposition *text* into ``{family name: MetricFamily}``.
+
+    Raises :class:`~repro.exceptions.ParameterError` (with the 1-based
+    line number) on anything structurally invalid.  An empty exposition is
+    valid and returns an empty dict.
+    """
+    families: dict[str, MetricFamily] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment: legal, ignored
+            name = parts[2]
+            if not _NAME_RE.match(name):
+                raise ParameterError(
+                    f"line {lineno}: invalid metric name {name!r} in {parts[1]} line"
+                )
+            family = families.setdefault(name, MetricFamily(name))
+            if parts[1] == "HELP":
+                family.help = parts[3] if len(parts) > 3 else ""
+            else:
+                if len(parts) < 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    raise ParameterError(
+                        f"line {lineno}: invalid TYPE line {line!r}"
+                    )
+                if family.samples:
+                    raise ParameterError(
+                        f"line {lineno}: TYPE for {name!r} after its samples"
+                    )
+                family.type = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ParameterError(f"line {lineno}: unparseable sample {line!r}")
+        labels_raw = match.group("labels")
+        labels = _parse_labels(labels_raw, lineno) if labels_raw else {}
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            raise ParameterError(
+                f"line {lineno}: unparseable value {match.group('value')!r}"
+            ) from None
+        sample = Sample(match.group("name"), labels, value)
+        family = families.setdefault(
+            _family_of(sample.name, families), MetricFamily(sample.name)
+        )
+        family.samples.append(sample)
+    return families
+
+
+def _check_histogram(family: MetricFamily) -> None:
+    """Cumulative buckets non-decreasing, ``+Inf`` present and == _count."""
+    by_labelset: dict[tuple, list[Sample]] = {}
+    counts: dict[tuple, float] = {}
+    for sample in family.samples:
+        base = tuple(
+            sorted((k, v) for k, v in sample.labels.items() if k != "le")
+        )
+        if sample.name.endswith("_bucket"):
+            by_labelset.setdefault(base, []).append(sample)
+        elif sample.name.endswith("_count"):
+            counts[base] = sample.value
+    for base, buckets in by_labelset.items():
+        previous = -math.inf
+        inf_count = None
+        for sample in buckets:  # emission order == ascending le order
+            if sample.value < previous:
+                raise ParameterError(
+                    f"{family.name}: cumulative bucket counts decrease at "
+                    f"le={sample.labels.get('le')!r}"
+                )
+            previous = sample.value
+            if sample.labels.get("le") == "+Inf":
+                inf_count = sample.value
+        if inf_count is None:
+            raise ParameterError(
+                f"{family.name}: histogram lacks a le=\"+Inf\" bucket"
+            )
+        if base in counts and inf_count != counts[base]:
+            raise ParameterError(
+                f"{family.name}: +Inf bucket ({inf_count:g}) != _count "
+                f"({counts[base]:g})"
+            )
+
+
+def validate_exposition(
+    text: str, *, require_families: tuple[str, ...] = ()
+) -> dict[str, MetricFamily]:
+    """Parse and structurally validate an exposition payload.
+
+    Beyond :func:`parse_prometheus`: every sampled family must carry a
+    ``# TYPE`` declaration, histogram families must pass the cumulative /
+    ``+Inf`` checks, and every name in *require_families* must be present.
+    Returns the parsed families.
+    """
+    families = parse_prometheus(text)
+    for family in families.values():
+        if family.samples and family.type is None:
+            raise ParameterError(
+                f"{family.name}: samples without a # TYPE declaration"
+            )
+        if family.type == "histogram":
+            _check_histogram(family)
+    missing = [name for name in require_families if name not in families]
+    if missing:
+        raise ParameterError(
+            f"exposition is missing required families: {', '.join(missing)}"
+        )
+    return families

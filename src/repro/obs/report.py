@@ -16,7 +16,12 @@ same-name spans from one process remain ambiguous — and computes:
 * parallel efficiency — Σ chunk wall / (elapsed × n_jobs), the measured
   counterpart of the restart-efficiency ratios the paper's simulation
   study sweeps — plus retry / fallback / chunk-failure counts and the
-  cache hit rate.
+  cache hit rate;
+* straggler and critical-path analytics — per-worker utilization (chunks,
+  busy time and busy/elapsed per executing pid), chunks flagged at more
+  than ``straggler_k`` × the median chunk latency, and the dispatch
+  critical path (the slowest single chunk, which bounds achievable
+  dispatch time at any worker count).
 
 ``repro-sim obs report trace.jsonl`` prints the rendered report; the same
 data is available programmatically as a :class:`TraceReport`.
@@ -83,6 +88,11 @@ class TraceReport:
     adaptive_stops: int = 0
     adaptive_chunks_saved: int = 0
     adaptive_points_capped: int = 0
+    worker_stats: list[dict] = field(default_factory=list)
+    stragglers: list[dict] = field(default_factory=list)
+    straggler_threshold: float = 2.0
+    median_chunk_s: float = 0.0
+    critical_path_s: float = 0.0
 
     def chunk_latency_histogram(self) -> list[tuple[str, int]]:
         """Chunk wall times over the fixed metrics buckets, trimmed to the
@@ -169,15 +179,21 @@ def _span_stats(spans: Iterable[Span]) -> dict[str, dict[str, float]]:
 
 
 def analyze_trace(
-    source: str | Path | Sequence[dict], *, n_jobs: int | None = None
+    source: str | Path | Sequence[dict],
+    *,
+    n_jobs: int | None = None,
+    straggler_k: float = 2.0,
 ) -> TraceReport:
     """Analyze a trace file (or pre-parsed records) into a :class:`TraceReport`.
 
     *n_jobs* overrides the worker count used for the parallel-efficiency
     denominator; by default it is taken from the ``n_jobs`` label on
     dispatch/chunk spans, falling back to the number of distinct worker
-    pids observed.
+    pids observed.  *straggler_k* sets the straggler flagging threshold:
+    chunks slower than ``straggler_k`` × the median chunk wall time.
     """
+    if not straggler_k > 0:
+        raise ParameterError(f"straggler_k must be positive, got {straggler_k}")
     if isinstance(source, (str, Path)):
         from repro.obs.trace import read_events
 
@@ -262,6 +278,52 @@ def analyze_trace(
             name = str(rec.get("name", "?"))
             counters[name] = counters.get(name, 0.0) + float(rec.get("value", 0.0))
 
+    # Straggler / critical-path analytics.  Chunks are attributed to the
+    # pid that executed them (the remote backends emit chunk spans inside
+    # the worker), so per-pid busy time is real worker utilization.
+    worker_stats: list[dict] = []
+    stragglers: list[dict] = []
+    median_chunk = 0.0
+    critical_path = 0.0
+    if chunks:
+        by_pid: dict[int, list[Span]] = {}
+        for sp in chunks:
+            by_pid.setdefault(sp.pid, []).append(sp)
+        for pid in sorted(by_pid):
+            group = by_pid[pid]
+            w_busy = sum(sp.wall_s for sp in group)
+            worker_stats.append({
+                "pid": pid,
+                "chunks": len(group),
+                "runs": sum(int(sp.labels.get("size", 0)) for sp in group),
+                "busy_s": w_busy,
+                "utilization": w_busy / elapsed if elapsed > 0 else None,
+                "mean_s": w_busy / len(group),
+                "max_s": max(sp.wall_s for sp in group),
+            })
+        walls = sorted(sp.wall_s for sp in chunks)
+        mid = len(walls) // 2
+        median_chunk = (
+            walls[mid] if len(walls) % 2 else (walls[mid - 1] + walls[mid]) / 2
+        )
+        # The slowest single chunk is the dispatch critical path: no worker
+        # count can finish the batch faster than its longest chunk.
+        critical_path = walls[-1]
+        if median_chunk > 0:
+            stragglers = sorted(
+                (
+                    {
+                        "chunk": sp.labels.get("chunk"),
+                        "pid": sp.pid,
+                        "wall_s": sp.wall_s,
+                        "ratio": sp.wall_s / median_chunk,
+                    }
+                    for sp in chunks
+                    if sp.wall_s > straggler_k * median_chunk
+                ),
+                key=lambda row: -row["wall_s"],
+            )
+
     return TraceReport(
         n_records=len(records),
         spans=spans,
@@ -283,6 +345,11 @@ def analyze_trace(
         adaptive_stops=adaptive_stops,
         adaptive_chunks_saved=adaptive_chunks_saved,
         adaptive_points_capped=adaptive_points_capped,
+        worker_stats=worker_stats,
+        stragglers=stragglers,
+        straggler_threshold=straggler_k,
+        median_chunk_s=median_chunk,
+        critical_path_s=critical_path,
     )
 
 
@@ -354,6 +421,47 @@ def render_report(report: TraceReport, *, width: int = 60) -> str:
                 f"parallel efficiency : {report.efficiency:.1%} "
                 f"(busy / elapsed x {report.n_jobs} jobs)"
             )
+        out.append(f"median chunk        : {_fmt_seconds(report.median_chunk_s)}")
+        out.append(
+            f"critical path       : {_fmt_seconds(report.critical_path_s)} "
+            f"(slowest chunk; the floor for any worker count)"
+        )
+
+        if report.worker_stats:
+            out.append("")
+            out.append("== worker utilization ==")
+            out.append(
+                f"{'pid':>8} {'chunks':>7} {'runs':>8} {'busy':>10} "
+                f"{'util':>7} {'mean':>10} {'max':>10}"
+            )
+            for w in report.worker_stats:
+                util = (
+                    f"{w['utilization']:.1%}"
+                    if w["utilization"] is not None else "-"
+                )
+                out.append(
+                    f"{w['pid']:>8} {w['chunks']:>7} {w['runs']:>8} "
+                    f"{_fmt_seconds(w['busy_s']):>10} {util:>7} "
+                    f"{_fmt_seconds(w['mean_s']):>10} "
+                    f"{_fmt_seconds(w['max_s']):>10}"
+                )
+
+        if report.stragglers:
+            out.append("")
+            out.append(
+                f"== stragglers (> {report.straggler_threshold:g}x median "
+                f"{_fmt_seconds(report.median_chunk_s)}) =="
+            )
+            shown = report.stragglers[:10]
+            for row in shown:
+                out.append(
+                    f"chunk {row['chunk']!s:>4} pid{row['pid']}: "
+                    f"{_fmt_seconds(row['wall_s'])} ({row['ratio']:.1f}x median)"
+                )
+            if len(report.stragglers) > len(shown):
+                out.append(
+                    f"... {len(report.stragglers) - len(shown)} more stragglers"
+                )
     failures = sum(report.chunk_failures.values())
     out.append(f"retry rounds        : {report.retry_rounds}"
                f" ({report.retried_chunks} chunk retries)")

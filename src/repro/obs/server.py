@@ -1,0 +1,261 @@
+"""Embedded HTTP telemetry plane: ``/metrics``, ``/progress``, ``/workers``.
+
+A stdlib :class:`~http.server.ThreadingHTTPServer` running on a daemon
+thread inside the coordinator process, enabled by
+``ExecutionContext(telemetry_port=)`` / ``repro-sim --telemetry-port`` /
+the ``REPRO_TELEMETRY_PORT`` environment variable.  Endpoints:
+
+=================  ========================================================
+``GET /healthz``   liveness: ``{"status": "ok", "pid": ..., "uptime_s": ...}``
+``GET /metrics``   Prometheus text exposition of the always-on registry
+                   (:func:`repro.obs.metrics.to_prometheus`), with
+                   per-worker heartbeat-age gauges refreshed at scrape time
+``GET /metrics.json``  the same registry as a JSON snapshot
+``GET /progress``  live dispatch/sweep state from
+                   :class:`repro.obs.progress.ProgressTracker`
+``GET /workers``   tcp fleet health: heartbeat age, in-flight chunk,
+                   chunks completed, throughput per worker
+=================  ========================================================
+
+Zero-cost when disabled: with no telemetry port configured, nothing in
+this module runs — no thread, no socket, no import on the dispatch hot
+path (:func:`repro.parallel.run_chunked` only imports it when the context
+carries a port).  The server is read-only by design: a scrape renders
+tracker/registry snapshots and never mutates dispatch state.
+
+Shutdown is crash-safe by construction: the serve loop runs on a *daemon*
+thread with daemon handler threads, so SIGKILL/SIGTERM tests and normal
+interpreter exit never block on it; an :mod:`atexit` hook closes the
+socket politely on clean exits, and a fork handler drops the inherited
+listener in children so a worker never holds the coordinator's port open.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "TELEMETRY_ENV_VAR",
+    "TelemetryServer",
+    "active_telemetry",
+    "default_telemetry_port",
+    "ensure_telemetry",
+    "start_telemetry",
+    "stop_telemetry",
+]
+
+#: environment variable supplying the default telemetry port for any
+#: context constructed without an explicit ``telemetry_port=`` (mirrors
+#: ``REPRO_BACKEND`` / ``REPRO_TARGET_CI``).  ``0`` binds an ephemeral port.
+TELEMETRY_ENV_VAR = "REPRO_TELEMETRY_PORT"
+
+
+def default_telemetry_port() -> int | None:
+    """``REPRO_TELEMETRY_PORT`` parsed and validated, else ``None`` (off)."""
+    raw = os.environ.get(TELEMETRY_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        port = int(raw)
+    except ValueError:
+        raise ParameterError(
+            f"{TELEMETRY_ENV_VAR} must be an integer port, got {raw!r}"
+        ) from None
+    return validate_port(port, source=TELEMETRY_ENV_VAR)
+
+
+def validate_port(port: int, *, source: str = "telemetry_port") -> int:
+    """Validate a TCP port (``0`` means "bind an ephemeral port")."""
+    if isinstance(port, bool) or not isinstance(port, int):
+        raise ParameterError(f"{source} must be an integer, got {port!r}")
+    if not 0 <= port <= 65535:
+        raise ParameterError(f"{source} must be in [0, 65535], got {port}")
+    return port
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route table for the telemetry endpoints (read-only, JSON/text)."""
+
+    server_version = "repro-telemetry"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # a scrape must never write to the coordinator's stderr
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        from repro.obs import metrics as obs_metrics
+        from repro.obs.progress import get_tracker
+
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        tracker = get_tracker()
+        try:
+            if path == "/healthz":
+                snap = tracker.snapshot()
+                self._reply_json(
+                    {"status": "ok", "pid": snap["pid"], "uptime_s": snap["uptime_s"]}
+                )
+            elif path == "/metrics":
+                tracker.refresh_worker_gauges(obs_metrics.get_registry())
+                body = obs_metrics.to_prometheus()
+                self._reply(
+                    body.encode("utf-8"),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif path == "/metrics.json":
+                tracker.refresh_worker_gauges(obs_metrics.get_registry())
+                self._reply_json(obs_metrics.snapshot())
+            elif path == "/progress":
+                self._reply_json(tracker.snapshot())
+            elif path == "/workers":
+                self._reply_json(tracker.workers_snapshot())
+            else:
+                self._reply_json(
+                    {
+                        "error": f"unknown path {path!r}",
+                        "endpoints": [
+                            "/healthz", "/metrics", "/metrics.json",
+                            "/progress", "/workers",
+                        ],
+                    },
+                    status=404,
+                )
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+
+    def _reply_json(self, payload: dict, *, status: int = 200) -> None:
+        self._reply(
+            (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"),
+            content_type="application/json",
+            status=status,
+        )
+
+    def _reply(
+        self, body: bytes, *, content_type: str, status: int = 200
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class TelemetryServer:
+    """One bound telemetry endpoint: a ThreadingHTTPServer on a daemon thread."""
+
+    def __init__(self, port: int = 0, host: str = "127.0.0.1") -> None:
+        validate_port(port)
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (resolved when constructed with ``0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                kwargs={"poll_interval": 0.25},
+                name="repro-telemetry",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+    def drop(self) -> None:
+        """Release the inherited socket fd without touching the serve loop.
+
+        Fork-child path only: the child has no acceptor thread (fork copies
+        just the calling thread), so a plain close is all that is needed to
+        stop it holding the coordinator's port open.
+        """
+        self._closed = True
+        try:
+            self._httpd.server_close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Process-wide singleton
+# ---------------------------------------------------------------------------
+
+_server: TelemetryServer | None = None
+_atexit_registered = False
+
+
+def active_telemetry() -> TelemetryServer | None:
+    """The running server, if any — ``None`` means telemetry is off."""
+    return _server
+
+
+def start_telemetry(port: int = 0, host: str = "127.0.0.1") -> TelemetryServer:
+    """Start (or restart on a different port) the process-wide server."""
+    global _server, _atexit_registered
+    validate_port(port)
+    if _server is not None:
+        _server.close()
+    _server = TelemetryServer(port, host).start()
+    if not _atexit_registered:
+        _atexit_registered = True
+        atexit.register(stop_telemetry)
+        if hasattr(os, "register_at_fork"):
+            os.register_at_fork(after_in_child=_after_fork_in_child)
+    return _server
+
+
+def stop_telemetry() -> None:
+    """Stop the process-wide server, if one is running (idempotent)."""
+    global _server
+    if _server is not None:
+        _server.close()
+        _server = None
+
+
+def ensure_telemetry(port: int | None) -> TelemetryServer | None:
+    """Idempotent entry point for dispatch: serve on *port* if requested.
+
+    ``None`` is a no-op (telemetry stays off — the zero-cost path).  An
+    already-running server is reused when *port* matches (``0`` matches any
+    running server: it asked for "an ephemeral port" and one is bound);
+    a different explicit port restarts the server there.
+    """
+    if port is None:
+        return _server
+    validate_port(port)
+    if _server is not None and (port == 0 or port == _server.port):
+        return _server
+    return start_telemetry(port)
+
+
+def _after_fork_in_child() -> None:
+    global _server
+    if _server is not None:
+        _server.drop()
+        _server = None

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING
 
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs
+from repro.obs.progress import get_tracker
 from repro.parallel.chunks import ChunkTaskError, guarded_chunk
 from repro.parallel.protocol import (
     ChunkSpec,
@@ -179,11 +180,15 @@ class ProcessBackend(ExecutorBackend):
                 )
                 for spec in pending
             }
+            tracker = get_tracker()
+            for spec in pending:
+                tracker.chunk_dispatched(spec.index)
             stalled = False
             for spec in pending:
                 fut = futures[spec.index]
                 if stalled and not fut.done():
                     failed.append(spec)
+                    tracker.chunk_failed(spec.index)
                     continue
                 try:
                     out = fut.result(
@@ -196,6 +201,7 @@ class ProcessBackend(ExecutorBackend):
                     stalled = True
                     hard_teardown = True
                     failed.append(spec)
+                    tracker.chunk_failed(spec.index)
                     obs.event(
                         "parallel.chunk_failed",
                         chunk=spec.index, error="timeout", kind="infrastructure",
@@ -213,6 +219,7 @@ class ProcessBackend(ExecutorBackend):
                 except TRANSIENT_ERRORS as exc:
                     error = type(exc).__name__
                     failed.append(spec)
+                    tracker.chunk_failed(spec.index)
                     obs.event(
                         "parallel.chunk_failed",
                         chunk=spec.index, error=type(exc).__name__,

@@ -73,6 +73,7 @@ from repro.chaos import chunk_decision, transport_fault, worker_fault
 from repro.exceptions import ParameterError
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs
+from repro.obs.progress import get_tracker
 from repro.parallel.chunks import ChunkTaskError, guarded_chunk
 from repro.parallel.protocol import ChunkSpec, ExecutorBackend, HarvestFn
 
@@ -490,13 +491,19 @@ class _Coordinator:
                     return spec, self.attempts[spec.index]
                 self.cond.wait(_POLL_S)
 
-    def complete(self, spec: ChunkSpec, runs, metrics: dict | None) -> None:
+    def complete(
+        self, spec: ChunkSpec, runs, metrics: dict | None,
+        worker: str | None = None,
+    ) -> None:
         with self.cond:
             if spec.index in self.done:
                 return
             self.done.add(spec.index)
             self.stats["completed"] += 1
             self.cond.notify_all()
+        if worker is not None:
+            obs_metrics.inc("parallel.worker_chunks_completed", worker=worker)
+            get_tracker().worker_chunk_done(worker)
         with self.harvest_lock:
             self.harvest(spec.index, runs, metrics)
 
@@ -508,6 +515,7 @@ class _Coordinator:
             chunk=spec.index, error=error, kind="infrastructure",
         )
         obs_metrics.inc("parallel.chunk_failures", kind="infrastructure")
+        requeued = False
         with self.cond:
             if spec.index in self.done:
                 return
@@ -533,6 +541,7 @@ class _Coordinator:
                 self.exhausted.add(spec.index)
             else:
                 self.pending.append(spec)
+                requeued = True
                 self.stats["retry_rounds"] = max(
                     self.stats["retry_rounds"], attempt
                 )
@@ -546,6 +555,7 @@ class _Coordinator:
                     error=error,
                 )
             self.cond.notify_all()
+        get_tracker().chunk_failed(spec.index, worker, requeued=requeued)
 
     def abort(self, error: ChunkTaskError) -> None:
         with self.cond:
@@ -593,35 +603,47 @@ class _Coordinator:
             except OSError:
                 pass
             return
+        # Worker identity is host:pid from the hello handshake — stable
+        # across reconnects of the same worker process, so its telemetry
+        # series (heartbeat age, chunks completed) accumulate rather than
+        # fork on every new connection.
         worker = f"{info.get('host', '?')}:{info.get('pid', '?')}"
-        while True:
-            claimed = self.claim()
-            if claimed is None:
+        tracker = get_tracker()
+        tracker.worker_connected(worker)
+        obs.event("parallel.worker_connected", worker=worker)
+        try:
+            while True:
+                claimed = self.claim()
+                if claimed is None:
+                    try:
+                        send_msg(conn, ("shutdown", None))
+                    except OSError:
+                        pass
+                    return
+                spec, attempt = claimed
+                job = {
+                    "task": self.task,
+                    "index": spec.index,
+                    "n_chunks": spec.n_chunks,
+                    "size": spec.size,
+                    "seed": spec.seed,
+                    "submitted": time.monotonic(),
+                    "parent_id": self.parent_id,
+                    "n_jobs": self.context.n_jobs,
+                    "attempt": attempt,
+                    "chaos": self.context.chaos,
+                }
                 try:
-                    send_msg(conn, ("shutdown", None))
+                    send_msg(conn, ("chunk", job))
                 except OSError:
-                    pass
-                return
-            spec, attempt = claimed
-            job = {
-                "task": self.task,
-                "index": spec.index,
-                "n_chunks": spec.n_chunks,
-                "size": spec.size,
-                "seed": spec.seed,
-                "submitted": time.monotonic(),
-                "parent_id": self.parent_id,
-                "n_jobs": self.context.n_jobs,
-                "attempt": attempt,
-                "chaos": self.context.chaos,
-            }
-            try:
-                send_msg(conn, ("chunk", job))
-            except OSError:
-                self.fail(spec, "send_failed", worker)
-                return
-            if not self._await_result(conn, spec, worker):
-                return
+                    self.fail(spec, "send_failed", worker)
+                    return
+                tracker.chunk_dispatched(spec.index, worker=worker)
+                if not self._await_result(conn, spec, worker):
+                    return
+        finally:
+            tracker.worker_disconnected(worker)
+            obs.event("parallel.worker_disconnected", worker=worker)
 
     def _hello_patience(self, started: float):
         def check() -> None:
@@ -668,6 +690,7 @@ class _Coordinator:
                 return False
             last_seen = time.monotonic()
             if kind == "heartbeat":
+                get_tracker().worker_heartbeat(worker)
                 # A heartbeat proves liveness but does not extend the
                 # chunk's execution deadline.
                 if deadline is not None and last_seen > deadline:
@@ -693,7 +716,7 @@ class _Coordinator:
                 obs_metrics.inc("parallel.chunk_failures", kind="task")
                 self.abort(out)
                 return False
-            self.complete(spec, out.runs, out.metrics)
+            self.complete(spec, out.runs, out.metrics, worker)
             return True
 
 

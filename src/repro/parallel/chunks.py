@@ -159,6 +159,9 @@ def chunk_metrics(size: int, wall_s: float) -> None:
     obs_metrics.inc("parallel.chunks")
     obs_metrics.inc("parallel.chunk_runs", size)
     obs_metrics.observe("parallel.chunk_seconds", wall_s)
+    # _peak suffix: merged by max across worker deltas (straggler tracking),
+    # so the coordinator's value is the slowest chunk anywhere in the fleet.
+    obs_metrics.set_gauge_max("parallel.chunk_seconds_peak", wall_s)
 
 
 class ChunkPayload:

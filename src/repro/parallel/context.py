@@ -148,6 +148,15 @@ class ExecutionContext:
         is never derived from ``n_jobs``: wave boundaries are where the
         stopping rule is evaluated, so they must be identical for every
         worker count.  Requires ``target_ci``.
+    telemetry_port:
+        When set, :func:`repro.parallel.run_chunked` ensures the embedded
+        HTTP telemetry server (:mod:`repro.obs.server`) is listening on
+        ``127.0.0.1:<port>`` — ``0`` binds an ephemeral port — serving
+        ``/metrics``, ``/progress`` and ``/workers`` for the duration of
+        the process.  ``None`` (the default) resolves from the
+        ``REPRO_TELEMETRY_PORT`` environment variable, else telemetry is
+        off and no thread or socket is ever created.  Purely an
+        observation plane: it never changes a result bit.
     """
 
     n_jobs: int = 1
@@ -161,6 +170,7 @@ class ExecutionContext:
     target_ci: float | None = None
     max_runs: int | None = None
     wave_size: int | None = None
+    telemetry_port: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend is None:
@@ -214,6 +224,14 @@ class ExecutionContext:
                 "max_runs / wave_size only apply to adaptive sampling; "
                 "set target_ci as well"
             )
+        if self.telemetry_port is None:
+            from repro.obs.server import default_telemetry_port
+
+            object.__setattr__(self, "telemetry_port", default_telemetry_port())
+        else:
+            from repro.obs.server import validate_port
+
+            validate_port(self.telemetry_port)
 
     @property
     def effective_chunk_size(self) -> int:
@@ -268,6 +286,7 @@ def parallel_execution(
     target_ci: float | None = None,
     max_runs: int | None = None,
     wave_size: int | None = None,
+    telemetry_port: int | None = None,
 ) -> Iterator[ExecutionContext]:
     """Scoped default context: every simulation inside the block uses it.
 
@@ -288,6 +307,7 @@ def parallel_execution(
         target_ci=target_ci,
         max_runs=max_runs,
         wave_size=wave_size,
+        telemetry_port=telemetry_port,
     )
     previous = set_default_execution(context)
     try:

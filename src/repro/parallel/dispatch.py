@@ -41,12 +41,13 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.adaptive import resolve_plan, should_stop, wave_bounds
+from repro.adaptive import evaluate_wave, resolve_plan, wave_bounds
 from repro.cache import cacheable_seed, resolve_cache, runset_key
 from repro.journal import resolve_journal
 from repro.obs import manifest as _obs_manifest
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs
+from repro.obs.progress import get_tracker
 from repro.parallel.chunks import ChunkTask, chunk_sizes, describe_task
 from repro.parallel.context import ExecutionContext
 from repro.parallel.protocol import ChunkSpec, get_backend
@@ -96,6 +97,13 @@ def run_chunked(
     t_start = time.monotonic()
     if context is None:
         context = ExecutionContext()
+    if context.telemetry_port is not None:
+        # Bring up (or reuse) the embedded telemetry endpoint before any
+        # chunk work starts, so a scraper sees the dispatch from chunk 0.
+        from repro.obs.server import ensure_telemetry
+
+        ensure_telemetry(context.telemetry_port)
+    tracker = get_tracker()
     plan = resolve_plan(context, n_runs)
     # Adaptive dispatch lays the chunks out over the full max_runs cap up
     # front: chunk sizes and per-chunk seeds must never depend on where
@@ -173,6 +181,9 @@ def run_chunked(
             if hit is not None:
                 _accept(spec.index, hit)
                 cache_hits += 1
+                tracker.chunk_done(
+                    spec.index, size=sizes[spec.index], source="cache"
+                )
                 if journal is not None:
                     journal.chunk_done(spec.index, keys[spec.index], source="cache")
 
@@ -194,6 +205,7 @@ def run_chunked(
         # are already in the live registry — merging would double-count).
         _accept(index, runs)
         _store(index, runs)
+        tracker.chunk_done(index, size=sizes[index], source="run")
         if metrics is not None:
             obs_metrics.merge(metrics)
 
@@ -233,91 +245,106 @@ def run_chunked(
 
     decision: dict | None = None
     t_dispatch_start = t_start
+    waves = (
+        wave_bounds(len(sizes), plan.wave_size) if plan is not None else None
+    )
+    tracker.dispatch_start(
+        n_chunks=len(sizes),
+        n_runs=layout_runs,
+        backend=context.backend,
+        n_jobs=context.n_jobs,
+        adaptive=plan is not None,
+        n_waves=len(waves) if waves is not None else None,
+        target_ci=plan.target_ci if plan is not None else None,
+    )
     # The dispatch span's id is handed to every chunk (through the backend's
     # pickled task arguments), so worker-emitted chunk spans carry it as
     # parent_id and the analyzer can nest the cross-process timeline.
-    if plan is None:
-        _serve_cache(specs)
-        t_setup = time.monotonic() - t_start
-        if cache_hits:
-            obs_metrics.inc("parallel.cache_hit_chunks", cache_hits)
-        n_missing = sum(1 for flag in done if not flag)
-        t_dispatch_start = time.monotonic()
-        with obs.span(
-            "parallel.dispatch",
-            backend=context.backend,
-            n_chunks=len(sizes),
-            n_missing=n_missing,
-            n_jobs=context.n_jobs,
-            streaming=streaming,
-        ) as dispatch_id:
-            _dispatch(specs, dispatch_id)
-        n_chunks_run = len(sizes)
-    else:
-        # Waves are fixed slices of the layout, each fully drained (cache,
-        # remote, serial fallback) before the stopping rule looks at the
-        # folded prefix — which therefore *is* the realized chunk set.
-        # Cache hits are served per wave, never ahead of the decision, so a
-        # warm cache reproduces exactly the cold-cache prefix.
-        t_setup = time.monotonic() - t_start
-        waves = wave_bounds(len(sizes), plan.wave_size)
-        stopped = False
-        n_chunks_run = 0
-        t_dispatch_start = time.monotonic()
-        with obs.span(
-            "parallel.dispatch",
-            backend=context.backend,
-            n_chunks=len(sizes),
-            n_missing=len(sizes),
-            n_jobs=context.n_jobs,
-            streaming=True,
-            adaptive=True,
-        ) as dispatch_id:
-            for wave_start, wave_end in waves:
-                wave_specs = specs[wave_start:wave_end]
-                _serve_cache(wave_specs)
-                _dispatch(wave_specs, dispatch_id)
-                n_chunks_run = wave_end
-                if should_stop(
-                    acc.peek("overhead"), plan.target_ci, level=plan.level
-                ):
-                    stopped = True
-                    break
-        if cache_hits:
-            obs_metrics.inc("parallel.cache_hit_chunks", cache_hits)
-        runs_spent = int(sum(sizes[:n_chunks_run]))
-        from repro.util.stats import moments_confidence_halfwidth
-
-        decision = {
-            "target_ci": plan.target_ci,
-            "level": plan.level,
-            "max_runs": plan.max_runs,
-            "wave_size": plan.wave_size,
-            "n_chunks": len(sizes),
-            "n_chunks_run": n_chunks_run,
-            "chunks_saved": len(sizes) - n_chunks_run,
-            "runs_spent": runs_spent,
-            "runs_saved": layout_runs - runs_spent,
-            "reached_target": stopped,
-            "halfwidth": moments_confidence_halfwidth(
-                acc.peek("overhead"), level=plan.level
-            ),
-        }
-        if journal is not None:
-            journal.adaptive_stop(**decision)
-        obs.event(
-            "adaptive.stop",
-            reached_target=stopped,
-            chunks_saved=decision["chunks_saved"],
-            runs_spent=runs_spent,
-            halfwidth=decision["halfwidth"],
-        )
-        if decision["chunks_saved"]:
-            obs_metrics.inc("adaptive.chunks_saved", decision["chunks_saved"])
-            obs.count("adaptive.chunks_saved", decision["chunks_saved"])
-        if not stopped:
-            obs_metrics.inc("adaptive.points_capped")
-            obs.count("adaptive.points_capped")
+    try:
+        if plan is None:
+            _serve_cache(specs)
+            t_setup = time.monotonic() - t_start
+            if cache_hits:
+                obs_metrics.inc("parallel.cache_hit_chunks", cache_hits)
+            n_missing = sum(1 for flag in done if not flag)
+            t_dispatch_start = time.monotonic()
+            with obs.span(
+                "parallel.dispatch",
+                backend=context.backend,
+                n_chunks=len(sizes),
+                n_missing=n_missing,
+                n_jobs=context.n_jobs,
+                streaming=streaming,
+            ) as dispatch_id:
+                _dispatch(specs, dispatch_id)
+            n_chunks_run = len(sizes)
+        else:
+            # Waves are fixed slices of the layout, each fully drained
+            # (cache, remote, serial fallback) before the stopping rule
+            # looks at the folded prefix — which therefore *is* the realized
+            # chunk set.  Cache hits are served per wave, never ahead of the
+            # decision, so a warm cache reproduces exactly the cold-cache
+            # prefix.
+            t_setup = time.monotonic() - t_start
+            stopped = False
+            halfwidth = 0.0
+            n_chunks_run = 0
+            t_dispatch_start = time.monotonic()
+            with obs.span(
+                "parallel.dispatch",
+                backend=context.backend,
+                n_chunks=len(sizes),
+                n_missing=len(sizes),
+                n_jobs=context.n_jobs,
+                streaming=True,
+                adaptive=True,
+            ) as dispatch_id:
+                for wave_index, (wave_start, wave_end) in enumerate(waves):
+                    wave_specs = specs[wave_start:wave_end]
+                    _serve_cache(wave_specs)
+                    _dispatch(wave_specs, dispatch_id)
+                    n_chunks_run = wave_end
+                    stopped, halfwidth = evaluate_wave(
+                        acc.peek("overhead"), plan
+                    )
+                    tracker.wave_done(
+                        wave_index, halfwidth=halfwidth, stopped=stopped
+                    )
+                    if stopped:
+                        break
+            if cache_hits:
+                obs_metrics.inc("parallel.cache_hit_chunks", cache_hits)
+            runs_spent = int(sum(sizes[:n_chunks_run]))
+            decision = {
+                "target_ci": plan.target_ci,
+                "level": plan.level,
+                "max_runs": plan.max_runs,
+                "wave_size": plan.wave_size,
+                "n_chunks": len(sizes),
+                "n_chunks_run": n_chunks_run,
+                "chunks_saved": len(sizes) - n_chunks_run,
+                "runs_spent": runs_spent,
+                "runs_saved": layout_runs - runs_spent,
+                "reached_target": stopped,
+                "halfwidth": halfwidth,
+            }
+            if journal is not None:
+                journal.adaptive_stop(**decision)
+            obs.event(
+                "adaptive.stop",
+                reached_target=stopped,
+                chunks_saved=decision["chunks_saved"],
+                runs_spent=runs_spent,
+                halfwidth=decision["halfwidth"],
+            )
+            if decision["chunks_saved"]:
+                obs_metrics.inc("adaptive.chunks_saved", decision["chunks_saved"])
+                obs.count("adaptive.chunks_saved", decision["chunks_saved"])
+            if not stopped:
+                obs_metrics.inc("adaptive.points_capped")
+                obs.count("adaptive.points_capped")
+    finally:
+        tracker.dispatch_end()
     t_dispatch = time.monotonic() - t_dispatch_start
 
     t_merge_start = time.monotonic()

@@ -45,6 +45,7 @@ from repro.journal import (
 )
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs
+from repro.obs.progress import get_tracker
 from repro.util.rng import as_seed_sequence
 from repro.util.units import YEAR
 from repro.util.validation import check_positive, check_positive_int
@@ -410,8 +411,13 @@ def run_sweep(
                 sweep=f"cli:{request.strategy}",
                 points=len(request.mtbf_years),
             )
+            tracker = get_tracker()
+            tracker.sweep_start(
+                label=request.strategy, n_points=len(request.mtbf_years)
+            )
             for i, mtbf in enumerate(request.mtbf_years):
                 journal.point_start(i, mtbf_years=mtbf)
+                tracker.point_start(i, mtbf_years=mtbf)
                 period, runs = _point_runs(request, mtbf, point_seeds[i])
                 if save_dir is not None:
                     from repro.io import save_runset
@@ -440,6 +446,7 @@ def run_sweep(
                     halfwidth=summary.halfwidth,
                     n_runs=summary.n_runs,
                 )
+                tracker.point_done(i)
                 outcome.rows.append(row)
                 say(
                     f"point {i + 1}/{len(request.mtbf_years)}: "
@@ -456,6 +463,7 @@ def run_sweep(
         obs_metrics.inc("fault_recovery", kind="graceful_drain")
         say(f"sweep interrupted by {sig.signame}; journal: {path}")
     finally:
+        get_tracker().sweep_end()
         set_active_journal(previous)
         journal.close()
     return outcome

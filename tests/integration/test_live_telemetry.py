@@ -1,0 +1,138 @@
+"""Acceptance: scrape a live ``repro-sim sweep --backend tcp`` coordinator.
+
+This is the end-to-end telemetry-plane test the satellite pieces build
+up to: a real sweep subprocess started with ``--telemetry-port`` must
+serve valid payloads on ``/metrics`` (Prometheus text that passes the
+checked-in parser), ``/progress`` (dispatch state with chunks laid out)
+and ``/workers`` (tcp fleet rows keyed by stable ``host:pid`` ids) —
+*while the run is still executing* — and then exit cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.obs.promtext import validate_exposition
+
+WORKER_ID_RE = re.compile(r"^[^:]+:\d+$")
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _env() -> dict:
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env = os.environ.copy()
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
+    return env
+
+
+def _get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=5.0) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def _get_text(url: str) -> str:
+    with urllib.request.urlopen(url, timeout=5.0) as resp:
+        return resp.read().decode("utf-8")
+
+
+@pytest.mark.slow
+def test_sweep_with_telemetry_port_serves_live_payloads(tmp_path):
+    port = _free_port()
+    base = f"http://127.0.0.1:{port}"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro",
+            "sweep", "restart",
+            "--mtbf-years", "5,10",
+            "--pairs", "500",
+            "--periods", "3",
+            "--runs", "64",
+            "--seed", "3",
+            "--chunk-size", "2",
+            "--jobs", "2",
+            "--backend", "tcp",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--telemetry-port", str(port),
+        ],
+        env=_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    seen = {"metrics": False, "progress": False, "workers": False}
+    try:
+        deadline = time.monotonic() + 120.0
+        while not all(seen.values()):
+            assert time.monotonic() < deadline, f"telemetry never satisfied: {seen}"
+            if proc.poll() is not None:
+                pytest.fail(
+                    f"sweep exited (rc={proc.returncode}) before telemetry "
+                    f"was scraped: {seen}\n{proc.stderr.read()}"
+                )
+            try:
+                progress = _get_json(base + "/progress")
+                workers = _get_json(base + "/workers")
+                metrics_text = _get_text(base + "/metrics")
+            except OSError:
+                time.sleep(0.05)  # server not up yet (or a scrape raced exit)
+                continue
+
+            if not seen["progress"]:
+                dispatch = progress.get("dispatch")
+                if (
+                    progress["schema"] == "repro/progress-v1"
+                    and dispatch is not None
+                    and dispatch["total_chunks"] > 0
+                ):
+                    seen["progress"] = True
+
+            if not seen["workers"]:
+                rows = workers.get("workers", [])
+                if workers["schema"] == "repro/workers-v1" and rows:
+                    assert all(WORKER_ID_RE.match(w["id"]) for w in rows)
+                    seen["workers"] = True
+
+            if not seen["metrics"]:
+                families = validate_exposition(metrics_text)
+                if "repro_parallel_chunks" in families:
+                    # per-worker fleet series carry the stable worker label
+                    worker_samples = [
+                        s
+                        for fam in families.values()
+                        for s in fam.samples
+                        if "worker" in s.labels
+                    ]
+                    if worker_samples:
+                        assert all(
+                            WORKER_ID_RE.match(s.labels["worker"])
+                            for s in worker_samples
+                        )
+                        seen["metrics"] = True
+            time.sleep(0.05)
+    finally:
+        try:
+            stderr = proc.communicate(timeout=240.0)[1]
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.communicate()
+            raise
+    assert proc.returncode == 0, stderr

@@ -74,6 +74,56 @@ class TestGauges:
         reg.set_gauge("level", 1.5)
         assert reg.snapshot()["gauges"]["level"] == 1.5
 
+    def test_set_gauge_max_keeps_the_peak(self):
+        reg = MetricsRegistry()
+        reg.set_gauge_max("t_peak", 2.0)
+        reg.set_gauge_max("t_peak", 5.0)
+        reg.set_gauge_max("t_peak", 3.0)
+        assert reg.snapshot()["gauges"]["t_peak"] == 5.0
+
+    def test_merge_peak_suffix_takes_the_max(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.set_gauge("chunk_seconds_peak", 2.0)
+        b.set_gauge("chunk_seconds_peak", 5.0)
+        a.merge(b.snapshot())
+        assert a.snapshot()["gauges"]["chunk_seconds_peak"] == 5.0
+        # a lower incoming value must not regress the recorded peak
+        c = MetricsRegistry()
+        c.set_gauge("chunk_seconds_peak", 1.0)
+        a.merge(c.snapshot())
+        assert a.snapshot()["gauges"]["chunk_seconds_peak"] == 5.0
+
+    def test_merge_peak_policy_is_per_labelled_series(self):
+        # the suffix is checked on the metric *name*, before the labels
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.set_gauge("t_peak", 3.0, worker="w1")
+        b.set_gauge("t_peak", 1.0, worker="w1")
+        b.set_gauge("t_peak", 9.0, worker="w2")
+        a.merge(b.snapshot())
+        gauges = a.snapshot()["gauges"]
+        assert gauges['t_peak{worker="w1"}'] == 3.0
+        assert gauges['t_peak{worker="w2"}'] == 9.0
+
+    def test_merge_non_peak_gauges_keep_overwrite_semantics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.set_gauge("level", 9.0)
+        b.set_gauge("level", 1.0)
+        a.merge(b.snapshot())
+        assert a.snapshot()["gauges"]["level"] == 1.0
+
+    def test_peak_composes_with_worker_snapshot_delta(self):
+        # a worker whose local peak is below the parent's ships a delta
+        # (gauges keep the after value when changed) that must not lower
+        # the parent's fleet-wide peak
+        worker = MetricsRegistry()
+        before = worker.snapshot()
+        worker.set_gauge_max("t_peak", 4.0)
+        delta = snapshot_delta(before, worker.snapshot())
+        parent = MetricsRegistry()
+        parent.set_gauge("t_peak", 9.0)
+        parent.merge(delta)
+        assert parent.snapshot()["gauges"]["t_peak"] == 9.0
+
 
 class TestHistograms:
     def test_observations_land_in_log_buckets(self):
@@ -234,6 +284,72 @@ class TestExport:
         ]
         assert counts == sorted(counts)
         assert counts[-1] == 2
+
+    def test_help_lines_come_from_the_central_map(self):
+        from repro.obs.metrics import METRIC_HELP
+
+        reg = MetricsRegistry()
+        reg.inc("parallel.chunks", 3)
+        text = to_prometheus(reg.snapshot())
+        expected = f"# HELP repro_parallel_chunks {METRIC_HELP['parallel.chunks']}"
+        assert expected in text.splitlines()
+        # HELP precedes TYPE precedes samples, per the exposition format
+        lines = text.splitlines()
+        assert lines.index(expected) < lines.index(
+            "# TYPE repro_parallel_chunks counter"
+        )
+
+    def test_unknown_metrics_get_no_help_line(self):
+        reg = MetricsRegistry()
+        reg.inc("totally.ad_hoc")
+        text = to_prometheus(reg.snapshot())
+        assert "# HELP repro_totally_ad_hoc" not in text
+        assert "# TYPE repro_totally_ad_hoc counter" in text
+
+    def test_type_emitted_once_per_labelled_family(self):
+        reg = MetricsRegistry()
+        reg.inc("parallel.chunk_failures", kind="task")
+        reg.inc("parallel.chunk_failures", kind="infrastructure")
+        text = to_prometheus(reg.snapshot())
+        assert text.count("# TYPE repro_parallel_chunk_failures counter") == 1
+
+    def test_inf_bucket_counts_overflow_observations(self):
+        # an observation beyond BUCKET_BOUNDS[-1] lands only in +Inf
+        from repro.obs.promtext import validate_exposition
+
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.5)
+        reg.observe("lat", 10.0 * BUCKET_BOUNDS[-1])
+        text = to_prometheus(reg.snapshot())
+        families = validate_exposition(text, require_families=("repro_lat",))
+        buckets = [
+            s for s in families["repro_lat"].samples
+            if s.name == "repro_lat_bucket"
+        ]
+        inf = next(s for s in buckets if s.labels["le"] == "+Inf")
+        last_finite = buckets[-2]
+        assert inf.value == 2
+        assert last_finite.value == 1  # the overflow is not in any finite bucket
+        count = next(
+            s for s in families["repro_lat"].samples if s.name == "repro_lat_count"
+        )
+        assert count.value == 2
+
+    def test_exposition_passes_the_checked_in_parser(self):
+        from repro.obs.promtext import validate_exposition
+
+        reg = MetricsRegistry()
+        reg.inc("parallel.chunks", 2)
+        reg.inc("parallel.chunk_failures", kind="task")
+        reg.set_gauge("parallel.worker_heartbeat_age", 0.5, worker="h:1")
+        reg.observe("parallel.chunk_seconds", 0.25)
+        validate_exposition(
+            to_prometheus(reg.snapshot()),
+            require_families=(
+                "repro_parallel_chunks",
+                "repro_parallel_chunk_seconds",
+            ),
+        )
 
     def test_save_metrics_prom_vs_json(self, tmp_path):
         snap = self._snap()

@@ -1,0 +1,202 @@
+"""Tests for :mod:`repro.obs.progress` — the live progress tracker.
+
+The tracker is the always-on state behind ``/progress`` and ``/workers``,
+so the properties under test are its invariants (DESIGN §5j): monotonic
+done/retry counts, in-flight containment, snapshot consistency under
+concurrent mutation, stable worker identity across reconnects, and
+never-raise behaviour on out-of-order calls.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import (
+    PROGRESS_SCHEMA,
+    WORKERS_SCHEMA,
+    ProgressTracker,
+    get_tracker,
+)
+
+
+class TestDispatchLifecycle:
+    def test_snapshot_counts_chunks_and_runs(self):
+        t = ProgressTracker()
+        t.dispatch_start(n_chunks=4, n_runs=100, backend="process", n_jobs=2)
+        t.chunk_dispatched(0)
+        t.chunk_dispatched(1)
+        t.chunk_done(0, size=25)
+        t.chunk_done(1, size=25, source="cache")
+        snap = t.snapshot()["dispatch"]
+        assert snap["total_chunks"] == 4
+        assert snap["chunks_done"] == 2
+        assert snap["runs_done"] == 50
+        assert snap["cache_hits"] == 1
+        assert snap["in_flight"] == []
+        assert snap["active"] is True
+
+    def test_in_flight_containment_invariant(self):
+        t = ProgressTracker()
+        t.dispatch_start(n_chunks=3, n_runs=30, backend="tcp", n_jobs=2)
+        t.chunk_dispatched(0)
+        t.chunk_dispatched(1)
+        snap = t.snapshot()["dispatch"]
+        assert snap["in_flight"] == [0, 1]
+        t.chunk_done(0, size=10)
+        t.chunk_failed(1)
+        snap = t.snapshot()["dispatch"]
+        assert snap["in_flight"] == []
+        assert snap["chunks_done"] + len(snap["in_flight"]) <= snap["total_chunks"]
+        assert snap["retries"] == 1
+
+    def test_failed_without_requeue_does_not_count_as_retry(self):
+        t = ProgressTracker()
+        t.dispatch_start(n_chunks=2, n_runs=20, backend="tcp", n_jobs=1)
+        t.chunk_dispatched(0)
+        t.chunk_failed(0, requeued=False)
+        assert t.snapshot()["dispatch"]["retries"] == 0
+
+    def test_finished_dispatch_stays_visible_inactive(self):
+        t = ProgressTracker()
+        t.dispatch_start(n_chunks=1, n_runs=10, backend="serial", n_jobs=1)
+        t.chunk_done(0, size=10)
+        t.dispatch_end()
+        snap = t.snapshot()["dispatch"]
+        assert snap is not None
+        assert snap["active"] is False
+        assert snap["chunks_done"] == 1
+        assert snap["eta_s"] is None  # no ETA for a finished dispatch
+
+    def test_adaptive_wave_state(self):
+        t = ProgressTracker()
+        t.dispatch_start(
+            n_chunks=8, n_runs=80, backend="process", n_jobs=2,
+            adaptive=True, n_waves=2, target_ci=0.001,
+        )
+        t.wave_done(1, halfwidth=0.01)
+        snap = t.snapshot()["dispatch"]
+        assert snap["adaptive"] is True
+        assert snap["wave"] == 1 and snap["n_waves"] == 2
+        assert snap["halfwidth"] == 0.01
+        t.wave_done(2, halfwidth=0.0005, stopped=True)
+        snap = t.snapshot()["dispatch"]
+        assert snap["stopped"] is True and snap["halfwidth"] == 0.0005
+
+    def test_out_of_order_calls_never_raise(self):
+        t = ProgressTracker()
+        # no dispatch started: everything is a safe no-op
+        t.chunk_done(3, size=10)
+        t.chunk_dispatched(1)
+        t.chunk_failed(2)
+        t.wave_done(1)
+        t.dispatch_end()
+        t.point_start(0)
+        t.point_done(0)
+        t.sweep_end()
+        t.worker_heartbeat("never-announced")
+        t.worker_chunk_done("never-announced")
+        t.worker_disconnected("never-announced")
+        snap = t.snapshot()
+        assert snap["dispatch"] is None and snap["sweep"] is None
+        assert t.workers_snapshot()["workers"] == []
+
+
+class TestSweepLifecycle:
+    def test_point_progress_and_labels(self):
+        t = ProgressTracker()
+        t.sweep_start(label="restart", n_points=3)
+        t.point_start(0, mtbf_years=5.0)
+        snap = t.snapshot()["sweep"]
+        assert snap["label"] == "restart"
+        assert snap["point"] == 0
+        assert snap["point_labels"] == {"mtbf_years": 5.0}
+        t.point_done(0)
+        t.point_start(1, mtbf_years=10.0)
+        snap = t.snapshot()["sweep"]
+        assert snap["points_done"] == 1 and snap["point"] == 1
+        t.point_done(1)
+        # with progress made, the ETA extrapolates from elapsed/done
+        assert t.snapshot()["sweep"]["eta_s"] is not None
+        t.sweep_end()
+        snap = t.snapshot()["sweep"]
+        assert snap["active"] is False and snap["eta_s"] is None
+
+    def test_schema_stamps(self):
+        t = ProgressTracker()
+        assert t.snapshot()["schema"] == PROGRESS_SCHEMA
+        assert t.workers_snapshot()["schema"] == WORKERS_SCHEMA
+
+
+class TestWorkerFleet:
+    def test_reconnect_keeps_identity_and_tally(self):
+        t = ProgressTracker()
+        t.worker_connected("host:101")
+        t.worker_chunk_done("host:101")
+        t.worker_chunk_done("host:101")
+        t.worker_disconnected("host:101")
+        t.worker_connected("host:101")  # same process re-dials
+        rows = t.workers_snapshot()["workers"]
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["id"] == "host:101"
+        assert row["chunks_completed"] == 2  # survives the reconnect
+        assert row["disconnects"] == 1
+        assert row["connected"] is True
+
+    def test_in_flight_tracks_dispatch_and_clears_on_done(self):
+        t = ProgressTracker()
+        t.dispatch_start(n_chunks=2, n_runs=20, backend="tcp", n_jobs=1)
+        t.worker_connected("h:1")
+        t.chunk_dispatched(0, worker="h:1")
+        assert t.workers_snapshot()["workers"][0]["in_flight"] == 0
+        t.worker_chunk_done("h:1")
+        assert t.workers_snapshot()["workers"][0]["in_flight"] is None
+
+    def test_refresh_worker_gauges_only_for_connected(self):
+        t = ProgressTracker()
+        t.worker_connected("h:1")
+        t.worker_connected("h:2")
+        t.worker_disconnected("h:2")
+        reg = MetricsRegistry()
+        t.refresh_worker_gauges(reg)
+        gauges = reg.snapshot()["gauges"]
+        assert 'parallel.worker_heartbeat_age{worker="h:1"}' in gauges
+        assert 'parallel.worker_heartbeat_age{worker="h:2"}' not in gauges
+
+
+class TestConcurrency:
+    def test_snapshot_is_consistent_under_concurrent_mutation(self):
+        t = ProgressTracker()
+        t.dispatch_start(n_chunks=10_000, n_runs=10_000, backend="tcp", n_jobs=4)
+        stop = threading.Event()
+
+        def mutate():
+            i = 0
+            while not stop.is_set():
+                t.chunk_dispatched(i % 10_000, worker="h:1")
+                t.chunk_done(i % 10_000, size=1)
+                i += 1
+
+        t.worker_connected("h:1")
+        threads = [threading.Thread(target=mutate) for _ in range(4)]
+        for th in threads:
+            th.start()
+        try:
+            for _ in range(200):
+                snap = t.snapshot()["dispatch"]
+                # a scrape never observes done+in_flight beyond the layout,
+                # and mutating the returned copy must not touch the tracker
+                assert all(0 <= i < 10_000 for i in snap["in_flight"])
+                snap["chunks_done"] = -1
+                t.workers_snapshot()
+        finally:
+            stop.set()
+            for th in threads:
+                th.join()
+        assert t.snapshot()["dispatch"]["chunks_done"] >= 0
+
+
+class TestSingleton:
+    def test_get_tracker_returns_one_instance(self):
+        assert get_tracker() is get_tracker()

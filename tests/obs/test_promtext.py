@@ -1,0 +1,146 @@
+"""Tests for :mod:`repro.obs.promtext` — the exposition parser/validator.
+
+The parser is the CI bench gate's only way to say "this scrape is
+structurally valid", so the failure modes matter as much as the happy
+path: every rejection test pins both the exception type and the 1-based
+line number in the message.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import BUCKET_BOUNDS, MetricsRegistry
+from repro.obs.promtext import parse_prometheus, validate_exposition
+
+
+class TestParsing:
+    def test_empty_exposition_is_valid(self):
+        assert parse_prometheus("") == {}
+        assert validate_exposition("") == {}
+
+    def test_counter_with_help_and_type(self):
+        text = (
+            "# HELP repro_chunks Chunks completed.\n"
+            "# TYPE repro_chunks counter\n"
+            "repro_chunks 42\n"
+        )
+        families = parse_prometheus(text)
+        fam = families["repro_chunks"]
+        assert fam.type == "counter"
+        assert fam.help == "Chunks completed."
+        assert fam.samples[0].value == 42.0 and fam.samples[0].labels == {}
+
+    def test_labels_are_parsed_and_unescaped(self):
+        text = 'm{worker="vm:12",note="a\\"b\\\\c"} 1\n'
+        sample = parse_prometheus(text)["m"].samples[0]
+        assert sample.labels == {"worker": "vm:12", "note": 'a"b\\c'}
+
+    def test_histogram_series_collapse_onto_the_family(self):
+        text = (
+            "# TYPE repro_lat histogram\n"
+            'repro_lat_bucket{le="1"} 2\n'
+            'repro_lat_bucket{le="+Inf"} 3\n'
+            "repro_lat_sum 2.5\n"
+            "repro_lat_count 3\n"
+        )
+        families = parse_prometheus(text)
+        assert set(families) == {"repro_lat"}
+        assert len(families["repro_lat"].samples) == 4
+
+    def test_free_form_comments_are_ignored(self):
+        text = "# just a note\nm 1\n"
+        assert parse_prometheus(text)["m"].samples[0].value == 1.0
+
+    @pytest.mark.parametrize(
+        ("text", "lineno"),
+        [
+            ("m one\n", 1),                       # unparseable value
+            ("ok 1\n!bad line!\n", 2),            # unparseable sample
+            ('m{worker=unquoted} 1\n', 1),        # malformed label pair
+            ("# TYPE m lolwut\n", 1),             # invalid TYPE kind
+            ("# TYPE 0bad counter\n", 1),         # invalid metric name
+        ],
+    )
+    def test_rejections_carry_the_line_number(self, text, lineno):
+        with pytest.raises(ParameterError, match=f"line {lineno}"):
+            parse_prometheus(text)
+
+    def test_type_after_samples_is_rejected(self):
+        text = "m 1\n# TYPE m counter\n"
+        with pytest.raises(ParameterError, match="after its samples"):
+            parse_prometheus(text)
+
+
+class TestValidation:
+    def test_samples_without_type_are_rejected(self):
+        with pytest.raises(ParameterError, match="without a # TYPE"):
+            validate_exposition("naked_sample 1\n")
+
+    def test_missing_required_family_is_rejected(self):
+        text = "# TYPE m counter\nm 1\n"
+        with pytest.raises(ParameterError, match="missing required families"):
+            validate_exposition(text, require_families=("absent_family",))
+
+    def test_histogram_must_end_in_inf(self):
+        text = '# TYPE h histogram\nh_bucket{le="1"} 2\nh_count 2\n'
+        with pytest.raises(ParameterError, match=r'le="\+Inf"'):
+            validate_exposition(text)
+
+    def test_histogram_buckets_must_be_cumulative(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+        )
+        with pytest.raises(ParameterError, match="decrease"):
+            validate_exposition(text)
+
+    def test_inf_bucket_must_equal_count(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 4\n'
+            "h_count 5\n"
+        )
+        with pytest.raises(ParameterError, match="!= _count"):
+            validate_exposition(text)
+
+    def test_histogram_checks_are_per_labelset(self):
+        # two label sets, each independently cumulative and +Inf == _count
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{chunk="0",le="1"} 1\n'
+            'h_bucket{chunk="0",le="+Inf"} 1\n'
+            'h_count{chunk="0"} 1\n'
+            'h_bucket{chunk="1",le="1"} 2\n'
+            'h_bucket{chunk="1",le="+Inf"} 3\n'
+            'h_count{chunk="1"} 3\n'
+        )
+        assert "h" in validate_exposition(text)
+
+
+class TestRoundTrip:
+    def test_registry_exposition_round_trips(self):
+        reg = MetricsRegistry()
+        reg.inc("parallel.chunks", 4)
+        reg.set_gauge("parallel.chunk_seconds_peak", 1.25)
+        reg.observe("parallel.chunk_seconds", 0.5)
+        reg.observe("parallel.chunk_seconds", 10.0 * BUCKET_BOUNDS[-1])  # overflow
+        families = validate_exposition(
+            obs_metrics.to_prometheus(reg.snapshot()),
+            require_families=(
+                "repro_parallel_chunks",
+                "repro_parallel_chunk_seconds",
+                "repro_parallel_chunk_seconds_peak",
+            ),
+        )
+        hist = families["repro_parallel_chunk_seconds"]
+        assert hist.type == "histogram"
+        inf = [
+            s for s in hist.samples
+            if s.name.endswith("_bucket") and s.labels.get("le") == "+Inf"
+        ]
+        assert inf and inf[0].value == 2.0

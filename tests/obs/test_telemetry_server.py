@@ -1,0 +1,213 @@
+"""Tests for :mod:`repro.obs.server` — the embedded telemetry plane.
+
+Endpoint behaviour is exercised against a real in-process
+:class:`TelemetryServer` on an ephemeral port (no mocks: the point is
+that a stock HTTP client can scrape the coordinator).  The other half of
+the contract is the *absence* of the server: a run without a telemetry
+port must create no thread and no socket.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs import metrics as obs_metrics
+from repro.obs.progress import PROGRESS_SCHEMA, WORKERS_SCHEMA, get_tracker
+from repro.obs.promtext import validate_exposition
+from repro.obs.server import (
+    TELEMETRY_ENV_VAR,
+    TelemetryServer,
+    active_telemetry,
+    default_telemetry_port,
+    ensure_telemetry,
+    start_telemetry,
+    stop_telemetry,
+    validate_port,
+)
+from repro.parallel import ExecutionContext
+from repro.platform_model import CheckpointCosts
+from repro.simulation import simulate_restart
+from repro.util.units import YEAR
+
+
+def _get(url: str, timeout: float = 5.0):
+    """GET *url*, returning ``(status, content_type, body_text)``."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.status, resp.headers.get("Content-Type", ""), resp.read().decode()
+    except urllib.error.HTTPError as err:  # 4xx still carries a body
+        return err.code, err.headers.get("Content-Type", ""), err.read().decode()
+
+
+@pytest.fixture()
+def server():
+    srv = TelemetryServer(0).start()
+    try:
+        yield srv
+    finally:
+        srv.close()
+        get_tracker().reset()
+
+
+class TestEndpoints:
+    def test_healthz_reports_liveness(self, server):
+        status, ctype, body = _get(server.url + "/healthz")
+        assert status == 200 and ctype.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["pid"] > 0 and payload["uptime_s"] >= 0
+
+    def test_metrics_is_valid_exposition(self, server):
+        obs_metrics.inc("parallel.chunks", 3)
+        obs_metrics.observe("parallel.chunk_seconds", 0.01)
+        status, ctype, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert ctype == "text/plain; version=0.0.4; charset=utf-8"
+        families = validate_exposition(
+            body, require_families=("repro_parallel_chunks",)
+        )
+        assert families["repro_parallel_chunks"].type == "counter"
+
+    def test_metrics_refreshes_worker_gauges_at_scrape_time(self, server):
+        get_tracker().worker_connected("scrapehost:42")
+        _, _, body = _get(server.url + "/metrics")
+        assert 'repro_parallel_worker_heartbeat_age{worker="scrapehost:42"}' in body
+
+    def test_metrics_json_mirrors_the_registry(self, server):
+        obs_metrics.inc("parallel.chunks")
+        _, ctype, body = _get(server.url + "/metrics.json")
+        assert ctype.startswith("application/json")
+        payload = json.loads(body)
+        assert "counters" in payload and "gauges" in payload
+
+    def test_progress_serves_tracker_state(self, server):
+        tracker = get_tracker()
+        tracker.dispatch_start(n_chunks=7, n_runs=70, backend="tcp", n_jobs=3)
+        tracker.chunk_done(0, size=10)
+        _, _, body = _get(server.url + "/progress")
+        payload = json.loads(body)
+        assert payload["schema"] == PROGRESS_SCHEMA
+        assert payload["dispatch"]["total_chunks"] == 7
+        assert payload["dispatch"]["chunks_done"] == 1
+        assert payload["dispatch"]["backend"] == "tcp"
+
+    def test_workers_serves_fleet_state(self, server):
+        get_tracker().worker_connected("h:9")
+        _, _, body = _get(server.url + "/workers")
+        payload = json.loads(body)
+        assert payload["schema"] == WORKERS_SCHEMA
+        assert [w["id"] for w in payload["workers"]] == ["h:9"]
+
+    def test_unknown_path_is_a_404_directory(self, server):
+        status, _, body = _get(server.url + "/nope")
+        assert status == 404
+        payload = json.loads(body)
+        assert "/metrics" in payload["endpoints"]
+        assert "/progress" in payload["endpoints"]
+
+    def test_trailing_slash_and_query_are_tolerated(self, server):
+        assert _get(server.url + "/healthz/")[0] == 200
+        assert _get(server.url + "/progress?pretty=1")[0] == 200
+
+    def test_close_is_idempotent_and_releases_the_port(self, server):
+        port = server.port
+        server.close()
+        server.close()
+        # the port is free again: a new server can bind it immediately
+        other = TelemetryServer(port).start()
+        try:
+            assert _get(other.url + "/healthz")[0] == 200
+        finally:
+            other.close()
+
+
+class TestPortValidation:
+    def test_valid_range(self):
+        assert validate_port(0) == 0
+        assert validate_port(65535) == 65535
+
+    @pytest.mark.parametrize("bad", [-1, 65536, True, "8080", 1.5])
+    def test_invalid_ports_raise(self, bad):
+        with pytest.raises(ParameterError):
+            validate_port(bad)
+
+    def test_default_port_unset_means_off(self, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        assert default_telemetry_port() is None
+
+    def test_default_port_parses_env(self, monkeypatch):
+        monkeypatch.setenv(TELEMETRY_ENV_VAR, "8123")
+        assert default_telemetry_port() == 8123
+
+    def test_default_port_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(TELEMETRY_ENV_VAR, "not-a-port")
+        with pytest.raises(ParameterError, match=TELEMETRY_ENV_VAR):
+            default_telemetry_port()
+
+
+class TestSingleton:
+    @pytest.fixture(autouse=True)
+    def _clean_singleton(self):
+        stop_telemetry()
+        yield
+        stop_telemetry()
+
+    def test_ensure_none_is_a_no_op(self):
+        assert ensure_telemetry(None) is None
+        assert active_telemetry() is None
+
+    def test_ensure_starts_then_reuses(self):
+        first = ensure_telemetry(0)
+        assert first is active_telemetry()
+        # 0 means "an ephemeral port": any running server satisfies it
+        assert ensure_telemetry(0) is first
+        # the concrete bound port matches too
+        assert ensure_telemetry(first.port) is first
+
+    def test_ensure_restarts_on_a_different_port(self):
+        first = start_telemetry(0)
+        old_port = first.port
+        # grab a second ephemeral port to move to
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            new_port = probe.getsockname()[1]
+        second = ensure_telemetry(new_port)
+        assert second is not first and second.port == new_port != old_port
+        assert _get(second.url + "/healthz")[0] == 200
+
+    def test_stop_telemetry_is_idempotent(self):
+        start_telemetry(0)
+        stop_telemetry()
+        assert active_telemetry() is None
+        stop_telemetry()
+
+
+class TestZeroCostWhenDisabled:
+    def test_run_without_port_creates_no_thread_or_server(self, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        stop_telemetry()
+        before = set(threading.enumerate())
+        simulate_restart(
+            mtbf=5 * YEAR,
+            n_pairs=100,
+            period=3600.0,
+            costs=CheckpointCosts(checkpoint=60.0),
+            n_periods=3,
+            n_runs=8,
+            seed=7,
+            n_jobs=ExecutionContext(n_jobs=1, backend="serial", chunk_size=4),
+        )
+        assert active_telemetry() is None
+        leaked = [
+            t for t in set(threading.enumerate()) - before
+            if t.name.startswith("repro-telemetry")
+        ]
+        assert leaked == []

@@ -204,3 +204,102 @@ class TestRendering:
         report = analyze_trace(path)
         assert report.span_stats["alone"]["total_s"] == 0.25
         assert "(no completed spans)" not in render_report(report)
+
+
+def _fleet(dispatch_wall=10.0):
+    """A dispatch with two workers: pid 10 steady, pid 20 hosts a straggler."""
+    records = _span_pair(
+        "parallel.dispatch", span_id="d", start=0.0, wall=dispatch_wall,
+    )
+    for i, (pid, start, wall) in enumerate(
+        [(10, 0.0, 1.0), (10, 1.0, 1.0), (10, 2.0, 1.0),
+         (20, 0.0, 1.0), (20, 1.0, 7.0)]
+    ):
+        records += _span_pair(
+            "parallel.chunk", span_id=f"c{i}", start=start, wall=wall,
+            pid=pid, parent_id="d", labels={"chunk": i, "size": 5},
+        )
+    return records
+
+
+class TestStragglerAnalytics:
+    def test_per_worker_utilization(self):
+        report = analyze_trace(_fleet(), n_jobs=2)
+        assert [w["pid"] for w in report.worker_stats] == [10, 20]
+        w10, w20 = report.worker_stats
+        assert (w10["chunks"], w10["runs"]) == (3, 15)
+        assert (w20["chunks"], w20["runs"]) == (2, 10)
+        assert w10["busy_s"] == pytest.approx(3.0)
+        assert w20["busy_s"] == pytest.approx(8.0)
+        # dispatch span sets the elapsed denominator: 10s
+        assert w10["utilization"] == pytest.approx(0.3)
+        assert w20["utilization"] == pytest.approx(0.8)
+        assert w20["mean_s"] == pytest.approx(4.0)
+        assert w20["max_s"] == pytest.approx(7.0)
+
+    def test_median_critical_path_and_stragglers(self):
+        report = analyze_trace(_fleet(), n_jobs=2)
+        assert report.median_chunk_s == pytest.approx(1.0)  # odd count: middle
+        # the slowest single chunk is the floor for any worker count
+        assert report.critical_path_s == pytest.approx(7.0)
+        assert len(report.stragglers) == 1
+        straggler = report.stragglers[0]
+        assert straggler["chunk"] == 4 and straggler["pid"] == 20
+        assert straggler["ratio"] == pytest.approx(7.0)
+
+    def test_even_chunk_count_averages_the_median(self):
+        records = []
+        for i, wall in enumerate([1.0, 1.0, 3.0, 5.0]):
+            records += _span_pair(
+                "parallel.chunk", span_id=f"c{i}", start=float(i), wall=wall,
+                labels={"chunk": i},
+            )
+        report = analyze_trace(records)
+        assert report.median_chunk_s == pytest.approx(2.0)
+
+    def test_straggler_k_tunes_the_threshold(self):
+        none_flagged = analyze_trace(_fleet(), straggler_k=8.0)
+        assert none_flagged.stragglers == []
+        assert none_flagged.straggler_threshold == 8.0
+        loose = analyze_trace(_fleet(), straggler_k=0.5)
+        # everything above 0.5x median qualifies, sorted slowest-first
+        assert [s["chunk"] for s in loose.stragglers][0] == 4
+        assert all(
+            a["wall_s"] >= b["wall_s"]
+            for a, b in zip(loose.stragglers, loose.stragglers[1:])
+        )
+
+    def test_straggler_k_must_be_positive(self):
+        with pytest.raises(ParameterError, match="straggler_k"):
+            analyze_trace(_fleet(), straggler_k=0.0)
+        with pytest.raises(ParameterError, match="straggler_k"):
+            analyze_trace(_fleet(), straggler_k=-1.0)
+
+    def test_no_chunks_means_no_fleet_sections(self):
+        records = _span_pair("engine.simulate", span_id="s", start=0.0, wall=1.0)
+        report = analyze_trace(records)
+        assert report.worker_stats == [] and report.stragglers == []
+        assert report.median_chunk_s == 0.0 and report.critical_path_s == 0.0
+        text = render_report(report)
+        assert "worker utilization" not in text
+        assert "stragglers" not in text
+
+    def test_render_shows_fleet_and_straggler_sections(self):
+        text = render_report(analyze_trace(_fleet(), n_jobs=2))
+        assert "== worker utilization ==" in text
+        assert "median chunk" in text
+        assert "critical path" in text
+        assert "== stragglers (> 2x median" in text
+        assert "pid20" in text and "7.0x median" in text
+
+    def test_render_caps_straggler_rows_at_ten(self):
+        records = []
+        walls = [1.0] * 30 + [5.0] * 12
+        for i, wall in enumerate(walls):
+            records += _span_pair(
+                "parallel.chunk", span_id=f"c{i}", start=float(i), wall=wall,
+                labels={"chunk": i},
+            )
+        report = analyze_trace(records)
+        assert len(report.stragglers) == 12
+        assert "... 2 more stragglers" in render_report(report)

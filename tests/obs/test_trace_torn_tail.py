@@ -1,0 +1,108 @@
+"""Tests for :func:`repro.obs.trace.read_events` on torn trace files.
+
+A live ``/metrics`` scrape or an ``obs report`` on a running sweep reads
+a JSONL trace that another process is appending to with ``O_APPEND``
+right now.  The contract: a torn *final* line (a write in progress) is
+routine and dropped silently; a torn line *elsewhere* (a killed worker,
+a filled filesystem) is still skipped but raises a ``RuntimeWarning``
+naming the count, so data loss never passes unnoticed.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import warnings
+
+import pytest
+
+from repro.obs.trace import read_events
+
+
+def _line(i: int) -> dict:
+    return {"kind": "event", "name": f"e{i}", "seq": i}
+
+
+class TestTornTail:
+    def test_partial_last_line_is_dropped_silently(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        complete = [_line(i) for i in range(5)]
+        body = "".join(json.dumps(r) + "\n" for r in complete)
+        path.write_text(body + '{"kind": "event", "na')  # torn mid-write
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning fails the test
+            records = read_events(path)
+        assert records == complete
+
+    def test_unterminated_but_valid_last_line_is_kept(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps(_line(0)) + "\n" + json.dumps(_line(1)))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            records = read_events(path)
+        assert [r["seq"] for r in records] == [0, 1]
+
+    def test_blank_lines_are_skipped_silently(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            json.dumps(_line(0)) + "\n\n   \n" + json.dumps(_line(1)) + "\n"
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(read_events(path)) == 2
+
+    def test_mid_file_torn_lines_warn_with_the_count(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            json.dumps(_line(0)) + "\n"
+            + '{"torn": \n'
+            + "also not json\n"
+            + json.dumps(_line(3)) + "\n"
+        )
+        with pytest.warns(RuntimeWarning, match="2 unparseable trace line"):
+            records = read_events(path)
+        assert [r["seq"] for r in records] == [0, 3]
+
+    def test_empty_file_is_an_empty_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("")
+        assert read_events(path) == []
+
+
+class TestConcurrentAppend:
+    def test_scraping_a_file_under_append_never_raises(self, tmp_path):
+        """Reader loop vs. an O_APPEND writer thread: every read returns a
+        prefix of well-formed records and never errors, even when the read
+        lands mid-write."""
+        path = tmp_path / "trace.jsonl"
+        path.write_text("")
+        n_records = 400
+        release = threading.Semaphore(0)
+
+        def writer():
+            with open(path, "a", encoding="utf-8") as fh:
+                for i in range(n_records):
+                    release.acquire()  # paced by the reader, not free-running
+                    # two-phase write maximises the torn-tail window
+                    half = json.dumps(_line(i))
+                    fh.write(half[: len(half) // 2])
+                    fh.flush()
+                    fh.write(half[len(half) // 2:] + "\n")
+                    fh.flush()
+
+        th = threading.Thread(target=writer)
+        th.start()
+        try:
+            last_len = 0
+            for _ in range(n_records):
+                release.release()
+                with warnings.catch_warnings():
+                    warnings.simplefilter("error")
+                    records = read_events(path)
+                # monotonic prefix: records only ever accumulate in order
+                assert len(records) >= last_len
+                assert [r["seq"] for r in records] == list(range(len(records)))
+                last_len = len(records)
+        finally:
+            release.release()  # unblock a writer parked on the semaphore
+            th.join()

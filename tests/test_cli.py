@@ -320,3 +320,152 @@ class TestCacheCommands:
             build_parser().parse_args(
                 ["simulate", "restart", "--cache-dir", "/tmp/x", "--no-cache"]
             )
+
+
+class TestTelemetryCli:
+    SIM = [
+        "simulate", "restart", "--pairs", "1000", "--runs", "16",
+        "--periods", "3", "--seed", "1", "--jobs", "1",
+    ]
+
+    @pytest.fixture(autouse=True)
+    def _clean_telemetry(self, monkeypatch):
+        """--jobs / --telemetry-port install process-wide state; undo it."""
+        from repro.obs.progress import get_tracker
+        from repro.obs.server import TELEMETRY_ENV_VAR, stop_telemetry
+        from repro.parallel import set_default_execution
+
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        yield
+        stop_telemetry()
+        get_tracker().reset()
+        set_default_execution(None)
+
+    def test_telemetry_port_flag_parses(self):
+        args = build_parser().parse_args(self.SIM + ["--telemetry-port", "0"])
+        assert args.telemetry_port == 0
+        assert build_parser().parse_args(self.SIM).telemetry_port is None
+
+    def test_obs_top_flags_parse(self):
+        args = build_parser().parse_args(
+            ["obs", "top", "127.0.0.1:9090", "--once", "--interval", "0.5"]
+        )
+        assert args.obs_command == "top"
+        assert args.endpoint == "127.0.0.1:9090"
+        assert args.once and args.interval == 0.5 and args.timeout == 2.0
+
+    def test_telemetry_port_starts_server_and_exports_env(self, capsys):
+        import os
+        import urllib.request
+
+        from repro.obs.server import TELEMETRY_ENV_VAR, active_telemetry
+
+        assert main(self.SIM + ["--telemetry-port", "0"]) == 0
+        server = active_telemetry()
+        assert server is not None
+        assert os.environ[TELEMETRY_ENV_VAR] == "0"
+        assert f"telemetry: {server.url}" in capsys.readouterr().err
+        with urllib.request.urlopen(server.url + "/progress", timeout=5) as resp:
+            payload = json.loads(resp.read())
+        # the finished dispatch stays visible for a scrape after the run
+        assert payload["dispatch"]["active"] is False
+        assert payload["dispatch"]["chunks_done"] > 0
+
+    def test_obs_top_once_renders_a_frame(self, capsys):
+        from repro.obs.progress import get_tracker
+        from repro.obs.server import start_telemetry
+
+        tracker = get_tracker()
+        tracker.sweep_start(label="restart", n_points=4)
+        tracker.point_start(1, mtbf_years=5.0)
+        tracker.dispatch_start(n_chunks=10, n_runs=100, backend="tcp", n_jobs=2)
+        for i in range(5):
+            tracker.chunk_done(i, size=10)
+        tracker.worker_connected("vm:42")
+        server = start_telemetry(0)
+        assert main(["obs", "top", server.url, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro-sim telemetry" in out
+        assert "sweep     restart: 0/4 points (running)" in out
+        assert "5/10 chunks (running, tcp x2)" in out
+        assert "vm:42" in out and "up" in out
+
+    def test_obs_top_unreachable_endpoint_exits_2(self, capsys):
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        code = main(
+            ["obs", "top", f"127.0.0.1:{port}", "--once", "--timeout", "0.5"]
+        )
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_obs_report_straggler_k_flag(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        assert main(self.SIM + ["--log-json", str(trace_path)]) == 0
+        from repro import obs
+
+        obs.disable_trace()
+        capsys.readouterr()
+        assert main(
+            ["obs", "report", str(trace_path), "--straggler-k", "1.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "median chunk" in out
+        assert "critical path" in out
+        assert main(
+            ["obs", "report", str(trace_path), "--straggler-k", "0"]
+        ) == 2
+        assert "straggler_k" in capsys.readouterr().err
+
+
+class TestTopFrame:
+    def test_frame_renders_all_sections(self):
+        from repro.cli import _top_frame
+
+        progress = {
+            "pid": 123,
+            "uptime_s": 12.0,
+            "sweep": {
+                "label": "restart", "n_points": 3, "points_done": 1,
+                "point": 1, "point_labels": {"mtbf_years": 5.0},
+                "active": True, "elapsed_s": 4.0, "eta_s": 8.0,
+            },
+            "dispatch": {
+                "backend": "tcp", "n_jobs": 2, "total_chunks": 4,
+                "chunks_done": 2, "cache_hits": 1, "retries": 1,
+                "runs_done": 20, "runs_total": 40, "in_flight": [2, 3],
+                "adaptive": True, "wave": 1, "n_waves": 2,
+                "halfwidth": 0.002, "target_ci": 0.001,
+                "active": True, "elapsed_s": 1.0,
+                "rate_chunks_per_s": 2.0, "eta_s": 1.0,
+            },
+        }
+        workers = {
+            "workers": [
+                {"id": "vm:1", "connected": True, "heartbeat_age_s": 0.2,
+                 "in_flight": 2, "chunks_completed": 7,
+                 "throughput_chunks_per_s": 1.5, "disconnects": 0},
+                {"id": "vm:2", "connected": False, "heartbeat_age_s": 9.9,
+                 "in_flight": None, "chunks_completed": 3,
+                 "throughput_chunks_per_s": 0.5, "disconnects": 1},
+            ]
+        }
+        frame = _top_frame("http://127.0.0.1:9", progress, workers)
+        assert "pid=123" in frame
+        assert "now #1 mtbf_years=5.0" in frame
+        assert "[###############...............]" in frame
+        assert "in-flight 2" in frame and "cache 1" in frame and "retries 1" in frame
+        assert "wave 1/2" in frame and "halfwidth 2.000e-03" in frame
+        assert "vm:1" in frame and "vm:2" in frame
+        assert "down" in frame
+
+    def test_frame_degrades_without_payload_sections(self):
+        from repro.cli import _top_frame
+
+        frame = _top_frame("http://x", {"pid": 1, "uptime_s": 0.0}, {})
+        assert frame.splitlines() == [
+            "repro-sim telemetry  http://x  pid=1  uptime=0s"
+        ]
